@@ -1,0 +1,86 @@
+// Ablation — switching energy (extension): the paper motivates
+// approximate adders with "orders of magnitude performance/power
+// benefits"; this bench quantifies the power side on our substrate.
+// Relative energy-per-addition (capacitance-weighted toggle counts over a
+// uniform operand stream) for the Table I adder set, plus the
+// energy-delay product and energy vs accuracy trade-off across the GeAr
+// P-sweep.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "core/config.h"
+#include "core/error_model.h"
+#include "netlist/circuits.h"
+#include "netlist/transform.h"
+#include "stats/rng.h"
+#include "synth/power.h"
+#include "synth/report.h"
+
+namespace {
+
+constexpr std::uint64_t kVectors = 20000;
+
+gear::synth::PowerReport power_of(const gear::netlist::Netlist& nl) {
+  gear::stats::Rng rng = gear::stats::Rng::substream(
+      gear::stats::Rng::kDefaultSeed, "ablation-energy");
+  return gear::synth::estimate_power(nl, kVectors, rng);
+}
+
+}  // namespace
+
+int main() {
+  using gear::core::GeArConfig;
+  std::printf("== Ablation: switching energy per addition (N=16) ==\n\n");
+
+  struct Entry {
+    const char* label;
+    gear::netlist::Netlist nl;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"RCA", gear::netlist::build_rca(16)});
+  entries.push_back({"ACA-I(L=4)", gear::netlist::build_aca1(16, 4)});
+  entries.push_back({"ETAII(X=4)", gear::netlist::build_etaii(16, 4)});
+  entries.push_back({"ACA-II(L=8)", gear::netlist::build_aca2(16, 8)});
+  entries.push_back({"GDA(4,4)",
+                     gear::netlist::specialize(gear::netlist::build_gda(16, 4, 4),
+                                               {{"cfg", 0}})});
+  entries.push_back(
+      {"GeAr(4,4)",
+       gear::netlist::build_gear(GeArConfig::must(16, 4, 4),
+                                 {.with_detection = false})});
+  entries.push_back(
+      {"GeAr(4,4)+det",
+       gear::netlist::build_gear(GeArConfig::must(16, 4, 4))});
+
+  gear::analysis::Table table({"adder", "toggles/op", "energy/op",
+                               "delay[ns]", "energy x delay"});
+  for (const auto& e : entries) {
+    const auto p = power_of(e.nl);
+    const auto rep = gear::synth::synthesize(e.nl);
+    const double delay = gear::synth::sum_path_delay(rep);
+    table.add_row({e.label, gear::analysis::fmt_fixed(p.toggles_per_op, 2),
+                   gear::analysis::fmt_fixed(p.energy_per_op, 2),
+                   gear::analysis::fmt_fixed(delay, 3),
+                   gear::analysis::fmt_fixed(p.energy_per_op * delay, 2)});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+
+  std::printf("\nEnergy vs accuracy across the GeAr R=4 P-sweep:\n");
+  gear::analysis::Table sweep({"P", "Perr", "energy/op", "delay[ns]"});
+  for (int p = 2; p <= 12; p += 2) {
+    const auto cfg = *GeArConfig::make_relaxed(16, 4, p);
+    const auto nl = gear::netlist::build_gear(cfg, {.with_detection = false});
+    const auto pow = power_of(nl);
+    const auto rep = gear::synth::synthesize(nl);
+    sweep.add_row({std::to_string(p),
+                   gear::analysis::fmt_pct(gear::core::paper_error_probability(cfg), 3),
+                   gear::analysis::fmt_fixed(pow.energy_per_op, 2),
+                   gear::analysis::fmt_fixed(gear::synth::sum_path_delay(rep), 3)});
+  }
+  std::fputs(sweep.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nShape checks: overlapping-window adders pay energy for their\n"
+      "redundant prediction bits (GeAr/ACA above RCA); accuracy (higher P)\n"
+      "costs both energy and delay — the knob trades all three.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation — error-model fidelity across the full N=16 strict design
+// space: the paper's first-order sum, the full inclusion-exclusion
+// (Eq. 7), and the exact carry-DP ground truth, cross-checked against
+// Monte Carlo. Reports worst-case and average deviations, which quantify
+// how safe it is to pick configurations by model alone (the paper's main
+// usability claim for the error model).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/table.h"
+#include "core/config.h"
+#include "core/error_model.h"
+#include "stats/rng.h"
+
+int main() {
+  using gear::core::GeArConfig;
+  constexpr int kN = 16;
+
+  struct Entry {
+    GeArConfig cfg;
+    double first_order, ie, exact;
+  };
+  std::vector<Entry> entries;
+  for (const auto& cfg : GeArConfig::enumerate(kN)) {
+    entries.push_back({cfg, gear::core::paper_error_probability_first_order(cfg),
+                       gear::core::paper_error_probability(cfg),
+                       gear::core::exact_error_probability(cfg)});
+  }
+
+  double worst_fo = 0.0, worst_ie = 0.0, sum_fo = 0.0, sum_ie = 0.0;
+  const Entry* worst_entry = nullptr;
+  int order_flips = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    const double dev_fo = std::abs(e.first_order - e.exact);
+    const double dev_ie = std::abs(e.ie - e.exact);
+    sum_fo += dev_fo;
+    sum_ie += dev_ie;
+    if (dev_ie > worst_ie) {
+      worst_ie = dev_ie;
+      worst_entry = &e;
+    }
+    worst_fo = std::max(worst_fo, dev_fo);
+    // Does the model ever rank two configurations differently than the
+    // ground truth? (That is what would mislead a designer.)
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      const auto& f = entries[j];
+      const bool model_less = e.ie < f.ie;
+      const bool truth_less = e.exact < f.exact;
+      if (std::abs(e.exact - f.exact) > 1e-6 && model_less != truth_less) {
+        ++order_flips;
+      }
+    }
+  }
+
+  std::printf("== Ablation: error-model fidelity, all %zu strict N=%d configs ==\n\n",
+              entries.size(), kN);
+  gear::analysis::Table table({"estimator", "mean |dev| vs exact", "max |dev|"});
+  table.add_row({"first-order sum (paper tables)",
+                 gear::analysis::fmt_sci(sum_fo / static_cast<double>(entries.size()), 3),
+                 gear::analysis::fmt_sci(worst_fo, 3)});
+  table.add_row({"inclusion-exclusion (Eq. 7)",
+                 gear::analysis::fmt_sci(sum_ie / static_cast<double>(entries.size()), 3),
+                 gear::analysis::fmt_sci(worst_ie, 3)});
+  std::fputs(table.to_ascii().c_str(), stdout);
+
+  if (worst_entry) {
+    std::printf("\nWorst IE deviation at %s: model %.5f vs exact %.5f.\n",
+                worst_entry->cfg.name().c_str(), worst_entry->ie,
+                worst_entry->exact);
+  } else {
+    std::printf(
+        "\nThe inclusion-exclusion model is numerically identical to the\n"
+        "exact DP on every configuration: a carry originating deeper than\n"
+        "the R bits the model considers always implies an error event at a\n"
+        "lower sub-adder, so the event-set *union* is unchanged by the\n"
+        "truncation. The paper's model is exact, not approximate.\n");
+    worst_entry = &entries.front();
+  }
+  std::printf(
+      "Ranking fidelity: %d order inversions out of %zu config pairs.\n",
+      order_flips, entries.size() * (entries.size() - 1) / 2);
+
+  // Monte-Carlo spot check on the worst configuration.
+  if (worst_entry) {
+    gear::stats::Rng rng = gear::stats::Rng::substream(
+        gear::stats::Rng::kDefaultSeed, "ablation-model-mc");
+    const auto mc =
+        gear::core::mc_error_probability(worst_entry->cfg, 500000, rng);
+    std::printf(
+        "MC referee on that config: %.5f [%.5f, %.5f] — exact DP %s the CI.\n",
+        mc.p, mc.ci.lo, mc.ci.hi,
+        mc.ci.contains(worst_entry->exact) ? "inside" : "OUTSIDE");
+  }
+  return 0;
+}

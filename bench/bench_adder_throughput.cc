@@ -1,0 +1,80 @@
+// Model-evaluation throughput (google-benchmark): how fast each bit-level
+// adder model runs in simulation. This is a property of the C++ models,
+// not of the hardware — it bounds how large the Monte-Carlo and kernel
+// experiments can be.
+#include <benchmark/benchmark.h>
+
+#include "adders/registry.h"
+#include "core/adder.h"
+#include "core/correction.h"
+#include "stats/rng.h"
+
+namespace {
+
+void BM_AdderModel(benchmark::State& state, const std::string& spec) {
+  const gear::adders::AdderPtr adder = gear::adders::make_adder(spec);
+  gear::stats::Rng rng(1234);
+  const int n = adder->width();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops(4096);
+  for (auto& [a, b] : ops) {
+    a = rng.bits(n);
+    b = rng.bits(n);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = ops[i];
+    benchmark::DoNotOptimize(adder->add(a, b));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_GearCoreAddValue(benchmark::State& state) {
+  const gear::core::GeArAdder adder(gear::core::GeArConfig::must(16, 4, 4));
+  gear::stats::Rng rng(1234);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops(4096);
+  for (auto& [a, b] : ops) {
+    a = rng.bits(16);
+    b = rng.bits(16);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = ops[i];
+    benchmark::DoNotOptimize(adder.add_value(a, b));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_GearCorrection(benchmark::State& state) {
+  const gear::core::Corrector corr(gear::core::GeArConfig::must(16, 4, 4),
+                                   gear::core::Corrector::all_enabled());
+  gear::stats::Rng rng(1234);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops(4096);
+  for (auto& [a, b] : ops) {
+    a = rng.bits(16);
+    b = rng.bits(16);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = ops[i];
+    benchmark::DoNotOptimize(corr.add(a, b).sum);
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_AdderModel, rca16, std::string("rca:16"));
+BENCHMARK_CAPTURE(BM_AdderModel, cla16, std::string("cla:16"));
+BENCHMARK_CAPTURE(BM_AdderModel, aca1_16_4, std::string("aca1:16:4"));
+BENCHMARK_CAPTURE(BM_AdderModel, aca2_16_8, std::string("aca2:16:8"));
+BENCHMARK_CAPTURE(BM_AdderModel, etai_16_8, std::string("etai:16:8"));
+BENCHMARK_CAPTURE(BM_AdderModel, etaii_16_4, std::string("etaii:16:4"));
+BENCHMARK_CAPTURE(BM_AdderModel, gda_16_4_4, std::string("gda:16:4:4"));
+BENCHMARK_CAPTURE(BM_AdderModel, gear_16_4_4, std::string("gear:16:4:4"));
+BENCHMARK_CAPTURE(BM_AdderModel, gear_ecc_16_4_4, std::string("gear+ecc:16:4:4"));
+BENCHMARK_CAPTURE(BM_AdderModel, loa_16_8, std::string("loa:16:8"));
+BENCHMARK(BM_GearCoreAddValue);
+BENCHMARK(BM_GearCorrection);

@@ -1,0 +1,43 @@
+// Extension — carry-cutting vs cell-substitution approximation:
+// GeAr configurations against Gupta-style cell-based adders (AMA/AXA/TGA
+// low-part substitution) at N=16 under uniform operands. The two
+// families buy their savings differently: GeAr errors are rare but large
+// (missing boundary carries); cell-based errors are frequent but tiny
+// (garbled low bits). MED/NED and the MAA acceptance ladder make the
+// difference visible.
+#include <cstdio>
+
+#include "adders/registry.h"
+#include "analysis/metrics.h"
+#include "analysis/table.h"
+#include "stats/distributions.h"
+
+int main() {
+  std::printf("== Extension: GeAr (carry-cut) vs cell-based (low-part) ==\n\n");
+  gear::analysis::Table table({"adder", "error rate", "MED", "max ED", "NED",
+                               "ACCamp", "MAA95"});
+  for (const char* spec :
+       {"gear:16:4:4", "gear:16:4:8", "cell:16:4:ama1", "cell:16:8:ama1",
+        "cell:16:8:ama2", "cell:16:8:axa2", "cell:16:8:ama3", "cell:16:8:tga1",
+        "loa:16:8"}) {
+    const gear::adders::AdderPtr adder = gear::adders::make_adder(spec);
+    auto src = gear::stats::make_uniform(16, gear::stats::Rng::kDefaultSeed ^ 0x9);
+    const auto m = gear::analysis::evaluate(*adder, *src, 200000);
+    table.add_row({adder->name(),
+                   gear::analysis::fmt_pct(m.error_rate, 2),
+                   gear::analysis::fmt_fixed(m.med, 2),
+                   gear::analysis::fmt_fixed(m.max_ed, 0),
+                   gear::analysis::fmt_fixed(m.ned, 4),
+                   gear::analysis::fmt_fixed(m.acc_amp_avg, 4),
+                   gear::analysis::fmt_pct(m.maa_acceptance[2], 2)});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nShape checks: cell-based error rates are orders of magnitude\n"
+      "higher but max ED stays below 2^(low+1); GeAr errors are rare with\n"
+      "magnitude 2^res_lo. For mean-relative metrics (ACCamp) the families\n"
+      "can tie, but acceptance-threshold metrics (MAA) separate them —\n"
+      "which family wins depends on whether the application cares about\n"
+      "worst-case or mean error.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension — dynamic (event-driven) timing: measured settle times and
+// glitch counts for the Table I adder set over random back-to-back
+// operand transitions. Complements the static timing model: static delay
+// is the structural worst case; mean settle shows the typical case that
+// motivates speculative completion, and glitch counts show where the
+// switching energy of deep carry logic goes.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "core/config.h"
+#include "netlist/circuits.h"
+#include "netlist/event_sim.h"
+#include "netlist/transform.h"
+#include "stats/rng.h"
+
+namespace {
+
+constexpr std::uint64_t kPairs = 5000;
+
+void row(gear::analysis::Table& table, const char* label,
+         gear::netlist::Netlist nl) {
+  gear::netlist::EventSimulator sim(std::move(nl));
+  gear::stats::Rng rng = gear::stats::Rng::substream(
+      gear::stats::Rng::kDefaultSeed, "ext-dynamic");
+  const auto p = sim.profile(kPairs, rng);
+  table.add_row({label, gear::analysis::fmt_fixed(p.mean_settle, 3),
+                 gear::analysis::fmt_fixed(p.max_settle, 3),
+                 gear::analysis::fmt_fixed(p.mean_transitions, 2),
+                 gear::analysis::fmt_fixed(p.mean_glitches, 2)});
+}
+
+}  // namespace
+
+int main() {
+  using gear::core::GeArConfig;
+  std::printf(
+      "== Extension: event-driven timing, N=16, %llu random transitions ==\n"
+      "(time unit: 1.0 = one logic gate; carry hop = 0.2)\n\n",
+      static_cast<unsigned long long>(kPairs));
+
+  gear::analysis::Table table(
+      {"adder", "mean settle", "max settle", "transitions/op", "glitches/op"});
+  row(table, "RCA", gear::netlist::build_rca(16));
+  row(table, "CLA (Kogge-Stone)", gear::netlist::build_cla(16));
+  row(table, "ACA-I(L=4)", gear::netlist::build_aca1(16, 4));
+  row(table, "ETAII(X=4)", gear::netlist::build_etaii(16, 4));
+  row(table, "ACA-II(L=8)", gear::netlist::build_aca2(16, 8));
+  row(table, "GDA(4,4)",
+      gear::netlist::specialize(gear::netlist::build_gda(16, 4, 4), {{"cfg", 0}}));
+  row(table, "GeAr(4,4)",
+      gear::netlist::build_gear(GeArConfig::must(16, 4, 4),
+                                {.with_detection = false}));
+  row(table, "GeAr(4,8)",
+      gear::netlist::build_gear(GeArConfig::must(16, 4, 8),
+                                {.with_detection = false}));
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nShape checks: approximate adders cut worst-case settle (shorter\n"
+      "chains); the prefix-tree CLA trades glitches for depth; GeAr's\n"
+      "settle grows with P, tracking the static model.\n");
+  return 0;
+}

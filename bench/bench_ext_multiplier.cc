@@ -1,0 +1,54 @@
+// Extension — approximate multiply-accumulate: an 8x8 shift-add
+// multiplier whose partial-product accumulation runs through GeAr(16,4,P)
+// for a P sweep. Shows how the adder's configurable accuracy propagates
+// into a composed arithmetic unit (the MAC datapaths the paper's intro
+// motivates).
+#include <cstdio>
+
+#include "adders/multiplier.h"
+#include "analysis/table.h"
+#include "core/error_model.h"
+#include "stats/rng.h"
+
+int main() {
+  std::printf("== Extension: 8x8 multiplier on GeAr(16,4,P) accumulation ==\n\n");
+  gear::analysis::Table table({"P", "adder Perr", "product error rate",
+                               "mean |rel err|", "max |rel err|"});
+
+  for (int p : {2, 4, 6, 8, 12}) {
+    const auto gm = gear::adders::make_gear_multiplier(8, 4, p);
+    const auto cfg = *gear::core::GeArConfig::make_relaxed(16, 4, p);
+    gear::stats::Rng rng = gear::stats::Rng::substream(
+        gear::stats::Rng::kDefaultSeed, "ext-mult");
+    std::uint64_t errors = 0;
+    double rel_sum = 0.0, rel_max = 0.0;
+    constexpr int kTrials = 100000;
+    for (int i = 0; i < kTrials; ++i) {
+      const std::uint64_t a = rng.bits(8);
+      const std::uint64_t b = rng.bits(8);
+      const std::uint64_t approx = gm.mult->multiply(a, b);
+      const std::uint64_t exact = a * b;
+      if (approx != exact) ++errors;
+      if (exact != 0) {
+        const double rel = static_cast<double>(exact - approx) /
+                           static_cast<double>(exact);
+        rel_sum += rel;
+        rel_max = std::max(rel_max, rel);
+      }
+    }
+    table.add_row({std::to_string(p),
+                   gear::analysis::fmt_pct(gear::core::paper_error_probability(cfg), 3),
+                   gear::analysis::fmt_pct(static_cast<double>(errors) / kTrials, 2),
+                   gear::analysis::fmt_pct(rel_sum / kTrials, 3),
+                   gear::analysis::fmt_pct(rel_max, 2)});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nShape checks: the product error rate collapses as P grows — the\n"
+      "adder knob is the multiplier knob. Note it falls *faster* than the\n"
+      "i.i.d. operand model predicts: shift-add operands are correlated\n"
+      "(the shifted partial product has zeros below bit i, starving the\n"
+      "carry the error event needs), so uniform-operand Perr is a safe\n"
+      "upper bound for MAC datapaths at larger P.\n");
+  return 0;
+}

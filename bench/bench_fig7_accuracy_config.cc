@@ -1,0 +1,41 @@
+// Fig. 7(a-d) — Probabilistic accuracy percentage vs previous/prediction
+// bits for N=16 at R in {2, 3, 4, 8}, with the GDA-reachable subset
+// marked. Accuracy is (1 - Perr) * 100 with Perr from the paper's error
+// model (Eqs. 5-7).
+#include <cstdio>
+
+#include "analysis/design_space.h"
+#include "analysis/table.h"
+
+namespace {
+
+void print_panel(int n, int r, char panel) {
+  std::printf("Fig.7(%c): N=%d, R=%d\n", panel, n, r);
+  gear::analysis::Table table(
+      {"P", "L", "k", "Perr", "accuracy%", "GDA?", "ETAII/ACA-II?"});
+  for (const auto& pt : gear::analysis::accuracy_sweep(n, r)) {
+    table.add_row({std::to_string(pt.cfg.p()), std::to_string(pt.cfg.l()),
+                   std::to_string(pt.cfg.k()),
+                   gear::analysis::fmt_pct(pt.error_probability, 4),
+                   gear::analysis::fmt_fixed(pt.accuracy_percent, 3),
+                   pt.gda_reachable ? "x" : ".",
+                   pt.etaii_reachable ? "x" : "."});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 7: accuracy vs prediction bits (GeAr vs GDA points) ==\n\n");
+  print_panel(16, 2, 'a');
+  print_panel(16, 3, 'b');
+  print_panel(16, 4, 'c');
+  print_panel(16, 8, 'd');
+  std::printf(
+      "Paper shape checks: (R=2,P=2) ~51%% accuracy, (R=2,P=6) ~97%%,\n"
+      "(R=4,P=4) ~94%% < (R=2,P=6) at equal sub-adder length L=8; GDA\n"
+      "points are the P = multiple-of-R subset of GeAr's sweep.\n");
+  return 0;
+}

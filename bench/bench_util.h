@@ -1,0 +1,30 @@
+// Shared benchmark utilities.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "analysis/table.h"
+
+namespace gear::benchutil {
+
+/// When GEAR_BENCH_CSV_DIR is set, also writes the table as
+/// $GEAR_BENCH_CSV_DIR/<stem>.csv so experiment results are
+/// machine-diffable artifacts, not just console text.
+inline void maybe_write_csv(const std::string& stem,
+                            const analysis::Table& table) {
+  const char* dir = std::getenv("GEAR_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + stem + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << table.to_csv();
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+}  // namespace gear::benchutil

@@ -1,0 +1,60 @@
+// Accuracy-driven configuration selection: give the library an accuracy
+// requirement and an objective, get back the cheapest GeAr configuration
+// — the "which adder do I instantiate?" question the paper's
+// introduction poses, answered without simulating a single candidate.
+//
+// Run: ./build/examples/accuracy_selector [N] [max_error_%]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/selector.h"
+#include "analysis/table.h"
+
+int main(int argc, char** argv) {
+  using namespace gear::analysis;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 16;
+  const double max_err_pct = argc > 2 ? std::atof(argv[2]) : 1.0;
+  if (n < 4 || n > 32 || max_err_pct < 0.0) {
+    std::fprintf(stderr, "usage: %s [N in 4..32] [max_error_percent]\n", argv[0]);
+    return 1;
+  }
+
+  SelectionRequest req;
+  req.n = n;
+  req.max_error_probability = max_err_pct / 100.0;
+
+  std::printf("N=%d, error probability <= %.3f%%:\n\n", n, max_err_pct);
+  for (auto [objective, label] :
+       {std::pair{Objective::kDelay, "minimal delay"},
+        {Objective::kArea, "minimal area"},
+        {Objective::kDelayArea, "minimal delay*area"}}) {
+    req.objective = objective;
+    const auto best = select_config(req);
+    if (!best) {
+      std::printf("%-20s: no approximate configuration qualifies\n", label);
+      continue;
+    }
+    std::printf("%-20s: GeAr(R=%d,P=%d)  %.3f ns, %d LUTs, Perr %.4f%%%s\n",
+                label, best->cfg.r(), best->cfg.p(), best->delay_ns,
+                best->area_luts, best->error_probability * 100,
+                best->cfg.is_strict() ? "" : "  (relaxed top sub-adder)");
+  }
+
+  req.objective = Objective::kDelay;
+  const auto ranked = rank_configs(req);
+  std::printf("\nFull qualifying short-list (%zu configurations, by delay):\n\n",
+              ranked.size());
+  Table table({"config", "strict?", "delay[ns]", "area[LUT]", "Perr"});
+  std::size_t shown = 0;
+  for (const auto& sel : ranked) {
+    table.add_row({sel.cfg.name(), sel.cfg.is_strict() ? "yes" : "no",
+                   fmt_fixed(sel.delay_ns, 3), std::to_string(sel.area_luts),
+                   fmt_pct(sel.error_probability, 4)});
+    if (++shown >= 15) break;
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  if (ranked.size() > shown) {
+    std::printf("(%zu more omitted)\n", ranked.size() - shown);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Runtime-adaptive correction: the error-control select signal from
+// paper Section 3.3, driven by a feedback controller. The workload's
+// operand distribution shifts mid-stream (smooth values -> noisy
+// values); the controller widens/narrows the enabled correction mask to
+// hold the residual error rate near a target, spending extra cycles only
+// when the data demands it.
+//
+// Run: ./build/examples/adaptive_quality
+#include <cstdio>
+
+#include "core/adaptive.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+int main() {
+  using namespace gear;
+
+  const core::GeArConfig cfg = core::GeArConfig::must(16, 2, 2);  // k=7
+  core::AdaptivePolicy policy;
+  policy.target_error_rate = 0.02;
+  policy.window = 512;
+  core::AdaptiveCorrector controller(cfg, policy);
+
+  // Phase 1/3: quantized operands (multiples of 256 — zeroed low bytes
+  // kill the propagate chains, so boundary carries are rare);
+  // Phase 2: uniform operands (heavy carry traffic).
+  stats::Rng rng(11);
+  auto quantized = [&rng] {
+    return stats::OperandPair{rng.bits(8) << 8, rng.bits(8) << 8};
+  };
+  auto uniform = [&rng] {
+    return stats::OperandPair{rng.bits(16), rng.bits(16)};
+  };
+
+  std::printf("%s, target residual error %.1f%%, window %u\n\n",
+              cfg.name().c_str(), policy.target_error_rate * 100, policy.window);
+  std::printf("%-10s %-10s %-14s %-12s %s\n", "phase", "additions",
+              "enabled level", "avg cycles", "residual rate");
+
+  auto run_phase = [&](const char* label, auto&& draw, int n) {
+    const auto before = controller.stats();
+    for (int i = 0; i < n; ++i) {
+      const auto [a, b] = draw();
+      controller.add(a, b);
+    }
+    const auto after = controller.stats();
+    const auto adds = after.additions - before.additions;
+    const auto cyc = after.cycles - before.cycles;
+    const auto errs = after.residual_errors - before.residual_errors;
+    std::printf("%-10s %-10llu %-14d %-12.3f %.2f%%\n", label,
+                static_cast<unsigned long long>(adds), controller.enabled_level(),
+                static_cast<double>(cyc) / static_cast<double>(adds),
+                100.0 * static_cast<double>(errs) / static_cast<double>(adds));
+  };
+
+  run_phase("quantized", quantized, 512 * 12);
+  run_phase("uniform", uniform, 512 * 12);
+  run_phase("quantized", quantized, 512 * 12);
+
+  std::printf(
+      "\nwiden events: %d, narrow events: %d — correction effort follows\n"
+      "the data; an application gets near-target quality at minimum cycle\n"
+      "cost instead of paying worst-case correction everywhere.\n",
+      controller.stats().widen_events, controller.stats().narrow_events);
+  return 0;
+}

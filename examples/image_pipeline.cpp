@@ -1,0 +1,86 @@
+// Image pipeline: the paper's three application kernels (Image Integral,
+// SAD block matching, 3x3 LPF) run end-to-end with an exact adder, a
+// plain GeAr adder, and GeAr with error correction — demonstrating the
+// application-level accuracy/effort trade-off that motivates approximate
+// adders.
+//
+// Run: ./build/examples/image_pipeline
+#include <cstdio>
+
+#include "adders/registry.h"
+#include "apps/generate.h"
+#include "apps/integral.h"
+#include "apps/lpf.h"
+#include "apps/quality.h"
+#include "apps/sad.h"
+#include "stats/rng.h"
+
+int main() {
+  using namespace gear;
+
+  stats::Rng rng(2026);
+  const apps::Image frame = apps::smoothed_noise_image(256, 160, rng, 2);
+  stats::Rng rng2(2027);
+  const apps::Image next = apps::shifted_image(frame, 2, 1, 3, rng2);
+
+  // The paper sizes Image Integral at N=20 bits (Section 4.4) so the
+  // running sums fit; crop to keep the totals inside 2^20.
+  apps::Image crop(64, 48);
+  for (int y = 0; y < crop.height(); ++y) {
+    for (int x = 0; x < crop.width(); ++x) crop.set(x, y, frame.at(x, y));
+  }
+  const adders::AdderPtr exact20 = adders::make_adder("rca:20");
+  const adders::AdderPtr approx20 = adders::make_adder("gear:20:5:5");
+  const adders::AdderPtr tight20 = adders::make_adder("gear:20:5:10");
+  const adders::AdderPtr ecc20 = adders::make_adder("gear+ecc:20:5:5");
+
+  std::printf("== Image Integral (2D, N=20 as in the paper) ==\n");
+  const auto ii_exact = apps::integral_2d(crop, *exact20);
+  const auto ii_approx = apps::integral_2d(crop, *approx20);
+  const auto ii_tight = apps::integral_2d(crop, *tight20);
+  const auto ii_ecc = apps::integral_2d(crop, *ecc20);
+  double mean_exact = 0.0;
+  for (const auto& row : ii_exact) {
+    for (auto v : row) mean_exact += static_cast<double>(v);
+  }
+  mean_exact /= static_cast<double>(crop.pixel_count());
+  // The integral recurrence re-reads its own outputs, so every dropped
+  // carry is re-accumulated by all downstream entries — recurrences
+  // amplify approximate-adder error far beyond the per-add rate, which is
+  // why the prediction-length knob matters so much here.
+  std::printf(
+      "  mean |error| / mean value: GeAr(5,5) %.1f%%, GeAr(5,10) %.2f%%, "
+      "GeAr+ecc %.2f%%\n",
+      apps::integral_mean_abs_error(ii_exact, ii_approx) / mean_exact * 100,
+      apps::integral_mean_abs_error(ii_exact, ii_tight) / mean_exact * 100,
+      apps::integral_mean_abs_error(ii_exact, ii_ecc) / mean_exact * 100);
+
+  std::printf("== SAD block matching (8x8 blocks, +/-3 search, N=16) ==\n");
+  // Accumulating 64 terms multiplies the per-add error rate: GeAr(4,4)'s
+  // 5.9%/add means almost every block SAD is perturbed, while GeAr(4,8)'s
+  // 0.18%/add leaves most rankings intact — the accuracy knob in action.
+  const adders::AdderPtr loose = adders::make_adder("gear:16:4:4");
+  const adders::AdderPtr tight = adders::make_adder("gear:16:4:8");
+  std::printf("  best-displacement agreement: GeAr(4,4) %.1f%%, GeAr(4,8) %.1f%%\n",
+              apps::sad_match_rate(frame, next, 8, 8, 3, *loose) * 100,
+              apps::sad_match_rate(frame, next, 8, 8, 3, *tight) * 100);
+
+  std::printf("== 3x3 low-pass filter (12-bit accumulators) ==\n");
+  const adders::AdderPtr exact12 = adders::make_adder("rca:12");
+  const adders::AdderPtr approx12 = adders::make_adder("gear:12:4:4");
+  const adders::AdderPtr ecc12 = adders::make_adder("gear+ecc:12:4:4");
+  const apps::Image lpf_exact = apps::lpf3x3(frame, *exact12);
+  const apps::Image lpf_approx = apps::lpf3x3(frame, *approx12);
+  const apps::Image lpf_ecc = apps::lpf3x3(frame, *ecc12);
+  std::printf("  PSNR vs exact: GeAr(4,4) %.1f dB, GeAr+ecc %s\n",
+              apps::psnr(lpf_exact, lpf_approx),
+              lpf_ecc == lpf_exact ? "bit-exact" : "NOT exact (bug!)");
+  std::printf("  exact-pixel rate: GeAr(4,4) %.1f%%\n",
+              apps::exact_pixel_rate(lpf_exact, lpf_approx) * 100);
+
+  std::printf(
+      "\nTakeaway: plain GeAr keeps application quality high (the paper's\n"
+      "error-resilience argument); enabling correction recovers bit-exact\n"
+      "results when an application phase needs them.\n");
+  return 0;
+}

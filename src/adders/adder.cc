@@ -1,0 +1,15 @@
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+std::uint64_t ApproxAdder::exact(std::uint64_t a, std::uint64_t b) const {
+  const std::uint64_t m = operand_mask();
+  return (a & m) + (b & m);
+}
+
+std::uint64_t ApproxAdder::operand_mask() const {
+  const int n = width();
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+}  // namespace gear::adders

@@ -1,0 +1,53 @@
+// Common interface for all (exact and approximate) adder models.
+//
+// Every adder consumes two N-bit operands and yields an (N+1)-bit result
+// (sum plus carry-out), mirroring the hardware port widths. Approximate
+// adders deviate from a+b on some inputs; is_exact() distinguishes the
+// reference designs (RCA, CLA).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/config.h"
+
+namespace gear::adders {
+
+class ApproxAdder {
+ public:
+  virtual ~ApproxAdder() = default;
+
+  /// Display name used in benchmark tables, e.g. "ACA-II(L=8)".
+  virtual std::string name() const = 0;
+
+  /// Operand width N in bits (1..63).
+  virtual int width() const = 0;
+
+  /// The (possibly approximate) sum; N+1 significant bits.
+  virtual std::uint64_t add(std::uint64_t a, std::uint64_t b) const = 0;
+
+  /// True for designs that always return a+b.
+  virtual bool is_exact() const { return false; }
+
+  /// Longest carry-propagation chain in bits; drives the delay model and
+  /// the paper's latency argument.
+  virtual int max_carry_chain() const = 0;
+
+  /// The GeAr configuration this adder is functionally equivalent to, if
+  /// any (paper Section 3.1 "configuration coverage").
+  virtual std::optional<core::GeArConfig> gear_equivalent() const {
+    return std::nullopt;
+  }
+
+  /// Exact reference for this width.
+  std::uint64_t exact(std::uint64_t a, std::uint64_t b) const;
+
+  /// Mask selecting the low N operand bits.
+  std::uint64_t operand_mask() const;
+};
+
+using AdderPtr = std::unique_ptr<ApproxAdder>;
+
+}  // namespace gear::adders

@@ -1,0 +1,96 @@
+#include "adders/cell_based.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace gear::adders {
+
+namespace {
+
+FaOut exact_fa(bool a, bool b, bool cin) {
+  return {(a != b) != cin, (a && b) || (cin && (a != b))};
+}
+
+}  // namespace
+
+FaOut eval_cell(FaCell cell, bool a, bool b, bool cin) {
+  const FaOut exact = exact_fa(a, b, cin);
+  switch (cell) {
+    case FaCell::kExact:
+      return exact;
+    case FaCell::kAma1:
+      // Gupta AMA1: sum approximated as ~cout (cout exact). Wrong sum on
+      // (0,0,0) and (1,1,1).
+      return {!exact.cout, exact.cout};
+    case FaCell::kAma2:
+      // Sum ignores the carry-in; cout exact. Wrong sum whenever cin=1
+      // and a^b flips it.
+      return {a != b, exact.cout};
+    case FaCell::kAma3:
+      // Aggressive: sum = ~cout, cout = a (majority replaced by one
+      // input). Cheapest cell, worst accuracy.
+      return {!a, a};
+    case FaCell::kAxa2:
+      // XNOR-based sum (correct exactly when cin = 1), exact cout.
+      return {a == b, exact.cout};
+    case FaCell::kTga1:
+      // Transmission-gate variant: exact sum, cout = a.
+      return {exact.sum, a};
+  }
+  return exact;
+}
+
+int cell_error_entries(FaCell cell) {
+  int errors = 0;
+  for (int i = 0; i < 8; ++i) {
+    const bool a = i & 1, b = i & 2, cin = i & 4;
+    const FaOut want = exact_fa(a, b, cin);
+    const FaOut got = eval_cell(cell, a, b, cin);
+    if (got.sum != want.sum) ++errors;
+    if (got.cout != want.cout) ++errors;
+  }
+  return errors;
+}
+
+const char* cell_name(FaCell cell) {
+  switch (cell) {
+    case FaCell::kExact: return "FA";
+    case FaCell::kAma1: return "AMA1";
+    case FaCell::kAma2: return "AMA2";
+    case FaCell::kAma3: return "AMA3";
+    case FaCell::kAxa2: return "AXA2";
+    case FaCell::kTga1: return "TGA1";
+  }
+  return "?";
+}
+
+CellBasedAdder::CellBasedAdder(int n, int approx_bits, FaCell cell)
+    : n_(n), approx_bits_(approx_bits), cell_(cell) {
+  assert(n >= 1 && n <= 63);
+  assert(approx_bits >= 0 && approx_bits <= n);
+}
+
+std::string CellBasedAdder::name() const {
+  std::ostringstream os;
+  os << cell_name(cell_) << "(low=" << approx_bits_ << ")";
+  return os.str();
+}
+
+std::uint64_t CellBasedAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  std::uint64_t sum = 0;
+  bool carry = false;
+  for (int i = 0; i < n_; ++i) {
+    const bool ai = (a >> i) & 1ULL;
+    const bool bi = (b >> i) & 1ULL;
+    const FaCell cell = i < approx_bits_ ? cell_ : FaCell::kExact;
+    const FaOut out = eval_cell(cell, ai, bi, carry);
+    sum |= static_cast<std::uint64_t>(out.sum) << i;
+    carry = out.cout;
+  }
+  sum |= static_cast<std::uint64_t>(carry) << n_;
+  return sum;
+}
+
+}  // namespace gear::adders

@@ -1,0 +1,65 @@
+// Cell-level approximate adders (Gupta et al., IEEE TCAD'13 — the
+// paper's reference [12]).
+//
+// Instead of cutting carry chains (GeAr/ACA/ETA), this family substitutes
+// simplified full-adder *cells* in the low-order bits: each Approximate
+// Mirror Adder (AMA) variant trades transistor count for wrong entries in
+// the FA truth table. We model the standard variants by their published
+// truth tables and compose an adder whose low `approx_bits` positions use
+// an approximate cell and whose upper part is exact.
+//
+// This gives the benchmark suite a structurally different baseline
+// against which GeAr's windowing approach can be compared at equal error
+// budgets.
+#pragma once
+
+#include <array>
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+/// Approximate full-adder cell variants. kExact is the true FA.
+enum class FaCell {
+  kExact,
+  kAma1,  ///< mirror adder approximation 1: sum = ~cout with two errors
+  kAma2,  ///< sum = a^b (carry ignored in sum), cout exact
+  kAma3,  ///< AMA1 sum simplification + cout = a (majority dropped)
+  kAxa2,  ///< XOR/XNOR-based: sum = ~(a^b) (wrong when cin=0), cout exact
+  kTga1,  ///< transmission-gate variant: cout = a, sum = exact-sum table
+};
+
+struct FaOut {
+  bool sum;
+  bool cout;
+};
+
+/// Truth-table evaluation of one cell.
+FaOut eval_cell(FaCell cell, bool a, bool b, bool cin);
+
+/// Number of wrong (sum, cout) entries out of the 8 input combinations.
+int cell_error_entries(FaCell cell);
+
+/// Human-readable cell name.
+const char* cell_name(FaCell cell);
+
+/// N-bit adder whose low `approx_bits` positions use `cell` and whose
+/// remaining positions are exact full adders (carry ripples throughout).
+class CellBasedAdder final : public ApproxAdder {
+ public:
+  CellBasedAdder(int n, int approx_bits, FaCell cell);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// The carry still ripples through all N bits (cells approximate
+  /// values, not timing).
+  int max_carry_chain() const override { return n_; }
+  int approx_bits() const { return approx_bits_; }
+  FaCell cell() const { return cell_; }
+
+ private:
+  int n_, approx_bits_;
+  FaCell cell_;
+};
+
+}  // namespace gear::adders

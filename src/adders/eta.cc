@@ -1,0 +1,138 @@
+#include "adders/eta.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace gear::adders {
+
+namespace {
+inline std::uint64_t low_mask(int bits) {
+  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+}  // namespace
+
+EtaiAdder::EtaiAdder(int n, int accurate_bits) : n_(n), accurate_(accurate_bits) {
+  assert(n >= 2 && n <= 63);
+  assert(accurate_bits >= 1 && accurate_bits <= n);
+}
+
+std::string EtaiAdder::name() const {
+  std::ostringstream os;
+  os << "ETAI(acc=" << accurate_ << ")";
+  return os.str();
+}
+
+std::uint64_t EtaiAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  const int inacc = n_ - accurate_;
+  // Accurate upper part: normal addition with no carry-in from below.
+  const std::uint64_t ua = a >> inacc;
+  const std::uint64_t ub = b >> inacc;
+  std::uint64_t sum = (ua + ub) << inacc;
+  // Inaccurate lower part, MSB->LSB.
+  bool saturate = false;
+  for (int i = inacc - 1; i >= 0; --i) {
+    const bool ai = (a >> i) & 1ULL;
+    const bool bi = (b >> i) & 1ULL;
+    if (saturate) {
+      sum |= 1ULL << i;
+    } else if (ai && bi) {
+      saturate = true;
+      sum |= 1ULL << i;
+    } else if (ai != bi) {
+      sum |= 1ULL << i;
+    }
+  }
+  return sum;
+}
+
+EtaiiAdder::EtaiiAdder(int n, int segment) : n_(n), segment_(segment) {
+  assert(n >= 2 && n <= 63);
+  assert(segment >= 1 && segment < n);
+  assert(n % segment == 0);
+}
+
+std::string EtaiiAdder::name() const {
+  std::ostringstream os;
+  os << "ETAII(X=" << segment_ << ")";
+  return os.str();
+}
+
+std::uint64_t EtaiiAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  std::uint64_t sum = 0;
+  std::uint64_t top_carry = 0;
+  for (int lo = 0; lo < n_; lo += segment_) {
+    // Carry generator: exact carry over the previous segment with cin 0.
+    std::uint64_t cin = 0;
+    if (lo > 0) {
+      const std::uint64_t pa = (a >> (lo - segment_)) & low_mask(segment_);
+      const std::uint64_t pb = (b >> (lo - segment_)) & low_mask(segment_);
+      cin = ((pa + pb) >> segment_) & 1ULL;
+    }
+    const std::uint64_t sa = (a >> lo) & low_mask(segment_);
+    const std::uint64_t sb = (b >> lo) & low_mask(segment_);
+    const std::uint64_t s = sa + sb + cin;
+    sum |= (s & low_mask(segment_)) << lo;
+    top_carry = (s >> segment_) & 1ULL;
+  }
+  sum |= top_carry << n_;
+  return sum;
+}
+
+std::optional<core::GeArConfig> EtaiiAdder::gear_equivalent() const {
+  return core::GeArConfig::make(n_, segment_, segment_);
+}
+
+EtaiimAdder::EtaiimAdder(int n, int segment, int msb_chained)
+    : n_(n), segment_(segment), msb_chained_(msb_chained) {
+  assert(n >= 2 && n <= 63);
+  assert(segment >= 1 && segment < n);
+  assert(n % segment == 0);
+  assert(msb_chained >= 0 && msb_chained <= n / segment);
+}
+
+std::string EtaiimAdder::name() const {
+  std::ostringstream os;
+  os << "ETAIIM(X=" << segment_ << ",M=" << msb_chained_ << ")";
+  return os.str();
+}
+
+std::uint64_t EtaiimAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  const int segments = n_ / segment_;
+  std::uint64_t sum = 0;
+  std::uint64_t top_carry = 0;
+  for (int s = 0; s < segments; ++s) {
+    const int lo = s * segment_;
+    std::uint64_t cin = 0;
+    if (s >= segments - msb_chained_) {
+      // Chained generators: exact carry over all lower bits.
+      cin = (((a & low_mask(lo)) + (b & low_mask(lo))) >> lo) & 1ULL;
+    } else if (s > 0) {
+      const std::uint64_t pa = (a >> (lo - segment_)) & low_mask(segment_);
+      const std::uint64_t pb = (b >> (lo - segment_)) & low_mask(segment_);
+      cin = ((pa + pb) >> segment_) & 1ULL;
+    }
+    const std::uint64_t sa = (a >> lo) & low_mask(segment_);
+    const std::uint64_t sb = (b >> lo) & low_mask(segment_);
+    const std::uint64_t x = sa + sb + cin;
+    sum |= (x & low_mask(segment_)) << lo;
+    top_carry = (x >> segment_) & 1ULL;
+  }
+  sum |= top_carry << n_;
+  return sum;
+}
+
+int EtaiimAdder::max_carry_chain() const {
+  // The deepest chained MSB generator spans all bits below the top
+  // `msb_chained` segments, plus that segment itself.
+  if (msb_chained_ == 0) return 2 * segment_;
+  const int chained_lo = n_ - msb_chained_ * segment_;
+  return chained_lo + segment_;
+}
+
+}  // namespace gear::adders

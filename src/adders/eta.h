@@ -1,0 +1,65 @@
+// Error-Tolerant Adders (Zhu, Goh, Yeo — ISIC'09): ETAI, ETAII, ETAIIM.
+//
+// ETAI splits the operands into an accurate upper part (normal addition,
+// no carry-in from below) and an inaccurate lower part evaluated MSB->LSB:
+// bits are XOR-summed until the first position where both operand bits are
+// 1, from which point every lower sum bit is forced to 1.
+//
+// ETAII tiles the operands into `segment`-bit sum units, each fed by a
+// carry generator spanning the previous segment — functionally
+// GeAr(R=segment, P=segment).
+//
+// ETAIIM chains the carry generators of the top `msb_chained` segments so
+// MSB sums see an exact carry computed over all lower bits.
+#pragma once
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+class EtaiAdder final : public ApproxAdder {
+ public:
+  /// `accurate_bits` is the width of the exact upper part.
+  EtaiAdder(int n, int accurate_bits);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  int max_carry_chain() const override { return accurate_; }
+  int accurate_bits() const { return accurate_; }
+
+ private:
+  int n_, accurate_;
+};
+
+class EtaiiAdder final : public ApproxAdder {
+ public:
+  /// `segment` divides n.
+  EtaiiAdder(int n, int segment);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  int max_carry_chain() const override { return 2 * segment_; }
+  std::optional<core::GeArConfig> gear_equivalent() const override;
+  int segment() const { return segment_; }
+
+ private:
+  int n_, segment_;
+};
+
+class EtaiimAdder final : public ApproxAdder {
+ public:
+  /// Like ETAII but the top `msb_chained` segment boundaries receive an
+  /// exact carry (their generators are chained down to bit 0).
+  EtaiimAdder(int n, int segment, int msb_chained);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  int max_carry_chain() const override;
+  int segment() const { return segment_; }
+  int msb_chained() const { return msb_chained_; }
+
+ private:
+  int n_, segment_, msb_chained_;
+};
+
+}  // namespace gear::adders

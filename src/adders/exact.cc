@@ -1,0 +1,61 @@
+#include "adders/exact.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace gear::adders {
+
+RcaAdder::RcaAdder(int n) : n_(n) { assert(n >= 1 && n <= 63); }
+
+std::uint64_t RcaAdder::add(std::uint64_t a, std::uint64_t b) const {
+  // Explicit full-adder recurrence (rather than '+') so this model is a
+  // genuine reference for the gate-level ripple builder.
+  a &= operand_mask();
+  b &= operand_mask();
+  std::uint64_t sum = 0;
+  std::uint64_t carry = 0;
+  for (int i = 0; i < n_; ++i) {
+    const std::uint64_t ai = (a >> i) & 1ULL;
+    const std::uint64_t bi = (b >> i) & 1ULL;
+    sum |= (ai ^ bi ^ carry) << i;
+    carry = (ai & bi) | (carry & (ai ^ bi));
+  }
+  sum |= carry << n_;
+  return sum;
+}
+
+ClaAdder::ClaAdder(int n, int block) : n_(n), block_(block) {
+  assert(n >= 1 && n <= 63);
+  assert(block >= 1 && block <= n);
+}
+
+std::string ClaAdder::name() const {
+  std::ostringstream os;
+  os << "CLA(B=" << block_ << ")";
+  return os.str();
+}
+
+std::uint64_t ClaAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  const std::uint64_t g = a & b;
+  const std::uint64_t p = a ^ b;
+  std::uint64_t sum = 0;
+  std::uint64_t block_cin = 0;
+  for (int lo = 0; lo < n_; lo += block_) {
+    const int len = std::min(block_, n_ - lo);
+    // Lookahead within the block: c[i+1] = g[i] | p[i]c[i], unrolled.
+    std::uint64_t c = block_cin;
+    for (int i = 0; i < len; ++i) {
+      const std::uint64_t gi = (g >> (lo + i)) & 1ULL;
+      const std::uint64_t pi = (p >> (lo + i)) & 1ULL;
+      sum |= (pi ^ c) << (lo + i);
+      c = gi | (pi & c);
+    }
+    block_cin = c;
+  }
+  sum |= block_cin << n_;
+  return sum;
+}
+
+}  // namespace gear::adders

@@ -1,0 +1,46 @@
+// Exact reference adders: ripple-carry and carry-lookahead.
+//
+// Both compute a+b exactly; they differ in the gate-level structure the
+// synthesis substrate builds for them (carry chain vs lookahead tree),
+// which is what Tables I/II/IV's delay and area columns measure. The
+// functional models here additionally exercise the bit-level recurrences
+// so the netlist builders can be cross-checked against them.
+#pragma once
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+/// N-bit ripple-carry adder (the paper's accuracy benchmark).
+class RcaAdder final : public ApproxAdder {
+ public:
+  explicit RcaAdder(int n);
+  std::string name() const override { return "RCA"; }
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  bool is_exact() const override { return true; }
+  int max_carry_chain() const override { return n_; }
+
+ private:
+  int n_;
+};
+
+/// N-bit carry-lookahead adder with `block` wide lookahead groups,
+/// rippling between groups. Functionally exact.
+class ClaAdder final : public ApproxAdder {
+ public:
+  ClaAdder(int n, int block = 4);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  bool is_exact() const override { return true; }
+  /// Lookahead shortens the effective chain to one block per level.
+  int max_carry_chain() const override { return block_; }
+  int block() const { return block_; }
+
+ private:
+  int n_;
+  int block_;
+};
+
+}  // namespace gear::adders

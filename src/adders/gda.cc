@@ -1,0 +1,104 @@
+#include "adders/gda.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace gear::adders {
+
+namespace {
+inline std::uint64_t low_mask(int bits) {
+  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+/// Carry-lookahead over bits [lo, lo+len) with carry-in 0: group generate.
+/// Computed with the CLA recurrence (G, P per level) to mirror the
+/// hierarchical prediction tree, though the value equals the plain carry.
+std::uint64_t cla_group_generate(std::uint64_t a, std::uint64_t b, int lo, int len) {
+  std::uint64_t g = 0;  // group generate accumulated LSB->MSB
+  for (int i = 0; i < len; ++i) {
+    const std::uint64_t ai = (a >> (lo + i)) & 1ULL;
+    const std::uint64_t bi = (b >> (lo + i)) & 1ULL;
+    const std::uint64_t gi = ai & bi;
+    const std::uint64_t pi = ai ^ bi;
+    g = gi | (pi & g);
+  }
+  return g;
+}
+}  // namespace
+
+GdaAdder::GdaAdder(int n, int mb, int mc)
+    : n_(n), mb_(mb), mc_(mc),
+      ripple_select_(static_cast<std::size_t>(n / mb - 1), false) {
+  assert(n >= 2 && n <= 63);
+  assert(mb >= 1 && n % mb == 0);
+  assert(mc >= 1 && mc % mb == 0 && mc < n);
+}
+
+void GdaAdder::set_ripple_select(const std::vector<bool>& select) {
+  assert(select.size() == ripple_select_.size());
+  ripple_select_ = select;
+}
+
+void GdaAdder::set_fully_exact() {
+  ripple_select_.assign(ripple_select_.size(), true);
+}
+
+int GdaAdder::max_carry_chain() const {
+  // A chain either restarts at a prediction unit (min(mc, lo) lookahead
+  // bits feeding the block) or, at a rippled boundary, continues through
+  // the previous run.
+  int chain = mb_;  // block 0 has carry-in 0
+  int run = mb_;
+  int lo = mb_;
+  for (bool ripple : ripple_select_) {
+    run = ripple ? run + mb_ : std::min(mc_, lo) + mb_;
+    chain = std::max(chain, run);
+    lo += mb_;
+  }
+  return chain;
+}
+
+std::string GdaAdder::name() const {
+  std::ostringstream os;
+  os << "GDA(" << mb_ << "," << mc_ << ")";
+  return os.str();
+}
+
+std::uint64_t GdaAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  std::uint64_t sum = 0;
+  std::uint64_t prev_carry = 0;
+  std::uint64_t top_carry = 0;
+  for (int lo = 0; lo < n_; lo += mb_) {
+    std::uint64_t cin = 0;
+    if (lo > 0) {
+      const bool ripple = ripple_select_[static_cast<std::size_t>(lo / mb_ - 1)];
+      if (ripple) {
+        cin = prev_carry;
+      } else {
+        const int pred = std::min(mc_, lo);
+        cin = cla_group_generate(a, b, lo - pred, pred);
+      }
+    }
+    const std::uint64_t sa = (a >> lo) & low_mask(mb_);
+    const std::uint64_t sb = (b >> lo) & low_mask(mb_);
+    const std::uint64_t s = sa + sb + cin;
+    sum |= (s & low_mask(mb_)) << lo;
+    prev_carry = (s >> mb_) & 1ULL;
+    top_carry = prev_carry;
+  }
+  sum |= top_carry << n_;
+  return sum;
+}
+
+std::optional<core::GeArConfig> GdaAdder::gear_equivalent() const {
+  // Only the uniform all-prediction mode maps onto a GeAr configuration.
+  for (bool ripple : ripple_select_) {
+    if (ripple) return std::nullopt;
+  }
+  return core::GeArConfig::make(n_, mb_, mc_);
+}
+
+}  // namespace gear::adders

@@ -1,0 +1,53 @@
+// Gracefully-Degrading Adder (Ye, Wang, Yuan, Kumar, Xu — ICCAD'13).
+//
+// GDA tiles the operands into M_B-bit sum blocks. The carry into each
+// block is chosen by a multiplexer between (a) the previous block's carry
+// and (b) a prediction computed by a hierarchical carry-lookahead tree
+// over the previous M_C bits (M_C a multiple of M_B). This model covers
+// the uniform configurations the paper compares against: every block uses
+// an M_C-bit prediction with zero carry-in at its base.
+//
+// The mux setting is runtime-configurable (`set_ripple_select`), mirroring
+// GDA's graceful degradation: each boundary independently takes either the
+// M_C-bit prediction or the previous block's rippled carry (exact).
+//
+// Functionally a uniform GDA equals GeAr(R=M_B, P=M_C); the hardware
+// differs (CLA prediction tree vs embedded previous bits), which is why
+// the paper's Table II shows GDA costing more delay and area at equal
+// accuracy. Our synthesis substrate reproduces that structural difference.
+#pragma once
+
+#include <vector>
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+class GdaAdder final : public ApproxAdder {
+ public:
+  /// `mb` divides n; `mc` is a positive multiple of `mb` with mc < n.
+  GdaAdder(int n, int mb, int mc);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// Prediction depth in bits plus the block itself (prediction mode).
+  int max_carry_chain() const override;
+  std::optional<core::GeArConfig> gear_equivalent() const override;
+  int mb() const { return mb_; }
+  int mc() const { return mc_; }
+
+  /// Runtime carry-select state, one bit per internal block boundary
+  /// (boundary i sits below block i+1): false = M_C-bit prediction,
+  /// true = previous block's rippled carry (exact). Matches the "cfg"
+  /// input bus of netlist::build_gda. All-false by default.
+  void set_ripple_select(const std::vector<bool>& select);
+  const std::vector<bool>& ripple_select() const { return ripple_select_; }
+  /// Degrades every boundary to the exact rippled carry.
+  void set_fully_exact();
+
+ private:
+  int n_, mb_, mc_;
+  std::vector<bool> ripple_select_;
+};
+
+}  // namespace gear::adders

@@ -1,0 +1,42 @@
+#include "adders/gear_adapter.h"
+
+#include <sstream>
+
+namespace gear::adders {
+
+GearAdapter::GearAdapter(core::GeArConfig cfg) : adder_(std::move(cfg)) {}
+
+std::string GearAdapter::name() const {
+  std::ostringstream os;
+  os << "GeAr(" << adder_.config().r() << "," << adder_.config().p() << ")";
+  return os.str();
+}
+
+std::uint64_t GearAdapter::add(std::uint64_t a, std::uint64_t b) const {
+  return adder_.add_value(a, b);
+}
+
+GearCorrectedAdapter::GearCorrectedAdapter(core::GeArConfig cfg, std::uint64_t mask)
+    : corrector_(std::move(cfg), mask) {}
+
+std::string GearCorrectedAdapter::name() const {
+  std::ostringstream os;
+  os << "GeAr(" << corrector_.config().r() << "," << corrector_.config().p()
+     << ")+ecc";
+  return os.str();
+}
+
+std::uint64_t GearCorrectedAdapter::add(std::uint64_t a, std::uint64_t b) const {
+  return corrector_.add(a, b).sum;
+}
+
+bool GearCorrectedAdapter::is_exact() const {
+  // Exact when every sub-adder past the first is enabled for correction.
+  const int k = corrector_.config().k();
+  for (int j = 1; j < k; ++j) {
+    if (!((corrector_.enabled_mask() >> j) & 1ULL)) return false;
+  }
+  return true;
+}
+
+}  // namespace gear::adders

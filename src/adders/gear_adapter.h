@@ -1,0 +1,51 @@
+// GeAr adders (with and without correction) behind the ApproxAdder
+// interface, so the metrics/benchmark machinery treats them uniformly
+// with the baselines.
+#pragma once
+
+#include "adders/adder.h"
+#include "core/adder.h"
+#include "core/correction.h"
+
+namespace gear::adders {
+
+/// Plain approximate GeAr adder.
+class GearAdapter final : public ApproxAdder {
+ public:
+  explicit GearAdapter(core::GeArConfig cfg);
+  std::string name() const override;
+  int width() const override { return adder_.config().n(); }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  int max_carry_chain() const override { return adder_.config().max_carry_chain(); }
+  std::optional<core::GeArConfig> gear_equivalent() const override {
+    return adder_.config();
+  }
+  const core::GeArAdder& gear() const { return adder_; }
+
+ private:
+  core::GeArAdder adder_;
+};
+
+/// GeAr adder with the multi-cycle error correction applied for the
+/// sub-adders enabled in `mask` (value semantics: add() returns the
+/// corrected sum; cycle accounting is available via corrector()).
+class GearCorrectedAdapter final : public ApproxAdder {
+ public:
+  GearCorrectedAdapter(core::GeArConfig cfg, std::uint64_t mask);
+  std::string name() const override;
+  int width() const override { return corrector_.config().n(); }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  bool is_exact() const override;
+  int max_carry_chain() const override {
+    return corrector_.config().max_carry_chain();
+  }
+  std::optional<core::GeArConfig> gear_equivalent() const override {
+    return corrector_.config();
+  }
+  const core::Corrector& corrector() const { return corrector_; }
+
+ private:
+  core::Corrector corrector_;
+};
+
+}  // namespace gear::adders

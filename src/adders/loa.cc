@@ -1,0 +1,30 @@
+#include "adders/loa.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace gear::adders {
+
+LoaAdder::LoaAdder(int n, int lower) : n_(n), lower_(lower) {
+  assert(n >= 2 && n <= 63);
+  assert(lower >= 1 && lower < n);
+}
+
+std::string LoaAdder::name() const {
+  std::ostringstream os;
+  os << "LOA(low=" << lower_ << ")";
+  return os.str();
+}
+
+std::uint64_t LoaAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  const std::uint64_t lmask = (1ULL << lower_) - 1;
+  const std::uint64_t low = (a | b) & lmask;
+  // Carry-in speculated from the AND of the lower part's top bits.
+  const std::uint64_t cin = ((a >> (lower_ - 1)) & (b >> (lower_ - 1))) & 1ULL;
+  const std::uint64_t up = (a >> lower_) + (b >> lower_) + cin;
+  return (up << lower_) | low;
+}
+
+}  // namespace gear::adders

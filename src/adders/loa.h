@@ -1,0 +1,24 @@
+// Lower-part OR Adder (Gupta et al., IEEE TCAD'13) — an additional
+// baseline from the paper's related work: the low `lower` bits are
+// approximated by OR, the upper part is added exactly with a carry-in
+// speculated from the AND of the lower part's MSBs.
+#pragma once
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+class LoaAdder final : public ApproxAdder {
+ public:
+  LoaAdder(int n, int lower);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  int max_carry_chain() const override { return n_ - lower_; }
+  int lower() const { return lower_; }
+
+ private:
+  int n_, lower_;
+};
+
+}  // namespace gear::adders

@@ -1,0 +1,51 @@
+#include "adders/multiplier.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "adders/registry.h"
+
+namespace gear::adders {
+
+ApproxMultiplier::ApproxMultiplier(int n, const ApproxAdder& adder)
+    : n_(n), adder_(adder) {
+  assert(n >= 1 && n <= 31);
+  assert(adder.width() == 2 * n);
+  operand_mask_ = (1ULL << n) - 1;
+}
+
+std::string ApproxMultiplier::name() const {
+  std::ostringstream os;
+  os << "Mult" << n_ << "x" << n_ << "[" << adder_.name() << "]";
+  return os.str();
+}
+
+std::uint64_t ApproxMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask_;
+  b &= operand_mask_;
+  const std::uint64_t product_mask = (1ULL << (2 * n_)) - 1;
+  std::uint64_t acc = 0;
+  for (int i = 0; i < n_; ++i) {
+    if ((a >> i) & 1ULL) {
+      acc = adder_.add(acc, b << i) & product_mask;
+    }
+  }
+  return acc;
+}
+
+std::uint64_t ApproxMultiplier::exact(std::uint64_t a, std::uint64_t b) const {
+  return (a & operand_mask_) * (b & operand_mask_);
+}
+
+GearMultiplier make_gear_multiplier(int n, int r, int p) {
+  if (n < 1 || n > 31) throw std::invalid_argument("make_gear_multiplier: bad n");
+  std::ostringstream spec;
+  spec << "gear:" << 2 * n << ":" << r << ":" << p;
+  GearMultiplier out;
+  out.adder = make_adder(spec.str());
+  out.mult = std::make_unique<ApproxMultiplier>(n, *out.adder);
+  return out;
+}
+
+}  // namespace gear::adders

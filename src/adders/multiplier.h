@@ -1,0 +1,52 @@
+// Approximate multiplier built from a configurable adder.
+//
+// The paper motivates GeAr with multiply-accumulate-heavy image/DSP
+// workloads; this extension composes one: an N x N -> 2N-bit shift-add
+// multiplier whose partial-product accumulation runs through any
+// ApproxAdder of width 2N (exact RCA, GeAr, ACA-II, ...). The adder's
+// missing-carry behaviour propagates into product error exactly as it
+// would in an iterative hardware multiplier that reuses one adder.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+class ApproxMultiplier {
+ public:
+  /// `n` is the operand width (1..31); `adder` must have width 2n and
+  /// must outlive the multiplier.
+  ApproxMultiplier(int n, const ApproxAdder& adder);
+
+  int width() const { return n_; }
+  const ApproxAdder& adder() const { return adder_; }
+  std::string name() const;
+
+  /// The (possibly approximate) 2N-bit product.
+  std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const;
+
+  /// Exact reference product.
+  std::uint64_t exact(std::uint64_t a, std::uint64_t b) const;
+
+ private:
+  int n_;
+  const ApproxAdder& adder_;
+  std::uint64_t operand_mask_;
+};
+
+/// Owning bundle: a GeAr-based multiplier with its adder.
+struct GearMultiplier {
+  AdderPtr adder;
+  std::unique_ptr<ApproxMultiplier> mult;
+};
+
+/// Builds an n x n multiplier accumulating through GeAr(2n, r, p)
+/// (relaxed geometry allowed). Throws std::invalid_argument when the
+/// configuration is invalid.
+GearMultiplier make_gear_multiplier(int n, int r, int p);
+
+}  // namespace gear::adders

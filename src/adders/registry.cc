@@ -1,0 +1,138 @@
+#include "adders/registry.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "adders/eta.h"
+#include "adders/exact.h"
+#include "adders/gda.h"
+#include "adders/gear_adapter.h"
+#include "adders/cell_based.h"
+#include "adders/loa.h"
+#include "adders/speculative.h"
+#include "core/config.h"
+
+namespace gear::adders {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, delim)) parts.push_back(item);
+  return parts;
+}
+
+int to_int(const std::string& s) {
+  std::size_t pos = 0;
+  const int v = std::stoi(s, &pos);
+  if (pos != s.size()) throw std::invalid_argument("make_adder: bad integer '" + s + "'");
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("make_adder: '" + spec + "': " + why);
+}
+
+void expect_args(const std::string& spec, const std::vector<std::string>& parts,
+                 std::size_t lo, std::size_t hi) {
+  if (parts.size() < lo + 1 || parts.size() > hi + 1) {
+    fail(spec, "wrong number of arguments");
+  }
+}
+
+core::GeArConfig parse_gear(const std::string& spec,
+                            const std::vector<std::string>& parts) {
+  // Relaxed geometry: the paper's own Table I uses GeAr(4,2)/(4,6) at
+  // N=16, which need the MSB-clamped top sub-adder (see GeArConfig).
+  auto cfg = core::GeArConfig::make_relaxed(to_int(parts[1]), to_int(parts[2]),
+                                            to_int(parts[3]));
+  if (!cfg) fail(spec, "invalid GeAr configuration");
+  return *cfg;
+}
+
+}  // namespace
+
+AdderPtr make_adder(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.empty()) fail(spec, "empty spec");
+  const std::string& family = parts[0];
+
+  try {
+    if (family == "rca") {
+      expect_args(spec, parts, 1, 1);
+      return std::make_unique<RcaAdder>(to_int(parts[1]));
+    }
+    if (family == "cla") {
+      expect_args(spec, parts, 1, 2);
+      const int block = parts.size() > 2 ? to_int(parts[2]) : 4;
+      return std::make_unique<ClaAdder>(to_int(parts[1]), block);
+    }
+    if (family == "aca1") {
+      expect_args(spec, parts, 2, 2);
+      return std::make_unique<Aca1Adder>(to_int(parts[1]), to_int(parts[2]));
+    }
+    if (family == "aca2") {
+      expect_args(spec, parts, 2, 2);
+      return std::make_unique<Aca2Adder>(to_int(parts[1]), to_int(parts[2]));
+    }
+    if (family == "etai") {
+      expect_args(spec, parts, 2, 2);
+      return std::make_unique<EtaiAdder>(to_int(parts[1]), to_int(parts[2]));
+    }
+    if (family == "etaii") {
+      expect_args(spec, parts, 2, 2);
+      return std::make_unique<EtaiiAdder>(to_int(parts[1]), to_int(parts[2]));
+    }
+    if (family == "etaiim") {
+      expect_args(spec, parts, 3, 3);
+      return std::make_unique<EtaiimAdder>(to_int(parts[1]), to_int(parts[2]),
+                                           to_int(parts[3]));
+    }
+    if (family == "gda") {
+      expect_args(spec, parts, 3, 3);
+      return std::make_unique<GdaAdder>(to_int(parts[1]), to_int(parts[2]),
+                                        to_int(parts[3]));
+    }
+    if (family == "gear") {
+      expect_args(spec, parts, 3, 3);
+      return std::make_unique<GearAdapter>(parse_gear(spec, parts));
+    }
+    if (family == "gear+ecc") {
+      expect_args(spec, parts, 3, 3);
+      return std::make_unique<GearCorrectedAdapter>(parse_gear(spec, parts),
+                                                    core::Corrector::all_enabled());
+    }
+    if (family == "loa") {
+      expect_args(spec, parts, 2, 2);
+      return std::make_unique<LoaAdder>(to_int(parts[1]), to_int(parts[2]));
+    }
+    if (family == "cell") {
+      expect_args(spec, parts, 3, 3);
+      FaCell cell;
+      const std::string& which = parts[3];
+      if (which == "ama1") cell = FaCell::kAma1;
+      else if (which == "ama2") cell = FaCell::kAma2;
+      else if (which == "ama3") cell = FaCell::kAma3;
+      else if (which == "axa2") cell = FaCell::kAxa2;
+      else if (which == "tga1") cell = FaCell::kTga1;
+      else if (which == "exact") cell = FaCell::kExact;
+      else fail(spec, "unknown cell '" + which + "'");
+      return std::make_unique<CellBasedAdder>(to_int(parts[1]), to_int(parts[2]),
+                                              cell);
+    }
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception& e) {
+    fail(spec, e.what());
+  }
+  fail(spec, "unknown family '" + family + "'");
+}
+
+std::vector<std::string> known_families() {
+  return {"rca",    "cla",   "aca1", "aca2", "etai",     "etaii",
+          "etaiim", "gda",   "gear", "gear+ecc", "loa",  "cell"};
+}
+
+}  // namespace gear::adders

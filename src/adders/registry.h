@@ -1,0 +1,31 @@
+// Factory for adder models by specification string.
+//
+// Spec grammar (width-first):
+//   "rca:N"            exact ripple-carry
+//   "cla:N[:B]"        exact carry-lookahead, block B (default 4)
+//   "aca1:N:L"         ACA-I with L-bit windows
+//   "aca2:N:L"         ACA-II with L-bit windows
+//   "etai:N:ACC"       ETAI with ACC accurate upper bits
+//   "etaii:N:X"        ETAII with X-bit segments
+//   "etaiim:N:X:M"     ETAIIM with M chained MSB segments
+//   "gda:N:MB:MC"      GDA with MB-bit blocks, MC prediction bits
+//   "gear:N:R:P"       GeAr approximate
+//   "gear+ecc:N:R:P"   GeAr with full error correction
+//   "loa:N:LOW"        lower-part OR adder
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+/// Parses `spec` and builds the adder. Throws std::invalid_argument on a
+/// malformed spec or invalid parameters.
+AdderPtr make_adder(const std::string& spec);
+
+/// All recognised family prefixes (for help text / enumeration tests).
+std::vector<std::string> known_families();
+
+}  // namespace gear::adders

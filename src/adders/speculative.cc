@@ -1,0 +1,93 @@
+#include "adders/speculative.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace gear::adders {
+
+namespace {
+inline std::uint64_t low_mask(int bits) {
+  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+}  // namespace
+
+Aca1Adder::Aca1Adder(int n, int l) : n_(n), l_(l) {
+  assert(n >= 2 && n <= 63);
+  assert(l >= 2 && l <= n);
+}
+
+std::string Aca1Adder::name() const {
+  std::ostringstream os;
+  os << "ACA-I(L=" << l_ << ")";
+  return os.str();
+}
+
+std::uint64_t Aca1Adder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  std::uint64_t sum = 0;
+  // Bits below l-1 come from the first window's exact sum.
+  const std::uint64_t w0 = (a & low_mask(l_)) + (b & low_mask(l_));
+  sum |= w0 & low_mask(l_ - 1);
+  // Bit i (i >= l-1) is bit l-1 of the window sum over [i-l+1, i].
+  for (int i = l_ - 1; i < n_; ++i) {
+    const int lo = i - l_ + 1;
+    const std::uint64_t wa = (a >> lo) & low_mask(l_);
+    const std::uint64_t wb = (b >> lo) & low_mask(l_);
+    const std::uint64_t w = wa + wb;
+    sum |= ((w >> (l_ - 1)) & 1ULL) << i;
+  }
+  // Carry-out speculated from the top window.
+  {
+    const int lo = n_ - l_;
+    const std::uint64_t w = ((a >> lo) & low_mask(l_)) + ((b >> lo) & low_mask(l_));
+    sum |= ((w >> l_) & 1ULL) << n_;
+  }
+  return sum;
+}
+
+std::optional<core::GeArConfig> Aca1Adder::gear_equivalent() const {
+  return core::GeArConfig::make(n_, 1, l_ - 1);
+}
+
+Aca2Adder::Aca2Adder(int n, int l) : n_(n), l_(l) {
+  assert(n >= 2 && n <= 63);
+  assert(l >= 2 && l % 2 == 0 && l <= n);
+  assert(n % (l / 2) == 0);
+}
+
+std::string Aca2Adder::name() const {
+  std::ostringstream os;
+  os << "ACA-II(L=" << l_ << ")";
+  return os.str();
+}
+
+std::uint64_t Aca2Adder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  const int r = l_ / 2;
+  std::uint64_t sum = 0;
+  // First window contributes all l bits.
+  const std::uint64_t w0 = (a & low_mask(l_)) + (b & low_mask(l_));
+  sum |= w0 & low_mask(std::min(l_, n_));
+  std::uint64_t carry = (w0 >> l_) & 1ULL;
+  // Each subsequent window [lo, lo+l) contributes its top r bits.
+  for (int res_lo = l_; res_lo < n_; res_lo += r) {
+    const int lo = res_lo - r;
+    const int wlen = std::min(l_, n_ - lo);
+    const std::uint64_t w =
+        ((a >> lo) & low_mask(wlen)) + ((b >> lo) & low_mask(wlen));
+    const int res_len = wlen - r;
+    sum |= ((w >> r) & low_mask(res_len)) << res_lo;
+    carry = (w >> wlen) & 1ULL;
+  }
+  sum |= carry << n_;
+  return sum;
+}
+
+std::optional<core::GeArConfig> Aca2Adder::gear_equivalent() const {
+  return core::GeArConfig::make(n_, l_ / 2, l_ / 2);
+}
+
+}  // namespace gear::adders

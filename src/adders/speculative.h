@@ -1,0 +1,49 @@
+// Speculative overlapping-window adders: ACA-I (Verma et al., DATE'08)
+// and ACA-II (Kahng & Kang, DAC'12).
+//
+// Both compute each result bit (ACA-I) or each R-bit result group (ACA-II)
+// from a fixed-length window of lower bits, speculating that no carry
+// propagates past the window. They are implemented here from their
+// original formulations — independently of the GeAr model — and the test
+// suite verifies the paper's coverage claims: ACA-I(L) == GeAr(R=1,P=L-1)
+// and ACA-II(L) == GeAr(R=L/2,P=L/2).
+#pragma once
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+/// Almost Correct Adder I: result bit i is the top bit of the exact sum of
+/// the window of `l` bits ending at i (fewer at the LSB end).
+class Aca1Adder final : public ApproxAdder {
+ public:
+  Aca1Adder(int n, int l);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  int max_carry_chain() const override { return l_; }
+  std::optional<core::GeArConfig> gear_equivalent() const override;
+  int l() const { return l_; }
+
+ private:
+  int n_, l_;
+};
+
+/// Accuracy-Configurable Adder II: overlapping `l`-bit sub-adders stepped
+/// by l/2; each contributes its top l/2 bits (the first contributes all).
+class Aca2Adder final : public ApproxAdder {
+ public:
+  /// `l` must be even; N must satisfy the window tiling (N % (l/2) == 0).
+  Aca2Adder(int n, int l);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  int max_carry_chain() const override { return l_; }
+  std::optional<core::GeArConfig> gear_equivalent() const override;
+  int l() const { return l_; }
+
+ private:
+  int n_, l_;
+};
+
+}  // namespace gear::adders

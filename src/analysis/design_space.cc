@@ -1,0 +1,31 @@
+#include "analysis/design_space.h"
+
+#include "core/error_model.h"
+
+namespace gear::analysis {
+
+std::vector<AccuracyPoint> accuracy_sweep(int n, int r) {
+  std::vector<AccuracyPoint> out;
+  for (const auto& cfg : core::GeArConfig::enumerate_relaxed_r(n, r)) {
+    AccuracyPoint pt{cfg, 0.0, 0.0, false, false};
+    pt.error_probability = core::paper_error_probability(cfg);
+    pt.accuracy_percent = (1.0 - pt.error_probability) * 100.0;
+    pt.gda_reachable = core::family_supports(core::AdderFamily::kGda, cfg);
+    pt.etaii_reachable = core::family_supports(core::AdderFamily::kEtaII, cfg);
+    out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+std::vector<FamilyCoverage> coverage_comparison(int n, int r) {
+  using core::AdderFamily;
+  std::vector<FamilyCoverage> out;
+  for (AdderFamily family :
+       {AdderFamily::kAcaI, AdderFamily::kEtaII, AdderFamily::kAcaII,
+        AdderFamily::kGda, AdderFamily::kGearStrict, AdderFamily::kGearRelaxed}) {
+    out.push_back({family, core::reachable_p_values(family, n, r)});
+  }
+  return out;
+}
+
+}  // namespace gear::analysis

@@ -1,0 +1,37 @@
+// Design-space exploration (paper Fig. 1 and Fig. 7).
+//
+// Fig. 1: how many (R, P) points each adder family can reach at fixed N
+// and R. Fig. 7: the probabilistic accuracy of every GeAr point in a P
+// sweep, with the GDA-reachable subset marked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/coverage.h"
+
+namespace gear::analysis {
+
+/// One point of the Fig. 7 accuracy sweep.
+struct AccuracyPoint {
+  core::GeArConfig cfg;
+  double error_probability = 0.0;   ///< paper model (Eqs. 5-7)
+  double accuracy_percent = 0.0;    ///< (1 - error_probability) * 100
+  bool gda_reachable = false;
+  bool etaii_reachable = false;
+};
+
+/// Accuracy of every (relaxed) P in [1, n-r] at fixed (n, r).
+std::vector<AccuracyPoint> accuracy_sweep(int n, int r);
+
+/// One family's row of the Fig. 1 comparison at fixed (n, r).
+struct FamilyCoverage {
+  core::AdderFamily family;
+  std::vector<int> p_values;
+};
+
+/// Coverage of all families at fixed (n, r).
+std::vector<FamilyCoverage> coverage_comparison(int n, int r);
+
+}  // namespace gear::analysis

@@ -1,0 +1,66 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace gear::analysis {
+
+std::vector<double> default_maa_thresholds() {
+  return {100.0, 97.5, 95.0, 92.5, 90.0};
+}
+
+ErrorMetrics evaluate(const adders::ApproxAdder& adder, stats::OperandSource& source,
+                      std::uint64_t samples,
+                      const std::vector<double>& maa_thresholds) {
+  assert(samples > 0);
+  assert(source.width() == adder.width());
+
+  ErrorMetrics m;
+  m.samples = samples;
+  m.maa_acceptance.assign(maa_thresholds.size(), 0.0);
+
+  const int n = adder.width();
+  double med_acc = 0.0, amp_acc = 0.0, inf_acc = 0.0;
+  std::uint64_t errors = 0;
+
+  for (std::uint64_t t = 0; t < samples; ++t) {
+    const auto [a, b] = source.next();
+    const std::uint64_t approx = adder.add(a, b);
+    const std::uint64_t exact = adder.exact(a, b);
+    const double ed = std::abs(static_cast<double>(approx) -
+                               static_cast<double>(exact));
+    if (approx != exact) ++errors;
+    med_acc += ed;
+    m.max_ed = std::max(m.max_ed, ed);
+
+    double acc_amp;
+    if (exact == 0) {
+      acc_amp = (approx == 0) ? 1.0 : 0.0;
+    } else {
+      acc_amp = std::clamp(1.0 - ed / static_cast<double>(exact), 0.0, 1.0);
+    }
+    amp_acc += acc_amp;
+    for (std::size_t i = 0; i < maa_thresholds.size(); ++i) {
+      if (acc_amp * 100.0 >= maa_thresholds[i] - 1e-12) {
+        m.maa_acceptance[i] += 1.0;
+      }
+    }
+
+    const int wrong_bits = std::popcount(approx ^ exact);
+    inf_acc += 1.0 - static_cast<double>(wrong_bits) / static_cast<double>(n + 1);
+  }
+
+  const auto count = static_cast<double>(samples);
+  m.error_rate = static_cast<double>(errors) / count;
+  m.med = med_acc / count;
+  m.ned = m.max_ed > 0.0 ? m.med / m.max_ed : 0.0;
+  m.ned_range = m.med / (std::pow(2.0, n) - 1.0);
+  m.acc_amp_avg = amp_acc / count;
+  m.acc_inf_avg = inf_acc / count;
+  for (double& a : m.maa_acceptance) a /= count;
+  return m;
+}
+
+}  // namespace gear::analysis

@@ -1,0 +1,47 @@
+// Accuracy metrics over an operand stream (paper Section 4.2).
+//
+// Metric definitions, matching the paper's citations:
+//  * ED (error distance): |approx - exact| per addition.
+//  * MED: mean ED over the stream.
+//  * NED: MED normalised by the adder's worst observed ED over the stream
+//    (Liang-style normalisation by maximum error magnitude); we also
+//    report MED / (2^N - 1) for a distribution-independent variant.
+//  * ACC_amp (Kahng/Kang [10]): 1 - ED/exact, clamped to [0,1]; defined as
+//    1 when the exact sum is 0 and the result is exact, 0 otherwise.
+//  * ACC_inf (Zhu [9]): fraction of the N+1 result bits that are correct.
+//  * MAA acceptance (paper's "MAA x%" rows): fraction of additions whose
+//    ACC_amp meets the threshold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adders/adder.h"
+#include "stats/distributions.h"
+
+namespace gear::analysis {
+
+struct ErrorMetrics {
+  std::uint64_t samples = 0;
+  double error_rate = 0.0;  ///< fraction of additions with ED > 0
+  double med = 0.0;
+  double max_ed = 0.0;
+  double ned = 0.0;       ///< med / max_ed (0 when error-free)
+  double ned_range = 0.0; ///< med / (2^N - 1)
+  double acc_amp_avg = 0.0;
+  double acc_inf_avg = 0.0;
+  /// acceptance[i] pairs with the thresholds passed to evaluate().
+  std::vector<double> maa_acceptance;
+};
+
+/// Paper's Table I threshold ladder: 100, 97.5, 95, 92.5, 90 (percent).
+std::vector<double> default_maa_thresholds();
+
+/// Runs `samples` additions from `source` through `adder` and accumulates
+/// every metric. `maa_thresholds` are ACC_amp levels in percent.
+ErrorMetrics evaluate(const adders::ApproxAdder& adder, stats::OperandSource& source,
+                      std::uint64_t samples, const std::vector<double>& maa_thresholds =
+                                                 default_maa_thresholds());
+
+}  // namespace gear::analysis

@@ -1,0 +1,25 @@
+#include "analysis/pareto.h"
+
+namespace gear::analysis {
+
+bool dominates(const DesignCandidate& a, const DesignCandidate& b) {
+  const bool no_worse = a.delay_ns <= b.delay_ns && a.area_luts <= b.area_luts &&
+                        a.error <= b.error;
+  const bool better = a.delay_ns < b.delay_ns || a.area_luts < b.area_luts ||
+                      a.error < b.error;
+  return no_worse && better;
+}
+
+std::vector<DesignCandidate> pareto_front(std::vector<DesignCandidate> points) {
+  std::vector<DesignCandidate> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i != j && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(points[i]);
+  }
+  return front;
+}
+
+}  // namespace gear::analysis

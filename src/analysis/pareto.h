@@ -1,0 +1,26 @@
+// Pareto-frontier extraction for design-space studies.
+//
+// Points are compared on (delay, area, error): all three minimised. Used
+// by the design-space example and the ablation benches to show which GeAr
+// configurations dominate the baselines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gear::analysis {
+
+struct DesignCandidate {
+  std::string label;
+  double delay_ns = 0.0;
+  double area_luts = 0.0;
+  double error = 0.0;  ///< any monotone error figure (Perr, NED, ...)
+};
+
+/// True iff `a` dominates `b` (no worse on all axes, better on one).
+bool dominates(const DesignCandidate& a, const DesignCandidate& b);
+
+/// Non-dominated subset, in the input order.
+std::vector<DesignCandidate> pareto_front(std::vector<DesignCandidate> points);
+
+}  // namespace gear::analysis

@@ -1,0 +1,25 @@
+#include "analysis/propagation.h"
+
+#include <cmath>
+
+namespace gear::analysis {
+
+double composed_error_bound(double per_add_probability, std::uint64_t adds) {
+  if (per_add_probability <= 0.0) return 0.0;
+  if (per_add_probability >= 1.0) return 1.0;
+  return 1.0 - std::pow(1.0 - per_add_probability, static_cast<double>(adds));
+}
+
+std::uint64_t chain_adds(std::uint64_t terms) {
+  return terms > 0 ? terms - 1 : 0;
+}
+
+std::uint64_t tree_adds(std::uint64_t leaves) {
+  return leaves > 0 ? leaves - 1 : 0;
+}
+
+double composed_med(double per_add_med, std::uint64_t adds) {
+  return per_add_med * static_cast<double>(adds);
+}
+
+}  // namespace gear::analysis

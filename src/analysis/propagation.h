@@ -1,0 +1,35 @@
+// Error propagation through compositions of approximate adders.
+//
+// A single adder's Perr (paper Section 3.2) answers "one addition"; real
+// kernels chain and tree many. These helpers give closed-form bounds for
+// the two canonical shapes, under the conservative assumption that any
+// constituent error makes the composite result wrong (no masking):
+//
+//  * accumulation chains (prefix sums, MACs): n sequential adds;
+//  * balanced reduction trees (adder trees): leaves-1 adds.
+//
+// Masking makes these upper bounds; the bench/tests quantify the gap by
+// simulation. The i.i.d.-operand caveat applies: chained operands are
+// correlated, which in practice reduces the rate further (see
+// bench_ext_multiplier).
+#pragma once
+
+#include <cstdint>
+
+namespace gear::analysis {
+
+/// P(at least one of `adds` independent additions errs) = 1-(1-p)^adds.
+double composed_error_bound(double per_add_probability, std::uint64_t adds);
+
+/// Additions performed by an accumulation chain over `terms` values.
+std::uint64_t chain_adds(std::uint64_t terms);
+
+/// Additions performed by a balanced reduction tree over `leaves` values.
+std::uint64_t tree_adds(std::uint64_t leaves);
+
+/// Expected error magnitude of a chain of `adds` additions when each add
+/// contributes `per_add_med` independently (linearity; exact, not a
+/// bound, under no-masking).
+double composed_med(double per_add_med, std::uint64_t adds);
+
+}  // namespace gear::analysis

@@ -1,0 +1,71 @@
+#include "analysis/selector.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/error_model.h"
+#include "netlist/circuits.h"
+#include "synth/report.h"
+
+namespace gear::analysis {
+
+namespace {
+
+double score_of(Objective objective, double delay, int area) {
+  switch (objective) {
+    case Objective::kDelay: return delay;
+    case Objective::kArea: return static_cast<double>(area);
+    case Objective::kDelayArea: return delay * static_cast<double>(area);
+  }
+  return delay;
+}
+
+}  // namespace
+
+std::vector<SelectedConfig> rank_configs(const SelectionRequest& request) {
+  // Candidate set: strict enumeration plus (optionally) the relaxed
+  // sweeps; de-duplicate by (R, P).
+  std::vector<core::GeArConfig> candidates;
+  std::set<std::pair<int, int>> seen;
+  auto consider = [&](const core::GeArConfig& cfg) {
+    if (seen.emplace(cfg.r(), cfg.p()).second) candidates.push_back(cfg);
+  };
+  for (const auto& cfg : core::GeArConfig::enumerate(request.n)) consider(cfg);
+  if (request.include_relaxed) {
+    for (int r = 1; r < request.n; ++r) {
+      for (const auto& cfg : core::GeArConfig::enumerate_relaxed_r(request.n, r)) {
+        if (!cfg.is_exact()) consider(cfg);
+      }
+    }
+  }
+
+  std::vector<SelectedConfig> out;
+  for (const auto& cfg : candidates) {
+    const double perr = core::paper_error_probability(cfg);
+    if (perr > request.max_error_probability) continue;
+    const auto rep = synth::synthesize(netlist::build_gear(
+        cfg, {.with_detection = request.with_detection}));
+    SelectedConfig sel(cfg);
+    sel.error_probability = perr;
+    sel.delay_ns = request.with_detection ? rep.delay_ns
+                                          : synth::sum_path_delay(rep);
+    sel.area_luts = rep.area_luts;
+    sel.score = score_of(request.objective, sel.delay_ns, sel.area_luts);
+    out.push_back(std::move(sel));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SelectedConfig& a, const SelectedConfig& b) {
+              if (a.score != b.score) return a.score < b.score;
+              if (a.area_luts != b.area_luts) return a.area_luts < b.area_luts;
+              return a.cfg.r() > b.cfg.r();
+            });
+  return out;
+}
+
+std::optional<SelectedConfig> select_config(const SelectionRequest& request) {
+  auto ranked = rank_configs(request);
+  if (ranked.empty()) return std::nullopt;
+  return ranked.front();
+}
+
+}  // namespace gear::analysis

@@ -1,0 +1,57 @@
+// Configuration selection: the designer workflow the paper proposes.
+//
+// "The wide variety of adders poses a challenging decision to a designer
+// on how to select a particular adder that meets the design constraints
+// while still achieving the required accuracy level." — Section 1.
+//
+// select_config() answers that question programmatically: enumerate the
+// (strict + relaxed) GeAr space at width N, keep the configurations whose
+// analytic error probability meets the requirement, synthesize the
+// survivors, and return the best under the chosen objective. No candidate
+// is ever simulated — only the error model and STA are consulted.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "synth/timing.h"
+
+namespace gear::analysis {
+
+enum class Objective {
+  kDelay,      ///< minimise critical-path delay
+  kArea,       ///< minimise LUT count
+  kDelayArea,  ///< minimise delay * area
+};
+
+struct SelectionRequest {
+  int n = 16;
+  double max_error_probability = 0.01;
+  Objective objective = Objective::kDelay;
+  bool include_relaxed = true;
+  /// Synthesize with detection logic included (costs area/err path).
+  bool with_detection = false;
+};
+
+struct SelectedConfig {
+  explicit SelectedConfig(core::GeArConfig c) : cfg(std::move(c)) {}
+
+  core::GeArConfig cfg;
+  double error_probability = 0.0;
+  double delay_ns = 0.0;
+  int area_luts = 0;
+  double score = 0.0;
+};
+
+/// Best configuration meeting the requirement, or nullopt when only the
+/// exact adder qualifies and `n` has no approximate config under the
+/// bound. Deterministic: ties break toward smaller area, then larger R.
+std::optional<SelectedConfig> select_config(const SelectionRequest& request);
+
+/// All qualifying configurations, sorted by score (best first) — the full
+/// short-list a designer would review.
+std::vector<SelectedConfig> rank_configs(const SelectionRequest& request);
+
+}  // namespace gear::analysis

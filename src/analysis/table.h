@@ -1,0 +1,41 @@
+// ASCII / CSV table formatting for the benchmark binaries.
+//
+// Every bench prints the same rows the paper's table prints, so
+// EXPERIMENTS.md can be filled by diffing bench output against the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gear::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Monospace table with aligned columns.
+  std::string to_ascii() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Scientific notation like the paper's tables, e.g. "2.604442E-03".
+std::string fmt_sci(double v, int digits = 6);
+
+/// Fixed-point with `digits` decimals.
+std::string fmt_fixed(double v, int digits = 4);
+
+/// Percentage with `digits` decimals, e.g. "2.9297%".
+std::string fmt_pct(double fraction, int digits = 4);
+
+}  // namespace gear::analysis

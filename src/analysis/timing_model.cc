@@ -1,0 +1,27 @@
+#include "analysis/timing_model.h"
+
+#include <vector>
+
+namespace gear::analysis {
+
+ExecutionTiming execution_timing(double delay_ns, double error_probability,
+                                 int k, std::uint64_t ops) {
+  const double base = static_cast<double>(ops) * delay_ns * 1e-9;
+  ExecutionTiming t;
+  t.approx_s = base;
+  t.best_s = base * (1.0 + error_probability);
+  t.average_s = base * (1.0 + error_probability * static_cast<double>(k) / 2.0);
+  t.worst_s = base * (1.0 + error_probability * static_cast<double>(k - 1));
+  return t;
+}
+
+double expected_time_s(double delay_ns, const std::vector<double>& count_pmf,
+                       std::uint64_t ops) {
+  double expected_cycles = 0.0;
+  for (std::size_t c = 0; c < count_pmf.size(); ++c) {
+    expected_cycles += count_pmf[c] * (1.0 + static_cast<double>(c));
+  }
+  return static_cast<double>(ops) * delay_ns * 1e-9 * expected_cycles;
+}
+
+}  // namespace gear::analysis

@@ -1,0 +1,40 @@
+// Application execution-time model (paper Section 4.4, Table IV, Fig. 9).
+//
+// An application performing `ops` additions on an adder with path delay d
+// takes ops*d seconds without correction. With the error-recovery scheme,
+// an erroneous addition costs extra cycles; the paper brackets this with
+// three scenarios applied to the error probability Perr:
+//   best:    every erroneous addition has exactly 1 faulty sub-adder
+//            -> ops*d*(1 + Perr*1)
+//   average: half the sub-adders faulty -> ops*d*(1 + Perr*k/2)
+//   worst:   all k-1 correctable sub-adders faulty
+//            -> ops*d*(1 + Perr*(k-1))
+// (verified against Table IV's GeAr rows to 6 significant digits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gear::analysis {
+
+/// Full-HD frame, one addition per pixel — the paper's workload size.
+inline constexpr std::uint64_t kFullHdOps = 1920ULL * 1080ULL;
+
+struct ExecutionTiming {
+  double approx_s = 0.0;
+  double best_s = 0.0;
+  double average_s = 0.0;
+  double worst_s = 0.0;
+};
+
+/// Evaluates the model for an adder with `k` sub-adders.
+ExecutionTiming execution_timing(double delay_ns, double error_probability,
+                                 int k, std::uint64_t ops = kFullHdOps);
+
+/// Expected time given a distribution over simultaneous faulty-sub-adder
+/// counts (index = count), e.g. from core::mc_detect_count_distribution —
+/// tighter than the three brackets above.
+double expected_time_s(double delay_ns, const std::vector<double>& count_pmf,
+                       std::uint64_t ops = kFullHdOps);
+
+}  // namespace gear::analysis

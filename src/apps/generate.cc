@@ -1,0 +1,74 @@
+#include "apps/generate.h"
+
+#include <algorithm>
+
+namespace gear::apps {
+
+Image gradient_image(int width, int height) {
+  Image img(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.set(x, y, static_cast<std::uint16_t>((x * 255) / std::max(1, width - 1)));
+    }
+  }
+  return img;
+}
+
+Image noise_image(int width, int height, stats::Rng& rng) {
+  Image img(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.set(x, y, static_cast<std::uint16_t>(rng.bits(8)));
+    }
+  }
+  return img;
+}
+
+Image smoothed_noise_image(int width, int height, stats::Rng& rng, int passes) {
+  Image img = noise_image(width, height, rng);
+  for (int pass = 0; pass < passes; ++pass) {
+    Image out(width, height);
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        std::uint32_t acc = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            acc += img.at_clamped(x + dx, y + dy);
+          }
+        }
+        out.set(x, y, static_cast<std::uint16_t>(acc / 9));
+      }
+    }
+    img = out;
+  }
+  return img;
+}
+
+Image checkerboard_image(int width, int height, int period) {
+  Image img(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const bool on = ((x / period) + (y / period)) % 2 == 0;
+      img.set(x, y, on ? 255 : 0);
+    }
+  }
+  return img;
+}
+
+Image shifted_image(const Image& base, int dx, int dy, int noise_amp,
+                    stats::Rng& rng) {
+  Image out(base.width(), base.height());
+  for (int y = 0; y < base.height(); ++y) {
+    for (int x = 0; x < base.width(); ++x) {
+      int v = base.at_clamped(x - dx, y - dy);
+      if (noise_amp > 0) {
+        v += static_cast<int>(rng.range(0, static_cast<std::uint64_t>(2 * noise_amp))) -
+             noise_amp;
+      }
+      out.set(x, y, static_cast<std::uint16_t>(std::clamp(v, 0, 65535)));
+    }
+  }
+  return out;
+}
+
+}  // namespace gear::apps

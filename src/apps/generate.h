@@ -1,0 +1,34 @@
+// Synthetic image generators.
+//
+// The paper's image workloads are unpublished; smoothed-noise images
+// reproduce the operand statistics that matter for the kernels (spatial
+// correlation, mid-range pixel concentration). See DESIGN.md section 2.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/image.h"
+#include "stats/rng.h"
+
+namespace gear::apps {
+
+/// Horizontal luminance ramp, 8-bit range.
+Image gradient_image(int width, int height);
+
+/// Independent uniform 8-bit noise.
+Image noise_image(int width, int height, stats::Rng& rng);
+
+/// Uniform noise smoothed by `passes` 3x3 box filters — spatially
+/// correlated, "natural-looking" test content, 8-bit range.
+Image smoothed_noise_image(int width, int height, stats::Rng& rng, int passes = 2);
+
+/// Checkerboard with the given period, 8-bit extremes (worst-case carry
+/// patterns for prefix sums).
+Image checkerboard_image(int width, int height, int period);
+
+/// `base` shifted right/down by (dx, dy) with border clamp plus +-noise
+/// of the given amplitude — a synthetic "next frame" for SAD search.
+Image shifted_image(const Image& base, int dx, int dy, int noise_amp,
+                    stats::Rng& rng);
+
+}  // namespace gear::apps

@@ -1,0 +1,45 @@
+#include "apps/image.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace gear::apps {
+
+Image::Image(int width, int height, std::uint16_t fill)
+    : width_(width), height_(height), px_(pixel_count(), fill) {
+  assert(width >= 0 && height >= 0);
+}
+
+std::uint16_t Image::at(int x, int y) const {
+  assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return px_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+             static_cast<std::size_t>(x)];
+}
+
+void Image::set(int x, int y, std::uint16_t v) {
+  assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+  px_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+      static_cast<std::size_t>(x)] = v;
+}
+
+std::uint16_t Image::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+std::string Image::to_pgm() const {
+  std::ostringstream os;
+  std::uint16_t maxv = 1;
+  for (std::uint16_t p : px_) maxv = std::max(maxv, p);
+  os << "P2\n" << width_ << " " << height_ << "\n" << maxv << "\n";
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      os << at(x, y) << (x + 1 == width_ ? '\n' : ' ');
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gear::apps

@@ -1,0 +1,41 @@
+// Grayscale image container for the paper's application workloads
+// (Image Integral, SAD, LPF). Pixels are 16-bit to cover both 8-bit image
+// data and intermediate kernel values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gear::apps {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, std::uint16_t fill = 0);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+  std::uint16_t at(int x, int y) const;
+  void set(int x, int y, std::uint16_t v);
+
+  /// Clamped access (border replication) for convolution kernels.
+  std::uint16_t at_clamped(int x, int y) const;
+
+  const std::vector<std::uint16_t>& pixels() const { return px_; }
+
+  bool operator==(const Image& o) const = default;
+
+  /// Plain-text PGM (P2) serialization, for eyeballing example outputs.
+  std::string to_pgm() const;
+
+ private:
+  int width_ = 0, height_ = 0;
+  std::vector<std::uint16_t> px_;
+};
+
+}  // namespace gear::apps

@@ -1,0 +1,76 @@
+#include "apps/integral.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gear::apps {
+
+std::vector<std::vector<std::uint64_t>> row_integral(const Image& img,
+                                                     const adders::ApproxAdder& adder) {
+  const std::uint64_t mask = adder.operand_mask();
+  std::vector<std::vector<std::uint64_t>> out(
+      static_cast<std::size_t>(img.height()));
+  for (int y = 0; y < img.height(); ++y) {
+    auto& row = out[static_cast<std::size_t>(y)];
+    row.resize(static_cast<std::size_t>(img.width()));
+    std::uint64_t acc = 0;
+    for (int x = 0; x < img.width(); ++x) {
+      acc = adder.add(acc, img.at(x, y)) & mask;
+      row[static_cast<std::size_t>(x)] = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> integral_2d(const Image& img,
+                                                    const adders::ApproxAdder& adder) {
+  const std::uint64_t mask = adder.operand_mask();
+  std::vector<std::vector<std::uint64_t>> ii(
+      static_cast<std::size_t>(img.height()),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(img.width()), 0));
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const std::uint64_t left = x > 0 ? ii[static_cast<std::size_t>(y)][static_cast<std::size_t>(x - 1)] : 0;
+      const std::uint64_t up = y > 0 ? ii[static_cast<std::size_t>(y - 1)][static_cast<std::size_t>(x)] : 0;
+      const std::uint64_t diag =
+          (x > 0 && y > 0)
+              ? ii[static_cast<std::size_t>(y - 1)][static_cast<std::size_t>(x - 1)]
+              : 0;
+      std::uint64_t acc = adder.add(img.at(x, y), left) & mask;
+      acc = adder.add(acc, up) & mask;
+      // Exact subtraction modulo the adder width.
+      acc = (acc - diag) & mask;
+      ii[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = acc;
+    }
+  }
+  return ii;
+}
+
+double integral_mean_abs_error(
+    const std::vector<std::vector<std::uint64_t>>& ref,
+    const std::vector<std::vector<std::uint64_t>>& test) {
+  assert(ref.size() == test.size());
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t y = 0; y < ref.size(); ++y) {
+    assert(ref[y].size() == test[y].size());
+    for (std::size_t x = 0; x < ref[y].size(); ++x) {
+      acc += std::abs(static_cast<double>(ref[y][x]) -
+                      static_cast<double>(test[y][x]));
+      ++n;
+    }
+  }
+  return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t box_sum(const std::vector<std::vector<std::uint64_t>>& ii,
+                      int x0, int y0, int x1, int y1) {
+  assert(x0 <= x1 && y0 <= y1);
+  auto get = [&](int x, int y) -> std::uint64_t {
+    if (x < 0 || y < 0) return 0;
+    return ii[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)];
+  };
+  return get(x1, y1) - get(x0 - 1, y1) - get(x1, y0 - 1) + get(x0 - 1, y0 - 1);
+}
+
+}  // namespace gear::apps

@@ -1,0 +1,39 @@
+// Image Integral kernels (paper Sections 4.2 / 4.4, refs [7][14]).
+//
+// The 1D row integral is the paper's Table I workload: a running prefix
+// sum along each row, truncated to the adder's width. The 2D integral
+// image (Veksler-style) uses the recurrence
+//   ii(x,y) = i(x,y) + ii(x-1,y) + ii(x,y-1) - ii(x-1,y-1),
+// with the additions routed through the adder under test and the
+// subtraction exact (it is a bookkeeping step, not an adder instance).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adders/adder.h"
+#include "apps/image.h"
+
+namespace gear::apps {
+
+/// Row-wise running sums. Element [y][x] is the prefix sum of row y up to
+/// column x, computed with `adder` and truncated to its width.
+std::vector<std::vector<std::uint64_t>> row_integral(const Image& img,
+                                                     const adders::ApproxAdder& adder);
+
+/// 2D integral image, additions through `adder`. Values truncated to the
+/// adder width.
+std::vector<std::vector<std::uint64_t>> integral_2d(const Image& img,
+                                                    const adders::ApproxAdder& adder);
+
+/// Mean absolute difference between two integral results (per entry).
+double integral_mean_abs_error(
+    const std::vector<std::vector<std::uint64_t>>& ref,
+    const std::vector<std::vector<std::uint64_t>>& test);
+
+/// Box-filter sum over [x0,x1]x[y0,y1] from a 2D integral image — the
+/// constant-time query the integral image exists for (Veksler [14]).
+std::uint64_t box_sum(const std::vector<std::vector<std::uint64_t>>& ii,
+                      int x0, int y0, int x1, int y1);
+
+}  // namespace gear::apps

@@ -1,0 +1,49 @@
+#include "apps/lpf.h"
+
+namespace gear::apps {
+
+Image lpf3x3(const Image& img, const adders::ApproxAdder& adder) {
+  const std::uint64_t mask = adder.operand_mask();
+  Image out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      std::uint64_t acc = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          acc = adder.add(acc, img.at_clamped(x + dx, y + dy)) & mask;
+        }
+      }
+      out.set(x, y, static_cast<std::uint16_t>(acc / 9));
+    }
+  }
+  return out;
+}
+
+Image lpf_binomial(const Image& img, const adders::ApproxAdder& adder) {
+  const std::uint64_t mask = adder.operand_mask();
+  // Horizontal [1 2 1] pass.
+  Image h(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const std::uint64_t c = img.at_clamped(x, y);
+      std::uint64_t acc = adder.add(img.at_clamped(x - 1, y), c) & mask;
+      acc = adder.add(acc, c) & mask;
+      acc = adder.add(acc, img.at_clamped(x + 1, y)) & mask;
+      h.set(x, y, static_cast<std::uint16_t>(acc / 4));
+    }
+  }
+  // Vertical pass.
+  Image out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const std::uint64_t c = h.at_clamped(x, y);
+      std::uint64_t acc = adder.add(h.at_clamped(x, y - 1), c) & mask;
+      acc = adder.add(acc, c) & mask;
+      acc = adder.add(acc, h.at_clamped(x, y + 1)) & mask;
+      out.set(x, y, static_cast<std::uint16_t>(acc / 4));
+    }
+  }
+  return out;
+}
+
+}  // namespace gear::apps

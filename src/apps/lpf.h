@@ -1,0 +1,18 @@
+// Low-pass filter (paper Section 4.4, Fig. 9c): 3x3 box blur whose
+// 8-operand accumulation runs through the adder under test, followed by
+// an exact divide-by-9 (the divider is not an adder instance).
+#pragma once
+
+#include "adders/adder.h"
+#include "apps/image.h"
+
+namespace gear::apps {
+
+/// 3x3 box low-pass filter with border replication.
+Image lpf3x3(const Image& img, const adders::ApproxAdder& adder);
+
+/// Separable [1 2 1]/4 binomial low-pass (two passes), additions through
+/// `adder`; a second LPF variant for robustness checks.
+Image lpf_binomial(const Image& img, const adders::ApproxAdder& adder);
+
+}  // namespace gear::apps

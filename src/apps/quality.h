@@ -1,0 +1,18 @@
+// Application-level quality metrics.
+#pragma once
+
+#include "apps/image.h"
+
+namespace gear::apps {
+
+/// Peak signal-to-noise ratio in dB against an 8-bit peak (255). Returns
+/// +infinity for identical images.
+double psnr(const Image& ref, const Image& test);
+
+/// Mean absolute pixel error.
+double mean_abs_pixel_error(const Image& ref, const Image& test);
+
+/// Fraction of pixels that match exactly.
+double exact_pixel_rate(const Image& ref, const Image& test);
+
+}  // namespace gear::apps

@@ -1,0 +1,58 @@
+#include "apps/sad.h"
+
+#include <cstdlib>
+
+#include "adders/exact.h"
+
+namespace gear::apps {
+
+std::uint64_t block_sad(const Image& ref, const Image& cand, int bx, int by,
+                        int bw, int bh, int dx, int dy,
+                        const adders::ApproxAdder& adder) {
+  const std::uint64_t mask = adder.operand_mask();
+  std::uint64_t acc = 0;
+  for (int y = 0; y < bh; ++y) {
+    for (int x = 0; x < bw; ++x) {
+      const int rv = ref.at_clamped(bx + x, by + y);
+      const int cv = cand.at_clamped(bx + x + dx, by + y + dy);
+      const std::uint64_t diff = static_cast<std::uint64_t>(std::abs(rv - cv));
+      acc = adder.add(acc, diff) & mask;
+    }
+  }
+  return acc;
+}
+
+SadMatch sad_search(const Image& ref, const Image& cand, int bx, int by,
+                    int bw, int bh, int range, const adders::ApproxAdder& adder) {
+  SadMatch best;
+  bool first = true;
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) {
+      const std::uint64_t sad =
+          block_sad(ref, cand, bx, by, bw, bh, dx, dy, adder);
+      if (first || sad < best.sad) {
+        best = {dx, dy, sad};
+        first = false;
+      }
+    }
+  }
+  return best;
+}
+
+double sad_match_rate(const Image& ref, const Image& cand, int bw, int bh,
+                      int range, const adders::ApproxAdder& adder) {
+  const adders::RcaAdder exact(adder.width());
+  int total = 0;
+  int matched = 0;
+  for (int by = 0; by + bh <= ref.height(); by += bh) {
+    for (int bx = 0; bx + bw <= ref.width(); bx += bw) {
+      const SadMatch approx = sad_search(ref, cand, bx, by, bw, bh, range, adder);
+      const SadMatch truth = sad_search(ref, cand, bx, by, bw, bh, range, exact);
+      ++total;
+      if (approx.dx == truth.dx && approx.dy == truth.dy) ++matched;
+    }
+  }
+  return total ? static_cast<double>(matched) / total : 1.0;
+}
+
+}  // namespace gear::apps

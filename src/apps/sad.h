@@ -1,0 +1,39 @@
+// Sum of Absolute Differences (paper Section 4.4, Fig. 9b).
+//
+// Block SAD accumulates |a - b| over a block with the adder under test
+// (the per-pixel absolute difference itself is a subtractor, kept exact).
+// sad_search runs a full-search motion estimation and reports the best
+// displacement — the application-level question is whether an approximate
+// accumulator still finds the same (or an equally good) match.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adders/adder.h"
+#include "apps/image.h"
+
+namespace gear::apps {
+
+/// SAD of the `bw` x `bh` block at (bx, by) in `ref` against the block at
+/// (bx+dx, by+dy) in `cand` (clamped), accumulated through `adder`.
+std::uint64_t block_sad(const Image& ref, const Image& cand, int bx, int by,
+                        int bw, int bh, int dx, int dy,
+                        const adders::ApproxAdder& adder);
+
+struct SadMatch {
+  int dx = 0, dy = 0;
+  std::uint64_t sad = 0;
+};
+
+/// Full search over displacements in [-range, range]^2; ties resolved to
+/// the first (raster-order) candidate for determinism.
+SadMatch sad_search(const Image& ref, const Image& cand, int bx, int by,
+                    int bw, int bh, int range, const adders::ApproxAdder& adder);
+
+/// Fraction of blocks (tiled `bw` x `bh`) whose best displacement found
+/// with `adder` matches the one found with an exact accumulator.
+double sad_match_rate(const Image& ref, const Image& cand, int bw, int bh,
+                      int range, const adders::ApproxAdder& adder);
+
+}  // namespace gear::apps

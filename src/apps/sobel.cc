@@ -1,0 +1,72 @@
+#include "apps/sobel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "adders/exact.h"
+#include "core/signed_ops.h"
+
+namespace gear::apps {
+
+namespace {
+
+/// Signed accumulate through the (unsigned bit-pattern) adder.
+std::int64_t acc_add(const adders::ApproxAdder& adder, std::int64_t a,
+                     std::int64_t b) {
+  const int n = adder.width();
+  const std::uint64_t ua = core::from_signed(a, n);
+  const std::uint64_t ub = core::from_signed(b, n);
+  return core::to_signed(adder.add(ua, ub), n);
+}
+
+}  // namespace
+
+Image sobel(const Image& img, const adders::ApproxAdder& adder) {
+  Image out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      auto px = [&](int dx, int dy) {
+        return static_cast<std::int64_t>(img.at_clamped(x + dx, y + dy));
+      };
+      // Gx = (p(+1,-1) + 2 p(+1,0) + p(+1,+1)) - (p(-1,-1) + 2 p(-1,0) + p(-1,+1))
+      std::int64_t right = acc_add(adder, px(1, -1), px(1, 0));
+      right = acc_add(adder, right, px(1, 0));
+      right = acc_add(adder, right, px(1, 1));
+      std::int64_t left = acc_add(adder, px(-1, -1), px(-1, 0));
+      left = acc_add(adder, left, px(-1, 0));
+      left = acc_add(adder, left, px(-1, 1));
+      const std::int64_t gx = acc_add(adder, right, -left);
+
+      std::int64_t bottom = acc_add(adder, px(-1, 1), px(0, 1));
+      bottom = acc_add(adder, bottom, px(0, 1));
+      bottom = acc_add(adder, bottom, px(1, 1));
+      std::int64_t top = acc_add(adder, px(-1, -1), px(0, -1));
+      top = acc_add(adder, top, px(0, -1));
+      top = acc_add(adder, top, px(1, -1));
+      const std::int64_t gy = acc_add(adder, bottom, -top);
+
+      const std::int64_t mag = acc_add(adder, std::abs(gx), std::abs(gy));
+      out.set(x, y, static_cast<std::uint16_t>(std::clamp<std::int64_t>(mag, 0, 65535)));
+    }
+  }
+  return out;
+}
+
+double sobel_classification_agreement(const Image& img,
+                                      const adders::ApproxAdder& adder,
+                                      int threshold) {
+  const adders::RcaAdder exact(adder.width());
+  const Image ref = sobel(img, exact);
+  const Image approx = sobel(img, adder);
+  std::size_t agree = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const bool e1 = ref.at(x, y) >= threshold;
+      const bool e2 = approx.at(x, y) >= threshold;
+      if (e1 == e2) ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(img.pixel_count());
+}
+
+}  // namespace gear::apps

@@ -1,0 +1,27 @@
+// Sobel edge detection — a signed-arithmetic workload for the adders.
+//
+// The 3x3 Sobel operator computes horizontal/vertical gradients whose
+// partial sums are signed; we route every addition through the adder
+// under test using two's-complement encoding (core/signed_ops) and form
+// the gradient magnitude |Gx| + |Gy| (the usual hardware-friendly L1
+// approximation). Exercises the signed view of approximate addition on a
+// real kernel.
+#pragma once
+
+#include "adders/adder.h"
+#include "apps/image.h"
+
+namespace gear::apps {
+
+/// Gradient-magnitude image (clamped to 16 bits), additions through
+/// `adder` (width >= 12 recommended: |Gx|+|Gy| <= 2040 for 8-bit input).
+Image sobel(const Image& img, const adders::ApproxAdder& adder);
+
+/// Fraction of pixels classified the same way (edge / non-edge at
+/// `threshold`) by the approximate and exact pipelines — the
+/// application-level quality measure for edge detection.
+double sobel_classification_agreement(const Image& img,
+                                      const adders::ApproxAdder& adder,
+                                      int threshold);
+
+}  // namespace gear::apps

@@ -1,0 +1,35 @@
+#include "apps/stream_engine.h"
+
+namespace gear::apps {
+
+StreamAdderEngine::StreamAdderEngine(core::GeArConfig cfg,
+                                     std::uint64_t correction_mask)
+    : corrector_(std::move(cfg), correction_mask) {}
+
+void StreamAdderEngine::feed(StreamStats& stats, std::uint64_t a,
+                             std::uint64_t b) {
+  const core::CorrectionResult res = corrector_.add(a, b);
+  ++stats.operations;
+  stats.cycles += static_cast<std::uint64_t>(res.cycles);
+  stats.stall_cycles += static_cast<std::uint64_t>(res.cycles - 1);
+  if (!res.corrected.empty()) ++stats.corrected_ops;
+  if (!res.exact) ++stats.wrong_results;
+}
+
+StreamStats StreamAdderEngine::run(stats::OperandSource& source,
+                                   std::uint64_t ops) {
+  StreamStats stats;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto [a, b] = source.next();
+    feed(stats, a, b);
+  }
+  return stats;
+}
+
+StreamStats StreamAdderEngine::run(const std::vector<stats::OperandPair>& operands) {
+  StreamStats stats;
+  for (const auto& [a, b] : operands) feed(stats, a, b);
+  return stats;
+}
+
+}  // namespace gear::apps

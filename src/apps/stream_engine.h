@@ -1,0 +1,59 @@
+// Cycle-accurate stream engine: a single-issue datapath around a GeAr
+// adder with the paper's multi-cycle error correction.
+//
+// The paper's Table IV converts error probability into execution time
+// analytically (best/average/worst brackets). This engine measures it:
+// one addition issues per cycle; when correction is enabled and the
+// detect logic fires, the pipeline stalls one cycle per corrected
+// sub-adder (paper Section 3.3). Running a real operand stream through
+// the engine yields the empirical cycles-per-op the brackets are supposed
+// to contain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/correction.h"
+#include "stats/distributions.h"
+
+namespace gear::apps {
+
+struct StreamStats {
+  std::uint64_t operations = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t stall_cycles = 0;
+  std::uint64_t corrected_ops = 0;  ///< ops that needed >= 1 correction
+  std::uint64_t wrong_results = 0; ///< residual errors after correction
+
+  double cycles_per_op() const {
+    return operations ? static_cast<double>(cycles) /
+                            static_cast<double>(operations)
+                      : 0.0;
+  }
+  /// Wall-clock seconds at the given clock period.
+  double seconds(double period_ns) const {
+    return static_cast<double>(cycles) * period_ns * 1e-9;
+  }
+};
+
+class StreamAdderEngine {
+ public:
+  /// `correction_mask` as in core::Corrector; 0 disables correction
+  /// entirely (pure 1-cycle approximate adds).
+  StreamAdderEngine(core::GeArConfig cfg, std::uint64_t correction_mask);
+
+  /// Feeds `ops` operand pairs from `source`; returns per-run stats.
+  StreamStats run(stats::OperandSource& source, std::uint64_t ops);
+
+  /// Feeds an explicit operand list (e.g. a traced kernel).
+  StreamStats run(const std::vector<stats::OperandPair>& operands);
+
+  const core::Corrector& corrector() const { return corrector_; }
+
+ private:
+  void feed(StreamStats& stats, std::uint64_t a, std::uint64_t b);
+  core::Corrector corrector_;
+};
+
+}  // namespace gear::apps

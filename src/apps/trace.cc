@@ -1,0 +1,3 @@
+#include "apps/trace.h"
+
+// Header-only; this TU anchors the library target.

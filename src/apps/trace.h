@@ -1,0 +1,43 @@
+// Operand tracing decorator.
+//
+// Wraps any adder and records every (a, b) operand pair that flows through
+// it. Running a kernel once with a traced exact adder captures the
+// kernel's true operand distribution; the trace then drives the accuracy
+// metrics for every candidate adder (this is how Table I's image-integral
+// operand stream is produced).
+#pragma once
+
+#include <vector>
+
+#include "adders/adder.h"
+#include "stats/distributions.h"
+
+namespace gear::apps {
+
+class TracingAdder final : public adders::ApproxAdder {
+ public:
+  explicit TracingAdder(const adders::ApproxAdder& inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_.name() + "+trace"; }
+  int width() const override { return inner_.width(); }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override {
+    trace_.push_back({a & operand_mask(), b & operand_mask()});
+    return inner_.add(a, b);
+  }
+  bool is_exact() const override { return inner_.is_exact(); }
+  int max_carry_chain() const override { return inner_.max_carry_chain(); }
+
+  const std::vector<stats::OperandPair>& trace() const { return trace_; }
+  void clear() { trace_.clear(); }
+
+  /// Moves the captured trace into a replayable operand source.
+  stats::TraceSource take_source(std::string label) {
+    return stats::TraceSource(width(), std::move(trace_), std::move(label));
+  }
+
+ private:
+  const adders::ApproxAdder& inner_;
+  mutable std::vector<stats::OperandPair> trace_;
+};
+
+}  // namespace gear::apps

@@ -1,0 +1,64 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gear::core {
+
+namespace {
+
+std::uint64_t msb_first_mask(const GeArConfig& cfg, int level) {
+  std::uint64_t mask = 0;
+  const int k = cfg.k();
+  for (int j = k - level; j <= k - 1; ++j) {
+    if (j >= 1) mask |= 1ULL << j;
+  }
+  return mask;
+}
+
+}  // namespace
+
+AdaptiveCorrector::AdaptiveCorrector(GeArConfig config, AdaptivePolicy policy)
+    : config_(std::move(config)),
+      policy_(policy),
+      corrector_(config_, 0) {
+  assert(policy_.window > 0);
+  set_level(0);
+}
+
+void AdaptiveCorrector::set_level(int level) {
+  level_ = std::clamp(level, 0, config_.k() - 1);
+  mask_ = msb_first_mask(config_, level_);
+  corrector_ = Corrector(config_, mask_);
+}
+
+CorrectionResult AdaptiveCorrector::add(std::uint64_t a, std::uint64_t b) {
+  const CorrectionResult res = corrector_.add(a, b);
+  ++stats_.additions;
+  stats_.cycles += static_cast<std::uint64_t>(res.cycles);
+  if (!res.exact) {
+    ++stats_.residual_errors;
+    ++window_errors_;
+  }
+  if (++window_count_ >= policy_.window) {
+    adapt();
+    window_count_ = 0;
+    window_errors_ = 0;
+  }
+  return res;
+}
+
+void AdaptiveCorrector::adapt() {
+  const double rate = static_cast<double>(window_errors_) /
+                      static_cast<double>(policy_.window);
+  if (rate > policy_.target_error_rate && level_ < config_.k() - 1) {
+    set_level(level_ + 1);
+    ++stats_.widen_events;
+  } else if (rate < policy_.target_error_rate * policy_.hysteresis &&
+             level_ > 0) {
+    set_level(level_ - 1);
+    ++stats_.narrow_events;
+  }
+}
+
+}  // namespace gear::core

@@ -1,0 +1,70 @@
+// Runtime-adaptive correction control (paper Section 3.3 extension).
+//
+// The paper provides an error-control select signal "to provide higher
+// level of architectural support for configurable error correction".
+// This module closes the loop: a controller observes the detected-error
+// rate over fixed-size windows and widens or narrows the enabled
+// correction mask (MSB-first, per the magnitude ablation) to keep the
+// observed rate inside a target band — trading cycles for accuracy at
+// run time, per the application's current resilience.
+#pragma once
+
+#include <cstdint>
+
+#include "core/adder.h"
+#include "core/config.h"
+#include "core/correction.h"
+
+namespace gear::core {
+
+struct AdaptivePolicy {
+  double target_error_rate = 0.01;  ///< residual (uncorrected) error rate
+  double hysteresis = 0.5;          ///< narrow when below target*hysteresis
+  std::uint32_t window = 256;       ///< additions per adaptation decision
+};
+
+class AdaptiveCorrector {
+ public:
+  AdaptiveCorrector(GeArConfig config, AdaptivePolicy policy);
+
+  /// One addition through the current mask; adapts at window boundaries.
+  CorrectionResult add(std::uint64_t a, std::uint64_t b);
+
+  /// Number of sub-adders currently enabled for correction (MSB-first).
+  int enabled_level() const { return level_; }
+  std::uint64_t enabled_mask() const { return mask_; }
+
+  struct Stats {
+    std::uint64_t additions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t residual_errors = 0;  ///< results that stayed wrong
+    int widen_events = 0;
+    int narrow_events = 0;
+    double avg_cycles() const {
+      return additions ? static_cast<double>(cycles) /
+                             static_cast<double>(additions)
+                       : 0.0;
+    }
+    double residual_rate() const {
+      return additions ? static_cast<double>(residual_errors) /
+                             static_cast<double>(additions)
+                       : 0.0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void set_level(int level);
+  void adapt();
+
+  GeArConfig config_;
+  AdaptivePolicy policy_;
+  int level_ = 0;          // sub-adders k-level..k-1 enabled
+  std::uint64_t mask_ = 0;
+  Corrector corrector_;
+  Stats stats_;
+  std::uint64_t window_errors_ = 0;  // residual errors in current window
+  std::uint32_t window_count_ = 0;
+};
+
+}  // namespace gear::core

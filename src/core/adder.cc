@@ -1,0 +1,99 @@
+#include "core/adder.h"
+
+#include <cassert>
+
+namespace gear::core {
+
+namespace {
+inline std::uint64_t low_mask(int bits) {
+  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+}  // namespace
+
+bool AddResult::error_detected() const {
+  for (const auto& s : subs)
+    if (s.detect) return true;
+  return false;
+}
+
+int AddResult::detect_count() const {
+  int n = 0;
+  for (const auto& s : subs) n += s.detect ? 1 : 0;
+  return n;
+}
+
+GeArAdder::GeArAdder(GeArConfig config)
+    : config_(std::move(config)), mask_(low_mask(config_.n())) {}
+
+AddResult GeArAdder::add(std::uint64_t a, std::uint64_t b, bool carry_in) const {
+  a &= mask_;
+  b &= mask_;
+  AddResult out;
+  const auto& layout = config_.layout();
+  out.subs.resize(layout.size());
+
+  std::uint64_t sum = 0;
+  for (std::size_t j = 0; j < layout.size(); ++j) {
+    const auto& s = layout[j];
+    const int wlen = s.window_len();
+    const std::uint64_t wa = (a >> s.win_lo) & low_mask(wlen);
+    const std::uint64_t wb = (b >> s.win_lo) & low_mask(wlen);
+    // The external carry-in feeds sub-adder 0 only; every other window
+    // keeps its speculative zero carry-in.
+    const std::uint64_t wsum = wa + wb + ((j == 0 && carry_in) ? 1 : 0);
+
+    auto& st = out.subs[j];
+    st.window_sum = wsum;
+    st.carry_out = (wsum >> wlen) & 1ULL;
+
+    // Prediction window all-propagate: bits [win_lo, res_lo) of a^b.
+    const int plen = s.prediction_len();
+    const std::uint64_t pmask = low_mask(plen);
+    st.all_propagate = (((wa ^ wb) & pmask) == pmask);
+
+    // Result-region bits relative to the window start at res_lo - win_lo.
+    const int rel = s.res_lo - s.win_lo;
+    const std::uint64_t res = (wsum >> rel) & low_mask(s.result_len());
+    sum |= res << s.res_lo;
+  }
+  // Bit N: carry-out of the top sub-adder.
+  sum |= static_cast<std::uint64_t>(out.subs.back().carry_out) << config_.n();
+
+  // Detection: c_p(j) AND c_o(j-1) for j >= 1 (sub-adder 0 is exact).
+  for (std::size_t j = 1; j < layout.size(); ++j) {
+    out.subs[j].detect = out.subs[j].all_propagate && out.subs[j - 1].carry_out;
+  }
+
+  out.sum = sum;
+  return out;
+}
+
+std::uint64_t GeArAdder::add_value(std::uint64_t a, std::uint64_t b,
+                                   bool carry_in) const {
+  a &= mask_;
+  b &= mask_;
+  const auto& layout = config_.layout();
+  std::uint64_t sum = 0;
+  bool first = true;
+  for (const auto& s : layout) {
+    const int wlen = s.window_len();
+    const std::uint64_t wa = (a >> s.win_lo) & low_mask(wlen);
+    const std::uint64_t wb = (b >> s.win_lo) & low_mask(wlen);
+    const std::uint64_t wsum = wa + wb + ((first && carry_in) ? 1 : 0);
+    first = false;
+    const int rel = s.res_lo - s.win_lo;
+    sum |= ((wsum >> rel) & low_mask(s.result_len() + (s.res_hi == config_.n() - 1 ? 1 : 0)))
+           << s.res_lo;
+  }
+  return sum;
+}
+
+std::uint64_t GeArAdder::exact(std::uint64_t a, std::uint64_t b) const {
+  return (a & mask_) + (b & mask_);
+}
+
+std::uint64_t GeArAdder::sub_value(std::uint64_t a, std::uint64_t b) const {
+  return add_value(a, ~b & mask_, /*carry_in=*/true);
+}
+
+}  // namespace gear::core

@@ -1,0 +1,73 @@
+// Bit-level functional model of the GeAr adder (paper Fig. 2, Eqs. 2-3)
+// plus its error-detection signals (Section 3.3).
+//
+// Semantics: each sub-adder j adds the window slices of A and B with
+// carry-in 0. Sub-adder 0 contributes all L bits; sub-adder j >= 1
+// contributes its top R bits. The final bit N of the result is the
+// carry-out of the top sub-adder's window. Detection for sub-adder j is
+// c_p(j) AND c_o(j-1): the prediction window of sub-adder j is exactly the
+// top P bits of sub-adder j-1's window, so when all P bits propagate, the
+// previous window's carry-out equals the (possibly still approximate)
+// carry into the prediction window, which is precisely when the predicted
+// carry (0) is wrong.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+
+namespace gear::core {
+
+/// Per-sub-adder observability signals produced by one approximate add.
+struct SubAdderState {
+  std::uint64_t window_sum = 0;  ///< window add incl. carry-out bit
+  bool carry_out = false;        ///< c_o(j): carry out of the window top
+  bool all_propagate = false;    ///< c_p(j): prediction window all-propagate
+  bool detect = false;           ///< error flag: c_p(j) AND c_o(j-1)
+};
+
+/// Result of one approximate addition.
+struct AddResult {
+  std::uint64_t sum = 0;  ///< N+1 bits: approximate sum incl. carry-out
+  std::vector<SubAdderState> subs;
+
+  /// True when any sub-adder raised its error-detect flag.
+  bool error_detected() const;
+  /// Number of sub-adders flagging an error.
+  int detect_count() const;
+};
+
+/// Functional GeAr adder for operands up to 63 bits.
+class GeArAdder {
+ public:
+  explicit GeArAdder(GeArConfig config);
+
+  const GeArConfig& config() const { return config_; }
+
+  /// Approximate addition of N-bit operands (high bits above N-1 ignored).
+  /// `carry_in` feeds sub-adder 0 (exact), enabling two's-complement
+  /// subtraction: a - b == add(a, ~b, true) — an extension beyond the
+  /// paper, whose model is addition-only.
+  AddResult add(std::uint64_t a, std::uint64_t b, bool carry_in = false) const;
+
+  /// Approximate sum only (fast path used by throughput benchmarks).
+  std::uint64_t add_value(std::uint64_t a, std::uint64_t b,
+                          bool carry_in = false) const;
+
+  /// Approximate two's-complement subtraction a - b (N+1-bit result whose
+  /// top bit is the carry-out / NOT-borrow flag, as in hardware).
+  std::uint64_t sub_value(std::uint64_t a, std::uint64_t b) const;
+
+  /// Exact N-bit reference sum (N+1 bits incl. carry-out).
+  std::uint64_t exact(std::uint64_t a, std::uint64_t b) const;
+
+  /// Mask with the low N bits set.
+  std::uint64_t operand_mask() const { return mask_; }
+
+ private:
+  GeArConfig config_;
+  std::uint64_t mask_;
+};
+
+}  // namespace gear::core

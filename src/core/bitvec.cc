@@ -1,0 +1,204 @@
+#include "core/bitvec.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace gear::core {
+
+namespace {
+std::size_t words_for(int width) {
+  return static_cast<std::size_t>((width + 63) / 64);
+}
+}  // namespace
+
+BitVec::BitVec(int width) : width_(width), words_(words_for(width), 0) {
+  assert(width >= 0);
+}
+
+BitVec::BitVec(int width, std::uint64_t value) : BitVec(width) {
+  if (!words_.empty()) words_[0] = value;
+  normalize();
+}
+
+BitVec BitVec::from_binary(const std::string& bits) {
+  BitVec v(static_cast<int>(bits.size()));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[bits.size() - 1 - i];
+    if (c == '1') {
+      v.set_bit(static_cast<int>(i), true);
+    } else if (c != '0') {
+      throw std::invalid_argument("BitVec::from_binary: non-binary character");
+    }
+  }
+  return v;
+}
+
+void BitVec::normalize() {
+  if (width_ == 0 || words_.empty()) return;
+  const int top = width_ % kWordBits;
+  if (top != 0) words_.back() &= (~0ULL >> (kWordBits - top));
+}
+
+bool BitVec::bit(int i) const {
+  assert(i >= 0 && i < width_);
+  return (words_[static_cast<std::size_t>(i / kWordBits)] >> (i % kWordBits)) & 1ULL;
+}
+
+void BitVec::set_bit(int i, bool v) {
+  assert(i >= 0 && i < width_);
+  const auto w = static_cast<std::size_t>(i / kWordBits);
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (v)
+    words_[w] |= mask;
+  else
+    words_[w] &= ~mask;
+}
+
+BitVec BitVec::slice(int lo, int len) const {
+  assert(lo >= 0 && len >= 0 && lo + len <= width_);
+  BitVec out(len);
+  for (int i = 0; i < len; ++i) out.set_bit(i, bit(lo + i));
+  return out;
+}
+
+void BitVec::set_slice(int lo, const BitVec& src) {
+  assert(lo >= 0 && lo + src.width() <= width_);
+  for (int i = 0; i < src.width(); ++i) set_bit(lo + i, src.bit(i));
+}
+
+std::uint64_t BitVec::to_u64() const { return words_.empty() ? 0 : words_[0]; }
+
+bool BitVec::fits_u64() const {
+  for (std::size_t i = 1; i < words_.size(); ++i)
+    if (words_[i] != 0) return false;
+  return true;
+}
+
+BitVec BitVec::add(const BitVec& other, bool carry_in, bool* carry_out) const {
+  assert(width_ == other.width_);
+  BitVec out(width_);
+  std::uint64_t carry = carry_in ? 1 : 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const std::uint64_t a = words_[w];
+    const std::uint64_t b = other.words_[w];
+    const std::uint64_t s1 = a + b;
+    const std::uint64_t s2 = s1 + carry;
+    out.words_[w] = s2;
+    carry = (s1 < a) || (s2 < s1) ? 1 : 0;
+  }
+  // Carry-out is the bit at position `width_` of the untruncated sum.
+  bool cout = false;
+  const int top = width_ % kWordBits;
+  if (top != 0) {
+    cout = (out.words_.back() >> top) & 1ULL;
+  } else {
+    cout = carry != 0;
+  }
+  out.normalize();
+  if (carry_out) *carry_out = cout;
+  return out;
+}
+
+BitVec BitVec::sub(const BitVec& other) const {
+  assert(width_ == other.width_);
+  BitVec negated = ~other;
+  return add(negated, /*carry_in=*/true, nullptr);
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  assert(width_ == o.width_);
+  BitVec out(width_);
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] = words_[w] & o.words_[w];
+  return out;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  assert(width_ == o.width_);
+  BitVec out(width_);
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] = words_[w] | o.words_[w];
+  return out;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  assert(width_ == o.width_);
+  BitVec out(width_);
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] = words_[w] ^ o.words_[w];
+  return out;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec out(width_);
+  for (std::size_t w = 0; w < words_.size(); ++w) out.words_[w] = ~words_[w];
+  out.normalize();
+  return out;
+}
+
+BitVec BitVec::operator<<(int n) const {
+  assert(n >= 0);
+  BitVec out(width_);
+  for (int i = width_ - 1; i >= n; --i) out.set_bit(i, bit(i - n));
+  return out;
+}
+
+BitVec BitVec::operator>>(int n) const {
+  assert(n >= 0);
+  BitVec out(width_);
+  for (int i = 0; i + n < width_; ++i) out.set_bit(i, bit(i + n));
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return width_ == o.width_ && words_ == o.words_;
+}
+
+bool BitVec::operator<(const BitVec& o) const {
+  assert(width_ == o.width_);
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    if (words_[w] != o.words_[w]) return words_[w] < o.words_[w];
+  }
+  return false;
+}
+
+bool BitVec::is_zero() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+int BitVec::popcount() const {
+  int n = 0;
+  for (std::uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+std::string BitVec::to_binary() const {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(width_));
+  for (int i = width_ - 1; i >= 0; --i) s.push_back(bit(i) ? '1' : '0');
+  return s;
+}
+
+std::string BitVec::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string s = "0x";
+  const int nibbles = (width_ + 3) / 4;
+  for (int n = nibbles - 1; n >= 0; --n) {
+    int v = 0;
+    for (int b = 3; b >= 0; --b) {
+      const int idx = n * 4 + b;
+      v = (v << 1) | ((idx < width_ && bit(idx)) ? 1 : 0);
+    }
+    s.push_back(digits[v]);
+  }
+  return s;
+}
+
+BitVec BitVec::resized(int new_width) const {
+  BitVec out(new_width);
+  const int copy = std::min(width_, new_width);
+  for (int i = 0; i < copy; ++i) out.set_bit(i, bit(i));
+  return out;
+}
+
+}  // namespace gear::core

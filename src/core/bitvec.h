@@ -1,0 +1,78 @@
+// Arbitrary-width bit vector.
+//
+// Adder models up to 64 bits operate on std::uint64_t directly for speed;
+// BitVec backs everything wider (the netlist simulator's input/output
+// buses, >64-bit property tests) with the same bit-addressed semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gear::core {
+
+/// Fixed-width vector of bits with arithmetic helpers. Width is set at
+/// construction; all operations preserve it (results are truncated modulo
+/// 2^width unless stated otherwise).
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(int width);
+  BitVec(int width, std::uint64_t value);
+
+  /// Parses a binary string, MSB first (e.g. "1011" -> 11). Width is the
+  /// string length. Throws std::invalid_argument on non-binary characters.
+  static BitVec from_binary(const std::string& bits);
+
+  int width() const { return width_; }
+  bool empty() const { return width_ == 0; }
+
+  bool bit(int i) const;
+  void set_bit(int i, bool v);
+
+  /// Extracts bits [lo, lo+len) as a new BitVec of width len.
+  BitVec slice(int lo, int len) const;
+  /// Writes `src` into bits [lo, lo+src.width()).
+  void set_slice(int lo, const BitVec& src);
+
+  /// Low 64 bits as an integer (exact when width() <= 64).
+  std::uint64_t to_u64() const;
+  /// True iff the value fits in 64 bits.
+  bool fits_u64() const;
+
+  /// Addition modulo 2^width; `carry_out` (optional) receives the carry.
+  BitVec add(const BitVec& other, bool carry_in = false,
+             bool* carry_out = nullptr) const;
+  /// Two's-complement subtraction modulo 2^width.
+  BitVec sub(const BitVec& other) const;
+
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec operator^(const BitVec& o) const;
+  BitVec operator~() const;
+  BitVec operator<<(int n) const;
+  BitVec operator>>(int n) const;
+
+  bool operator==(const BitVec& o) const;
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+  /// Unsigned comparison; both operands must have equal width.
+  bool operator<(const BitVec& o) const;
+
+  bool is_zero() const;
+  int popcount() const;
+  /// Binary string, MSB first.
+  std::string to_binary() const;
+  /// Hex string, MSB first, "0x" prefixed.
+  std::string to_hex() const;
+
+  /// Widens or truncates to `new_width` (zero-extending).
+  BitVec resized(int new_width) const;
+
+ private:
+  void normalize();  // clear bits above width_
+  static constexpr int kWordBits = 64;
+  int width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace gear::core

@@ -1,0 +1,134 @@
+#include "core/config.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gear::core {
+
+std::optional<GeArConfig> GeArConfig::make(int n, int r, int p) {
+  if (n < 2 || n > 63) return std::nullopt;  // models use u64 with carry-out at bit n
+  if (r < 1 || p < 1) return std::nullopt;
+  const int l = r + p;
+  if (l > n) return std::nullopt;
+  if ((n - l) % r != 0) return std::nullopt;
+  return GeArConfig(n, r, p, /*strict=*/true);
+}
+
+GeArConfig GeArConfig::must(int n, int r, int p) {
+  auto cfg = make(n, r, p);
+  if (!cfg) {
+    std::fprintf(stderr, "GeArConfig::must: invalid config (N=%d,R=%d,P=%d)\n", n, r, p);
+    std::abort();
+  }
+  return *cfg;
+}
+
+std::optional<GeArConfig> GeArConfig::make_relaxed(int n, int r, int p) {
+  if (n < 2 || n > 63) return std::nullopt;
+  if (r < 1 || p < 1) return std::nullopt;
+  if (r + p > n) return std::nullopt;
+  const bool strict = (n - (r + p)) % r == 0;
+  return GeArConfig(n, r, p, strict);
+}
+
+GeArConfig::GeArConfig(int n, int r, int p, bool strict)
+    : n_(n), r_(r), p_(p), strict_(strict) {
+  build_layout();
+}
+
+GeArConfig::GeArConfig(int n, std::vector<SubAdderLayout> layout)
+    : n_(n), r_(0), p_(0), strict_(false), custom_(true), layout_(std::move(layout)) {
+  for (std::size_t j = 1; j < layout_.size(); ++j) {
+    r_ = std::max(r_, layout_[j].result_len());
+    p_ = std::max(p_, layout_[j].prediction_len());
+  }
+  if (layout_.size() == 1) r_ = layout_[0].result_len();
+}
+
+std::optional<GeArConfig> GeArConfig::make_custom(
+    int n, int l0, const std::vector<Segment>& segments) {
+  if (n < 2 || n > 63 || l0 < 1) return std::nullopt;
+  std::vector<SubAdderLayout> layout;
+  layout.push_back({0, l0 - 1, 0, l0 - 1});
+  int res_lo = l0;
+  int prev_win_lo = 0;
+  for (const Segment& seg : segments) {
+    if (seg.result_len < 1 || seg.pred_len < 1) return std::nullopt;
+    const int res_hi = res_lo + seg.result_len - 1;
+    const int win_lo = res_lo - seg.pred_len;
+    if (res_hi > n - 1) return std::nullopt;
+    if (win_lo < 0) return std::nullopt;
+    if (win_lo < prev_win_lo) return std::nullopt;  // window-order invariant
+    layout.push_back({win_lo, res_hi, res_lo, res_hi});
+    res_lo = res_hi + 1;
+    prev_win_lo = win_lo;
+  }
+  if (res_lo != n) return std::nullopt;  // segments must tile [l0, N)
+  return GeArConfig(n, std::move(layout));
+}
+
+void GeArConfig::build_layout() {
+  const int l = r_ + p_;
+  layout_.clear();
+  // Sub-adder 0 contributes all L bits.
+  layout_.push_back({0, l - 1, 0, l - 1});
+  // Subsequent result regions advance by R; the top one clamps to N-1.
+  int res_lo = l;
+  while (res_lo < n_) {
+    const int res_hi = std::min(res_lo + r_ - 1, n_ - 1);
+    const int win_lo = res_lo - p_;
+    layout_.push_back({win_lo, res_hi, res_lo, res_hi});
+    res_lo = res_hi + 1;
+  }
+  assert(layout_.back().res_hi == n_ - 1);
+}
+
+int GeArConfig::max_carry_chain() const {
+  int m = 0;
+  for (const auto& s : layout_) m = std::max(m, s.window_len());
+  return m;
+}
+
+std::string GeArConfig::name() const {
+  char buf[96];
+  if (custom_) {
+    std::snprintf(buf, sizeof buf, "GeAr-custom(N=%d,k=%d,maxR=%d,maxP=%d)",
+                  n_, k(), r_, p_);
+  } else {
+    std::snprintf(buf, sizeof buf, "GeAr(N=%d,R=%d,P=%d)", n_, r_, p_);
+  }
+  return buf;
+}
+
+std::vector<GeArConfig> GeArConfig::enumerate(int n, bool include_exact) {
+  std::vector<GeArConfig> out;
+  for (int r = 1; r < n; ++r) {
+    auto configs = enumerate_r(n, r, include_exact);
+    out.insert(out.end(), configs.begin(), configs.end());
+  }
+  return out;
+}
+
+std::vector<GeArConfig> GeArConfig::enumerate_r(int n, int r, bool include_exact) {
+  std::vector<GeArConfig> out;
+  for (int p = 1; r + p <= n; ++p) {
+    auto cfg = make(n, r, p);
+    if (!cfg) continue;
+    if (cfg->is_exact() && !include_exact) continue;
+    out.push_back(*cfg);
+  }
+  return out;
+}
+
+std::vector<GeArConfig> GeArConfig::enumerate_relaxed_r(int n, int r) {
+  std::vector<GeArConfig> out;
+  for (int p = 1; r + p <= n; ++p) {
+    auto cfg = make_relaxed(n, r, p);
+    if (cfg) out.push_back(*cfg);
+  }
+  return out;
+}
+
+}  // namespace gear::core

@@ -1,0 +1,127 @@
+// GeAr adder configuration (N, R, P) and sub-adder geometry.
+//
+// A GeAr adder (Shafique et al., DAC'15) splits an N-bit addition across k
+// sub-adders of length L = R + P. Sub-adder 0 spans bits [0, L-1] and
+// contributes all L result bits; sub-adder j >= 1 spans
+// [R*j, R*j + L - 1], uses its low P bits only to predict the carry, and
+// contributes its top R bits to the result. Eq. 1 of the paper requires
+// (N - L) to be divisible by R ("strict" configurations).
+//
+// The paper's design-space figures (Fig. 1, Fig. 7) additionally sweep P
+// over every value in [1, N-R], which includes geometries where Eq. 1 does
+// not hold. For those we support "relaxed" configurations: result-region
+// boundaries still advance by R, but the top sub-adder is clamped to the
+// MSB and may contribute fewer than R result bits. Its carry chain is
+// never longer than L, so the delay characteristics are preserved. Strict
+// configurations are a special case of the relaxed layout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gear::core {
+
+/// Bit-range geometry of one sub-adder. All positions are absolute bit
+/// indices into the N-bit operands; ranges are inclusive.
+struct SubAdderLayout {
+  int win_lo = 0;  ///< lowest input bit of the sub-adder window
+  int win_hi = 0;  ///< highest input bit of the sub-adder window
+  int res_lo = 0;  ///< lowest bit this sub-adder contributes to the sum
+  int res_hi = 0;  ///< highest bit this sub-adder contributes to the sum
+
+  int window_len() const { return win_hi - win_lo + 1; }
+  int result_len() const { return res_hi - res_lo + 1; }
+  /// Number of carry-prediction ("previous") bits in this window.
+  int prediction_len() const { return res_lo - win_lo; }
+
+  bool operator==(const SubAdderLayout&) const = default;
+};
+
+/// Validated GeAr configuration. Construct via make() / make_relaxed().
+class GeArConfig {
+ public:
+  /// Builds a strict (paper Eq. 1) configuration. Returns std::nullopt if
+  /// the parameters are invalid: requires 1 <= R, 1 <= P, L = R+P <= N and
+  /// (N - L) % R == 0. (L == N yields the exact single-sub-adder case.)
+  static std::optional<GeArConfig> make(int n, int r, int p);
+
+  /// Builds a strict configuration or aborts — for literals in tests and
+  /// benchmarks where the parameters are known valid.
+  static GeArConfig must(int n, int r, int p);
+
+  /// Builds a relaxed configuration: any 1 <= R, 1 <= P with R+P <= N is
+  /// accepted; the top sub-adder is clamped to bit N-1 and may contribute
+  /// fewer than R result bits.
+  static std::optional<GeArConfig> make_relaxed(int n, int r, int p);
+
+  /// One segment of a heterogeneous configuration: `result_len` sum bits
+  /// backed by `pred_len` carry-prediction bits.
+  struct Segment {
+    int result_len = 0;
+    int pred_len = 0;
+  };
+
+  /// Builds a heterogeneous configuration (extension beyond the paper's
+  /// equal-length sub-adders): sub-adder 0 spans the low `l0` bits; each
+  /// subsequent segment contributes its own (R_j, P_j). Constraints:
+  /// l0 >= 1, result_len >= 1, pred_len >= 1, segments tile [l0, N), and
+  /// window start positions are non-decreasing (pred_{j+1} <= pred_j +
+  /// r_{j+1}), which every model in this library relies on. Per-segment
+  /// prediction lengths let a designer buy extra accuracy exactly where
+  /// the error weight is (the MSB side) — see bench_ext_hetero.
+  static std::optional<GeArConfig> make_custom(int n, int l0,
+                                               const std::vector<Segment>& segments);
+
+  int n() const { return n_; }
+  /// Nominal R / P / L. For custom (heterogeneous) configurations these
+  /// report the *maximum* over segments; use layout() for per-segment
+  /// geometry.
+  int r() const { return r_; }
+  int p() const { return p_; }
+  int l() const { return is_custom() ? max_carry_chain() : r_ + p_; }
+  /// Number of sub-adders k.
+  int k() const { return static_cast<int>(layout_.size()); }
+  bool is_strict() const { return strict_; }
+  bool is_custom() const { return custom_; }
+  /// True when k == 1, i.e. the adder degenerates to an exact L==N adder.
+  bool is_exact() const { return k() == 1; }
+
+  const std::vector<SubAdderLayout>& layout() const { return layout_; }
+  const SubAdderLayout& sub(int j) const { return layout_.at(static_cast<std::size_t>(j)); }
+
+  /// Longest carry-propagation chain in bits (== max window length).
+  int max_carry_chain() const;
+
+  /// "GeAr(R,P)" / "GeAr(N,R,P)" style label used in tables.
+  std::string name() const;
+
+  bool operator==(const GeArConfig& o) const {
+    return n_ == o.n_ && r_ == o.r_ && p_ == o.p_ && strict_ == o.strict_ &&
+           custom_ == o.custom_ && (!custom_ || layout_ == o.layout_);
+  }
+
+  /// All strict configurations for an N-bit adder (every valid R, P),
+  /// excluding the k == 1 exact degenerate unless include_exact.
+  static std::vector<GeArConfig> enumerate(int n, bool include_exact = false);
+
+  /// All strict configurations with a fixed R.
+  static std::vector<GeArConfig> enumerate_r(int n, int r, bool include_exact = false);
+
+  /// All relaxed configurations with fixed R and P in [1, n-r] — the sweep
+  /// plotted in Fig. 7.
+  static std::vector<GeArConfig> enumerate_relaxed_r(int n, int r);
+
+ private:
+  GeArConfig(int n, int r, int p, bool strict);
+  GeArConfig(int n, std::vector<SubAdderLayout> layout);  // custom
+  void build_layout();
+
+  int n_, r_, p_;
+  bool strict_;
+  bool custom_ = false;
+  std::vector<SubAdderLayout> layout_;
+};
+
+}  // namespace gear::core

@@ -1,0 +1,103 @@
+#include "core/correction.h"
+
+#include <bit>
+#include <cassert>
+
+namespace gear::core {
+
+namespace {
+inline std::uint64_t low_mask(int bits) {
+  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+/// Mutable per-sub-adder evaluation state for the correction loop.
+struct Window {
+  std::uint64_t a = 0, b = 0;  // effective window inputs
+  std::uint64_t sum = 0;
+  bool carry_out = false;
+  bool all_propagate = false;
+
+  void eval(int wlen, int plen) {
+    sum = a + b;
+    carry_out = (sum >> wlen) & 1ULL;
+    const std::uint64_t pmask = low_mask(plen);
+    all_propagate = (((a ^ b) & pmask) == pmask);
+  }
+};
+}  // namespace
+
+Corrector::Corrector(GeArConfig config, std::uint64_t enabled_mask)
+    : config_(std::move(config)),
+      enabled_mask_(enabled_mask),
+      operand_mask_(low_mask(config_.n())) {}
+
+CorrectionResult Corrector::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask_;
+  b &= operand_mask_;
+  const auto& layout = config_.layout();
+  const int k = config_.k();
+
+  std::vector<Window> win(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    const auto& s = layout[static_cast<std::size_t>(j)];
+    const std::uint64_t wmask = low_mask(s.window_len());
+    auto& w = win[static_cast<std::size_t>(j)];
+    w.a = (a >> s.win_lo) & wmask;
+    w.b = (b >> s.win_lo) & wmask;
+    w.eval(s.window_len(), s.prediction_len());
+  }
+
+  CorrectionResult out;
+  std::vector<bool> was_corrected(static_cast<std::size_t>(k), false);
+
+  // One correction per cycle, lowest erroneous enabled sub-adder first.
+  // Terminates: each sub-adder is corrected at most once.
+  for (;;) {
+    int target = -1;
+    for (int j = 1; j < k; ++j) {
+      const auto& w = win[static_cast<std::size_t>(j)];
+      const bool detect = w.all_propagate && win[static_cast<std::size_t>(j - 1)].carry_out;
+      const bool enabled = (enabled_mask_ >> j) & 1ULL;
+      if (detect && enabled && !was_corrected[static_cast<std::size_t>(j)]) {
+        target = j;
+        break;
+      }
+    }
+    if (target < 0) break;
+
+    const auto& s = layout[static_cast<std::size_t>(target)];
+    auto& w = win[static_cast<std::size_t>(target)];
+    const std::uint64_t pmask = low_mask(s.prediction_len());
+    const std::uint64_t merged = (w.a | w.b) & pmask;
+    w.a = (w.a & ~pmask) | merged | 1ULL;
+    w.b = (w.b & ~pmask) | merged | 1ULL;
+    w.eval(s.window_len(), s.prediction_len());
+    was_corrected[static_cast<std::size_t>(target)] = true;
+    out.corrected.push_back(target);
+    ++out.cycles;
+  }
+
+  std::uint64_t sum = 0;
+  for (int j = 0; j < k; ++j) {
+    const auto& s = layout[static_cast<std::size_t>(j)];
+    const int rel = s.res_lo - s.win_lo;
+    sum |= ((win[static_cast<std::size_t>(j)].sum >> rel) & low_mask(s.result_len()))
+           << s.res_lo;
+  }
+  sum |= static_cast<std::uint64_t>(win[static_cast<std::size_t>(k - 1)].carry_out)
+         << config_.n();
+
+  out.sum = sum;
+  out.exact = (sum == a + b);
+  return out;
+}
+
+int Corrector::max_cycles() const {
+  const int k = config_.k();
+  int correctable = 0;
+  for (int j = 1; j < k; ++j)
+    if ((enabled_mask_ >> j) & 1ULL) ++correctable;
+  return 1 + correctable;
+}
+
+}  // namespace gear::core

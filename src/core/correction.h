@@ -1,0 +1,59 @@
+// Configurable error detection and correction (paper Section 3.3).
+//
+// When a sub-adder's detect flag fires (prediction window all-propagate AND
+// previous sub-adder carry-out set), the correction path rewrites that
+// sub-adder's prediction-window inputs: both operands' prediction bits are
+// replaced by their OR and the window LSBs of both operands are forced to
+// 1. Because detection only fires when the window was fully propagating,
+// the forced LSB generates a carry that ripples through the (now all-ones)
+// prediction bits and delivers the missing carry-in to the result region.
+// One erroneous sub-adder is corrected per extra cycle, lowest first; with
+// k sub-adders at most k-1 corrections (k cycles total) are needed.
+//
+// The error-control select mask makes correction configurable: only
+// sub-adders whose mask bit is set are ever corrected, letting a system
+// trade residual error for cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adder.h"
+#include "core/config.h"
+
+namespace gear::core {
+
+/// Result of an approximate add followed by (partial) error correction.
+struct CorrectionResult {
+  std::uint64_t sum = 0;        ///< final sum (N+1 bits incl. carry-out)
+  int cycles = 1;               ///< 1 base cycle + 1 per corrected sub-adder
+  std::vector<int> corrected;   ///< sub-adder indices corrected, in order
+  bool exact = false;           ///< final sum equals the exact sum
+};
+
+/// Error-correction engine for a GeAr configuration.
+class Corrector {
+ public:
+  /// `enabled_mask` bit j enables correction of sub-adder j (bit 0 is the
+  /// always-exact first sub-adder and is ignored). Pass all_enabled() for
+  /// full accuracy recovery.
+  Corrector(GeArConfig config, std::uint64_t enabled_mask);
+
+  static std::uint64_t all_enabled() { return ~0ULL; }
+
+  const GeArConfig& config() const { return config_; }
+  std::uint64_t enabled_mask() const { return enabled_mask_; }
+
+  /// Runs the multi-cycle detect/correct loop.
+  CorrectionResult add(std::uint64_t a, std::uint64_t b) const;
+
+  /// Upper bound on cycles for this configuration and mask.
+  int max_cycles() const;
+
+ private:
+  GeArConfig config_;
+  std::uint64_t enabled_mask_;
+  std::uint64_t operand_mask_;
+};
+
+}  // namespace gear::core

@@ -1,0 +1,70 @@
+#include "core/coverage.h"
+
+namespace gear::core {
+
+std::string family_name(AdderFamily family) {
+  switch (family) {
+    case AdderFamily::kAcaI: return "ACA-I";
+    case AdderFamily::kEtaII: return "ETAII";
+    case AdderFamily::kAcaII: return "ACA-II";
+    case AdderFamily::kGda: return "GDA";
+    case AdderFamily::kGearStrict: return "GeAr (strict)";
+    case AdderFamily::kGearRelaxed: return "GeAr";
+  }
+  return "?";
+}
+
+std::optional<GeArConfig> as_aca1(int n, int l) {
+  if (l < 2) return std::nullopt;
+  return GeArConfig::make(n, 1, l - 1);
+}
+
+std::optional<GeArConfig> as_etaii(int n, int segment) {
+  if (segment < 1) return std::nullopt;
+  return GeArConfig::make(n, segment, segment);
+}
+
+std::optional<GeArConfig> as_aca2(int n, int l) {
+  if (l < 2 || l % 2 != 0) return std::nullopt;
+  return GeArConfig::make(n, l / 2, l / 2);
+}
+
+std::optional<GeArConfig> as_gda(int n, int mb, int mc) {
+  if (mb < 1 || mc < 1 || mc % mb != 0) return std::nullopt;
+  return GeArConfig::make(n, mb, mc);
+}
+
+bool family_supports(AdderFamily family, const GeArConfig& cfg) {
+  // Heterogeneous layouts are this library's extension; no family in the
+  // paper's comparison (including uniform GeAr) reaches them.
+  if (cfg.is_custom()) return false;
+  switch (family) {
+    case AdderFamily::kAcaI:
+      return cfg.r() == 1 && cfg.is_strict();
+    case AdderFamily::kEtaII:
+    case AdderFamily::kAcaII:
+      return cfg.p() == cfg.r() && cfg.is_strict();
+    case AdderFamily::kGda:
+      return cfg.p() % cfg.r() == 0 && cfg.is_strict();
+    case AdderFamily::kGearStrict:
+      return cfg.is_strict();
+    case AdderFamily::kGearRelaxed:
+      return true;
+  }
+  return false;
+}
+
+std::vector<int> reachable_p_values(AdderFamily family, int n, int r) {
+  std::vector<int> out;
+  for (int p = 1; r + p <= n; ++p) {
+    auto cfg = GeArConfig::make_relaxed(n, r, p);
+    if (cfg && family_supports(family, *cfg)) out.push_back(p);
+  }
+  return out;
+}
+
+int config_count(AdderFamily family, int n, int r) {
+  return static_cast<int>(reachable_p_values(family, n, r).size());
+}
+
+}  // namespace gear::core

@@ -1,0 +1,51 @@
+// Configuration coverage: mapping state-of-the-art approximate adders onto
+// GeAr configurations (paper Sections 1.1 / 3.1) and counting each
+// family's reachable design points (Fig. 1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace gear::core {
+
+/// Families whose accuracy-configurability the paper compares (Fig. 1).
+enum class AdderFamily {
+  kAcaI,    ///< Verma et al. — R = 1, P = L-1 only
+  kEtaII,   ///< Zhu et al. — P = R only
+  kAcaII,   ///< Kahng/Kang — P = R only
+  kGda,     ///< Ye et al. — P must be a multiple of R (CLA tree granularity)
+  kGearStrict,   ///< GeAr restricted to paper Eq. 1 geometries
+  kGearRelaxed,  ///< GeAr with MSB-clamped top sub-adder (full P sweep)
+};
+
+std::string family_name(AdderFamily family);
+
+/// GeAr configuration equivalent to ACA-I with sub-adder length `l`.
+std::optional<GeArConfig> as_aca1(int n, int l);
+
+/// GeAr configuration equivalent to ETAII with segment length `segment`
+/// (segment-sized sum unit fed by a segment-sized carry generator).
+std::optional<GeArConfig> as_etaii(int n, int segment);
+
+/// GeAr configuration equivalent to ACA-II with sub-adder length `l`
+/// (l must be even; R = P = l/2).
+std::optional<GeArConfig> as_aca2(int n, int l);
+
+/// GeAr configuration equivalent to a GDA with uniform sub-adder size M_B
+/// and carry-prediction length M_C (M_C must be a multiple of M_B).
+std::optional<GeArConfig> as_gda(int n, int mb, int mc);
+
+/// Whether a GeAr configuration is reachable by the given family.
+bool family_supports(AdderFamily family, const GeArConfig& cfg);
+
+/// P values in [1, n-r] reachable by `family` at fixed (n, r) — the data
+/// behind Fig. 1's design-space comparison.
+std::vector<int> reachable_p_values(AdderFamily family, int n, int r);
+
+/// Convenience: |reachable_p_values|.
+int config_count(AdderFamily family, int n, int r);
+
+}  // namespace gear::core

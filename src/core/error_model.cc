@@ -1,0 +1,296 @@
+#include "core/error_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace gear::core {
+
+namespace {
+
+/// Probability of the paper's per-sub-adder error event union for
+/// sub-adder j, with generate positions restricted to be >= `frontier`
+/// (used by joint terms: positions below the frontier are claimed as
+/// propagating by a lower sub-adder's event). The atomic event with
+/// generate at g needs propagates at (g, win_lo) plus the whole prediction
+/// window: Eq. 5's rho[Gr] * rho[Pr]^(L-m).
+double event_union_prob(const SubAdderLayout& s, int r, int frontier) {
+  const int hi = s.win_lo - 1;
+  int lo = std::max(s.win_lo - r, 0);
+  lo = std::max(lo, frontier);
+  if (lo > hi) return 0.0;
+  const int plen = s.prediction_len();
+  double acc = 0.0;
+  for (int g = lo; g <= hi; ++g) {
+    acc += kGenProb * std::pow(kPropProb, (hi - g) + plen);
+  }
+  return acc;
+}
+
+/// Largest lookback distance d for which sub-adder j-d's prediction window
+/// can overlap sub-adder j's generate region. Computed from the actual
+/// layout so relaxed top windows are handled.
+int constraint_span(const GeArConfig& cfg) {
+  const int k = cfg.k();
+  int span = 1;
+  for (int j = 2; j < k; ++j) {
+    for (int d = 1; d < j; ++d) {
+      if (cfg.sub(j - d).res_lo > cfg.sub(j).win_lo - cfg.r()) {
+        span = std::max(span, d);
+      }
+    }
+  }
+  return span;
+}
+
+}  // namespace
+
+double paper_error_probability_first_order(const GeArConfig& cfg) {
+  double acc = 0.0;
+  for (int j = 1; j < cfg.k(); ++j) {
+    // For heterogeneous layouts the "previous R bits" generate region is
+    // the preceding result region's width.
+    const int gen_width =
+        cfg.is_custom() ? cfg.sub(j - 1).result_len() : cfg.r();
+    acc += event_union_prob(cfg.sub(j), gen_width, /*frontier=*/-1);
+  }
+  return acc;
+}
+
+double paper_error_probability(const GeArConfig& cfg) {
+  const int k = cfg.k();
+  if (k <= 1) return 0.0;
+  // The inclusion-exclusion DP below assumes the uniform-R event
+  // geometry; for heterogeneous layouts use the exact carry DP, which is
+  // provably equal on the uniform space (see PaperIeEqualsExactDp tests).
+  if (cfg.is_custom()) return exact_error_probability(cfg);
+
+  // Inclusion-exclusion over subsets S of sub-adders {1..k-1}:
+  //   P(union) = 1 - sum_S prod_{j in S} (-f_j(S))
+  // where f_j depends only on the distance to the nearest lower member of
+  // S (its prediction window caps j's generate range). A linear DP over
+  // sub-adders with state = that distance evaluates the sum exactly.
+  const int span = constraint_span(cfg);
+  const int kNone = span + 1;  // "no constraining member in range"
+
+  std::vector<double> dp(static_cast<std::size_t>(span) + 2, 0.0);
+  dp[static_cast<std::size_t>(kNone)] = 1.0;
+
+  for (int j = 1; j < k; ++j) {
+    std::vector<double> nxt(dp.size(), 0.0);
+    for (int d = 1; d <= kNone; ++d) {
+      const double w = dp[static_cast<std::size_t>(d)];
+      if (w == 0.0) continue;
+      // j not in S: nearest member recedes by one.
+      const int nd = std::min(d + 1, kNone);
+      nxt[static_cast<std::size_t>(nd)] += w;
+      // j in S: generate range capped at the nearest member's res_lo.
+      const int frontier =
+          (d <= span && j - d >= 1) ? cfg.sub(j - d).res_lo : -1;
+      const double fj = event_union_prob(cfg.sub(j), cfg.r(), frontier);
+      nxt[1] += w * (-fj);
+    }
+    dp = nxt;
+  }
+
+  double total = 0.0;
+  for (double w : dp) total += w;
+  return 1.0 - total;
+}
+
+double paper_error_probability_subsets(const GeArConfig& cfg) {
+  const int k = cfg.k();
+  if (k <= 1) return 0.0;
+  if (k - 1 > 21) throw std::invalid_argument("paper_error_probability_subsets: k too large");
+
+  const std::uint64_t limit = 1ULL << (k - 1);
+  double result = 0.0;
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    double prod = 1.0;
+    int members = 0;
+    int frontier = -1;
+    for (int j = 1; j < k && prod != 0.0; ++j) {
+      if (!((mask >> (j - 1)) & 1ULL)) continue;
+      ++members;
+      prod *= event_union_prob(cfg.sub(j), cfg.r(), frontier);
+      frontier = cfg.sub(j).res_lo;
+    }
+    result += ((members % 2) == 1 ? 1.0 : -1.0) * prod;
+  }
+  return result;
+}
+
+double exact_error_probability(const GeArConfig& cfg) {
+  const int k = cfg.k();
+  if (k <= 1) return 0.0;
+
+  // Prediction windows, in increasing order of both win_lo and res_lo.
+  struct Win {
+    int lo, resolve;  // alive over [lo, resolve-1], checked at `resolve`
+  };
+  std::vector<Win> wins;
+  int max_open = 0;
+  for (int j = 1; j < k; ++j) {
+    wins.push_back({cfg.sub(j).win_lo, cfg.sub(j).res_lo});
+  }
+  {
+    // Peak number of simultaneously open windows bounds the state space.
+    for (std::size_t i = 0; i < wins.size(); ++i) {
+      int open = 0;
+      for (const auto& w : wins)
+        if (w.lo <= wins[i].lo && wins[i].lo < w.resolve) ++open;
+      max_open = std::max(max_open, open);
+    }
+    if (max_open > 24) {
+      throw std::invalid_argument("exact_error_probability: too many overlapping windows");
+    }
+  }
+
+  // State: (aliveMask over open windows in FIFO order) * 2 + carry.
+  // dp holds the probability mass of every non-erroneous trajectory.
+  std::vector<double> dp(2, 0.0);
+  dp[0] = 1.0;  // carry-in 0, no open windows
+  int open_count = 0;
+  std::size_t next_open = 0;   // next window to open
+  std::size_t next_close = 0;  // next window to resolve
+
+  const int last_pos = wins.back().resolve;
+  for (int t = 0; t <= last_pos; ++t) {
+    // Resolve windows whose prediction span ended at t-1: survivors are
+    // those whose alive flag (FIFO bit 0) is clear.
+    while (next_close < wins.size() && wins[next_close].resolve == t) {
+      std::vector<double> nxt(dp.size() / 2, 0.0);
+      for (std::size_t st = 0; st < dp.size(); ++st) {
+        if (dp[st] == 0.0) continue;
+        const std::size_t mask = st >> 1;
+        const std::size_t carry = st & 1;
+        if (mask & 1) continue;  // alive at resolution => output error
+        nxt[((mask >> 1) << 1) | carry] += dp[st];
+      }
+      dp = std::move(nxt);
+      --open_count;
+      ++next_close;
+    }
+    if (t == last_pos) break;
+
+    // Open windows starting at t: alive iff the carry into t is 1.
+    while (next_open < wins.size() && wins[next_open].lo == t) {
+      std::vector<double> nxt(dp.size() * 2, 0.0);
+      for (std::size_t st = 0; st < dp.size(); ++st) {
+        if (dp[st] == 0.0) continue;
+        const std::size_t mask = st >> 1;
+        const std::size_t carry = st & 1;
+        const std::size_t nmask = mask | (carry << open_count);
+        nxt[(nmask << 1) | carry] += dp[st];
+      }
+      dp = std::move(nxt);
+      ++open_count;
+      ++next_open;
+    }
+
+    // Consume bit t: propagate keeps carry and alive flags; generate/kill
+    // set the carry and clear every open window's alive flag.
+    std::vector<double> nxt(dp.size(), 0.0);
+    for (std::size_t st = 0; st < dp.size(); ++st) {
+      if (dp[st] == 0.0) continue;
+      const std::size_t mask = st >> 1;
+      const std::size_t carry = st & 1;
+      nxt[(mask << 1) | carry] += dp[st] * kPropProb;  // propagate
+      nxt[1] += dp[st] * kGenProb;                     // generate -> carry 1
+      nxt[0] += dp[st] * kGenProb;                     // kill -> carry 0
+    }
+    dp = std::move(nxt);
+  }
+
+  double survive = 0.0;
+  for (double w : dp) survive += w;
+  return 1.0 - survive;
+}
+
+McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials,
+                                     stats::Rng& rng) {
+  assert(trials > 0);
+  const GeArAdder adder(cfg);
+  std::uint64_t errors = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint64_t a = rng.bits(cfg.n());
+    const std::uint64_t b = rng.bits(cfg.n());
+    if (adder.add_value(a, b) != adder.exact(a, b)) ++errors;
+  }
+  McErrorEstimate est;
+  est.trials = trials;
+  est.errors = errors;
+  est.p = static_cast<double>(errors) / static_cast<double>(trials);
+  est.ci = stats::wilson_ci(errors, trials);
+  return est;
+}
+
+double exhaustive_error_probability(const GeArConfig& cfg) {
+  if (cfg.n() > 12) throw std::invalid_argument("exhaustive_error_probability: N > 12");
+  const GeArAdder adder(cfg);
+  const std::uint64_t limit = 1ULL << cfg.n();
+  std::uint64_t errors = 0;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      if (adder.add_value(a, b) != a + b) ++errors;
+    }
+  }
+  return static_cast<double>(errors) /
+         static_cast<double>(limit * limit);
+}
+
+double analytic_med(const GeArConfig& cfg) {
+  const int n = cfg.n();
+  const int l_top = cfg.sub(cfg.k() - 1).window_len();
+  // P(carry out of an m-bit uniform add) = (1 - 2^-m) / 2; the MED is the
+  // carry-out weight times the marginal gap (see header).
+  return std::pow(2.0, n - 1) *
+         (std::pow(2.0, -l_top) - std::pow(2.0, -n));
+}
+
+double exhaustive_med(const GeArConfig& cfg) {
+  if (cfg.n() > 12) throw std::invalid_argument("exhaustive_med: N > 12");
+  const GeArAdder adder(cfg);
+  const std::uint64_t limit = 1ULL << cfg.n();
+  double acc = 0.0;
+  for (std::uint64_t a = 0; a < limit; ++a) {
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      acc += static_cast<double>((a + b) - adder.add_value(a, b));
+    }
+  }
+  return acc / static_cast<double>(limit * limit);
+}
+
+stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
+                                             std::uint64_t trials, stats::Rng& rng) {
+  const GeArAdder adder(cfg);
+  stats::SparseHistogram hist;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint64_t a = rng.bits(cfg.n());
+    const std::uint64_t b = rng.bits(cfg.n());
+    const auto approx = static_cast<std::int64_t>(adder.add_value(a, b));
+    const auto exact = static_cast<std::int64_t>(adder.exact(a, b));
+    hist.add(approx - exact);
+  }
+  return hist;
+}
+
+std::vector<double> mc_detect_count_distribution(const GeArConfig& cfg,
+                                                 std::uint64_t trials,
+                                                 stats::Rng& rng) {
+  const GeArAdder adder(cfg);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(cfg.k()) + 1, 0);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint64_t a = rng.bits(cfg.n());
+    const std::uint64_t b = rng.bits(cfg.n());
+    const AddResult r = adder.add(a, b);
+    ++counts[static_cast<std::size_t>(r.detect_count())];
+  }
+  std::vector<double> out(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    out[i] = static_cast<double>(counts[i]) / static_cast<double>(trials);
+  return out;
+}
+
+}  // namespace gear::core

@@ -1,0 +1,98 @@
+// Error-probability models for GeAr configurations (paper Section 3.2).
+//
+// Four estimators of P(approximate sum != exact sum) under i.i.d. uniform
+// operands, from fastest/most-approximate to slowest/exact:
+//
+//  * paper_error_probability_first_order — the plain sum of the paper's
+//    per-event probabilities (Eq. 5); this is what the paper's tables
+//    effectively report, since cross-sub-adder joint terms are tiny.
+//  * paper_error_probability — full inclusion-exclusion (Eq. 7) over the
+//    paper's R*(k-1) error-generating events, evaluated exactly with a
+//    linear DP over sub-adders (joint terms are either zero for conflicting
+//    footprints or products for disjoint ones, per Eq. 6).
+//  * exact_error_probability — exact probability of the true error event
+//    ("prediction window all-propagate AND true carry into the window"),
+//    which unlike the paper's model allows the carry to originate
+//    arbitrarily far below. Computed by a DP over bit positions with
+//    2^ceil(P/R) propagation states. This is the ground truth the paper's
+//    model approximates.
+//  * mc_error_probability / exhaustive_error_probability — simulation
+//    referees (the paper's Table III "by simulation" column uses 10000
+//    uniform patterns).
+#pragma once
+
+#include <cstdint>
+
+#include "core/adder.h"
+#include "core/config.h"
+#include "stats/bootstrap.h"
+#include "stats/histogram.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+
+/// Probability of a propagate (a^b) at one bit of uniform operands.
+inline constexpr double kPropProb = 0.5;
+/// Probability of a generate (a&b) at one bit of uniform operands.
+inline constexpr double kGenProb = 0.25;
+
+/// Sum of the paper's per-event probabilities (first-order union bound).
+double paper_error_probability_first_order(const GeArConfig& cfg);
+
+/// Full inclusion-exclusion over the paper's error-generating events
+/// (Eqs. 5-7). Exact for the paper's event set; O(k * ceil(P/R)).
+double paper_error_probability(const GeArConfig& cfg);
+
+/// Reference implementation of paper_error_probability by explicit subset
+/// enumeration (O(2^(k-1))); used to validate the DP. Requires k <= 21.
+double paper_error_probability_subsets(const GeArConfig& cfg);
+
+/// Exact P(output != exact sum) under uniform operands, via a carry /
+/// window-propagation DP. O(N * 2^ceil(P/R)).
+double exact_error_probability(const GeArConfig& cfg);
+
+/// Monte-Carlo estimate with a Wilson confidence interval.
+struct McErrorEstimate {
+  double p = 0.0;
+  stats::ConfidenceInterval ci;
+  std::uint64_t trials = 0;
+  std::uint64_t errors = 0;
+};
+McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials,
+                                     stats::Rng& rng);
+
+/// Exhaustive P(error) over all 2^(2N) operand pairs. Requires N <= 12.
+double exhaustive_error_probability(const GeArConfig& cfg);
+
+/// Analytic mean error distance E[exact - approx] under uniform operands
+/// (an extension beyond the paper, which only models error *rate*).
+///
+/// Derivation: by linearity, E[exact - approx] = sum_t 2^t *
+/// (P(exact_t=1) - P(approx_t=1)). Every result bit t < N has marginal
+/// exactly 1/2 in both the exact sum and any windowed approximation
+/// (bit t = (a_t ^ b_t) ^ carry, and a_t ^ b_t is an unbiased coin
+/// independent of the carry from lower bits), so all terms below bit N
+/// cancel and only the carry-out marginals differ:
+///   E = 2^N * (P(exact carry-out) - P(top-window carry-out))
+///     = 2^(N-1) * (2^(-L_top) - 2^(-N)),
+/// with L_top the top sub-adder's window length. Validated exhaustively
+/// in the tests.
+double analytic_med(const GeArConfig& cfg);
+
+/// Exhaustive mean error distance (N <= 12), the referee for
+/// analytic_med.
+double exhaustive_med(const GeArConfig& cfg);
+
+/// Monte-Carlo signed error distribution (approx - exact) under uniform
+/// operands. Keys are signed error values.
+stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
+                                             std::uint64_t trials, stats::Rng& rng);
+
+/// Probability that exactly `c` sub-adders flag an error simultaneously,
+/// estimated by Monte Carlo; index c of the returned vector (size k).
+/// Used by the correction-cycle model.
+std::vector<double> mc_detect_count_distribution(const GeArConfig& cfg,
+                                                 std::uint64_t trials,
+                                                 stats::Rng& rng);
+
+}  // namespace gear::core

@@ -1,0 +1,48 @@
+#include "core/signed_ops.h"
+
+#include <cassert>
+
+namespace gear::core {
+
+std::int64_t to_signed(std::uint64_t v, int bits) {
+  assert(bits >= 1 && bits <= 63);
+  const std::uint64_t mask = (1ULL << bits) - 1;
+  v &= mask;
+  const std::uint64_t sign = 1ULL << (bits - 1);
+  if (v & sign) {
+    return static_cast<std::int64_t>(v) - static_cast<std::int64_t>(1ULL << bits);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t from_signed(std::int64_t v, int bits) {
+  assert(bits >= 1 && bits <= 63);
+  return static_cast<std::uint64_t>(v) & ((1ULL << bits) - 1);
+}
+
+SignedAddResult signed_add(const GeArAdder& adder, std::int64_t a, std::int64_t b) {
+  const int n = adder.config().n();
+  const std::uint64_t ua = from_signed(a, n);
+  const std::uint64_t ub = from_signed(b, n);
+  const AddResult raw = adder.add(ua, ub);
+
+  SignedAddResult out;
+  out.value = to_signed(raw.sum, n);
+  out.error_detected = raw.error_detected();
+  const std::int64_t exact = a + b;
+  const std::int64_t lo = -(static_cast<std::int64_t>(1) << (n - 1));
+  const std::int64_t hi = (static_cast<std::int64_t>(1) << (n - 1)) - 1;
+  out.overflow = exact < lo || exact > hi;
+  return out;
+}
+
+std::int64_t signed_error(const GeArAdder& adder, std::int64_t a, std::int64_t b) {
+  const int n = adder.config().n();
+  const std::uint64_t ua = from_signed(a, n);
+  const std::uint64_t ub = from_signed(b, n);
+  const std::int64_t approx = to_signed(adder.add_value(ua, ub), n);
+  const std::int64_t exact_wrapped = to_signed(ua + ub, n);
+  return approx - exact_wrapped;
+}
+
+}  // namespace gear::core

@@ -1,0 +1,40 @@
+// Signed (two's-complement) views over the approximate adders.
+//
+// The hardware adds bit patterns; signedness is interpretation. These
+// helpers convert between N-bit two's complement and int64, run signed
+// additions through a GeAr adder, and flag signed overflow — needed by
+// workloads like SAD residuals and filter taps that operate on signed
+// intermediates.
+#pragma once
+
+#include <cstdint>
+
+#include "core/adder.h"
+
+namespace gear::core {
+
+/// Interprets the low `bits` of `v` as two's complement.
+std::int64_t to_signed(std::uint64_t v, int bits);
+
+/// Encodes `v` as `bits`-wide two's complement (truncating).
+std::uint64_t from_signed(std::int64_t v, int bits);
+
+struct SignedAddResult {
+  std::int64_t value = 0;  ///< result re-interpreted as signed
+  bool overflow = false;   ///< two's-complement overflow of the *exact* sum
+  bool error_detected = false;
+};
+
+/// Adds signed operands through the approximate adder: operands are
+/// encoded, added as bit patterns, and the N-bit result decoded. The
+/// overflow flag reports whether even the exact sum is unrepresentable in
+/// N bits (in which case wrap-around semantics apply to both exact and
+/// approximate results).
+SignedAddResult signed_add(const GeArAdder& adder, std::int64_t a, std::int64_t b);
+
+/// Signed error of an approximate addition: decoded(approx) -
+/// decoded(exact mod 2^N). Zero when the adder made no mistake, even
+/// under overflow wrap-around.
+std::int64_t signed_error(const GeArAdder& adder, std::int64_t a, std::int64_t b);
+
+}  // namespace gear::core

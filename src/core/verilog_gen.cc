@@ -1,0 +1,184 @@
+#include "core/verilog_gen.h"
+
+#include <sstream>
+
+namespace gear::core {
+
+namespace {
+
+std::string bit_range(int hi, int lo) {
+  std::ostringstream os;
+  os << "[" << hi << ":" << lo << "]";
+  return os.str();
+}
+
+/// Emits the shared combinational core: per-sub-adder window sums, result
+/// assembly and detect flags. Used by both module flavours.
+void emit_core(std::ostringstream& os, const GeArConfig& cfg,
+               const std::string& a, const std::string& b,
+               const std::string& sum, const std::string& err) {
+  const int k = cfg.k();
+  for (int j = 0; j < k; ++j) {
+    const auto& s = cfg.sub(j);
+    const int wlen = s.window_len();
+    os << "  wire [" << wlen << ":0] w" << j << " = {1'b0, " << a
+       << bit_range(s.win_hi, s.win_lo) << "} + {1'b0, " << b
+       << bit_range(s.win_hi, s.win_lo) << "};\n";
+  }
+  for (int j = 0; j < k; ++j) {
+    const auto& s = cfg.sub(j);
+    const int rel_lo = s.res_lo - s.win_lo;
+    const int rel_hi = s.res_hi - s.win_lo;
+    os << "  assign " << sum << bit_range(s.res_hi, s.res_lo) << " = w" << j
+       << bit_range(rel_hi, rel_lo) << ";\n";
+  }
+  os << "  assign " << sum << "[" << cfg.n() << "] = w" << (k - 1) << "["
+     << cfg.sub(k - 1).window_len() << "];\n";
+
+  os << "  assign " << err << "[0] = 1'b0;\n";
+  for (int j = 1; j < k; ++j) {
+    const auto& s = cfg.sub(j);
+    const auto& prev = cfg.sub(j - 1);
+    // c_p(j): prediction window all-propagate; c_o(j-1): previous carry-out.
+    os << "  assign " << err << "[" << j << "] = (&(" << a
+       << bit_range(s.res_lo - 1, s.win_lo) << " ^ " << b
+       << bit_range(s.res_lo - 1, s.win_lo) << ")) & w" << (j - 1) << "["
+       << prev.window_len() << "];\n";
+  }
+}
+
+}  // namespace
+
+std::string verilog_module_name(const GeArConfig& cfg) {
+  std::ostringstream os;
+  os << "gear_n" << cfg.n() << "_r" << cfg.r() << "_p" << cfg.p();
+  return os.str();
+}
+
+std::string generate_verilog(const GeArConfig& cfg) {
+  const int n = cfg.n();
+  const int k = cfg.k();
+  std::ostringstream os;
+  os << "// GeAr approximate adder, auto-generated.\n"
+     << "// " << cfg.name() << ", k=" << k << ", L=" << cfg.l() << "\n"
+     << "module " << verilog_module_name(cfg) << " (\n"
+     << "  input  wire [" << (n - 1) << ":0] a,\n"
+     << "  input  wire [" << (n - 1) << ":0] b,\n"
+     << "  output wire [" << n << ":0] sum,\n"
+     << "  output wire [" << (k - 1) << ":0] err\n"
+     << ");\n";
+  emit_core(os, cfg, "a", "b", "sum", "err");
+  os << "endmodule\n";
+  return os.str();
+}
+
+std::string generate_verilog_with_correction(const GeArConfig& cfg) {
+  const int n = cfg.n();
+  const int k = cfg.k();
+  std::ostringstream os;
+  os << "// GeAr approximate adder with configurable error correction,\n"
+     << "// auto-generated. One sub-adder corrected per cycle, lowest\n"
+     << "// erroneous enabled sub-adder first (paper Section 3.3).\n"
+     << "module " << verilog_module_name(cfg) << "_ecc (\n"
+     << "  input  wire clk,\n"
+     << "  input  wire rst,\n"
+     << "  input  wire start,\n"
+     << "  input  wire [" << (n - 1) << ":0] a,\n"
+     << "  input  wire [" << (n - 1) << ":0] b,\n"
+     << "  input  wire [" << (k - 1) << ":0] correct_en,\n"
+     << "  output wire [" << n << ":0] sum,\n"
+     << "  output reg  done\n"
+     << ");\n"
+     << "  // Effective operands; correction rewrites one sub-adder's\n"
+     << "  // prediction window per cycle.\n"
+     << "  reg [" << (n - 1) << ":0] ea, eb;\n"
+     << "  reg [" << (k - 1) << ":0] corrected;\n"
+     << "  wire [" << (k - 1) << ":0] err;\n";
+  emit_core(os, cfg, "ea", "eb", "sum", "err");
+
+  os << "  wire [" << (k - 1) << ":0] pending = err & correct_en & ~corrected;\n";
+
+  // Priority encoder: lowest pending sub-adder.
+  os << "  integer i;\n"
+     << "  reg [31:0] target;\n"
+     << "  always @* begin\n"
+     << "    target = " << k << ";\n"
+     << "    for (i = " << (k - 1) << "; i >= 1; i = i - 1)\n"
+     << "      if (pending[i]) target = i;\n"
+     << "  end\n";
+
+  os << "  always @(posedge clk) begin\n"
+     << "    if (rst) begin\n"
+     << "      done <= 1'b0;\n"
+     << "      corrected <= " << k << "'d0;\n"
+     << "    end else if (start) begin\n"
+     << "      ea <= a;\n"
+     << "      eb <= b;\n"
+     << "      corrected <= " << k << "'d0;\n"
+     << "      done <= 1'b0;\n"
+     << "    end else if (!done) begin\n"
+     << "      if (target == " << k << ") begin\n"
+     << "        done <= 1'b1;\n"
+     << "      end else begin\n"
+     << "        case (target)\n";
+  for (int j = 1; j < k; ++j) {
+    const auto& s = cfg.sub(j);
+    const int pr_hi = s.res_lo - 1;
+    const int pr_lo = s.win_lo;
+    os << "          " << j << ": begin\n"
+       << "            ea" << bit_range(pr_hi, pr_lo) << " <= (ea"
+       << bit_range(pr_hi, pr_lo) << " | eb" << bit_range(pr_hi, pr_lo)
+       << ") | " << (pr_hi - pr_lo + 1) << "'d1;\n"
+       << "            eb" << bit_range(pr_hi, pr_lo) << " <= (ea"
+       << bit_range(pr_hi, pr_lo) << " | eb" << bit_range(pr_hi, pr_lo)
+       << ") | " << (pr_hi - pr_lo + 1) << "'d1;\n"
+       << "            corrected[" << j << "] <= 1'b1;\n"
+       << "          end\n";
+  }
+  os << "          default: ;\n"
+     << "        endcase\n"
+     << "      end\n"
+     << "    end\n"
+     << "  end\n"
+     << "endmodule\n";
+  return os.str();
+}
+
+std::string generate_verilog_testbench(const GeArConfig& cfg, int vectors) {
+  const int n = cfg.n();
+  const int k = cfg.k();
+  const std::string mod = verilog_module_name(cfg);
+  std::ostringstream os;
+  os << "// Self-checking testbench for " << mod << ", auto-generated.\n"
+     << "`timescale 1ns/1ps\n"
+     << "module tb_" << mod << ";\n"
+     << "  reg  [" << (n - 1) << ":0] a, b;\n"
+     << "  wire [" << n << ":0] sum;\n"
+     << "  wire [" << (k - 1) << ":0] err;\n"
+     << "  reg  [63:0] lfsr = 64'hace1_dead_beef_cafe;\n"
+     << "  integer i, mismatches;\n"
+     << "  " << mod << " dut(.a(a), .b(b), .sum(sum), .err(err));\n"
+     << "  task step_lfsr; begin\n"
+     << "    lfsr = {lfsr[62:0], lfsr[63] ^ lfsr[62] ^ lfsr[60] ^ lfsr[59]};\n"
+     << "  end endtask\n"
+     << "  initial begin\n"
+     << "    mismatches = 0;\n"
+     << "    for (i = 0; i < " << vectors << "; i = i + 1) begin\n"
+     << "      step_lfsr; a = lfsr[" << (n - 1) << ":0];\n"
+     << "      step_lfsr; b = lfsr[" << (n - 1) << ":0];\n"
+     << "      #1;\n"
+     << "      // err == 0 must imply an exact sum.\n"
+     << "      if (err == 0 && sum !== ({1'b0, a} + {1'b0, b})) begin\n"
+     << "        mismatches = mismatches + 1;\n"
+     << "        $display(\"MISMATCH a=%h b=%h sum=%h\", a, b, sum);\n"
+     << "      end\n"
+     << "    end\n"
+     << "    if (mismatches == 0) $display(\"PASS\");\n"
+     << "    else $display(\"FAIL %0d\", mismatches);\n"
+     << "    $finish;\n"
+     << "  end\n"
+     << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace gear::core

@@ -1,0 +1,41 @@
+// Synthesizable Verilog generation for GeAr configurations.
+//
+// The paper releases RTL for GeAr and the compared adders; this module
+// regenerates equivalent RTL from a GeArConfig. Two flavours:
+//  * combinational approximate adder with per-sub-adder error flags, and
+//  * a sequential error-correcting wrapper (one corrected sub-adder per
+//    cycle, lowest-first, gated by an error-control select input).
+//
+// Output is plain Verilog-2001 using behavioural '+' for sub-adder cores
+// (synthesis tools infer carry chains), matching the paper's observation
+// that GeAr is agnostic to the sub-adder implementation.
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+
+namespace gear::core {
+
+/// Legal Verilog identifier for a configuration, e.g. "gear_n16_r4_p4".
+std::string verilog_module_name(const GeArConfig& cfg);
+
+/// Combinational GeAr adder:
+///   module <name>(input [N-1:0] a, b, output [N:0] sum,
+///                 output [K-1:0] err);
+/// err[j] is the detect flag of sub-adder j (err[0] is constant 0).
+std::string generate_verilog(const GeArConfig& cfg);
+
+/// Sequential error-correcting GeAr:
+///   module <name>_ecc(input clk, rst, start, input [N-1:0] a, b,
+///                     input [K-1:0] correct_en,
+///                     output reg [N:0] sum, output reg done);
+/// Performs the approximate add in the first cycle and one correction per
+/// subsequent cycle while any enabled sub-adder flags an error.
+std::string generate_verilog_with_correction(const GeArConfig& cfg);
+
+/// Self-checking Verilog testbench comparing the generated module against
+/// a behavioural N-bit '+' on `vectors` random vectors (fixed LFSR seed).
+std::string generate_verilog_testbench(const GeArConfig& cfg, int vectors);
+
+}  // namespace gear::core

@@ -1,0 +1,66 @@
+#include "core/wide_adder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gear::core {
+
+std::optional<WideGeArLayout> WideGeArLayout::make(int n, int r, int p) {
+  if (n < 2 || r < 1 || p < 1 || r + p > n) return std::nullopt;
+  return WideGeArLayout(n, r, p);
+}
+
+WideGeArLayout::WideGeArLayout(int n, int r, int p) : n_(n), r_(r), p_(p) {
+  const int l = r + p;
+  subs_.push_back({0, l - 1, 0, l - 1});
+  int res_lo = l;
+  while (res_lo < n) {
+    const int res_hi = std::min(res_lo + r - 1, n - 1);
+    subs_.push_back({res_lo - p, res_hi, res_lo, res_hi});
+    res_lo = res_hi + 1;
+  }
+}
+
+WideGeArAdder::WideGeArAdder(WideGeArLayout layout) : layout_(std::move(layout)) {}
+
+WideAddResult WideGeArAdder::add(const BitVec& a, const BitVec& b) const {
+  assert(a.width() == layout_.n() && b.width() == layout_.n());
+  const int n = layout_.n();
+  WideAddResult out;
+  out.sum = BitVec(n + 1);
+  out.detect.assign(layout_.subs().size(), false);
+
+  std::vector<bool> carry_out(layout_.subs().size(), false);
+  for (std::size_t j = 0; j < layout_.subs().size(); ++j) {
+    const auto& s = layout_.subs()[j];
+    const int wlen = s.window_len();
+    const BitVec wa = a.slice(s.win_lo, wlen);
+    const BitVec wb = b.slice(s.win_lo, wlen);
+    bool cout = false;
+    const BitVec wsum = wa.add(wb, false, &cout);
+    carry_out[j] = cout;
+
+    const int rel = s.res_lo - s.win_lo;
+    out.sum.set_slice(s.res_lo, wsum.slice(rel, s.result_len()));
+
+    if (j >= 1) {
+      const int plen = s.prediction_len();
+      const BitVec prop = wa.slice(0, plen) ^ wb.slice(0, plen);
+      const bool all_prop = prop.popcount() == plen;
+      out.detect[j] = all_prop && carry_out[j - 1];
+    }
+  }
+  out.sum.set_bit(n, carry_out.back());
+  return out;
+}
+
+BitVec WideGeArAdder::exact(const BitVec& a, const BitVec& b) const {
+  const int n = layout_.n();
+  bool cout = false;
+  BitVec s = a.add(b, false, &cout);
+  BitVec wide = s.resized(n + 1);
+  wide.set_bit(n, cout);
+  return wide;
+}
+
+}  // namespace gear::core

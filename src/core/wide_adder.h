@@ -1,0 +1,62 @@
+// BitVec-backed GeAr adder for operand widths beyond 63 bits.
+//
+// GeArAdder uses std::uint64_t for speed (covering every width the paper
+// evaluates); WideGeArAdder implements identical semantics over BitVec so
+// the model scales to arbitrary widths (e.g. 128-bit datapath studies).
+// Geometry comes from WideGeArLayout, mirroring GeArConfig without the
+// 63-bit cap. Cross-checked against GeArAdder for N <= 63 in the tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/bitvec.h"
+#include "core/config.h"
+
+namespace gear::core {
+
+/// Sub-adder geometry for arbitrary widths (same rules as GeArConfig;
+/// relaxed top sub-adder allowed).
+class WideGeArLayout {
+ public:
+  static std::optional<WideGeArLayout> make(int n, int r, int p);
+
+  int n() const { return n_; }
+  int r() const { return r_; }
+  int p() const { return p_; }
+  int k() const { return static_cast<int>(subs_.size()); }
+  const std::vector<SubAdderLayout>& subs() const { return subs_; }
+
+ private:
+  WideGeArLayout(int n, int r, int p);
+  int n_, r_, p_;
+  std::vector<SubAdderLayout> subs_;
+};
+
+struct WideAddResult {
+  BitVec sum;                     ///< N+1 bits
+  std::vector<bool> detect;       ///< per sub-adder (index 0 always false)
+  bool error_detected() const {
+    for (bool d : detect)
+      if (d) return true;
+    return false;
+  }
+};
+
+class WideGeArAdder {
+ public:
+  explicit WideGeArAdder(WideGeArLayout layout);
+
+  const WideGeArLayout& layout() const { return layout_; }
+
+  /// Approximate addition; operands must have width N.
+  WideAddResult add(const BitVec& a, const BitVec& b) const;
+
+  /// Exact N+1-bit reference.
+  BitVec exact(const BitVec& a, const BitVec& b) const;
+
+ private:
+  WideGeArLayout layout_;
+};
+
+}  // namespace gear::core

@@ -1,0 +1,202 @@
+#include "netlist/builder.h"
+
+#include <cassert>
+
+namespace gear::netlist {
+
+std::size_t Builder::GateKeyHash::operator()(const GateKey& k) const {
+  std::size_t h = static_cast<std::size_t>(k.kind) * 0x9e3779b97f4a7c15ULL;
+  for (NetId n : k.inputs) {
+    h ^= n + 0x9e3779b9U + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+Bus Builder::input(const std::string& name, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bus.push_back(nl_.new_net());
+  nl_.add_input(name, bus);
+  return bus;
+}
+
+void Builder::output(const std::string& name, const Bus& bus) {
+  nl_.add_output(name, bus);
+}
+
+void Builder::output(const std::string& name, NetId net) {
+  nl_.add_output(name, {net});
+}
+
+NetId Builder::gate(GateKind kind, std::vector<NetId> inputs) {
+  // Normalise commutative inputs so a&b and b&a share one gate.
+  switch (kind) {
+    case GateKind::kAnd2:
+    case GateKind::kOr2:
+    case GateKind::kXor2:
+    case GateKind::kNand2:
+    case GateKind::kNor2:
+    case GateKind::kXnor2:
+      if (inputs[0] > inputs[1]) std::swap(inputs[0], inputs[1]);
+      break;
+    default:
+      break;
+  }
+  GateKey key{kind, inputs};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const NetId out = nl_.add_gate(kind, std::move(key.inputs));
+  cache_.emplace(GateKey{kind, nl_.gates().back().inputs}, out);
+  return out;
+}
+
+NetId Builder::const0() { return gate(GateKind::kConst0, {}); }
+NetId Builder::const1() { return gate(GateKind::kConst1, {}); }
+NetId Builder::not_(NetId a) { return gate(GateKind::kNot, {a}); }
+NetId Builder::and_(NetId a, NetId b) { return gate(GateKind::kAnd2, {a, b}); }
+NetId Builder::or_(NetId a, NetId b) { return gate(GateKind::kOr2, {a, b}); }
+NetId Builder::xor_(NetId a, NetId b) { return gate(GateKind::kXor2, {a, b}); }
+NetId Builder::nand_(NetId a, NetId b) { return gate(GateKind::kNand2, {a, b}); }
+NetId Builder::nor_(NetId a, NetId b) { return gate(GateKind::kNor2, {a, b}); }
+NetId Builder::xnor_(NetId a, NetId b) { return gate(GateKind::kXnor2, {a, b}); }
+NetId Builder::mux(NetId sel, NetId d0, NetId d1) {
+  return gate(GateKind::kMux2, {sel, d0, d1});
+}
+
+NetId Builder::and_tree(const Bus& bits) {
+  assert(!bits.empty());
+  Bus level = bits;
+  while (level.size() > 1) {
+    Bus next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(and_(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetId Builder::or_tree(const Bus& bits) {
+  assert(!bits.empty());
+  Bus level = bits;
+  while (level.size() > 1) {
+    Bus next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(or_(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+std::pair<NetId, NetId> Builder::full_adder(NetId a, NetId b, NetId cin) {
+  const NetId s = gate(GateKind::kFaSum, {a, b, cin});
+  const NetId c = gate(GateKind::kFaCarry, {a, b, cin});
+  return {s, c};
+}
+
+AdderBits Builder::ripple_adder(const Bus& a, const Bus& b, NetId cin) {
+  assert(a.size() == b.size());
+  AdderBits out;
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [s, c] = full_adder(a[i], b[i], carry);
+    out.sum.push_back(s);
+    carry = c;
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+NetId Builder::carry_generator(const Bus& a, const Bus& b, NetId cin) {
+  assert(a.size() == b.size());
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    carry = gate(GateKind::kFaCarry, {a[i], b[i], carry});
+  }
+  return carry;
+}
+
+NetId Builder::cla_group_generate(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  assert(!a.empty());
+  // Leaf (G, P) per bit, then balanced combine:
+  //   (G, P) = (G_hi | P_hi & G_lo, P_hi & P_lo).
+  std::vector<std::pair<NetId, NetId>> level;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    level.emplace_back(and_(a[i], b[i]), xor_(a[i], b[i]));
+  }
+  while (level.size() > 1) {
+    std::vector<std::pair<NetId, NetId>> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const auto [g_lo, p_lo] = level[i];
+      const auto [g_hi, p_hi] = level[i + 1];
+      next.emplace_back(or_(g_hi, and_(p_hi, g_lo)), and_(p_hi, p_lo));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0].first;
+}
+
+AdderBits Builder::prefix_adder(const Bus& a, const Bus& b, NetId cin) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  std::vector<NetId> g(n), p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = and_(a[i], b[i]);
+    p[i] = xor_(a[i], b[i]);
+  }
+  // Kogge-Stone prefix: after the last level, G[i] is the carry out of
+  // bits [0, i] assuming zero carry-in; cin is folded in afterwards.
+  std::vector<NetId> gg = g, pp = p;
+  for (std::size_t dist = 1; dist < n; dist *= 2) {
+    std::vector<NetId> ng = gg, np = pp;
+    for (std::size_t i = dist; i < n; ++i) {
+      ng[i] = or_(gg[i], and_(pp[i], gg[i - dist]));
+      np[i] = and_(pp[i], pp[i - dist]);
+    }
+    gg = std::move(ng);
+    pp = std::move(np);
+  }
+  AdderBits out;
+  // carry into bit i: c0 = cin; c_i = GG[i-1] | PP[i-1] & cin.
+  NetId carry = cin;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.sum.push_back(xor_(p[i], carry));
+    carry = or_(gg[i], and_(pp[i], cin));
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+Bus Builder::xor_bus(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out;
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(xor_(a[i], b[i]));
+  return out;
+}
+
+Bus Builder::or_bus(const Bus& a, const Bus& b) {
+  assert(a.size() == b.size());
+  Bus out;
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(or_(a[i], b[i]));
+  return out;
+}
+
+Bus Builder::mux_bus(NetId sel, const Bus& d0, const Bus& d1) {
+  assert(d0.size() == d1.size());
+  Bus out;
+  for (std::size_t i = 0; i < d0.size(); ++i) out.push_back(mux(sel, d0[i], d1[i]));
+  return out;
+}
+
+Bus Builder::slice(const Bus& bus, int lo, int len) {
+  assert(lo >= 0 && len >= 0 &&
+         static_cast<std::size_t>(lo + len) <= bus.size());
+  return Bus(bus.begin() + lo, bus.begin() + lo + len);
+}
+
+}  // namespace gear::netlist

@@ -1,0 +1,100 @@
+// Structural netlist construction helpers with hash-consing.
+//
+// The builder deduplicates structurally identical gates (same kind, same
+// input nets), so overlapping-window adders such as ACA-I automatically
+// share their common propagate/generate logic — mirroring what logic
+// synthesis would do before technology mapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace gear::netlist {
+
+/// A bundle of nets forming a little-endian bus.
+using Bus = std::vector<NetId>;
+
+/// Sum and carry-out of an adder block.
+struct AdderBits {
+  Bus sum;
+  NetId carry_out = kInvalidNet;
+};
+
+class Builder {
+ public:
+  explicit Builder(std::string name) : nl_(std::move(name)) {}
+
+  /// Declares a primary input bus of `width` nets.
+  Bus input(const std::string& name, int width);
+
+  /// Declares an output port.
+  void output(const std::string& name, const Bus& bus);
+  void output(const std::string& name, NetId net);
+
+  NetId const0();
+  NetId const1();
+
+  NetId not_(NetId a);
+  NetId and_(NetId a, NetId b);
+  NetId or_(NetId a, NetId b);
+  NetId xor_(NetId a, NetId b);
+  NetId nand_(NetId a, NetId b);
+  NetId nor_(NetId a, NetId b);
+  NetId xnor_(NetId a, NetId b);
+  /// sel ? d1 : d0
+  NetId mux(NetId sel, NetId d0, NetId d1);
+
+  /// Balanced reduction trees.
+  NetId and_tree(const Bus& bits);
+  NetId or_tree(const Bus& bits);
+
+  /// Full adder using the carry-chain macro gates.
+  std::pair<NetId, NetId> full_adder(NetId a, NetId b, NetId cin);
+
+  /// Ripple-carry adder over equal-width buses.
+  AdderBits ripple_adder(const Bus& a, const Bus& b, NetId cin);
+
+  /// Carry-only ripple chain (an ETAII "carry generator unit"): returns
+  /// the carry out of a + b + cin without any sum gates.
+  NetId carry_generator(const Bus& a, const Bus& b, NetId cin);
+
+  /// Hierarchical carry-lookahead group generate over a+b (cin = 0),
+  /// built as a balanced (G,P) combine tree — GDA's prediction unit.
+  NetId cla_group_generate(const Bus& a, const Bus& b);
+
+  /// Parallel-prefix (Kogge-Stone) adder: all carries via a log-depth
+  /// prefix tree.
+  AdderBits prefix_adder(const Bus& a, const Bus& b, NetId cin);
+
+  /// Bitwise helpers over equal-width buses.
+  Bus xor_bus(const Bus& a, const Bus& b);
+  Bus or_bus(const Bus& a, const Bus& b);
+  Bus mux_bus(NetId sel, const Bus& d0, const Bus& d1);
+
+  /// Bus slice [lo, lo+len).
+  static Bus slice(const Bus& bus, int lo, int len);
+
+  Netlist take() && { return std::move(nl_); }
+  const Netlist& peek() const { return nl_; }
+
+ private:
+  NetId gate(GateKind kind, std::vector<NetId> inputs);
+  struct GateKey {
+    GateKind kind;
+    std::vector<NetId> inputs;
+    bool operator==(const GateKey&) const = default;
+  };
+  struct GateKeyHash {
+    std::size_t operator()(const GateKey& k) const;
+  };
+
+  Netlist nl_;
+  std::unordered_map<GateKey, NetId, GateKeyHash> cache_;
+};
+
+}  // namespace gear::netlist

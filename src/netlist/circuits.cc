@@ -1,0 +1,248 @@
+#include "netlist/circuits.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "netlist/builder.h"
+
+namespace gear::netlist {
+
+namespace {
+
+std::string circuit_name(const std::string& base, int n) {
+  std::ostringstream os;
+  os << base << "_n" << n;
+  return os.str();
+}
+
+}  // namespace
+
+Netlist build_rca(int n) {
+  Builder b(circuit_name("rca", n));
+  const Bus a = b.input("a", n);
+  const Bus bb = b.input("b", n);
+  AdderBits add = b.ripple_adder(a, bb, b.const0());
+  Bus sum = add.sum;
+  sum.push_back(add.carry_out);
+  b.output("sum", sum);
+  return std::move(b).take();
+}
+
+Netlist build_cla(int n) {
+  Builder b(circuit_name("cla", n));
+  const Bus a = b.input("a", n);
+  const Bus bb = b.input("b", n);
+  AdderBits add = b.prefix_adder(a, bb, b.const0());
+  Bus sum = add.sum;
+  sum.push_back(add.carry_out);
+  b.output("sum", sum);
+  return std::move(b).take();
+}
+
+Netlist build_gear(const core::GeArConfig& cfg, const GearCircuitOptions& opt) {
+  std::ostringstream name;
+  name << "gear_n" << cfg.n() << "_r" << cfg.r() << "_p" << cfg.p();
+  Builder b(name.str());
+  const int n = cfg.n();
+  const Bus a = b.input("a", n);
+  const Bus bb = b.input("b", n);
+  const int k = cfg.k();
+
+  Bus sum(static_cast<std::size_t>(n) + 1, kInvalidNet);
+  std::vector<NetId> carry_out(static_cast<std::size_t>(k));
+  std::vector<NetId> all_prop(static_cast<std::size_t>(k), kInvalidNet);
+  std::vector<NetId> detect(static_cast<std::size_t>(k));
+  detect[0] = b.const0();  // sub-adder 0 is exact; its flag is tied low
+
+  for (int j = 0; j < k; ++j) {
+    const auto& s = cfg.sub(j);
+    const int wlen = s.window_len();
+    Bus wa = Builder::slice(a, s.win_lo, wlen);
+    Bus wb = Builder::slice(bb, s.win_lo, wlen);
+
+    if (opt.with_correction && j >= 1) {
+      // Correction path: when this sub-adder's detect fires, replace the
+      // prediction-window inputs with (a|b) and force the window LSB to 1
+      // (paper Fig. 5/6). The detect driving the mux is computed from the
+      // uncorrected first pass, so this is the single-correction stage the
+      // sequential design iterates.
+      const int plen = s.prediction_len();
+      Bus pa = Builder::slice(wa, 0, plen);
+      Bus pb = Builder::slice(wb, 0, plen);
+      const NetId prop_first = b.and_tree(b.xor_bus(pa, pb));
+      // First-pass carry of the previous window (already built, since j-1
+      // precedes j and carry_out[j-1] is final for the first pass).
+      const NetId det = b.and_(prop_first, carry_out[static_cast<std::size_t>(j - 1)]);
+      Bus merged = b.or_bus(pa, pb);
+      merged[0] = b.const1();
+      Bus ca = b.mux_bus(det, pa, merged);
+      Bus cb = b.mux_bus(det, pb, merged);
+      std::copy(ca.begin(), ca.end(), wa.begin());
+      std::copy(cb.begin(), cb.end(), wb.begin());
+    }
+
+    // Prediction bits only feed the carry chain (their sum XORs are
+    // discarded in the paper's Fig. 3 and omitted from the hardware);
+    // result bits get full adders.
+    const int rel = s.res_lo - s.win_lo;
+    NetId carry = b.carry_generator(Builder::slice(wa, 0, rel),
+                                    Builder::slice(wb, 0, rel), b.const0());
+    for (int i = rel; i < wlen; ++i) {
+      auto [sum_bit, next_carry] = b.full_adder(wa[static_cast<std::size_t>(i)],
+                                                wb[static_cast<std::size_t>(i)], carry);
+      sum[static_cast<std::size_t>(s.win_lo + i)] = sum_bit;
+      carry = next_carry;
+    }
+    carry_out[static_cast<std::size_t>(j)] = carry;
+    if (j >= 1 && opt.with_detection) {
+      const int plen = s.prediction_len();
+      Bus pa = Builder::slice(a, s.win_lo, plen);
+      Bus pb = Builder::slice(bb, s.win_lo, plen);
+      all_prop[static_cast<std::size_t>(j)] = b.and_tree(b.xor_bus(pa, pb));
+      detect[static_cast<std::size_t>(j)] =
+          b.and_(all_prop[static_cast<std::size_t>(j)],
+                 carry_out[static_cast<std::size_t>(j - 1)]);
+    }
+  }
+  sum[static_cast<std::size_t>(n)] = carry_out[static_cast<std::size_t>(k - 1)];
+  b.output("sum", sum);
+  if (opt.with_detection) b.output("err", detect);
+  return std::move(b).take();
+}
+
+Netlist build_aca1(int n, int l) {
+  assert(l >= 2 && l <= n);
+  std::ostringstream name;
+  name << "aca1_n" << n << "_l" << l;
+  Builder b(name.str());
+  const Bus a = b.input("a", n);
+  const Bus bb = b.input("b", n);
+
+  Bus sum(static_cast<std::size_t>(n) + 1, kInvalidNet);
+  // First window supplies the low l-1 bits.
+  {
+    AdderBits w0 = b.ripple_adder(Builder::slice(a, 0, l), Builder::slice(bb, 0, l),
+                                  b.const0());
+    for (int i = 0; i < l - 1; ++i) sum[static_cast<std::size_t>(i)] = w0.sum[static_cast<std::size_t>(i)];
+  }
+  // Bit i >= l-1: top bit of the window ending at i. The carry into the
+  // top position is a carry generator over the window's low l-1 bits.
+  for (int i = l - 1; i < n; ++i) {
+    const int lo = i - l + 1;
+    const NetId cin = b.carry_generator(Builder::slice(a, lo, l - 1),
+                                        Builder::slice(bb, lo, l - 1), b.const0());
+    auto [s, c] = b.full_adder(a[static_cast<std::size_t>(i)],
+                               bb[static_cast<std::size_t>(i)], cin);
+    sum[static_cast<std::size_t>(i)] = s;
+    if (i == n - 1) sum[static_cast<std::size_t>(n)] = c;
+  }
+  b.output("sum", sum);
+  return std::move(b).take();
+}
+
+Netlist build_aca2(int n, int l) {
+  assert(l >= 2 && l % 2 == 0 && l <= n && n % (l / 2) == 0);
+  std::ostringstream name;
+  name << "aca2_n" << n << "_l" << l;
+  Builder b(name.str());
+  const Bus a = b.input("a", n);
+  const Bus bb = b.input("b", n);
+  const int r = l / 2;
+
+  Bus sum(static_cast<std::size_t>(n) + 1, kInvalidNet);
+  NetId top_carry = kInvalidNet;
+  {
+    AdderBits w0 = b.ripple_adder(Builder::slice(a, 0, l), Builder::slice(bb, 0, l),
+                                  b.const0());
+    for (int i = 0; i < l; ++i) sum[static_cast<std::size_t>(i)] = w0.sum[static_cast<std::size_t>(i)];
+    top_carry = w0.carry_out;
+  }
+  for (int res_lo = l; res_lo < n; res_lo += r) {
+    const int lo = res_lo - r;
+    const int wlen = std::min(l, n - lo);
+    // Low r bits of each window only predict the carry; their sum bits
+    // are discarded and therefore not built.
+    NetId carry = b.carry_generator(Builder::slice(a, lo, r),
+                                    Builder::slice(bb, lo, r), b.const0());
+    for (int i = r; i < wlen; ++i) {
+      auto [sum_bit, next] =
+          b.full_adder(a[static_cast<std::size_t>(lo + i)],
+                       bb[static_cast<std::size_t>(lo + i)], carry);
+      sum[static_cast<std::size_t>(lo + i)] = sum_bit;
+      carry = next;
+    }
+    top_carry = carry;
+  }
+  sum[static_cast<std::size_t>(n)] = top_carry;
+  b.output("sum", sum);
+  return std::move(b).take();
+}
+
+Netlist build_etaii(int n, int segment) {
+  assert(segment >= 1 && n % segment == 0);
+  std::ostringstream name;
+  name << "etaii_n" << n << "_x" << segment;
+  Builder b(name.str());
+  const Bus a = b.input("a", n);
+  const Bus bb = b.input("b", n);
+
+  Bus sum(static_cast<std::size_t>(n) + 1, kInvalidNet);
+  NetId top_carry = kInvalidNet;
+  for (int lo = 0; lo < n; lo += segment) {
+    NetId cin = b.const0();
+    if (lo > 0) {
+      cin = b.carry_generator(Builder::slice(a, lo - segment, segment),
+                              Builder::slice(bb, lo - segment, segment),
+                              b.const0());
+    }
+    AdderBits w = b.ripple_adder(Builder::slice(a, lo, segment),
+                                 Builder::slice(bb, lo, segment), cin);
+    for (int i = 0; i < segment; ++i) {
+      sum[static_cast<std::size_t>(lo + i)] = w.sum[static_cast<std::size_t>(i)];
+    }
+    top_carry = w.carry_out;
+  }
+  sum[static_cast<std::size_t>(n)] = top_carry;
+  b.output("sum", sum);
+  return std::move(b).take();
+}
+
+Netlist build_gda(int n, int mb, int mc) {
+  assert(mb >= 1 && n % mb == 0 && mc >= 1 && mc % mb == 0 && mc < n);
+  std::ostringstream name;
+  name << "gda_n" << n << "_mb" << mb << "_mc" << mc;
+  Builder b(name.str());
+  const Bus a = b.input("a", n);
+  const Bus bb = b.input("b", n);
+  const int blocks = n / mb;
+  // One select bit per internal block boundary: 0 = predicted carry,
+  // 1 = previous block's rippled carry (graceful degradation to exact).
+  const Bus cfg_sel = b.input("cfg", blocks - 1);
+
+  Bus sum(static_cast<std::size_t>(n) + 1, kInvalidNet);
+  NetId prev_carry = kInvalidNet;
+  NetId top_carry = kInvalidNet;
+  for (int blk = 0; blk < blocks; ++blk) {
+    const int lo = blk * mb;
+    NetId cin = b.const0();
+    if (blk > 0) {
+      const int pred = std::min(mc, lo);
+      const NetId predicted = b.cla_group_generate(
+          Builder::slice(a, lo - pred, pred), Builder::slice(bb, lo - pred, pred));
+      cin = b.mux(cfg_sel[static_cast<std::size_t>(blk - 1)], predicted, prev_carry);
+    }
+    AdderBits w = b.ripple_adder(Builder::slice(a, lo, mb),
+                                 Builder::slice(bb, lo, mb), cin);
+    for (int i = 0; i < mb; ++i) {
+      sum[static_cast<std::size_t>(lo + i)] = w.sum[static_cast<std::size_t>(i)];
+    }
+    prev_carry = w.carry_out;
+    top_carry = w.carry_out;
+  }
+  sum[static_cast<std::size_t>(n)] = top_carry;
+  b.output("sum", sum);
+  return std::move(b).take();
+}
+
+}  // namespace gear::netlist

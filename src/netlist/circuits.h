@@ -1,0 +1,46 @@
+// Gate-level circuit generators for every adder the paper evaluates.
+//
+// Each generator returns a Netlist with input buses "a", "b" and an output
+// bus "sum" of N+1 bits; approximate adders with detection additionally
+// expose an "err" bus. These circuits feed the synthesis substrate (LUT
+// mapping + static timing) that reproduces the delay/area columns of
+// Tables I, II and IV, and the netlist simulator cross-checks them against
+// the functional models bit-for-bit.
+#pragma once
+
+#include "core/config.h"
+#include "netlist/netlist.h"
+
+namespace gear::netlist {
+
+/// Options for GeAr circuit generation.
+struct GearCircuitOptions {
+  bool with_detection = true;   ///< emit per-sub-adder error flags
+  bool with_correction = false; ///< emit the correction-path muxes/ORs
+};
+
+/// Exact ripple-carry adder (dedicated carry chain).
+Netlist build_rca(int n);
+
+/// Exact Kogge-Stone parallel-prefix adder (the "CLA" reference).
+Netlist build_cla(int n);
+
+/// GeAr adder; see GearCircuitOptions.
+Netlist build_gear(const core::GeArConfig& cfg, const GearCircuitOptions& opt = {});
+
+/// ACA-I with L-bit overlapping windows (one result bit per window).
+Netlist build_aca1(int n, int l);
+
+/// ACA-II with L-bit overlapping windows stepped by L/2.
+Netlist build_aca2(int n, int l);
+
+/// ETAII with `segment`-bit sum units and carry generators.
+Netlist build_etaii(int n, int segment);
+
+/// GDA with M_B-bit blocks and an M_C-bit hierarchical CLA prediction per
+/// block, mux-selected against the rippled block carry (the mux select is
+/// a primary input bus "cfg", one bit per block boundary: 0 = predicted
+/// carry, 1 = rippled carry from the previous block).
+Netlist build_gda(int n, int mb, int mc);
+
+}  // namespace gear::netlist

@@ -1,0 +1,40 @@
+#include "netlist/dot.h"
+
+#include <sstream>
+
+namespace gear::netlist {
+
+std::string to_dot(const Netlist& nl) {
+  std::ostringstream os;
+  os << "digraph \"" << nl.name() << "\" {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontname=\"monospace\"];\n";
+  for (const auto& port : nl.inputs()) {
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      os << "  n" << port.nets[i] << " [shape=box,label=\"" << port.name << "["
+         << i << "]\"];\n";
+    }
+  }
+  for (std::size_t gi = 0; gi < nl.gates().size(); ++gi) {
+    const Gate& g = nl.gates()[gi];
+    const bool macro = is_carry_macro(g.kind);
+    os << "  n" << g.output << " [shape=" << (macro ? "diamond" : "ellipse")
+       << ",label=\"" << gate_kind_name(g.kind) << "\""
+       << (macro ? ",style=filled,fillcolor=lightblue" : "") << "];\n";
+    for (NetId in : g.inputs) {
+      os << "  n" << in << " -> n" << g.output << ";\n";
+    }
+  }
+  for (const auto& port : nl.outputs()) {
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      os << "  out_" << port.name << "_" << i << " [shape=box,label=\""
+         << port.name << "[" << i << "]\"];\n";
+      os << "  n" << port.nets[i] << " -> out_" << port.name << "_" << i
+         << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace gear::netlist

@@ -1,0 +1,15 @@
+// Graphviz DOT export of a netlist — for documentation figures and for
+// eyeballing what the circuit generators and the specializer produce.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace gear::netlist {
+
+/// DOT digraph: input/output ports as boxes, gates as ellipses labelled
+/// with their kind, carry macros highlighted.
+std::string to_dot(const Netlist& nl);
+
+}  // namespace gear::netlist

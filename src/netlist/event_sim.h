@@ -1,0 +1,79 @@
+// Event-driven gate-level timing simulation.
+//
+// Static timing (synth/timing.h) reports the structural worst case; the
+// event simulator answers the dynamic questions: when does the output
+// actually settle for a given input transition, and how many spurious
+// transitions (glitches) occur on the way? Glitch counts matter because
+// carry chains glitch heavily — one reason approximate adders' shorter
+// chains save switching energy in practice.
+//
+// Model: every gate has an inertial-free unit transport delay by kind
+// (configurable); primary inputs switch at t=0; events propagate until
+// quiescence. Gate evaluation is zero-width (no pulse filtering), which
+// upper-bounds glitching.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "stats/rng.h"
+
+namespace gear::netlist {
+
+/// Per-kind transport delays in arbitrary time units.
+struct GateDelays {
+  double logic = 1.0;   ///< NOT/AND/OR/XOR/... and MUX
+  double fa_sum = 1.0;  ///< FaSum from any input
+  double fa_carry = 0.2;///< FaCarry (dedicated chain is fast)
+
+  double of(GateKind kind) const {
+    if (kind == GateKind::kFaCarry) return fa_carry;
+    if (kind == GateKind::kFaSum) return fa_sum;
+    return logic;
+  }
+};
+
+struct EventSimResult {
+  double settle_time = 0.0;        ///< last output transition time
+  std::uint64_t transitions = 0;   ///< total net transitions (incl. final)
+  std::uint64_t glitches = 0;      ///< transitions beyond the minimum
+  std::map<std::string, core::BitVec> outputs;
+};
+
+class EventSimulator {
+ public:
+  /// Takes the netlist by value (it is cheaply copyable), so simulators
+  /// can be built from temporaries without lifetime pitfalls.
+  explicit EventSimulator(Netlist nl, GateDelays delays = {});
+
+  /// Applies `from` at t=-inf (settled), then switches to `to` at t=0 and
+  /// propagates to quiescence. Input maps are port-name -> value.
+  EventSimResult step(const std::map<std::string, core::BitVec>& from,
+                      const std::map<std::string, core::BitVec>& to);
+
+  /// Convenience for two-operand adders: transition (a0,b0) -> (a1,b1).
+  EventSimResult step_add(std::uint64_t a0, std::uint64_t b0, std::uint64_t a1,
+                          std::uint64_t b1);
+
+  /// Average dynamic behaviour over `pairs` random back-to-back operand
+  /// transitions.
+  struct Profile {
+    double mean_settle = 0.0;
+    double max_settle = 0.0;
+    double mean_transitions = 0.0;
+    double mean_glitches = 0.0;
+  };
+  Profile profile(std::uint64_t pairs, stats::Rng& rng);
+
+ private:
+  void settle(const std::map<std::string, core::BitVec>& inputs,
+              std::vector<bool>& value) const;
+
+  Netlist nl_;
+  GateDelays delays_;
+  std::vector<std::vector<std::size_t>> fanout_gates_;  // net -> gate indices
+};
+
+}  // namespace gear::netlist

@@ -1,0 +1,54 @@
+// Stuck-at fault injection and fault simulation.
+//
+// Testability substrate for the generated circuits: enumerate single
+// stuck-at-0/1 faults on gate outputs, simulate the faulty circuit, and
+// measure the coverage of a vector set. Used to validate that GeAr's
+// error-detection flag network is itself testable, and that the
+// self-checking testbenches the RTL generator emits exercise the logic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitvec.h"
+#include "netlist/netlist.h"
+#include "stats/rng.h"
+
+namespace gear::netlist {
+
+struct StuckFault {
+  NetId net = kInvalidNet;
+  bool stuck_value = false;
+
+  bool operator==(const StuckFault&) const = default;
+};
+
+/// All single stuck-at faults on gate-driven nets (two per net).
+std::vector<StuckFault> enumerate_faults(const Netlist& nl);
+
+/// Simulates the netlist with `fault` overriding its net. Same semantics
+/// as Netlist::simulate otherwise.
+std::map<std::string, core::BitVec> simulate_with_fault(
+    const Netlist& nl, const StuckFault& fault,
+    const std::map<std::string, core::BitVec>& input_values);
+
+/// Whether `vectors` (pairs applied to ports "a"/"b") distinguish the
+/// faulty circuit from the good one on any output.
+bool fault_detected(const Netlist& nl, const StuckFault& fault,
+                    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& vectors);
+
+struct FaultCoverage {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  double coverage() const {
+    return total ? static_cast<double>(detected) / static_cast<double>(total) : 1.0;
+  }
+  std::vector<StuckFault> undetected;
+};
+
+/// Coverage of `count` random vector pairs over all single stuck-at
+/// faults of a two-operand circuit.
+FaultCoverage random_vector_coverage(const Netlist& nl, std::size_t count,
+                                     stats::Rng& rng);
+
+}  // namespace gear::netlist

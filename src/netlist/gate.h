@@ -1,0 +1,52 @@
+// Gate-level IR primitives.
+//
+// The netlist is a DAG of single-output gates over boolean nets. Two gate
+// kinds are special for synthesis: kFaSum / kFaCarry model the
+// sum-and-carry pair of a full adder inside a dedicated carry chain
+// (Virtex-6 CARRY4-style); the technology mapper treats them as hard
+// macros instead of packing them into LUTs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gear::netlist {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kInvalidNet = ~NetId{0};
+
+enum class GateKind : std::uint8_t {
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kNand2,
+  kNor2,
+  kXnor2,
+  kMux2,    ///< inputs: {sel, d0, d1}; output = sel ? d1 : d0
+  kFaSum,   ///< inputs: {a, b, cin}; output = a ^ b ^ cin
+  kFaCarry, ///< inputs: {a, b, cin}; output = ab | cin(a^b)
+};
+
+const char* gate_kind_name(GateKind kind);
+
+/// Number of inputs each kind expects (0 for constants).
+int gate_kind_arity(GateKind kind);
+
+/// True for the carry-chain macro kinds the LUT mapper must not absorb.
+bool is_carry_macro(GateKind kind);
+
+struct Gate {
+  GateKind kind = GateKind::kConst0;
+  std::vector<NetId> inputs;
+  NetId output = kInvalidNet;
+};
+
+/// Evaluates one gate over concrete input bits.
+bool eval_gate(GateKind kind, const std::vector<bool>& in);
+
+}  // namespace gear::netlist

@@ -1,0 +1,192 @@
+#include "netlist/netlist.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace gear::netlist {
+
+const char* gate_kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kConst0: return "const0";
+    case GateKind::kConst1: return "const1";
+    case GateKind::kBuf: return "buf";
+    case GateKind::kNot: return "not";
+    case GateKind::kAnd2: return "and2";
+    case GateKind::kOr2: return "or2";
+    case GateKind::kXor2: return "xor2";
+    case GateKind::kNand2: return "nand2";
+    case GateKind::kNor2: return "nor2";
+    case GateKind::kXnor2: return "xnor2";
+    case GateKind::kMux2: return "mux2";
+    case GateKind::kFaSum: return "fa_sum";
+    case GateKind::kFaCarry: return "fa_carry";
+  }
+  return "?";
+}
+
+int gate_kind_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+      return 1;
+    case GateKind::kAnd2:
+    case GateKind::kOr2:
+    case GateKind::kXor2:
+    case GateKind::kNand2:
+    case GateKind::kNor2:
+    case GateKind::kXnor2:
+      return 2;
+    case GateKind::kMux2:
+    case GateKind::kFaSum:
+    case GateKind::kFaCarry:
+      return 3;
+  }
+  return 0;
+}
+
+bool is_carry_macro(GateKind kind) {
+  return kind == GateKind::kFaSum || kind == GateKind::kFaCarry;
+}
+
+bool eval_gate(GateKind kind, const std::vector<bool>& in) {
+  switch (kind) {
+    case GateKind::kConst0: return false;
+    case GateKind::kConst1: return true;
+    case GateKind::kBuf: return in[0];
+    case GateKind::kNot: return !in[0];
+    case GateKind::kAnd2: return in[0] && in[1];
+    case GateKind::kOr2: return in[0] || in[1];
+    case GateKind::kXor2: return in[0] != in[1];
+    case GateKind::kNand2: return !(in[0] && in[1]);
+    case GateKind::kNor2: return !(in[0] || in[1]);
+    case GateKind::kXnor2: return in[0] == in[1];
+    case GateKind::kMux2: return in[0] ? in[2] : in[1];
+    case GateKind::kFaSum: return (in[0] != in[1]) != in[2];
+    case GateKind::kFaCarry: return (in[0] && in[1]) || (in[2] && (in[0] != in[1]));
+  }
+  return false;
+}
+
+NetId Netlist::new_net() {
+  net_driver_.push_back(-1);
+  return static_cast<NetId>(net_driver_.size() - 1);
+}
+
+NetId Netlist::add_gate(GateKind kind, std::vector<NetId> inputs) {
+  assert(static_cast<int>(inputs.size()) == gate_kind_arity(kind));
+  for (NetId in : inputs) {
+    assert(in < net_driver_.size());
+    (void)in;
+  }
+  const NetId out = new_net();
+  net_driver_[out] = static_cast<std::int64_t>(gates_.size());
+  gates_.push_back(Gate{kind, std::move(inputs), out});
+  return out;
+}
+
+void Netlist::add_input(const std::string& name, std::vector<NetId> nets) {
+  inputs_.push_back(Port{name, std::move(nets)});
+}
+
+void Netlist::add_output(const std::string& name, std::vector<NetId> nets) {
+  outputs_.push_back(Port{name, std::move(nets)});
+}
+
+std::map<GateKind, std::size_t> Netlist::kind_histogram() const {
+  std::map<GateKind, std::size_t> h;
+  for (const auto& g : gates_) ++h[g.kind];
+  return h;
+}
+
+std::string Netlist::validate() const {
+  std::ostringstream err;
+  std::vector<bool> is_input(net_driver_.size(), false);
+  for (const auto& port : inputs_) {
+    for (NetId n : port.nets) {
+      if (n >= net_driver_.size()) {
+        err << "input port " << port.name << " references missing net " << n << "\n";
+        continue;
+      }
+      if (net_driver_[n] >= 0) {
+        err << "input port " << port.name << " net " << n << " is gate-driven\n";
+      }
+      is_input[n] = true;
+    }
+  }
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+    const auto& g = gates_[gi];
+    if (static_cast<int>(g.inputs.size()) != gate_kind_arity(g.kind)) {
+      err << "gate " << gi << " arity mismatch\n";
+    }
+    for (NetId in : g.inputs) {
+      if (in >= net_driver_.size()) {
+        err << "gate " << gi << " reads missing net " << in << "\n";
+      } else if (net_driver_[in] < 0 && !is_input[in] &&
+                 gate_kind_arity(g.kind) > 0) {
+        err << "gate " << gi << " reads undriven net " << in << "\n";
+      } else if (net_driver_[in] >= static_cast<std::int64_t>(gi)) {
+        err << "gate " << gi << " reads a later gate's output (cycle)\n";
+      }
+    }
+  }
+  for (const auto& port : outputs_) {
+    for (NetId n : port.nets) {
+      if (n >= net_driver_.size()) {
+        err << "output port " << port.name << " references missing net " << n << "\n";
+      } else if (net_driver_[n] < 0 && !is_input[n]) {
+        err << "output port " << port.name << " net " << n << " undriven\n";
+      }
+    }
+  }
+  return err.str();
+}
+
+std::map<std::string, core::BitVec> Netlist::simulate(
+    const std::map<std::string, core::BitVec>& input_values) const {
+  std::vector<bool> value(net_driver_.size(), false);
+  for (const auto& port : inputs_) {
+    auto it = input_values.find(port.name);
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      const bool v = (it != input_values.end() &&
+                      static_cast<int>(i) < it->second.width())
+                         ? it->second.bit(static_cast<int>(i))
+                         : false;
+      value[port.nets[i]] = v;
+    }
+  }
+  std::vector<bool> in_bits;
+  for (const auto& g : gates_) {
+    in_bits.clear();
+    for (NetId in : g.inputs) in_bits.push_back(value[in]);
+    value[g.output] = eval_gate(g.kind, in_bits);
+  }
+  std::map<std::string, core::BitVec> out;
+  for (const auto& port : outputs_) {
+    core::BitVec v(static_cast<int>(port.nets.size()));
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      v.set_bit(static_cast<int>(i), value[port.nets[i]]);
+    }
+    out[port.name] = v;
+  }
+  return out;
+}
+
+std::uint64_t Netlist::simulate_add(std::uint64_t a, std::uint64_t b) const {
+  int wa = 0, wb = 0;
+  for (const auto& port : inputs_) {
+    if (port.name == "a") wa = static_cast<int>(port.nets.size());
+    if (port.name == "b") wb = static_cast<int>(port.nets.size());
+  }
+  std::map<std::string, core::BitVec> in;
+  in["a"] = core::BitVec(wa, a);
+  in["b"] = core::BitVec(wb, b);
+  const auto out = simulate(in);
+  const auto it = out.find("sum");
+  assert(it != out.end());
+  return it->second.to_u64();
+}
+
+}  // namespace gear::netlist

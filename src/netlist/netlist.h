@@ -1,0 +1,73 @@
+// Netlist container: nets, gates, ports, validation and simulation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/bitvec.h"
+#include "netlist/gate.h"
+
+namespace gear::netlist {
+
+/// A named bus of nets (LSB first).
+struct Port {
+  std::string name;
+  std::vector<NetId> nets;
+};
+
+/// Gate-level netlist. Nets are created before the gates that read them,
+/// so the gate list is always in topological order and simulation is a
+/// single forward pass.
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates an undriven net (an input or a gate output to be bound).
+  NetId new_net();
+
+  /// Appends a gate; inputs must be existing nets, output a fresh net
+  /// created by this call. Returns the output net.
+  NetId add_gate(GateKind kind, std::vector<NetId> inputs);
+
+  void add_input(const std::string& name, std::vector<NetId> nets);
+  void add_output(const std::string& name, std::vector<NetId> nets);
+
+  std::size_t net_count() const { return net_driver_.size(); }
+  std::size_t gate_count() const { return gates_.size(); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<Port>& inputs() const { return inputs_; }
+  const std::vector<Port>& outputs() const { return outputs_; }
+
+  /// Index of the gate driving `net`, or -1 for primary inputs.
+  std::int64_t driver(NetId net) const { return net_driver_.at(net); }
+
+  /// Gate-count breakdown by kind.
+  std::map<GateKind, std::size_t> kind_histogram() const;
+
+  /// Checks structural sanity: every gate input exists and is driven (or
+  /// is a primary input), arities match, every output net is driven.
+  /// Returns a diagnostic string, empty when OK.
+  std::string validate() const;
+
+  /// Simulates the netlist: values for each input port (by name) ->
+  /// values for each output port. Missing inputs default to 0.
+  std::map<std::string, core::BitVec> simulate(
+      const std::map<std::string, core::BitVec>& input_values) const;
+
+  /// Convenience two-operand simulation: sets ports "a" and "b", returns
+  /// port "sum" as a u64. Widths must be <= 63.
+  std::uint64_t simulate_add(std::uint64_t a, std::uint64_t b) const;
+
+ private:
+  std::string name_;
+  std::vector<std::int64_t> net_driver_;  // -1 = primary input / undriven
+  std::vector<Gate> gates_;
+  std::vector<Port> inputs_;
+  std::vector<Port> outputs_;
+};
+
+}  // namespace gear::netlist

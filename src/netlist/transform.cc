@@ -1,0 +1,197 @@
+#include "netlist/transform.h"
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "netlist/builder.h"
+
+namespace gear::netlist {
+
+namespace {
+
+/// Resolution of an old net in the specialized design.
+struct Resolved {
+  std::optional<bool> constant;  // known value
+  NetId alias = kInvalidNet;     // forwards to another OLD net (pre-fold)
+  bool is_alias() const { return alias != kInvalidNet; }
+};
+
+}  // namespace
+
+Netlist specialize(const Netlist& nl,
+                   const std::map<std::string, std::uint64_t>& tied) {
+  const std::size_t nets = nl.net_count();
+  std::vector<Resolved> res(nets);
+
+  // Seed tied input bits.
+  for (const auto& port : nl.inputs()) {
+    auto it = tied.find(port.name);
+    if (it == tied.end()) continue;
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      res[port.nets[i]].constant = (it->second >> i) & 1ULL;
+    }
+  }
+
+  // Chase alias chains to a representative old net.
+  auto canon = [&](NetId n) {
+    while (res[n].is_alias() && !res[n].constant) n = res[n].alias;
+    return n;
+  };
+  auto known = [&](NetId n) -> std::optional<bool> {
+    return res[canon(n)].constant;
+  };
+
+  // Forward fold. Gates whose output stays live keep their kind; folded
+  // gates become constants or aliases.
+  std::vector<bool> gate_live(nl.gates().size(), false);
+  for (std::size_t gi = 0; gi < nl.gates().size(); ++gi) {
+    const Gate& g = nl.gates()[gi];
+    const NetId out = g.output;
+
+    if (g.kind == GateKind::kConst0 || g.kind == GateKind::kConst1) {
+      res[out].constant = g.kind == GateKind::kConst1;
+      continue;
+    }
+    if (is_carry_macro(g.kind)) {
+      gate_live[gi] = true;  // never folded (keeps carry-chain mapping)
+      continue;
+    }
+
+    std::vector<std::optional<bool>> in;
+    in.reserve(g.inputs.size());
+    bool all_known = true;
+    for (NetId i : g.inputs) {
+      in.push_back(known(i));
+      all_known &= in.back().has_value();
+    }
+    if (all_known) {
+      std::vector<bool> bits;
+      for (const auto& v : in) bits.push_back(*v);
+      res[out].constant = eval_gate(g.kind, bits);
+      continue;
+    }
+
+    // Partial folds.
+    auto alias_to = [&](std::size_t idx) { res[out].alias = canon(g.inputs[idx]); };
+    switch (g.kind) {
+      case GateKind::kBuf:
+        alias_to(0);
+        continue;
+      case GateKind::kMux2:
+        if (in[0]) {
+          alias_to(*in[0] ? 2 : 1);
+          continue;
+        }
+        if (in[1] && in[2] && *in[1] == *in[2]) {
+          res[out].constant = *in[1];
+          continue;
+        }
+        break;
+      case GateKind::kAnd2:
+        if ((in[0] && !*in[0]) || (in[1] && !*in[1])) {
+          res[out].constant = false;
+          continue;
+        }
+        if (in[0] && *in[0]) { alias_to(1); continue; }
+        if (in[1] && *in[1]) { alias_to(0); continue; }
+        break;
+      case GateKind::kOr2:
+        if ((in[0] && *in[0]) || (in[1] && *in[1])) {
+          res[out].constant = true;
+          continue;
+        }
+        if (in[0] && !*in[0]) { alias_to(1); continue; }
+        if (in[1] && !*in[1]) { alias_to(0); continue; }
+        break;
+      case GateKind::kXor2:
+        if (in[0] && !*in[0]) { alias_to(1); continue; }
+        if (in[1] && !*in[1]) { alias_to(0); continue; }
+        break;  // xor-with-1 would need a NOT; keep the gate
+      default:
+        break;
+    }
+    gate_live[gi] = true;
+  }
+
+  // Backward liveness from output ports through live gates.
+  std::vector<bool> net_needed(nets, false);
+  std::vector<NetId> work;
+  auto need = [&](NetId n) {
+    n = canon(n);
+    if (res[n].constant) return;
+    if (!net_needed[n]) {
+      net_needed[n] = true;
+      work.push_back(n);
+    }
+  };
+  for (const auto& port : nl.outputs()) {
+    for (NetId n : port.nets) need(n);
+  }
+  while (!work.empty()) {
+    const NetId n = work.back();
+    work.pop_back();
+    const std::int64_t d = nl.driver(n);
+    if (d < 0) continue;
+    const Gate& g = nl.gates()[static_cast<std::size_t>(d)];
+    for (NetId i : g.inputs) need(i);
+  }
+
+  // Emit the specialized netlist.
+  Builder b(nl.name() + "_spec");
+  std::vector<NetId> new_id(nets, kInvalidNet);
+  for (const auto& port : nl.inputs()) {
+    if (tied.count(port.name)) continue;
+    const Bus bus = b.input(port.name, static_cast<int>(port.nets.size()));
+    for (std::size_t i = 0; i < port.nets.size(); ++i) new_id[port.nets[i]] = bus[i];
+  }
+  auto resolve = [&](NetId n) -> NetId {
+    n = canon(n);
+    if (res[n].constant) return *res[n].constant ? b.const1() : b.const0();
+    assert(new_id[n] != kInvalidNet);
+    return new_id[n];
+  };
+  for (std::size_t gi = 0; gi < nl.gates().size(); ++gi) {
+    if (!gate_live[gi]) continue;
+    const Gate& g = nl.gates()[gi];
+    const NetId out = canon(g.output);
+    if (res[out].constant) continue;
+    if (out != g.output) continue;  // folded into an alias elsewhere
+    if (!net_needed[out] && !is_carry_macro(g.kind)) continue;
+    if (is_carry_macro(g.kind) && !net_needed[out]) {
+      // Dead macro: keep only if some later live gate reads it (covered
+      // by net_needed); otherwise drop.
+      continue;
+    }
+    Bus ins;
+    for (NetId i : g.inputs) ins.push_back(resolve(i));
+    // Rebuild through the builder's primitive API to retain hash-consing.
+    NetId built = kInvalidNet;
+    switch (g.kind) {
+      case GateKind::kNot: built = b.not_(ins[0]); break;
+      case GateKind::kAnd2: built = b.and_(ins[0], ins[1]); break;
+      case GateKind::kOr2: built = b.or_(ins[0], ins[1]); break;
+      case GateKind::kXor2: built = b.xor_(ins[0], ins[1]); break;
+      case GateKind::kNand2: built = b.nand_(ins[0], ins[1]); break;
+      case GateKind::kNor2: built = b.nor_(ins[0], ins[1]); break;
+      case GateKind::kXnor2: built = b.xnor_(ins[0], ins[1]); break;
+      case GateKind::kMux2: built = b.mux(ins[0], ins[1], ins[2]); break;
+      case GateKind::kFaSum: built = b.full_adder(ins[0], ins[1], ins[2]).first; break;
+      case GateKind::kFaCarry: built = b.full_adder(ins[0], ins[1], ins[2]).second; break;
+      case GateKind::kBuf:
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        break;
+    }
+    assert(built != kInvalidNet);
+    new_id[g.output] = built;
+  }
+  for (const auto& port : nl.outputs()) {
+    Bus bus;
+    for (NetId n : port.nets) bus.push_back(resolve(n));
+    b.output(port.name, bus);
+  }
+  return std::move(b).take();
+}
+
+}  // namespace gear::netlist

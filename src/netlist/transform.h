@@ -1,0 +1,29 @@
+// Netlist specialization: constant propagation + dead-code elimination.
+//
+// Ties selected input ports to constant values, folds the constants
+// through the logic (mux selects collapse, AND/OR absorb, etc.), and
+// drops gates no longer reachable from an output. This is the netlist
+// analogue of STA case analysis (Xilinx set_case_analysis): GDA's delay
+// in the paper's tables reflects a *configured* adder, where the carry-
+// select muxes are steered by static configuration bits and the unused
+// ripple path does not appear on the critical path. Carry-macro gates are
+// deliberately left unfolded so specialization never changes how ripple
+// cores map onto carry chains.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace gear::netlist {
+
+/// Returns a new netlist with each port in `tied` removed from the inputs
+/// and its bits replaced by the given constant value (LSB first). All
+/// other ports are preserved by name. Logic implied false/true is folded;
+/// unreachable gates are dropped.
+Netlist specialize(const Netlist& nl,
+                   const std::map<std::string, std::uint64_t>& tied);
+
+}  // namespace gear::netlist

@@ -1,0 +1,91 @@
+#include "netlist/verilog_emit.h"
+
+#include <sstream>
+#include <vector>
+
+namespace gear::netlist {
+
+namespace {
+
+std::string net_ref(NetId id) {
+  std::ostringstream os;
+  os << "n" << id;
+  return os.str();
+}
+
+std::string gate_expr(const Gate& g) {
+  const auto in = [&](std::size_t i) { return net_ref(g.inputs[i]); };
+  std::ostringstream os;
+  switch (g.kind) {
+    case GateKind::kConst0: os << "1'b0"; break;
+    case GateKind::kConst1: os << "1'b1"; break;
+    case GateKind::kBuf: os << in(0); break;
+    case GateKind::kNot: os << "~" << in(0); break;
+    case GateKind::kAnd2: os << in(0) << " & " << in(1); break;
+    case GateKind::kOr2: os << in(0) << " | " << in(1); break;
+    case GateKind::kXor2: os << in(0) << " ^ " << in(1); break;
+    case GateKind::kNand2: os << "~(" << in(0) << " & " << in(1) << ")"; break;
+    case GateKind::kNor2: os << "~(" << in(0) << " | " << in(1) << ")"; break;
+    case GateKind::kXnor2: os << "~(" << in(0) << " ^ " << in(1) << ")"; break;
+    case GateKind::kMux2:
+      os << in(0) << " ? " << in(2) << " : " << in(1);
+      break;
+    case GateKind::kFaSum:
+      os << in(0) << " ^ " << in(1) << " ^ " << in(2);
+      break;
+    case GateKind::kFaCarry:
+      os << "(" << in(0) << " & " << in(1) << ") | (" << in(2) << " & ("
+         << in(0) << " ^ " << in(1) << "))";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_verilog(const Netlist& nl) {
+  std::ostringstream os;
+  os << "// Structural netlist, auto-generated.\n";
+  os << "module " << nl.name() << " (";
+  bool first = true;
+  for (const auto& p : nl.inputs()) {
+    os << (first ? "" : ", ") << p.name;
+    first = false;
+  }
+  for (const auto& p : nl.outputs()) {
+    os << (first ? "" : ", ") << p.name;
+    first = false;
+  }
+  os << ");\n";
+  for (const auto& p : nl.inputs()) {
+    os << "  input  [" << (p.nets.size() - 1) << ":0] " << p.name << ";\n";
+  }
+  for (const auto& p : nl.outputs()) {
+    os << "  output [" << (p.nets.size() - 1) << ":0] " << p.name << ";\n";
+  }
+
+  // Internal wires: one per gate-driven net.
+  for (const auto& g : nl.gates()) {
+    os << "  wire " << net_ref(g.output) << ";\n";
+  }
+  // Bind input port bits to their nets.
+  for (const auto& p : nl.inputs()) {
+    for (std::size_t i = 0; i < p.nets.size(); ++i) {
+      os << "  wire " << net_ref(p.nets[i]) << " = " << p.name << "[" << i
+         << "];\n";
+    }
+  }
+  for (const auto& g : nl.gates()) {
+    os << "  assign " << net_ref(g.output) << " = " << gate_expr(g) << ";\n";
+  }
+  for (const auto& p : nl.outputs()) {
+    for (std::size_t i = 0; i < p.nets.size(); ++i) {
+      os << "  assign " << p.name << "[" << i << "] = " << net_ref(p.nets[i])
+         << ";\n";
+    }
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace gear::netlist

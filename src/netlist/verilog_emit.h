@@ -1,0 +1,17 @@
+// Structural Verilog emission from a gate-level netlist.
+//
+// Together with core/verilog_gen.h (behavioural GeAr RTL) this reproduces
+// the paper's open-source RTL deliverable: every circuit the benchmarks
+// synthesize can be dumped as Verilog-2001 netlists for external tools.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace gear::netlist {
+
+/// Emits the netlist as a structural Verilog module (assign-style).
+std::string to_verilog(const Netlist& nl);
+
+}  // namespace gear::netlist

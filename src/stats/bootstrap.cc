@@ -1,0 +1,89 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gear::stats {
+namespace {
+
+/// Inverse standard-normal CDF (Acklam's approximation), sufficient for CI
+/// z-scores.
+double norm_ppf(double p) {
+  assert(p > 0.0 && p < 1.0);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+}  // namespace
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     int resamples, double level, Rng& rng) {
+  assert(!samples.empty());
+  assert(resamples > 0);
+  assert(level > 0.0 && level < 1.0);
+
+  double point = 0.0;
+  for (double s : samples) point += s;
+  point /= static_cast<double>(samples.size());
+
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      acc += samples[rng.range(0, samples.size() - 1)];
+    means.push_back(acc / static_cast<double>(samples.size()));
+  }
+  std::sort(means.begin(), means.end());
+
+  const double alpha = (1.0 - level) / 2.0;
+  auto pick = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(means.size() - 1) + 0.5);
+    return means[std::min(idx, means.size() - 1)];
+  };
+  return {point, pick(alpha), pick(1.0 - alpha), level};
+}
+
+ConfidenceInterval wilson_ci(std::uint64_t successes, std::uint64_t trials,
+                             double level) {
+  assert(trials > 0);
+  assert(successes <= trials);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = norm_ppf(1.0 - (1.0 - level) / 2.0);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2 * n)) / denom;
+  const double half = z * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n)) / denom;
+  return {p, std::max(0.0, center - half), std::min(1.0, center + half), level};
+}
+
+}  // namespace gear::stats

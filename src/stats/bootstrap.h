@@ -1,0 +1,33 @@
+// Bootstrap confidence intervals for simulated error statistics.
+//
+// Monte-Carlo error probabilities in EXPERIMENTS.md are reported with a 95%
+// CI so paper-vs-measured comparisons distinguish model error from sampling
+// noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace gear::stats {
+
+struct ConfidenceInterval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double level = 0.95;
+
+  bool contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/// Percentile-bootstrap CI for the mean of `samples`.
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     int resamples, double level, Rng& rng);
+
+/// Exact (Wilson score) CI for a binomial proportion — preferred for error
+/// probabilities, where samples are Bernoulli and bootstrap is wasteful.
+ConfidenceInterval wilson_ci(std::uint64_t successes, std::uint64_t trials,
+                             double level = 0.95);
+
+}  // namespace gear::stats

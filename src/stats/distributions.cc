@@ -1,0 +1,65 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gear::stats {
+
+GaussianClampedSource::GaussianClampedSource(int width, double mean_frac,
+                                             double stddev_frac, Rng rng)
+    : width_(width), rng_(rng) {
+  assert(width >= 1 && width <= 64);
+  max_ = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+  const auto span = static_cast<double>(max_);
+  mean_ = mean_frac * span;
+  stddev_ = stddev_frac * span;
+}
+
+std::uint64_t GaussianClampedSource::draw() {
+  const double x = rng_.normal(mean_, stddev_);
+  if (x <= 0.0) return 0;
+  if (x >= static_cast<double>(max_)) return max_;
+  return static_cast<std::uint64_t>(x);
+}
+
+OperandPair GaussianClampedSource::next() { return {draw(), draw()}; }
+
+SmallValueSource::SmallValueSource(int width, double exponent, Rng rng)
+    : width_(width), exponent_(exponent), rng_(rng) {
+  assert(width >= 1 && width <= 64);
+  assert(exponent >= 1.0);
+  max_ = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+}
+
+std::uint64_t SmallValueSource::draw() {
+  const double u = std::pow(rng_.uniform01(), exponent_);
+  return static_cast<std::uint64_t>(u * static_cast<double>(max_));
+}
+
+OperandPair SmallValueSource::next() { return {draw(), draw()}; }
+
+TraceSource::TraceSource(int width, std::vector<OperandPair> trace, std::string label)
+    : width_(width), trace_(std::move(trace)), label_(std::move(label)) {
+  assert(!trace_.empty());
+}
+
+OperandPair TraceSource::next() {
+  const OperandPair p = trace_[pos_];
+  pos_ = (pos_ + 1) % trace_.size();
+  return p;
+}
+
+std::unique_ptr<OperandSource> make_uniform(int width, std::uint64_t seed) {
+  return std::make_unique<UniformSource>(width, Rng(seed));
+}
+
+std::unique_ptr<OperandSource> make_gaussian(int width, std::uint64_t seed) {
+  return std::make_unique<GaussianClampedSource>(width, 0.5, 0.2, Rng(seed));
+}
+
+std::unique_ptr<OperandSource> make_small_value(int width, std::uint64_t seed) {
+  return std::make_unique<SmallValueSource>(width, 2.5, Rng(seed));
+}
+
+}  // namespace gear::stats

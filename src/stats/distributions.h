@@ -1,0 +1,103 @@
+// Operand distributions for driving adder accuracy experiments.
+//
+// The paper evaluates error probability under uniform operands (Table III)
+// and accuracy metrics under image-derived operands (Table I, Fig. 9). An
+// OperandSource abstracts both so metric code is distribution-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace gear::stats {
+
+/// A pair of N-bit operands for one addition.
+struct OperandPair {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Abstract stream of operand pairs for an N-bit adder.
+class OperandSource {
+ public:
+  virtual ~OperandSource() = default;
+  virtual OperandPair next() = 0;
+  virtual int width() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Independent uniform operands over [0, 2^N) — the paper's Table III setup.
+class UniformSource final : public OperandSource {
+ public:
+  UniformSource(int width, Rng rng) : width_(width), rng_(rng) {}
+  OperandPair next() override { return {rng_.bits(width_), rng_.bits(width_)}; }
+  int width() const override { return width_; }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  int width_;
+  Rng rng_;
+};
+
+/// Gaussian-distributed operands clamped to [0, 2^N), modelling the
+/// mid-range concentration of natural-image pixel sums.
+class GaussianClampedSource final : public OperandSource {
+ public:
+  GaussianClampedSource(int width, double mean_frac, double stddev_frac, Rng rng);
+  OperandPair next() override;
+  int width() const override { return width_; }
+  std::string name() const override { return "gaussian"; }
+
+ private:
+  std::uint64_t draw();
+  int width_;
+  double mean_, stddev_;
+  std::uint64_t max_;
+  Rng rng_;
+};
+
+/// Operands with low-magnitude bias (small values dominate), modelling
+/// difference images / SAD residuals.
+class SmallValueSource final : public OperandSource {
+ public:
+  /// `exponent` > 1 skews towards small values (power-law-ish via u^exponent).
+  SmallValueSource(int width, double exponent, Rng rng);
+  OperandPair next() override;
+  int width() const override { return width_; }
+  std::string name() const override { return "small-value"; }
+
+ private:
+  std::uint64_t draw();
+  int width_;
+  double exponent_;
+  std::uint64_t max_;
+  Rng rng_;
+};
+
+/// Replays an explicit list of operand pairs (e.g. extracted from an image
+/// kernel trace), cycling when exhausted.
+class TraceSource final : public OperandSource {
+ public:
+  TraceSource(int width, std::vector<OperandPair> trace, std::string label);
+  OperandPair next() override;
+  int width() const override { return width_; }
+  std::string name() const override { return label_; }
+  std::size_t size() const { return trace_.size(); }
+
+ private:
+  int width_;
+  std::vector<OperandPair> trace_;
+  std::string label_;
+  std::size_t pos_ = 0;
+};
+
+/// Factory helpers.
+std::unique_ptr<OperandSource> make_uniform(int width, std::uint64_t seed);
+std::unique_ptr<OperandSource> make_gaussian(int width, std::uint64_t seed);
+std::unique_ptr<OperandSource> make_small_value(int width, std::uint64_t seed);
+
+}  // namespace gear::stats

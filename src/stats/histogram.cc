@@ -1,0 +1,90 @@
+#include "stats/histogram.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace gear::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // guard fp rounding
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+double Histogram::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+void SparseHistogram::add(std::int64_t key, std::uint64_t weight) {
+  counts_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t SparseHistogram::count(std::int64_t key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double SparseHistogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [k, c] : counts_)
+    acc += static_cast<double>(k) * static_cast<double>(c);
+  return acc / static_cast<double>(total_);
+}
+
+double SparseHistogram::mean_abs() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [k, c] : counts_)
+    acc += std::abs(static_cast<double>(k)) * static_cast<double>(c);
+  return acc / static_cast<double>(total_);
+}
+
+std::int64_t SparseHistogram::min_key() const {
+  return counts_.empty() ? 0 : counts_.begin()->first;
+}
+
+std::int64_t SparseHistogram::max_key() const {
+  return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+double SparseHistogram::fraction_zero() const {
+  if (total_ == 0) return 1.0;
+  return static_cast<double>(count(0)) / static_cast<double>(total_);
+}
+
+}  // namespace gear::stats

@@ -1,0 +1,67 @@
+// Histograms for error-distance distributions.
+//
+// The adder experiments produce two kinds of distributions: dense
+// small-domain ones (e.g. per-bit flip counts) and very sparse wide-domain
+// ones (error magnitudes of an N-bit adder, which concentrate on a handful
+// of powers of two). Histogram covers the dense case; SparseHistogram the
+// sparse one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gear::stats {
+
+/// Fixed-width binned histogram over [lo, hi).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Samples below lo / at-or-above hi.
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// Value at quantile q in [0,1], linearly interpolated within the bin.
+  /// Under/overflow samples clamp to the range edges.
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact counts over sparse integer keys (e.g. signed error distances).
+class SparseHistogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::int64_t key) const;
+  std::size_t distinct() const { return counts_.size(); }
+  const std::map<std::int64_t, std::uint64_t>& entries() const { return counts_; }
+
+  double mean() const;
+  /// Mean of |key| — the Mean Error Distance when keys are signed errors.
+  double mean_abs() const;
+  std::int64_t min_key() const;
+  std::int64_t max_key() const;
+  /// Fraction of samples with key == 0 (i.e. exact results).
+  double fraction_zero() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace gear::stats

@@ -1,0 +1,52 @@
+#include "stats/rng.h"
+
+#include <cassert>
+
+namespace gear::stats {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Rng Rng::substream(std::uint64_t master_seed, std::string_view label) {
+  // splitmix-style finalizer over (seed ^ hash) keeps substreams decorrelated
+  // even for adjacent seeds.
+  std::uint64_t z = master_seed ^ fnv1a(label);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+std::uint64_t Rng::bits(int n) {
+  assert(n >= 0 && n <= 64);
+  if (n == 0) return 0;
+  if (n == 64) return engine_();
+  return engine_() >> (64 - n);
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform01() {
+  // 53-bit mantissa resolution.
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::flip(double p) { return uniform01() < p; }
+
+}  // namespace gear::stats

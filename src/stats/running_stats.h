@@ -1,0 +1,39 @@
+// Numerically stable streaming statistics (Welford) with merge support.
+#pragma once
+
+#include <cstdint>
+
+namespace gear::stats {
+
+/// Accumulates count / mean / variance / min / max of a stream of doubles
+/// in a single pass using Welford's algorithm. Two accumulators can be
+/// merged, which the benchmark harness uses to combine shards.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Combines another accumulator into this one (parallel merge).
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  double variance() const;
+  /// Sample variance (divide by n-1); 0 when n < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace gear::stats

@@ -1,0 +1,192 @@
+#include "synth/lut_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace gear::synth {
+
+namespace {
+
+using netlist::GateKind;
+using netlist::NetId;
+
+struct Cut {
+  std::vector<NetId> leaves;  // sorted
+  int depth = 0;
+
+  bool operator<(const Cut& o) const {
+    if (depth != o.depth) return depth < o.depth;
+    return leaves.size() < o.leaves.size();
+  }
+};
+
+/// Merges sorted leaf sets; returns false if the union exceeds k.
+bool merge_leaves(const std::vector<NetId>& a, const std::vector<NetId>& b,
+                  int k, std::vector<NetId>& out) {
+  out.clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    NetId next;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      next = a[i];
+      if (j < b.size() && b[j] == a[i]) ++j;
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    out.push_back(next);
+    if (static_cast<int>(out.size()) > k) return false;
+  }
+  return true;
+}
+
+constexpr std::size_t kMaxCutsPerNet = 10;
+
+}  // namespace
+
+MappingResult map_to_luts(const netlist::Netlist& nl, int k) {
+  assert(k >= 2 && k <= 8);
+
+  const std::size_t nets = nl.net_count();
+  // Net classification. Constants fold into whatever consumes them (LUT
+  // init values / chain ties), so they are leaves, not mappable logic.
+  enum class NetClass : std::uint8_t { kLeaf, kLogic, kMacro };
+  std::vector<NetClass> cls(nets, NetClass::kLeaf);
+  for (const auto& g : nl.gates()) {
+    if (netlist::is_carry_macro(g.kind)) {
+      cls[g.output] = NetClass::kMacro;
+    } else if (g.kind != netlist::GateKind::kConst0 &&
+               g.kind != netlist::GateKind::kConst1) {
+      cls[g.output] = NetClass::kLogic;
+    }
+  }
+
+  // Cut enumeration in gate (topological) order.
+  std::vector<std::vector<Cut>> cuts(nets);
+  std::vector<int> best_depth(nets, 0);
+
+  for (const auto& g : nl.gates()) {
+    if (netlist::is_carry_macro(g.kind)) continue;
+    std::vector<Cut> cand;
+    // Seed with the gate's direct-fanin cut.
+    {
+      Cut direct;
+      for (NetId in : g.inputs) direct.leaves.push_back(in);
+      std::sort(direct.leaves.begin(), direct.leaves.end());
+      direct.leaves.erase(std::unique(direct.leaves.begin(), direct.leaves.end()),
+                          direct.leaves.end());
+      if (static_cast<int>(direct.leaves.size()) <= k) {
+        direct.depth = 0;
+        for (NetId leaf : direct.leaves)
+          direct.depth = std::max(direct.depth, best_depth[leaf]);
+        direct.depth += 1;
+        cand.push_back(std::move(direct));
+      }
+    }
+    // Expand through logic fanins: combine each fanin's cut set.
+    // (Pairwise for arity-2; sequential fold for arity-3.)
+    {
+      std::vector<std::vector<Cut>> in_cuts;
+      for (NetId in : g.inputs) {
+        std::vector<Cut> ic;
+        if (cls[in] == NetClass::kLogic) {
+          ic = cuts[in];
+        }
+        // Every fanin can also stop at itself.
+        Cut trivial;
+        trivial.leaves = {in};
+        trivial.depth = best_depth[in];
+        ic.push_back(std::move(trivial));
+        in_cuts.push_back(std::move(ic));
+      }
+      std::vector<Cut> partial;
+      partial.push_back(Cut{{}, 0});
+      std::vector<NetId> merged;
+      for (const auto& ic : in_cuts) {
+        std::vector<Cut> next;
+        for (const auto& base : partial) {
+          for (const auto& c : ic) {
+            if (!merge_leaves(base.leaves, c.leaves, k, merged)) continue;
+            next.push_back(Cut{merged, std::max(base.depth, c.depth)});
+            if (next.size() > 64) break;  // combinatorial guard
+          }
+          if (next.size() > 64) break;
+        }
+        partial = std::move(next);
+      }
+      for (auto& c : partial) {
+        c.depth += 1;
+        cand.push_back(std::move(c));
+      }
+    }
+    std::sort(cand.begin(), cand.end());
+    // Deduplicate identical leaf sets, keep the best few.
+    std::vector<Cut> kept;
+    for (auto& c : cand) {
+      bool dup = false;
+      for (const auto& kc : kept) {
+        if (kc.leaves == c.leaves) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) kept.push_back(std::move(c));
+      if (kept.size() >= kMaxCutsPerNet) break;
+    }
+    cuts[g.output] = std::move(kept);
+    best_depth[g.output] =
+        cuts[g.output].empty() ? 1 : cuts[g.output].front().depth;
+  }
+
+  // Roots: logic nets that must exist as physical signals — output-port
+  // nets and fanins of carry macros.
+  std::set<NetId> roots;
+  auto add_root = [&](NetId n) {
+    if (n < nets && cls[n] == NetClass::kLogic) roots.insert(n);
+  };
+  for (const auto& port : nl.outputs()) {
+    for (NetId n : port.nets) add_root(n);
+  }
+  for (const auto& g : nl.gates()) {
+    if (!netlist::is_carry_macro(g.kind)) continue;
+    for (NetId in : g.inputs) add_root(in);
+  }
+
+  // Cover from the roots.
+  MappingResult result;
+  std::set<NetId> realized;
+  std::vector<NetId> work(roots.begin(), roots.end());
+  while (!work.empty()) {
+    const NetId n = work.back();
+    work.pop_back();
+    if (realized.count(n)) continue;
+    realized.insert(n);
+    assert(!cuts[n].empty());
+    const Cut& best = cuts[n].front();
+    LutNode node;
+    node.out = n;
+    node.leaves = best.leaves;
+    node.depth = best.depth;
+    result.max_lut_depth = std::max(result.max_lut_depth, node.depth);
+    result.luts.push_back(node);
+    for (NetId leaf : best.leaves) {
+      if (cls[leaf] == NetClass::kLogic && !realized.count(leaf)) {
+        work.push_back(leaf);
+      }
+    }
+  }
+
+  // Carry elements: distinct full-adder positions (FaSum/FaCarry sharing
+  // one input triple share one CARRY element and one feed LUT).
+  std::set<std::vector<NetId>> fa_positions;
+  for (const auto& g : nl.gates()) {
+    if (netlist::is_carry_macro(g.kind)) fa_positions.insert(g.inputs);
+  }
+  result.carry_elements = static_cast<int>(fa_positions.size());
+  return result;
+}
+
+}  // namespace gear::synth

@@ -1,0 +1,40 @@
+// Cut-based K-LUT technology mapping.
+//
+// Logic gates are packed into K-input LUTs via exhaustive K-feasible cut
+// enumeration (depth-oriented, with cut-count pruning); the kFaSum /
+// kFaCarry macro gates are never absorbed — each distinct full-adder
+// position maps onto one carry-chain element whose propagate/generate
+// feed costs one LUT, matching Xilinx CARRY4 usage (an N-bit ripple core
+// therefore costs exactly N LUTs, as the paper's Table I reports for the
+// 16-bit RCA).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace gear::synth {
+
+/// One selected LUT in the mapped network.
+struct LutNode {
+  netlist::NetId out = netlist::kInvalidNet;
+  std::vector<netlist::NetId> leaves;  ///< cut inputs (nets)
+  int depth = 0;                       ///< LUT level from the inputs
+};
+
+struct MappingResult {
+  std::vector<LutNode> luts;
+  int carry_elements = 0;  ///< distinct full-adder positions
+  int max_lut_depth = 0;
+
+  /// Total area in LUTs: packed logic plus one per carry element.
+  int area_luts() const {
+    return static_cast<int>(luts.size()) + carry_elements;
+  }
+};
+
+/// Maps `nl` onto K-input LUTs. `k` in [2, 8].
+MappingResult map_to_luts(const netlist::Netlist& nl, int k = 6);
+
+}  // namespace gear::synth

@@ -1,0 +1,79 @@
+#include "synth/power.h"
+
+#include <cassert>
+
+namespace gear::synth {
+
+PowerReport estimate_power(const netlist::Netlist& nl, std::uint64_t vectors,
+                           stats::Rng& rng, const PowerModel& model) {
+  assert(vectors > 1);
+  const std::size_t nets = nl.net_count();
+
+  // Per-net capacitance from fan-out.
+  std::vector<double> cap(nets, model.cap_base);
+  for (const auto& g : nl.gates()) {
+    for (netlist::NetId in : g.inputs) cap[in] += model.cap_per_fanout;
+  }
+  for (const auto& port : nl.outputs()) {
+    for (netlist::NetId n : port.nets) cap[n] += model.cap_per_fanout;
+  }
+
+  // Locate the operand ports.
+  int wa = 0, wb = 0;
+  const netlist::Port* pa = nullptr;
+  const netlist::Port* pb = nullptr;
+  for (const auto& port : nl.inputs()) {
+    if (port.name == "a") {
+      pa = &port;
+      wa = static_cast<int>(port.nets.size());
+    } else if (port.name == "b") {
+      pb = &port;
+      wb = static_cast<int>(port.nets.size());
+    }
+  }
+  assert(pa && pb);
+
+  std::vector<bool> value(nets, false);
+  std::vector<bool> prev(nets, false);
+  std::vector<std::uint64_t> toggles(nets, 0);
+  std::vector<bool> in_bits;
+
+  for (std::uint64_t v = 0; v < vectors; ++v) {
+    const std::uint64_t a = rng.bits(wa);
+    const std::uint64_t b = rng.bits(wb);
+    for (std::size_t i = 0; i < pa->nets.size(); ++i) {
+      value[pa->nets[i]] = (a >> i) & 1ULL;
+    }
+    for (std::size_t i = 0; i < pb->nets.size(); ++i) {
+      value[pb->nets[i]] = (b >> i) & 1ULL;
+    }
+    for (const auto& g : nl.gates()) {
+      in_bits.clear();
+      for (netlist::NetId in : g.inputs) in_bits.push_back(value[in]);
+      value[g.output] = netlist::eval_gate(g.kind, in_bits);
+    }
+    if (v > 0) {
+      for (std::size_t n = 0; n < nets; ++n) {
+        if (value[n] != prev[n]) ++toggles[n];
+      }
+    }
+    prev = value;
+  }
+
+  PowerReport report;
+  report.vectors = vectors;
+  const auto transitions = static_cast<double>(vectors - 1);
+  double total_toggles = 0.0, energy = 0.0, activity = 0.0;
+  for (std::size_t n = 0; n < nets; ++n) {
+    const auto t = static_cast<double>(toggles[n]);
+    total_toggles += t;
+    energy += t * cap[n];
+    activity += t / transitions;
+  }
+  report.toggles_per_op = total_toggles / transitions;
+  report.energy_per_op = energy / transitions;
+  report.mean_activity = nets ? activity / static_cast<double>(nets) : 0.0;
+  return report;
+}
+
+}  // namespace gear::synth

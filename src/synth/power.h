@@ -1,0 +1,40 @@
+// Switching-activity estimation and a dynamic-power/energy proxy.
+//
+// Dynamic power on an FPGA is dominated by net toggling weighted by
+// driven capacitance. We estimate per-net toggle rates by zero-delay
+// simulation over a stream of operand vectors (consecutive-vector
+// transitions, no glitch modelling) and weight each toggle by a fan-out
+// proportional capacitance. The result is a relative energy-per-operation
+// figure: meaningful for comparing adders against each other (the paper's
+// motivation — approximation buys power), not as absolute Joules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "stats/rng.h"
+
+namespace gear::synth {
+
+struct PowerModel {
+  double cap_base = 1.0;        ///< capacitance per net (arbitrary units)
+  double cap_per_fanout = 0.5;  ///< extra per consumer
+  static PowerModel virtex6() { return PowerModel{}; }
+};
+
+struct PowerReport {
+  double toggles_per_op = 0.0;     ///< mean net toggles per input vector
+  double energy_per_op = 0.0;      ///< capacitance-weighted toggles
+  double mean_activity = 0.0;      ///< average per-net toggle probability
+  std::uint64_t vectors = 0;
+};
+
+/// Estimates switching activity of a two-operand adder netlist (ports
+/// "a"/"b"; other inputs held at 0) over `vectors` uniform random vector
+/// pairs applied back-to-back.
+PowerReport estimate_power(const netlist::Netlist& nl, std::uint64_t vectors,
+                           stats::Rng& rng,
+                           const PowerModel& model = PowerModel::virtex6());
+
+}  // namespace gear::synth

@@ -1,0 +1,24 @@
+#include "synth/report.h"
+
+namespace gear::synth {
+
+SynthReport synthesize(const netlist::Netlist& nl, const DelayModel& model) {
+  SynthReport report;
+  report.circuit = nl.name();
+  const MappingResult mapping = map_to_luts(nl);
+  report.timing = analyze_timing(nl, mapping, model);
+  report.area_luts = mapping.area_luts();
+  report.carry_elements = mapping.carry_elements;
+  report.lut_count = static_cast<int>(mapping.luts.size());
+  report.lut_levels = mapping.max_lut_depth;
+  report.delay_ns = report.timing.critical_ns;
+  return report;
+}
+
+double sum_path_delay(const SynthReport& report) {
+  auto it = report.timing.port_arrival.find("sum");
+  return it != report.timing.port_arrival.end() ? it->second
+                                                : report.timing.critical_ns;
+}
+
+}  // namespace gear::synth

@@ -1,0 +1,31 @@
+// One-call synthesis: LUT mapping + timing for a circuit.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+#include "synth/lut_map.h"
+#include "synth/timing.h"
+
+namespace gear::synth {
+
+struct SynthReport {
+  std::string circuit;
+  int area_luts = 0;
+  double delay_ns = 0.0;
+  int carry_elements = 0;
+  int lut_count = 0;
+  int lut_levels = 0;
+  TimingReport timing;
+};
+
+/// Maps and times `nl` with the given delay model.
+SynthReport synthesize(const netlist::Netlist& nl,
+                       const DelayModel& model = DelayModel::virtex6());
+
+/// Delay of the arithmetic result only (the "sum" port), excluding the
+/// error-flag outputs — what the paper's Path Delay column reports for
+/// the plain approximate adders.
+double sum_path_delay(const SynthReport& report);
+
+}  // namespace gear::synth

@@ -1,0 +1,99 @@
+#include "synth/timing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace gear::synth {
+
+namespace {
+using netlist::GateKind;
+using netlist::NetId;
+}  // namespace
+
+TimingReport analyze_timing(const netlist::Netlist& nl, const MappingResult& mapping,
+                            const DelayModel& model) {
+  const std::size_t nets = nl.net_count();
+
+  // Fan-out counts (consumers per net: gate fanins + port reads).
+  std::vector<int> fanout(nets, 0);
+  for (const auto& g : nl.gates()) {
+    for (NetId in : g.inputs) ++fanout[in];
+  }
+  for (const auto& port : nl.outputs()) {
+    for (NetId n : port.nets) ++fanout[n];
+  }
+  auto fanout_penalty = [&](NetId n) {
+    const double extra = model.t_fanout * std::max(0, fanout[n] - 1);
+    return std::min(extra, model.t_fanout_cap);
+  };
+
+  // Which nets are realized as LUT outputs, and their cut leaves.
+  std::vector<const LutNode*> lut_of(nets, nullptr);
+  for (const auto& lut : mapping.luts) lut_of[lut.out] = &lut;
+
+  // Whether a net is a carry-macro output (reading it from the fabric
+  // costs t_exit).
+  std::vector<bool> is_macro_out(nets, false);
+  std::vector<bool> is_fa_carry(nets, false);
+  for (const auto& g : nl.gates()) {
+    if (netlist::is_carry_macro(g.kind)) {
+      is_macro_out[g.output] = true;
+      is_fa_carry[g.output] = g.kind == GateKind::kFaCarry;
+    }
+  }
+
+  std::vector<double> arrival(nets, 0.0);
+
+  // Arrival of `n` as seen by fabric logic (LUT input or output port):
+  // raw chain times pay the exit cost.
+  auto fabric_arrival = [&](NetId n) {
+    return arrival[n] + (is_macro_out[n] ? model.t_exit : 0.0);
+  };
+
+  // Process gates in topological order; LUT-covered nets get their
+  // arrival from their selected cut, macro gates from the chain model.
+  // Logic nets absorbed inside LUTs keep arrival 0 (they are never read).
+  for (const auto& g : nl.gates()) {
+    const NetId out = g.output;
+    if (netlist::is_carry_macro(g.kind)) {
+      // inputs = {a, b, cin}.
+      const double ab = std::max(fabric_arrival(g.inputs[0]) + fanout_penalty(g.inputs[0]),
+                                 fabric_arrival(g.inputs[1]) + fanout_penalty(g.inputs[1]));
+      const NetId cin_net = g.inputs[2];
+      const double cin = is_fa_carry[cin_net]
+                             ? arrival[cin_net]  // stays on the chain
+                             : fabric_arrival(cin_net);
+      if (g.kind == GateKind::kFaCarry) {
+        arrival[out] = std::max(ab + model.t_entry, cin + model.t_carry);
+      } else {
+        // Sum taps the chain through the XOR; exit cost added on read.
+        arrival[out] = std::max(ab + model.t_entry, cin + model.t_carry);
+      }
+      continue;
+    }
+    if (const LutNode* lut = lut_of[out]) {
+      double t = 0.0;
+      for (NetId leaf : lut->leaves) {
+        t = std::max(t, fabric_arrival(leaf) + fanout_penalty(leaf));
+      }
+      arrival[out] = t + model.t_lut + model.t_net;
+      // LUT outputs live in the fabric: no exit cost.
+      is_macro_out[out] = false;
+    }
+  }
+
+  TimingReport report;
+  report.lut_levels = mapping.max_lut_depth;
+  for (const auto& port : nl.outputs()) {
+    double t = 0.0;
+    for (NetId n : port.nets) {
+      t = std::max(t, fabric_arrival(n));
+    }
+    report.port_arrival[port.name] = t;
+    report.critical_ns = std::max(report.critical_ns, t);
+  }
+  return report;
+}
+
+}  // namespace gear::synth

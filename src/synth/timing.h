@@ -1,0 +1,43 @@
+// Static timing analysis over the mapped network.
+//
+// The delay model is calibrated against the paper's Virtex-6 numbers:
+// carry chains are fast (t_carry per bit after a t_entry cost to get onto
+// the chain, t_exit to leave it through the sum XOR), LUT levels cost
+// t_lut + t_net each, and heavily loaded nets pay a fan-out penalty (this
+// is what makes ACA-I's many overlapping windows slower than its chain
+// length alone suggests). Absolute nanoseconds are a model, not an ISE
+// run; EXPERIMENTS.md compares shapes, not absolutes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "synth/lut_map.h"
+
+namespace gear::synth {
+
+struct DelayModel {
+  double t_lut = 0.25;      ///< LUT logic delay (ns)
+  double t_net = 0.35;      ///< average routing per LUT level (ns)
+  double t_carry = 0.035;   ///< carry chain, per bit (ns)
+  double t_entry = 0.45;    ///< operand -> chain (propagate LUT + route)
+  double t_exit = 0.35;     ///< chain -> fabric (sum XOR + route)
+  double t_fanout = 0.03;   ///< extra per additional load on a net
+  double t_fanout_cap = 0.30;
+
+  /// Constants above, tuned so a 16-bit RCA comes out at ~1.36 ns
+  /// (paper: 1.365 ns) and a 10-bit sub-adder at ~1.15-1.25 ns.
+  static DelayModel virtex6() { return DelayModel{}; }
+};
+
+struct TimingReport {
+  double critical_ns = 0.0;                     ///< worst output arrival
+  std::map<std::string, double> port_arrival;   ///< per output port (ns)
+  int lut_levels = 0;
+};
+
+TimingReport analyze_timing(const netlist::Netlist& nl, const MappingResult& mapping,
+                            const DelayModel& model);
+
+}  // namespace gear::synth

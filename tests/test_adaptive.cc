@@ -1,0 +1,91 @@
+// Runtime-adaptive correction controller tests.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+namespace {
+
+AdaptivePolicy policy(double target, std::uint32_t window = 128) {
+  AdaptivePolicy p;
+  p.target_error_rate = target;
+  p.window = window;
+  return p;
+}
+
+TEST(Adaptive, StartsWithNoCorrection) {
+  AdaptiveCorrector ac(GeArConfig::must(16, 2, 2), policy(0.01));
+  EXPECT_EQ(ac.enabled_level(), 0);
+  EXPECT_EQ(ac.enabled_mask(), 0u);
+}
+
+TEST(Adaptive, WidensUnderHighErrorPressure) {
+  // (16,2,2) has ~48% raw error rate; a 1% target forces the controller
+  // to widen all the way up.
+  AdaptiveCorrector ac(GeArConfig::must(16, 2, 2), policy(0.01, 64));
+  stats::Rng rng(71);
+  for (int i = 0; i < 64 * 12; ++i) {
+    ac.add(rng.bits(16), rng.bits(16));
+  }
+  EXPECT_EQ(ac.enabled_level(), ac.stats().widen_events - ac.stats().narrow_events);
+  EXPECT_GT(ac.enabled_level(), 3);
+  EXPECT_GT(ac.stats().widen_events, 0);
+}
+
+TEST(Adaptive, StaysNarrowWhenToleranceIsLoose) {
+  // Target above the raw error rate: no widening should ever happen.
+  AdaptiveCorrector ac(GeArConfig::must(16, 4, 8), policy(0.9, 64));
+  stats::Rng rng(72);
+  for (int i = 0; i < 64 * 10; ++i) {
+    ac.add(rng.bits(16), rng.bits(16));
+  }
+  EXPECT_EQ(ac.enabled_level(), 0);
+  EXPECT_EQ(ac.stats().widen_events, 0);
+  EXPECT_DOUBLE_EQ(ac.stats().avg_cycles(), 1.0);
+}
+
+TEST(Adaptive, ConvergesToTargetBand) {
+  // After warm-up the long-run residual rate should sit at or below a
+  // small multiple of the target.
+  AdaptiveCorrector ac(GeArConfig::must(16, 2, 2), policy(0.05, 256));
+  stats::Rng rng(73);
+  // Warm-up.
+  for (int i = 0; i < 256 * 8; ++i) ac.add(rng.bits(16), rng.bits(16));
+  // Measure.
+  std::uint64_t errors = 0;
+  const int trials = 256 * 20;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    if (ac.add(a, b).sum != a + b) ++errors;
+  }
+  const double rate = static_cast<double>(errors) / trials;
+  EXPECT_LT(rate, 0.15);  // raw rate is ~0.48; controller must be active
+  EXPECT_GT(ac.enabled_level(), 0);
+}
+
+TEST(Adaptive, CyclesTrackEnabledLevel) {
+  AdaptiveCorrector tight(GeArConfig::must(16, 2, 2), policy(0.001, 64));
+  AdaptiveCorrector loose(GeArConfig::must(16, 2, 2), policy(0.5, 64));
+  stats::Rng r1(74), r2(74);
+  for (int i = 0; i < 64 * 10; ++i) {
+    tight.add(r1.bits(16), r1.bits(16));
+    loose.add(r2.bits(16), r2.bits(16));
+  }
+  EXPECT_GT(tight.stats().avg_cycles(), loose.stats().avg_cycles());
+  EXPECT_LE(tight.stats().residual_rate(), loose.stats().residual_rate());
+}
+
+TEST(Adaptive, StatsAreConsistent) {
+  AdaptiveCorrector ac(GeArConfig::must(12, 4, 4), policy(0.01, 32));
+  stats::Rng rng(75);
+  const int n = 500;
+  for (int i = 0; i < n; ++i) ac.add(rng.bits(12), rng.bits(12));
+  EXPECT_EQ(ac.stats().additions, static_cast<std::uint64_t>(n));
+  EXPECT_GE(ac.stats().cycles, ac.stats().additions);
+  EXPECT_LE(ac.stats().residual_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace gear::core

@@ -1,0 +1,237 @@
+// Baseline adder model tests: exactness of the references, semantic spot
+// checks of each approximate family, registry parsing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "adders/eta.h"
+#include "adders/exact.h"
+#include "adders/gda.h"
+#include "adders/gear_adapter.h"
+#include "adders/loa.h"
+#include "adders/registry.h"
+#include "adders/speculative.h"
+#include "stats/rng.h"
+
+namespace gear::adders {
+namespace {
+
+TEST(Exact, RcaIsExactExhaustive8) {
+  const RcaAdder rca(8);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      ASSERT_EQ(rca.add(a, b), a + b);
+    }
+  }
+}
+
+TEST(Exact, RcaIsExactRandomWide) {
+  stats::Rng rng(61);
+  for (int n : {16, 20, 32, 48, 63}) {
+    const RcaAdder rca(n);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t a = rng.bits(n);
+      const std::uint64_t b = rng.bits(n);
+      ASSERT_EQ(rca.add(a, b), a + b) << "n=" << n;
+    }
+  }
+}
+
+TEST(Exact, ClaIsExactAllBlockSizes) {
+  stats::Rng rng(62);
+  for (int block : {1, 2, 3, 4, 8, 16}) {
+    const ClaAdder cla(16, block);
+    for (int i = 0; i < 3000; ++i) {
+      const std::uint64_t a = rng.bits(16);
+      const std::uint64_t b = rng.bits(16);
+      ASSERT_EQ(cla.add(a, b), a + b) << "block=" << block;
+    }
+  }
+}
+
+TEST(Exact, Flags) {
+  EXPECT_TRUE(RcaAdder(16).is_exact());
+  EXPECT_TRUE(ClaAdder(16).is_exact());
+  EXPECT_FALSE(Aca1Adder(16, 4).is_exact());
+  EXPECT_EQ(RcaAdder(16).max_carry_chain(), 16);
+  EXPECT_EQ(ClaAdder(16, 4).max_carry_chain(), 4);
+}
+
+TEST(Etai, AccuratePartExact) {
+  const EtaiAdder etai(16, 8);
+  stats::Rng rng(63);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    const std::uint64_t sum = etai.add(a, b);
+    // Upper part equals the exact sum of the upper operand halves.
+    EXPECT_EQ(sum >> 8, (a >> 8) + (b >> 8));
+  }
+}
+
+TEST(Etai, LowerPartSaturationRule) {
+  // From the first both-ones position (MSB->LSB) downwards, all ones.
+  const EtaiAdder etai(8, 4);
+  // a=0b0110, b=0b0101 in low nibble: MSB->LSB: bit3 0&0 xor 0; bit2 1&1
+  // -> saturate from bit2: bits 2,1,0 = 1.
+  const std::uint64_t sum = etai.add(0b0110, 0b0101);
+  EXPECT_EQ(sum & 0xF, 0b0111u);
+}
+
+TEST(Etai, NoBothOnesMeansXor) {
+  const EtaiAdder etai(8, 4);
+  const std::uint64_t sum = etai.add(0b1010, 0b0101);
+  EXPECT_EQ(sum & 0xF, 0b1111u);
+}
+
+TEST(Etai, SmallInputsInaccurate) {
+  // The paper's motivation for ETAII: ETAI garbles small operands when
+  // both have bits only in the inaccurate part.
+  const EtaiAdder etai(16, 8);
+  int errors = 0;
+  for (std::uint64_t a = 0; a < 256; a += 5) {
+    for (std::uint64_t b = 0; b < 256; b += 7) {
+      if (etai.add(a, b) != a + b) ++errors;
+    }
+  }
+  EXPECT_GT(errors, 0);
+}
+
+TEST(Etaiim, ChainedMsbsExactAtTop) {
+  const EtaiimAdder m(16, 4, 2);  // top 2 segments chained
+  stats::Rng rng(64);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    const std::uint64_t sum = m.add(a, b);
+    // Top 8 bits (plus carry) match exact.
+    EXPECT_EQ(sum >> 8, (a + b) >> 8) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Etaiim, ZeroChainedEqualsEtaii) {
+  const EtaiimAdder m(16, 4, 0);
+  const EtaiiAdder e(16, 4);
+  stats::Rng rng(65);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    EXPECT_EQ(m.add(a, b), e.add(a, b));
+  }
+}
+
+TEST(Etaiim, FullyChainedIsExact) {
+  const EtaiimAdder m(16, 4, 4);
+  stats::Rng rng(66);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    EXPECT_EQ(m.add(a, b), a + b);
+  }
+}
+
+TEST(Etaiim, MaxCarryChainGrowsWithChaining) {
+  EXPECT_EQ(EtaiimAdder(16, 4, 0).max_carry_chain(), 8);
+  EXPECT_GT(EtaiimAdder(16, 4, 2).max_carry_chain(), 8);
+}
+
+TEST(Loa, LowerPartIsOr) {
+  const LoaAdder loa(16, 8);
+  stats::Rng rng(67);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    const std::uint64_t sum = loa.add(a, b);
+    EXPECT_EQ(sum & 0xFF, (a | b) & 0xFF);
+  }
+}
+
+TEST(Loa, ExactWhenLowerPartsZero) {
+  const LoaAdder loa(16, 8);
+  stats::Rng rng(68);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.bits(8) << 8;
+    const std::uint64_t b = rng.bits(8) << 8;
+    EXPECT_EQ(loa.add(a, b), a + b);
+  }
+}
+
+TEST(GearAdapter, MatchesCoreModel) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  const GearAdapter adapter(cfg);
+  const core::GeArAdder direct(cfg);
+  stats::Rng rng(69);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    EXPECT_EQ(adapter.add(a, b), direct.add_value(a, b));
+  }
+  EXPECT_EQ(adapter.name(), "GeAr(4,4)");
+  EXPECT_EQ(adapter.max_carry_chain(), 8);
+}
+
+TEST(GearCorrectedAdapter, FullMaskExactFlag) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  const GearCorrectedAdapter full(cfg, core::Corrector::all_enabled());
+  EXPECT_TRUE(full.is_exact());
+  const GearCorrectedAdapter partial(cfg, 0b010);
+  EXPECT_FALSE(partial.is_exact());
+  stats::Rng rng(70);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    EXPECT_EQ(full.add(a, b), a + b);
+  }
+}
+
+TEST(Registry, ParsesEveryFamily) {
+  for (const std::string spec :
+       {"rca:16", "cla:16", "cla:16:8", "aca1:16:4", "aca2:16:8", "etai:16:8",
+        "etaii:16:4", "etaiim:16:4:2", "gda:16:4:8", "gear:16:4:4",
+        "gear+ecc:16:4:4", "loa:16:8"}) {
+    const AdderPtr adder = make_adder(spec);
+    ASSERT_NE(adder, nullptr) << spec;
+    EXPECT_EQ(adder->width(), 16) << spec;
+    // Smoke: zero plus zero is zero for every model.
+    EXPECT_EQ(adder->add(0, 0), 0u) << spec;
+  }
+}
+
+TEST(Registry, RejectsMalformedSpecs) {
+  EXPECT_THROW(make_adder(""), std::invalid_argument);
+  EXPECT_THROW(make_adder("nope:16"), std::invalid_argument);
+  EXPECT_THROW(make_adder("rca"), std::invalid_argument);
+  EXPECT_THROW(make_adder("rca:16:4"), std::invalid_argument);
+  EXPECT_THROW(make_adder("gear:16:4"), std::invalid_argument);
+  EXPECT_THROW(make_adder("gear:16:0:4"), std::invalid_argument);
+  EXPECT_THROW(make_adder("gear:16:4:13"), std::invalid_argument);  // L > N
+  EXPECT_THROW(make_adder("rca:abc"), std::invalid_argument);
+  EXPECT_THROW(make_adder("rca:16x"), std::invalid_argument);
+}
+
+TEST(Registry, KnownFamiliesListed) {
+  const auto families = known_families();
+  EXPECT_NE(std::find(families.begin(), families.end(), "gear"), families.end());
+  EXPECT_NE(std::find(families.begin(), families.end(), "cell"), families.end());
+  EXPECT_EQ(families.size(), 12u);
+}
+
+TEST(AllAdders, ApproximationsBoundedByCarryDrops) {
+  // Generic property: every adder in the registry returns the exact sum
+  // when operands have disjoint set bits (no carries anywhere).
+  stats::Rng rng(71);
+  for (const std::string spec :
+       {"rca:16", "cla:16", "aca1:16:4", "aca2:16:8", "etaii:16:4",
+        "etaiim:16:4:2", "gda:16:4:4", "gear:16:4:4", "loa:16:8",
+        "etai:16:8"}) {
+    const AdderPtr adder = make_adder(spec);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t a = rng.bits(16);
+      const std::uint64_t b = rng.bits(16) & ~a;  // disjoint
+      EXPECT_EQ(adder->add(a, b), a + b) << spec << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gear::adders

@@ -1,0 +1,154 @@
+// Analysis-layer tests: design-space enumeration (Fig. 1/7), Pareto
+// extraction, the Table IV execution-time model, table formatting.
+#include <gtest/gtest.h>
+
+#include "analysis/design_space.h"
+#include "analysis/metrics.h"
+#include "analysis/pareto.h"
+#include "analysis/table.h"
+#include "analysis/timing_model.h"
+#include "core/error_model.h"
+
+namespace gear::analysis {
+namespace {
+
+TEST(DesignSpace, AccuracySweepShapes) {
+  const auto sweep = accuracy_sweep(16, 2);
+  ASSERT_EQ(sweep.size(), 14u);
+  // Accuracy grows monotonically with P.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].accuracy_percent + 1e-9, sweep[i - 1].accuracy_percent);
+  }
+  // Paper Section 4.1: (R=2,P=2) ~51%, (R=2,P=6) ~97%.
+  EXPECT_NEAR(sweep[1].accuracy_percent, 51.0, 3.0);
+  EXPECT_NEAR(sweep[5].accuracy_percent, 97.0, 1.5);
+}
+
+TEST(DesignSpace, PaperSection41Comparison) {
+  // (R=4,P=4) accuracy ~94%, lower than (R=2,P=6) ~97% at equal L=8.
+  const auto r4 = accuracy_sweep(16, 4);
+  const auto r2 = accuracy_sweep(16, 2);
+  const double acc_r4_p4 = r4[3].accuracy_percent;
+  const double acc_r2_p6 = r2[5].accuracy_percent;
+  EXPECT_NEAR(acc_r4_p4, 94.0, 2.0);
+  EXPECT_LT(acc_r4_p4, acc_r2_p6);
+}
+
+TEST(DesignSpace, GdaReachableFlagsMatchCoverage) {
+  for (int r : {2, 3, 4, 8}) {
+    for (const auto& pt : accuracy_sweep(16, r)) {
+      EXPECT_EQ(pt.gda_reachable,
+                pt.cfg.is_strict() && pt.cfg.p() % pt.cfg.r() == 0)
+          << pt.cfg.name();
+    }
+  }
+}
+
+TEST(DesignSpace, CoverageComparisonHasAllFamilies) {
+  const auto cmp = coverage_comparison(16, 2);
+  ASSERT_EQ(cmp.size(), 6u);
+  // GeAr relaxed covers a superset of every other family.
+  const auto& gear = cmp.back().p_values;
+  for (const auto& fam : cmp) {
+    for (int p : fam.p_values) {
+      EXPECT_NE(std::find(gear.begin(), gear.end(), p), gear.end())
+          << core::family_name(fam.family) << " P=" << p;
+    }
+  }
+}
+
+TEST(Pareto, DominationRules) {
+  const DesignCandidate a{"a", 1.0, 10.0, 0.1};
+  const DesignCandidate b{"b", 2.0, 10.0, 0.1};
+  const DesignCandidate c{"c", 1.0, 10.0, 0.1};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, c));  // equal: no strict improvement
+}
+
+TEST(Pareto, FrontExtraction) {
+  std::vector<DesignCandidate> pts{
+      {"fast-big", 1.0, 30.0, 0.2},
+      {"slow-small", 3.0, 10.0, 0.2},
+      {"dominated", 3.0, 30.0, 0.3},
+      {"accurate", 2.0, 20.0, 0.0},
+  };
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 3u);
+  for (const auto& p : front) EXPECT_NE(p.label, "dominated");
+}
+
+TEST(TimingModel, TableIVGearRows) {
+  // Paper Table IV: N=20 image integral, full-HD ops. Delay and Perr from
+  // the paper's own columns must reproduce the four timing columns.
+  struct Row {
+    double delay_ns, perr;
+    int k;
+    double approx_s, worst_s, avg_s, best_s;
+  };
+  const Row rows[] = {
+      // GeAr(1,9): k=11
+      {1.256, 4.882813e-3, 11, 2.604442e-3, 2.731612e-3, 2.674385e-3, 2.617159e-3},
+      // GeAr(2,8): k=6
+      {1.233, 7.324219e-3, 6, 2.556749e-3, 2.650380e-3, 2.612927e-3, 2.575475e-3},
+      // GeAr(5,5): k=3
+      {1.219, 30.273438e-3, 3, 2.527718e-3, 2.680764e-3, 2.642502e-3, 2.604241e-3},
+  };
+  for (const Row& row : rows) {
+    const ExecutionTiming t = execution_timing(row.delay_ns, row.perr, row.k);
+    EXPECT_NEAR(t.approx_s, row.approx_s, row.approx_s * 1e-4);
+    EXPECT_NEAR(t.worst_s, row.worst_s, row.worst_s * 1e-4);
+    EXPECT_NEAR(t.average_s, row.avg_s, row.avg_s * 1e-4);
+    EXPECT_NEAR(t.best_s, row.best_s, row.best_s * 1e-4);
+  }
+}
+
+TEST(TimingModel, RcaHasNoCorrectionOverhead) {
+  const ExecutionTiming t = execution_timing(1.365, 0.0, 1);
+  EXPECT_DOUBLE_EQ(t.approx_s, t.worst_s);
+  EXPECT_DOUBLE_EQ(t.approx_s, t.best_s);
+  EXPECT_NEAR(t.approx_s, 2.830464e-3, 2e-6);  // paper's RCA row
+}
+
+TEST(TimingModel, OrderingBestAvgWorst) {
+  const ExecutionTiming t = execution_timing(1.2, 0.05, 8);
+  EXPECT_LT(t.approx_s, t.best_s);
+  EXPECT_LT(t.best_s, t.average_s);
+  EXPECT_LT(t.average_s, t.worst_s);
+}
+
+TEST(TimingModel, ExpectedTimeFromPmf) {
+  // PMF: 90% no error (1 cycle), 10% one faulty sub-adder (2 cycles).
+  const std::vector<double> pmf{0.9, 0.1};
+  const double t = expected_time_s(1.0, pmf, 1000);
+  EXPECT_NEAR(t, 1000 * 1e-9 * 1.1, 1e-12);
+}
+
+TEST(Table, AsciiLayout) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_ascii();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "q\"z"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"z\""), std::string::npos);
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(fmt_sci(2.604442e-3, 6), "2.604442E-03");
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.029297, 4), "2.9297%");
+}
+
+}  // namespace
+}  // namespace gear::analysis

@@ -1,0 +1,238 @@
+// Application-substrate tests: image container, generators, kernels with
+// exact and approximate adders.
+#include <gtest/gtest.h>
+
+#include "adders/exact.h"
+#include "adders/gear_adapter.h"
+#include "apps/generate.h"
+#include "apps/image.h"
+#include "apps/integral.h"
+#include "apps/lpf.h"
+#include "apps/quality.h"
+#include "apps/sad.h"
+#include "apps/trace.h"
+#include "stats/rng.h"
+
+namespace gear::apps {
+namespace {
+
+TEST(Image, BasicAccessors) {
+  Image img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.pixel_count(), 12u);
+  EXPECT_EQ(img.at(2, 1), 7);
+  img.set(2, 1, 99);
+  EXPECT_EQ(img.at(2, 1), 99);
+}
+
+TEST(Image, ClampedAccess) {
+  Image img(2, 2);
+  img.set(0, 0, 1);
+  img.set(1, 1, 4);
+  EXPECT_EQ(img.at_clamped(-5, -5), 1);
+  EXPECT_EQ(img.at_clamped(10, 10), 4);
+}
+
+TEST(Image, PgmHeader) {
+  Image img(2, 2, 3);
+  const std::string pgm = img.to_pgm();
+  EXPECT_EQ(pgm.substr(0, 3), "P2\n");
+  EXPECT_NE(pgm.find("2 2"), std::string::npos);
+}
+
+TEST(Generate, GradientRange) {
+  const Image img = gradient_image(256, 4);
+  EXPECT_EQ(img.at(0, 0), 0);
+  EXPECT_EQ(img.at(255, 3), 255);
+  for (int x = 1; x < 256; ++x) EXPECT_GE(img.at(x, 0), img.at(x - 1, 0));
+}
+
+TEST(Generate, NoiseIsDeterministicPerSeed) {
+  stats::Rng r1(5), r2(5);
+  EXPECT_EQ(noise_image(16, 16, r1), noise_image(16, 16, r2));
+}
+
+TEST(Generate, SmoothedNoiseReducesVariance) {
+  stats::Rng r1(6), r2(6);
+  const Image raw = noise_image(64, 64, r1);
+  const Image smooth = smoothed_noise_image(64, 64, r2, 2);
+  auto variance = [](const Image& img) {
+    double mean = 0;
+    for (auto p : img.pixels()) mean += p;
+    mean /= static_cast<double>(img.pixel_count());
+    double var = 0;
+    for (auto p : img.pixels()) var += (p - mean) * (p - mean);
+    return var / static_cast<double>(img.pixel_count());
+  };
+  EXPECT_LT(variance(smooth), variance(raw) * 0.5);
+}
+
+TEST(Generate, ShiftedImageShifts) {
+  const Image base = gradient_image(32, 8);
+  stats::Rng rng(7);
+  const Image shifted = shifted_image(base, 3, 0, 0, rng);
+  EXPECT_EQ(shifted.at(10, 4), base.at(7, 4));
+}
+
+TEST(Integral, RowIntegralExactMatchesPrefixSums) {
+  const adders::RcaAdder exact(16);
+  stats::Rng rng(8);
+  const Image img = noise_image(64, 8, rng);
+  const auto rows = row_integral(img, exact);
+  for (int y = 0; y < img.height(); ++y) {
+    std::uint64_t acc = 0;
+    for (int x = 0; x < img.width(); ++x) {
+      acc = (acc + img.at(x, y)) & 0xFFFF;
+      EXPECT_EQ(rows[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)], acc);
+    }
+  }
+}
+
+TEST(Integral, ApproximateUnderestimatesAtMost) {
+  // GeAr drops carries, so each single addition under-estimates; the row
+  // integral never exceeds the exact one before wraparound.
+  const adders::GearAdapter gear(core::GeArConfig::must(16, 4, 4));
+  const adders::RcaAdder exact(16);
+  const Image img = gradient_image(64, 4);
+  const auto approx = row_integral(img, gear);
+  const auto truth = row_integral(img, exact);
+  for (std::size_t y = 0; y < truth.size(); ++y) {
+    for (std::size_t x = 0; x < truth[y].size(); ++x) {
+      EXPECT_LE(approx[y][x], truth[y][x]);
+    }
+  }
+}
+
+TEST(Integral, Integral2dBoxSumMatchesDirect) {
+  const adders::RcaAdder exact(20);
+  stats::Rng rng(9);
+  const Image img = noise_image(24, 16, rng);
+  const auto ii = integral_2d(img, exact);
+  // Box sums from the integral image equal direct summation.
+  for (auto [x0, y0, x1, y1] :
+       {std::tuple{0, 0, 5, 5}, {3, 2, 10, 9}, {0, 0, 23, 15}, {7, 7, 7, 7}}) {
+    std::uint64_t direct = 0;
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) direct += img.at(x, y);
+    }
+    EXPECT_EQ(box_sum(ii, x0, y0, x1, y1), direct);
+  }
+}
+
+TEST(Integral, MeanAbsError) {
+  const std::vector<std::vector<std::uint64_t>> a{{1, 2}, {3, 4}};
+  const std::vector<std::vector<std::uint64_t>> b{{1, 4}, {1, 4}};
+  EXPECT_DOUBLE_EQ(integral_mean_abs_error(a, b), (0 + 2 + 2 + 0) / 4.0);
+}
+
+TEST(Sad, ZeroForIdenticalBlocks) {
+  const Image img = gradient_image(32, 32);
+  const adders::RcaAdder exact(16);
+  EXPECT_EQ(block_sad(img, img, 4, 4, 8, 8, 0, 0, exact), 0u);
+}
+
+TEST(Sad, SearchFindsKnownShift) {
+  stats::Rng rng(10);
+  const Image base = smoothed_noise_image(48, 48, rng, 1);
+  stats::Rng rng2(11);
+  const Image moved = shifted_image(base, 2, 1, 0, rng2);
+  const adders::RcaAdder exact(16);
+  const SadMatch m = sad_search(base, moved, 16, 16, 8, 8, 3, exact);
+  EXPECT_EQ(m.dx, 2);
+  EXPECT_EQ(m.dy, 1);
+}
+
+TEST(Sad, ApproximateAccumulatorUsuallyAgrees) {
+  stats::Rng rng(12);
+  const Image base = smoothed_noise_image(64, 64, rng, 1);
+  stats::Rng rng2(13);
+  const Image moved = shifted_image(base, 1, 2, 2, rng2);
+  const adders::GearAdapter gear(core::GeArConfig::must(16, 4, 4));
+  const double rate = sad_match_rate(base, moved, 8, 8, 3, gear);
+  EXPECT_GT(rate, 0.7);
+}
+
+TEST(Lpf, ConstantImageUnchanged) {
+  const Image img(16, 16, 80);
+  const adders::RcaAdder exact(12);
+  const Image out = lpf3x3(img, exact);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) EXPECT_EQ(out.at(x, y), 80);
+  }
+}
+
+TEST(Lpf, SmoothsACheckerboard) {
+  const Image img = checkerboard_image(16, 16, 1);
+  const adders::RcaAdder exact(12);
+  const Image out = lpf3x3(img, exact);
+  // Interior pixels move toward the mean.
+  for (int y = 2; y < 14; ++y) {
+    for (int x = 2; x < 14; ++x) {
+      EXPECT_GT(out.at(x, y), 80);
+      EXPECT_LT(out.at(x, y), 180);
+    }
+  }
+}
+
+TEST(Lpf, ApproximateCloseToExact) {
+  stats::Rng rng(14);
+  const Image img = smoothed_noise_image(32, 32, rng, 1);
+  const adders::RcaAdder exact(12);
+  const adders::GearAdapter gear(core::GeArConfig::must(12, 4, 4));
+  const Image ref = lpf3x3(img, exact);
+  const Image approx = lpf3x3(img, gear);
+  // GeAr(12,4,4) drops ~3% of carries worth 2^8 each; against a ~2^7
+  // signal that lands in the low-20s dB — "usable", per the paper's
+  // application-resilience argument.
+  EXPECT_GT(psnr(ref, approx), 20.0);
+  EXPECT_LT(mean_abs_pixel_error(ref, approx), 10.0);
+}
+
+TEST(Lpf, BinomialConstantImageUnchanged) {
+  const Image img(8, 8, 100);
+  const adders::RcaAdder exact(12);
+  const Image out = lpf_binomial(img, exact);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) EXPECT_EQ(out.at(x, y), 100);
+  }
+}
+
+TEST(Quality, PsnrIdenticalIsInfinite) {
+  const Image img = gradient_image(8, 8);
+  EXPECT_TRUE(std::isinf(psnr(img, img)));
+  EXPECT_DOUBLE_EQ(exact_pixel_rate(img, img), 1.0);
+  EXPECT_DOUBLE_EQ(mean_abs_pixel_error(img, img), 0.0);
+}
+
+TEST(Quality, PsnrDropsWithError) {
+  const Image a(8, 8, 100);
+  Image b = a;
+  b.set(0, 0, 110);
+  Image c = a;
+  for (int i = 0; i < 8; ++i) c.set(i, 0, 150);
+  EXPECT_GT(psnr(a, b), psnr(a, c));
+}
+
+TEST(Trace, CapturesOperands) {
+  const adders::RcaAdder exact(16);
+  const TracingAdder traced(exact);
+  const Image img = gradient_image(8, 2);
+  (void)row_integral(img, traced);
+  EXPECT_EQ(traced.trace().size(), 16u);  // one add per pixel
+  // First addition of each row starts from 0.
+  EXPECT_EQ(traced.trace()[0].a, 0u);
+}
+
+TEST(Trace, SourceReplaysTrace) {
+  const adders::RcaAdder exact(16);
+  TracingAdder traced(exact);
+  (void)traced.add(3, 4);
+  (void)traced.add(5, 6);
+  auto src = traced.take_source("kernel");
+  EXPECT_EQ(src.next().a, 3u);
+  EXPECT_EQ(src.next().b, 6u);
+}
+
+}  // namespace
+}  // namespace gear::apps

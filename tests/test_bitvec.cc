@@ -1,0 +1,156 @@
+// Unit tests for BitVec, including randomized cross-checks against native
+// 64-bit arithmetic and wide (>64-bit) property tests.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/bitvec.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+namespace {
+
+TEST(BitVec, ConstructionAndBits) {
+  BitVec v(8, 0b10110010);
+  EXPECT_EQ(v.width(), 8);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_TRUE(v.bit(7));
+  EXPECT_EQ(v.to_u64(), 0b10110010u);
+}
+
+TEST(BitVec, ValueTruncatedToWidth) {
+  BitVec v(4, 0xFF);
+  EXPECT_EQ(v.to_u64(), 0xFu);
+}
+
+TEST(BitVec, FromBinaryRoundTrip) {
+  const std::string s = "1011001110001111";
+  BitVec v = BitVec::from_binary(s);
+  EXPECT_EQ(v.width(), 16);
+  EXPECT_EQ(v.to_binary(), s);
+}
+
+TEST(BitVec, FromBinaryRejectsGarbage) {
+  EXPECT_THROW(BitVec::from_binary("10x1"), std::invalid_argument);
+}
+
+TEST(BitVec, SetAndClearBits) {
+  BitVec v(70);
+  v.set_bit(69, true);
+  EXPECT_TRUE(v.bit(69));
+  EXPECT_EQ(v.popcount(), 1);
+  v.set_bit(69, false);
+  EXPECT_TRUE(v.is_zero());
+}
+
+TEST(BitVec, SliceAndSetSlice) {
+  BitVec v(16, 0xABCD);
+  BitVec nib = v.slice(4, 4);
+  EXPECT_EQ(nib.to_u64(), 0xCu);
+  v.set_slice(4, BitVec(4, 0x5));
+  EXPECT_EQ(v.to_u64(), 0xAB5Du);
+}
+
+TEST(BitVec, AddMatchesNative) {
+  stats::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.bits(32);
+    const std::uint64_t b = rng.bits(32);
+    bool cout = false;
+    const BitVec s = BitVec(32, a).add(BitVec(32, b), false, &cout);
+    const std::uint64_t want = a + b;
+    EXPECT_EQ(s.to_u64(), want & 0xFFFFFFFFu);
+    EXPECT_EQ(cout, (want >> 32) & 1);
+  }
+}
+
+TEST(BitVec, AddCarryIn) {
+  bool cout = false;
+  const BitVec s = BitVec(4, 0xF).add(BitVec(4, 0x0), true, &cout);
+  EXPECT_EQ(s.to_u64(), 0u);
+  EXPECT_TRUE(cout);
+}
+
+TEST(BitVec, AddWideCarryPropagation) {
+  // 2^100 - 1 plus 1 must carry across word boundaries.
+  BitVec a(100);
+  for (int i = 0; i < 100; ++i) a.set_bit(i, true);
+  bool cout = false;
+  const BitVec s = a.add(BitVec(100, 1), false, &cout);
+  EXPECT_TRUE(s.is_zero());
+  EXPECT_TRUE(cout);
+}
+
+TEST(BitVec, SubMatchesNative) {
+  stats::Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.bits(24);
+    const std::uint64_t b = rng.bits(24);
+    const BitVec d = BitVec(24, a).sub(BitVec(24, b));
+    EXPECT_EQ(d.to_u64(), (a - b) & ((1ULL << 24) - 1));
+  }
+}
+
+TEST(BitVec, LogicOpsMatchNative) {
+  stats::Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.bits(48);
+    const std::uint64_t b = rng.bits(48);
+    const BitVec va(48, a), vb(48, b);
+    EXPECT_EQ((va & vb).to_u64(), a & b);
+    EXPECT_EQ((va | vb).to_u64(), a | b);
+    EXPECT_EQ((va ^ vb).to_u64(), a ^ b);
+    EXPECT_EQ((~va).to_u64(), ~a & ((1ULL << 48) - 1));
+  }
+}
+
+TEST(BitVec, ShiftsMatchNative) {
+  stats::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.bits(40);
+    const int sh = static_cast<int>(rng.range(0, 39));
+    const BitVec v(40, a);
+    EXPECT_EQ((v << sh).to_u64(), (a << sh) & ((1ULL << 40) - 1));
+    EXPECT_EQ((v >> sh).to_u64(), a >> sh);
+  }
+}
+
+TEST(BitVec, ComparisonOperators) {
+  EXPECT_TRUE(BitVec(8, 3) < BitVec(8, 5));
+  EXPECT_FALSE(BitVec(8, 5) < BitVec(8, 3));
+  EXPECT_FALSE(BitVec(8, 5) < BitVec(8, 5));
+  EXPECT_EQ(BitVec(8, 5), BitVec(8, 5));
+  EXPECT_NE(BitVec(8, 5), BitVec(8, 6));
+}
+
+TEST(BitVec, WideComparison) {
+  BitVec hi(100);
+  hi.set_bit(99, true);
+  BitVec lo(100, ~0ULL);
+  EXPECT_TRUE(lo < hi);
+  EXPECT_FALSE(hi < lo);
+}
+
+TEST(BitVec, HexFormatting) {
+  EXPECT_EQ(BitVec(16, 0xBEEF).to_hex(), "0xbeef");
+  EXPECT_EQ(BitVec(12, 0xABC).to_hex(), "0xabc");
+  EXPECT_EQ(BitVec(13, 0x1ABC).to_hex(), "0x1abc");
+}
+
+TEST(BitVec, Resized) {
+  BitVec v(8, 0xFF);
+  EXPECT_EQ(v.resized(4).to_u64(), 0xFu);
+  EXPECT_EQ(v.resized(16).to_u64(), 0xFFu);
+  EXPECT_EQ(v.resized(16).width(), 16);
+}
+
+TEST(BitVec, FitsU64) {
+  BitVec small(128, 42);
+  EXPECT_TRUE(small.fits_u64());
+  small.set_bit(64, true);
+  EXPECT_FALSE(small.fits_u64());
+}
+
+}  // namespace
+}  // namespace gear::core

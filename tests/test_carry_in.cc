@@ -1,0 +1,137 @@
+// Carry-in and subtraction extension tests.
+#include <gtest/gtest.h>
+
+#include "core/adder.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+namespace {
+
+TEST(CarryIn, ExactConfigHonoursCarry) {
+  const GeArAdder exact(GeArConfig::must(12, 11, 1));
+  stats::Rng rng(101);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.bits(12);
+    const std::uint64_t b = rng.bits(12);
+    EXPECT_EQ(exact.add_value(a, b, true), a + b + 1);
+    EXPECT_EQ(exact.add_value(a, b, false), a + b);
+  }
+}
+
+TEST(CarryIn, ApproximateCarryInNeverOvershoots) {
+  // (Note: add(a,b,1) can be *smaller* than add(a,b,0) — the carry can
+  // wrap sub-adder 0's region while the boundary carry is dropped — but
+  // it never exceeds the exact a+b+1, and an undetected result is exact.)
+  const GeArAdder adder(GeArConfig::must(16, 4, 4));
+  stats::Rng rng(102);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    const AddResult with = adder.add(a, b, true);
+    EXPECT_LE(with.sum, a + b + 1);
+    if (!with.error_detected()) {
+      EXPECT_EQ(with.sum, a + b + 1) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(CarryIn, AddValueMatchesAddWithCarry) {
+  const GeArAdder adder(GeArConfig::must(16, 2, 6));
+  stats::Rng rng(103);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    EXPECT_EQ(adder.add_value(a, b, true), adder.add(a, b, true).sum);
+  }
+}
+
+TEST(CarryIn, DetectionStillSoundWithCarry) {
+  // No detect flags => the result (including the carry-in) is exact.
+  const GeArAdder adder(GeArConfig::must(10, 2, 2));
+  for (std::uint64_t a = 0; a < 1024; a += 3) {
+    for (std::uint64_t b = 0; b < 1024; b += 5) {
+      const AddResult r = adder.add(a, b, true);
+      if (!r.error_detected()) {
+        ASSERT_EQ(r.sum, a + b + 1) << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Subtraction, ExactConfigSubtracts) {
+  const GeArAdder exact(GeArConfig::must(12, 11, 1));
+  stats::Rng rng(104);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.bits(12);
+    const std::uint64_t b = rng.bits(12);
+    const std::uint64_t d = exact.sub_value(a, b);
+    EXPECT_EQ(d & 0xFFF, (a - b) & 0xFFF);
+    // Bit N is the NOT-borrow flag: set iff a >= b.
+    EXPECT_EQ((d >> 12) & 1, a >= b ? 1u : 0u);
+  }
+}
+
+TEST(Subtraction, RawSumUnderestimates) {
+  // The raw (N+1-bit) value of a + ~b + 1 only loses carries, so it never
+  // exceeds the exact 2^N + (a - b). The *masked* difference, however,
+  // wraps: a missing 2^j carry shows up as -(2^j) mod 2^N, i.e. a huge
+  // positive residue — the known hazard of subtracting with speculative
+  // adders (the near-cancellation a ~ b is exactly the all-propagate
+  // pattern that defeats carry prediction).
+  const GeArAdder adder(GeArConfig::must(16, 4, 4));
+  stats::Rng rng(105);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    const std::uint64_t full = adder.sub_value(a, b);
+    const std::uint64_t exact_full = a + (~b & 0xFFFF) + 1;
+    EXPECT_LE(full, exact_full) << "a=" << a << " b=" << b;
+    // And any deviation is bounded by the sum of region-boundary weights
+    // (res_lo = 8 and 12, plus the carry-out bit).
+    const std::uint64_t deficit = exact_full - full;
+    EXPECT_LE(deficit, (1ULL << 8) + (1ULL << 12) + (1ULL << 16))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Subtraction, ExactCancellationAlwaysErrs) {
+  // a - a is the adversarial pattern: a + ~a is all-propagate at every
+  // bit, so the injected +1 must ripple the full width — exactly what
+  // windowed carry prediction cannot see. Every such subtraction is
+  // wrong (and detected). In contrast, a - (a + e) for e > 0 is benign:
+  // the borrow pattern 2^N-1-e has kills in its low bits that absorb the
+  // +1, so no long chain ever forms.
+  const GeArAdder adder(GeArConfig::must(16, 4, 4));
+  stats::Rng rng(106);
+  int benign_errors = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    // Exact cancellation: always wrong, always detected.
+    const AddResult cancel = adder.add(a, ~a & 0xFFFF, true);
+    ASSERT_NE(cancel.sum, 1ULL << 16) << a;
+    ASSERT_TRUE(cancel.error_detected()) << a;
+    // Near-cancellation with a nonzero gap: exact.
+    const std::uint64_t e = 1 + rng.bits(3);
+    const std::uint64_t b = (a + e) & 0xFFFF;
+    if (adder.sub_value(a, b) != a + (~b & 0xFFFF) + 1) ++benign_errors;
+  }
+  EXPECT_EQ(benign_errors, 0);
+}
+
+TEST(Subtraction, SelfDifferenceIsZero) {
+  // a - a = a + ~a + 1: every bit position propagates, but the forced
+  // carry ripples from the (exact) first sub-adder; higher windows see
+  // all-propagate with carry-in 0 and produce all-ones *unless* detected.
+  // The detect flags must fire whenever the result is wrong.
+  const GeArAdder adder(GeArConfig::must(12, 4, 4));
+  for (std::uint64_t a = 0; a < 4096; ++a) {
+    const AddResult r = adder.add(a, ~a & 0xFFF, true);
+    if (r.sum != (1ULL << 12)) {  // exact: a + ~a + 1 = 2^12
+      ASSERT_TRUE(r.error_detected()) << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gear::core

@@ -1,0 +1,114 @@
+// Cell-level approximate adder tests (AMA/AXA/TGA families).
+#include <gtest/gtest.h>
+
+#include "adders/cell_based.h"
+#include "adders/registry.h"
+#include "stats/rng.h"
+
+namespace gear::adders {
+namespace {
+
+TEST(Cells, ExactCellHasNoErrors) {
+  EXPECT_EQ(cell_error_entries(FaCell::kExact), 0);
+}
+
+TEST(Cells, PublishedErrorCounts) {
+  // AMA1: sum = ~cout is wrong on the two unanimous rows (000, 111).
+  EXPECT_EQ(cell_error_entries(FaCell::kAma1), 2);
+  // AMA2: sum drops cin, wrong whenever cin = 1 -> 4 sum errors.
+  EXPECT_EQ(cell_error_entries(FaCell::kAma2), 4);
+  // AXA2: XNOR sum is correct exactly when cin = 1 -> 4 sum errors.
+  EXPECT_EQ(cell_error_entries(FaCell::kAxa2), 4);
+  // TGA1: cout = a wrong on 2 rows.
+  EXPECT_EQ(cell_error_entries(FaCell::kTga1), 2);
+  // AMA3 is the most aggressive of the set.
+  EXPECT_GE(cell_error_entries(FaCell::kAma3),
+            cell_error_entries(FaCell::kAma1));
+}
+
+TEST(Cells, TruthTableSpotChecks) {
+  // Exact FA rows.
+  EXPECT_EQ(eval_cell(FaCell::kExact, 1, 1, 1).sum, true);
+  EXPECT_EQ(eval_cell(FaCell::kExact, 1, 1, 1).cout, true);
+  EXPECT_EQ(eval_cell(FaCell::kExact, 1, 0, 0).sum, true);
+  // AMA1 on (0,0,0): cout 0, sum forced to ~cout = 1 (the known error).
+  EXPECT_EQ(eval_cell(FaCell::kAma1, 0, 0, 0).sum, true);
+  EXPECT_EQ(eval_cell(FaCell::kAma1, 0, 0, 0).cout, false);
+  // TGA1 carries its 'a' input out.
+  EXPECT_EQ(eval_cell(FaCell::kTga1, 1, 0, 0).cout, true);
+  EXPECT_EQ(eval_cell(FaCell::kTga1, 0, 1, 1).cout, false);
+}
+
+TEST(CellBasedAdder, ZeroApproxBitsIsExact) {
+  const CellBasedAdder adder(12, 0, FaCell::kAma3);
+  stats::Rng rng(61);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(12);
+    const std::uint64_t b = rng.bits(12);
+    EXPECT_EQ(adder.add(a, b), a + b);
+  }
+}
+
+TEST(CellBasedAdder, ExactCellEverywhereIsExact) {
+  const CellBasedAdder adder(12, 12, FaCell::kExact);
+  stats::Rng rng(62);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(12);
+    const std::uint64_t b = rng.bits(12);
+    EXPECT_EQ(adder.add(a, b), a + b);
+  }
+}
+
+TEST(CellBasedAdder, ErrorsConfinedNearTheLowPart) {
+  // Approximate cells corrupt the low bits and at most one carry into
+  // the exact part; upper bits beyond the first exact position can only
+  // differ through that single carry, bounding |error| < 2^(m+1).
+  const int m = 6;
+  for (FaCell cell : {FaCell::kAma1, FaCell::kAma2, FaCell::kAxa2, FaCell::kTga1}) {
+    const CellBasedAdder adder(16, m, cell);
+    stats::Rng rng(63);
+    for (int i = 0; i < 20000; ++i) {
+      const std::uint64_t a = rng.bits(16);
+      const std::uint64_t b = rng.bits(16);
+      const auto approx = static_cast<std::int64_t>(adder.add(a, b));
+      const auto exact = static_cast<std::int64_t>(a + b);
+      EXPECT_LT(std::abs(approx - exact), 1LL << (m + 1))
+          << cell_name(cell) << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(CellBasedAdder, MoreApproxBitsMoreError) {
+  auto error_rate = [](int m) {
+    const CellBasedAdder adder(16, m, FaCell::kAma2);
+    stats::Rng rng(64);
+    int errors = 0;
+    const int trials = 30000;
+    for (int i = 0; i < trials; ++i) {
+      const std::uint64_t a = rng.bits(16);
+      const std::uint64_t b = rng.bits(16);
+      if (adder.add(a, b) != a + b) ++errors;
+    }
+    return static_cast<double>(errors) / trials;
+  };
+  EXPECT_LT(error_rate(2), error_rate(6));
+  EXPECT_LT(error_rate(6), error_rate(12));
+}
+
+TEST(CellBasedAdder, RegistrySpecs) {
+  for (const char* spec : {"cell:16:8:ama1", "cell:16:8:ama2", "cell:16:8:ama3",
+                           "cell:16:8:axa2", "cell:16:8:tga1", "cell:16:0:exact"}) {
+    const AdderPtr adder = make_adder(spec);
+    EXPECT_EQ(adder->width(), 16) << spec;
+    EXPECT_EQ(adder->add(0, 0) & 0xFFFF0000u, 0u) << spec;
+  }
+  EXPECT_THROW(make_adder("cell:16:8:zzz"), std::invalid_argument);
+  EXPECT_THROW(make_adder("cell:16:8"), std::invalid_argument);
+}
+
+TEST(CellBasedAdder, NameFormat) {
+  EXPECT_EQ(CellBasedAdder(16, 8, FaCell::kAma1).name(), "AMA1(low=8)");
+}
+
+}  // namespace
+}  // namespace gear::adders

@@ -1,0 +1,199 @@
+// Gate-level circuits vs functional models: every generated adder circuit
+// must agree bit-for-bit with its bit-level model (exhaustively for small
+// widths, randomized at the paper's widths).
+#include <gtest/gtest.h>
+
+#include "adders/eta.h"
+#include "adders/exact.h"
+#include "adders/gda.h"
+#include "adders/speculative.h"
+#include "core/adder.h"
+#include "core/correction.h"
+#include "netlist/circuits.h"
+#include "stats/rng.h"
+
+namespace gear::netlist {
+namespace {
+
+TEST(Circuits, RcaMatchesExhaustive) {
+  const Netlist nl = build_rca(6);
+  EXPECT_TRUE(nl.validate().empty()) << nl.validate();
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      ASSERT_EQ(nl.simulate_add(a, b), a + b);
+    }
+  }
+}
+
+TEST(Circuits, ClaMatchesExhaustive) {
+  const Netlist nl = build_cla(6);
+  EXPECT_TRUE(nl.validate().empty());
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      ASSERT_EQ(nl.simulate_add(a, b), a + b);
+    }
+  }
+}
+
+TEST(Circuits, GearMatchesModelExhaustive) {
+  for (auto [n, r, p] : {std::tuple{8, 2, 2}, {8, 1, 3}, {8, 2, 4}, {9, 3, 3}}) {
+    const auto cfg = core::GeArConfig::must(n, r, p);
+    const Netlist nl = build_gear(cfg);
+    EXPECT_TRUE(nl.validate().empty());
+    const core::GeArAdder model(cfg);
+    const std::uint64_t limit = 1ULL << n;
+    for (std::uint64_t a = 0; a < limit; ++a) {
+      for (std::uint64_t b = 0; b < limit; ++b) {
+        ASSERT_EQ(nl.simulate_add(a, b), model.add_value(a, b))
+            << cfg.name() << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Circuits, GearErrorFlagsMatchModel) {
+  const auto cfg = core::GeArConfig::must(8, 2, 2);
+  const Netlist nl = build_gear(cfg);
+  const core::GeArAdder model(cfg);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      const auto out = nl.simulate(
+          {{"a", core::BitVec(8, a)}, {"b", core::BitVec(8, b)}});
+      const auto res = model.add(a, b);
+      const std::uint64_t err_bits = out.at("err").to_u64();
+      for (int j = 0; j < cfg.k(); ++j) {
+        ASSERT_EQ((err_bits >> j) & 1, res.subs[static_cast<std::size_t>(j)].detect ? 1u : 0u)
+            << "a=" << a << " b=" << b << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Circuits, GearRandomizedPaperConfigs) {
+  stats::Rng rng(81);
+  for (auto [n, r, p] :
+       {std::tuple{12, 4, 4}, {12, 2, 6}, {16, 4, 8}, {20, 2, 8}, {32, 8, 8}}) {
+    const auto cfg = core::GeArConfig::must(n, r, p);
+    const Netlist nl = build_gear(cfg);
+    const core::GeArAdder model(cfg);
+    for (int i = 0; i < 3000; ++i) {
+      const std::uint64_t a = rng.bits(n);
+      const std::uint64_t b = rng.bits(n);
+      ASSERT_EQ(nl.simulate_add(a, b), model.add_value(a, b)) << cfg.name();
+    }
+  }
+}
+
+TEST(Circuits, GearWithCorrectionSingleStage) {
+  // The combinational correction stage fixes every single-sub-adder error;
+  // for k=2 that is all errors.
+  const auto cfg = core::GeArConfig::must(12, 4, 4);
+  GearCircuitOptions opt;
+  opt.with_correction = true;
+  const Netlist nl = build_gear(cfg, opt);
+  EXPECT_TRUE(nl.validate().empty());
+  stats::Rng rng(82);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.bits(12);
+    const std::uint64_t b = rng.bits(12);
+    ASSERT_EQ(nl.simulate_add(a, b), a + b) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Circuits, GearWithCorrectionChainedMatchesCorrector) {
+  // For k>2 the combinational stage corrects iteratively bottom-up within
+  // one pass (each mux sees the corrected carry of the window below), so
+  // it matches the sequential Corrector with all sub-adders enabled.
+  for (auto [n, r, p] : {std::tuple{12, 2, 6}, {16, 2, 2}, {20, 4, 4}}) {
+    const auto cfg = core::GeArConfig::must(n, r, p);
+    GearCircuitOptions opt;
+    opt.with_correction = true;
+    const Netlist nl = build_gear(cfg, opt);
+    const core::Corrector corr(cfg, core::Corrector::all_enabled());
+    stats::Rng rng(83);
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t a = rng.bits(n);
+      const std::uint64_t b = rng.bits(n);
+      ASSERT_EQ(nl.simulate_add(a, b), corr.add(a, b).sum)
+          << cfg.name() << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Circuits, Aca1MatchesModel) {
+  for (int l : {2, 3, 4}) {
+    const Netlist nl = build_aca1(8, l);
+    EXPECT_TRUE(nl.validate().empty());
+    const adders::Aca1Adder model(8, l);
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(nl.simulate_add(a, b), model.add(a, b)) << "l=" << l;
+      }
+    }
+  }
+}
+
+TEST(Circuits, Aca2MatchesModel) {
+  for (int l : {2, 4, 8}) {
+    const Netlist nl = build_aca2(8, l);
+    const adders::Aca2Adder model(8, l);
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(nl.simulate_add(a, b), model.add(a, b)) << "l=" << l;
+      }
+    }
+  }
+}
+
+TEST(Circuits, EtaiiMatchesModel) {
+  for (int seg : {1, 2, 4}) {
+    const Netlist nl = build_etaii(8, seg);
+    const adders::EtaiiAdder model(8, seg);
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(nl.simulate_add(a, b), model.add(a, b)) << "seg=" << seg;
+      }
+    }
+  }
+}
+
+TEST(Circuits, GdaPredictionModeMatchesModel) {
+  // cfg select defaults to 0 (prediction mode) in simulate_add.
+  for (auto [mb, mc] : {std::pair{1, 1}, {1, 2}, {2, 2}, {2, 4}, {4, 4}}) {
+    const Netlist nl = build_gda(8, mb, mc);
+    const adders::GdaAdder model(8, mb, mc);
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(nl.simulate_add(a, b), model.add(a, b))
+            << "mb=" << mb << " mc=" << mc;
+      }
+    }
+  }
+}
+
+TEST(Circuits, GdaRippleModeIsExact) {
+  // All select bits 1: every block takes the previous block's carry — the
+  // graceful-degradation-to-exact mode.
+  const Netlist nl = build_gda(8, 2, 2);
+  core::BitVec sel(3);
+  for (int i = 0; i < 3; ++i) sel.set_bit(i, true);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      const auto out = nl.simulate({{"a", core::BitVec(8, a)},
+                                    {"b", core::BitVec(8, b)},
+                                    {"cfg", sel}});
+      ASSERT_EQ(out.at("sum").to_u64(), a + b) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Circuits, RcaGateCountScalesLinearly) {
+  const Netlist n8 = build_rca(8);
+  const Netlist n16 = build_rca(16);
+  // 2 macro gates per bit (sum+carry) + const.
+  EXPECT_EQ(n8.kind_histogram().at(GateKind::kFaSum), 8u);
+  EXPECT_EQ(n16.kind_histogram().at(GateKind::kFaCarry), 16u);
+}
+
+}  // namespace
+}  // namespace gear::netlist

@@ -1,0 +1,156 @@
+// GeArConfig geometry tests: validation, Eq. 1 sub-adder counts, window
+// layouts from the paper's worked examples, enumeration, relaxed layouts.
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace gear::core {
+namespace {
+
+TEST(GeArConfig, PaperFig3Layout) {
+  // N=12, R=4, P=4 -> k=2, L=8 (paper Fig. 3).
+  const GeArConfig cfg = GeArConfig::must(12, 4, 4);
+  EXPECT_EQ(cfg.l(), 8);
+  EXPECT_EQ(cfg.k(), 2);
+  ASSERT_EQ(cfg.layout().size(), 2u);
+  EXPECT_EQ(cfg.sub(0).win_lo, 0);
+  EXPECT_EQ(cfg.sub(0).win_hi, 7);
+  EXPECT_EQ(cfg.sub(0).res_lo, 0);
+  EXPECT_EQ(cfg.sub(0).res_hi, 7);
+  EXPECT_EQ(cfg.sub(1).win_lo, 4);
+  EXPECT_EQ(cfg.sub(1).win_hi, 11);
+  EXPECT_EQ(cfg.sub(1).res_lo, 8);
+  EXPECT_EQ(cfg.sub(1).res_hi, 11);
+  EXPECT_EQ(cfg.sub(1).prediction_len(), 4);
+  EXPECT_EQ(cfg.max_carry_chain(), 8);
+}
+
+TEST(GeArConfig, PaperFig4Layout) {
+  // N=12, R=2, P=6 -> k=3, L=8 (paper Fig. 4).
+  const GeArConfig cfg = GeArConfig::must(12, 2, 6);
+  EXPECT_EQ(cfg.k(), 3);
+  EXPECT_EQ(cfg.sub(1).win_lo, 2);
+  EXPECT_EQ(cfg.sub(1).win_hi, 9);
+  EXPECT_EQ(cfg.sub(1).res_lo, 8);
+  EXPECT_EQ(cfg.sub(1).res_hi, 9);
+  EXPECT_EQ(cfg.sub(2).win_lo, 4);
+  EXPECT_EQ(cfg.sub(2).win_hi, 11);
+  EXPECT_EQ(cfg.sub(2).res_lo, 10);
+  EXPECT_EQ(cfg.sub(2).res_hi, 11);
+  EXPECT_EQ(cfg.max_carry_chain(), 8);
+}
+
+TEST(GeArConfig, Eq1SubAdderCount) {
+  // k = (N-L)/R + 1 for a grid of strict configurations.
+  for (int n : {8, 12, 16, 20, 32, 48}) {
+    for (int r = 1; r < n; ++r) {
+      for (int p = 1; r + p <= n; ++p) {
+        auto cfg = GeArConfig::make(n, r, p);
+        if (!cfg) continue;
+        const int l = r + p;
+        EXPECT_EQ(cfg->k(), (n - l) / r + 1) << n << "," << r << "," << p;
+      }
+    }
+  }
+}
+
+TEST(GeArConfig, RejectsInvalid) {
+  EXPECT_FALSE(GeArConfig::make(16, 0, 4));   // R < 1
+  EXPECT_FALSE(GeArConfig::make(16, 4, 0));   // P < 1
+  EXPECT_FALSE(GeArConfig::make(16, 4, 13));  // L > N
+  EXPECT_FALSE(GeArConfig::make(16, 4, 3));   // (N-L) % R != 0
+  EXPECT_FALSE(GeArConfig::make(1, 1, 1));    // N too small
+  EXPECT_FALSE(GeArConfig::make(64, 8, 8));   // N > 63 (model limit)
+}
+
+TEST(GeArConfig, AcceptsExactDegenerate) {
+  // L == N collapses to a single exact sub-adder for any (R, P) split.
+  auto cfg = GeArConfig::make(16, 8, 8);
+  ASSERT_TRUE(cfg);
+  EXPECT_TRUE(cfg->is_exact());
+  EXPECT_EQ(cfg->k(), 1);
+  auto exact = GeArConfig::make(16, 15, 1);
+  ASSERT_TRUE(exact);
+  EXPECT_TRUE(exact->is_exact());
+  EXPECT_EQ(exact->k(), 1);
+}
+
+TEST(GeArConfig, TableIIIConfigsHaveExpectedK) {
+  EXPECT_EQ(GeArConfig::must(12, 4, 4).k(), 2);
+  EXPECT_EQ(GeArConfig::must(16, 4, 8).k(), 2);
+  EXPECT_EQ(GeArConfig::must(32, 8, 8).k(), 3);
+  // Paper Table III prints k=5 here; Eq. 1 gives 4 (see DESIGN.md).
+  EXPECT_EQ(GeArConfig::must(48, 8, 16).k(), 4);
+}
+
+TEST(GeArConfig, LayoutInvariants) {
+  for (const auto& cfg : GeArConfig::enumerate(20)) {
+    const auto& layout = cfg.layout();
+    // Result regions tile [0, N-1] exactly.
+    int next = 0;
+    for (const auto& s : layout) {
+      EXPECT_EQ(s.res_lo, next);
+      EXPECT_LE(s.win_lo, s.res_lo);
+      EXPECT_EQ(s.win_hi, s.res_hi);
+      EXPECT_GE(s.win_lo, 0);
+      next = s.res_hi + 1;
+    }
+    EXPECT_EQ(next, cfg.n());
+    // Strict: every window has length L and every prediction P bits.
+    for (std::size_t j = 1; j < layout.size(); ++j) {
+      EXPECT_EQ(layout[j].window_len(), cfg.l());
+      EXPECT_EQ(layout[j].prediction_len(), cfg.p());
+      EXPECT_EQ(layout[j].result_len(), cfg.r());
+    }
+  }
+}
+
+TEST(GeArConfig, RelaxedClampsTopSubAdder) {
+  // N=16, R=2, P=3: strict is impossible ((16-5) % 2 != 0).
+  EXPECT_FALSE(GeArConfig::make(16, 2, 3));
+  auto cfg = GeArConfig::make_relaxed(16, 2, 3);
+  ASSERT_TRUE(cfg);
+  EXPECT_FALSE(cfg->is_strict());
+  EXPECT_EQ(cfg->sub(cfg->k() - 1).res_hi, 15);
+  // Top result region is narrower than R.
+  EXPECT_LE(cfg->sub(cfg->k() - 1).result_len(), 2);
+  // Carry chains never exceed L.
+  EXPECT_LE(cfg->max_carry_chain(), cfg->l());
+}
+
+TEST(GeArConfig, RelaxedMatchesStrictWhenEq1Holds) {
+  auto strict = GeArConfig::make(16, 4, 4);
+  auto relaxed = GeArConfig::make_relaxed(16, 4, 4);
+  ASSERT_TRUE(strict && relaxed);
+  EXPECT_TRUE(relaxed->is_strict());
+  EXPECT_EQ(strict->layout().size(), relaxed->layout().size());
+  for (int j = 0; j < strict->k(); ++j) {
+    EXPECT_EQ(strict->sub(j).win_lo, relaxed->sub(j).win_lo);
+    EXPECT_EQ(strict->sub(j).res_hi, relaxed->sub(j).res_hi);
+  }
+}
+
+TEST(GeArConfig, EnumerateRelaxedCoversFullPSweep) {
+  for (int r : {1, 2, 3, 4, 8}) {
+    const auto sweep = GeArConfig::enumerate_relaxed_r(16, r);
+    EXPECT_EQ(static_cast<int>(sweep.size()), 16 - r);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      EXPECT_EQ(sweep[i].p(), static_cast<int>(i) + 1);
+    }
+  }
+}
+
+TEST(GeArConfig, EnumerateStrictOnlyValid) {
+  for (const auto& cfg : GeArConfig::enumerate(16)) {
+    EXPECT_TRUE(cfg.is_strict());
+    EXPECT_FALSE(cfg.is_exact());
+    EXPECT_EQ((cfg.n() - cfg.l()) % cfg.r(), 0);
+  }
+}
+
+TEST(GeArConfig, NameFormat) {
+  EXPECT_EQ(GeArConfig::must(16, 4, 4).name(), "GeAr(N=16,R=4,P=4)");
+}
+
+}  // namespace
+}  // namespace gear::core

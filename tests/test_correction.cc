@@ -1,0 +1,191 @@
+// Error detection & correction tests (paper Section 3.3): full-mask
+// correction is always exact, cycle accounting matches the paper's
+// examples, partial masks trade accuracy for cycles monotonically.
+#include <gtest/gtest.h>
+
+#include "core/adder.h"
+#include "core/correction.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+namespace {
+
+TEST(Corrector, FullMaskAlwaysExactExhaustive) {
+  for (auto [n, r, p] : {std::tuple{8, 2, 2}, {8, 1, 3}, {10, 2, 4}, {9, 3, 3}}) {
+    const Corrector corr(GeArConfig::must(n, r, p), Corrector::all_enabled());
+    const std::uint64_t limit = 1ULL << n;
+    for (std::uint64_t a = 0; a < limit; ++a) {
+      for (std::uint64_t b = 0; b < limit; ++b) {
+        const CorrectionResult res = corr.add(a, b);
+        ASSERT_EQ(res.sum, a + b) << "n=" << n << " r=" << r << " p=" << p
+                                  << " a=" << a << " b=" << b;
+        ASSERT_TRUE(res.exact);
+      }
+    }
+  }
+}
+
+TEST(Corrector, FullMaskExactRandomWide) {
+  stats::Rng rng(31);
+  for (const auto& cfg : GeArConfig::enumerate(20)) {
+    const Corrector corr(cfg, Corrector::all_enabled());
+    for (int i = 0; i < 300; ++i) {
+      const std::uint64_t a = rng.bits(20);
+      const std::uint64_t b = rng.bits(20);
+      EXPECT_EQ(corr.add(a, b).sum, a + b) << cfg.name();
+    }
+  }
+}
+
+TEST(Corrector, CycleBoundsPaperFig5) {
+  // N=12,R=4,P=4,k=2: 1 cycle without error, 2 with (paper Fig. 5).
+  const Corrector corr(GeArConfig::must(12, 4, 4), Corrector::all_enabled());
+  EXPECT_EQ(corr.max_cycles(), 2);
+  stats::Rng rng(32);
+  int max_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto res = corr.add(rng.bits(12), rng.bits(12));
+    EXPECT_GE(res.cycles, 1);
+    EXPECT_LE(res.cycles, 2);
+    max_seen = std::max(max_seen, res.cycles);
+  }
+  EXPECT_EQ(max_seen, 2);  // errors do occur at ~3% rate
+}
+
+TEST(Corrector, CycleBoundsPaperFig6) {
+  // N=12,R=2,P=6,k=3: 1..3 cycles (paper Fig. 6 discussion).
+  const Corrector corr(GeArConfig::must(12, 2, 6), Corrector::all_enabled());
+  EXPECT_EQ(corr.max_cycles(), 3);
+  for (std::uint64_t a = 0; a < (1 << 12); a += 3) {
+    for (std::uint64_t b = 0; b < (1 << 12); b += 7) {
+      const auto res = corr.add(a, b);
+      ASSERT_LE(res.cycles, 3);
+      ASSERT_EQ(res.sum, a + b);
+    }
+  }
+}
+
+TEST(Corrector, CyclesEqualOnePlusCorrections) {
+  const Corrector corr(GeArConfig::must(16, 2, 2), Corrector::all_enabled());
+  stats::Rng rng(33);
+  for (int i = 0; i < 5000; ++i) {
+    const auto res = corr.add(rng.bits(16), rng.bits(16));
+    EXPECT_EQ(res.cycles, 1 + static_cast<int>(res.corrected.size()));
+  }
+}
+
+TEST(Corrector, CorrectionsAreOrderedAscending) {
+  const Corrector corr(GeArConfig::must(16, 2, 2), Corrector::all_enabled());
+  stats::Rng rng(34);
+  for (int i = 0; i < 5000; ++i) {
+    const auto res = corr.add(rng.bits(16), rng.bits(16));
+    for (std::size_t j = 1; j < res.corrected.size(); ++j) {
+      EXPECT_LT(res.corrected[j - 1], res.corrected[j]);
+    }
+  }
+}
+
+TEST(Corrector, EmptyMaskEqualsPlainApproximate) {
+  const GeArConfig cfg = GeArConfig::must(16, 4, 4);
+  const Corrector corr(cfg, 0);
+  const GeArAdder plain(cfg);
+  stats::Rng rng(35);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    const auto res = corr.add(a, b);
+    EXPECT_EQ(res.sum, plain.add_value(a, b));
+    EXPECT_EQ(res.cycles, 1);
+  }
+}
+
+TEST(Corrector, SingleRegionMaskNeverWorse) {
+  // With k=2 there is only one approximate region, so enabling its
+  // correction can only move the result toward the exact sum. (For k>2,
+  // correcting a *subset* of regions can overshoot regionally — the
+  // regions' errors compensate — so no such guarantee holds in general;
+  // the prefix-mask test below captures the property that does.)
+  const GeArConfig cfg = GeArConfig::must(12, 4, 4);
+  const GeArAdder plain(cfg);
+  const Corrector corr(cfg, 0b10);
+  stats::Rng rng(36);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.bits(12);
+    const std::uint64_t b = rng.bits(12);
+    const std::uint64_t exact = a + b;
+    const std::uint64_t corrected = corr.add(a, b).sum;
+    const std::uint64_t approx = plain.add_value(a, b);
+    EXPECT_GE(corrected, approx);
+    EXPECT_LE(corrected, exact);
+  }
+}
+
+TEST(Corrector, PrefixMaskErrorRateMonotone) {
+  // Enabling a longer bottom-up prefix of sub-adders can only shrink the
+  // set of inputs whose final output is wrong: regions above the prefix
+  // compute the same bits regardless of the mask.
+  const GeArConfig cfg = GeArConfig::must(12, 2, 2);  // k = 5
+  stats::Rng rng(36);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops;
+  for (int i = 0; i < 20000; ++i) ops.emplace_back(rng.bits(12), rng.bits(12));
+  int prev_errors = 1 << 30;
+  for (int m = 0; m <= cfg.k() - 1; ++m) {
+    std::uint64_t mask = 0;
+    for (int j = 1; j <= m; ++j) mask |= 1ULL << j;
+    const Corrector corr(cfg, mask);
+    int errors = 0;
+    for (const auto& [a, b] : ops) {
+      if (corr.add(a, b).sum != a + b) ++errors;
+    }
+    EXPECT_LE(errors, prev_errors) << "prefix " << m;
+    prev_errors = errors;
+  }
+  EXPECT_EQ(prev_errors, 0);  // full prefix == full correction
+}
+
+TEST(Corrector, WiderMaskMeansFewerErrors) {
+  const GeArConfig cfg = GeArConfig::must(16, 2, 2);
+  stats::Rng rng_a(37);
+  stats::Rng rng_b(37);  // same stream for both masks
+  const Corrector narrow(cfg, 0b0000010);  // only sub-adder 1
+  const Corrector wide(cfg, Corrector::all_enabled());
+  int narrow_errors = 0, wide_errors = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng_a.bits(16);
+    const std::uint64_t b = rng_a.bits(16);
+    (void)rng_b;
+    if (narrow.add(a, b).sum != a + b) ++narrow_errors;
+    if (wide.add(a, b).sum != a + b) ++wide_errors;
+  }
+  EXPECT_EQ(wide_errors, 0);
+  EXPECT_GT(narrow_errors, 0);
+}
+
+TEST(Corrector, MaxCyclesRespectsMask) {
+  const GeArConfig cfg = GeArConfig::must(16, 2, 2);  // k=7
+  EXPECT_EQ(Corrector(cfg, Corrector::all_enabled()).max_cycles(), 7);
+  EXPECT_EQ(Corrector(cfg, 0).max_cycles(), 1);
+  EXPECT_EQ(Corrector(cfg, 0b0000110).max_cycles(), 3);
+}
+
+TEST(Corrector, CorrectedSubAdderClearsItsDetect) {
+  // After correction the corrected sub-adder's prediction window is
+  // saturated (both inputs 1), so all_propagate is false and the detect
+  // flag cannot re-fire; the loop must therefore terminate with each
+  // sub-adder corrected at most once.
+  const GeArConfig cfg = GeArConfig::must(20, 2, 4);
+  const Corrector corr(cfg, Corrector::all_enabled());
+  stats::Rng rng(38);
+  for (int i = 0; i < 5000; ++i) {
+    const auto res = corr.add(rng.bits(20), rng.bits(20));
+    std::vector<bool> seen(static_cast<std::size_t>(cfg.k()), false);
+    for (int j : res.corrected) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(j)]);
+      seen[static_cast<std::size_t>(j)] = true;
+    }
+    EXPECT_LE(res.cycles, corr.max_cycles());
+  }
+}
+
+}  // namespace
+}  // namespace gear::core

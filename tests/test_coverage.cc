@@ -1,0 +1,177 @@
+// Configuration-coverage tests (paper Sections 1.1 / 3.1, Fig. 1):
+// functional equivalence of the baselines to their GeAr configurations,
+// exhaustively for small widths and randomized for the paper's widths.
+#include <gtest/gtest.h>
+
+#include "adders/eta.h"
+#include "adders/gda.h"
+#include "adders/speculative.h"
+#include "core/adder.h"
+#include "core/coverage.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+namespace {
+
+TEST(Coverage, MappingHelpers) {
+  auto aca1 = as_aca1(16, 4);
+  ASSERT_TRUE(aca1);
+  EXPECT_EQ(aca1->r(), 1);
+  EXPECT_EQ(aca1->p(), 3);
+
+  auto etaii = as_etaii(16, 4);
+  ASSERT_TRUE(etaii);
+  EXPECT_EQ(etaii->r(), 4);
+  EXPECT_EQ(etaii->p(), 4);
+
+  auto aca2 = as_aca2(16, 8);
+  ASSERT_TRUE(aca2);
+  EXPECT_EQ(aca2->r(), 4);
+  EXPECT_EQ(aca2->p(), 4);
+
+  auto gda = as_gda(16, 4, 8);
+  ASSERT_TRUE(gda);
+  EXPECT_EQ(gda->r(), 4);
+  EXPECT_EQ(gda->p(), 8);
+
+  EXPECT_FALSE(as_gda(16, 4, 6));  // M_C not a multiple of M_B
+  EXPECT_FALSE(as_aca2(16, 7));    // odd L
+}
+
+TEST(Coverage, Aca1EquivalenceExhaustive) {
+  // ACA-I(L) == GeAr(R=1, P=L-1), exhaustive at N=8.
+  for (int l : {2, 3, 4}) {
+    const adders::Aca1Adder aca(8, l);
+    const GeArAdder gear(*as_aca1(8, l));
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(aca.add(a, b), gear.add_value(a, b))
+            << "l=" << l << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Coverage, Aca2EquivalenceExhaustive) {
+  // ACA-II(L) == GeAr(R=L/2, P=L/2), exhaustive at N=8.
+  for (int l : {2, 4, 8}) {
+    const adders::Aca2Adder aca(8, l);
+    const GeArAdder gear(*as_aca2(8, l));
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(aca.add(a, b), gear.add_value(a, b))
+            << "l=" << l << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Coverage, EtaiiEquivalenceExhaustive) {
+  for (int seg : {1, 2, 4}) {
+    const adders::EtaiiAdder eta(8, seg);
+    const GeArAdder gear(*as_etaii(8, seg));
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(eta.add(a, b), gear.add_value(a, b))
+            << "seg=" << seg << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Coverage, GdaEquivalenceExhaustive) {
+  for (auto [mb, mc] : {std::pair{1, 1}, {1, 2}, {1, 3}, {2, 2}, {2, 4}, {4, 4}}) {
+    const adders::GdaAdder gda(8, mb, mc);
+    const GeArAdder gear(*as_gda(8, mb, mc));
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(gda.add(a, b), gear.add_value(a, b))
+            << "mb=" << mb << " mc=" << mc << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(Coverage, EquivalencesRandomizedPaperWidths) {
+  stats::Rng rng(51);
+  const adders::Aca1Adder aca1(16, 4);
+  const GeArAdder g1(*as_aca1(16, 4));
+  const adders::EtaiiAdder etaii(16, 4);
+  const GeArAdder g2(*as_etaii(16, 4));
+  const adders::Aca2Adder aca2(16, 8);
+  const GeArAdder g3(*as_aca2(16, 8));
+  const adders::GdaAdder gda44(16, 4, 4);
+  const GeArAdder g4(*as_gda(16, 4, 4));
+  const adders::GdaAdder gda48(16, 4, 8);
+  const GeArAdder g5(*as_gda(16, 4, 8));
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    ASSERT_EQ(aca1.add(a, b), g1.add_value(a, b));
+    ASSERT_EQ(etaii.add(a, b), g2.add_value(a, b));
+    ASSERT_EQ(aca2.add(a, b), g3.add_value(a, b));
+    ASSERT_EQ(gda44.add(a, b), g4.add_value(a, b));
+    ASSERT_EQ(gda48.add(a, b), g5.add_value(a, b));
+  }
+}
+
+TEST(Coverage, GearEquivalentAccessors) {
+  EXPECT_EQ(adders::Aca1Adder(16, 4).gear_equivalent()->p(), 3);
+  EXPECT_EQ(adders::Aca2Adder(16, 8).gear_equivalent()->r(), 4);
+  EXPECT_EQ(adders::EtaiiAdder(16, 4).gear_equivalent()->p(), 4);
+  EXPECT_EQ(adders::GdaAdder(16, 4, 8).gear_equivalent()->p(), 8);
+}
+
+TEST(Coverage, Fig1CountsR2) {
+  // N=16, R=2 (paper Fig. 1a): ETAII/ACA-II reach only P=2; GDA reaches
+  // even P; GeAr reaches every P in [1, 14].
+  EXPECT_EQ(config_count(AdderFamily::kEtaII, 16, 2), 1);
+  EXPECT_EQ(config_count(AdderFamily::kAcaII, 16, 2), 1);
+  EXPECT_EQ(reachable_p_values(AdderFamily::kEtaII, 16, 2),
+            std::vector<int>{2});
+  EXPECT_EQ(reachable_p_values(AdderFamily::kGda, 16, 2),
+            (std::vector<int>{2, 4, 6, 8, 10, 12, 14}));
+  EXPECT_EQ(config_count(AdderFamily::kGearRelaxed, 16, 2), 14);
+  // ACA-I does not exist at R=2 (paper: "cannot be configured").
+  EXPECT_EQ(config_count(AdderFamily::kAcaI, 16, 2), 0);
+}
+
+TEST(Coverage, Fig1CountsR4) {
+  EXPECT_EQ(reachable_p_values(AdderFamily::kEtaII, 16, 4),
+            std::vector<int>{4});
+  EXPECT_EQ(reachable_p_values(AdderFamily::kGda, 16, 4),
+            (std::vector<int>{4, 8, 12}));
+  EXPECT_EQ(config_count(AdderFamily::kGearRelaxed, 16, 4), 12);
+  EXPECT_EQ(config_count(AdderFamily::kAcaI, 16, 4), 0);
+}
+
+TEST(Coverage, GearStrictSubsetOfRelaxed) {
+  for (int r = 1; r <= 8; ++r) {
+    const auto strict = reachable_p_values(AdderFamily::kGearStrict, 16, r);
+    const auto relaxed = reachable_p_values(AdderFamily::kGearRelaxed, 16, r);
+    EXPECT_LE(strict.size(), relaxed.size());
+    for (int p : strict) {
+      EXPECT_NE(std::find(relaxed.begin(), relaxed.end(), p), relaxed.end());
+    }
+  }
+}
+
+TEST(Coverage, GdaSubsetOfGearStrict) {
+  for (int r = 1; r <= 8; ++r) {
+    const auto gda = reachable_p_values(AdderFamily::kGda, 16, r);
+    const auto strict = reachable_p_values(AdderFamily::kGearStrict, 16, r);
+    for (int p : gda) {
+      EXPECT_NE(std::find(strict.begin(), strict.end(), p), strict.end())
+          << "r=" << r << " p=" << p;
+    }
+  }
+}
+
+TEST(Coverage, FamilyNames) {
+  EXPECT_EQ(family_name(AdderFamily::kAcaI), "ACA-I");
+  EXPECT_EQ(family_name(AdderFamily::kGda), "GDA");
+  EXPECT_EQ(family_name(AdderFamily::kGearRelaxed), "GeAr");
+}
+
+}  // namespace
+}  // namespace gear::core

@@ -1,0 +1,39 @@
+// DOT export tests.
+#include <gtest/gtest.h>
+
+#include "netlist/circuits.h"
+#include "netlist/dot.h"
+
+namespace gear::netlist {
+namespace {
+
+TEST(Dot, StructureAndLabels) {
+  const Netlist nl = build_rca(4);
+  const std::string dot = to_dot(nl);
+  EXPECT_NE(dot.find("digraph \"rca_n4\""), std::string::npos);
+  EXPECT_NE(dot.find("a[0]"), std::string::npos);
+  EXPECT_NE(dot.find("b[3]"), std::string::npos);
+  EXPECT_NE(dot.find("sum[4]"), std::string::npos);
+  EXPECT_NE(dot.find("fa_carry"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);  // macro highlight
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, EdgeCountMatchesFanin) {
+  const Netlist nl = build_etaii(8, 2);
+  const std::string dot = to_dot(nl);
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 2)) {
+    ++edges;
+  }
+  std::size_t fanins = 0;
+  for (const auto& g : nl.gates()) fanins += g.inputs.size();
+  std::size_t out_bits = 0;
+  for (const auto& p : nl.outputs()) out_bits += p.nets.size();
+  EXPECT_EQ(edges, fanins + out_bits);
+}
+
+}  // namespace
+}  // namespace gear::netlist

@@ -1,0 +1,275 @@
+// Error-probability model tests: the paper's Table III values, agreement
+// between all estimators (first-order, inclusion-exclusion DP, subset
+// enumeration, exact DP), exhaustive and Monte-Carlo referees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/config.h"
+#include "core/error_model.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+namespace {
+
+TEST(ErrorModel, PaperTableIIIValues) {
+  struct Row {
+    int n, r, p;
+    double percent;
+  };
+  // (N,R,P) -> paper's "Probability of Error" column.
+  const Row rows[] = {
+      {12, 4, 4, 2.9297},
+      {16, 4, 8, 0.1831},
+      {32, 8, 8, 0.3891},
+      {48, 8, 16, 0.0023},
+  };
+  for (const Row& row : rows) {
+    const GeArConfig cfg = GeArConfig::must(row.n, row.r, row.p);
+    EXPECT_NEAR(paper_error_probability(cfg) * 100.0, row.percent, 5e-4)
+        << cfg.name();
+  }
+}
+
+TEST(ErrorModel, Fig3ConfigClosedForm) {
+  // (12,4,4): hand-derived 15/512.
+  const GeArConfig cfg = GeArConfig::must(12, 4, 4);
+  EXPECT_DOUBLE_EQ(paper_error_probability(cfg), 15.0 / 512.0);
+}
+
+TEST(ErrorModel, DpMatchesSubsetEnumeration) {
+  for (int n : {12, 16, 20}) {
+    for (const auto& cfg : GeArConfig::enumerate(n)) {
+      if (cfg.k() - 1 > 16) continue;
+      const double dp = paper_error_probability(cfg);
+      const double subsets = paper_error_probability_subsets(cfg);
+      EXPECT_NEAR(dp, subsets, 1e-12) << cfg.name();
+    }
+  }
+}
+
+TEST(ErrorModel, ExactMatchesExhaustiveSmallN) {
+  for (int n : {8, 10}) {
+    for (const auto& cfg : GeArConfig::enumerate_r(n, 2)) {
+      EXPECT_NEAR(exact_error_probability(cfg), exhaustive_error_probability(cfg),
+                  1e-12)
+          << cfg.name();
+    }
+    for (const auto& cfg : GeArConfig::enumerate_r(n, 1)) {
+      EXPECT_NEAR(exact_error_probability(cfg), exhaustive_error_probability(cfg),
+                  1e-12)
+          << cfg.name();
+    }
+  }
+}
+
+TEST(ErrorModel, ExactMatchesExhaustiveRelaxed) {
+  for (int r : {2, 3}) {
+    for (const auto& cfg : GeArConfig::enumerate_relaxed_r(9, r)) {
+      EXPECT_NEAR(exact_error_probability(cfg), exhaustive_error_probability(cfg),
+                  1e-12)
+          << cfg.name();
+    }
+  }
+}
+
+TEST(ErrorModel, PaperModelIsExactOnExhaustiveSmallN) {
+  // The paper's event set truncates carry origination to the R bits below
+  // each prediction window, but a deeper-originating carry always implies
+  // an error event at a lower sub-adder (its prediction window lies
+  // inside the propagate chain), so the union — and therefore the full
+  // inclusion-exclusion probability — is exact, not approximate.
+  for (const auto& cfg : GeArConfig::enumerate(10)) {
+    const double model = paper_error_probability(cfg);
+    const double truth = exhaustive_error_probability(cfg);
+    EXPECT_NEAR(model, truth, 1e-12) << cfg.name();
+  }
+}
+
+TEST(ErrorModel, PaperIeEqualsExactDpEverywhere) {
+  for (int n : {12, 16, 20, 24}) {
+    for (const auto& cfg : GeArConfig::enumerate(n)) {
+      EXPECT_NEAR(paper_error_probability(cfg), exact_error_probability(cfg),
+                  1e-12)
+          << cfg.name();
+    }
+    for (int r : {1, 2, 3, 5}) {
+      for (const auto& cfg : GeArConfig::enumerate_relaxed_r(n, r)) {
+        EXPECT_NEAR(paper_error_probability(cfg), exact_error_probability(cfg),
+                    1e-12)
+            << cfg.name();
+      }
+    }
+  }
+}
+
+TEST(ErrorModel, FirstOrderIsUpperBoundOnIE) {
+  for (const auto& cfg : GeArConfig::enumerate(18)) {
+    EXPECT_GE(paper_error_probability_first_order(cfg) + 1e-15,
+              paper_error_probability(cfg))
+        << cfg.name();
+  }
+}
+
+TEST(ErrorModel, ProbabilitiesAreProbabilities) {
+  for (int n : {8, 16, 24, 32}) {
+    for (const auto& cfg : GeArConfig::enumerate(n)) {
+      const double p = paper_error_probability(cfg);
+      EXPECT_GE(p, 0.0) << cfg.name();
+      EXPECT_LE(p, 1.0) << cfg.name();
+      const double e = exact_error_probability(cfg);
+      EXPECT_GE(e, 0.0) << cfg.name();
+      EXPECT_LE(e, 1.0) << cfg.name();
+    }
+  }
+}
+
+TEST(ErrorModel, ExactConfigHasZeroError) {
+  const auto exact_cfg = GeArConfig::must(16, 15, 1);
+  EXPECT_DOUBLE_EQ(paper_error_probability(exact_cfg), 0.0);
+  EXPECT_DOUBLE_EQ(exact_error_probability(exact_cfg), 0.0);
+}
+
+TEST(ErrorModel, MoreRedundancyMeansLessError) {
+  // At fixed N and R, increasing P must not increase error probability.
+  for (int r : {1, 2, 4}) {
+    double prev = 1.0;
+    for (const auto& cfg : GeArConfig::enumerate_r(16, r, true)) {
+      const double p = paper_error_probability(cfg);
+      EXPECT_LE(p, prev + 1e-12) << cfg.name();
+      prev = p;
+    }
+  }
+}
+
+TEST(ErrorModel, McWithinCiOfExact) {
+  stats::Rng rng(41);
+  for (auto [n, r, p] : {std::tuple{16, 4, 4}, {16, 2, 2}, {12, 4, 4}}) {
+    const GeArConfig cfg = GeArConfig::must(n, r, p);
+    const double truth = exact_error_probability(cfg);
+    const auto mc = mc_error_probability(cfg, 150000, rng);
+    EXPECT_TRUE(mc.ci.contains(truth))
+        << cfg.name() << " truth=" << truth << " ci=[" << mc.ci.lo << ","
+        << mc.ci.hi << "]";
+  }
+}
+
+TEST(ErrorModel, McDeterministicGivenSeed) {
+  const GeArConfig cfg = GeArConfig::must(16, 4, 4);
+  stats::Rng a(7), b(7);
+  EXPECT_EQ(mc_error_probability(cfg, 10000, a).errors,
+            mc_error_probability(cfg, 10000, b).errors);
+}
+
+TEST(ErrorModel, DistributionKeysAreNonPositive) {
+  // approx - exact <= 0 always (missing carries only).
+  stats::Rng rng(42);
+  const auto hist = mc_error_distribution(GeArConfig::must(16, 2, 2), 50000, rng);
+  EXPECT_LE(hist.max_key(), 0);
+  EXPECT_GT(hist.fraction_zero(), 0.5);
+}
+
+TEST(ErrorModel, DistributionMassesAtRegionBoundaries) {
+  // For (12,4,4) the only possible error is a missing 2^8 carry.
+  stats::Rng rng(43);
+  const auto hist = mc_error_distribution(GeArConfig::must(12, 4, 4), 50000, rng);
+  for (const auto& [key, count] : hist.entries()) {
+    EXPECT_TRUE(key == 0 || key == -(1 << 8)) << key;
+    (void)count;
+  }
+}
+
+TEST(ErrorModel, DetectCountDistributionSums) {
+  stats::Rng rng(44);
+  const GeArConfig cfg = GeArConfig::must(16, 2, 2);
+  const auto pmf = mc_detect_count_distribution(cfg, 20000, rng);
+  ASSERT_EQ(pmf.size(), static_cast<std::size_t>(cfg.k()) + 1);
+  double total = 0.0;
+  for (double p : pmf) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(pmf[0], 0.5);
+}
+
+TEST(ErrorModel, TableIVGearErrorProbabilities) {
+  // Paper Table IV (N=20, L=10): GeAr rows' probability-of-error column.
+  struct Row {
+    int r, p;
+    double perr;
+  };
+  const Row rows[] = {
+      {1, 9, 4.882813e-3}, {2, 8, 7.324219e-3},  {5, 5, 30.273438e-3},
+  };
+  for (const Row& row : rows) {
+    const GeArConfig cfg = GeArConfig::must(20, row.r, row.p);
+    EXPECT_NEAR(paper_error_probability_first_order(cfg), row.perr,
+                row.perr * 5e-4)
+        << cfg.name();
+  }
+}
+
+TEST(ErrorModel, ExhaustiveRejectsLargeN) {
+  EXPECT_THROW(exhaustive_error_probability(GeArConfig::must(16, 4, 4)),
+               std::invalid_argument);
+}
+
+TEST(ErrorModel, SubsetsRejectsHugeK) {
+  // N=63, R=1, P=1 -> k = 62.
+  const auto cfg = GeArConfig::must(63, 1, 1);
+  EXPECT_THROW(paper_error_probability_subsets(cfg), std::invalid_argument);
+  // The DP handles it fine.
+  const double p = paper_error_probability(cfg);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+
+TEST(ErrorModel, AnalyticMedMatchesExhaustive) {
+  // The closed-form MED (see error_model.h derivation) must equal the
+  // exhaustive average over every operand pair, for every strict and
+  // relaxed configuration we can enumerate at small N.
+  for (int n : {8, 9, 10}) {
+    for (const auto& cfg : GeArConfig::enumerate(n)) {
+      EXPECT_NEAR(analytic_med(cfg), exhaustive_med(cfg), 1e-9) << cfg.name();
+    }
+  }
+  for (int r : {1, 2, 3}) {
+    for (const auto& cfg : GeArConfig::enumerate_relaxed_r(9, r)) {
+      EXPECT_NEAR(analytic_med(cfg), exhaustive_med(cfg), 1e-9) << cfg.name();
+    }
+  }
+}
+
+TEST(ErrorModel, AnalyticMedKnownValues) {
+  // (12,4,4): Perr = 15/512, single possible deficit 2^8 -> MED = 7.5.
+  EXPECT_DOUBLE_EQ(analytic_med(GeArConfig::must(12, 4, 4)), 7.5);
+  // Exact configuration: no error distance.
+  EXPECT_DOUBLE_EQ(analytic_med(GeArConfig::must(16, 8, 8)), 0.0);
+}
+
+TEST(ErrorModel, AnalyticMedWithinMcCi) {
+  stats::Rng rng(45);
+  const GeArConfig cfg = GeArConfig::must(16, 2, 2);
+  const auto hist = mc_error_distribution(cfg, 400000, rng);
+  // hist keys are approx-exact (non-positive); MED = -mean.
+  EXPECT_NEAR(-hist.mean(), analytic_med(cfg), analytic_med(cfg) * 0.05);
+}
+
+TEST(ErrorModel, AnalyticMedMonotoneInL) {
+  // Longer sub-adders mean rarer, not larger, carry-out misses: MED is
+  // non-increasing as P grows at fixed N (ties occur where the clamped
+  // top window keeps the same length across adjacent relaxed P values).
+  double prev = 1e18;
+  for (int p = 1; p <= 12; ++p) {
+    auto cfg = GeArConfig::make_relaxed(16, 4, p);
+    ASSERT_TRUE(cfg);
+    const double med = analytic_med(*cfg);
+    EXPECT_LE(med, prev) << cfg->name();
+    prev = med;
+  }
+  // Strictly smaller across strict configurations (full-length top).
+  EXPECT_LT(analytic_med(GeArConfig::must(16, 4, 8)),
+            analytic_med(GeArConfig::must(16, 4, 4)));
+}
+
+}  // namespace
+}  // namespace gear::core

@@ -1,0 +1,91 @@
+// Stuck-at fault injection / fault simulation tests.
+#include <gtest/gtest.h>
+
+#include "core/bitvec.h"
+#include "core/config.h"
+#include "netlist/builder.h"
+#include "netlist/circuits.h"
+#include "netlist/fault.h"
+#include "stats/rng.h"
+
+namespace gear::netlist {
+namespace {
+
+TEST(Fault, EnumerationCoversGateOutputs) {
+  const Netlist nl = build_rca(4);
+  std::size_t non_const = 0;
+  for (const auto& g : nl.gates()) {
+    if (g.kind != GateKind::kConst0 && g.kind != GateKind::kConst1) ++non_const;
+  }
+  const auto faults = enumerate_faults(nl);
+  EXPECT_EQ(faults.size(), 2 * non_const);
+  EXPECT_LT(non_const, nl.gate_count());  // the cin constant is excluded
+}
+
+TEST(Fault, InjectedFaultChangesOutput) {
+  // Stuck-at-1 on the LSB sum of an RCA flips 0+0.
+  const Netlist nl = build_rca(4);
+  // Find the FaSum gate driving sum[0].
+  const NetId sum0 = nl.outputs().front().nets[0];
+  const StuckFault f{sum0, true};
+  const auto out = simulate_with_fault(
+      nl, f, {{"a", core::BitVec(4, 0)}, {"b", core::BitVec(4, 0)}});
+  EXPECT_EQ(out.at("sum").to_u64(), 1u);
+}
+
+TEST(Fault, GoodCircuitUnaffectedByUndetectingVectors) {
+  const Netlist nl = build_rca(4);
+  const NetId sum3 = nl.outputs().front().nets[3];
+  // stuck-at-0 on sum[3] is undetectable by vectors whose bit 3 is 0.
+  const StuckFault f{sum3, false};
+  EXPECT_FALSE(fault_detected(nl, f, {{0, 0}, {1, 1}, {2, 1}}));
+  // ...and caught by one that sets it.
+  EXPECT_TRUE(fault_detected(nl, f, {{8, 0}}));
+}
+
+TEST(Fault, RandomVectorsCoverRcaWell) {
+  const Netlist nl = build_rca(8);
+  stats::Rng rng(21);
+  const FaultCoverage cov = random_vector_coverage(nl, 64, rng);
+  EXPECT_EQ(cov.total, enumerate_faults(nl).size());
+  // Adders are highly testable: random vectors catch nearly everything.
+  EXPECT_GT(cov.coverage(), 0.95) << cov.detected << "/" << cov.total;
+  EXPECT_EQ(cov.detected + cov.undetected.size(), cov.total);
+}
+
+TEST(Fault, GearDetectionNetworkIsTestable) {
+  // The err flags are observable outputs, so faults in the detection
+  // network (xor/and tree) are detectable — the self-checking testbench
+  // story holds for the whole circuit, not just the datapath.
+  const Netlist nl = build_gear(core::GeArConfig::must(12, 4, 4));
+  stats::Rng rng(22);
+  const FaultCoverage cov = random_vector_coverage(nl, 256, rng);
+  EXPECT_DOUBLE_EQ(cov.coverage(), 1.0) << cov.detected << "/" << cov.total;
+}
+
+TEST(Fault, ConstantGateFaultMayBeUndetectable) {
+  // A stuck-at matching a constant's value is by construction silent.
+  Builder b("c");
+  const Bus a = b.input("a", 1);
+  b.output("o", b.and_(a[0], b.const1()));
+  const Netlist nl = std::move(b).take();
+  // Find the const1 net: the gate with kind kConst1.
+  NetId const_net = kInvalidNet;
+  for (const auto& g : nl.gates()) {
+    if (g.kind == GateKind::kConst1) const_net = g.output;
+  }
+  ASSERT_NE(const_net, kInvalidNet);
+  EXPECT_FALSE(fault_detected(nl, {const_net, true}, {{0, 0}, {1, 0}}));
+  EXPECT_TRUE(fault_detected(nl, {const_net, false}, {{1, 0}}));
+}
+
+TEST(Fault, CoverageDeterministicGivenSeed) {
+  const Netlist nl = build_etaii(8, 2);
+  stats::Rng a(30), b(30);
+  const auto ca = random_vector_coverage(nl, 32, a);
+  const auto cb = random_vector_coverage(nl, 32, b);
+  EXPECT_EQ(ca.detected, cb.detected);
+}
+
+}  // namespace
+}  // namespace gear::netlist

@@ -1,0 +1,89 @@
+// GDA runtime carry-select tests: the functional mux state must match
+// the gate-level circuit's "cfg" bus bit for bit.
+#include <gtest/gtest.h>
+
+#include "adders/gda.h"
+#include "core/bitvec.h"
+#include "netlist/circuits.h"
+#include "stats/rng.h"
+
+namespace gear::adders {
+namespace {
+
+TEST(GdaSelect, DefaultIsAllPrediction) {
+  GdaAdder gda(16, 4, 4);
+  ASSERT_EQ(gda.ripple_select().size(), 3u);
+  for (bool r : gda.ripple_select()) EXPECT_FALSE(r);
+  EXPECT_TRUE(gda.gear_equivalent().has_value());
+}
+
+TEST(GdaSelect, FullyExactMode) {
+  GdaAdder gda(16, 4, 4);
+  gda.set_fully_exact();
+  EXPECT_FALSE(gda.gear_equivalent().has_value());
+  EXPECT_EQ(gda.max_carry_chain(), 16);
+  stats::Rng rng(131);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    EXPECT_EQ(gda.add(a, b), a + b);
+  }
+}
+
+TEST(GdaSelect, EveryMuxPatternMatchesCircuitExhaustive) {
+  const netlist::Netlist nl = netlist::build_gda(8, 2, 2);
+  GdaAdder gda(8, 2, 2);
+  for (std::uint64_t pattern = 0; pattern < 8; ++pattern) {
+    std::vector<bool> sel(3);
+    core::BitVec cfg(3);
+    for (int i = 0; i < 3; ++i) {
+      sel[static_cast<std::size_t>(i)] = (pattern >> i) & 1ULL;
+      cfg.set_bit(i, (pattern >> i) & 1ULL);
+    }
+    gda.set_ripple_select(sel);
+    for (std::uint64_t a = 0; a < 256; a += 3) {
+      for (std::uint64_t b = 0; b < 256; b += 5) {
+        const auto out = nl.simulate(
+            {{"a", core::BitVec(8, a)}, {"b", core::BitVec(8, b)}, {"cfg", cfg}});
+        ASSERT_EQ(out.at("sum").to_u64(), gda.add(a, b))
+            << "pattern=" << pattern << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(GdaSelect, GracefulDegradationIsMonotone) {
+  // Turning boundaries to ripple one by one (LSB first) can only reduce
+  // the number of wrong results.
+  stats::Rng rng(132);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops;
+  for (int i = 0; i < 20000; ++i) ops.emplace_back(rng.bits(16), rng.bits(16));
+  GdaAdder gda(16, 2, 2);
+  int prev_errors = 1 << 30;
+  std::vector<bool> sel(gda.ripple_select().size(), false);
+  for (std::size_t upto = 0; upto <= sel.size(); ++upto) {
+    if (upto > 0) sel[upto - 1] = true;
+    gda.set_ripple_select(sel);
+    int errors = 0;
+    for (const auto& [a, b] : ops) {
+      if (gda.add(a, b) != a + b) ++errors;
+    }
+    EXPECT_LE(errors, prev_errors) << "boundaries rippled: " << upto;
+    prev_errors = errors;
+  }
+  EXPECT_EQ(prev_errors, 0);
+}
+
+TEST(GdaSelect, MaxChainTracksRuns) {
+  GdaAdder gda(16, 4, 4);
+  EXPECT_EQ(gda.max_carry_chain(), 8);  // prediction mode: mb + mc
+  // Rippling the middle boundary chains two blocks onto the prediction:
+  // pred(4) + block + block = 12.
+  gda.set_ripple_select({false, true, false});
+  EXPECT_EQ(gda.max_carry_chain(), 12);
+  gda.set_fully_exact();
+  EXPECT_EQ(gda.max_carry_chain(), 16);
+}
+
+}  // namespace
+}  // namespace gear::adders

@@ -1,0 +1,148 @@
+// Heterogeneous (per-segment) GeAr configurations — extension tests.
+#include <gtest/gtest.h>
+
+#include "core/adder.h"
+#include "core/config.h"
+#include "core/correction.h"
+#include "core/coverage.h"
+#include "core/error_model.h"
+#include "netlist/circuits.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+namespace {
+
+using Segment = GeArConfig::Segment;
+
+GeArConfig msb_protected_16() {
+  // Low 4 bits exact window, then segments with prediction budget shifted
+  // toward the MSB: (r=4,p=1), (r=4,p=2), (r=4,p=5). Total window bits =
+  // 4+5+6+9 = 24, the same carry-hardware budget as uniform GeAr(4,4).
+  auto cfg = GeArConfig::make_custom(16, 4, {{4, 1}, {4, 2}, {4, 5}});
+  EXPECT_TRUE(cfg.has_value());
+  return *cfg;
+}
+
+TEST(Hetero, ValidationRules) {
+  EXPECT_TRUE(GeArConfig::make_custom(16, 4, {{4, 2}, {4, 4}, {4, 6}}));
+  EXPECT_TRUE(GeArConfig::make_custom(12, 6, {{3, 3}, {3, 3}}));
+  // Segments must tile [l0, N).
+  EXPECT_FALSE(GeArConfig::make_custom(16, 4, {{4, 2}, {4, 4}}));
+  EXPECT_FALSE(GeArConfig::make_custom(16, 4, {{4, 2}, {4, 4}, {8, 6}}));
+  // pred must be >= 1 and window must not start below bit 0.
+  EXPECT_FALSE(GeArConfig::make_custom(16, 4, {{4, 0}, {4, 4}, {4, 6}}));
+  EXPECT_FALSE(GeArConfig::make_custom(16, 4, {{4, 8}, {4, 4}, {4, 6}}));
+  // Window starts must be non-decreasing: p_{j+1} <= p_j + r_{j+1}.
+  EXPECT_FALSE(GeArConfig::make_custom(16, 4, {{4, 2}, {4, 7}, {4, 6}}));
+}
+
+TEST(Hetero, GeometryAccessors) {
+  const GeArConfig cfg = msb_protected_16();
+  EXPECT_TRUE(cfg.is_custom());
+  EXPECT_FALSE(cfg.is_strict());
+  EXPECT_EQ(cfg.k(), 4);
+  EXPECT_EQ(cfg.sub(1).prediction_len(), 1);
+  EXPECT_EQ(cfg.sub(3).prediction_len(), 5);
+  EXPECT_EQ(cfg.sub(3).win_lo, 7);
+  EXPECT_EQ(cfg.sub(3).res_hi, 15);
+  EXPECT_EQ(cfg.max_carry_chain(), 9);
+  EXPECT_NE(cfg.name().find("GeAr-custom"), std::string::npos);
+}
+
+TEST(Hetero, AdderBasicProperties) {
+  const GeArAdder adder(msb_protected_16());
+  stats::Rng rng(121);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    const AddResult r = adder.add(a, b);
+    EXPECT_LE(r.sum, a + b);
+    if (r.sum != a + b) {
+      EXPECT_TRUE(r.error_detected());
+    }
+  }
+}
+
+TEST(Hetero, FullCorrectionExact) {
+  const Corrector corr(msb_protected_16(), Corrector::all_enabled());
+  stats::Rng rng(122);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    EXPECT_EQ(corr.add(a, b).sum, a + b);
+  }
+}
+
+TEST(Hetero, ExactDpMatchesExhaustiveSmall) {
+  for (auto cfg : {GeArConfig::make_custom(10, 4, {{3, 2}, {3, 4}}),
+                   GeArConfig::make_custom(10, 2, {{2, 1}, {3, 2}, {3, 3}}),
+                   GeArConfig::make_custom(9, 3, {{3, 2}, {3, 3}})}) {
+    ASSERT_TRUE(cfg);
+    EXPECT_NEAR(exact_error_probability(*cfg), exhaustive_error_probability(*cfg),
+                1e-12)
+        << cfg->name();
+    // paper_error_probability routes custom configs to the exact DP.
+    EXPECT_DOUBLE_EQ(paper_error_probability(*cfg),
+                     exact_error_probability(*cfg));
+  }
+}
+
+TEST(Hetero, AnalyticMedMatchesExhaustive) {
+  auto cfg = GeArConfig::make_custom(10, 4, {{3, 2}, {3, 4}});
+  ASSERT_TRUE(cfg);
+  EXPECT_NEAR(analytic_med(*cfg), exhaustive_med(*cfg), 1e-9);
+}
+
+TEST(Hetero, CircuitMatchesModel) {
+  const GeArConfig cfg = msb_protected_16();
+  const netlist::Netlist nl = netlist::build_gear(cfg);
+  EXPECT_TRUE(nl.validate().empty()) << nl.validate();
+  const GeArAdder model(cfg);
+  stats::Rng rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    ASSERT_EQ(nl.simulate_add(a, b), model.add_value(a, b));
+  }
+}
+
+TEST(Hetero, MsbProtectionBeatsUniformAtEqualArea) {
+  // The MSB-protected layout spends its prediction bits where the error
+  // weight is; compare MED against the uniform GeAr with the same total
+  // window bits (area proxy).
+  const GeArConfig hetero = msb_protected_16();
+  int hetero_bits = 0;
+  for (const auto& s : hetero.layout()) hetero_bits += s.window_len();
+  const GeArConfig uniform = GeArConfig::must(16, 4, 4);  // 8+8+8 = 24 bits
+  int uniform_bits = 0;
+  for (const auto& s : uniform.layout()) uniform_bits += s.window_len();
+  EXPECT_EQ(hetero_bits, uniform_bits);  // same carry hardware budget
+
+  EXPECT_LT(analytic_med(hetero), analytic_med(uniform));
+  // Monte-Carlo confirms the MED ordering end to end.
+  stats::Rng r1(124), r2(124);
+  const auto h = mc_error_distribution(hetero, 200000, r1);
+  const auto u = mc_error_distribution(uniform, 200000, r2);
+  EXPECT_LT(-h.mean(), -u.mean());
+}
+
+TEST(Hetero, NoFamilyClaimsCustomConfigs) {
+  const GeArConfig cfg = msb_protected_16();
+  for (auto family :
+       {AdderFamily::kAcaI, AdderFamily::kEtaII, AdderFamily::kAcaII,
+        AdderFamily::kGda, AdderFamily::kGearStrict, AdderFamily::kGearRelaxed}) {
+    EXPECT_FALSE(family_supports(family, cfg));
+  }
+}
+
+TEST(Hetero, EqualityDistinguishesLayouts) {
+  auto a = GeArConfig::make_custom(16, 4, {{4, 2}, {4, 4}, {4, 6}});
+  auto b = GeArConfig::make_custom(16, 4, {{4, 2}, {4, 6}, {4, 6}});
+  auto c = GeArConfig::make_custom(16, 4, {{4, 2}, {4, 4}, {4, 6}});
+  ASSERT_TRUE(a && b && c);
+  EXPECT_TRUE(*a == *c);
+  EXPECT_FALSE(*a == *b);
+}
+
+}  // namespace
+}  // namespace gear::core

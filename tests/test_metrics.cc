@@ -1,0 +1,103 @@
+// Metric-engine tests: exactness on exact adders, known values on crafted
+// streams, consistency with the analytic error model.
+#include <gtest/gtest.h>
+
+#include "adders/exact.h"
+#include "adders/gear_adapter.h"
+#include "adders/loa.h"
+#include "analysis/metrics.h"
+#include "core/error_model.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace gear::analysis {
+namespace {
+
+TEST(Metrics, ExactAdderIsPerfect) {
+  const adders::RcaAdder rca(16);
+  auto src = stats::make_uniform(16, 3);
+  const ErrorMetrics m = evaluate(rca, *src, 20000);
+  EXPECT_DOUBLE_EQ(m.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.med, 0.0);
+  EXPECT_DOUBLE_EQ(m.ned, 0.0);
+  EXPECT_DOUBLE_EQ(m.acc_amp_avg, 1.0);
+  EXPECT_DOUBLE_EQ(m.acc_inf_avg, 1.0);
+  for (double a : m.maa_acceptance) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+TEST(Metrics, ErrorRateMatchesAnalyticModel) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  const adders::GearAdapter gear(cfg);
+  auto src = stats::make_uniform(16, 4);
+  const ErrorMetrics m = evaluate(gear, *src, 200000);
+  const double truth = core::exact_error_probability(cfg);
+  EXPECT_NEAR(m.error_rate, truth, 0.003);
+}
+
+TEST(Metrics, KnownCraftedStream) {
+  // Single-error stream through GeAr(12,4,4): the error is exactly 2^8.
+  const adders::GearAdapter gear(core::GeArConfig::must(12, 4, 4));
+  const std::uint64_t a = (0b1010ULL << 4) | 0b1000ULL;
+  const std::uint64_t b = (0b0101ULL << 4) | 0b1000ULL;
+  stats::TraceSource src(12, {{a, b}, {1, 2}, {3, 4}, {5, 6}}, "crafted");
+  const ErrorMetrics m = evaluate(gear, src, 4);
+  EXPECT_DOUBLE_EQ(m.error_rate, 0.25);
+  EXPECT_DOUBLE_EQ(m.med, 256.0 / 4.0);
+  EXPECT_DOUBLE_EQ(m.max_ed, 256.0);
+  EXPECT_DOUBLE_EQ(m.ned, 0.25);
+  // MAA 100% acceptance is 3/4.
+  EXPECT_DOUBLE_EQ(m.maa_acceptance[0], 0.75);
+}
+
+TEST(Metrics, AccAmpHandlesZeroExact) {
+  const adders::RcaAdder rca(8);
+  stats::TraceSource src(8, {{0, 0}}, "zeros");
+  const ErrorMetrics m = evaluate(rca, src, 1);
+  EXPECT_DOUBLE_EQ(m.acc_amp_avg, 1.0);
+}
+
+TEST(Metrics, MaaThresholdsAreMonotone) {
+  const adders::GearAdapter gear(core::GeArConfig::must(16, 2, 2));
+  auto src = stats::make_uniform(16, 5);
+  const ErrorMetrics m = evaluate(gear, *src, 50000);
+  for (std::size_t i = 1; i < m.maa_acceptance.size(); ++i) {
+    EXPECT_LE(m.maa_acceptance[i - 1], m.maa_acceptance[i] + 1e-12)
+        << "threshold index " << i;
+  }
+}
+
+TEST(Metrics, MorePredictionBitsImproveEverything) {
+  auto eval_cfg = [](int p) {
+    const adders::GearAdapter gear(core::GeArConfig::must(16, 4, p));
+    auto src = stats::make_uniform(16, 6);
+    return evaluate(gear, *src, 100000);
+  };
+  const ErrorMetrics low = eval_cfg(4);
+  const ErrorMetrics high = eval_cfg(8);
+  EXPECT_LT(high.error_rate, low.error_rate);
+  EXPECT_LT(high.med, low.med);
+  EXPECT_GE(high.acc_inf_avg, low.acc_inf_avg);
+  EXPECT_GE(high.maa_acceptance[0], low.maa_acceptance[0]);
+}
+
+TEST(Metrics, DistributionMattersForLoa) {
+  // LOA garbles low bits always — its error rate is much higher under
+  // uniform operands than GeAr's, though errors are small in magnitude.
+  const adders::LoaAdder loa(16, 8);
+  const adders::GearAdapter gear(core::GeArConfig::must(16, 4, 4));
+  auto src1 = stats::make_uniform(16, 7);
+  auto src2 = stats::make_uniform(16, 7);
+  const ErrorMetrics ml = evaluate(loa, *src1, 50000);
+  const ErrorMetrics mg = evaluate(gear, *src2, 50000);
+  EXPECT_GT(ml.error_rate, mg.error_rate);
+  EXPECT_LT(ml.max_ed, 512.0);  // bounded by the OR'd lower part
+}
+
+TEST(Metrics, SamplesRecorded) {
+  const adders::RcaAdder rca(8);
+  auto src = stats::make_uniform(8, 8);
+  EXPECT_EQ(evaluate(rca, *src, 1234).samples, 1234u);
+}
+
+}  // namespace
+}  // namespace gear::analysis

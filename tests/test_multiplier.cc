@@ -1,0 +1,97 @@
+// Approximate-multiplier tests.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "adders/exact.h"
+#include "adders/multiplier.h"
+#include "adders/registry.h"
+#include "stats/rng.h"
+
+namespace gear::adders {
+namespace {
+
+TEST(Multiplier, ExactAdderGivesExactProductExhaustive) {
+  const RcaAdder rca(16);
+  const ApproxMultiplier mult(8, rca);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      ASSERT_EQ(mult.multiply(a, b), a * b);
+    }
+  }
+}
+
+TEST(Multiplier, ExactRandomWide) {
+  const RcaAdder rca(32);
+  const ApproxMultiplier mult(16, rca);
+  stats::Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t a = rng.bits(16);
+    const std::uint64_t b = rng.bits(16);
+    ASSERT_EQ(mult.multiply(a, b), a * b);
+  }
+}
+
+TEST(Multiplier, ApproximateNeverOvershoots) {
+  // GeAr accumulation only drops carries; the product can only shrink.
+  const auto gm = make_gear_multiplier(8, 4, 4);
+  stats::Rng rng(12);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t a = rng.bits(8);
+    const std::uint64_t b = rng.bits(8);
+    EXPECT_LE(gm.mult->multiply(a, b), a * b);
+  }
+}
+
+TEST(Multiplier, TrivialOperandsExact) {
+  const auto gm = make_gear_multiplier(8, 4, 4);
+  for (std::uint64_t b = 0; b < 256; ++b) {
+    EXPECT_EQ(gm.mult->multiply(0, b), 0u);
+    EXPECT_EQ(gm.mult->multiply(1, b), b);
+  }
+  // Power-of-two multiplicands are pure shifts — a single add, whose low
+  // window is exact only if no boundary carry occurs; 1 * b is exact.
+}
+
+TEST(Multiplier, MorePredictionBitsLowerError) {
+  stats::Rng rng(13);
+  auto error_rate = [&rng](int p) {
+    const auto gm = make_gear_multiplier(8, 4, p);
+    stats::Rng local(77);
+    int errors = 0;
+    const int trials = 30000;
+    for (int i = 0; i < trials; ++i) {
+      const std::uint64_t a = local.bits(8);
+      const std::uint64_t b = local.bits(8);
+      if (gm.mult->multiply(a, b) != a * b) ++errors;
+    }
+    return static_cast<double>(errors) / trials;
+  };
+  (void)rng;
+  EXPECT_LT(error_rate(8), error_rate(4));
+  EXPECT_LT(error_rate(4), error_rate(2));
+}
+
+TEST(Multiplier, NameIncludesAdder) {
+  const RcaAdder rca(16);
+  const ApproxMultiplier mult(8, rca);
+  EXPECT_EQ(mult.name(), "Mult8x8[RCA]");
+}
+
+TEST(Multiplier, FactoryValidates) {
+  EXPECT_THROW(make_gear_multiplier(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(make_gear_multiplier(8, 0, 4), std::invalid_argument);
+  const auto gm = make_gear_multiplier(8, 4, 4);
+  EXPECT_EQ(gm.mult->width(), 8);
+  EXPECT_EQ(gm.adder->width(), 16);
+}
+
+TEST(Multiplier, ExactReference) {
+  const RcaAdder rca(16);
+  const ApproxMultiplier mult(8, rca);
+  EXPECT_EQ(mult.exact(255, 255), 255u * 255u);
+  EXPECT_EQ(mult.exact(0x1FF, 2), 0xFFu * 2);  // operands masked to width
+}
+
+}  // namespace
+}  // namespace gear::adders

@@ -1,0 +1,209 @@
+// Netlist IR, builder and simulator tests.
+#include <gtest/gtest.h>
+
+#include "core/bitvec.h"
+#include "netlist/builder.h"
+#include "netlist/netlist.h"
+#include "netlist/verilog_emit.h"
+#include "stats/rng.h"
+
+namespace gear::netlist {
+namespace {
+
+TEST(Gate, ArityTable) {
+  EXPECT_EQ(gate_kind_arity(GateKind::kConst0), 0);
+  EXPECT_EQ(gate_kind_arity(GateKind::kNot), 1);
+  EXPECT_EQ(gate_kind_arity(GateKind::kAnd2), 2);
+  EXPECT_EQ(gate_kind_arity(GateKind::kMux2), 3);
+  EXPECT_EQ(gate_kind_arity(GateKind::kFaSum), 3);
+}
+
+TEST(Gate, TruthTables) {
+  EXPECT_TRUE(eval_gate(GateKind::kConst1, {}));
+  EXPECT_FALSE(eval_gate(GateKind::kConst0, {}));
+  EXPECT_TRUE(eval_gate(GateKind::kNand2, {true, false}));
+  EXPECT_FALSE(eval_gate(GateKind::kNand2, {true, true}));
+  EXPECT_TRUE(eval_gate(GateKind::kMux2, {true, false, true}));
+  EXPECT_FALSE(eval_gate(GateKind::kMux2, {false, false, true}));
+  // Full adder: 1+1+1 = sum 1 carry 1.
+  EXPECT_TRUE(eval_gate(GateKind::kFaSum, {true, true, true}));
+  EXPECT_TRUE(eval_gate(GateKind::kFaCarry, {true, true, false}));
+  EXPECT_FALSE(eval_gate(GateKind::kFaSum, {true, true, false}));
+}
+
+TEST(Builder, HashConsingDeduplicates) {
+  Builder b("t");
+  const Bus a = b.input("a", 2);
+  const NetId x1 = b.and_(a[0], a[1]);
+  const NetId x2 = b.and_(a[0], a[1]);
+  const NetId x3 = b.and_(a[1], a[0]);  // commuted
+  EXPECT_EQ(x1, x2);
+  EXPECT_EQ(x1, x3);
+  const NetId y = b.or_(a[0], a[1]);
+  EXPECT_NE(x1, y);
+  b.output("o", y);
+  EXPECT_EQ(std::move(b).take().gate_count(), 2u);
+}
+
+TEST(Builder, SimulatePrimitives) {
+  Builder b("prim");
+  const Bus a = b.input("a", 1);
+  const Bus c = b.input("b", 1);
+  b.output("and", b.and_(a[0], c[0]));
+  b.output("xor", b.xor_(a[0], c[0]));
+  b.output("mux", b.mux(a[0], c[0], b.const1()));
+  const Netlist nl = std::move(b).take();
+  EXPECT_TRUE(nl.validate().empty()) << nl.validate();
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      const auto out = nl.simulate({{"a", core::BitVec(1, static_cast<std::uint64_t>(av))},
+                                    {"b", core::BitVec(1, static_cast<std::uint64_t>(bv))}});
+      EXPECT_EQ(out.at("and").to_u64(), static_cast<std::uint64_t>(av & bv));
+      EXPECT_EQ(out.at("xor").to_u64(), static_cast<std::uint64_t>(av ^ bv));
+      EXPECT_EQ(out.at("mux").to_u64(), static_cast<std::uint64_t>(av ? 1 : bv));
+    }
+  }
+}
+
+TEST(Builder, RippleAdderExactExhaustive) {
+  Builder b("rip");
+  const Bus a = b.input("a", 5);
+  const Bus c = b.input("b", 5);
+  AdderBits add = b.ripple_adder(a, c, b.const0());
+  Bus sum = add.sum;
+  sum.push_back(add.carry_out);
+  b.output("sum", sum);
+  const Netlist nl = std::move(b).take();
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    for (std::uint64_t y = 0; y < 32; ++y) {
+      ASSERT_EQ(nl.simulate_add(x, y), x + y);
+    }
+  }
+}
+
+TEST(Builder, RippleAdderCarryIn) {
+  Builder b("ripc");
+  const Bus a = b.input("a", 4);
+  const Bus c = b.input("b", 4);
+  AdderBits add = b.ripple_adder(a, c, b.const1());
+  Bus sum = add.sum;
+  sum.push_back(add.carry_out);
+  b.output("sum", sum);
+  const Netlist nl = std::move(b).take();
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      ASSERT_EQ(nl.simulate_add(x, y), x + y + 1);
+    }
+  }
+}
+
+TEST(Builder, PrefixAdderExact) {
+  for (int n : {1, 2, 3, 7, 8, 16}) {
+    Builder b("ks");
+    const Bus a = b.input("a", n);
+    const Bus c = b.input("b", n);
+    AdderBits add = b.prefix_adder(a, c, b.const0());
+    Bus sum = add.sum;
+    sum.push_back(add.carry_out);
+    b.output("sum", sum);
+    const Netlist nl = std::move(b).take();
+    EXPECT_TRUE(nl.validate().empty());
+    stats::Rng rng(72);
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t x = rng.bits(n);
+      const std::uint64_t y = rng.bits(n);
+      ASSERT_EQ(nl.simulate_add(x, y), x + y) << "n=" << n;
+    }
+  }
+}
+
+TEST(Builder, CarryGeneratorMatchesCarry) {
+  Builder b("cg");
+  const Bus a = b.input("a", 6);
+  const Bus c = b.input("b", 6);
+  b.output("cout", b.carry_generator(a, c, b.const0()));
+  const Netlist nl = std::move(b).take();
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    for (std::uint64_t y = 0; y < 64; ++y) {
+      const auto out = nl.simulate({{"a", core::BitVec(6, x)}, {"b", core::BitVec(6, y)}});
+      ASSERT_EQ(out.at("cout").to_u64(), (x + y) >> 6);
+    }
+  }
+}
+
+TEST(Builder, ClaGroupGenerateMatchesCarry) {
+  for (int n : {1, 2, 3, 4, 5, 8}) {
+    Builder b("cla");
+    const Bus a = b.input("a", n);
+    const Bus c = b.input("b", n);
+    b.output("g", b.cla_group_generate(a, c));
+    const Netlist nl = std::move(b).take();
+    for (std::uint64_t x = 0; x < (1ULL << n); ++x) {
+      for (std::uint64_t y = 0; y < (1ULL << n); ++y) {
+        const auto out =
+            nl.simulate({{"a", core::BitVec(n, x)}, {"b", core::BitVec(n, y)}});
+        ASSERT_EQ(out.at("g").to_u64(), (x + y) >> n) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Builder, TreesMatchReductions) {
+  Builder b("tree");
+  const Bus a = b.input("a", 7);
+  b.output("and", b.and_tree(a));
+  b.output("or", b.or_tree(a));
+  const Netlist nl = std::move(b).take();
+  for (std::uint64_t x = 0; x < 128; ++x) {
+    const auto out = nl.simulate({{"a", core::BitVec(7, x)}});
+    EXPECT_EQ(out.at("and").to_u64(), x == 127 ? 1u : 0u);
+    EXPECT_EQ(out.at("or").to_u64(), x != 0 ? 1u : 0u);
+  }
+}
+
+TEST(Netlist, ValidateCatchesUndrivenOutput) {
+  Netlist nl("bad");
+  const NetId floating = nl.new_net();
+  nl.add_output("o", {floating});
+  EXPECT_FALSE(nl.validate().empty());
+}
+
+TEST(Netlist, KindHistogram) {
+  Builder b("h");
+  const Bus a = b.input("a", 2);
+  b.output("o", b.and_(a[0], a[1]));
+  b.output("p", b.xor_(a[0], a[1]));
+  const Netlist nl = std::move(b).take();
+  const auto h = nl.kind_histogram();
+  EXPECT_EQ(h.at(GateKind::kAnd2), 1u);
+  EXPECT_EQ(h.at(GateKind::kXor2), 1u);
+}
+
+TEST(Netlist, MissingInputDefaultsToZero) {
+  Builder b("m");
+  const Bus a = b.input("a", 2);
+  b.output("o", b.or_(a[0], a[1]));
+  const Netlist nl = std::move(b).take();
+  const auto out = nl.simulate({});
+  EXPECT_EQ(out.at("o").to_u64(), 0u);
+}
+
+TEST(VerilogEmit, ContainsModuleAndPorts) {
+  Builder b("emit_test");
+  const Bus a = b.input("a", 4);
+  const Bus c = b.input("b", 4);
+  AdderBits add = b.ripple_adder(a, c, b.const0());
+  Bus sum = add.sum;
+  sum.push_back(add.carry_out);
+  b.output("sum", sum);
+  const std::string v = to_verilog(std::move(b).take());
+  EXPECT_NE(v.find("module emit_test"), std::string::npos);
+  EXPECT_NE(v.find("input  [3:0] a"), std::string::npos);
+  EXPECT_NE(v.find("output [4:0] sum"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Every assign references declared wires only (spot check format).
+  EXPECT_NE(v.find("assign"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gear::netlist

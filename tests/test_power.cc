@@ -1,0 +1,63 @@
+// Switching-activity power model tests.
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "netlist/circuits.h"
+#include "synth/power.h"
+
+namespace gear::synth {
+namespace {
+
+TEST(Power, DeterministicGivenSeed) {
+  const auto nl = netlist::build_rca(8);
+  stats::Rng a(5), b(5);
+  const auto ra = estimate_power(nl, 500, a);
+  const auto rb = estimate_power(nl, 500, b);
+  EXPECT_DOUBLE_EQ(ra.energy_per_op, rb.energy_per_op);
+  EXPECT_DOUBLE_EQ(ra.toggles_per_op, rb.toggles_per_op);
+}
+
+TEST(Power, PositiveForActiveCircuit) {
+  const auto nl = netlist::build_rca(8);
+  stats::Rng rng(6);
+  const auto rep = estimate_power(nl, 1000, rng);
+  EXPECT_GT(rep.toggles_per_op, 0.0);
+  EXPECT_GT(rep.energy_per_op, rep.toggles_per_op);  // caps >= 1
+  EXPECT_GT(rep.mean_activity, 0.0);
+  EXPECT_LE(rep.mean_activity, 1.0);
+  EXPECT_EQ(rep.vectors, 1000u);
+}
+
+TEST(Power, ScalesWithWidth) {
+  stats::Rng r1(7), r2(7);
+  const double e8 = estimate_power(netlist::build_rca(8), 1000, r1).energy_per_op;
+  const double e32 = estimate_power(netlist::build_rca(32), 1000, r2).energy_per_op;
+  EXPECT_GT(e32, 2.0 * e8);
+}
+
+TEST(Power, GearSubAddersCostMoreThanRcaCore) {
+  // GeAr duplicates bits across overlapping windows (P prediction bits
+  // per sub-adder), so its switching energy exceeds the plain RCA of the
+  // same width — the price of the shorter critical path.
+  stats::Rng r1(8), r2(8);
+  const double rca =
+      estimate_power(netlist::build_rca(16), 2000, r1).energy_per_op;
+  const double gear = estimate_power(
+      netlist::build_gear(core::GeArConfig::must(16, 4, 4)), 2000, r2)
+      .energy_per_op;
+  EXPECT_GT(gear, rca);
+}
+
+TEST(Power, HigherCapModelRaisesEnergyOnly) {
+  const auto nl = netlist::build_cla(8);
+  stats::Rng r1(9), r2(9);
+  PowerModel heavy = PowerModel::virtex6();
+  heavy.cap_per_fanout *= 4.0;
+  const auto base = estimate_power(nl, 500, r1);
+  const auto loaded = estimate_power(nl, 500, r2, heavy);
+  EXPECT_GT(loaded.energy_per_op, base.energy_per_op);
+  EXPECT_DOUBLE_EQ(loaded.toggles_per_op, base.toggles_per_op);
+}
+
+}  // namespace
+}  // namespace gear::synth

@@ -1,0 +1,88 @@
+// Error-propagation bound tests: closed forms, and the bounds hold
+// against simulated adder chains and trees.
+#include <gtest/gtest.h>
+
+#include "adders/gear_adapter.h"
+#include "analysis/propagation.h"
+#include "core/error_model.h"
+#include "stats/rng.h"
+
+namespace gear::analysis {
+namespace {
+
+TEST(Propagation, ClosedForms) {
+  EXPECT_DOUBLE_EQ(composed_error_bound(0.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(composed_error_bound(1.0, 1), 1.0);
+  EXPECT_NEAR(composed_error_bound(0.01, 1), 0.01, 1e-12);
+  EXPECT_NEAR(composed_error_bound(0.01, 2), 1 - 0.99 * 0.99, 1e-12);
+  EXPECT_EQ(chain_adds(10), 9u);
+  EXPECT_EQ(tree_adds(16), 15u);
+  EXPECT_EQ(chain_adds(0), 0u);
+  EXPECT_DOUBLE_EQ(composed_med(7.5, 4), 30.0);
+}
+
+TEST(Propagation, BoundMonotoneInBoth) {
+  EXPECT_LT(composed_error_bound(0.01, 5), composed_error_bound(0.01, 50));
+  EXPECT_LT(composed_error_bound(0.001, 50), composed_error_bound(0.01, 50));
+  EXPECT_LE(composed_error_bound(0.5, 1000), 1.0);
+}
+
+TEST(Propagation, ChainSimulationRespectsBound) {
+  // Accumulate `terms` random 8-bit values in a 16-bit GeAr accumulator;
+  // the final total being wrong is at most the composed bound.
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  const adders::GearAdapter adder(cfg);
+  const double p = core::exact_error_probability(cfg);
+  stats::Rng rng(21);
+  const int terms = 16;
+  const int trials = 20000;
+  int wrong = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t acc = 0, exact = 0;
+    for (int i = 0; i < terms; ++i) {
+      const std::uint64_t v = rng.bits(8);
+      acc = adder.add(acc, v) & 0xFFFF;
+      exact = (exact + v) & 0xFFFF;
+    }
+    if (acc != exact) ++wrong;
+  }
+  const double rate = static_cast<double>(wrong) / trials;
+  // Upper bound with slack for sampling noise; the i.i.d. model uses
+  // uniform 16-bit operands, chains use small accumulators -> the bound
+  // is conservative.
+  EXPECT_LE(rate, composed_error_bound(p, chain_adds(terms + 1)) + 0.02);
+}
+
+TEST(Propagation, TreeSimulationRespectsBound) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  const adders::GearAdapter adder(cfg);
+  const double p = core::exact_error_probability(cfg);
+  stats::Rng rng(22);
+  const int leaves = 16;
+  const int trials = 20000;
+  int wrong = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint64_t> approx, exact;
+    for (int i = 0; i < leaves; ++i) {
+      const std::uint64_t v = rng.bits(10);
+      approx.push_back(v);
+      exact.push_back(v);
+    }
+    while (approx.size() > 1) {
+      std::vector<std::uint64_t> na, ne;
+      for (std::size_t i = 0; i + 1 < approx.size(); i += 2) {
+        na.push_back(adder.add(approx[i], approx[i + 1]) & 0xFFFF);
+        ne.push_back((exact[i] + exact[i + 1]) & 0xFFFF);
+      }
+      approx = std::move(na);
+      exact = std::move(ne);
+    }
+    if (approx[0] != exact[0]) ++wrong;
+  }
+  const double rate = static_cast<double>(wrong) / trials;
+  EXPECT_LE(rate, composed_error_bound(p, tree_adds(leaves)) + 0.02);
+  EXPECT_GT(rate, 0.0);  // errors really do compose
+}
+
+}  // namespace
+}  // namespace gear::analysis

@@ -1,0 +1,122 @@
+// Cross-cutting property sweeps over the full strict design space at
+// several widths — the invariants every GeAr configuration must satisfy
+// simultaneously across the model, the corrector, the circuit generator
+// and the analytic models.
+#include <gtest/gtest.h>
+
+#include "core/adder.h"
+#include "core/correction.h"
+#include "core/error_model.h"
+#include "netlist/circuits.h"
+#include "stats/rng.h"
+#include "synth/report.h"
+
+namespace gear {
+namespace {
+
+class StrictSpace : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrictSpace, DetectionSoundEverywhere) {
+  const int n = GetParam();
+  stats::Rng rng = stats::Rng::substream(1, "prop-detect");
+  for (const auto& cfg : core::GeArConfig::enumerate(n)) {
+    const core::GeArAdder adder(cfg);
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t a = rng.bits(n);
+      const std::uint64_t b = rng.bits(n);
+      const core::AddResult r = adder.add(a, b);
+      if (r.sum != a + b) {
+        ASSERT_TRUE(r.error_detected()) << cfg.name();
+      }
+    }
+  }
+}
+
+TEST_P(StrictSpace, CorrectionExactEverywhere) {
+  const int n = GetParam();
+  stats::Rng rng = stats::Rng::substream(2, "prop-correct");
+  for (const auto& cfg : core::GeArConfig::enumerate(n)) {
+    const core::Corrector corr(cfg, core::Corrector::all_enabled());
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t a = rng.bits(n);
+      const std::uint64_t b = rng.bits(n);
+      const auto res = corr.add(a, b);
+      ASSERT_EQ(res.sum, a + b) << cfg.name();
+      ASSERT_LE(res.cycles, cfg.k()) << cfg.name();
+    }
+  }
+}
+
+TEST_P(StrictSpace, CircuitCarryElementsMatchGeometry) {
+  // Every window bit occupies exactly one carry-chain element; windows
+  // never share elements (their chains start at different carries), so
+  // the mapped carry-element count equals the summed window lengths.
+  const int n = GetParam();
+  for (const auto& cfg : core::GeArConfig::enumerate(n)) {
+    const auto nl = netlist::build_gear(cfg, {.with_detection = false});
+    const auto mapping = synth::map_to_luts(nl);
+    int window_bits = 0;
+    for (const auto& s : cfg.layout()) window_bits += s.window_len();
+    ASSERT_EQ(mapping.carry_elements, window_bits) << cfg.name();
+    // Without detection the circuit is pure carry logic: no LUTs at all.
+    ASSERT_EQ(static_cast<int>(mapping.luts.size()), 0) << cfg.name();
+  }
+}
+
+TEST_P(StrictSpace, DelayTracksCarryChain) {
+  // Among same-width configurations, a strictly longer worst carry chain
+  // can never make the sum path *faster* — once fan-out loading is
+  // removed from the model (with it, a many-window low-R config can pay
+  // more for input fan-out than a slightly longer chain costs, which is
+  // realistic but not monotone).
+  const int n = GetParam();
+  synth::DelayModel no_fanout = synth::DelayModel::virtex6();
+  no_fanout.t_fanout = 0.0;
+  double best_delay_per_chain[65] = {};
+  for (const auto& cfg : core::GeArConfig::enumerate(n)) {
+    const auto rep = synth::synthesize(
+        netlist::build_gear(cfg, {.with_detection = false}), no_fanout);
+    const int chain = cfg.max_carry_chain();
+    auto& slot = best_delay_per_chain[chain];
+    if (slot == 0.0 || rep.delay_ns < slot) slot = rep.delay_ns;
+  }
+  double prev = 0.0;
+  for (int chain = 1; chain <= 64; ++chain) {
+    if (best_delay_per_chain[chain] == 0.0) continue;
+    ASSERT_GE(best_delay_per_chain[chain], prev - 1e-9) << "chain " << chain;
+    prev = best_delay_per_chain[chain];
+  }
+}
+
+TEST_P(StrictSpace, ModelTrioAgreesEverywhere) {
+  // IE model == exact DP == (scaled) first-order within the union bound,
+  // for every configuration of the width.
+  const int n = GetParam();
+  for (const auto& cfg : core::GeArConfig::enumerate(n)) {
+    const double ie = core::paper_error_probability(cfg);
+    const double exact = core::exact_error_probability(cfg);
+    const double fo = core::paper_error_probability_first_order(cfg);
+    ASSERT_NEAR(ie, exact, 1e-12) << cfg.name();
+    ASSERT_GE(fo + 1e-15, ie) << cfg.name();
+  }
+}
+
+TEST_P(StrictSpace, AnalyticMedConsistentWithErrorRate) {
+  // MED <= Perr * max possible error (sum of boundary weights incl. the
+  // carry-out) — a sanity tie between the two analytic models.
+  const int n = GetParam();
+  for (const auto& cfg : core::GeArConfig::enumerate(n)) {
+    double max_err = 1ULL << n;  // carry-out miss
+    for (int j = 1; j < cfg.k(); ++j) max_err += 1ULL << cfg.sub(j).res_lo;
+    const double med = core::analytic_med(cfg);
+    const double perr = core::exact_error_probability(cfg);
+    ASSERT_LE(med, perr * max_err + 1e-9) << cfg.name();
+    if (perr > 0) ASSERT_GT(med, 0.0) << cfg.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, StrictSpace,
+                         ::testing::Values(8, 10, 12, 14, 16, 18, 20, 24));
+
+}  // namespace
+}  // namespace gear

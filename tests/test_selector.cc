@@ -1,0 +1,102 @@
+// Configuration-selector tests.
+#include <gtest/gtest.h>
+
+#include "analysis/selector.h"
+#include "core/error_model.h"
+#include "netlist/circuits.h"
+#include "synth/report.h"
+
+namespace gear::analysis {
+namespace {
+
+TEST(Selector, EverySelectionMeetsTheBound) {
+  SelectionRequest req;
+  req.n = 12;
+  for (double bound : {0.5, 0.1, 0.01, 0.001}) {
+    req.max_error_probability = bound;
+    for (const auto& sel : rank_configs(req)) {
+      EXPECT_LE(sel.error_probability, bound) << sel.cfg.name();
+      EXPECT_NEAR(sel.error_probability,
+                  core::paper_error_probability(sel.cfg), 1e-12);
+    }
+  }
+}
+
+TEST(Selector, BestIsFirstOfRanking) {
+  SelectionRequest req;
+  req.n = 12;
+  req.max_error_probability = 0.05;
+  const auto best = select_config(req);
+  const auto all = rank_configs(req);
+  ASSERT_TRUE(best);
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(best->cfg.r(), all.front().cfg.r());
+  EXPECT_EQ(best->cfg.p(), all.front().cfg.p());
+  for (const auto& sel : all) {
+    EXPECT_LE(best->score, sel.score + 1e-12);
+  }
+}
+
+TEST(Selector, ObjectiveChangesWinner) {
+  SelectionRequest req;
+  req.n = 16;
+  req.max_error_probability = 0.05;
+  req.objective = Objective::kDelay;
+  const auto fastest = select_config(req);
+  req.objective = Objective::kArea;
+  const auto smallest = select_config(req);
+  ASSERT_TRUE(fastest && smallest);
+  // The area winner cannot be bigger than the delay winner, and vice
+  // versa on delay.
+  EXPECT_LE(smallest->area_luts, fastest->area_luts);
+  EXPECT_LE(fastest->delay_ns, smallest->delay_ns + 1e-12);
+}
+
+TEST(Selector, TighterBoundCostsMore) {
+  SelectionRequest req;
+  req.n = 16;
+  req.objective = Objective::kDelay;
+  req.max_error_probability = 0.3;
+  const auto loose = select_config(req);
+  req.max_error_probability = 0.001;
+  const auto tight = select_config(req);
+  ASSERT_TRUE(loose && tight);
+  EXPECT_GE(tight->delay_ns, loose->delay_ns - 1e-12);
+  EXPECT_GE(tight->cfg.l(), loose->cfg.l());
+}
+
+TEST(Selector, RelaxedToggleShrinksSpace) {
+  SelectionRequest req;
+  req.n = 16;
+  req.max_error_probability = 1.0;
+  const auto with = rank_configs(req);
+  req.include_relaxed = false;
+  const auto without = rank_configs(req);
+  EXPECT_GT(with.size(), without.size());
+  for (const auto& sel : without) {
+    EXPECT_TRUE(sel.cfg.is_strict());
+  }
+}
+
+TEST(Selector, ReportedNumbersMatchSynthesis) {
+  SelectionRequest req;
+  req.n = 12;
+  req.max_error_probability = 0.05;
+  const auto best = select_config(req);
+  ASSERT_TRUE(best);
+  const auto rep = synth::synthesize(
+      netlist::build_gear(best->cfg, {.with_detection = false}));
+  EXPECT_DOUBLE_EQ(best->delay_ns, synth::sum_path_delay(rep));
+  EXPECT_EQ(best->area_luts, rep.area_luts);
+}
+
+TEST(Selector, ImpossibleBoundYieldsNothing) {
+  SelectionRequest req;
+  req.n = 16;
+  req.max_error_probability = -1.0;  // nothing is below a negative bound
+  EXPECT_FALSE(select_config(req));
+  EXPECT_TRUE(rank_configs(req).empty());
+}
+
+}  // namespace
+}  // namespace gear::analysis

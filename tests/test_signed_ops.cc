@@ -1,0 +1,78 @@
+// Signed (two's complement) arithmetic helpers.
+#include <gtest/gtest.h>
+
+#include "core/signed_ops.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+namespace {
+
+TEST(SignedOps, ConversionRoundTrip) {
+  for (int bits : {4, 8, 12, 16}) {
+    const std::int64_t lo = -(1LL << (bits - 1));
+    const std::int64_t hi = (1LL << (bits - 1)) - 1;
+    for (std::int64_t v = lo; v <= hi; v += std::max<std::int64_t>(1, (hi - lo) / 500)) {
+      EXPECT_EQ(to_signed(from_signed(v, bits), bits), v) << "bits=" << bits;
+    }
+    EXPECT_EQ(to_signed(from_signed(lo, bits), bits), lo);
+    EXPECT_EQ(to_signed(from_signed(hi, bits), bits), hi);
+  }
+}
+
+TEST(SignedOps, KnownEncodings) {
+  EXPECT_EQ(from_signed(-1, 8), 0xFFu);
+  EXPECT_EQ(from_signed(-128, 8), 0x80u);
+  EXPECT_EQ(to_signed(0x80, 8), -128);
+  EXPECT_EQ(to_signed(0x7F, 8), 127);
+}
+
+TEST(SignedOps, ExactConfigSignedAddCorrect) {
+  const GeArAdder exact(GeArConfig::must(12, 11, 1));
+  stats::Rng rng(41);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::int64_t>(rng.range(0, 2047)) - 1024;
+    const auto b = static_cast<std::int64_t>(rng.range(0, 2047)) - 1024;
+    const SignedAddResult r = signed_add(exact, a, b);
+    if (!r.overflow) {
+      EXPECT_EQ(r.value, a + b) << a << "+" << b;
+    }
+    EXPECT_EQ(signed_error(exact, a, b), 0);
+  }
+}
+
+TEST(SignedOps, OverflowFlagMatchesRange) {
+  const GeArAdder exact(GeArConfig::must(8, 7, 1));
+  EXPECT_TRUE(signed_add(exact, 127, 1).overflow);
+  EXPECT_TRUE(signed_add(exact, -128, -1).overflow);
+  EXPECT_FALSE(signed_add(exact, 100, 27).overflow);
+  EXPECT_FALSE(signed_add(exact, -100, -28).overflow);
+}
+
+TEST(SignedOps, ApproximateErrorsMatchUnsignedMagnitude) {
+  // The hardware is sign-agnostic: the signed error equals the unsigned
+  // deficit re-interpreted, so its magnitude is a sum of region weights.
+  const GeArAdder adder(GeArConfig::must(12, 4, 4));
+  stats::Rng rng(42);
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = static_cast<std::int64_t>(rng.range(0, 4095)) - 2048;
+    const auto b = static_cast<std::int64_t>(rng.range(0, 4095)) - 2048;
+    const std::int64_t err = signed_error(adder, a, b);
+    // (12,4,4) can only lose the 2^8 boundary carry; in signed view that
+    // deficit may alias across the sign wheel to -256 or +3840... it must
+    // be congruent to -256 or 0 modulo 2^12.
+    const std::int64_t mod = ((err % 4096) + 4096) % 4096;
+    EXPECT_TRUE(mod == 0 || mod == 4096 - 256) << err;
+  }
+}
+
+TEST(SignedOps, DetectionFlagSurfacesInSignedView) {
+  const GeArAdder adder(GeArConfig::must(12, 4, 4));
+  // Construct the Fig. 3 error case with signed operands.
+  const std::int64_t a = to_signed((0b1010ULL << 4) | 0b1000ULL, 12);
+  const std::int64_t b = to_signed((0b0101ULL << 4) | 0b1000ULL, 12);
+  const SignedAddResult r = signed_add(adder, a, b);
+  EXPECT_TRUE(r.error_detected);
+}
+
+}  // namespace
+}  // namespace gear::core

@@ -1,0 +1,86 @@
+// Sobel edge-detection kernel tests (signed workload).
+#include <gtest/gtest.h>
+
+#include "adders/exact.h"
+#include "adders/gear_adapter.h"
+#include "apps/generate.h"
+#include "apps/sobel.h"
+#include "stats/rng.h"
+
+namespace gear::apps {
+namespace {
+
+TEST(Sobel, FlatImageHasZeroGradient) {
+  const Image img(16, 16, 100);
+  const adders::RcaAdder exact(16);
+  const Image out = sobel(img, exact);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) EXPECT_EQ(out.at(x, y), 0);
+  }
+}
+
+TEST(Sobel, VerticalEdgeDetected) {
+  // Left half 0, right half 200: strong response along the boundary.
+  Image img(16, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 8; x < 16; ++x) img.set(x, y, 200);
+  }
+  const adders::RcaAdder exact(16);
+  const Image out = sobel(img, exact);
+  // On the edge columns, |Gx| = 4*200 = 800.
+  EXPECT_EQ(out.at(7, 4), 800);
+  EXPECT_EQ(out.at(8, 4), 800);
+  // Far from the edge: silent.
+  EXPECT_EQ(out.at(2, 4), 0);
+  EXPECT_EQ(out.at(13, 4), 0);
+}
+
+TEST(Sobel, HorizontalEdgeDetected) {
+  Image img(8, 16);
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 0; x < 8; ++x) img.set(x, y, 200);
+  }
+  const adders::RcaAdder exact(16);
+  const Image out = sobel(img, exact);
+  EXPECT_EQ(out.at(4, 7), 800);
+  EXPECT_EQ(out.at(4, 2), 0);
+}
+
+TEST(Sobel, GradientMagnitudeSymmetricUnderTranspose) {
+  stats::Rng rng(91);
+  const Image img = smoothed_noise_image(24, 24, rng, 1);
+  Image transposed(24, 24);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 24; ++x) transposed.set(y, x, img.at(x, y));
+  }
+  const adders::RcaAdder exact(16);
+  const Image a = sobel(img, exact);
+  const Image b = sobel(transposed, exact);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 24; ++x) {
+      ASSERT_EQ(a.at(x, y), b.at(y, x));
+    }
+  }
+}
+
+TEST(Sobel, ApproximateAgreementHighAndMonotone) {
+  stats::Rng rng(92);
+  const Image img = smoothed_noise_image(48, 48, rng, 1);
+  const adders::GearAdapter loose(core::GeArConfig::must(16, 4, 4));
+  const adders::GearAdapter tight(core::GeArConfig::must(16, 4, 8));
+  const double a_loose = sobel_classification_agreement(img, loose, 100);
+  const double a_tight = sobel_classification_agreement(img, tight, 100);
+  EXPECT_GT(a_loose, 0.6);
+  EXPECT_GE(a_tight, a_loose);
+  EXPECT_GT(a_tight, 0.95);
+}
+
+TEST(Sobel, ExactAdderPerfectAgreement) {
+  stats::Rng rng(93);
+  const Image img = smoothed_noise_image(20, 20, rng, 1);
+  const adders::RcaAdder exact(16);
+  EXPECT_DOUBLE_EQ(sobel_classification_agreement(img, exact, 128), 1.0);
+}
+
+}  // namespace
+}  // namespace gear::apps

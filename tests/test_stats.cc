@@ -1,0 +1,267 @@
+// Unit tests for the stats substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bootstrap.h"
+#include "stats/distributions.h"
+#include "stats/histogram.h"
+#include "stats/rng.h"
+#include "stats/running_stats.h"
+
+namespace gear::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BitsRespectsWidth) {
+  Rng rng(7);
+  for (int w = 0; w <= 64; ++w) {
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t v = rng.bits(w);
+      if (w < 64) {
+        EXPECT_LT(v, 1ULL << w) << "width " << w;
+      }
+    }
+  }
+}
+
+TEST(Rng, BitsZeroWidthIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.bits(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SubstreamsAreDecorrelated) {
+  Rng a = Rng::substream(1, "alpha");
+  Rng b = Rng::substream(1, "beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SubstreamDeterministic) {
+  Rng a = Rng::substream(99, "x");
+  Rng b = Rng::substream(99, "x");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Fnv1a, KnownValues) {
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole, a, b;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndTotals) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.6);
+  h.add(-1.0);
+  h.add(11.0);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(5), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, QuantileMedian) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1.5);
+}
+
+TEST(SparseHistogram, MeanAndMeanAbs) {
+  SparseHistogram h;
+  h.add(-4, 1);
+  h.add(0, 2);
+  h.add(4, 1);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean_abs(), 2.0);
+  EXPECT_EQ(h.min_key(), -4);
+  EXPECT_EQ(h.max_key(), 4);
+  EXPECT_DOUBLE_EQ(h.fraction_zero(), 0.5);
+}
+
+TEST(SparseHistogram, EmptyDefaults) {
+  SparseHistogram h;
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_zero(), 1.0);
+  EXPECT_EQ(h.count(3), 0u);
+}
+
+TEST(Distributions, UniformWidthRespected) {
+  auto src = make_uniform(12, 99);
+  for (int i = 0; i < 500; ++i) {
+    const auto [a, b] = src->next();
+    EXPECT_LT(a, 1ULL << 12);
+    EXPECT_LT(b, 1ULL << 12);
+  }
+}
+
+TEST(Distributions, GaussianClampedInRange) {
+  auto src = make_gaussian(10, 5);
+  for (int i = 0; i < 500; ++i) {
+    const auto [a, b] = src->next();
+    EXPECT_LE(a, (1ULL << 10) - 1);
+    EXPECT_LE(b, (1ULL << 10) - 1);
+  }
+}
+
+TEST(Distributions, SmallValueSkewsLow) {
+  auto uni = make_uniform(16, 4);
+  auto small = make_small_value(16, 4);
+  double mean_u = 0, mean_s = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    mean_u += static_cast<double>(uni->next().a);
+    mean_s += static_cast<double>(small->next().a);
+  }
+  EXPECT_LT(mean_s / n, mean_u / n * 0.7);
+}
+
+TEST(Distributions, TraceSourceCycles) {
+  TraceSource src(8, {{1, 2}, {3, 4}}, "t");
+  EXPECT_EQ(src.next().a, 1u);
+  EXPECT_EQ(src.next().a, 3u);
+  EXPECT_EQ(src.next().a, 1u);  // wrapped
+  EXPECT_EQ(src.name(), "t");
+  EXPECT_EQ(src.size(), 2u);
+}
+
+TEST(Bootstrap, MeanCiCoversTruth) {
+  Rng rng(21);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(rng.normal(5.0, 1.0));
+  Rng boot(22);
+  const auto ci = bootstrap_mean_ci(samples, 500, 0.95, boot);
+  EXPECT_TRUE(ci.contains(5.0)) << ci.lo << " .. " << ci.hi;
+  EXPECT_LT(ci.hi - ci.lo, 0.5);
+}
+
+TEST(Bootstrap, WilsonBasics) {
+  const auto ci = wilson_ci(50, 100);
+  EXPECT_NEAR(ci.point, 0.5, 1e-12);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+  EXPECT_GT(ci.lo, 0.35);
+  EXPECT_LT(ci.hi, 0.65);
+}
+
+TEST(Bootstrap, WilsonEdgeCases) {
+  const auto zero = wilson_ci(0, 1000);
+  EXPECT_DOUBLE_EQ(zero.point, 0.0);
+  EXPECT_GE(zero.lo, 0.0);
+  EXPECT_LT(zero.hi, 0.01);
+  const auto one = wilson_ci(1000, 1000);
+  EXPECT_DOUBLE_EQ(one.point, 1.0);
+  EXPECT_GT(one.lo, 0.99);
+  EXPECT_LE(one.hi, 1.0);
+}
+
+TEST(Bootstrap, WilsonCoverageSweep) {
+  // Empirical check: the 95% Wilson interval should cover the true p in
+  // roughly 95% of repeated binomial experiments.
+  Rng rng(31);
+  const double p = 0.03;
+  int covered = 0;
+  const int reps = 300;
+  for (int r = 0; r < reps; ++r) {
+    std::uint64_t hits = 0;
+    const std::uint64_t trials = 2000;
+    for (std::uint64_t t = 0; t < trials; ++t) hits += rng.flip(p) ? 1u : 0u;
+    if (wilson_ci(hits, trials).contains(p)) {
+      ++covered;
+    }
+  }
+  EXPECT_GT(covered, static_cast<int>(reps * 0.88));
+}
+
+}  // namespace
+}  // namespace gear::stats

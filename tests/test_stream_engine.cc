@@ -1,0 +1,92 @@
+// Cycle-accurate stream engine tests: empirical cycles-per-op must land
+// inside the paper's Table IV best/worst bracket and near the expected
+// value computed from the detect-count distribution.
+#include <gtest/gtest.h>
+
+#include "analysis/timing_model.h"
+#include "apps/stream_engine.h"
+#include "core/error_model.h"
+#include "stats/rng.h"
+
+namespace gear::apps {
+namespace {
+
+TEST(StreamEngine, NoCorrectionIsOneCyclePerOp) {
+  StreamAdderEngine engine(core::GeArConfig::must(16, 4, 4), 0);
+  auto src = stats::make_uniform(16, 7);
+  const StreamStats s = engine.run(*src, 20000);
+  EXPECT_EQ(s.operations, 20000u);
+  EXPECT_EQ(s.cycles, 20000u);
+  EXPECT_EQ(s.stall_cycles, 0u);
+  EXPECT_GT(s.wrong_results, 0u);
+}
+
+TEST(StreamEngine, FullCorrectionIsAlwaysRight) {
+  StreamAdderEngine engine(core::GeArConfig::must(16, 2, 2),
+                           core::Corrector::all_enabled());
+  auto src = stats::make_uniform(16, 8);
+  const StreamStats s = engine.run(*src, 20000);
+  EXPECT_EQ(s.wrong_results, 0u);
+  EXPECT_GT(s.stall_cycles, 0u);
+  EXPECT_EQ(s.cycles, s.operations + s.stall_cycles);
+}
+
+TEST(StreamEngine, MeasuredCyclesInsidePaperBracket) {
+  // Table IV logic: cycles/op must lie in [1 + Perr*1, 1 + Perr*(k-1)].
+  for (auto [n, r, p] : {std::tuple{20, 1, 9}, {20, 5, 5}, {16, 2, 2}}) {
+    const auto cfg = core::GeArConfig::must(n, r, p);
+    StreamAdderEngine engine(cfg, core::Corrector::all_enabled());
+    auto src = stats::make_uniform(n, 9);
+    const StreamStats s = engine.run(*src, 100000);
+    const double perr = core::exact_error_probability(cfg);
+    const double measured = s.cycles_per_op();
+    EXPECT_GE(measured, 1.0 + perr * 0.8) << cfg.name();
+    EXPECT_LE(measured, 1.0 + perr * (cfg.k() - 1) + 0.01) << cfg.name();
+  }
+}
+
+TEST(StreamEngine, MeasuredMatchesDetectCountExpectation) {
+  const auto cfg = core::GeArConfig::must(16, 2, 2);
+  StreamAdderEngine engine(cfg, core::Corrector::all_enabled());
+  auto src = stats::make_uniform(16, 10);
+  const StreamStats s = engine.run(*src, 200000);
+
+  stats::Rng rng(11);
+  const auto pmf = core::mc_detect_count_distribution(cfg, 200000, rng);
+  double expected = 0.0;
+  for (std::size_t c = 0; c < pmf.size(); ++c) {
+    expected += pmf[c] * (1.0 + static_cast<double>(c));
+  }
+  // Corrections cascade (correcting j raises c_o(j), which can fire
+  // j+1), so the first-pass detect count under-counts total cycles; for
+  // (16,2,2) the cascade adds ~0.15 cycles/op. The expectation is a firm
+  // lower bound and a reasonable estimate.
+  EXPECT_GE(s.cycles_per_op(), expected - 1e-3);
+  EXPECT_LE(s.cycles_per_op(), expected + 0.25);
+}
+
+TEST(StreamEngine, ExplicitOperandListMatchesSource) {
+  const auto cfg = core::GeArConfig::must(12, 4, 4);
+  std::vector<stats::OperandPair> ops;
+  stats::Rng rng(12);
+  for (int i = 0; i < 5000; ++i) ops.push_back({rng.bits(12), rng.bits(12)});
+
+  StreamAdderEngine e1(cfg, core::Corrector::all_enabled());
+  StreamAdderEngine e2(cfg, core::Corrector::all_enabled());
+  stats::TraceSource src(12, ops, "t");
+  const StreamStats s1 = e1.run(src, ops.size());
+  const StreamStats s2 = e2.run(ops);
+  EXPECT_EQ(s1.cycles, s2.cycles);
+  EXPECT_EQ(s1.corrected_ops, s2.corrected_ops);
+}
+
+TEST(StreamEngine, SecondsScaleWithPeriod) {
+  StreamAdderEngine engine(core::GeArConfig::must(12, 4, 4), 0);
+  auto src = stats::make_uniform(12, 13);
+  const StreamStats s = engine.run(*src, 1000);
+  EXPECT_DOUBLE_EQ(s.seconds(2.0), 2.0 * s.seconds(1.0));
+  EXPECT_NEAR(s.seconds(1.0), 1000 * 1e-9, 1e-12);
+}
+
+}  // namespace
+}  // namespace gear::apps

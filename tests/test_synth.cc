@@ -1,0 +1,152 @@
+// Synthesis substrate tests: LUT mapping invariants, calibrated timing.
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "netlist/builder.h"
+#include "netlist/circuits.h"
+#include "synth/lut_map.h"
+#include "synth/report.h"
+#include "synth/timing.h"
+
+namespace gear::synth {
+namespace {
+
+TEST(LutMap, RcaAreaIsOneLutPerBit) {
+  // Matches the paper's Table I: 16-bit RCA = 16 LUTs.
+  for (int n : {8, 16, 32}) {
+    const auto nl = netlist::build_rca(n);
+    const MappingResult m = map_to_luts(nl);
+    EXPECT_EQ(m.carry_elements, n);
+    EXPECT_EQ(static_cast<int>(m.luts.size()), 0);
+    EXPECT_EQ(m.area_luts(), n);
+  }
+}
+
+TEST(LutMap, EveryRootCovered) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  const auto nl = netlist::build_gear(cfg);
+  const MappingResult m = map_to_luts(nl);
+  // All LUT leaves must be inputs, constants, macro outputs, or other
+  // selected LUT outputs.
+  std::set<netlist::NetId> lut_outs;
+  for (const auto& lut : m.luts) lut_outs.insert(lut.out);
+  std::set<netlist::NetId> macro_outs;
+  std::set<netlist::NetId> logic;
+  for (const auto& g : nl.gates()) {
+    if (netlist::is_carry_macro(g.kind)) {
+      macro_outs.insert(g.output);
+    } else if (g.kind != netlist::GateKind::kConst0 &&
+               g.kind != netlist::GateKind::kConst1) {
+      logic.insert(g.output);
+    }
+  }
+  for (const auto& lut : m.luts) {
+    for (netlist::NetId leaf : lut.leaves) {
+      if (logic.count(leaf)) {
+        EXPECT_TRUE(lut_outs.count(leaf)) << "leaf " << leaf << " unrealized";
+      }
+    }
+  }
+}
+
+TEST(LutMap, CutWidthRespected) {
+  const auto nl = netlist::build_cla(16);
+  for (int k : {3, 4, 6}) {
+    const MappingResult m = map_to_luts(nl, k);
+    for (const auto& lut : m.luts) {
+      EXPECT_LE(static_cast<int>(lut.leaves.size()), k);
+    }
+  }
+}
+
+TEST(LutMap, SmallerKNeverFewerLuts) {
+  const auto nl = netlist::build_cla(16);
+  const int luts6 = static_cast<int>(map_to_luts(nl, 6).luts.size());
+  const int luts3 = static_cast<int>(map_to_luts(nl, 3).luts.size());
+  EXPECT_GE(luts3, luts6);
+}
+
+TEST(Timing, RcaCalibration) {
+  // 16-bit RCA ~1.36 ns under the Virtex-6 model (paper: 1.365 ns).
+  const auto report = synthesize(netlist::build_rca(16));
+  EXPECT_NEAR(report.delay_ns, 1.365, 0.08);
+  EXPECT_EQ(report.area_luts, 16);
+}
+
+TEST(Timing, RcaDelayGrowsLinearly) {
+  const double d8 = synthesize(netlist::build_rca(8)).delay_ns;
+  const double d16 = synthesize(netlist::build_rca(16)).delay_ns;
+  const double d32 = synthesize(netlist::build_rca(32)).delay_ns;
+  EXPECT_LT(d8, d16);
+  EXPECT_LT(d16, d32);
+  // Increment is per-bit carry delay: doubling the extra bits doubles it.
+  EXPECT_NEAR(d32 - d16, 2.0 * (d16 - d8), 1e-9);
+}
+
+TEST(Timing, GearFasterThanRca) {
+  // The headline claim: GeAr's sum path beats the same-width RCA.
+  // (4,2) is one of the paper's Table I relaxed configurations.
+  const double rca = synthesize(netlist::build_rca(16)).delay_ns;
+  for (auto [r, p] : {std::pair{4, 2}, {4, 4}, {2, 2}}) {
+    const auto cfg = *core::GeArConfig::make_relaxed(16, r, p);
+    const auto rep = synthesize(netlist::build_gear(cfg));
+    EXPECT_LT(sum_path_delay(rep), rca) << cfg.name();
+  }
+}
+
+TEST(Timing, GearDelayGrowsWithL) {
+  const auto d1 = sum_path_delay(synthesize(
+      netlist::build_gear(core::GeArConfig::must(16, 4, 4))));  // L=8
+  const auto d2 = sum_path_delay(synthesize(
+      netlist::build_gear(core::GeArConfig::must(16, 4, 8))));  // L=12
+  EXPECT_LT(d1, d2);
+}
+
+TEST(Timing, GdaSlowerThanGearAtSameConfig) {
+  // Paper Table II: GDA pays for its CLA prediction tree and muxes.
+  for (auto [r, p] : {std::pair{1, 2}, {1, 4}, {2, 4}}) {
+    const auto gear = synthesize(
+        netlist::build_gear(core::GeArConfig::must(8, r, p)));
+    const auto gda = synthesize(netlist::build_gda(8, r, p));
+    EXPECT_GE(gda.delay_ns, sum_path_delay(gear) - 1e-9)
+        << "r=" << r << " p=" << p;
+  }
+}
+
+TEST(Timing, GdaAreaAtLeastGear) {
+  for (auto [r, p] : {std::pair{1, 3}, {2, 4}}) {
+    const auto gear = synthesize(
+        netlist::build_gear(core::GeArConfig::must(8, r, p),
+                            {.with_detection = false}));
+    const auto gda = synthesize(netlist::build_gda(8, r, p));
+    EXPECT_GE(gda.area_luts, gear.area_luts) << "r=" << r << " p=" << p;
+  }
+}
+
+TEST(Timing, PortArrivalsPresent) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  const auto rep = synthesize(netlist::build_gear(cfg));
+  EXPECT_TRUE(rep.timing.port_arrival.count("sum"));
+  EXPECT_TRUE(rep.timing.port_arrival.count("err"));
+  EXPECT_GT(rep.timing.port_arrival.at("sum"), 0.0);
+}
+
+TEST(Timing, CorrectionCostsAreaNotSumDelay) {
+  const auto cfg = core::GeArConfig::must(12, 4, 4);
+  const auto plain = synthesize(netlist::build_gear(cfg));
+  const auto ecc = synthesize(
+      netlist::build_gear(cfg, {.with_detection = true, .with_correction = true}));
+  EXPECT_GT(ecc.area_luts, plain.area_luts);
+}
+
+TEST(Timing, FanoutPenaltyMonotone) {
+  // A model property: raising the fan-out coefficient cannot reduce the
+  // reported delay.
+  const auto nl = netlist::build_aca1(16, 4);
+  DelayModel slow = DelayModel::virtex6();
+  slow.t_fanout *= 2.0;
+  EXPECT_GE(synthesize(nl, slow).delay_ns, synthesize(nl).delay_ns - 1e-12);
+}
+
+}  // namespace
+}  // namespace gear::synth

@@ -1,0 +1,89 @@
+// Wide (BitVec) GeAr adder tests, incl. cross-check vs the u64 model.
+#include <gtest/gtest.h>
+
+#include "core/adder.h"
+#include "core/wide_adder.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+namespace {
+
+BitVec random_vec(int width, stats::Rng& rng) {
+  BitVec v(width);
+  for (int i = 0; i < width; i += 64) {
+    const int chunk = std::min(64, width - i);
+    const std::uint64_t bits = rng.bits(chunk);
+    for (int b = 0; b < chunk; ++b) v.set_bit(i + b, (bits >> b) & 1ULL);
+  }
+  return v;
+}
+
+TEST(WideAdder, MatchesU64ModelAtPaperWidths) {
+  stats::Rng rng(81);
+  for (auto [n, r, p] :
+       {std::tuple{12, 4, 4}, {16, 2, 6}, {20, 5, 5}, {32, 8, 8}, {48, 8, 16}}) {
+    const GeArAdder narrow(GeArConfig::must(n, r, p));
+    const WideGeArAdder wide(*WideGeArLayout::make(n, r, p));
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t a = rng.bits(n);
+      const std::uint64_t b = rng.bits(n);
+      const WideAddResult res = wide.add(BitVec(n, a), BitVec(n, b));
+      ASSERT_EQ(res.sum.to_u64(), narrow.add_value(a, b))
+          << "n=" << n << " a=" << a << " b=" << b;
+      const AddResult nres = narrow.add(a, b);
+      ASSERT_EQ(res.error_detected(), nres.error_detected());
+    }
+  }
+}
+
+TEST(WideAdder, LayoutMatchesConfig) {
+  const auto wide = WideGeArLayout::make(16, 4, 4);
+  const auto cfg = GeArConfig::make(16, 4, 4);
+  ASSERT_TRUE(wide && cfg);
+  ASSERT_EQ(wide->k(), cfg->k());
+  for (int j = 0; j < wide->k(); ++j) {
+    EXPECT_EQ(wide->subs()[static_cast<std::size_t>(j)].win_lo, cfg->sub(j).win_lo);
+    EXPECT_EQ(wide->subs()[static_cast<std::size_t>(j)].res_hi, cfg->sub(j).res_hi);
+  }
+}
+
+TEST(WideAdder, Works128Bit) {
+  const WideGeArAdder adder(*WideGeArLayout::make(128, 4, 4));
+  stats::Rng rng(82);
+  int errors = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const BitVec a = random_vec(128, rng);
+    const BitVec b = random_vec(128, rng);
+    const WideAddResult res = adder.add(a, b);
+    const BitVec exact = adder.exact(a, b);
+    ASSERT_EQ(res.sum.width(), 129);
+    if (res.sum != exact) {
+      ++errors;
+      EXPECT_TRUE(res.error_detected());  // lowest erroneous always flagged
+      EXPECT_TRUE(res.sum < exact);       // missing carries only
+    }
+  }
+  EXPECT_GT(errors, 0);  // with L=8 over 30 boundaries errors are common
+}
+
+TEST(WideAdder, ExactWhenNoDetect128) {
+  const WideGeArAdder adder(*WideGeArLayout::make(96, 8, 8));
+  stats::Rng rng(83);
+  for (int i = 0; i < 2000; ++i) {
+    const BitVec a = random_vec(96, rng);
+    const BitVec b = random_vec(96, rng);
+    const WideAddResult res = adder.add(a, b);
+    if (!res.error_detected()) {
+      ASSERT_EQ(res.sum, adder.exact(a, b));
+    }
+  }
+}
+
+TEST(WideAdder, RejectsBadGeometry) {
+  EXPECT_FALSE(WideGeArLayout::make(16, 0, 4));
+  EXPECT_FALSE(WideGeArLayout::make(16, 4, 0));
+  EXPECT_FALSE(WideGeArLayout::make(8, 6, 6));
+}
+
+}  // namespace
+}  // namespace gear::core
