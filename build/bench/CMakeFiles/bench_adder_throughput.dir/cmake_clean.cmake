@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adder_throughput.dir/bench_adder_throughput.cc.o"
+  "CMakeFiles/bench_adder_throughput.dir/bench_adder_throughput.cc.o.d"
+  "bench_adder_throughput"
+  "bench_adder_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adder_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

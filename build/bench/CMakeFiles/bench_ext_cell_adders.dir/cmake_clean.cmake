@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cell_adders.dir/bench_ext_cell_adders.cc.o"
+  "CMakeFiles/bench_ext_cell_adders.dir/bench_ext_cell_adders.cc.o.d"
+  "bench_ext_cell_adders"
+  "bench_ext_cell_adders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cell_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multiplier.dir/bench_ext_multiplier.cc.o"
+  "CMakeFiles/bench_ext_multiplier.dir/bench_ext_multiplier.cc.o.d"
+  "bench_ext_multiplier"
+  "bench_ext_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pipeline.dir/bench_ext_pipeline.cc.o"
+  "CMakeFiles/bench_ext_pipeline.dir/bench_ext_pipeline.cc.o.d"
+  "bench_ext_pipeline"
+  "bench_ext_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_design_space.cc" "bench/CMakeFiles/bench_fig1_design_space.dir/bench_fig1_design_space.cc.o" "gcc" "bench/CMakeFiles/bench_fig1_design_space.dir/bench_fig1_design_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gear_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/adders/CMakeFiles/gear_adders.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/gear_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gear_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gear_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gear_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gear_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

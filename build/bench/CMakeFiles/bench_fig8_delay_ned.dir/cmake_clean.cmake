@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_delay_ned.dir/bench_fig8_delay_ned.cc.o"
+  "CMakeFiles/bench_fig8_delay_ned.dir/bench_fig8_delay_ned.cc.o.d"
+  "bench_fig8_delay_ned"
+  "bench_fig8_delay_ned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_delay_ned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

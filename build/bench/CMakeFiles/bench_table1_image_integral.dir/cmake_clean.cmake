@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_image_integral.dir/bench_table1_image_integral.cc.o"
+  "CMakeFiles/bench_table1_image_integral.dir/bench_table1_image_integral.cc.o.d"
+  "bench_table1_image_integral"
+  "bench_table1_image_integral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_image_integral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

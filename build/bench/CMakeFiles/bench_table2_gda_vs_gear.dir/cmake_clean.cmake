@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_gda_vs_gear.dir/bench_table2_gda_vs_gear.cc.o"
+  "CMakeFiles/bench_table2_gda_vs_gear.dir/bench_table2_gda_vs_gear.cc.o.d"
+  "bench_table2_gda_vs_gear"
+  "bench_table2_gda_vs_gear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_gda_vs_gear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

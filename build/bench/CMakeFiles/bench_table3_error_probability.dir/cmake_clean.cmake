@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_error_probability.dir/bench_table3_error_probability.cc.o"
+  "CMakeFiles/bench_table3_error_probability.dir/bench_table3_error_probability.cc.o.d"
+  "bench_table3_error_probability"
+  "bench_table3_error_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_error_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

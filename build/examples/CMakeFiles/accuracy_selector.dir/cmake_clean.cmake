@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_selector.dir/accuracy_selector.cpp.o"
+  "CMakeFiles/accuracy_selector.dir/accuracy_selector.cpp.o.d"
+  "accuracy_selector"
+  "accuracy_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_quality.dir/adaptive_quality.cpp.o"
+  "CMakeFiles/adaptive_quality.dir/adaptive_quality.cpp.o.d"
+  "adaptive_quality"
+  "adaptive_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

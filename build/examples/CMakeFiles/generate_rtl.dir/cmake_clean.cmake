@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_rtl.dir/generate_rtl.cpp.o"
+  "CMakeFiles/generate_rtl.dir/generate_rtl.cpp.o.d"
+  "generate_rtl"
+  "generate_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adders/adder.cc" "src/adders/CMakeFiles/gear_adders.dir/adder.cc.o" "gcc" "src/adders/CMakeFiles/gear_adders.dir/adder.cc.o.d"
+  "/root/repo/src/adders/cell_based.cc" "src/adders/CMakeFiles/gear_adders.dir/cell_based.cc.o" "gcc" "src/adders/CMakeFiles/gear_adders.dir/cell_based.cc.o.d"
+  "/root/repo/src/adders/eta.cc" "src/adders/CMakeFiles/gear_adders.dir/eta.cc.o" "gcc" "src/adders/CMakeFiles/gear_adders.dir/eta.cc.o.d"
+  "/root/repo/src/adders/exact.cc" "src/adders/CMakeFiles/gear_adders.dir/exact.cc.o" "gcc" "src/adders/CMakeFiles/gear_adders.dir/exact.cc.o.d"
+  "/root/repo/src/adders/gda.cc" "src/adders/CMakeFiles/gear_adders.dir/gda.cc.o" "gcc" "src/adders/CMakeFiles/gear_adders.dir/gda.cc.o.d"
+  "/root/repo/src/adders/gear_adapter.cc" "src/adders/CMakeFiles/gear_adders.dir/gear_adapter.cc.o" "gcc" "src/adders/CMakeFiles/gear_adders.dir/gear_adapter.cc.o.d"
+  "/root/repo/src/adders/loa.cc" "src/adders/CMakeFiles/gear_adders.dir/loa.cc.o" "gcc" "src/adders/CMakeFiles/gear_adders.dir/loa.cc.o.d"
+  "/root/repo/src/adders/multiplier.cc" "src/adders/CMakeFiles/gear_adders.dir/multiplier.cc.o" "gcc" "src/adders/CMakeFiles/gear_adders.dir/multiplier.cc.o.d"
+  "/root/repo/src/adders/registry.cc" "src/adders/CMakeFiles/gear_adders.dir/registry.cc.o" "gcc" "src/adders/CMakeFiles/gear_adders.dir/registry.cc.o.d"
+  "/root/repo/src/adders/speculative.cc" "src/adders/CMakeFiles/gear_adders.dir/speculative.cc.o" "gcc" "src/adders/CMakeFiles/gear_adders.dir/speculative.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gear_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gear_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

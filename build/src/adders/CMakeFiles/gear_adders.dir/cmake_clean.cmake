@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gear_adders.dir/adder.cc.o"
+  "CMakeFiles/gear_adders.dir/adder.cc.o.d"
+  "CMakeFiles/gear_adders.dir/cell_based.cc.o"
+  "CMakeFiles/gear_adders.dir/cell_based.cc.o.d"
+  "CMakeFiles/gear_adders.dir/eta.cc.o"
+  "CMakeFiles/gear_adders.dir/eta.cc.o.d"
+  "CMakeFiles/gear_adders.dir/exact.cc.o"
+  "CMakeFiles/gear_adders.dir/exact.cc.o.d"
+  "CMakeFiles/gear_adders.dir/gda.cc.o"
+  "CMakeFiles/gear_adders.dir/gda.cc.o.d"
+  "CMakeFiles/gear_adders.dir/gear_adapter.cc.o"
+  "CMakeFiles/gear_adders.dir/gear_adapter.cc.o.d"
+  "CMakeFiles/gear_adders.dir/loa.cc.o"
+  "CMakeFiles/gear_adders.dir/loa.cc.o.d"
+  "CMakeFiles/gear_adders.dir/multiplier.cc.o"
+  "CMakeFiles/gear_adders.dir/multiplier.cc.o.d"
+  "CMakeFiles/gear_adders.dir/registry.cc.o"
+  "CMakeFiles/gear_adders.dir/registry.cc.o.d"
+  "CMakeFiles/gear_adders.dir/speculative.cc.o"
+  "CMakeFiles/gear_adders.dir/speculative.cc.o.d"
+  "libgear_adders.a"
+  "libgear_adders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gear_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/design_space.cc" "src/analysis/CMakeFiles/gear_analysis.dir/design_space.cc.o" "gcc" "src/analysis/CMakeFiles/gear_analysis.dir/design_space.cc.o.d"
+  "/root/repo/src/analysis/metrics.cc" "src/analysis/CMakeFiles/gear_analysis.dir/metrics.cc.o" "gcc" "src/analysis/CMakeFiles/gear_analysis.dir/metrics.cc.o.d"
+  "/root/repo/src/analysis/pareto.cc" "src/analysis/CMakeFiles/gear_analysis.dir/pareto.cc.o" "gcc" "src/analysis/CMakeFiles/gear_analysis.dir/pareto.cc.o.d"
+  "/root/repo/src/analysis/propagation.cc" "src/analysis/CMakeFiles/gear_analysis.dir/propagation.cc.o" "gcc" "src/analysis/CMakeFiles/gear_analysis.dir/propagation.cc.o.d"
+  "/root/repo/src/analysis/selector.cc" "src/analysis/CMakeFiles/gear_analysis.dir/selector.cc.o" "gcc" "src/analysis/CMakeFiles/gear_analysis.dir/selector.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/analysis/CMakeFiles/gear_analysis.dir/table.cc.o" "gcc" "src/analysis/CMakeFiles/gear_analysis.dir/table.cc.o.d"
+  "/root/repo/src/analysis/timing_model.cc" "src/analysis/CMakeFiles/gear_analysis.dir/timing_model.cc.o" "gcc" "src/analysis/CMakeFiles/gear_analysis.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adders/CMakeFiles/gear_adders.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gear_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gear_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gear_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/gear_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gear_analysis.dir/design_space.cc.o"
+  "CMakeFiles/gear_analysis.dir/design_space.cc.o.d"
+  "CMakeFiles/gear_analysis.dir/metrics.cc.o"
+  "CMakeFiles/gear_analysis.dir/metrics.cc.o.d"
+  "CMakeFiles/gear_analysis.dir/pareto.cc.o"
+  "CMakeFiles/gear_analysis.dir/pareto.cc.o.d"
+  "CMakeFiles/gear_analysis.dir/propagation.cc.o"
+  "CMakeFiles/gear_analysis.dir/propagation.cc.o.d"
+  "CMakeFiles/gear_analysis.dir/selector.cc.o"
+  "CMakeFiles/gear_analysis.dir/selector.cc.o.d"
+  "CMakeFiles/gear_analysis.dir/table.cc.o"
+  "CMakeFiles/gear_analysis.dir/table.cc.o.d"
+  "CMakeFiles/gear_analysis.dir/timing_model.cc.o"
+  "CMakeFiles/gear_analysis.dir/timing_model.cc.o.d"
+  "libgear_analysis.a"
+  "libgear_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gear_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/generate.cc" "src/apps/CMakeFiles/gear_apps.dir/generate.cc.o" "gcc" "src/apps/CMakeFiles/gear_apps.dir/generate.cc.o.d"
+  "/root/repo/src/apps/image.cc" "src/apps/CMakeFiles/gear_apps.dir/image.cc.o" "gcc" "src/apps/CMakeFiles/gear_apps.dir/image.cc.o.d"
+  "/root/repo/src/apps/integral.cc" "src/apps/CMakeFiles/gear_apps.dir/integral.cc.o" "gcc" "src/apps/CMakeFiles/gear_apps.dir/integral.cc.o.d"
+  "/root/repo/src/apps/lpf.cc" "src/apps/CMakeFiles/gear_apps.dir/lpf.cc.o" "gcc" "src/apps/CMakeFiles/gear_apps.dir/lpf.cc.o.d"
+  "/root/repo/src/apps/quality.cc" "src/apps/CMakeFiles/gear_apps.dir/quality.cc.o" "gcc" "src/apps/CMakeFiles/gear_apps.dir/quality.cc.o.d"
+  "/root/repo/src/apps/sad.cc" "src/apps/CMakeFiles/gear_apps.dir/sad.cc.o" "gcc" "src/apps/CMakeFiles/gear_apps.dir/sad.cc.o.d"
+  "/root/repo/src/apps/sobel.cc" "src/apps/CMakeFiles/gear_apps.dir/sobel.cc.o" "gcc" "src/apps/CMakeFiles/gear_apps.dir/sobel.cc.o.d"
+  "/root/repo/src/apps/stream_engine.cc" "src/apps/CMakeFiles/gear_apps.dir/stream_engine.cc.o" "gcc" "src/apps/CMakeFiles/gear_apps.dir/stream_engine.cc.o.d"
+  "/root/repo/src/apps/trace.cc" "src/apps/CMakeFiles/gear_apps.dir/trace.cc.o" "gcc" "src/apps/CMakeFiles/gear_apps.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adders/CMakeFiles/gear_adders.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gear_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gear_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

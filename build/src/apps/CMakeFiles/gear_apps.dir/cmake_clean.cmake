@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gear_apps.dir/generate.cc.o"
+  "CMakeFiles/gear_apps.dir/generate.cc.o.d"
+  "CMakeFiles/gear_apps.dir/image.cc.o"
+  "CMakeFiles/gear_apps.dir/image.cc.o.d"
+  "CMakeFiles/gear_apps.dir/integral.cc.o"
+  "CMakeFiles/gear_apps.dir/integral.cc.o.d"
+  "CMakeFiles/gear_apps.dir/lpf.cc.o"
+  "CMakeFiles/gear_apps.dir/lpf.cc.o.d"
+  "CMakeFiles/gear_apps.dir/quality.cc.o"
+  "CMakeFiles/gear_apps.dir/quality.cc.o.d"
+  "CMakeFiles/gear_apps.dir/sad.cc.o"
+  "CMakeFiles/gear_apps.dir/sad.cc.o.d"
+  "CMakeFiles/gear_apps.dir/sobel.cc.o"
+  "CMakeFiles/gear_apps.dir/sobel.cc.o.d"
+  "CMakeFiles/gear_apps.dir/stream_engine.cc.o"
+  "CMakeFiles/gear_apps.dir/stream_engine.cc.o.d"
+  "CMakeFiles/gear_apps.dir/trace.cc.o"
+  "CMakeFiles/gear_apps.dir/trace.cc.o.d"
+  "libgear_apps.a"
+  "libgear_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gear_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

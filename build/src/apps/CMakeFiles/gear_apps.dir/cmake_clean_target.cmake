@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgear_apps.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/gear_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/gear_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/adder.cc" "src/core/CMakeFiles/gear_core.dir/adder.cc.o" "gcc" "src/core/CMakeFiles/gear_core.dir/adder.cc.o.d"
+  "/root/repo/src/core/bitvec.cc" "src/core/CMakeFiles/gear_core.dir/bitvec.cc.o" "gcc" "src/core/CMakeFiles/gear_core.dir/bitvec.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/gear_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/gear_core.dir/config.cc.o.d"
+  "/root/repo/src/core/correction.cc" "src/core/CMakeFiles/gear_core.dir/correction.cc.o" "gcc" "src/core/CMakeFiles/gear_core.dir/correction.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "src/core/CMakeFiles/gear_core.dir/coverage.cc.o" "gcc" "src/core/CMakeFiles/gear_core.dir/coverage.cc.o.d"
+  "/root/repo/src/core/error_model.cc" "src/core/CMakeFiles/gear_core.dir/error_model.cc.o" "gcc" "src/core/CMakeFiles/gear_core.dir/error_model.cc.o.d"
+  "/root/repo/src/core/signed_ops.cc" "src/core/CMakeFiles/gear_core.dir/signed_ops.cc.o" "gcc" "src/core/CMakeFiles/gear_core.dir/signed_ops.cc.o.d"
+  "/root/repo/src/core/verilog_gen.cc" "src/core/CMakeFiles/gear_core.dir/verilog_gen.cc.o" "gcc" "src/core/CMakeFiles/gear_core.dir/verilog_gen.cc.o.d"
+  "/root/repo/src/core/wide_adder.cc" "src/core/CMakeFiles/gear_core.dir/wide_adder.cc.o" "gcc" "src/core/CMakeFiles/gear_core.dir/wide_adder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/gear_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

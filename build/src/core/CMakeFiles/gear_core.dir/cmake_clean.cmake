@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gear_core.dir/adaptive.cc.o"
+  "CMakeFiles/gear_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/gear_core.dir/adder.cc.o"
+  "CMakeFiles/gear_core.dir/adder.cc.o.d"
+  "CMakeFiles/gear_core.dir/bitvec.cc.o"
+  "CMakeFiles/gear_core.dir/bitvec.cc.o.d"
+  "CMakeFiles/gear_core.dir/config.cc.o"
+  "CMakeFiles/gear_core.dir/config.cc.o.d"
+  "CMakeFiles/gear_core.dir/correction.cc.o"
+  "CMakeFiles/gear_core.dir/correction.cc.o.d"
+  "CMakeFiles/gear_core.dir/coverage.cc.o"
+  "CMakeFiles/gear_core.dir/coverage.cc.o.d"
+  "CMakeFiles/gear_core.dir/error_model.cc.o"
+  "CMakeFiles/gear_core.dir/error_model.cc.o.d"
+  "CMakeFiles/gear_core.dir/signed_ops.cc.o"
+  "CMakeFiles/gear_core.dir/signed_ops.cc.o.d"
+  "CMakeFiles/gear_core.dir/verilog_gen.cc.o"
+  "CMakeFiles/gear_core.dir/verilog_gen.cc.o.d"
+  "CMakeFiles/gear_core.dir/wide_adder.cc.o"
+  "CMakeFiles/gear_core.dir/wide_adder.cc.o.d"
+  "libgear_core.a"
+  "libgear_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gear_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

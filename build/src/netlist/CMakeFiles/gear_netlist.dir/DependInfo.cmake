@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/builder.cc" "src/netlist/CMakeFiles/gear_netlist.dir/builder.cc.o" "gcc" "src/netlist/CMakeFiles/gear_netlist.dir/builder.cc.o.d"
+  "/root/repo/src/netlist/circuits.cc" "src/netlist/CMakeFiles/gear_netlist.dir/circuits.cc.o" "gcc" "src/netlist/CMakeFiles/gear_netlist.dir/circuits.cc.o.d"
+  "/root/repo/src/netlist/dot.cc" "src/netlist/CMakeFiles/gear_netlist.dir/dot.cc.o" "gcc" "src/netlist/CMakeFiles/gear_netlist.dir/dot.cc.o.d"
+  "/root/repo/src/netlist/event_sim.cc" "src/netlist/CMakeFiles/gear_netlist.dir/event_sim.cc.o" "gcc" "src/netlist/CMakeFiles/gear_netlist.dir/event_sim.cc.o.d"
+  "/root/repo/src/netlist/fault.cc" "src/netlist/CMakeFiles/gear_netlist.dir/fault.cc.o" "gcc" "src/netlist/CMakeFiles/gear_netlist.dir/fault.cc.o.d"
+  "/root/repo/src/netlist/netlist.cc" "src/netlist/CMakeFiles/gear_netlist.dir/netlist.cc.o" "gcc" "src/netlist/CMakeFiles/gear_netlist.dir/netlist.cc.o.d"
+  "/root/repo/src/netlist/transform.cc" "src/netlist/CMakeFiles/gear_netlist.dir/transform.cc.o" "gcc" "src/netlist/CMakeFiles/gear_netlist.dir/transform.cc.o.d"
+  "/root/repo/src/netlist/verilog_emit.cc" "src/netlist/CMakeFiles/gear_netlist.dir/verilog_emit.cc.o" "gcc" "src/netlist/CMakeFiles/gear_netlist.dir/verilog_emit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gear_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gear_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

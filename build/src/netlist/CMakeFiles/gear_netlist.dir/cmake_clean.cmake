@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gear_netlist.dir/builder.cc.o"
+  "CMakeFiles/gear_netlist.dir/builder.cc.o.d"
+  "CMakeFiles/gear_netlist.dir/circuits.cc.o"
+  "CMakeFiles/gear_netlist.dir/circuits.cc.o.d"
+  "CMakeFiles/gear_netlist.dir/dot.cc.o"
+  "CMakeFiles/gear_netlist.dir/dot.cc.o.d"
+  "CMakeFiles/gear_netlist.dir/event_sim.cc.o"
+  "CMakeFiles/gear_netlist.dir/event_sim.cc.o.d"
+  "CMakeFiles/gear_netlist.dir/fault.cc.o"
+  "CMakeFiles/gear_netlist.dir/fault.cc.o.d"
+  "CMakeFiles/gear_netlist.dir/netlist.cc.o"
+  "CMakeFiles/gear_netlist.dir/netlist.cc.o.d"
+  "CMakeFiles/gear_netlist.dir/transform.cc.o"
+  "CMakeFiles/gear_netlist.dir/transform.cc.o.d"
+  "CMakeFiles/gear_netlist.dir/verilog_emit.cc.o"
+  "CMakeFiles/gear_netlist.dir/verilog_emit.cc.o.d"
+  "libgear_netlist.a"
+  "libgear_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gear_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

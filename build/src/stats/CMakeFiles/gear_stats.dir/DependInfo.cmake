@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/gear_stats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/gear_stats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/gear_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/gear_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/gear_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/gear_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/gear_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/gear_stats.dir/rng.cc.o.d"
+  "/root/repo/src/stats/running_stats.cc" "src/stats/CMakeFiles/gear_stats.dir/running_stats.cc.o" "gcc" "src/stats/CMakeFiles/gear_stats.dir/running_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

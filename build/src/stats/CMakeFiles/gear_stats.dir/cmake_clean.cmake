@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gear_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/gear_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/gear_stats.dir/distributions.cc.o"
+  "CMakeFiles/gear_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/gear_stats.dir/histogram.cc.o"
+  "CMakeFiles/gear_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/gear_stats.dir/rng.cc.o"
+  "CMakeFiles/gear_stats.dir/rng.cc.o.d"
+  "CMakeFiles/gear_stats.dir/running_stats.cc.o"
+  "CMakeFiles/gear_stats.dir/running_stats.cc.o.d"
+  "libgear_stats.a"
+  "libgear_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gear_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/lut_map.cc" "src/synth/CMakeFiles/gear_synth.dir/lut_map.cc.o" "gcc" "src/synth/CMakeFiles/gear_synth.dir/lut_map.cc.o.d"
+  "/root/repo/src/synth/power.cc" "src/synth/CMakeFiles/gear_synth.dir/power.cc.o" "gcc" "src/synth/CMakeFiles/gear_synth.dir/power.cc.o.d"
+  "/root/repo/src/synth/report.cc" "src/synth/CMakeFiles/gear_synth.dir/report.cc.o" "gcc" "src/synth/CMakeFiles/gear_synth.dir/report.cc.o.d"
+  "/root/repo/src/synth/timing.cc" "src/synth/CMakeFiles/gear_synth.dir/timing.cc.o" "gcc" "src/synth/CMakeFiles/gear_synth.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/gear_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gear_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gear_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

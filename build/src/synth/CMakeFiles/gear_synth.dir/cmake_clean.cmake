@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gear_synth.dir/lut_map.cc.o"
+  "CMakeFiles/gear_synth.dir/lut_map.cc.o.d"
+  "CMakeFiles/gear_synth.dir/power.cc.o"
+  "CMakeFiles/gear_synth.dir/power.cc.o.d"
+  "CMakeFiles/gear_synth.dir/report.cc.o"
+  "CMakeFiles/gear_synth.dir/report.cc.o.d"
+  "CMakeFiles/gear_synth.dir/timing.cc.o"
+  "CMakeFiles/gear_synth.dir/timing.cc.o.d"
+  "libgear_synth.a"
+  "libgear_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gear_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive.cc" "tests/CMakeFiles/gear_tests.dir/test_adaptive.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_adaptive.cc.o.d"
+  "/root/repo/tests/test_adders.cc" "tests/CMakeFiles/gear_tests.dir/test_adders.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_adders.cc.o.d"
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/gear_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/gear_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_bitvec.cc" "tests/CMakeFiles/gear_tests.dir/test_bitvec.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_bitvec.cc.o.d"
+  "/root/repo/tests/test_carry_in.cc" "tests/CMakeFiles/gear_tests.dir/test_carry_in.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_carry_in.cc.o.d"
+  "/root/repo/tests/test_cell_based.cc" "tests/CMakeFiles/gear_tests.dir/test_cell_based.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_cell_based.cc.o.d"
+  "/root/repo/tests/test_circuits.cc" "tests/CMakeFiles/gear_tests.dir/test_circuits.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_circuits.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/gear_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_correction.cc" "tests/CMakeFiles/gear_tests.dir/test_correction.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_correction.cc.o.d"
+  "/root/repo/tests/test_coverage.cc" "tests/CMakeFiles/gear_tests.dir/test_coverage.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_coverage.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/gear_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_differential.cc.o.d"
+  "/root/repo/tests/test_dot.cc" "tests/CMakeFiles/gear_tests.dir/test_dot.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_dot.cc.o.d"
+  "/root/repo/tests/test_error_model.cc" "tests/CMakeFiles/gear_tests.dir/test_error_model.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_error_model.cc.o.d"
+  "/root/repo/tests/test_event_sim.cc" "tests/CMakeFiles/gear_tests.dir/test_event_sim.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_event_sim.cc.o.d"
+  "/root/repo/tests/test_fault.cc" "tests/CMakeFiles/gear_tests.dir/test_fault.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_fault.cc.o.d"
+  "/root/repo/tests/test_gda_select.cc" "tests/CMakeFiles/gear_tests.dir/test_gda_select.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_gda_select.cc.o.d"
+  "/root/repo/tests/test_gear_adder.cc" "tests/CMakeFiles/gear_tests.dir/test_gear_adder.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_gear_adder.cc.o.d"
+  "/root/repo/tests/test_hetero.cc" "tests/CMakeFiles/gear_tests.dir/test_hetero.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_hetero.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/gear_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/gear_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_multiplier.cc" "tests/CMakeFiles/gear_tests.dir/test_multiplier.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_multiplier.cc.o.d"
+  "/root/repo/tests/test_netlist.cc" "tests/CMakeFiles/gear_tests.dir/test_netlist.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_netlist.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/gear_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_propagation.cc" "tests/CMakeFiles/gear_tests.dir/test_propagation.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_propagation.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/gear_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_selector.cc" "tests/CMakeFiles/gear_tests.dir/test_selector.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_selector.cc.o.d"
+  "/root/repo/tests/test_signed_ops.cc" "tests/CMakeFiles/gear_tests.dir/test_signed_ops.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_signed_ops.cc.o.d"
+  "/root/repo/tests/test_sobel.cc" "tests/CMakeFiles/gear_tests.dir/test_sobel.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_sobel.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/gear_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_stream_engine.cc" "tests/CMakeFiles/gear_tests.dir/test_stream_engine.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_stream_engine.cc.o.d"
+  "/root/repo/tests/test_synth.cc" "tests/CMakeFiles/gear_tests.dir/test_synth.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_synth.cc.o.d"
+  "/root/repo/tests/test_transform.cc" "tests/CMakeFiles/gear_tests.dir/test_transform.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_transform.cc.o.d"
+  "/root/repo/tests/test_verilog_gen.cc" "tests/CMakeFiles/gear_tests.dir/test_verilog_gen.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_verilog_gen.cc.o.d"
+  "/root/repo/tests/test_wide_adder.cc" "tests/CMakeFiles/gear_tests.dir/test_wide_adder.cc.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_wide_adder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gear_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/adders/CMakeFiles/gear_adders.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/gear_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gear_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gear_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gear_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gear_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
