@@ -1,12 +1,18 @@
 // Model-evaluation throughput (google-benchmark): how fast each bit-level
 // adder model runs in simulation. This is a property of the C++ models,
 // not of the hardware — it bounds how large the Monte-Carlo and kernel
-// experiments can be.
+// experiments can be. The BM_Parallel* fixtures sweep the executor over
+// thread counts 1/2/4/8 (items/s == trials/s, so the speedup over the
+// Arg(1) row is read directly off the report); results are bit-identical
+// across the sweep by the shard/merge determinism contract.
 #include <benchmark/benchmark.h>
 
 #include "adders/registry.h"
+#include "apps/stream_engine.h"
 #include "core/adder.h"
 #include "core/correction.h"
+#include "core/error_model.h"
+#include "stats/parallel.h"
 #include "stats/rng.h"
 
 namespace {
@@ -64,6 +70,38 @@ void BM_GearCorrection(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+void BM_ParallelMcErrorProbability(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  gear::stats::ParallelExecutor exec(threads);
+  const auto cfg = gear::core::GeArConfig::must(32, 4, 4);
+  constexpr std::uint64_t kTrials = 1 << 21;
+  for (auto _ : state) {
+    const auto est = gear::core::mc_error_probability(cfg, kTrials, /*seed=*/99, exec);
+    benchmark::DoNotOptimize(est.errors);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTrials));
+  state.counters["threads"] = threads;
+}
+
+void BM_ParallelStreamEngine(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  gear::stats::ParallelExecutor exec(threads);
+  const gear::apps::StreamAdderEngine engine(gear::core::GeArConfig::must(16, 2, 2),
+                                             gear::core::Corrector::all_enabled());
+  const auto factory = [](gear::stats::Rng rng) {
+    return std::make_unique<gear::stats::UniformSource>(16, rng);
+  };
+  constexpr std::uint64_t kOps = 1 << 20;
+  for (auto _ : state) {
+    const auto stats = engine.run(factory, kOps, /*seed=*/99, exec);
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kOps));
+  state.counters["threads"] = threads;
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_AdderModel, rca16, std::string("rca:16"));
@@ -78,3 +116,9 @@ BENCHMARK_CAPTURE(BM_AdderModel, gear_ecc_16_4_4, std::string("gear+ecc:16:4:4")
 BENCHMARK_CAPTURE(BM_AdderModel, loa_16_8, std::string("loa:16:8"));
 BENCHMARK(BM_GearCoreAddValue);
 BENCHMARK(BM_GearCorrection);
+BENCHMARK(BM_ParallelMcErrorProbability)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelStreamEngine)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);

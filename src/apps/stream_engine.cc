@@ -6,8 +6,16 @@ StreamAdderEngine::StreamAdderEngine(core::GeArConfig cfg,
                                      std::uint64_t correction_mask)
     : corrector_(std::move(cfg), correction_mask) {}
 
+void StreamStats::merge(const StreamStats& other) {
+  operations += other.operations;
+  cycles += other.cycles;
+  stall_cycles += other.stall_cycles;
+  corrected_ops += other.corrected_ops;
+  wrong_results += other.wrong_results;
+}
+
 void StreamAdderEngine::feed(StreamStats& stats, std::uint64_t a,
-                             std::uint64_t b) {
+                             std::uint64_t b) const {
   const core::CorrectionResult res = corrector_.add(a, b);
   ++stats.operations;
   stats.cycles += static_cast<std::uint64_t>(res.cycles);
@@ -17,7 +25,7 @@ void StreamAdderEngine::feed(StreamStats& stats, std::uint64_t a,
 }
 
 StreamStats StreamAdderEngine::run(stats::OperandSource& source,
-                                   std::uint64_t ops) {
+                                   std::uint64_t ops) const {
   StreamStats stats;
   for (std::uint64_t i = 0; i < ops; ++i) {
     const auto [a, b] = source.next();
@@ -26,10 +34,30 @@ StreamStats StreamAdderEngine::run(stats::OperandSource& source,
   return stats;
 }
 
-StreamStats StreamAdderEngine::run(const std::vector<stats::OperandPair>& operands) {
+StreamStats StreamAdderEngine::run(const std::vector<stats::OperandPair>& operands) const {
   StreamStats stats;
   for (const auto& [a, b] : operands) feed(stats, a, b);
   return stats;
+}
+
+StreamStats StreamAdderEngine::run(const SourceFactory& make_source,
+                                   std::uint64_t ops, std::uint64_t master_seed,
+                                   stats::ParallelExecutor& exec,
+                                   std::uint64_t shard_size) const {
+  const auto shards = stats::ParallelExecutor::make_shards(ops, shard_size);
+  auto partials = exec.map<StreamStats>(shards.size(), [&](std::size_t i) {
+    auto source = make_source(
+        stats::ParallelExecutor::shard_rng(master_seed, shards[i].index));
+    StreamStats stats;
+    for (std::uint64_t op = 0; op < shards[i].size(); ++op) {
+      const auto [a, b] = source->next();
+      feed(stats, a, b);
+    }
+    return stats;
+  });
+  StreamStats total;
+  for (const auto& partial : partials) total.merge(partial);
+  return total;
 }
 
 }  // namespace gear::apps

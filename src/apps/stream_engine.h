@@ -11,11 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/config.h"
 #include "core/correction.h"
 #include "stats/distributions.h"
+#include "stats/parallel.h"
 
 namespace gear::apps {
 
@@ -25,6 +28,11 @@ struct StreamStats {
   std::uint64_t stall_cycles = 0;
   std::uint64_t corrected_ops = 0;  ///< ops that needed >= 1 correction
   std::uint64_t wrong_results = 0; ///< residual errors after correction
+
+  /// Pools another shard's counters into this one (parallel merge). All
+  /// fields are additive, so merging shards in index order reproduces the
+  /// sequential canonical run exactly.
+  void merge(const StreamStats& other);
 
   double cycles_per_op() const {
     return operations ? static_cast<double>(cycles) /
@@ -43,16 +51,30 @@ class StreamAdderEngine {
   /// entirely (pure 1-cycle approximate adds).
   StreamAdderEngine(core::GeArConfig cfg, std::uint64_t correction_mask);
 
+  /// Builds a shard-local operand source from that shard's RNG stream.
+  using SourceFactory =
+      std::function<std::unique_ptr<stats::OperandSource>(stats::Rng)>;
+
   /// Feeds `ops` operand pairs from `source`; returns per-run stats.
-  StreamStats run(stats::OperandSource& source, std::uint64_t ops);
+  StreamStats run(stats::OperandSource& source, std::uint64_t ops) const;
 
   /// Feeds an explicit operand list (e.g. a traced kernel).
-  StreamStats run(const std::vector<stats::OperandPair>& operands);
+  StreamStats run(const std::vector<stats::OperandPair>& operands) const;
+
+  /// Deterministic parallel run: `ops` is split into fixed-size shards;
+  /// shard i streams from make_source(ParallelExecutor::shard_rng(
+  /// master_seed, i)) and the per-shard stats merge in shard index order,
+  /// so the result is bit-identical for every executor thread count (see
+  /// DESIGN.md, "Shard/merge determinism contract").
+  StreamStats run(const SourceFactory& make_source, std::uint64_t ops,
+                  std::uint64_t master_seed, stats::ParallelExecutor& exec,
+                  std::uint64_t shard_size =
+                      stats::ParallelExecutor::kDefaultShardSize) const;
 
   const core::Corrector& corrector() const { return corrector_; }
 
  private:
-  void feed(StreamStats& stats, std::uint64_t a, std::uint64_t b);
+  void feed(StreamStats& stats, std::uint64_t a, std::uint64_t b) const;
   core::Corrector corrector_;
 };
 

@@ -8,6 +8,18 @@ namespace {
 inline std::uint64_t low_mask(int bits) {
   return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
 }
+
+/// Result-region bits sub-adder j contributes, already shifted into place.
+/// The top sub-adder (every layout ends at bit N-1) contributes one extra
+/// bit — its window carry-out lands at bit N of the sum. Shared by add()
+/// and add_value() so the two paths cannot diverge on custom or relaxed
+/// layouts; pinned by Differential.AddMatchesAddValueEveryLayout.
+inline std::uint64_t result_bits(const gear::core::SubAdderLayout& s, bool top,
+                                 std::uint64_t wsum) {
+  const int rel = s.res_lo - s.win_lo;
+  const int out_bits = s.result_len() + (top ? 1 : 0);
+  return ((wsum >> rel) & low_mask(out_bits)) << s.res_lo;
+}
 }  // namespace
 
 bool AddResult::error_detected() const {
@@ -51,13 +63,8 @@ AddResult GeArAdder::add(std::uint64_t a, std::uint64_t b, bool carry_in) const 
     const std::uint64_t pmask = low_mask(plen);
     st.all_propagate = (((wa ^ wb) & pmask) == pmask);
 
-    // Result-region bits relative to the window start at res_lo - win_lo.
-    const int rel = s.res_lo - s.win_lo;
-    const std::uint64_t res = (wsum >> rel) & low_mask(s.result_len());
-    sum |= res << s.res_lo;
+    sum |= result_bits(s, /*top=*/j + 1 == layout.size(), wsum);
   }
-  // Bit N: carry-out of the top sub-adder.
-  sum |= static_cast<std::uint64_t>(out.subs.back().carry_out) << config_.n();
 
   // Detection: c_p(j) AND c_o(j-1) for j >= 1 (sub-adder 0 is exact).
   for (std::size_t j = 1; j < layout.size(); ++j) {
@@ -74,16 +81,13 @@ std::uint64_t GeArAdder::add_value(std::uint64_t a, std::uint64_t b,
   b &= mask_;
   const auto& layout = config_.layout();
   std::uint64_t sum = 0;
-  bool first = true;
-  for (const auto& s : layout) {
+  for (std::size_t j = 0; j < layout.size(); ++j) {
+    const auto& s = layout[j];
     const int wlen = s.window_len();
     const std::uint64_t wa = (a >> s.win_lo) & low_mask(wlen);
     const std::uint64_t wb = (b >> s.win_lo) & low_mask(wlen);
-    const std::uint64_t wsum = wa + wb + ((first && carry_in) ? 1 : 0);
-    first = false;
-    const int rel = s.res_lo - s.win_lo;
-    sum |= ((wsum >> rel) & low_mask(s.result_len() + (s.res_hi == config_.n() - 1 ? 1 : 0)))
-           << s.res_lo;
+    const std::uint64_t wsum = wa + wb + ((j == 0 && carry_in) ? 1 : 0);
+    sum |= result_bits(s, /*top=*/j + 1 == layout.size(), wsum);
   }
   return sum;
 }

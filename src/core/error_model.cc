@@ -31,6 +31,18 @@ double event_union_prob(const SubAdderLayout& s, int r, int frontier) {
 /// Largest lookback distance d for which sub-adder j-d's prediction window
 /// can overlap sub-adder j's generate region. Computed from the actual
 /// layout so relaxed top windows are handled.
+///
+/// Overlap condition audit: membership of j-d in an inclusion-exclusion
+/// subset restricts j's generate positions to >= frontier = res_lo(j-d)
+/// (event_union_prob). That restriction changes the union probability iff
+/// the frontier cuts into j's generate region [max(win_lo(j) - R, 0),
+/// win_lo(j) - 1], i.e. iff res_lo(j-d) > max(win_lo(j) - R, 0); equality
+/// leaves the region intact, so strict `>` is correct, not `>=`. The
+/// max(.., 0) clamp may be dropped because res_lo >= 1 for every j >= 1,
+/// which makes the comparison vacuously true whenever win_lo(j) - R < 0.
+/// Pinned by ErrorModel.ThreeWayDifferentialRandomConfigs, which would
+/// diverge from the subset enumeration (it uses the exact frontier with no
+/// span cap) if the span were off by one.
 int constraint_span(const GeArConfig& cfg) {
   const int k = cfg.k();
   int span = 1;
@@ -208,22 +220,62 @@ double exact_error_probability(const GeArConfig& cfg) {
   return 1.0 - survive;
 }
 
-McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials,
-                                     stats::Rng& rng) {
-  assert(trials > 0);
-  const GeArAdder adder(cfg);
+namespace {
+
+/// One shard's worth of error-count trials; the sequential drivers are the
+/// single-chunk case, so both paths share one kernel.
+std::uint64_t mc_error_chunk(const GeArAdder& adder, int n, std::uint64_t trials,
+                             stats::Rng& rng) {
   std::uint64_t errors = 0;
   for (std::uint64_t t = 0; t < trials; ++t) {
-    const std::uint64_t a = rng.bits(cfg.n());
-    const std::uint64_t b = rng.bits(cfg.n());
+    const std::uint64_t a = rng.bits(n);
+    const std::uint64_t b = rng.bits(n);
     if (adder.add_value(a, b) != adder.exact(a, b)) ++errors;
   }
+  return errors;
+}
+
+McErrorEstimate finish_estimate(std::uint64_t errors, std::uint64_t trials) {
   McErrorEstimate est;
   est.trials = trials;
   est.errors = errors;
   est.p = static_cast<double>(errors) / static_cast<double>(trials);
   est.ci = stats::wilson_ci(errors, trials);
   return est;
+}
+
+}  // namespace
+
+void McErrorEstimate::merge(const McErrorEstimate& other) {
+  trials += other.trials;
+  errors += other.errors;
+  p = trials ? static_cast<double>(errors) / static_cast<double>(trials) : 0.0;
+  ci = stats::wilson_ci(errors, trials);
+}
+
+McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials,
+                                     stats::Rng& rng) {
+  assert(trials > 0);
+  const GeArAdder adder(cfg);
+  return finish_estimate(mc_error_chunk(adder, cfg.n(), trials, rng), trials);
+}
+
+McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials,
+                                     std::uint64_t master_seed,
+                                     stats::ParallelExecutor& exec,
+                                     std::uint64_t shard_size) {
+  assert(trials > 0);
+  const GeArAdder adder(cfg);
+  const auto shards = stats::ParallelExecutor::make_shards(trials, shard_size);
+  const auto errors = exec.map<std::uint64_t>(shards.size(), [&](std::size_t i) {
+    stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
+    return mc_error_chunk(adder, cfg.n(), shards[i].size(), rng);
+  });
+  // Canonical merge: ascending shard index (associative here, but the
+  // contract is what every driver documents and tests pin).
+  std::uint64_t total_errors = 0;
+  for (std::uint64_t e : errors) total_errors += e;
+  return finish_estimate(total_errors, trials);
 }
 
 double exhaustive_error_probability(const GeArConfig& cfg) {
@@ -262,13 +314,14 @@ double exhaustive_med(const GeArConfig& cfg) {
   return acc / static_cast<double>(limit * limit);
 }
 
-stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
+namespace {
+
+stats::SparseHistogram mc_distribution_chunk(const GeArAdder& adder, int n,
                                              std::uint64_t trials, stats::Rng& rng) {
-  const GeArAdder adder(cfg);
   stats::SparseHistogram hist;
   for (std::uint64_t t = 0; t < trials; ++t) {
-    const std::uint64_t a = rng.bits(cfg.n());
-    const std::uint64_t b = rng.bits(cfg.n());
+    const std::uint64_t a = rng.bits(n);
+    const std::uint64_t b = rng.bits(n);
     const auto approx = static_cast<std::int64_t>(adder.add_value(a, b));
     const auto exact = static_cast<std::int64_t>(adder.exact(a, b));
     hist.add(approx - exact);
@@ -276,21 +329,84 @@ stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
   return hist;
 }
 
-std::vector<double> mc_detect_count_distribution(const GeArConfig& cfg,
-                                                 std::uint64_t trials,
-                                                 stats::Rng& rng) {
-  const GeArAdder adder(cfg);
-  std::vector<std::uint64_t> counts(static_cast<std::size_t>(cfg.k()) + 1, 0);
+std::vector<std::uint64_t> mc_detect_chunk(const GeArAdder& adder, int n, int k,
+                                           std::uint64_t trials, stats::Rng& rng) {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(k) + 1, 0);
   for (std::uint64_t t = 0; t < trials; ++t) {
-    const std::uint64_t a = rng.bits(cfg.n());
-    const std::uint64_t b = rng.bits(cfg.n());
+    const std::uint64_t a = rng.bits(n);
+    const std::uint64_t b = rng.bits(n);
     const AddResult r = adder.add(a, b);
     ++counts[static_cast<std::size_t>(r.detect_count())];
   }
+  return counts;
+}
+
+std::vector<double> normalize_counts(const std::vector<std::uint64_t>& counts,
+                                     std::uint64_t trials) {
   std::vector<double> out(counts.size());
   for (std::size_t i = 0; i < counts.size(); ++i)
     out[i] = static_cast<double>(counts[i]) / static_cast<double>(trials);
   return out;
+}
+
+}  // namespace
+
+stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
+                                             std::uint64_t trials, stats::Rng& rng) {
+  const GeArAdder adder(cfg);
+  return mc_distribution_chunk(adder, cfg.n(), trials, rng);
+}
+
+stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
+                                             std::uint64_t trials,
+                                             std::uint64_t master_seed,
+                                             stats::ParallelExecutor& exec,
+                                             std::uint64_t shard_size) {
+  const GeArAdder adder(cfg);
+  const auto shards = stats::ParallelExecutor::make_shards(trials, shard_size);
+  auto partials =
+      exec.map<stats::SparseHistogram>(shards.size(), [&](std::size_t i) {
+        stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
+        return mc_distribution_chunk(adder, cfg.n(), shards[i].size(), rng);
+      });
+  stats::SparseHistogram hist;
+  for (const auto& partial : partials) hist.merge(partial);
+  return hist;
+}
+
+void merge_detect_counts(std::vector<std::uint64_t>& into,
+                         const std::vector<std::uint64_t>& from) {
+  if (into.empty()) {
+    into = from;
+    return;
+  }
+  assert(into.size() == from.size());
+  for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+}
+
+std::vector<double> mc_detect_count_distribution(const GeArConfig& cfg,
+                                                 std::uint64_t trials,
+                                                 stats::Rng& rng) {
+  const GeArAdder adder(cfg);
+  return normalize_counts(mc_detect_chunk(adder, cfg.n(), cfg.k(), trials, rng),
+                          trials);
+}
+
+std::vector<double> mc_detect_count_distribution(const GeArConfig& cfg,
+                                                 std::uint64_t trials,
+                                                 std::uint64_t master_seed,
+                                                 stats::ParallelExecutor& exec,
+                                                 std::uint64_t shard_size) {
+  const GeArAdder adder(cfg);
+  const auto shards = stats::ParallelExecutor::make_shards(trials, shard_size);
+  auto partials =
+      exec.map<std::vector<std::uint64_t>>(shards.size(), [&](std::size_t i) {
+        stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
+        return mc_detect_chunk(adder, cfg.n(), cfg.k(), shards[i].size(), rng);
+      });
+  std::vector<std::uint64_t> counts;
+  for (const auto& partial : partials) merge_detect_counts(counts, partial);
+  return normalize_counts(counts, trials);
 }
 
 }  // namespace gear::core

@@ -27,6 +27,7 @@
 #include "core/config.h"
 #include "stats/bootstrap.h"
 #include "stats/histogram.h"
+#include "stats/parallel.h"
 #include "stats/rng.h"
 
 namespace gear::core {
@@ -57,9 +58,24 @@ struct McErrorEstimate {
   stats::ConfidenceInterval ci;
   std::uint64_t trials = 0;
   std::uint64_t errors = 0;
+
+  /// Pools another estimate over the same configuration (parallel shard
+  /// merge); p and the CI are recomputed from the pooled counts.
+  void merge(const McErrorEstimate& other);
 };
 McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials,
                                      stats::Rng& rng);
+
+/// Deterministic parallel Monte Carlo: `trials` is split into fixed-size
+/// shards, shard i draws from ParallelExecutor::shard_rng(master_seed, i),
+/// and the per-shard counts are merged in shard index order. The result is
+/// bit-identical for every executor thread count (see DESIGN.md,
+/// "Shard/merge determinism contract"); it intentionally differs from the
+/// sequential overload above, which consumes the caller's single stream.
+McErrorEstimate mc_error_probability(
+    const GeArConfig& cfg, std::uint64_t trials, std::uint64_t master_seed,
+    stats::ParallelExecutor& exec,
+    std::uint64_t shard_size = stats::ParallelExecutor::kDefaultShardSize);
 
 /// Exhaustive P(error) over all 2^(2N) operand pairs. Requires N <= 12.
 double exhaustive_error_probability(const GeArConfig& cfg);
@@ -88,11 +104,30 @@ double exhaustive_med(const GeArConfig& cfg);
 stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
                                              std::uint64_t trials, stats::Rng& rng);
 
+/// Parallel variant; same shard/merge contract as the parallel
+/// mc_error_probability.
+stats::SparseHistogram mc_error_distribution(
+    const GeArConfig& cfg, std::uint64_t trials, std::uint64_t master_seed,
+    stats::ParallelExecutor& exec,
+    std::uint64_t shard_size = stats::ParallelExecutor::kDefaultShardSize);
+
 /// Probability that exactly `c` sub-adders flag an error simultaneously,
 /// estimated by Monte Carlo; index c of the returned vector (size k).
 /// Used by the correction-cycle model.
 std::vector<double> mc_detect_count_distribution(const GeArConfig& cfg,
                                                  std::uint64_t trials,
                                                  stats::Rng& rng);
+
+/// Parallel variant; same shard/merge contract as the parallel
+/// mc_error_probability.
+std::vector<double> mc_detect_count_distribution(
+    const GeArConfig& cfg, std::uint64_t trials, std::uint64_t master_seed,
+    stats::ParallelExecutor& exec,
+    std::uint64_t shard_size = stats::ParallelExecutor::kDefaultShardSize);
+
+/// Element-wise pooling of per-shard detect-count tallies. `into` adopts
+/// `from`'s size when empty.
+void merge_detect_counts(std::vector<std::uint64_t>& into,
+                         const std::vector<std::uint64_t>& from);
 
 }  // namespace gear::core

@@ -28,6 +28,15 @@ void Histogram::add(double x, std::uint64_t weight) {
   counts_[idx] += weight;
 }
 
+void Histogram::merge(const Histogram& other) {
+  assert(lo_ == other.lo_ && hi_ == other.hi_ &&
+         counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
 double Histogram::bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
 
@@ -51,6 +60,11 @@ double Histogram::quantile(double q) const {
 void SparseHistogram::add(std::int64_t key, std::uint64_t weight) {
   counts_[key] += weight;
   total_ += weight;
+}
+
+void SparseHistogram::merge(const SparseHistogram& other) {
+  for (const auto& [key, weight] : other.counts_) counts_[key] += weight;
+  total_ += other.total_;
 }
 
 std::uint64_t SparseHistogram::count(std::int64_t key) const {

@@ -20,6 +20,10 @@ class Histogram {
 
   void add(double x, std::uint64_t weight = 1);
 
+  /// Combines another histogram with identical (lo, hi, bins) geometry
+  /// into this one (parallel shard merge).
+  void merge(const Histogram& other);
+
   std::uint64_t total() const { return total_; }
   std::size_t bin_count() const { return counts_.size(); }
   std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
@@ -45,6 +49,10 @@ class Histogram {
 class SparseHistogram {
  public:
   void add(std::int64_t key, std::uint64_t weight = 1);
+
+  /// Adds another histogram's counts into this one (parallel shard
+  /// merge). Key-wise addition, so merge order never matters.
+  void merge(const SparseHistogram& other);
 
   std::uint64_t total() const { return total_; }
   std::uint64_t count(std::int64_t key) const;

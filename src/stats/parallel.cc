@@ -1,0 +1,118 @@
+#include "stats/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+
+namespace gear::stats {
+
+// One for_each invocation. Heap-allocated and shared with the workers so
+// a worker that wakes late (after the job already completed and a new one
+// started) still holds the old, fully-claimed job and can never claim an
+// index of — or call the callable of — a job it was not dispatched for.
+struct ParallelExecutor::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex error_mu;
+  std::exception_ptr error;  // first exception thrown by fn
+};
+
+ParallelExecutor::ParallelExecutor(int threads) {
+  int want = threads > 0 ? threads
+                         : static_cast<int>(std::thread::hardware_concurrency());
+  want = std::max(want, 1);
+  workers_.reserve(static_cast<std::size_t>(want - 1));
+  for (int i = 0; i < want - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::vector<Shard> ParallelExecutor::make_shards(std::uint64_t total,
+                                                 std::uint64_t shard_size) {
+  if (shard_size == 0) shard_size = kDefaultShardSize;
+  std::vector<Shard> out;
+  std::size_t index = 0;
+  for (std::uint64_t begin = 0; begin < total; begin += shard_size) {
+    out.push_back({index++, begin, std::min(begin + shard_size, total)});
+  }
+  return out;
+}
+
+Rng ParallelExecutor::shard_rng(std::uint64_t master_seed,
+                                std::size_t shard_index) {
+  return Rng::substream(master_seed, "shard:" + std::to_string(shard_index));
+}
+
+void ParallelExecutor::run_job(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    job.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ParallelExecutor::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    if (!job) continue;
+    run_job(*job);
+    if (job->completed.load(std::memory_order_acquire) >= job->n) {
+      // Possibly the last finisher: wake the caller. The lock pairs with
+      // the caller's predicate check so the notify cannot be lost.
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelExecutor::for_each(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  if (workers_.empty()) {
+    run_job(*job);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_ = job;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    run_job(*job);  // the calling thread works too
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return job->completed.load(std::memory_order_acquire) >= job->n;
+    });
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace gear::stats

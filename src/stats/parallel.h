@@ -1,0 +1,95 @@
+// Deterministic parallel execution for Monte-Carlo and streaming sweeps.
+//
+// Every stochastic driver in this repository shards its trial count into
+// fixed-size chunks, gives shard i an independent RNG derived as
+// Rng::substream(master_seed, "shard:<i>"), runs the chunks on a thread
+// pool, and merges the per-shard results in ascending shard index order.
+// The shard geometry depends only on (total, shard_size) — never on the
+// thread count — so results are bit-identical for any pool width,
+// including the inline single-threaded fallback. The canonical result is
+// therefore "run the shards sequentially in index order and merge"; the
+// pool is free to execute them in any interleaving. See DESIGN.md,
+// "Shard/merge determinism contract".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace gear::stats {
+
+/// Half-open trial range [begin, end) assigned to one shard.
+struct Shard {
+  std::size_t index = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  std::uint64_t size() const { return end - begin; }
+};
+
+/// Fork/join thread pool. Construction spawns the workers once; each
+/// for_each() call distributes indices across them and blocks until all
+/// are done. The calling thread participates in the work, so an executor
+/// built with `threads == 1` owns no worker threads and runs everything
+/// inline — same results, no pool overhead.
+class ParallelExecutor {
+ public:
+  /// Default trials per shard: large enough to amortize dispatch, small
+  /// enough that a skewed pool still load-balances.
+  static constexpr std::uint64_t kDefaultShardSize = 1ULL << 16;
+
+  /// `threads <= 0` uses std::thread::hardware_concurrency().
+  explicit ParallelExecutor(int threads = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  /// Total execution width, including the calling thread.
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Canonical shard geometry: ceil(total / shard_size) shards of
+  /// `shard_size` trials each, the last one truncated. A function of the
+  /// arguments only — never of the executor or its thread count.
+  static std::vector<Shard> make_shards(
+      std::uint64_t total, std::uint64_t shard_size = kDefaultShardSize);
+
+  /// The documented per-shard stream: substream "shard:<index>" of the
+  /// master seed.
+  static Rng shard_rng(std::uint64_t master_seed, std::size_t shard_index);
+
+  /// Runs fn(i) for every i in [0, n), distributed over the pool; blocks
+  /// until all calls have returned. fn is invoked concurrently and must
+  /// only touch per-index state. The first exception thrown by fn is
+  /// rethrown here once the remaining indices have drained.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Maps fn over [0, n) into a vector in index order: out[i] = fn(i).
+  template <typename T, typename Fn>
+  std::vector<T> map(std::size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    for_each(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Job;
+  void worker_loop();
+  static void run_job(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;  // guarded by mu_
+  std::uint64_t epoch_ = 0;   // guarded by mu_
+  bool stop_ = false;         // guarded by mu_
+};
+
+}  // namespace gear::stats

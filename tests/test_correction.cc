@@ -3,6 +3,9 @@
 // examples, partial masks trade accuracy for cycles monotonically.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/adder.h"
 #include "core/correction.h"
 #include "stats/rng.h"
@@ -166,6 +169,77 @@ TEST(Corrector, MaxCyclesRespectsMask) {
   EXPECT_EQ(Corrector(cfg, Corrector::all_enabled()).max_cycles(), 7);
   EXPECT_EQ(Corrector(cfg, 0).max_cycles(), 1);
   EXPECT_EQ(Corrector(cfg, 0b0000110).max_cycles(), 3);
+}
+
+TEST(Corrector, CascadedCorrectionEnablesDownstreamDetect) {
+  // Regression for the cascade path: correcting sub-adder j-1 flips its
+  // carry-out 0 -> 1, which newly fires detection at sub-adder j whose
+  // prediction window was already all-propagate. Hand-built operands for
+  // (16,4,4), k=3 — sub0 [0..7], sub1 win[4..11] res[8..11], sub2 win
+  // [8..15] res[12..15]:
+  //   bits 0..3  generate (0xF + 0x1 carries into bit 4),
+  //   bits 4..7  all-propagate (0xA ^ 0x5),
+  //   bits 8..11 all-propagate (0xC ^ 0x3) — sub2's prediction window.
+  // First pass: only sub1 detects (carry_out(sub1) is still 0). After
+  // sub1's correction delivers the carry, its carry-out rises and sub2
+  // must detect and correct in the next cycle.
+  const GeArConfig cfg = GeArConfig::must(16, 4, 4);
+  const Corrector corr(cfg, Corrector::all_enabled());
+  const std::uint64_t a = 0x0CAF, b = 0x0351;
+
+  // Pre-condition: the single-pass adder sees only sub1's detect flag.
+  const GeArAdder plain(cfg);
+  const AddResult first_pass = plain.add(a, b);
+  ASSERT_TRUE(first_pass.subs[1].detect);
+  ASSERT_FALSE(first_pass.subs[2].detect);
+  ASSERT_TRUE(first_pass.subs[2].all_propagate);
+
+  const CorrectionResult res = corr.add(a, b);
+  EXPECT_EQ(res.corrected, (std::vector<int>{1, 2}));
+  EXPECT_EQ(res.cycles, 3);
+  EXPECT_LE(res.cycles, corr.max_cycles());
+  EXPECT_EQ(res.sum, a + b);
+  EXPECT_TRUE(res.exact);
+}
+
+TEST(Corrector, CascadeNeverSuppressesAndStaysExact) {
+  // Correction only raises window sums (prediction bits become A|B with a
+  // forced LSB), so a carry-out can flip 0 -> 1 but never 1 -> 0: an
+  // upstream fix can enable a downstream detect but never suppress one.
+  // Consequently with the full mask every first-pass detect must end up
+  // corrected, the final sum must be exact, and cycles <= max_cycles() on
+  // every path. Randomized over all k >= 3 layouts at N=16 plus a
+  // relaxed-top config; asserts cascades actually occur in the sample.
+  stats::Rng rng(39);
+  std::vector<GeArConfig> cfgs = GeArConfig::enumerate(16);
+  if (auto relaxed = GeArConfig::make_relaxed(16, 3, 4)) cfgs.push_back(*relaxed);
+  int cascades_seen = 0;
+  for (const auto& cfg : cfgs) {
+    if (cfg.k() < 3) continue;  // cascades need a j-1 -> j chain
+    const Corrector corr(cfg, Corrector::all_enabled());
+    const GeArAdder plain(cfg);
+    for (int i = 0; i < 4000; ++i) {
+      const std::uint64_t a = rng.bits(16);
+      const std::uint64_t b = rng.bits(16);
+      const CorrectionResult res = corr.add(a, b);
+      ASSERT_EQ(res.sum, a + b) << cfg.name() << " a=" << a << " b=" << b;
+      ASSERT_TRUE(res.exact);
+      ASSERT_LE(res.cycles, corr.max_cycles()) << cfg.name();
+
+      // No suppression: every first-pass detect is in the corrected set.
+      const AddResult first_pass = plain.add(a, b);
+      std::size_t matched = 0;
+      for (int j = 1; j < cfg.k(); ++j) {
+        if (!first_pass.subs[static_cast<std::size_t>(j)].detect) continue;
+        ASSERT_NE(std::find(res.corrected.begin(), res.corrected.end(), j),
+                  res.corrected.end())
+            << cfg.name() << " sub " << j << " a=" << a << " b=" << b;
+        ++matched;
+      }
+      if (res.corrected.size() > matched) ++cascades_seen;
+    }
+  }
+  EXPECT_GT(cascades_seen, 0);
 }
 
 TEST(Corrector, CorrectedSubAdderClearsItsDetect) {

@@ -96,6 +96,63 @@ TEST(Differential, ModelVsGearEquivalentSweep) {
   }
 }
 
+TEST(Differential, AddMatchesAddValueEveryLayout) {
+  // add() and add_value() share the result-assembly helper, so their sums
+  // must agree bit for bit on every constructible layout: strict, relaxed
+  // (clamped top window), and randomized heterogeneous — with and without
+  // carry-in. Historically add_value keyed its top-window widening on
+  // res_hi == N-1 while add() placed the top carry-out unconditionally;
+  // this pins the unified behaviour.
+  stats::Rng rng(113);
+
+  std::vector<core::GeArConfig> configs;
+  for (int n : {8, 13, 16, 20}) {
+    for (const auto& cfg : core::GeArConfig::enumerate(n, /*include_exact=*/true))
+      configs.push_back(cfg);
+    for (int r : {1, 2, 3, 5})
+      for (const auto& cfg : core::GeArConfig::enumerate_relaxed_r(n, r))
+        configs.push_back(cfg);
+  }
+  // Randomized heterogeneous layouts: random l0, then random (R_j, P_j)
+  // segments until the operand width is tiled (retry on invalid draws).
+  int customs = 0;
+  while (customs < 60) {
+    const int n = 8 + static_cast<int>(rng.range(0, 16));
+    const int l0 = 2 + static_cast<int>(rng.range(0, static_cast<std::uint64_t>(n / 2)));
+    std::vector<core::GeArConfig::Segment> segs;
+    int covered = l0;
+    while (covered < n) {
+      const int res = 1 + static_cast<int>(rng.range(0, 3)) % (n - covered);
+      const int pred = 1 + static_cast<int>(rng.range(0, static_cast<std::uint64_t>(covered - 1)));
+      segs.push_back({res, pred});
+      covered += res;
+    }
+    const auto cfg = core::GeArConfig::make_custom(n, l0, segs);
+    if (cfg) {
+      configs.push_back(*cfg);
+      ++customs;
+    }
+  }
+
+  for (const auto& cfg : configs) {
+    const core::GeArAdder adder(cfg);
+    const std::uint64_t mask = adder.operand_mask();
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t a = rng.bits(cfg.n());
+      const std::uint64_t b = rng.bits(cfg.n());
+      ASSERT_EQ(adder.add(a, b).sum, adder.add_value(a, b))
+          << cfg.name() << " a=" << a << " b=" << b;
+      ASSERT_EQ(adder.add(a, b, true).sum, adder.add_value(a, b, true))
+          << cfg.name() << " cin a=" << a << " b=" << b;
+    }
+    for (std::uint64_t a : {std::uint64_t{0}, mask, mask >> 1, (mask >> 1) + 1}) {
+      for (std::uint64_t b : {std::uint64_t{0}, mask, std::uint64_t{1}}) {
+        ASSERT_EQ(adder.add(a, b).sum, adder.add_value(a, b)) << cfg.name();
+      }
+    }
+  }
+}
+
 TEST(Differential, CornerOperandsEveryFamily) {
   // Corner patterns that historically break adders: all-ones, alternating
   // bits, single carries at each boundary.

@@ -103,6 +103,37 @@ TEST(ErrorModel, PaperIeEqualsExactDpEverywhere) {
   }
 }
 
+TEST(ErrorModel, ThreeWayDifferentialRandomConfigs) {
+  // Pins the constraint_span overlap condition (error_model.cc): the IE
+  // DP caps each subset member's influence at `span` sub-adders, while the
+  // subset enumeration applies the exact nearest-member frontier with no
+  // cap, and the exact carry DP models the full uniform operand space. An
+  // off-by-one in the span (or in the `>` of the overlap test) would split
+  // this three-way agreement on some sampled geometry. Relaxed top
+  // windows are sampled explicitly — that is where the clamped layout
+  // makes the span computation nontrivial.
+  stats::Rng rng(46);
+  int checked = 0, relaxed_seen = 0;
+  while (checked < 150) {
+    const int n = 8 + static_cast<int>(rng.range(0, 24));
+    const int r = 1 + static_cast<int>(rng.range(0, 7));
+    if (r + 2 > n) continue;
+    const int p = 1 + static_cast<int>(rng.range(0, static_cast<std::uint64_t>(n - r - 1)));
+    const auto cfg = GeArConfig::make_relaxed(n, r, p);
+    if (!cfg || cfg->is_exact()) continue;
+    if (cfg->k() - 1 > 14) continue;         // subset enumeration is O(2^(k-1))
+    if ((p + r - 1) / r > 14) continue;      // exact DP state-space bound
+    const double ie = paper_error_probability(*cfg);
+    const double subsets = paper_error_probability_subsets(*cfg);
+    const double exact = exact_error_probability(*cfg);
+    EXPECT_NEAR(ie, subsets, 1e-12) << cfg->name();
+    EXPECT_NEAR(ie, exact, 1e-12) << cfg->name();
+    if (!cfg->is_strict()) ++relaxed_seen;
+    ++checked;
+  }
+  EXPECT_GT(relaxed_seen, 10);  // the sweep must actually hit relaxed tops
+}
+
 TEST(ErrorModel, FirstOrderIsUpperBoundOnIE) {
   for (const auto& cfg : GeArConfig::enumerate(18)) {
     EXPECT_GE(paper_error_probability_first_order(cfg) + 1e-15,

@@ -1,0 +1,263 @@
+// Parallel executor tests: the shard/merge determinism contract (results
+// bit-identical for thread counts {1, 2, 8} and equal to the canonical
+// sequential shard order), merge-correctness of every mergeable stat, and
+// the pool mechanics themselves (full index coverage, exception
+// propagation). These tests are the ones the TSan configuration
+// (-DGEAR_SANITIZE=thread) exercises to prove the executor race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/stream_engine.h"
+#include "core/adder.h"
+#include "core/config.h"
+#include "core/error_model.h"
+#include "stats/histogram.h"
+#include "stats/parallel.h"
+#include "stats/rng.h"
+
+namespace gear {
+namespace {
+
+constexpr std::uint64_t kSeed = 2026;
+constexpr std::uint64_t kShard = 4096;  // small so even tests span many shards
+
+TEST(ParallelExecutor, ForEachCoversEachIndexExactlyOnce) {
+  stats::ParallelExecutor exec(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  exec.for_each(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelExecutor, ReusableAcrossCalls) {
+  stats::ParallelExecutor exec(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    exec.for_each(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ParallelExecutor, ExceptionPropagatesToCaller) {
+  stats::ParallelExecutor exec(4);
+  EXPECT_THROW(exec.for_each(64,
+                             [&](std::size_t i) {
+                               if (i == 17) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+  // The pool must survive a throwing job.
+  std::atomic<int> ran{0};
+  exec.for_each(8, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ParallelExecutor, ShardGeometryDependsOnlyOnTotals) {
+  const auto shards = stats::ParallelExecutor::make_shards(100001, 4096);
+  ASSERT_EQ(shards.size(), 25u);
+  std::uint64_t expect_begin = 0;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.begin, expect_begin);
+    EXPECT_EQ(s.index, static_cast<std::size_t>(&s - shards.data()));
+    expect_begin = s.end;
+  }
+  EXPECT_EQ(shards.back().end, 100001u);
+  EXPECT_EQ(shards.back().size(), 100001u % 4096);
+  // Geometry is a pure function — no executor involved at all.
+  const auto again = stats::ParallelExecutor::make_shards(100001, 4096);
+  ASSERT_EQ(again.size(), shards.size());
+}
+
+// --- Determinism: bit-identical across thread counts {1, 2, 8} ----------
+
+TEST(ParallelExecutor, McErrorProbabilityBitIdenticalAcrossThreadCounts) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  constexpr std::uint64_t kTrials = 50000;
+
+  stats::ParallelExecutor e1(1), e2(2), e8(8);
+  const auto r1 = core::mc_error_probability(cfg, kTrials, kSeed, e1, kShard);
+  const auto r2 = core::mc_error_probability(cfg, kTrials, kSeed, e2, kShard);
+  const auto r8 = core::mc_error_probability(cfg, kTrials, kSeed, e8, kShard);
+
+  EXPECT_EQ(r1.errors, r2.errors);
+  EXPECT_EQ(r1.errors, r8.errors);
+  EXPECT_EQ(r1.trials, r8.trials);
+  EXPECT_EQ(r1.p, r8.p);  // exact fp equality: same counts, same division
+  EXPECT_EQ(r1.ci.lo, r8.ci.lo);
+  EXPECT_EQ(r1.ci.hi, r8.ci.hi);
+}
+
+TEST(ParallelExecutor, McErrorProbabilityMatchesCanonicalShardOrder) {
+  // The documented canonical result: run the shards sequentially in index
+  // order with Rng::substream(seed, "shard:<i>") and sum the counts.
+  // Reimplemented here from the adder primitives, independent of the
+  // driver under test.
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  constexpr std::uint64_t kTrials = 50000;
+  const core::GeArAdder adder(cfg);
+
+  std::uint64_t canonical_errors = 0;
+  for (const auto& s : stats::ParallelExecutor::make_shards(kTrials, kShard)) {
+    stats::Rng rng = stats::ParallelExecutor::shard_rng(kSeed, s.index);
+    for (std::uint64_t t = 0; t < s.size(); ++t) {
+      const std::uint64_t a = rng.bits(16);
+      const std::uint64_t b = rng.bits(16);
+      if (adder.add_value(a, b) != adder.exact(a, b)) ++canonical_errors;
+    }
+  }
+
+  stats::ParallelExecutor exec(8);
+  const auto est = core::mc_error_probability(cfg, kTrials, kSeed, exec, kShard);
+  EXPECT_EQ(est.errors, canonical_errors);
+  EXPECT_EQ(est.trials, kTrials);
+}
+
+TEST(ParallelExecutor, McErrorProbabilityParallelWithinCiOfExact) {
+  // Substreams must still be statistically sound, not just reproducible.
+  stats::ParallelExecutor exec(4);
+  const auto cfg = core::GeArConfig::must(16, 2, 2);
+  const double truth = core::exact_error_probability(cfg);
+  const auto est = core::mc_error_probability(cfg, 150000, kSeed, exec);
+  EXPECT_TRUE(est.ci.contains(truth))
+      << "truth=" << truth << " ci=[" << est.ci.lo << "," << est.ci.hi << "]";
+}
+
+TEST(ParallelExecutor, McDistributionBitIdenticalAcrossThreadCounts) {
+  const auto cfg = core::GeArConfig::must(16, 2, 2);
+  stats::ParallelExecutor e1(1), e2(2), e8(8);
+  const auto h1 = core::mc_error_distribution(cfg, 40000, kSeed, e1, kShard);
+  const auto h2 = core::mc_error_distribution(cfg, 40000, kSeed, e2, kShard);
+  const auto h8 = core::mc_error_distribution(cfg, 40000, kSeed, e8, kShard);
+  EXPECT_EQ(h1.entries(), h2.entries());
+  EXPECT_EQ(h1.entries(), h8.entries());
+  EXPECT_EQ(h1.total(), 40000u);
+}
+
+TEST(ParallelExecutor, McDetectCountsBitIdenticalAcrossThreadCounts) {
+  const auto cfg = core::GeArConfig::must(16, 2, 2);
+  stats::ParallelExecutor e1(1), e2(2), e8(8);
+  const auto p1 = core::mc_detect_count_distribution(cfg, 40000, kSeed, e1, kShard);
+  const auto p2 = core::mc_detect_count_distribution(cfg, 40000, kSeed, e2, kShard);
+  const auto p8 = core::mc_detect_count_distribution(cfg, 40000, kSeed, e8, kShard);
+  EXPECT_EQ(p1, p2);  // element-wise exact: same integer counts divided once
+  EXPECT_EQ(p1, p8);
+  double total = 0.0;
+  for (double p : p1) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ParallelExecutor, StreamRunBitIdenticalAcrossThreadCounts) {
+  const apps::StreamAdderEngine engine(core::GeArConfig::must(16, 2, 2),
+                                       core::Corrector::all_enabled());
+  const auto factory = [](stats::Rng rng) {
+    return std::make_unique<stats::UniformSource>(16, rng);
+  };
+  constexpr std::uint64_t kOps = 60000;
+  stats::ParallelExecutor e1(1), e2(2), e8(8);
+  const auto s1 = engine.run(factory, kOps, kSeed, e1, kShard);
+  const auto s2 = engine.run(factory, kOps, kSeed, e2, kShard);
+  const auto s8 = engine.run(factory, kOps, kSeed, e8, kShard);
+
+  EXPECT_EQ(s1.operations, kOps);
+  EXPECT_EQ(s1.cycles, s2.cycles);
+  EXPECT_EQ(s1.cycles, s8.cycles);
+  EXPECT_EQ(s1.stall_cycles, s8.stall_cycles);
+  EXPECT_EQ(s1.corrected_ops, s8.corrected_ops);
+  EXPECT_EQ(s1.wrong_results, s8.wrong_results);
+  // Full correction: the parallel path must preserve exactness too.
+  EXPECT_EQ(s8.wrong_results, 0u);
+  EXPECT_EQ(s8.cycles, s8.operations + s8.stall_cycles);
+}
+
+TEST(ParallelExecutor, StreamRunMatchesCanonicalShardOrder) {
+  const apps::StreamAdderEngine engine(core::GeArConfig::must(16, 4, 4),
+                                       core::Corrector::all_enabled());
+  constexpr std::uint64_t kOps = 30000;
+
+  apps::StreamStats canonical;
+  for (const auto& s : stats::ParallelExecutor::make_shards(kOps, kShard)) {
+    stats::UniformSource src(16, stats::ParallelExecutor::shard_rng(kSeed, s.index));
+    canonical.merge(engine.run(src, s.size()));
+  }
+
+  stats::ParallelExecutor exec(8);
+  const auto parallel = engine.run(
+      [](stats::Rng rng) { return std::make_unique<stats::UniformSource>(16, rng); },
+      kOps, kSeed, exec, kShard);
+  EXPECT_EQ(parallel.cycles, canonical.cycles);
+  EXPECT_EQ(parallel.stall_cycles, canonical.stall_cycles);
+  EXPECT_EQ(parallel.corrected_ops, canonical.corrected_ops);
+  EXPECT_EQ(parallel.wrong_results, canonical.wrong_results);
+}
+
+// --- Merge correctness ---------------------------------------------------
+
+TEST(ParallelMerge, McErrorEstimatePoolsCountsAndRebuildsCi) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  stats::Rng rng(7);
+  auto whole_rng = rng;  // copy: same stream for the unsharded reference
+  auto first = core::mc_error_probability(cfg, 30000, rng);
+  const auto second = core::mc_error_probability(cfg, 20000, rng);
+  first.merge(second);
+
+  const auto whole = core::mc_error_probability(cfg, 50000, whole_rng);
+  EXPECT_EQ(first.trials, whole.trials);
+  EXPECT_EQ(first.errors, whole.errors);
+  EXPECT_EQ(first.p, whole.p);
+  EXPECT_EQ(first.ci.lo, whole.ci.lo);
+  EXPECT_EQ(first.ci.hi, whole.ci.hi);
+}
+
+TEST(ParallelMerge, SparseHistogramMergeMatchesSequentialFill) {
+  stats::Rng rng(8);
+  stats::SparseHistogram merged_a, merged_b, whole;
+  for (int i = 0; i < 5000; ++i) {
+    const auto key = static_cast<std::int64_t>(rng.range(0, 40)) - 20;
+    whole.add(key);
+    (i % 2 ? merged_a : merged_b).add(key);
+  }
+  merged_a.merge(merged_b);
+  EXPECT_EQ(merged_a.entries(), whole.entries());
+  EXPECT_EQ(merged_a.total(), whole.total());
+  EXPECT_DOUBLE_EQ(merged_a.mean(), whole.mean());
+}
+
+TEST(ParallelMerge, DenseHistogramMergeMatchesSequentialFill) {
+  stats::Histogram a(0.0, 1.0, 16), b(0.0, 1.0, 16), whole(0.0, 1.0, 16);
+  stats::Rng rng(9);
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.uniform01() * 1.2 - 0.1;  // exercises under/overflow
+    whole.add(x);
+    (i % 3 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), whole.total());
+  EXPECT_EQ(a.underflow(), whole.underflow());
+  EXPECT_EQ(a.overflow(), whole.overflow());
+  for (std::size_t i = 0; i < whole.bin_count(); ++i)
+    EXPECT_EQ(a.bin(i), whole.bin(i)) << i;
+}
+
+TEST(ParallelMerge, StreamStatsMergeIsFieldwiseAdditive) {
+  apps::StreamStats a{10, 15, 5, 3, 1};
+  const apps::StreamStats b{20, 22, 2, 4, 0};
+  a.merge(b);
+  EXPECT_EQ(a.operations, 30u);
+  EXPECT_EQ(a.cycles, 37u);
+  EXPECT_EQ(a.stall_cycles, 7u);
+  EXPECT_EQ(a.corrected_ops, 7u);
+  EXPECT_EQ(a.wrong_results, 1u);
+}
+
+TEST(ParallelMerge, DetectCountVectorPoolsElementwise) {
+  std::vector<std::uint64_t> into;
+  core::merge_detect_counts(into, {1, 2, 3});
+  core::merge_detect_counts(into, {10, 20, 30});
+  EXPECT_EQ(into, (std::vector<std::uint64_t>{11, 22, 33}));
+}
+
+}  // namespace
+}  // namespace gear
