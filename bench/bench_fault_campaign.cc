@@ -1,0 +1,160 @@
+// Transient-fault (SEU) vulnerability study: GeAr vs. exact and
+// approximate baselines under a deterministic sampled fault campaign.
+//
+// For each circuit, `samples` (fault, vector) pairs are drawn under the
+// shard/merge determinism contract and classified masked / false-alarm /
+// detected / SDC. The paper's resilience claim shows up as detection
+// coverage: the fraction of value-corrupting strikes GeAr's flag network
+// makes visible, where the flagless baselines corrupt silently by
+// construction. A per-module breakdown locates the vulnerable logic
+// (ripple core vs. prediction tree vs. detection network).
+//
+// Usage: bench_fault_campaign [samples] [N R P]
+// The optional (N, R, P) triple selects the GeAr configuration; invalid
+// parameters are reported with the violated constraint (GeArConfig::make,
+// not must(), so a sweep script gets an error message instead of a core).
+//
+// Emits BENCH_fault_campaign.json (see bench_util.h) for trajectory
+// tracking, plus the usual CSV table when GEAR_BENCH_CSV_DIR is set.
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "analysis/vulnerability.h"
+#include "bench_util.h"
+#include "core/config.h"
+#include "netlist/circuits.h"
+#include "stats/parallel.h"
+
+namespace {
+
+using gear::analysis::FaultCampaignOptions;
+using gear::analysis::FaultCampaignResult;
+using gear::analysis::OutcomeCounts;
+
+struct Candidate {
+  std::string label;
+  gear::netlist::Netlist nl;
+};
+
+void append_counts_json(std::ostringstream& os, const OutcomeCounts& c) {
+  os << "{\"injections\":" << c.injections << ",\"masked\":" << c.masked
+     << ",\"false_alarm\":" << c.false_alarm << ",\"detected\":" << c.detected
+     << ",\"sdc\":" << c.sdc << ",\"avf\":" << c.avf()
+     << ",\"sdc_rate\":" << c.sdc_rate()
+     << ",\"detection_coverage\":" << c.detection_coverage() << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using gear::core::GeArConfig;
+
+  FaultCampaignOptions opt;
+  opt.samples = 1 << 14;
+  if (argc > 1) opt.samples = std::strtoull(argv[1], nullptr, 10);
+
+  int n = 16, r = 4, p = 4;
+  if (argc > 4) {
+    n = std::atoi(argv[2]);
+    r = std::atoi(argv[3]);
+    p = std::atoi(argv[4]);
+  }
+  const auto cfg = GeArConfig::make(n, r, p);
+  if (!cfg) {
+    std::fprintf(stderr, "bench_fault_campaign: GeAr(N=%d,R=%d,P=%d): %s\n", n,
+                 r, p, GeArConfig::invalid_reason(n, r, p).c_str());
+    return 1;
+  }
+
+  std::vector<Candidate> candidates;
+  candidates.push_back({cfg->name(), gear::netlist::build_gear(*cfg)});
+  candidates.push_back({"RCA", gear::netlist::build_rca(n)});
+  if (n % (cfg->l() / 2 * 2) == 0 && cfg->l() % 2 == 0) {
+    candidates.push_back({"ACA-II", gear::netlist::build_aca2(n, cfg->l())});
+  }
+  if (n % r == 0) {
+    candidates.push_back({"ETAII", gear::netlist::build_etaii(n, r)});
+  }
+
+  std::printf("== Transient-fault vulnerability: %llu sampled strikes ==\n\n",
+              static_cast<unsigned long long>(opt.samples));
+
+  gear::stats::ParallelExecutor exec;
+  gear::analysis::Table table({"circuit", "masked", "false alarm", "detected",
+                               "SDC", "AVF", "det coverage", "mean |err|"});
+  std::ostringstream json;
+  json << "{\"bench\":\"fault_campaign\",\"samples\":" << opt.samples
+       << ",\"seed\":" << opt.master_seed << ",\"gear\":\"" << cfg->name()
+       << "\",\"circuits\":{";
+
+  bool first = true;
+  FaultCampaignResult gear_result;
+  for (const Candidate& cand : candidates) {
+    const FaultCampaignResult res =
+        gear::analysis::run_fault_campaign(cand.nl, opt, exec);
+    if (first) gear_result = res;  // candidates[0] is the GeAr circuit
+    const auto& t = res.totals;
+    table.add_row({cand.label, gear::analysis::fmt_pct(
+                                   static_cast<double>(t.masked) /
+                                       static_cast<double>(t.injections),
+                                   2),
+                   gear::analysis::fmt_pct(
+                       static_cast<double>(t.false_alarm) /
+                           static_cast<double>(t.injections),
+                       2),
+                   gear::analysis::fmt_pct(
+                       static_cast<double>(t.detected) /
+                           static_cast<double>(t.injections),
+                       2),
+                   gear::analysis::fmt_pct(
+                       static_cast<double>(t.sdc) /
+                           static_cast<double>(t.injections),
+                       2),
+                   gear::analysis::fmt_fixed(t.avf(), 4),
+                   gear::analysis::fmt_pct(t.detection_coverage(), 2),
+                   gear::analysis::fmt_fixed(res.error_magnitude.mean_abs(), 1)});
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << cand.label << "\":";
+    append_counts_json(json, t);
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+
+  // Per-module breakdown for the GeAr circuit (first candidate).
+  const auto modules = gear_result.by_module(candidates.front().nl);
+  std::printf("\n-- %s per-module vulnerability --\n",
+              candidates.front().label.c_str());
+  gear::analysis::Table mod_table(
+      {"module", "injections", "masked", "false alarm", "detected", "SDC"});
+  json << "},\"gear_modules\":{";
+  first = true;
+  for (const auto& [region, counts] : modules) {
+    const std::string label = region.empty() ? "other" : region;
+    mod_table.add_row({label, std::to_string(counts.injections),
+                       std::to_string(counts.masked),
+                       std::to_string(counts.false_alarm),
+                       std::to_string(counts.detected),
+                       std::to_string(counts.sdc)});
+    if (!first) json << ",";
+    first = false;
+    json << "\"" << label << "\":";
+    append_counts_json(json, counts);
+  }
+  json << "}}";
+  std::fputs(mod_table.to_ascii().c_str(), stdout);
+
+  std::printf(
+      "\nNotes: the flagless baselines can only mask or silently corrupt\n"
+      "(detection coverage 0 by construction); GeAr converts part of its\n"
+      "AVF into detected events its correction/degradation loop can act\n"
+      "on. Campaign results are bit-identical for any thread count.\n");
+
+  gear::benchutil::maybe_write_csv("fault_campaign", table);
+  gear::benchutil::write_bench_json("fault_campaign", json.str());
+  return 0;
+}

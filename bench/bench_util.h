@@ -27,4 +27,21 @@ inline void maybe_write_csv(const std::string& stem,
   std::printf("(csv written to %s)\n", path.c_str());
 }
 
+/// Writes `json` (an already-serialized document) as BENCH_<stem>.json so
+/// benchmark results become trajectory-trackable artifacts, mirroring the
+/// bench_adder_throughput JSON output. The file lands in
+/// $GEAR_BENCH_JSON_DIR when set, else in the current directory.
+inline void write_bench_json(const std::string& stem, const std::string& json) {
+  const char* dir = std::getenv("GEAR_BENCH_JSON_DIR");
+  const std::string path =
+      (dir ? std::string(dir) + "/" : std::string()) + "BENCH_" + stem + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << json;
+  std::printf("(json written to %s)\n", path.c_str());
+}
+
 }  // namespace gear::benchutil

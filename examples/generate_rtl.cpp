@@ -69,7 +69,8 @@ int main(int argc, char** argv) {
 
   const auto cfg = core::GeArConfig::make_relaxed(n, r, p);
   if (!cfg) {
-    std::fprintf(stderr, "invalid GeAr configuration (%d,%d,%d)\n", n, r, p);
+    std::fprintf(stderr, "invalid GeAr configuration (N=%d,R=%d,P=%d): %s\n", n,
+                 r, p, core::GeArConfig::invalid_reason(n, r, p).c_str());
     return 1;
   }
   std::printf("Generating RTL for %s (k=%d, L=%d):\n", cfg->name().c_str(),

@@ -1,10 +1,25 @@
 #include "apps/stream_engine.h"
 
+#include "core/error_model.h"
+
 namespace gear::apps {
+
+namespace {
+inline std::uint64_t low_mask(int bits) {
+  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+}  // namespace
 
 StreamAdderEngine::StreamAdderEngine(core::GeArConfig cfg,
                                      std::uint64_t correction_mask)
     : corrector_(std::move(cfg), correction_mask) {}
+
+StreamAdderEngine::StreamAdderEngine(core::GeArConfig cfg,
+                                     std::uint64_t correction_mask,
+                                     core::DegradationPolicy degradation)
+    : corrector_(std::move(cfg), correction_mask),
+      degradation_(degradation),
+      expected_detect_rate_(core::paper_error_probability(corrector_.config())) {}
 
 void StreamStats::merge(const StreamStats& other) {
   operations += other.operations;
@@ -12,31 +27,92 @@ void StreamStats::merge(const StreamStats& other) {
   stall_cycles += other.stall_cycles;
   corrected_ops += other.corrected_ops;
   wrong_results += other.wrong_results;
+  fallback_events += other.fallback_events;
+  safe_mode_ops += other.safe_mode_ops;
+  flagged_ops += other.flagged_ops;
+  flagged_wrong_results += other.flagged_wrong_results;
 }
 
-void StreamAdderEngine::feed(StreamStats& stats, std::uint64_t a,
-                             std::uint64_t b) const {
-  const core::CorrectionResult res = corrector_.add(a, b);
+std::optional<core::Watchdog> StreamAdderEngine::make_watchdog() const {
+  if (!degradation_) return std::nullopt;
+  return core::Watchdog(expected_detect_rate_, *degradation_);
+}
+
+void StreamAdderEngine::feed(StreamStats& stats, core::Watchdog* watchdog,
+                             std::uint64_t a, std::uint64_t b) const {
+  if (watchdog && watchdog->in_safe_mode()) {
+    ++stats.operations;
+    ++stats.safe_mode_ops;
+    switch (watchdog->mode()) {
+      case core::SafeMode::kExactAdd: {
+        // Bypass the (possibly compromised) detect/correct path: full
+        // worst-case-latency exact add. Note the injected fault cannot
+        // corrupt this path.
+        const std::uint64_t m = low_mask(corrector_.config().n());
+        (void)((a & m) + (b & m));
+        const auto cycles =
+            static_cast<std::uint64_t>(corrector_.worst_case_cycles());
+        stats.cycles += cycles;
+        stats.stall_cycles += cycles - 1;
+        break;
+      }
+      case core::SafeMode::kFreezeMask: {
+        // Keep the configured correction mask but stop reacting to the
+        // watchdog (it has latched); accounting as normal.
+        const core::CorrectionResult res = corrector_.add(a, b, fault_);
+        stats.cycles += static_cast<std::uint64_t>(res.cycles);
+        stats.stall_cycles += static_cast<std::uint64_t>(res.cycles - 1);
+        if (!res.corrected.empty()) ++stats.corrected_ops;
+        if (!res.exact) ++stats.wrong_results;
+        break;
+      }
+      case core::SafeMode::kFlagApproximate: {
+        // 1-cycle approximate adds, every result flagged so residual
+        // errors are visible downstream instead of silent.
+        const core::CorrectionResult res = corrector_.add(a, b, fault_, 0);
+        stats.cycles += static_cast<std::uint64_t>(res.cycles);
+        ++stats.flagged_ops;
+        if (!res.exact) {
+          ++stats.wrong_results;
+          ++stats.flagged_wrong_results;
+        }
+        break;
+      }
+    }
+    watchdog->observe(false, 0);  // ticks the cooldown only
+    return;
+  }
+
+  const int budget = degradation_ ? degradation_->per_op_correction_budget : -1;
+  const core::CorrectionResult res = corrector_.add(a, b, fault_, budget);
   ++stats.operations;
   stats.cycles += static_cast<std::uint64_t>(res.cycles);
   stats.stall_cycles += static_cast<std::uint64_t>(res.cycles - 1);
   if (!res.corrected.empty()) ++stats.corrected_ops;
   if (!res.exact) ++stats.wrong_results;
+  if (watchdog && watchdog->observe(res.detect_mask != 0,
+                                    static_cast<std::uint64_t>(res.cycles - 1))) {
+    ++stats.fallback_events;
+  }
 }
 
 StreamStats StreamAdderEngine::run(stats::OperandSource& source,
                                    std::uint64_t ops) const {
   StreamStats stats;
+  auto watchdog = make_watchdog();
   for (std::uint64_t i = 0; i < ops; ++i) {
     const auto [a, b] = source.next();
-    feed(stats, a, b);
+    feed(stats, watchdog ? &*watchdog : nullptr, a, b);
   }
   return stats;
 }
 
 StreamStats StreamAdderEngine::run(const std::vector<stats::OperandPair>& operands) const {
   StreamStats stats;
-  for (const auto& [a, b] : operands) feed(stats, a, b);
+  auto watchdog = make_watchdog();
+  for (const auto& [a, b] : operands) {
+    feed(stats, watchdog ? &*watchdog : nullptr, a, b);
+  }
   return stats;
 }
 
@@ -49,9 +125,10 @@ StreamStats StreamAdderEngine::run(const SourceFactory& make_source,
     auto source = make_source(
         stats::ParallelExecutor::shard_rng(master_seed, shards[i].index));
     StreamStats stats;
+    auto watchdog = make_watchdog();  // per-shard: determinism contract
     for (std::uint64_t op = 0; op < shards[i].size(); ++op) {
       const auto [a, b] = source->next();
-      feed(stats, a, b);
+      feed(stats, watchdog ? &*watchdog : nullptr, a, b);
     }
     return stats;
   });

@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/config.h"
 #include "core/correction.h"
+#include "core/watchdog.h"
 #include "stats/distributions.h"
 #include "stats/parallel.h"
 
@@ -28,6 +30,10 @@ struct StreamStats {
   std::uint64_t stall_cycles = 0;
   std::uint64_t corrected_ops = 0;  ///< ops that needed >= 1 correction
   std::uint64_t wrong_results = 0; ///< residual errors after correction
+  std::uint64_t fallback_events = 0;  ///< watchdog trips into safe mode
+  std::uint64_t safe_mode_ops = 0;    ///< ops served while in a safe mode
+  std::uint64_t flagged_ops = 0;      ///< safe-mode ops flagged approximate
+  std::uint64_t flagged_wrong_results = 0;  ///< wrong but flagged (not silent)
 
   /// Pools another shard's counters into this one (parallel merge). All
   /// fields are additive, so merging shards in index order reproduces the
@@ -51,6 +57,24 @@ class StreamAdderEngine {
   /// entirely (pure 1-cycle approximate adds).
   StreamAdderEngine(core::GeArConfig cfg, std::uint64_t correction_mask);
 
+  /// With a degradation policy, every run carries a core::Watchdog that
+  /// compares the observed detect rate against the analytic model and
+  /// enforces the stall budget; on a trip the run degrades to the
+  /// policy's safe mode instead of silently streaming on (see DESIGN.md,
+  /// "Graceful degradation"). Watchdog state is per-run (and per-shard in
+  /// the parallel overload), keeping run() const and deterministic.
+  StreamAdderEngine(core::GeArConfig cfg, std::uint64_t correction_mask,
+                    core::DegradationPolicy degradation);
+
+  /// Injects a persistent fault into the detection network for every
+  /// subsequent op: sub-adder `fault.sub_adder`'s detect flag reads
+  /// `fault.forced_value` (a stuck flag line, or a campaign's transient
+  /// replayed over a window). Used by resilience tests and benchmarks.
+  void inject_detect_fault(const core::Corrector::DetectFault& fault) {
+    fault_ = fault;
+  }
+  void clear_detect_fault() { fault_ = core::Corrector::DetectFault{}; }
+
   /// Builds a shard-local operand source from that shard's RNG stream.
   using SourceFactory =
       std::function<std::unique_ptr<stats::OperandSource>(stats::Rng)>;
@@ -72,10 +96,19 @@ class StreamAdderEngine {
                       stats::ParallelExecutor::kDefaultShardSize) const;
 
   const core::Corrector& corrector() const { return corrector_; }
+  bool degradation_enabled() const { return degradation_.has_value(); }
 
  private:
-  void feed(StreamStats& stats, std::uint64_t a, std::uint64_t b) const;
+  /// Per-run watchdog state; created fresh for every run (and every
+  /// shard) when a degradation policy is configured.
+  std::optional<core::Watchdog> make_watchdog() const;
+  void feed(StreamStats& stats, core::Watchdog* watchdog, std::uint64_t a,
+            std::uint64_t b) const;
+
   core::Corrector corrector_;
+  std::optional<core::DegradationPolicy> degradation_;
+  double expected_detect_rate_ = 0.0;
+  core::Corrector::DetectFault fault_;
 };
 
 }  // namespace gear::apps

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/error_model.h"
+
 namespace gear::core {
 
 namespace {
@@ -16,6 +18,10 @@ std::uint64_t msb_first_mask(const GeArConfig& cfg, int level) {
   return mask;
 }
 
+inline std::uint64_t low_mask(int bits) {
+  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
 }  // namespace
 
 AdaptiveCorrector::AdaptiveCorrector(GeArConfig config, AdaptivePolicy policy)
@@ -26,6 +32,13 @@ AdaptiveCorrector::AdaptiveCorrector(GeArConfig config, AdaptivePolicy policy)
   set_level(0);
 }
 
+AdaptiveCorrector::AdaptiveCorrector(GeArConfig config, AdaptivePolicy policy,
+                                     DegradationPolicy degradation)
+    : AdaptiveCorrector(std::move(config), policy) {
+  watchdog_.emplace(paper_error_probability(config_), degradation);
+  per_op_budget_ = degradation.per_op_correction_budget;
+}
+
 void AdaptiveCorrector::set_level(int level) {
   level_ = std::clamp(level, 0, config_.k() - 1);
   mask_ = msb_first_mask(config_, level_);
@@ -33,12 +46,48 @@ void AdaptiveCorrector::set_level(int level) {
 }
 
 CorrectionResult AdaptiveCorrector::add(std::uint64_t a, std::uint64_t b) {
-  const CorrectionResult res = corrector_.add(a, b);
+  if (watchdog_ && watchdog_->in_safe_mode()) {
+    CorrectionResult res;
+    switch (watchdog_->mode()) {
+      case SafeMode::kExactAdd: {
+        const std::uint64_t m = low_mask(config_.n());
+        res.sum = (a & m) + (b & m);
+        res.cycles = corrector_.worst_case_cycles();
+        res.exact = true;
+        break;
+      }
+      case SafeMode::kFreezeMask:
+        // Last-known-good mask, adaptation suspended.
+        res = corrector_.add(a, b, Corrector::DetectFault{}, per_op_budget_);
+        break;
+      case SafeMode::kFlagApproximate:
+        res = corrector_.add(a, b, Corrector::DetectFault{}, 0);
+        break;
+    }
+    ++stats_.additions;
+    ++stats_.safe_mode_ops;
+    stats_.cycles += static_cast<std::uint64_t>(res.cycles);
+    if (!res.exact) ++stats_.residual_errors;
+    watchdog_->observe(false, 0);  // ticks the cooldown only
+    return res;
+  }
+
+  const CorrectionResult res =
+      corrector_.add(a, b, Corrector::DetectFault{}, per_op_budget_);
   ++stats_.additions;
   stats_.cycles += static_cast<std::uint64_t>(res.cycles);
   if (!res.exact) {
     ++stats_.residual_errors;
     ++window_errors_;
+  }
+  if (watchdog_) {
+    if (watchdog_->observe(res.detect_mask != 0,
+                           static_cast<std::uint64_t>(res.cycles - 1))) {
+      ++stats_.fallback_events;
+      window_count_ = 0;
+      window_errors_ = 0;
+      return res;
+    }
   }
   if (++window_count_ >= policy_.window) {
     adapt();

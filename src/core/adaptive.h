@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/adder.h"
 #include "core/config.h"
 #include "core/correction.h"
+#include "core/watchdog.h"
 
 namespace gear::core {
 
@@ -27,8 +29,17 @@ class AdaptiveCorrector {
  public:
   AdaptiveCorrector(GeArConfig config, AdaptivePolicy policy);
 
+  /// With a degradation policy the controller additionally runs a
+  /// Watchdog over its own detect/correction stream; on a trip it stops
+  /// adapting and applies the policy's safe mode (exact bypass, frozen
+  /// mask, or flagged 1-cycle approximate adds).
+  AdaptiveCorrector(GeArConfig config, AdaptivePolicy policy,
+                    DegradationPolicy degradation);
+
   /// One addition through the current mask; adapts at window boundaries.
   CorrectionResult add(std::uint64_t a, std::uint64_t b);
+
+  bool in_safe_mode() const { return watchdog_ && watchdog_->in_safe_mode(); }
 
   /// Number of sub-adders currently enabled for correction (MSB-first).
   int enabled_level() const { return level_; }
@@ -40,6 +51,8 @@ class AdaptiveCorrector {
     std::uint64_t residual_errors = 0;  ///< results that stayed wrong
     int widen_events = 0;
     int narrow_events = 0;
+    std::uint64_t fallback_events = 0;  ///< watchdog trips into safe mode
+    std::uint64_t safe_mode_ops = 0;    ///< adds served in a safe mode
     double avg_cycles() const {
       return additions ? static_cast<double>(cycles) /
                              static_cast<double>(additions)
@@ -65,6 +78,8 @@ class AdaptiveCorrector {
   Stats stats_;
   std::uint64_t window_errors_ = 0;  // residual errors in current window
   std::uint32_t window_count_ = 0;
+  std::optional<Watchdog> watchdog_;
+  int per_op_budget_ = -1;
 };
 
 }  // namespace gear::core

@@ -8,18 +8,45 @@
 namespace gear::core {
 
 std::optional<GeArConfig> GeArConfig::make(int n, int r, int p) {
-  if (n < 2 || n > 63) return std::nullopt;  // models use u64 with carry-out at bit n
-  if (r < 1 || p < 1) return std::nullopt;
-  const int l = r + p;
-  if (l > n) return std::nullopt;
-  if ((n - l) % r != 0) return std::nullopt;
+  if (!invalid_reason(n, r, p).empty()) return std::nullopt;
   return GeArConfig(n, r, p, /*strict=*/true);
+}
+
+std::string GeArConfig::invalid_reason(int n, int r, int p) {
+  char buf[160];
+  if (n < 2 || n > 63) {  // models use u64 with carry-out at bit n
+    std::snprintf(buf, sizeof buf, "N=%d out of range: need 2 <= N <= 63", n);
+    return buf;
+  }
+  if (r < 1) {
+    std::snprintf(buf, sizeof buf, "R=%d invalid: need R >= 1", r);
+    return buf;
+  }
+  if (p < 1) {
+    std::snprintf(buf, sizeof buf, "P=%d invalid: need P >= 1", p);
+    return buf;
+  }
+  const int l = r + p;
+  if (l > n) {
+    std::snprintf(buf, sizeof buf,
+                  "sub-adder length L=R+P=%d exceeds N=%d", l, n);
+    return buf;
+  }
+  if ((n - l) % r != 0) {
+    std::snprintf(buf, sizeof buf,
+                  "(N-L)%%R = (%d-%d)%%%d = %d != 0 (paper Eq. 1); "
+                  "use make_relaxed() for non-tiling geometries",
+                  n, l, r, (n - l) % r);
+    return buf;
+  }
+  return "";
 }
 
 GeArConfig GeArConfig::must(int n, int r, int p) {
   auto cfg = make(n, r, p);
   if (!cfg) {
-    std::fprintf(stderr, "GeArConfig::must: invalid config (N=%d,R=%d,P=%d)\n", n, r, p);
+    std::fprintf(stderr, "GeArConfig::must(N=%d,R=%d,P=%d): %s\n", n, r, p,
+                 invalid_reason(n, r, p).c_str());
     std::abort();
   }
   return *cfg;

@@ -48,8 +48,16 @@ class GeArConfig {
   static std::optional<GeArConfig> make(int n, int r, int p);
 
   /// Builds a strict configuration or aborts — for literals in tests and
-  /// benchmarks where the parameters are known valid.
+  /// benchmarks where the parameters are known valid. The abort message
+  /// names the violated constraint (see invalid_reason). Prefer make() +
+  /// explicit error handling anywhere the parameters come from outside
+  /// (CLI flags, campaign sweeps, config files).
   static GeArConfig must(int n, int r, int p);
+
+  /// Human-readable reason make(n, r, p) would fail, or "" when the
+  /// parameters form a valid strict configuration. Stable enough to embed
+  /// in CLI error messages.
+  static std::string invalid_reason(int n, int r, int p);
 
   /// Builds a relaxed configuration: any 1 <= R, 1 <= P with R+P <= N is
   /// accepted; the top sub-adder is clamped to bit N-1 and may contribute

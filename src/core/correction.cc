@@ -32,6 +32,12 @@ Corrector::Corrector(GeArConfig config, std::uint64_t enabled_mask)
       operand_mask_(low_mask(config_.n())) {}
 
 CorrectionResult Corrector::add(std::uint64_t a, std::uint64_t b) const {
+  return add(a, b, DetectFault{});
+}
+
+CorrectionResult Corrector::add(std::uint64_t a, std::uint64_t b,
+                                const DetectFault& fault,
+                                int max_corrections) const {
   a &= operand_mask_;
   b &= operand_mask_;
   const auto& layout = config_.layout();
@@ -47,7 +53,19 @@ CorrectionResult Corrector::add(std::uint64_t a, std::uint64_t b) const {
     w.eval(s.window_len(), s.prediction_len());
   }
 
+  // The (possibly faulted) detect signal of sub-adder j on the current
+  // window state — the same signal the hardware's "err" bus carries.
+  auto detect_of = [&](int j) {
+    if (fault.active() && j == fault.sub_adder) return fault.forced_value;
+    return win[static_cast<std::size_t>(j)].all_propagate &&
+           win[static_cast<std::size_t>(j - 1)].carry_out;
+  };
+
   CorrectionResult out;
+  for (int j = 1; j < k; ++j) {
+    if (detect_of(j)) out.detect_mask |= 1U << j;
+  }
+
   std::vector<bool> was_corrected(static_cast<std::size_t>(k), false);
 
   // One correction per cycle, lowest erroneous enabled sub-adder first.
@@ -55,15 +73,18 @@ CorrectionResult Corrector::add(std::uint64_t a, std::uint64_t b) const {
   for (;;) {
     int target = -1;
     for (int j = 1; j < k; ++j) {
-      const auto& w = win[static_cast<std::size_t>(j)];
-      const bool detect = w.all_propagate && win[static_cast<std::size_t>(j - 1)].carry_out;
       const bool enabled = (enabled_mask_ >> j) & 1ULL;
-      if (detect && enabled && !was_corrected[static_cast<std::size_t>(j)]) {
+      if (detect_of(j) && enabled && !was_corrected[static_cast<std::size_t>(j)]) {
         target = j;
         break;
       }
     }
     if (target < 0) break;
+    if (max_corrections >= 0 &&
+        static_cast<int>(out.corrected.size()) >= max_corrections) {
+      out.budget_exhausted = true;
+      break;
+    }
 
     const auto& s = layout[static_cast<std::size_t>(target)];
     auto& w = win[static_cast<std::size_t>(target)];

@@ -29,6 +29,13 @@ struct CorrectionResult {
   int cycles = 1;               ///< 1 base cycle + 1 per corrected sub-adder
   std::vector<int> corrected;   ///< sub-adder indices corrected, in order
   bool exact = false;           ///< final sum equals the exact sum
+  /// First-pass detect flags (bit j = sub-adder j's detect condition
+  /// before any correction), independent of the enable mask — what the
+  /// hardware error bus "err" shows, and what a watchdog observes.
+  std::uint32_t detect_mask = 0;
+  /// True when a per-op correction budget ran out with enabled detects
+  /// still pending.
+  bool budget_exhausted = false;
 };
 
 /// Error-correction engine for a GeAr configuration.
@@ -44,11 +51,33 @@ class Corrector {
   const GeArConfig& config() const { return config_; }
   std::uint64_t enabled_mask() const { return enabled_mask_; }
 
+  /// Functional fault injected into the detection network: sub-adder
+  /// `sub_adder`'s detect signal reads `forced_value` instead of its
+  /// computed value (a stuck flag line, or — applied for a single op — a
+  /// transient upset of the detect logic). `sub_adder < 0` disables.
+  struct DetectFault {
+    int sub_adder = -1;
+    bool forced_value = false;
+
+    bool active() const { return sub_adder >= 0; }
+  };
+
   /// Runs the multi-cycle detect/correct loop.
   CorrectionResult add(std::uint64_t a, std::uint64_t b) const;
 
+  /// add() with an injected detection fault and/or a per-op correction
+  /// budget: at most `max_corrections` corrections are applied when
+  /// `max_corrections >= 0` (the rest stay uncorrected and the result is
+  /// marked budget_exhausted).
+  CorrectionResult add(std::uint64_t a, std::uint64_t b, const DetectFault& fault,
+                       int max_corrections = -1) const;
+
   /// Upper bound on cycles for this configuration and mask.
   int max_cycles() const;
+
+  /// Worst-case cycles with every sub-adder corrected (the exact-add
+  /// fallback latency of the safe mode), independent of the mask.
+  int worst_case_cycles() const { return config_.k(); }
 
  private:
   GeArConfig config_;

@@ -1,0 +1,75 @@
+#include "core/watchdog.h"
+
+#include <cassert>
+
+namespace gear::core {
+
+const char* safe_mode_name(SafeMode mode) {
+  switch (mode) {
+    case SafeMode::kExactAdd: return "exact-add";
+    case SafeMode::kFreezeMask: return "freeze-mask";
+    case SafeMode::kFlagApproximate: return "flagged-approximate";
+  }
+  return "?";
+}
+
+Watchdog::Watchdog(double expected_detect_rate, DegradationPolicy policy)
+    : expected_(expected_detect_rate), policy_(policy) {
+  assert(policy_.window > 0);
+}
+
+void Watchdog::reset() {
+  safe_ = false;
+  window_ops_ = 0;
+  window_detects_ = 0;
+  window_stalls_ = 0;
+  cooldown_ops_left_ = 0;
+}
+
+bool Watchdog::observe(bool detected, std::uint64_t stall_cycles) {
+  if (safe_) {
+    // kFreezeMask latches by design: the whole point is to stop reacting.
+    if (policy_.cooldown_windows > 0 && policy_.safe_mode != SafeMode::kFreezeMask) {
+      if (--cooldown_ops_left_ == 0) reset();
+    }
+    return false;
+  }
+
+  ++window_ops_;
+  window_detects_ += detected ? 1 : 0;
+  window_stalls_ += stall_cycles;
+
+  // The stall budget trips immediately: by the time the window closed the
+  // cycle budget would already be blown.
+  bool trip = window_stalls_ > policy_.stall_budget;
+  if (!trip && window_ops_ >= policy_.window) trip = evaluate_window();
+
+  if (window_ops_ >= policy_.window && !trip) {
+    window_ops_ = 0;
+    window_detects_ = 0;
+    window_stalls_ = 0;
+  }
+  if (trip) {
+    safe_ = true;
+    ++fallbacks_;
+    cooldown_ops_left_ =
+        static_cast<std::uint64_t>(policy_.cooldown_windows) * policy_.window;
+  }
+  return trip;
+}
+
+bool Watchdog::evaluate_window() {
+  const double rate = static_cast<double>(window_detects_) /
+                      static_cast<double>(window_ops_);
+  if (policy_.spike_factor > 0.0 && rate > policy_.spike_factor * expected_) {
+    return true;
+  }
+  if (policy_.floor_factor > 0.0 &&
+      expected_ * static_cast<double>(policy_.window) >= 1.0 &&
+      rate < policy_.floor_factor * expected_) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace gear::core

@@ -1,0 +1,103 @@
+// Watchdog policy for graceful degradation of the correction loop.
+//
+// The multi-cycle detect/correct loop (paper Section 3.3) assumes the
+// detection network is healthy: flags fire at the rate the error model
+// predicts and each op needs at most k-1 correction cycles. A transient
+// or permanent fault in the datapath or the detection logic breaks that
+// assumption in one of two observable ways:
+//
+//  * the detect rate *spikes* far above the analytic prediction (a stuck
+//    or chattering flag burns a correction cycle on almost every op), or
+//  * the detect rate *collapses* below it (a dead flag network silently
+//    stops requesting corrections — the precursor of silent data
+//    corruption), or
+//  * the per-window correction-cycle budget is exhausted.
+//
+// The watchdog monitors all three against the analytic model
+// (paper_error_probability) over fixed-size op windows and, on a trip,
+// drops the system into a configurable safe mode instead of letting it
+// corrupt results silently:
+//
+//  * kExactAdd          — bypass approximation: every op pays the full
+//                         worst-case correction latency but is exact;
+//  * kFreezeMask        — keep the current correction mask but stop
+//                         adapting/monitoring (trust the last-known-good
+//                         configuration);
+//  * kFlagApproximate   — stop correcting, run 1-cycle approximate adds,
+//                         and flag every result as untrusted (accuracy is
+//                         surrendered, but visibly so).
+//
+// The watchdog itself is deterministic: its decisions are a pure function
+// of the observation stream, so sharded parallel runs that keep one
+// watchdog per shard stay bit-reproducible (DESIGN.md §5a).
+#pragma once
+
+#include <cstdint>
+
+namespace gear::core {
+
+enum class SafeMode : std::uint8_t {
+  kExactAdd,
+  kFreezeMask,
+  kFlagApproximate,
+};
+
+const char* safe_mode_name(SafeMode mode);
+
+struct DegradationPolicy {
+  /// Ops per monitoring window.
+  std::uint32_t window = 256;
+  /// Max correction (stall) cycles tolerated within one window; the trip
+  /// is immediate, mid-window. ~0 disables the budget check.
+  std::uint64_t stall_budget = ~0ULL;
+  /// Cap on correction cycles spent on a single op (-1 = unlimited). An
+  /// op that hits the cap completes with its remaining detects
+  /// uncorrected and is counted as budget-exhausted.
+  int per_op_correction_budget = -1;
+  /// Trip when the windowed detect rate exceeds spike_factor * expected.
+  /// <= 0 disables the spike check.
+  double spike_factor = 8.0;
+  /// Trip when the windowed detect rate falls below floor_factor *
+  /// expected. Only evaluated when the window is large enough to expect
+  /// at least one detect (expected * window >= 1); 0 disables.
+  double floor_factor = 0.0;
+  SafeMode safe_mode = SafeMode::kExactAdd;
+  /// Windows spent in safe mode before re-arming; 0 latches safe mode
+  /// until reset().
+  std::uint32_t cooldown_windows = 0;
+};
+
+class Watchdog {
+ public:
+  /// `expected_detect_rate` is the analytic per-op probability of >= 1
+  /// detect event (e.g. paper_error_probability of the configuration).
+  Watchdog(double expected_detect_rate, DegradationPolicy policy);
+
+  /// Feeds one op's observation: whether any first-pass detect fired and
+  /// how many stall (correction) cycles it consumed. Returns true when
+  /// this op trips the watchdog into safe mode.
+  bool observe(bool detected, std::uint64_t stall_cycles);
+
+  bool in_safe_mode() const { return safe_; }
+  SafeMode mode() const { return policy_.safe_mode; }
+  std::uint64_t fallback_events() const { return fallbacks_; }
+  double expected_detect_rate() const { return expected_; }
+  const DegradationPolicy& policy() const { return policy_; }
+
+  /// Re-arms the watchdog and clears window state (not fallback_events).
+  void reset();
+
+ private:
+  bool evaluate_window();
+
+  double expected_ = 0.0;
+  DegradationPolicy policy_;
+  bool safe_ = false;
+  std::uint64_t fallbacks_ = 0;
+  std::uint32_t window_ops_ = 0;
+  std::uint64_t window_detects_ = 0;
+  std::uint64_t window_stalls_ = 0;
+  std::uint64_t cooldown_ops_left_ = 0;
+};
+
+}  // namespace gear::core

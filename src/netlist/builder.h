@@ -36,6 +36,10 @@ class Builder {
   void output(const std::string& name, const Bus& bus);
   void output(const std::string& name, NetId net);
 
+  /// Architectural region stamped on subsequently built gates; see
+  /// Netlist::set_region. Hash-consed gates keep their first region.
+  void region(const std::string& name) { nl_.set_region(name); }
+
   NetId const0();
   NetId const1();
 

@@ -70,14 +70,17 @@ Netlist build_gear(const core::GeArConfig& cfg, const GearCircuitOptions& opt) {
       const int plen = s.prediction_len();
       Bus pa = Builder::slice(wa, 0, plen);
       Bus pb = Builder::slice(wb, 0, plen);
+      b.region("detect");
       const NetId prop_first = b.and_tree(b.xor_bus(pa, pb));
       // First-pass carry of the previous window (already built, since j-1
       // precedes j and carry_out[j-1] is final for the first pass).
       const NetId det = b.and_(prop_first, carry_out[static_cast<std::size_t>(j - 1)]);
+      b.region("correct");
       Bus merged = b.or_bus(pa, pb);
       merged[0] = b.const1();
       Bus ca = b.mux_bus(det, pa, merged);
       Bus cb = b.mux_bus(det, pb, merged);
+      b.region("");
       std::copy(ca.begin(), ca.end(), wa.begin());
       std::copy(cb.begin(), cb.end(), wb.begin());
     }
@@ -86,23 +89,28 @@ Netlist build_gear(const core::GeArConfig& cfg, const GearCircuitOptions& opt) {
     // discarded in the paper's Fig. 3 and omitted from the hardware);
     // result bits get full adders.
     const int rel = s.res_lo - s.win_lo;
+    b.region(j > 0 ? "predict" : "ripple");
     NetId carry = b.carry_generator(Builder::slice(wa, 0, rel),
                                     Builder::slice(wb, 0, rel), b.const0());
+    b.region("ripple");
     for (int i = rel; i < wlen; ++i) {
       auto [sum_bit, next_carry] = b.full_adder(wa[static_cast<std::size_t>(i)],
                                                 wb[static_cast<std::size_t>(i)], carry);
       sum[static_cast<std::size_t>(s.win_lo + i)] = sum_bit;
       carry = next_carry;
     }
+    b.region("");
     carry_out[static_cast<std::size_t>(j)] = carry;
     if (j >= 1 && opt.with_detection) {
       const int plen = s.prediction_len();
       Bus pa = Builder::slice(a, s.win_lo, plen);
       Bus pb = Builder::slice(bb, s.win_lo, plen);
+      b.region("detect");
       all_prop[static_cast<std::size_t>(j)] = b.and_tree(b.xor_bus(pa, pb));
       detect[static_cast<std::size_t>(j)] =
           b.and_(all_prop[static_cast<std::size_t>(j)],
                  carry_out[static_cast<std::size_t>(j - 1)]);
+      b.region("");
     }
   }
   sum[static_cast<std::size_t>(n)] = carry_out[static_cast<std::size_t>(k - 1)];

@@ -18,7 +18,7 @@ EventSimulator::EventSimulator(Netlist nl, GateDelays delays)
 }
 
 void EventSimulator::settle(const std::map<std::string, core::BitVec>& inputs,
-                            std::vector<bool>& value) const {
+                            std::vector<bool>& value, const FaultSpec* fault) const {
   for (const auto& port : nl_.inputs()) {
     auto it = inputs.find(port.name);
     for (std::size_t i = 0; i < port.nets.size(); ++i) {
@@ -27,29 +27,54 @@ void EventSimulator::settle(const std::map<std::string, core::BitVec>& inputs,
                             it->second.bit(static_cast<int>(i));
     }
   }
+  // Only permanent (stuck-at) faults shape a settled state; a transient
+  // strike is an event, injected by step_impl.
+  if (fault && fault->is_stuck() && nl_.driver(fault->net) < 0) {
+    value[fault->net] = fault->stuck_value();
+  }
   std::vector<bool> in_bits;
   for (const auto& g : nl_.gates()) {
     in_bits.clear();
     for (NetId in : g.inputs) in_bits.push_back(value[in]);
-    value[g.output] = eval_gate(g.kind, in_bits);
+    bool v = eval_gate(g.kind, in_bits);
+    if (fault && fault->is_stuck() && g.output == fault->net) {
+      v = fault->stuck_value();
+    }
+    value[g.output] = v;
   }
 }
 
 EventSimResult EventSimulator::step(const std::map<std::string, core::BitVec>& from,
                                     const std::map<std::string, core::BitVec>& to) {
-  const std::size_t nets = nl_.net_count();
-  std::vector<bool> value(nets, false);
-  settle(from, value);
+  return step_impl(from, to, nullptr);
+}
 
-  // Final values, to count the minimum (hazard-free) transitions.
-  std::vector<bool> final_value = value;
+EventSimResult EventSimulator::step_with_fault(
+    const std::map<std::string, core::BitVec>& from,
+    const std::map<std::string, core::BitVec>& to, const FaultSpec& fault) {
+  return step_impl(from, to, &fault);
+}
+
+EventSimResult EventSimulator::step_impl(
+    const std::map<std::string, core::BitVec>& from,
+    const std::map<std::string, core::BitVec>& to, const FaultSpec* fault) {
+  const std::size_t nets = nl_.net_count();
+  const bool stuck = fault && fault->is_stuck();
+  std::vector<bool> value(nets, false);
+  settle(from, value, fault);
+
+  // Fault-free final values: the reference for the minimum (hazard-free)
+  // transition count and for fault-corruption detection.
+  std::vector<bool> final_value(nets, false);
   settle(to, final_value);
   std::uint64_t min_transitions = 0;
   for (std::size_t n = 0; n < nets; ++n) {
     if (value[n] != final_value[n]) ++min_transitions;
   }
 
-  // Event queue of (time, gate) evaluations seeded by changed inputs.
+  // Event queue of (time, gate) evaluations seeded by changed inputs. The
+  // sentinel index kFaultEvent marks the transient strike.
+  constexpr std::size_t kFaultEvent = static_cast<std::size_t>(-1);
   using Event = std::pair<double, std::size_t>;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
   auto schedule_fanout = [&](NetId net, double t) {
@@ -57,13 +82,17 @@ EventSimResult EventSimulator::step(const std::map<std::string, core::BitVec>& f
       queue.emplace(t + delays_.of(nl_.gates()[gi].kind), gi);
     }
   };
+  if (fault && !fault->is_stuck()) {
+    queue.emplace(std::max(0.0, fault->time), kFaultEvent);
+  }
 
   EventSimResult result;
   for (const auto& port : nl_.inputs()) {
     auto it = to.find(port.name);
     for (std::size_t i = 0; i < port.nets.size(); ++i) {
-      const bool nv = it != to.end() && static_cast<int>(i) < it->second.width() &&
-                      it->second.bit(static_cast<int>(i));
+      bool nv = it != to.end() && static_cast<int>(i) < it->second.width() &&
+                it->second.bit(static_cast<int>(i));
+      if (stuck && port.nets[i] == fault->net) nv = fault->stuck_value();
       if (value[port.nets[i]] != nv) {
         value[port.nets[i]] = nv;
         ++result.transitions;
@@ -75,15 +104,21 @@ EventSimResult EventSimulator::step(const std::map<std::string, core::BitVec>& f
   // Two-phase per timestamp: evaluate every gate scheduled at time t
   // against the pre-t values, then commit the changes and schedule their
   // fan-out — otherwise same-time cascades would propagate with zero
-  // delay through the batch.
+  // delay through the batch. A transient strike lands after the regular
+  // commits of its timestamp, flipping whatever the net then holds.
   std::vector<bool> in_bits;
   std::vector<std::size_t> batch;
   std::vector<std::pair<std::size_t, bool>> commits;  // gate -> new value
   while (!queue.empty()) {
     const double t = queue.top().first;
     batch.clear();
+    bool strike = false;
     while (!queue.empty() && queue.top().first == t) {
-      batch.push_back(queue.top().second);
+      if (queue.top().second == kFaultEvent) {
+        strike = true;
+      } else {
+        batch.push_back(queue.top().second);
+      }
       queue.pop();
     }
     std::sort(batch.begin(), batch.end());
@@ -94,7 +129,8 @@ EventSimResult EventSimulator::step(const std::map<std::string, core::BitVec>& f
       const Gate& g = nl_.gates()[gi];
       in_bits.clear();
       for (NetId in : g.inputs) in_bits.push_back(value[in]);
-      const bool nv = eval_gate(g.kind, in_bits);
+      bool nv = eval_gate(g.kind, in_bits);
+      if (stuck && g.output == fault->net) nv = fault->stuck_value();
       if (nv != value[g.output]) commits.emplace_back(gi, nv);
     }
     for (const auto& [gi, nv] : commits) {
@@ -104,14 +140,23 @@ EventSimResult EventSimulator::step(const std::map<std::string, core::BitVec>& f
       result.settle_time = std::max(result.settle_time, t);
       schedule_fanout(g.output, t);
     }
+    if (strike) {
+      value[fault->net] = !value[fault->net];
+      ++result.transitions;
+      result.settle_time = std::max(result.settle_time, t);
+      schedule_fanout(fault->net, t);
+    }
   }
 
-  assert(value == final_value);
-  result.glitches = result.transitions - min_transitions;
+  assert(fault != nullptr || value == final_value);
+  result.glitches = result.transitions > min_transitions
+                        ? result.transitions - min_transitions
+                        : 0;
   for (const auto& port : nl_.outputs()) {
     core::BitVec v(static_cast<int>(port.nets.size()));
     for (std::size_t i = 0; i < port.nets.size(); ++i) {
       v.set_bit(static_cast<int>(i), value[port.nets[i]]);
+      if (value[port.nets[i]] != final_value[port.nets[i]]) result.corrupted = true;
     }
     result.outputs[port.name] = v;
   }

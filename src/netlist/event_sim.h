@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "netlist/fault.h"
 #include "netlist/netlist.h"
 #include "stats/rng.h"
 
@@ -40,6 +41,8 @@ struct EventSimResult {
   std::uint64_t transitions = 0;   ///< total net transitions (incl. final)
   std::uint64_t glitches = 0;      ///< transitions beyond the minimum
   std::map<std::string, core::BitVec> outputs;
+  /// Faulted runs only: outputs differ from the fault-free final state.
+  bool corrupted = false;
 };
 
 class EventSimulator {
@@ -52,6 +55,19 @@ class EventSimulator {
   /// propagates to quiescence. Input maps are port-name -> value.
   EventSimResult step(const std::map<std::string, core::BitVec>& from,
                       const std::map<std::string, core::BitVec>& to);
+
+  /// step() with a fault injected. A stuck-at holds its net for the whole
+  /// run (including the initial settled state). A transient flips the net
+  /// once at `fault.time` (>= 0): if the strike lands while the cone is
+  /// still settling, a later re-evaluation of the driver can overwrite the
+  /// flipped value — electrical masking — whereas a strike after
+  /// quiescence always propagates and re-settles the downstream cone.
+  /// `result.corrupted` compares the final state against the fault-free
+  /// settle of `to`; glitch accounting is relative to the same reference
+  /// and saturates at zero.
+  EventSimResult step_with_fault(const std::map<std::string, core::BitVec>& from,
+                                 const std::map<std::string, core::BitVec>& to,
+                                 const FaultSpec& fault);
 
   /// Convenience for two-operand adders: transition (a0,b0) -> (a1,b1).
   EventSimResult step_add(std::uint64_t a0, std::uint64_t b0, std::uint64_t a1,
@@ -68,8 +84,11 @@ class EventSimulator {
   Profile profile(std::uint64_t pairs, stats::Rng& rng);
 
  private:
+  EventSimResult step_impl(const std::map<std::string, core::BitVec>& from,
+                           const std::map<std::string, core::BitVec>& to,
+                           const FaultSpec* fault);
   void settle(const std::map<std::string, core::BitVec>& inputs,
-              std::vector<bool>& value) const;
+              std::vector<bool>& value, const FaultSpec* fault = nullptr) const;
 
   Netlist nl_;
   GateDelays delays_;

@@ -1,33 +1,45 @@
 #include "netlist/fault.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace gear::netlist {
 
 namespace {
 
-/// Simulation core shared by good/faulty runs: `fault` may be null.
-void eval_all(const Netlist& nl, const StuckFault* fault,
+/// Simulation core shared by good/faulty runs: `fault` may be null. A
+/// stuck-at overrides the net for the whole pass; a transient inverts the
+/// settled value at its driver, which in a single topological pass is
+/// exactly the post-quiescence SEU (the flip propagates through the whole
+/// downstream cone).
+void eval_all(const Netlist& nl, const FaultSpec* fault,
               std::vector<bool>& value) {
+  // A fault on a primary-input net is applied before gates read it; on a
+  // gate output it overrides/inverts the gate (handled in the loop).
+  if (fault && nl.driver(fault->net) < 0) {
+    value[fault->net] =
+        fault->is_stuck() ? fault->stuck_value() : !value[fault->net];
+  }
   std::vector<bool> in_bits;
   for (const auto& g : nl.gates()) {
     in_bits.clear();
     for (NetId in : g.inputs) in_bits.push_back(value[in]);
     bool v = eval_gate(g.kind, in_bits);
-    if (fault && g.output == fault->net) v = fault->stuck_value;
+    if (fault && g.output == fault->net) {
+      v = fault->is_stuck() ? fault->stuck_value() : !v;
+    }
     value[g.output] = v;
   }
-  // A fault on a primary-input net is applied before gates read it; on a
-  // gate output it overrides the gate (handled above).
-  if (fault && nl.driver(fault->net) < 0) value[fault->net] = fault->stuck_value;
 }
 
-void load_operands(const Netlist& nl, std::uint64_t a, std::uint64_t b,
-                   std::vector<bool>& value) {
+void load_ports(const Netlist& nl, const PortVector& inputs,
+                std::vector<bool>& value) {
   for (const auto& port : nl.inputs()) {
-    const std::uint64_t v = port.name == "a" ? a : port.name == "b" ? b : 0;
+    auto it = inputs.find(port.name);
     for (std::size_t i = 0; i < port.nets.size(); ++i) {
-      value[port.nets[i]] = (v >> i) & 1ULL;
+      value[port.nets[i]] = it != inputs.end() &&
+                            static_cast<int>(i) < it->second.width() &&
+                            it->second.bit(static_cast<int>(i));
     }
   }
 }
@@ -38,6 +50,15 @@ std::vector<bool> output_bits(const Netlist& nl, const std::vector<bool>& value)
     for (NetId n : port.nets) out.push_back(value[n]);
   }
   return out;
+}
+
+PortVector pair_vector(const Netlist& nl, std::uint64_t a, std::uint64_t b) {
+  PortVector v;
+  for (const auto& port : nl.inputs()) {
+    const std::uint64_t bits = port.name == "a" ? a : port.name == "b" ? b : 0;
+    v[port.name] = core::BitVec(static_cast<int>(port.nets.size()), bits);
+  }
+  return v;
 }
 
 }  // namespace
@@ -55,19 +76,20 @@ std::vector<StuckFault> enumerate_faults(const Netlist& nl) {
   return faults;
 }
 
+std::vector<FaultSpec> enumerate_transient_faults(const Netlist& nl) {
+  std::vector<FaultSpec> faults;
+  for (const auto& g : nl.gates()) {
+    if (g.kind == GateKind::kConst0 || g.kind == GateKind::kConst1) continue;
+    faults.push_back(FaultSpec::transient(g.output));
+  }
+  return faults;
+}
+
 std::map<std::string, core::BitVec> simulate_with_fault(
-    const Netlist& nl, const StuckFault& fault,
+    const Netlist& nl, const FaultSpec& fault,
     const std::map<std::string, core::BitVec>& input_values) {
   std::vector<bool> value(nl.net_count(), false);
-  for (const auto& port : nl.inputs()) {
-    auto it = input_values.find(port.name);
-    for (std::size_t i = 0; i < port.nets.size(); ++i) {
-      value[port.nets[i]] = it != input_values.end() &&
-                            static_cast<int>(i) < it->second.width() &&
-                            it->second.bit(static_cast<int>(i));
-    }
-  }
-  if (nl.driver(fault.net) < 0) value[fault.net] = fault.stuck_value;
+  load_ports(nl, input_values, value);
   eval_all(nl, &fault, value);
   std::map<std::string, core::BitVec> out;
   for (const auto& port : nl.outputs()) {
@@ -80,42 +102,82 @@ std::map<std::string, core::BitVec> simulate_with_fault(
   return out;
 }
 
-bool fault_detected(
-    const Netlist& nl, const StuckFault& fault,
-    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& vectors) {
+bool fault_detected(const Netlist& nl, const FaultSpec& fault,
+                    const std::vector<PortVector>& vectors) {
   std::vector<bool> good(nl.net_count(), false);
   std::vector<bool> bad(nl.net_count(), false);
-  for (const auto& [a, b] : vectors) {
-    load_operands(nl, a, b, good);
+  for (const auto& v : vectors) {
+    load_ports(nl, v, good);
     eval_all(nl, nullptr, good);
-    load_operands(nl, a, b, bad);
+    load_ports(nl, v, bad);
     eval_all(nl, &fault, bad);
     if (output_bits(nl, good) != output_bits(nl, bad)) return true;
   }
   return false;
 }
 
-FaultCoverage random_vector_coverage(const Netlist& nl, std::size_t count,
-                                     stats::Rng& rng) {
-  int wa = 0;
-  for (const auto& port : nl.inputs()) {
-    if (port.name == "a") wa = static_cast<int>(port.nets.size());
+bool fault_detected(
+    const Netlist& nl, const FaultSpec& fault,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& vectors) {
+  std::vector<PortVector> port_vectors;
+  port_vectors.reserve(vectors.size());
+  for (const auto& [a, b] : vectors) port_vectors.push_back(pair_vector(nl, a, b));
+  return fault_detected(nl, fault, port_vectors);
+}
+
+std::vector<PortVector> random_port_vectors(const Netlist& nl, std::size_t count,
+                                            stats::Rng& rng) {
+  std::vector<PortVector> vectors(count);
+  for (auto& v : vectors) {
+    for (const auto& port : nl.inputs()) {
+      const int width = static_cast<int>(port.nets.size());
+      core::BitVec bits(width);
+      // Draw in <= 63-bit chunks so arbitrarily wide control buses work.
+      for (int lo = 0; lo < width; lo += 63) {
+        const int chunk = std::min(63, width - lo);
+        const std::uint64_t draw = rng.bits(chunk);
+        for (int i = 0; i < chunk; ++i) bits.set_bit(lo + i, (draw >> i) & 1ULL);
+      }
+      v[port.name] = bits;
+    }
   }
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> vectors;
-  vectors.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    vectors.emplace_back(rng.bits(wa), rng.bits(wa));
+  return vectors;
+}
+
+FaultCoverage vector_coverage(const Netlist& nl,
+                              const std::vector<PortVector>& vectors) {
+  // Good-circuit responses are fault-independent: compute them once.
+  std::vector<std::vector<bool>> good_outputs;
+  good_outputs.reserve(vectors.size());
+  std::vector<bool> value(nl.net_count(), false);
+  for (const auto& v : vectors) {
+    load_ports(nl, v, value);
+    eval_all(nl, nullptr, value);
+    good_outputs.push_back(output_bits(nl, value));
   }
+
   FaultCoverage cov;
   for (const StuckFault& fault : enumerate_faults(nl)) {
     ++cov.total;
-    if (fault_detected(nl, fault, vectors)) {
+    const FaultSpec spec = fault;
+    bool caught = false;
+    for (std::size_t i = 0; i < vectors.size() && !caught; ++i) {
+      load_ports(nl, vectors[i], value);
+      eval_all(nl, &spec, value);
+      caught = output_bits(nl, value) != good_outputs[i];
+    }
+    if (caught) {
       ++cov.detected;
     } else {
       cov.undetected.push_back(fault);
     }
   }
   return cov;
+}
+
+FaultCoverage random_vector_coverage(const Netlist& nl, std::size_t count,
+                                     stats::Rng& rng) {
+  return vector_coverage(nl, random_port_vectors(nl, count, rng));
 }
 
 }  // namespace gear::netlist

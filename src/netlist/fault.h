@@ -1,13 +1,27 @@
-// Stuck-at fault injection and fault simulation.
+// Fault injection and fault simulation: permanent stuck-at faults and
+// transient single-event upsets (SEUs).
 //
-// Testability substrate for the generated circuits: enumerate single
-// stuck-at-0/1 faults on gate outputs, simulate the faulty circuit, and
-// measure the coverage of a vector set. Used to validate that GeAr's
-// error-detection flag network is itself testable, and that the
-// self-checking testbenches the RTL generator emits exercise the logic.
+// Testability substrate for the generated circuits: enumerate fault sites
+// on gate-driven nets, simulate the faulty circuit, and measure the
+// coverage of a vector set. Used to validate that GeAr's error-detection
+// flag network is itself testable, and — via the fault-campaign runner in
+// analysis/vulnerability.h — to quantify how gracefully each adder
+// degrades when the datapath or the detection logic itself is upset.
+//
+// Fault semantics:
+//  * Stuck-at: the net is held at a constant value for the whole run
+//    (classic manufacturing-defect model).
+//  * Transient: the settled value of the net is inverted once and the flip
+//    propagates through the downstream cone (an SEU striking after the
+//    inputs have quiesced). In the functional simulator this is exact; the
+//    event simulator additionally supports flips at an arbitrary time
+//    during settling, where in-flight reconvergence can overwrite — i.e.
+//    electrically mask — the upset (see EventSimulator::step_with_fault).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/bitvec.h"
@@ -16,26 +30,77 @@
 
 namespace gear::netlist {
 
+enum class FaultKind : std::uint8_t {
+  kStuckAt0,
+  kStuckAt1,
+  kTransient,  ///< one-shot bit flip of the settled net value
+};
+
+/// One fault site: a kind applied to a net. `time` is only meaningful for
+/// transient faults under the event simulator (flip instant in the same
+/// units as GateDelays); the functional simulator ignores it and models
+/// the post-quiescence flip.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kStuckAt0;
+  NetId net = kInvalidNet;
+  double time = 0.0;
+
+  static FaultSpec stuck_at(NetId net, bool value) {
+    return {value ? FaultKind::kStuckAt1 : FaultKind::kStuckAt0, net, 0.0};
+  }
+  static FaultSpec transient(NetId net, double time = 0.0) {
+    return {FaultKind::kTransient, net, time};
+  }
+
+  bool is_stuck() const { return kind != FaultKind::kTransient; }
+  bool stuck_value() const { return kind == FaultKind::kStuckAt1; }
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+/// Legacy stuck-at description; kept for call sites that only deal in
+/// stuck-at testability. Converts implicitly to FaultSpec.
 struct StuckFault {
   NetId net = kInvalidNet;
   bool stuck_value = false;
 
+  operator FaultSpec() const { return FaultSpec::stuck_at(net, stuck_value); }
   bool operator==(const StuckFault&) const = default;
 };
 
 /// All single stuck-at faults on gate-driven nets (two per net).
 std::vector<StuckFault> enumerate_faults(const Netlist& nl);
 
-/// Simulates the netlist with `fault` overriding its net. Same semantics
-/// as Netlist::simulate otherwise.
+/// All transient (SEU) fault sites: one per non-constant gate-driven net.
+/// Constant drivers are excluded for the same reason as in
+/// enumerate_faults — a flip there is a stuck-at, not a transient site in
+/// any meaningful sense for a combinational pass.
+std::vector<FaultSpec> enumerate_transient_faults(const Netlist& nl);
+
+/// Simulates the netlist with `fault` overriding (stuck-at) or inverting
+/// (transient) its net. Same semantics as Netlist::simulate otherwise.
 std::map<std::string, core::BitVec> simulate_with_fault(
-    const Netlist& nl, const StuckFault& fault,
+    const Netlist& nl, const FaultSpec& fault,
     const std::map<std::string, core::BitVec>& input_values);
 
-/// Whether `vectors` (pairs applied to ports "a"/"b") distinguish the
-/// faulty circuit from the good one on any output.
-bool fault_detected(const Netlist& nl, const StuckFault& fault,
+/// A full input-port assignment for one test vector.
+using PortVector = std::map<std::string, core::BitVec>;
+
+/// Whether `vectors` distinguish the faulty circuit from the good one on
+/// any output. Each vector assigns every input port by name, so circuits
+/// with mask/control inputs (e.g. GDA's "cfg" bus) are coverable too.
+bool fault_detected(const Netlist& nl, const FaultSpec& fault,
+                    const std::vector<PortVector>& vectors);
+
+/// Two-operand convenience: pairs applied to ports "a"/"b", all other
+/// input ports held at 0.
+bool fault_detected(const Netlist& nl, const FaultSpec& fault,
                     const std::vector<std::pair<std::uint64_t, std::uint64_t>>& vectors);
+
+/// Draws `count` vectors assigning uniform random bits to *every* input
+/// port of the netlist, in port declaration order.
+std::vector<PortVector> random_port_vectors(const Netlist& nl, std::size_t count,
+                                            stats::Rng& rng);
 
 struct FaultCoverage {
   std::size_t total = 0;
@@ -46,8 +111,13 @@ struct FaultCoverage {
   std::vector<StuckFault> undetected;
 };
 
-/// Coverage of `count` random vector pairs over all single stuck-at
-/// faults of a two-operand circuit.
+/// Coverage of an explicit vector set over all single stuck-at faults.
+FaultCoverage vector_coverage(const Netlist& nl,
+                              const std::vector<PortVector>& vectors);
+
+/// Coverage of `count` random vectors (random_port_vectors) over all
+/// single stuck-at faults. Every input port is randomized, so
+/// detection/correction circuits with control inputs are exercised.
 FaultCoverage random_vector_coverage(const Netlist& nl, std::size_t count,
                                      stats::Rng& rng);
 

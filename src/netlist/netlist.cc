@@ -84,7 +84,29 @@ NetId Netlist::add_gate(GateKind kind, std::vector<NetId> inputs) {
   const NetId out = new_net();
   net_driver_[out] = static_cast<std::int64_t>(gates_.size());
   gates_.push_back(Gate{kind, std::move(inputs), out});
+  gate_region_.push_back(current_region_);
   return out;
+}
+
+void Netlist::set_region(const std::string& name) {
+  for (std::size_t i = 0; i < region_names_.size(); ++i) {
+    if (region_names_[i] == name) {
+      current_region_ = static_cast<std::uint16_t>(i);
+      return;
+    }
+  }
+  region_names_.push_back(name);
+  current_region_ = static_cast<std::uint16_t>(region_names_.size() - 1);
+}
+
+const std::string& Netlist::gate_region(std::size_t gi) const {
+  return region_names_[gate_region_.at(gi)];
+}
+
+const std::string& Netlist::net_region(NetId net) const {
+  const std::int64_t gi = driver(net);
+  return gi < 0 ? region_names_.front()
+                : gate_region(static_cast<std::size_t>(gi));
 }
 
 void Netlist::add_input(const std::string& name, std::vector<NetId> nets) {

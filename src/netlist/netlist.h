@@ -36,6 +36,19 @@ class Netlist {
   void add_input(const std::string& name, std::vector<NetId> nets);
   void add_output(const std::string& name, std::vector<NetId> nets);
 
+  /// Sets the architectural region ("module") stamped on gates added from
+  /// now on — e.g. "ripple" / "predict" / "detect" / "correct" in the GeAr
+  /// generator. Pass "" (the default) for untagged gates. Region names are
+  /// interned; the per-gate cost is one small integer.
+  void set_region(const std::string& name);
+
+  /// Region stamped on gate `gi` ("" when untagged). With hash-consing a
+  /// structurally shared gate keeps the region of its first construction.
+  const std::string& gate_region(std::size_t gi) const;
+
+  /// Region of the gate driving `net`; "" for primary inputs.
+  const std::string& net_region(NetId net) const;
+
   std::size_t net_count() const { return net_driver_.size(); }
   std::size_t gate_count() const { return gates_.size(); }
   const std::vector<Gate>& gates() const { return gates_; }
@@ -68,6 +81,9 @@ class Netlist {
   std::vector<Gate> gates_;
   std::vector<Port> inputs_;
   std::vector<Port> outputs_;
+  std::vector<std::string> region_names_{std::string()};  // interned, [0] = ""
+  std::vector<std::uint16_t> gate_region_;                // parallel to gates_
+  std::uint16_t current_region_ = 0;
 };
 
 }  // namespace gear::netlist

@@ -87,5 +87,88 @@ TEST(Adaptive, StatsAreConsistent) {
   EXPECT_LE(ac.stats().residual_rate(), 1.0);
 }
 
+// ---- Adversarial streams ----
+//
+// (a = all-ones, b = 1) makes the carry ripple from the LSB through every
+// window, so every prediction window is all-propagate with a live
+// carry-in: the worst case the paper's detect logic is built for, and the
+// worst stream an adaptive controller can face.
+
+TEST(Adaptive, AllPropagateBurstWidensWithinOneWindow) {
+  const std::uint32_t kWindow = 64;
+  AdaptiveCorrector ac(GeArConfig::must(16, 2, 2), policy(0.01, kWindow));
+  ASSERT_EQ(ac.enabled_level(), 0);
+  for (std::uint32_t i = 0; i < kWindow; ++i) ac.add(0xFFFF, 0x0001);
+  // Every burst op is wrong at level 0, so the very first adaptation
+  // decision must widen.
+  EXPECT_EQ(ac.enabled_level(), 1);
+  EXPECT_EQ(ac.stats().widen_events, 1);
+  EXPECT_EQ(ac.stats().residual_errors, kWindow);
+}
+
+TEST(Adaptive, ResidualReturnsToBandAfterBurst) {
+  const std::uint32_t kWindow = 64;
+  AdaptiveCorrector ac(GeArConfig::must(16, 2, 2), policy(0.05, kWindow));
+  // Sustained burst drives the mask all the way up...
+  for (std::uint32_t i = 0; i < kWindow * 8; ++i) ac.add(0xFFFF, 0x0001);
+  EXPECT_GT(ac.enabled_level(), 3);
+  // ...then a carry-free stream (disjoint operand bits: exact at every
+  // level) narrows it back down: the burst must not leave the controller
+  // stuck paying correction cycles forever.
+  stats::Rng rng(76);
+  for (std::uint32_t i = 0; i < kWindow * 32; ++i) {
+    // Disjoint operand bits: no carry is ever generated, so every level
+    // computes the add exactly.
+    ac.add(rng.bits(16) & 0x5555, rng.bits(16) & 0xAAAA);
+  }
+  EXPECT_EQ(ac.enabled_level(), 0);
+  EXPECT_GT(ac.stats().narrow_events, 0);
+}
+
+TEST(Adaptive, HysteresisPinsControllerAgainstOscillation) {
+  // Duty-cycled adversary: 3 worst-case ops in every 8 keeps the window
+  // error rate at 0.375, inside the (target*hysteresis, target] =
+  // (0.25, 0.5] dead band — the controller must not react at all. Without
+  // hysteresis this rate would narrow (rate < target) and immediately
+  // re-widen, oscillating every window.
+  AdaptivePolicy p = policy(0.5, 64);
+  p.hysteresis = 0.5;
+  AdaptiveCorrector ac(GeArConfig::must(16, 2, 2), p);
+  for (int i = 0; i < 64 * 20; ++i) {
+    if (i % 8 < 3) {
+      ac.add(0xFFFF, 0x0001);  // always wrong at level 0
+    } else {
+      ac.add(0x0001, 0x0002);  // carry-free: always exact
+    }
+  }
+  EXPECT_EQ(ac.stats().widen_events, 0);
+  EXPECT_EQ(ac.stats().narrow_events, 0);
+  EXPECT_EQ(ac.enabled_level(), 0);
+  EXPECT_NEAR(ac.stats().residual_rate(), 0.375, 1e-9);
+}
+
+TEST(Adaptive, DegradationTripsOnAdversarialDetectStorm) {
+  // With a degradation policy, the same all-propagate burst that the
+  // adaptive loop would chase is recognized as a detect-rate spike and
+  // the controller drops to exact adds instead of thrashing.
+  DegradationPolicy degradation;
+  degradation.window = 64;
+  degradation.spike_factor = 2.0;  // adversarial rate 1.0 > 2 * ~0.48
+  degradation.safe_mode = SafeMode::kExactAdd;
+  AdaptiveCorrector ac(GeArConfig::must(16, 2, 2), policy(0.01, 64),
+                       degradation);
+  ASSERT_FALSE(ac.in_safe_mode());
+  for (int i = 0; i < 64 * 4; ++i) {
+    const auto res = ac.add(0xFFFF, 0x0001);
+    if (ac.in_safe_mode()) EXPECT_TRUE(res.exact || i < 64);
+  }
+  EXPECT_TRUE(ac.in_safe_mode());
+  EXPECT_EQ(ac.stats().fallback_events, 1u);
+  EXPECT_GT(ac.stats().safe_mode_ops, 0u);
+  // Post-trip ops are exact, so residuals froze at the trip point.
+  EXPECT_LE(ac.stats().residual_errors,
+            ac.stats().additions - ac.stats().safe_mode_ops);
+}
+
 }  // namespace
 }  // namespace gear::core

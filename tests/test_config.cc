@@ -152,5 +152,31 @@ TEST(GeArConfig, NameFormat) {
   EXPECT_EQ(GeArConfig::must(16, 4, 4).name(), "GeAr(N=16,R=4,P=4)");
 }
 
+TEST(GeArConfig, InvalidReasonNamesViolatedConstraint) {
+  EXPECT_EQ(GeArConfig::invalid_reason(16, 4, 4), "");
+  EXPECT_NE(GeArConfig::invalid_reason(1, 4, 4).find("N=1"), std::string::npos);
+  EXPECT_NE(GeArConfig::invalid_reason(64, 4, 4).find("N=64"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::invalid_reason(16, 0, 4).find("R=0"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::invalid_reason(16, 4, 0).find("P=0"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::invalid_reason(8, 4, 8).find("exceeds"),
+            std::string::npos);
+  // The Eq. 1 failure explains itself and points at the relaxed escape
+  // hatch.
+  const std::string eq1 = GeArConfig::invalid_reason(16, 4, 5);
+  EXPECT_NE(eq1.find("Eq. 1"), std::string::npos);
+  EXPECT_NE(eq1.find("make_relaxed"), std::string::npos);
+  // make() agrees with invalid_reason() on every verdict.
+  for (int r = 0; r <= 8; ++r) {
+    for (int p = 0; p <= 8; ++p) {
+      EXPECT_EQ(GeArConfig::make(12, r, p).has_value(),
+                GeArConfig::invalid_reason(12, r, p).empty())
+          << r << "," << p;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gear::core

@@ -4,6 +4,7 @@
 #include "core/config.h"
 #include "netlist/circuits.h"
 #include "netlist/event_sim.h"
+#include "netlist/fault.h"
 #include "stats/rng.h"
 
 namespace gear::netlist {
@@ -94,6 +95,82 @@ TEST(EventSim, ProfileDeterministic) {
   const auto pb = sim.profile(200, b);
   EXPECT_DOUBLE_EQ(pa.mean_settle, pb.mean_settle);
   EXPECT_DOUBLE_EQ(pa.mean_transitions, pb.mean_transitions);
+}
+
+namespace {
+std::map<std::string, core::BitVec> operands(int n, std::uint64_t a,
+                                             std::uint64_t b) {
+  return {{"a", core::BitVec(n, a)}, {"b", core::BitVec(n, b)}};
+}
+}  // namespace
+
+TEST(EventSim, TransientAfterQuiescenceMatchesFunctionalFlip) {
+  // A strike far past settle is the post-quiescence SEU the functional
+  // simulator models: both must agree net by net on the outputs.
+  const Netlist nl = build_rca(8);
+  EventSimulator sim(nl);
+  const NetId sum0 = nl.outputs().front().nets[0];
+  const auto fault = FaultSpec::transient(sum0, /*time=*/1000.0);
+  const auto ev = sim.step_with_fault(operands(8, 0, 0), operands(8, 3, 5), fault);
+  const auto fn = simulate_with_fault(nl, fault, operands(8, 3, 5));
+  EXPECT_EQ(ev.outputs.at("sum").to_u64(), fn.at("sum").to_u64());
+  EXPECT_TRUE(ev.corrupted);
+  EXPECT_NE(ev.outputs.at("sum").to_u64(), 8u);  // exact sum masked out
+}
+
+TEST(EventSim, TransientDuringSettlingCanBeElectricallyMasked) {
+  // Strike the MSB sum net at t=0 of 0x00+0x00 -> 0xFF+0x01: its driver
+  // re-evaluates when the input edge (and later the rippling carry)
+  // arrives, overwriting the flip — the upset never reaches quiescence.
+  const Netlist nl = build_rca(8);
+  EventSimulator sim(nl);
+  const NetId sum7 = nl.outputs().front().nets[7];
+  const auto res = sim.step_with_fault(operands(8, 0, 0), operands(8, 0xFF, 0x01),
+                                       FaultSpec::transient(sum7, 0.0));
+  EXPECT_FALSE(res.corrupted);
+  EXPECT_EQ(res.outputs.at("sum").to_u64(), 0x100u);
+}
+
+TEST(EventSim, TransientAfterSettleOnSameNetAlwaysCorrupts) {
+  // Same net as above, but struck after quiescence: no driver activity is
+  // left to repair it, so the flip sticks.
+  const Netlist nl = build_rca(8);
+  EventSimulator sim(nl);
+  const NetId sum7 = nl.outputs().front().nets[7];
+  const auto res = sim.step_with_fault(operands(8, 0, 0), operands(8, 0xFF, 0x01),
+                                       FaultSpec::transient(sum7, 500.0));
+  EXPECT_TRUE(res.corrupted);
+  EXPECT_NE(res.outputs.at("sum").to_u64(), 0x100u);
+}
+
+TEST(EventSim, StuckAtMatchesFunctionalSimulation) {
+  const Netlist nl = build_rca(8);
+  EventSimulator sim(nl);
+  const NetId sum0 = nl.outputs().front().nets[0];
+  for (const bool v : {false, true}) {
+    const auto fault = FaultSpec::stuck_at(sum0, v);
+    const auto ev =
+        sim.step_with_fault(operands(8, 1, 2), operands(8, 42, 17), fault);
+    const auto fn = simulate_with_fault(nl, fault, operands(8, 42, 17));
+    EXPECT_EQ(ev.outputs.at("sum").to_u64(), fn.at("sum").to_u64()) << v;
+  }
+}
+
+TEST(EventSim, FaultFreeStepWithFaultIsStep) {
+  // An inactive sentinel is not expressible; instead check that a
+  // transient on a net the vectors never observe leaves corrupted unset
+  // and outputs exact. Flipping sum[7] when the true result has bit 7
+  // clear corrupts; flipping after an identical-input step (no activity)
+  // also corrupts — so use masking via reconvergence-free equality:
+  // stuck-at the good value is a no-op.
+  const Netlist nl = build_rca(8);
+  EventSimulator sim(nl);
+  const NetId sum0 = nl.outputs().front().nets[0];
+  // 2 + 2 = 4: sum[0] good value is 0; stuck-at-0 changes nothing.
+  const auto res = sim.step_with_fault(operands(8, 0, 0), operands(8, 2, 2),
+                                       FaultSpec::stuck_at(sum0, false));
+  EXPECT_FALSE(res.corrupted);
+  EXPECT_EQ(res.outputs.at("sum").to_u64(), 4u);
 }
 
 }  // namespace

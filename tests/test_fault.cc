@@ -1,5 +1,9 @@
-// Stuck-at fault injection / fault simulation tests.
+// Stuck-at and transient fault injection / fault simulation tests.
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/bitvec.h"
 #include "core/config.h"
@@ -11,6 +15,8 @@
 namespace gear::netlist {
 namespace {
 
+using OperandVectors = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
 TEST(Fault, EnumerationCoversGateOutputs) {
   const Netlist nl = build_rca(4);
   std::size_t non_const = 0;
@@ -20,6 +26,9 @@ TEST(Fault, EnumerationCoversGateOutputs) {
   const auto faults = enumerate_faults(nl);
   EXPECT_EQ(faults.size(), 2 * non_const);
   EXPECT_LT(non_const, nl.gate_count());  // the cin constant is excluded
+
+  // One transient site per stuck-at net pair.
+  EXPECT_EQ(enumerate_transient_faults(nl).size(), non_const);
 }
 
 TEST(Fault, InjectedFaultChangesOutput) {
@@ -33,14 +42,63 @@ TEST(Fault, InjectedFaultChangesOutput) {
   EXPECT_EQ(out.at("sum").to_u64(), 1u);
 }
 
+TEST(Fault, TransientInvertsSettledValue) {
+  // A transient on any net produces the same outputs as the stuck-at of
+  // the opposite of the net's good value, vector by vector.
+  const Netlist nl = build_rca(4);
+  const NetId sum0 = nl.outputs().front().nets[0];
+  for (const auto [a, b] : OperandVectors{{0, 0}, {3, 5}, {15, 1}, {9, 6}}) {
+    const std::map<std::string, core::BitVec> in = {
+        {"a", core::BitVec(4, a)}, {"b", core::BitVec(4, b)}};
+    const bool good_bit = (a + b) & 1ULL;
+    const auto flipped =
+        simulate_with_fault(nl, FaultSpec::transient(sum0), in);
+    const auto stuck =
+        simulate_with_fault(nl, FaultSpec::stuck_at(sum0, !good_bit), in);
+    EXPECT_EQ(flipped.at("sum").to_u64(), stuck.at("sum").to_u64())
+        << "a=" << a << " b=" << b;
+    EXPECT_NE(flipped.at("sum").to_u64(), (a + b) & 0x1FULL);
+  }
+}
+
+TEST(Fault, TransientPropagatesThroughCone) {
+  // Flipping an internal carry perturbs every downstream sum bit as if
+  // the carry had really been wrong: 0b0111 + 0b0001 with the carry out
+  // of bit 2 flipped loses the ripple into bit 3.
+  const Netlist nl = build_rca(4);
+  const auto in = std::map<std::string, core::BitVec>{
+      {"a", core::BitVec(4, 7)}, {"b", core::BitVec(4, 1)}};
+  // Locate the carry feeding the last full adder: the FaCarry gate whose
+  // output feeds the MSB sum gate.
+  const NetId sum3 = nl.outputs().front().nets[3];
+  const auto& sum3_gate =
+      nl.gates()[static_cast<std::size_t>(nl.driver(sum3))];
+  const NetId carry_in3 = sum3_gate.inputs[2];
+  const auto out =
+      simulate_with_fault(nl, FaultSpec::transient(carry_in3), in);
+  EXPECT_NE(out.at("sum").to_u64(), 8u);  // exact sum = 0b1000
+}
+
 TEST(Fault, GoodCircuitUnaffectedByUndetectingVectors) {
   const Netlist nl = build_rca(4);
   const NetId sum3 = nl.outputs().front().nets[3];
   // stuck-at-0 on sum[3] is undetectable by vectors whose bit 3 is 0.
   const StuckFault f{sum3, false};
-  EXPECT_FALSE(fault_detected(nl, f, {{0, 0}, {1, 1}, {2, 1}}));
+  EXPECT_FALSE(fault_detected(nl, f, OperandVectors{{0, 0}, {1, 1}, {2, 1}}));
   // ...and caught by one that sets it.
-  EXPECT_TRUE(fault_detected(nl, f, {{8, 0}}));
+  EXPECT_TRUE(fault_detected(nl, f, OperandVectors{{8, 0}}));
+}
+
+TEST(Fault, TransientAlwaysDetectableOnObservableNet) {
+  // Unlike a stuck-at (silent when the net already carries the stuck
+  // value), a transient *inverts*, so any vector that observes the net
+  // detects it.
+  const Netlist nl = build_rca(4);
+  const NetId sum3 = nl.outputs().front().nets[3];
+  EXPECT_TRUE(fault_detected(nl, FaultSpec::transient(sum3),
+                             OperandVectors{{0, 0}}));
+  EXPECT_TRUE(fault_detected(nl, FaultSpec::transient(sum3),
+                             OperandVectors{{8, 0}}));
 }
 
 TEST(Fault, RandomVectorsCoverRcaWell) {
@@ -63,6 +121,37 @@ TEST(Fault, GearDetectionNetworkIsTestable) {
   EXPECT_DOUBLE_EQ(cov.coverage(), 1.0) << cov.detected << "/" << cov.total;
 }
 
+TEST(Fault, NamedPortVectorsCoverControlInputs) {
+  // GDA has a "cfg" control bus besides the operands. The port-map
+  // vector API randomizes it too, so the speculation muxes get exercised
+  // and the circuit reaches high coverage; pinning cfg at a constant (the
+  // old a/b-only behaviour) leaves mux-select cones untested.
+  const Netlist nl = build_gda(8, 2, 2);
+  stats::Rng rng(23);
+  const auto vecs = random_port_vectors(nl, 128, rng);
+  ASSERT_FALSE(vecs.empty());
+  for (const auto& port : nl.inputs()) {
+    ASSERT_TRUE(vecs.front().count(port.name)) << port.name;
+  }
+  // "cfg" genuinely varies across draws.
+  bool cfg_varies = false;
+  for (const auto& v : vecs) {
+    if (v.at("cfg").to_u64() != vecs.front().at("cfg").to_u64()) {
+      cfg_varies = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(cfg_varies);
+
+  const FaultCoverage all_ports = vector_coverage(nl, vecs);
+  // Same budget with cfg pinned to zero covers strictly less.
+  auto pinned = vecs;
+  for (auto& v : pinned) v["cfg"] = core::BitVec(v.at("cfg").width(), 0);
+  const FaultCoverage cfg_zero = vector_coverage(nl, pinned);
+  EXPECT_GT(all_ports.detected, cfg_zero.detected);
+  EXPECT_GT(all_ports.coverage(), 0.8);
+}
+
 TEST(Fault, ConstantGateFaultMayBeUndetectable) {
   // A stuck-at matching a constant's value is by construction silent.
   Builder b("c");
@@ -75,8 +164,10 @@ TEST(Fault, ConstantGateFaultMayBeUndetectable) {
     if (g.kind == GateKind::kConst1) const_net = g.output;
   }
   ASSERT_NE(const_net, kInvalidNet);
-  EXPECT_FALSE(fault_detected(nl, {const_net, true}, {{0, 0}, {1, 0}}));
-  EXPECT_TRUE(fault_detected(nl, {const_net, false}, {{1, 0}}));
+  EXPECT_FALSE(fault_detected(nl, StuckFault{const_net, true},
+                              OperandVectors{{0, 0}, {1, 0}}));
+  EXPECT_TRUE(
+      fault_detected(nl, StuckFault{const_net, false}, OperandVectors{{1, 0}}));
 }
 
 TEST(Fault, CoverageDeterministicGivenSeed) {
@@ -85,6 +176,25 @@ TEST(Fault, CoverageDeterministicGivenSeed) {
   const auto ca = random_vector_coverage(nl, 32, a);
   const auto cb = random_vector_coverage(nl, 32, b);
   EXPECT_EQ(ca.detected, cb.detected);
+}
+
+TEST(Fault, RegionTagsPartitionGearGates) {
+  // build_gear tags every gate with the module it belongs to; the
+  // campaign's per-module rollup depends on the tags being present.
+  const Netlist nl = build_gear(core::GeArConfig::must(12, 4, 4));
+  std::size_t tagged = 0;
+  bool saw_ripple = false, saw_predict = false, saw_detect = false;
+  for (std::size_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const auto& region = nl.gate_region(gi);
+    if (!region.empty()) ++tagged;
+    saw_ripple |= region == "ripple";
+    saw_predict |= region == "predict";
+    saw_detect |= region == "detect";
+  }
+  EXPECT_TRUE(saw_ripple);
+  EXPECT_TRUE(saw_predict);
+  EXPECT_TRUE(saw_detect);
+  EXPECT_GT(tagged, nl.gate_count() / 2);
 }
 
 }  // namespace

@@ -1,0 +1,283 @@
+// Watchdog / graceful-degradation tests, including the silent-corruption
+// regression: a fault in the detection logic that would stream silent
+// wrong results is converted into a visible safe-mode fallback.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/stream_engine.h"
+#include "core/adaptive.h"
+#include "core/config.h"
+#include "core/correction.h"
+#include "core/error_model.h"
+#include "core/watchdog.h"
+#include "stats/distributions.h"
+#include "stats/parallel.h"
+#include "stats/rng.h"
+
+namespace gear::core {
+namespace {
+
+TEST(Watchdog, SpikeTripsAtWindowBoundary) {
+  DegradationPolicy policy;
+  policy.window = 8;
+  policy.spike_factor = 2.0;
+  Watchdog wd(/*expected_detect_rate=*/0.05, policy);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(wd.observe(true, 1));
+    EXPECT_FALSE(wd.in_safe_mode());
+  }
+  EXPECT_TRUE(wd.observe(true, 1));  // rate 1.0 >> 2 * 0.05
+  EXPECT_TRUE(wd.in_safe_mode());
+  EXPECT_EQ(wd.fallback_events(), 1u);
+}
+
+TEST(Watchdog, FloorTripsOnDetectCollapse) {
+  DegradationPolicy policy;
+  policy.window = 8;
+  policy.spike_factor = 0.0;   // disabled
+  policy.floor_factor = 0.5;
+  Watchdog wd(/*expected_detect_rate=*/0.5, policy);  // expected*window = 4
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(wd.observe(false, 0));
+  EXPECT_TRUE(wd.observe(false, 0));  // rate 0 < 0.5 * 0.5
+  EXPECT_TRUE(wd.in_safe_mode());
+}
+
+TEST(Watchdog, FloorSkippedWhenWindowTooSmallToExpectADetect) {
+  DegradationPolicy policy;
+  policy.window = 8;
+  policy.spike_factor = 0.0;
+  policy.floor_factor = 0.5;
+  // expected*window = 0.08 < 1: zero detects in a window is unremarkable.
+  Watchdog wd(/*expected_detect_rate=*/0.01, policy);
+  for (int i = 0; i < 64; ++i) EXPECT_FALSE(wd.observe(false, 0));
+  EXPECT_FALSE(wd.in_safe_mode());
+}
+
+TEST(Watchdog, StallBudgetTripsImmediately) {
+  DegradationPolicy policy;
+  policy.window = 1024;
+  policy.stall_budget = 4;
+  policy.spike_factor = 0.0;
+  Watchdog wd(0.05, policy);
+  EXPECT_FALSE(wd.observe(true, 3));  // 3 <= 4
+  EXPECT_FALSE(wd.observe(true, 1));  // 4 <= 4
+  EXPECT_TRUE(wd.observe(true, 1));   // 5 > 4, mid-window
+  EXPECT_TRUE(wd.in_safe_mode());
+}
+
+TEST(Watchdog, CooldownRearmsAfterConfiguredWindows) {
+  DegradationPolicy policy;
+  policy.window = 4;
+  policy.spike_factor = 1.5;
+  policy.cooldown_windows = 2;
+  Watchdog wd(0.05, policy);
+  for (int i = 0; i < 4; ++i) wd.observe(true, 1);
+  ASSERT_TRUE(wd.in_safe_mode());
+  // 2 windows * 4 ops of cooldown, then re-armed.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(wd.in_safe_mode()) << i;
+    wd.observe(false, 0);
+  }
+  EXPECT_FALSE(wd.in_safe_mode());
+  // A healthy stream keeps it armed...
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(wd.observe(false, 0));
+  // ...and a second anomaly trips it again.
+  for (int i = 0; i < 4; ++i) wd.observe(true, 1);
+  EXPECT_TRUE(wd.in_safe_mode());
+  EXPECT_EQ(wd.fallback_events(), 2u);
+}
+
+TEST(Watchdog, ZeroCooldownLatchesUntilReset) {
+  DegradationPolicy policy;
+  policy.window = 4;
+  policy.spike_factor = 1.5;
+  policy.cooldown_windows = 0;
+  Watchdog wd(0.05, policy);
+  for (int i = 0; i < 4; ++i) wd.observe(true, 1);
+  ASSERT_TRUE(wd.in_safe_mode());
+  for (int i = 0; i < 100; ++i) wd.observe(false, 0);
+  EXPECT_TRUE(wd.in_safe_mode());
+  wd.reset();
+  EXPECT_FALSE(wd.in_safe_mode());
+  EXPECT_EQ(wd.fallback_events(), 1u);  // reset() keeps the tally
+}
+
+TEST(Watchdog, DisabledChecksNeverTrip) {
+  DegradationPolicy policy;
+  policy.window = 4;
+  policy.spike_factor = 0.0;
+  policy.floor_factor = 0.0;
+  Watchdog wd(0.05, policy);
+  for (int i = 0; i < 64; ++i) EXPECT_FALSE(wd.observe(true, 10));
+  EXPECT_FALSE(wd.in_safe_mode());
+}
+
+TEST(Watchdog, DeterministicGivenObservationStream) {
+  DegradationPolicy policy;
+  policy.window = 16;
+  policy.spike_factor = 3.0;
+  Watchdog w1(0.1, policy), w2(0.1, policy);
+  stats::Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const bool det = rng.uniform01() < 0.4;
+    EXPECT_EQ(w1.observe(det, det ? 1 : 0), w2.observe(det, det ? 1 : 0));
+  }
+  EXPECT_EQ(w1.fallback_events(), w2.fallback_events());
+  EXPECT_EQ(w1.in_safe_mode(), w2.in_safe_mode());
+}
+
+TEST(Watchdog, SafeModeNamesAreStable) {
+  EXPECT_STREQ(safe_mode_name(SafeMode::kExactAdd), "exact-add");
+  EXPECT_STREQ(safe_mode_name(SafeMode::kFreezeMask), "freeze-mask");
+  EXPECT_STREQ(safe_mode_name(SafeMode::kFlagApproximate),
+               "flagged-approximate");
+}
+
+}  // namespace
+}  // namespace gear::core
+
+namespace gear::apps {
+namespace {
+
+std::vector<stats::OperandPair> uniform_stream(int width, std::size_t n,
+                                               std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<stats::OperandPair> ops;
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    ops.push_back({rng.bits(width), rng.bits(width)});
+  return ops;
+}
+
+core::DegradationPolicy collapse_policy() {
+  core::DegradationPolicy policy;
+  policy.window = 256;
+  policy.spike_factor = 0.0;
+  policy.floor_factor = 0.5;  // trip when detects collapse below half model
+  policy.safe_mode = core::SafeMode::kExactAdd;
+  return policy;
+}
+
+// The headline regression: a transient/stuck fault that kills a detect
+// flag turns correction off for that sub-adder. Without a watchdog the
+// engine streams silent wrong results (SDC at system level); with the
+// degradation policy the detect-rate collapse trips the watchdog within
+// one window and the run degrades to exact adds — corruption stops and
+// the fallback is visible in the stats.
+TEST(GracefulDegradation, DetectFaultSdcWithoutWatchdogFallbackWith) {
+  const auto cfg = core::GeArConfig::must(12, 4, 4);
+  ASSERT_GE(core::paper_error_probability(cfg) * 256, 1.0)
+      << "window too small for the floor check to arm";
+  const auto ops = uniform_stream(12, 4096, 99);
+  const core::Corrector::DetectFault kill{/*sub_adder=*/1,
+                                          /*forced_value=*/false};
+
+  // Healthy engine: full correction, no wrong results.
+  StreamAdderEngine healthy(cfg, core::Corrector::all_enabled());
+  const StreamStats base = healthy.run(ops);
+  EXPECT_EQ(base.wrong_results, 0u);
+  EXPECT_GT(base.corrected_ops, 0u);
+
+  // Faulted, no watchdog: silent corruption accumulates over the run.
+  StreamAdderEngine unprotected(cfg, core::Corrector::all_enabled());
+  unprotected.inject_detect_fault(kill);
+  const StreamStats silent = unprotected.run(ops);
+  EXPECT_GT(silent.wrong_results, 10u);
+  EXPECT_EQ(silent.fallback_events, 0u);
+  EXPECT_EQ(silent.safe_mode_ops, 0u);
+
+  // Faulted, degradation policy: the collapse trips within one window.
+  StreamAdderEngine protected_engine(cfg, core::Corrector::all_enabled(),
+                                     collapse_policy());
+  protected_engine.inject_detect_fault(kill);
+  const StreamStats guarded = protected_engine.run(ops);
+  EXPECT_EQ(guarded.fallback_events, 1u);
+  EXPECT_EQ(guarded.safe_mode_ops, guarded.operations - 256);
+  // Corruption is bounded by the pre-trip window instead of the full run.
+  EXPECT_LT(guarded.wrong_results, silent.wrong_results);
+  // After the trip every op is exact, so all wrong results predate it.
+  EXPECT_LE(guarded.wrong_results, 256u);
+  // Exact fallback pays the worst-case latency.
+  EXPECT_GT(guarded.cycles, silent.cycles);
+}
+
+TEST(GracefulDegradation, FlagApproximateSurrendersAccuracyVisibly) {
+  const auto cfg = core::GeArConfig::must(12, 4, 4);
+  auto policy = collapse_policy();
+  policy.safe_mode = core::SafeMode::kFlagApproximate;
+  const auto ops = uniform_stream(12, 2048, 100);
+
+  StreamAdderEngine engine(cfg, core::Corrector::all_enabled(), policy);
+  engine.inject_detect_fault({1, false});
+  const StreamStats s = engine.run(ops);
+  EXPECT_EQ(s.fallback_events, 1u);
+  EXPECT_GT(s.flagged_ops, 0u);
+  EXPECT_EQ(s.flagged_ops, s.safe_mode_ops);
+  // Residual errors continue, but every post-trip one is flagged — the
+  // difference between degraded-but-honest and silent corruption.
+  EXPECT_GT(s.flagged_wrong_results, 0u);
+  EXPECT_LE(s.flagged_wrong_results, s.wrong_results);
+}
+
+TEST(GracefulDegradation, HealthyStreamNeverTrips) {
+  const auto cfg = core::GeArConfig::must(12, 4, 4);
+  const auto ops = uniform_stream(12, 4096, 101);
+  StreamAdderEngine engine(cfg, core::Corrector::all_enabled(),
+                           collapse_policy());
+  const StreamStats s = engine.run(ops);
+  EXPECT_EQ(s.fallback_events, 0u);
+  EXPECT_EQ(s.safe_mode_ops, 0u);
+  EXPECT_EQ(s.wrong_results, 0u);
+}
+
+TEST(GracefulDegradation, ParallelRunDeterministicAcrossThreadCounts) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  auto policy = collapse_policy();
+  policy.spike_factor = 4.0;
+  StreamAdderEngine engine(cfg, core::Corrector::all_enabled(), policy);
+  const StreamAdderEngine::SourceFactory factory = [](stats::Rng rng) {
+    return std::make_unique<stats::UniformSource>(16, rng);
+  };
+  const std::uint64_t kOps = 10'000, kSeed = 7, kShard = 1024;
+
+  StreamStats ref;
+  {
+    stats::ParallelExecutor exec(1);
+    ref = engine.run(factory, kOps, kSeed, exec, kShard);
+  }
+  for (const int threads : {2, 8}) {
+    stats::ParallelExecutor exec(threads);
+    const StreamStats got = engine.run(factory, kOps, kSeed, exec, kShard);
+    EXPECT_EQ(got.operations, ref.operations) << threads;
+    EXPECT_EQ(got.cycles, ref.cycles) << threads;
+    EXPECT_EQ(got.wrong_results, ref.wrong_results) << threads;
+    EXPECT_EQ(got.fallback_events, ref.fallback_events) << threads;
+    EXPECT_EQ(got.safe_mode_ops, ref.safe_mode_ops) << threads;
+  }
+}
+
+TEST(GracefulDegradation, PerOpBudgetBoundsStallCycles) {
+  // A per-op correction budget of 1 caps every op at one stall cycle even
+  // when multiple sub-adders request correction.
+  const auto cfg = core::GeArConfig::must(16, 2, 2);  // k = 7: many windows
+  core::DegradationPolicy policy;
+  policy.spike_factor = 0.0;
+  policy.per_op_correction_budget = 1;
+  const auto ops = uniform_stream(16, 2048, 102);
+
+  StreamAdderEngine capped(cfg, core::Corrector::all_enabled(), policy);
+  const StreamStats s = capped.run(ops);
+  EXPECT_LE(s.stall_cycles, s.operations);
+
+  StreamAdderEngine uncapped(cfg, core::Corrector::all_enabled());
+  const StreamStats u = uncapped.run(ops);
+  EXPECT_GT(u.stall_cycles, s.stall_cycles);
+  // The budget trades latency for accuracy: capped leaves residual errors.
+  EXPECT_GE(s.wrong_results, u.wrong_results);
+}
+
+}  // namespace
+}  // namespace gear::apps
