@@ -89,8 +89,8 @@ int main(int argc, char** argv) {
                                "SDC", "AVF", "det coverage", "mean |err|"});
   std::ostringstream json;
   json << "{\"bench\":\"fault_campaign\",\"samples\":" << opt.samples
-       << ",\"seed\":" << opt.master_seed << ",\"gear\":\"" << cfg->name()
-       << "\",\"circuits\":{";
+       << ",\"seed\":" << opt.master_seed << ",\"gear\":\""
+       << gear::benchutil::json_escape(cfg->name()) << "\",\"circuits\":{";
 
   bool first = true;
   FaultCampaignResult gear_result;
@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
                    gear::analysis::fmt_fixed(res.error_magnitude.mean_abs(), 1)});
     if (!first) json << ",";
     first = false;
-    json << "\"" << cand.label << "\":";
+    json << "\"" << gear::benchutil::json_escape(cand.label) << "\":";
     append_counts_json(json, t);
   }
   std::fputs(table.to_ascii().c_str(), stdout);
@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
                        std::to_string(counts.sdc)});
     if (!first) json << ",";
     first = false;
-    json << "\"" << label << "\":";
+    json << "\"" << gear::benchutil::json_escape(label) << "\":";
     append_counts_json(json, counts);
   }
   json << "}}";

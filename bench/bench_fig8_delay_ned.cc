@@ -1,5 +1,13 @@
 // Fig. 8 — Delay x NED comparison of GeAr and GDA across the Table II
 // sub-adder configurations [R,P], rendered as an ASCII bar chart.
+//
+// NED variant: the Delay x NED product uses the Liang-style NED — MED
+// normalised by the worst *observed* error distance (analysis::
+// ErrorMetrics::ned, here computed exhaustively so "observed" = true
+// maximum) — NOT the range-normalised MED / (2^N - 1) variant
+// (ErrorMetrics::ned_range). The two differ by the ratio max_ed / (2^N-1),
+// which varies per configuration, so the variants are not interchangeable
+// in cross-adder products like this chart.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -36,7 +44,10 @@ void bar(const char* who, double value, double scale) {
 }  // namespace
 
 int main() {
-  std::printf("== Fig. 8: Delay x NED, GeAr vs GDA, 8-bit [R,P] configs ==\n\n");
+  std::printf("== Fig. 8: Delay x NED, GeAr vs GDA, 8-bit [R,P] configs ==\n");
+  std::printf(
+      "   (NED = exhaustive MED / max observed ED, the Liang-style\n"
+      "    max-ED-normalised variant — not MED / (2^N - 1))\n\n");
   const std::vector<std::pair<int, int>> configs = {
       {1, 1}, {1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6}, {2, 2}, {2, 4}};
 

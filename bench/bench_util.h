@@ -5,10 +5,43 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <string_view>
 
 #include "analysis/table.h"
 
 namespace gear::benchutil {
+
+/// Escapes `s` for embedding inside a JSON string literal: quote,
+/// backslash and control characters (RFC 8259's mandatory set) are
+/// escaped, everything else — including UTF-8 multibyte sequences — passes
+/// through. Config names like `GeAr(16,4,4)` and free-form candidate
+/// labels are emitted as JSON keys by several benchmarks; a stray quote or
+/// backslash in a label must corrupt the label, not the document.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 /// When GEAR_BENCH_CSV_DIR is set, also writes the table as
 /// $GEAR_BENCH_CSV_DIR/<stem>.csv so experiment results are

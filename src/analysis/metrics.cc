@@ -5,6 +5,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/width.h"
+
 namespace gear::analysis {
 
 std::vector<double> default_maa_thresholds() {
@@ -14,12 +16,13 @@ std::vector<double> default_maa_thresholds() {
 ErrorMetrics evaluate(const adders::ApproxAdder& adder, stats::OperandSource& source,
                       std::uint64_t samples,
                       const std::vector<double>& maa_thresholds) {
-  assert(samples > 0);
   assert(source.width() == adder.width());
 
   ErrorMetrics m;
   m.samples = samples;
   m.maa_acceptance.assign(maa_thresholds.size(), 0.0);
+  // Empty-stream convention (see header): all-zero metrics, no 0/0.
+  if (samples == 0) return m;
 
   const int n = adder.width();
   double med_acc = 0.0, amp_acc = 0.0, inf_acc = 0.0;
@@ -55,8 +58,11 @@ ErrorMetrics evaluate(const adders::ApproxAdder& adder, stats::OperandSource& so
   const auto count = static_cast<double>(samples);
   m.error_rate = static_cast<double>(errors) / count;
   m.med = med_acc / count;
+  // Error-free convention (see header): 0/0 resolves to 0, not NaN.
   m.ned = m.max_ed > 0.0 ? m.med / m.max_ed : 0.0;
-  m.ned_range = m.med / (std::pow(2.0, n) - 1.0);
+  // width_mask keeps 2^N - 1 shift-safe at N == 64 (wide accumulators);
+  // the double rounding is identical to the pow(2.0, n) - 1.0 form.
+  m.ned_range = m.med / static_cast<double>(core::width_mask(n));
   m.acc_amp_avg = amp_acc / count;
   m.acc_inf_avg = inf_acc / count;
   for (double& a : m.maa_acceptance) a /= count;

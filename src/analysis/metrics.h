@@ -40,6 +40,16 @@ std::vector<double> default_maa_thresholds();
 
 /// Runs `samples` additions from `source` through `adder` and accumulates
 /// every metric. `maa_thresholds` are ACC_amp levels in percent.
+///
+/// Degenerate-input conventions (all pinned by MetricsConventions tests,
+/// chosen so no field is ever NaN/Inf):
+///  * Error-free stream: max_ed == 0 makes NED's defining ratio 0/0; we
+///    define ned = 0 ("no normalised error"), matching ned_range, rather
+///    than propagate NaN into Delay x NED style products.
+///  * samples == 0: returns all-zero metrics with maa_acceptance sized to
+///    the thresholds (an empty stream accepts nothing), instead of 0/0.
+///  * All-rejected MAA: a threshold no addition meets yields exactly 0.0,
+///    never a NaN — acceptance counts divide by the sample count only.
 ErrorMetrics evaluate(const adders::ApproxAdder& adder, stats::OperandSource& source,
                       std::uint64_t samples, const std::vector<double>& maa_thresholds =
                                                  default_maa_thresholds());

@@ -1,23 +1,24 @@
 #include "apps/stream_engine.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "core/error_model.h"
+#include "core/width.h"
+#include "stats/bitsliced.h"
 
 namespace gear::apps {
 
-namespace {
-inline std::uint64_t low_mask(int bits) {
-  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
-}
-}  // namespace
-
 StreamAdderEngine::StreamAdderEngine(core::GeArConfig cfg,
                                      std::uint64_t correction_mask)
-    : corrector_(std::move(cfg), correction_mask) {}
+    : corrector_(std::move(cfg), correction_mask),
+      bitsliced_(corrector_.config()) {}
 
 StreamAdderEngine::StreamAdderEngine(core::GeArConfig cfg,
                                      std::uint64_t correction_mask,
                                      core::DegradationPolicy degradation)
     : corrector_(std::move(cfg), correction_mask),
+      bitsliced_(corrector_.config()),
       degradation_(degradation),
       expected_detect_rate_(core::paper_error_probability(corrector_.config())) {}
 
@@ -48,7 +49,7 @@ void StreamAdderEngine::feed(StreamStats& stats, core::Watchdog* watchdog,
         // Bypass the (possibly compromised) detect/correct path: full
         // worst-case-latency exact add. Note the injected fault cannot
         // corrupt this path.
-        const std::uint64_t m = low_mask(corrector_.config().n());
+        const std::uint64_t m = core::width_mask(corrector_.config().n());
         (void)((a & m) + (b & m));
         const auto cycles =
             static_cast<std::uint64_t>(corrector_.worst_case_cycles());
@@ -96,9 +97,48 @@ void StreamAdderEngine::feed(StreamStats& stats, core::Watchdog* watchdog,
   }
 }
 
+void StreamAdderEngine::feed_block(StreamStats& stats,
+                                   core::BitslicedBatch& batch,
+                                   const std::uint64_t* a,
+                                   const std::uint64_t* b, int count) const {
+  bitsliced_.eval(a, b, count, /*carry_in_lanes=*/0,
+                  corrector_.enabled_mask(), batch);
+  // Per-op accounting, summed over lanes: cycles = 1 + corrections per op,
+  // every correction is a stall cycle, corrected_ops counts ops with any
+  // correction, wrong_results counts residual post-correction errors —
+  // exactly feed()'s bookkeeping for the no-watchdog, no-fault path.
+  std::uint64_t corrections = 0;
+  for (const std::uint64_t w : batch.corrected) {
+    corrections += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  stats.operations += static_cast<std::uint64_t>(count);
+  stats.cycles += static_cast<std::uint64_t>(count) + corrections;
+  stats.stall_cycles += corrections;
+  stats.corrected_ops +=
+      static_cast<std::uint64_t>(std::popcount(batch.any_corrected));
+  stats.wrong_results +=
+      static_cast<std::uint64_t>(std::popcount(batch.error));
+}
+
 StreamStats StreamAdderEngine::run(stats::OperandSource& source,
                                    std::uint64_t ops) const {
   StreamStats stats;
+  if (can_batch()) {
+    std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
+    core::BitslicedBatch batch;
+    for (std::uint64_t base = 0; base < ops;
+         base += stats::kBitslicedLanes) {
+      const int count = static_cast<int>(
+          std::min<std::uint64_t>(stats::kBitslicedLanes, ops - base));
+      for (int l = 0; l < count; ++l) {
+        const auto [x, y] = source.next();
+        a[l] = x;
+        b[l] = y;
+      }
+      feed_block(stats, batch, a, b, count);
+    }
+    return stats;
+  }
   auto watchdog = make_watchdog();
   for (std::uint64_t i = 0; i < ops; ++i) {
     const auto [a, b] = source.next();
@@ -109,6 +149,22 @@ StreamStats StreamAdderEngine::run(stats::OperandSource& source,
 
 StreamStats StreamAdderEngine::run(const std::vector<stats::OperandPair>& operands) const {
   StreamStats stats;
+  if (can_batch()) {
+    std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
+    core::BitslicedBatch batch;
+    const std::uint64_t ops = operands.size();
+    for (std::uint64_t base = 0; base < ops;
+         base += stats::kBitslicedLanes) {
+      const int count = static_cast<int>(
+          std::min<std::uint64_t>(stats::kBitslicedLanes, ops - base));
+      for (int l = 0; l < count; ++l) {
+        a[l] = operands[base + static_cast<std::uint64_t>(l)].a;
+        b[l] = operands[base + static_cast<std::uint64_t>(l)].b;
+      }
+      feed_block(stats, batch, a, b, count);
+    }
+    return stats;
+  }
   auto watchdog = make_watchdog();
   for (const auto& [a, b] : operands) {
     feed(stats, watchdog ? &*watchdog : nullptr, a, b);
@@ -124,6 +180,23 @@ StreamStats StreamAdderEngine::run(const SourceFactory& make_source,
   auto partials = exec.map<StreamStats>(shards.size(), [&](std::size_t i) {
     auto source = make_source(
         stats::ParallelExecutor::shard_rng(master_seed, shards[i].index));
+    if (can_batch()) {
+      StreamStats stats;
+      std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
+      core::BitslicedBatch batch;
+      for (std::uint64_t base = 0; base < shards[i].size();
+           base += stats::kBitslicedLanes) {
+        const int count = static_cast<int>(std::min<std::uint64_t>(
+            stats::kBitslicedLanes, shards[i].size() - base));
+        for (int l = 0; l < count; ++l) {
+          const auto [x, y] = source->next();
+          a[l] = x;
+          b[l] = y;
+        }
+        feed_block(stats, batch, a, b, count);
+      }
+      return stats;
+    }
     StreamStats stats;
     auto watchdog = make_watchdog();  // per-shard: determinism contract
     for (std::uint64_t op = 0; op < shards[i].size(); ++op) {

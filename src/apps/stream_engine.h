@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/bitsliced_adder.h"
 #include "core/config.h"
 #include "core/correction.h"
 #include "core/watchdog.h"
@@ -80,6 +81,13 @@ class StreamAdderEngine {
       std::function<std::unique_ptr<stats::OperandSource>(stats::Rng)>;
 
   /// Feeds `ops` operand pairs from `source`; returns per-run stats.
+  ///
+  /// All run() overloads take a bitsliced fast path (64 ops per
+  /// core::BitslicedGearAdder pass) whenever no degradation policy and no
+  /// injected detect fault are active — those need the scalar per-op
+  /// watchdog/fault plumbing. Operands are drawn from the source in the
+  /// same per-op order either way and every counter is additive over ops,
+  /// so the stats are bit-identical to the scalar loop.
   StreamStats run(stats::OperandSource& source, std::uint64_t ops) const;
 
   /// Feeds an explicit operand list (e.g. a traced kernel).
@@ -104,8 +112,16 @@ class StreamAdderEngine {
   std::optional<core::Watchdog> make_watchdog() const;
   void feed(StreamStats& stats, core::Watchdog* watchdog, std::uint64_t a,
             std::uint64_t b) const;
+  /// True when runs may use the bitsliced batch path (no per-op watchdog
+  /// or injected detect fault to thread through).
+  bool can_batch() const { return !degradation_ && !fault_.active(); }
+  /// Accounts one 64-lane batch of ops; `batch` is caller-owned scratch.
+  void feed_block(StreamStats& stats, core::BitslicedBatch& batch,
+                  const std::uint64_t* a, const std::uint64_t* b,
+                  int count) const;
 
   core::Corrector corrector_;
+  core::BitslicedGearAdder bitsliced_;
   std::optional<core::DegradationPolicy> degradation_;
   double expected_detect_rate_ = 0.0;
   core::Corrector::DetectFault fault_;

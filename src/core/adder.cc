@@ -2,13 +2,11 @@
 
 #include <cassert>
 
+#include "core/width.h"
+
 namespace gear::core {
 
 namespace {
-inline std::uint64_t low_mask(int bits) {
-  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
-}
-
 /// Result-region bits sub-adder j contributes, already shifted into place.
 /// The top sub-adder (every layout ends at bit N-1) contributes one extra
 /// bit — its window carry-out lands at bit N of the sum. Shared by add()
@@ -18,7 +16,7 @@ inline std::uint64_t result_bits(const gear::core::SubAdderLayout& s, bool top,
                                  std::uint64_t wsum) {
   const int rel = s.res_lo - s.win_lo;
   const int out_bits = s.result_len() + (top ? 1 : 0);
-  return ((wsum >> rel) & low_mask(out_bits)) << s.res_lo;
+  return ((wsum >> rel) & width_mask(out_bits)) << s.res_lo;
 }
 }  // namespace
 
@@ -35,7 +33,7 @@ int AddResult::detect_count() const {
 }
 
 GeArAdder::GeArAdder(GeArConfig config)
-    : config_(std::move(config)), mask_(low_mask(config_.n())) {}
+    : config_(std::move(config)), mask_(width_mask(config_.n())) {}
 
 AddResult GeArAdder::add(std::uint64_t a, std::uint64_t b, bool carry_in) const {
   a &= mask_;
@@ -48,8 +46,8 @@ AddResult GeArAdder::add(std::uint64_t a, std::uint64_t b, bool carry_in) const 
   for (std::size_t j = 0; j < layout.size(); ++j) {
     const auto& s = layout[j];
     const int wlen = s.window_len();
-    const std::uint64_t wa = (a >> s.win_lo) & low_mask(wlen);
-    const std::uint64_t wb = (b >> s.win_lo) & low_mask(wlen);
+    const std::uint64_t wa = (a >> s.win_lo) & width_mask(wlen);
+    const std::uint64_t wb = (b >> s.win_lo) & width_mask(wlen);
     // The external carry-in feeds sub-adder 0 only; every other window
     // keeps its speculative zero carry-in.
     const std::uint64_t wsum = wa + wb + ((j == 0 && carry_in) ? 1 : 0);
@@ -60,7 +58,7 @@ AddResult GeArAdder::add(std::uint64_t a, std::uint64_t b, bool carry_in) const 
 
     // Prediction window all-propagate: bits [win_lo, res_lo) of a^b.
     const int plen = s.prediction_len();
-    const std::uint64_t pmask = low_mask(plen);
+    const std::uint64_t pmask = width_mask(plen);
     st.all_propagate = (((wa ^ wb) & pmask) == pmask);
 
     sum |= result_bits(s, /*top=*/j + 1 == layout.size(), wsum);
@@ -84,8 +82,8 @@ std::uint64_t GeArAdder::add_value(std::uint64_t a, std::uint64_t b,
   for (std::size_t j = 0; j < layout.size(); ++j) {
     const auto& s = layout[j];
     const int wlen = s.window_len();
-    const std::uint64_t wa = (a >> s.win_lo) & low_mask(wlen);
-    const std::uint64_t wb = (b >> s.win_lo) & low_mask(wlen);
+    const std::uint64_t wa = (a >> s.win_lo) & width_mask(wlen);
+    const std::uint64_t wb = (b >> s.win_lo) & width_mask(wlen);
     const std::uint64_t wsum = wa + wb + ((j == 0 && carry_in) ? 1 : 0);
     sum |= result_bits(s, /*top=*/j + 1 == layout.size(), wsum);
   }

@@ -1,0 +1,161 @@
+#include "core/bitsliced_adder.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "core/width.h"
+#include "stats/bitsliced.h"
+
+namespace gear::core {
+
+namespace {
+
+/// Ripple over `len` generate/propagate planes with per-lane carry-in `c`,
+/// writing sum planes into sum[0..len) when non-null; returns the
+/// carry-out lane word.
+inline std::uint64_t ripple(const std::uint64_t* g, const std::uint64_t* p,
+                            int len, std::uint64_t c, std::uint64_t* sum) {
+  for (int i = 0; i < len; ++i) {
+    if (sum) sum[i] = p[i] ^ c;
+    c = g[i] | (p[i] & c);
+  }
+  return c;
+}
+
+/// Carry-only ripple (no sum planes): the prediction region of a window
+/// contributes only its carry into the result region.
+inline std::uint64_t ripple_carry(const std::uint64_t* g,
+                                  const std::uint64_t* p, int len,
+                                  std::uint64_t c) {
+  for (int i = 0; i < len; ++i) c = g[i] | (p[i] & c);
+  return c;
+}
+
+}  // namespace
+
+BitslicedGearAdder::BitslicedGearAdder(GeArConfig config)
+    : config_(std::move(config)) {
+  // Same operand-width envelope as the scalar GeArAdder (u64 planes 0..n).
+  assert(config_.n() >= 1 && config_.n() <= 63);
+}
+
+void BitslicedGearAdder::eval(const std::uint64_t* a, const std::uint64_t* b,
+                              int count, std::uint64_t carry_in_lanes,
+                              std::uint64_t correction_mask,
+                              BitslicedBatch& out, bool with_exact) const {
+  const int n = config_.n();
+  const auto& layout = config_.layout();
+  const int k = config_.k();
+  const std::uint64_t live = stats::lane_mask(count);
+  carry_in_lanes &= live;
+
+  // Generate/propagate planes shared by the exact ripple and every window
+  // (stats::pack_gp: bitwise ops commute with the lane transpose, so g/p
+  // are formed on untransposed rows and share one transpose for n <= 32 —
+  // the dominant cost of a batch).
+  std::uint64_t grows[64], prows[64];
+  const std::uint64_t* g = grows;
+  const std::uint64_t* p = stats::pack_gp(a, b, count, n, grows, prows);
+
+  // resize, not assign: every plane below is overwritten (approx planes by
+  // the per-sub-adder result regions + carry-out, exact planes by the full
+  // ripple, detect/corrected[j >= 1] per sub-adder), so zero-filling a
+  // reused batch would be pure overhead in the hot MC path.
+  out.approx.resize(static_cast<std::size_t>(n) + 1);
+  out.detect.resize(static_cast<std::size_t>(k));
+  out.corrected.resize(static_cast<std::size_t>(k));
+  out.detect[0] = 0;
+  out.corrected[0] = 0;
+
+  // Exact reference: full ripple from bit 0 (same carry-in as sub-adder 0).
+  if (with_exact) {
+    out.exact.resize(static_cast<std::size_t>(n) + 1);
+    out.exact[static_cast<std::size_t>(n)] =
+        ripple(g, p, n, carry_in_lanes, out.exact.data());
+  }
+
+  // Sub-adder windows, ascending. cout_raw is the uncorrected carry-out of
+  // the previous window (first-pass detect flags); cout_cur follows
+  // corrections (cascade detects and the final sum).
+  //
+  // Each window splits into its prediction region [win_lo, res_lo) —
+  // carry-only — and its result region [res_lo, res_hi], whose sum planes
+  // land directly in out.approx. The correction rewrite (both operands'
+  // prediction bits -> a|b, window LSB forced to 1 on both) never needs to
+  // be materialised: correction only fires on lanes where every prediction
+  // bit propagates (corrected ⊆ allp), and on those lanes the rewritten
+  // prediction region is a generate chain (a|b == 1 wherever a^b == 1, and
+  // the forced LSB generates even when plen == 1), so its carry into the
+  // result region is identically 1. Corrected lanes are therefore just a
+  // second result-region ripple over the ORIGINAL g/p with carry-in 1.
+  // config.cc guarantees plen >= 1 for every sub-adder j >= 1.
+  std::uint64_t cout_raw = 0, cout_cur = 0;
+  std::uint64_t res_corr[64];
+  for (int j = 0; j < k; ++j) {
+    const auto& s = layout[static_cast<std::size_t>(j)];
+    const int plen = s.prediction_len();
+    const int rlen = s.result_len();
+    const std::uint64_t* gw = g + s.win_lo;
+    const std::uint64_t* pw = p + s.win_lo;
+    const std::uint64_t cin = (j == 0) ? carry_in_lanes : 0;
+
+    const std::uint64_t pred_cout = ripple_carry(gw, pw, plen, cin);
+    const std::uint64_t raw_cout =
+        ripple(g + s.res_lo, p + s.res_lo, rlen, pred_cout,
+               out.approx.data() + s.res_lo);
+
+    std::uint64_t cur_cout = raw_cout;
+    std::uint64_t corrected = 0;
+    if (j >= 1) {
+      // Prediction window all-propagate on the *original* operands.
+      std::uint64_t allp = live;
+      for (int i = 0; i < plen; ++i) allp &= pw[i];
+      out.detect[static_cast<std::size_t>(j)] = allp & cout_raw;
+
+      const bool enabled = (correction_mask >> j) & 1ULL;
+      corrected = enabled ? (allp & cout_cur) : 0;
+      if (corrected != 0) {
+        const std::uint64_t corr_cout =
+            ripple(g + s.res_lo, p + s.res_lo, rlen, ~0ULL, res_corr);
+        cur_cout = (raw_cout & ~corrected) | (corr_cout & corrected);
+        // Splice corrected lanes into the result planes.
+        for (int i = 0; i < rlen; ++i) {
+          std::uint64_t& q = out.approx[static_cast<std::size_t>(s.res_lo + i)];
+          q = (q & ~corrected) | (res_corr[i] & corrected);
+        }
+      }
+      out.corrected[static_cast<std::size_t>(j)] = corrected;
+    }
+
+    // The top sub-adder contributes its carry-out at plane n
+    // (post-correction, as in the scalar Corrector).
+    if (j == k - 1) out.approx[static_cast<std::size_t>(n)] = cur_cout;
+
+    cout_raw = raw_cout;
+    cout_cur = cur_cout;
+  }
+
+  if (with_exact) {
+    std::uint64_t err = 0;
+    for (int q = 0; q <= n; ++q) {
+      err |= out.approx[static_cast<std::size_t>(q)] ^
+             out.exact[static_cast<std::size_t>(q)];
+    }
+    out.error = err & live;
+  }
+  std::uint64_t any_det = 0, any_corr = 0;
+  for (int j = 1; j < k; ++j) {
+    any_det |= out.detect[static_cast<std::size_t>(j)];
+    any_corr |= out.corrected[static_cast<std::size_t>(j)];
+  }
+  out.any_detect = any_det & live;
+  out.any_corrected = any_corr & live;
+}
+
+void BitslicedGearAdder::unpack_sums(const std::vector<std::uint64_t>& planes,
+                                     std::uint64_t* out, int count) const {
+  assert(planes.size() == static_cast<std::size_t>(config_.n()) + 1);
+  stats::BitslicedLanes::unpack(planes.data(), config_.n() + 1, out, count);
+}
+
+}  // namespace gear::core

@@ -1,0 +1,72 @@
+// Bitsliced (64-lane) GeAr adder kernel.
+//
+// Evaluates 64 independent trials of the word-level GeAr model per pass:
+// operands are packed bit-position-major (stats::BitslicedLanes), the
+// generate/propagate/carry recurrences of every sub-adder window run on
+// whole lane words, and the per-sub-adder detect flags plus the paper's
+// prediction-window correction re-evaluate lane-parallel. Every lane
+// computes exactly what the scalar GeArAdder / Corrector would for the
+// same operands (differentially fuzz-tested in test_bitsliced.cc), so the
+// Monte-Carlo drivers in error_model.cc and the stream engine can swap
+// this kernel in without changing a single reported number.
+//
+// Correction equivalence: the scalar Corrector repeatedly corrects the
+// lowest uncorrected enabled sub-adder whose detect fires on the current
+// state. Correcting sub-adder j only changes window j's inputs, hence only
+// carry_out(j) and thereby detect(j+1); carry-outs move monotonically
+// 0 -> 1, so cascades enable but never suppress downstream detects (pinned
+// by the PR-1 cascade regression tests). A single ascending pass that
+// corrects each sub-adder at most once is therefore exactly equivalent,
+// and that is the lane-parallel form used here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+
+namespace gear::core {
+
+/// Result planes of one 64-lane batch. Plane p of approx/exact holds bit p
+/// of every lane's sum (plane n = carry-out); lane words hold one bit per
+/// trial. Dead lanes (index >= the batch's count) read 0 everywhere.
+struct BitslicedBatch {
+  std::vector<std::uint64_t> approx;     ///< n+1 planes, post-correction
+  std::vector<std::uint64_t> exact;      ///< n+1 planes, a + b (+ cin)
+  std::vector<std::uint64_t> detect;     ///< k words, first-pass flags; [0]=0
+  std::vector<std::uint64_t> corrected;  ///< k words, lanes corrected; [0]=0
+  std::uint64_t error = 0;          ///< lanes where approx != exact
+  std::uint64_t any_detect = 0;     ///< OR of detect[]
+  std::uint64_t any_corrected = 0;  ///< OR of corrected[]
+};
+
+/// Lane-parallel evaluator for one GeArConfig (N <= 63, like GeArAdder).
+class BitslicedGearAdder {
+ public:
+  explicit BitslicedGearAdder(GeArConfig config);
+
+  const GeArConfig& config() const { return config_; }
+
+  /// Packs `count` <= 64 operand pairs (pair i -> lane i, preserving draw
+  /// order) and evaluates approximate sum, exact sum, detect flags and —
+  /// for sub-adders enabled in `correction_mask` (Corrector semantics,
+  /// bit j; 0 disables correction) — the correction re-evaluation.
+  /// `carry_in_lanes` feeds sub-adder 0 and the exact reference, lane-wise.
+  /// With `with_exact = false` the exact reference ripple is skipped —
+  /// matching the work a scalar add()/Corrector::add() call does — and
+  /// out.exact / out.error are left untouched (stale); approx, detect,
+  /// corrected and any_* are identical either way.
+  void eval(const std::uint64_t* a, const std::uint64_t* b, int count,
+            std::uint64_t carry_in_lanes, std::uint64_t correction_mask,
+            BitslicedBatch& out, bool with_exact = true) const;
+
+  /// Unpacks lane values (n+1 bits each) of a batch's approx or exact
+  /// planes into out[0..count).
+  void unpack_sums(const std::vector<std::uint64_t>& planes,
+                   std::uint64_t* out, int count) const;
+
+ private:
+  GeArConfig config_;
+};
+
+}  // namespace gear::core

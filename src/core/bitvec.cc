@@ -5,6 +5,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/width.h"
+
 namespace gear::core {
 
 namespace {
@@ -38,7 +40,7 @@ BitVec BitVec::from_binary(const std::string& bits) {
 void BitVec::normalize() {
   if (width_ == 0 || words_.empty()) return;
   const int top = width_ % kWordBits;
-  if (top != 0) words_.back() &= (~0ULL >> (kWordBits - top));
+  if (top != 0) words_.back() &= width_mask(top);
 }
 
 bool BitVec::bit(int i) const {

@@ -3,13 +3,11 @@
 #include <bit>
 #include <cassert>
 
+#include "core/width.h"
+
 namespace gear::core {
 
 namespace {
-inline std::uint64_t low_mask(int bits) {
-  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
-}
-
 /// Mutable per-sub-adder evaluation state for the correction loop.
 struct Window {
   std::uint64_t a = 0, b = 0;  // effective window inputs
@@ -20,7 +18,7 @@ struct Window {
   void eval(int wlen, int plen) {
     sum = a + b;
     carry_out = (sum >> wlen) & 1ULL;
-    const std::uint64_t pmask = low_mask(plen);
+    const std::uint64_t pmask = width_mask(plen);
     all_propagate = (((a ^ b) & pmask) == pmask);
   }
 };
@@ -29,7 +27,7 @@ struct Window {
 Corrector::Corrector(GeArConfig config, std::uint64_t enabled_mask)
     : config_(std::move(config)),
       enabled_mask_(enabled_mask),
-      operand_mask_(low_mask(config_.n())) {}
+      operand_mask_(width_mask(config_.n())) {}
 
 CorrectionResult Corrector::add(std::uint64_t a, std::uint64_t b) const {
   return add(a, b, DetectFault{});
@@ -46,7 +44,7 @@ CorrectionResult Corrector::add(std::uint64_t a, std::uint64_t b,
   std::vector<Window> win(static_cast<std::size_t>(k));
   for (int j = 0; j < k; ++j) {
     const auto& s = layout[static_cast<std::size_t>(j)];
-    const std::uint64_t wmask = low_mask(s.window_len());
+    const std::uint64_t wmask = width_mask(s.window_len());
     auto& w = win[static_cast<std::size_t>(j)];
     w.a = (a >> s.win_lo) & wmask;
     w.b = (b >> s.win_lo) & wmask;
@@ -88,7 +86,7 @@ CorrectionResult Corrector::add(std::uint64_t a, std::uint64_t b,
 
     const auto& s = layout[static_cast<std::size_t>(target)];
     auto& w = win[static_cast<std::size_t>(target)];
-    const std::uint64_t pmask = low_mask(s.prediction_len());
+    const std::uint64_t pmask = width_mask(s.prediction_len());
     const std::uint64_t merged = (w.a | w.b) & pmask;
     w.a = (w.a & ~pmask) | merged | 1ULL;
     w.b = (w.b & ~pmask) | merged | 1ULL;
@@ -102,7 +100,7 @@ CorrectionResult Corrector::add(std::uint64_t a, std::uint64_t b,
   for (int j = 0; j < k; ++j) {
     const auto& s = layout[static_cast<std::size_t>(j)];
     const int rel = s.res_lo - s.win_lo;
-    sum |= ((win[static_cast<std::size_t>(j)].sum >> rel) & low_mask(s.result_len()))
+    sum |= ((win[static_cast<std::size_t>(j)].sum >> rel) & width_mask(s.result_len()))
            << s.res_lo;
   }
   sum |= static_cast<std::uint64_t>(win[static_cast<std::size_t>(k - 1)].carry_out)

@@ -1,9 +1,14 @@
 #include "core/error_model.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
+
+#include "core/bitsliced_adder.h"
+#include "stats/bitsliced.h"
 
 namespace gear::core {
 
@@ -235,6 +240,28 @@ std::uint64_t mc_error_chunk(const GeArAdder& adder, int n, std::uint64_t trials
   return errors;
 }
 
+/// Bitsliced twin of mc_error_chunk: 64 trials per eval, same RNG draw
+/// order (lane l of a block is trial block_base + l, drawing a then b), so
+/// the error count — and therefore every shard tally — is bit-identical.
+std::uint64_t mc_error_chunk_bitsliced(const BitslicedGearAdder& adder, int n,
+                                       std::uint64_t trials, stats::Rng& rng) {
+  std::uint64_t errors = 0;
+  std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
+  BitslicedBatch batch;
+  for (std::uint64_t base = 0; base < trials;
+       base += stats::kBitslicedLanes) {
+    const int count = static_cast<int>(std::min<std::uint64_t>(
+        stats::kBitslicedLanes, trials - base));
+    for (int l = 0; l < count; ++l) {
+      a[l] = rng.bits(n);
+      b[l] = rng.bits(n);
+    }
+    adder.eval(a, b, count, /*carry_in_lanes=*/0, /*correction_mask=*/0, batch);
+    errors += static_cast<std::uint64_t>(std::popcount(batch.error));
+  }
+  return errors;
+}
+
 McErrorEstimate finish_estimate(std::uint64_t errors, std::uint64_t trials) {
   McErrorEstimate est;
   est.trials = trials;
@@ -254,8 +281,13 @@ void McErrorEstimate::merge(const McErrorEstimate& other) {
 }
 
 McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials,
-                                     stats::Rng& rng) {
+                                     stats::Rng& rng, McKernel kernel) {
   assert(trials > 0);
+  if (kernel == McKernel::kBitsliced) {
+    const BitslicedGearAdder adder(cfg);
+    return finish_estimate(
+        mc_error_chunk_bitsliced(adder, cfg.n(), trials, rng), trials);
+  }
   const GeArAdder adder(cfg);
   return finish_estimate(mc_error_chunk(adder, cfg.n(), trials, rng), trials);
 }
@@ -263,14 +295,23 @@ McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials
 McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials,
                                      std::uint64_t master_seed,
                                      stats::ParallelExecutor& exec,
-                                     std::uint64_t shard_size) {
+                                     std::uint64_t shard_size, McKernel kernel) {
   assert(trials > 0);
-  const GeArAdder adder(cfg);
   const auto shards = stats::ParallelExecutor::make_shards(trials, shard_size);
-  const auto errors = exec.map<std::uint64_t>(shards.size(), [&](std::size_t i) {
-    stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
-    return mc_error_chunk(adder, cfg.n(), shards[i].size(), rng);
-  });
+  std::vector<std::uint64_t> errors;
+  if (kernel == McKernel::kBitsliced) {
+    const BitslicedGearAdder adder(cfg);
+    errors = exec.map<std::uint64_t>(shards.size(), [&](std::size_t i) {
+      stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
+      return mc_error_chunk_bitsliced(adder, cfg.n(), shards[i].size(), rng);
+    });
+  } else {
+    const GeArAdder adder(cfg);
+    errors = exec.map<std::uint64_t>(shards.size(), [&](std::size_t i) {
+      stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
+      return mc_error_chunk(adder, cfg.n(), shards[i].size(), rng);
+    });
+  }
   // Canonical merge: ascending shard index (associative here, but the
   // contract is what every driver documents and tests pin).
   std::uint64_t total_errors = 0;
@@ -329,6 +370,44 @@ stats::SparseHistogram mc_distribution_chunk(const GeArAdder& adder, int n,
   return hist;
 }
 
+/// Bitsliced twin of mc_distribution_chunk. Error-free lanes are tallied
+/// as one weighted add of key 0 (skipping the unpack entirely when a whole
+/// block is error-free); erroneous lanes unpack to the same
+/// int64(approx) - int64(exact) keys the scalar kernel produces, so the
+/// merged histogram is entry-identical.
+stats::SparseHistogram mc_distribution_chunk_bitsliced(
+    const BitslicedGearAdder& adder, int n, std::uint64_t trials,
+    stats::Rng& rng) {
+  stats::SparseHistogram hist;
+  std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
+  std::uint64_t approx[stats::kBitslicedLanes], exact[stats::kBitslicedLanes];
+  BitslicedBatch batch;
+  for (std::uint64_t base = 0; base < trials;
+       base += stats::kBitslicedLanes) {
+    const int count = static_cast<int>(std::min<std::uint64_t>(
+        stats::kBitslicedLanes, trials - base));
+    for (int l = 0; l < count; ++l) {
+      a[l] = rng.bits(n);
+      b[l] = rng.bits(n);
+    }
+    adder.eval(a, b, count, /*carry_in_lanes=*/0, /*correction_mask=*/0, batch);
+    const int zeros =
+        std::popcount(~batch.error & stats::lane_mask(count));
+    if (zeros > 0) hist.add(0, static_cast<std::uint64_t>(zeros));
+    if (batch.error != 0) {
+      adder.unpack_sums(batch.approx, approx, count);
+      adder.unpack_sums(batch.exact, exact, count);
+      for (int l = 0; l < count; ++l) {
+        if ((batch.error >> l) & 1ULL) {
+          hist.add(static_cast<std::int64_t>(approx[l]) -
+                   static_cast<std::int64_t>(exact[l]));
+        }
+      }
+    }
+  }
+  return hist;
+}
+
 std::vector<std::uint64_t> mc_detect_chunk(const GeArAdder& adder, int n, int k,
                                            std::uint64_t trials, stats::Rng& rng) {
   std::vector<std::uint64_t> counts(static_cast<std::size_t>(k) + 1, 0);
@@ -337,6 +416,39 @@ std::vector<std::uint64_t> mc_detect_chunk(const GeArAdder& adder, int n, int k,
     const std::uint64_t b = rng.bits(n);
     const AddResult r = adder.add(a, b);
     ++counts[static_cast<std::size_t>(r.detect_count())];
+  }
+  return counts;
+}
+
+/// Bitsliced twin of mc_detect_chunk: per-lane detect counts gathered from
+/// the k detect lane words (word 0 is always 0, like sub-adder 0's flag).
+std::vector<std::uint64_t> mc_detect_chunk_bitsliced(
+    const BitslicedGearAdder& adder, int n, int k, std::uint64_t trials,
+    stats::Rng& rng) {
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(k) + 1, 0);
+  std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
+  BitslicedBatch batch;
+  for (std::uint64_t base = 0; base < trials;
+       base += stats::kBitslicedLanes) {
+    const int count = static_cast<int>(std::min<std::uint64_t>(
+        stats::kBitslicedLanes, trials - base));
+    for (int l = 0; l < count; ++l) {
+      a[l] = rng.bits(n);
+      b[l] = rng.bits(n);
+    }
+    adder.eval(a, b, count, /*carry_in_lanes=*/0, /*correction_mask=*/0, batch);
+    if (batch.any_detect == 0) {
+      counts[0] += static_cast<std::uint64_t>(count);
+      continue;
+    }
+    for (int l = 0; l < count; ++l) {
+      int c = 0;
+      for (int j = 1; j < k; ++j) {
+        c += static_cast<int>(
+            (batch.detect[static_cast<std::size_t>(j)] >> l) & 1ULL);
+      }
+      ++counts[static_cast<std::size_t>(c)];
+    }
   }
   return counts;
 }
@@ -352,7 +464,12 @@ std::vector<double> normalize_counts(const std::vector<std::uint64_t>& counts,
 }  // namespace
 
 stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
-                                             std::uint64_t trials, stats::Rng& rng) {
+                                             std::uint64_t trials, stats::Rng& rng,
+                                             McKernel kernel) {
+  if (kernel == McKernel::kBitsliced) {
+    const BitslicedGearAdder adder(cfg);
+    return mc_distribution_chunk_bitsliced(adder, cfg.n(), trials, rng);
+  }
   const GeArAdder adder(cfg);
   return mc_distribution_chunk(adder, cfg.n(), trials, rng);
 }
@@ -361,14 +478,26 @@ stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
                                              std::uint64_t trials,
                                              std::uint64_t master_seed,
                                              stats::ParallelExecutor& exec,
-                                             std::uint64_t shard_size) {
-  const GeArAdder adder(cfg);
+                                             std::uint64_t shard_size,
+                                             McKernel kernel) {
   const auto shards = stats::ParallelExecutor::make_shards(trials, shard_size);
-  auto partials =
-      exec.map<stats::SparseHistogram>(shards.size(), [&](std::size_t i) {
-        stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
-        return mc_distribution_chunk(adder, cfg.n(), shards[i].size(), rng);
-      });
+  std::vector<stats::SparseHistogram> partials;
+  if (kernel == McKernel::kBitsliced) {
+    const BitslicedGearAdder adder(cfg);
+    partials =
+        exec.map<stats::SparseHistogram>(shards.size(), [&](std::size_t i) {
+          stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
+          return mc_distribution_chunk_bitsliced(adder, cfg.n(),
+                                                 shards[i].size(), rng);
+        });
+  } else {
+    const GeArAdder adder(cfg);
+    partials =
+        exec.map<stats::SparseHistogram>(shards.size(), [&](std::size_t i) {
+          stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
+          return mc_distribution_chunk(adder, cfg.n(), shards[i].size(), rng);
+        });
+  }
   stats::SparseHistogram hist;
   for (const auto& partial : partials) hist.merge(partial);
   return hist;
@@ -386,7 +515,14 @@ void merge_detect_counts(std::vector<std::uint64_t>& into,
 
 std::vector<double> mc_detect_count_distribution(const GeArConfig& cfg,
                                                  std::uint64_t trials,
-                                                 stats::Rng& rng) {
+                                                 stats::Rng& rng,
+                                                 McKernel kernel) {
+  if (kernel == McKernel::kBitsliced) {
+    const BitslicedGearAdder adder(cfg);
+    return normalize_counts(
+        mc_detect_chunk_bitsliced(adder, cfg.n(), cfg.k(), trials, rng),
+        trials);
+  }
   const GeArAdder adder(cfg);
   return normalize_counts(mc_detect_chunk(adder, cfg.n(), cfg.k(), trials, rng),
                           trials);
@@ -396,14 +532,27 @@ std::vector<double> mc_detect_count_distribution(const GeArConfig& cfg,
                                                  std::uint64_t trials,
                                                  std::uint64_t master_seed,
                                                  stats::ParallelExecutor& exec,
-                                                 std::uint64_t shard_size) {
-  const GeArAdder adder(cfg);
+                                                 std::uint64_t shard_size,
+                                                 McKernel kernel) {
   const auto shards = stats::ParallelExecutor::make_shards(trials, shard_size);
-  auto partials =
-      exec.map<std::vector<std::uint64_t>>(shards.size(), [&](std::size_t i) {
-        stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
-        return mc_detect_chunk(adder, cfg.n(), cfg.k(), shards[i].size(), rng);
-      });
+  std::vector<std::vector<std::uint64_t>> partials;
+  if (kernel == McKernel::kBitsliced) {
+    const BitslicedGearAdder adder(cfg);
+    partials = exec.map<std::vector<std::uint64_t>>(
+        shards.size(), [&](std::size_t i) {
+          stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
+          return mc_detect_chunk_bitsliced(adder, cfg.n(), cfg.k(),
+                                           shards[i].size(), rng);
+        });
+  } else {
+    const GeArAdder adder(cfg);
+    partials = exec.map<std::vector<std::uint64_t>>(
+        shards.size(), [&](std::size_t i) {
+          stats::Rng rng = stats::ParallelExecutor::shard_rng(master_seed, i);
+          return mc_detect_chunk(adder, cfg.n(), cfg.k(), shards[i].size(),
+                                 rng);
+        });
+  }
   std::vector<std::uint64_t> counts;
   for (const auto& partial : partials) merge_detect_counts(counts, partial);
   return normalize_counts(counts, trials);

@@ -32,6 +32,17 @@
 
 namespace gear::core {
 
+/// Evaluation kernel for the Monte-Carlo drivers. Both kernels consume the
+/// RNG in the same order (per trial: a then b) and compute identical
+/// per-trial outcomes, so every driver returns bit-identical results under
+/// either — kBitsliced packs 64 trials per word (core/bitsliced_adder.h)
+/// and is the default; kScalar is the one-trial-at-a-time reference the
+/// differential tests pin the kernel against.
+enum class McKernel : std::uint8_t {
+  kBitsliced,
+  kScalar,
+};
+
 /// Probability of a propagate (a^b) at one bit of uniform operands.
 inline constexpr double kPropProb = 0.5;
 /// Probability of a generate (a&b) at one bit of uniform operands.
@@ -64,7 +75,8 @@ struct McErrorEstimate {
   void merge(const McErrorEstimate& other);
 };
 McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials,
-                                     stats::Rng& rng);
+                                     stats::Rng& rng,
+                                     McKernel kernel = McKernel::kBitsliced);
 
 /// Deterministic parallel Monte Carlo: `trials` is split into fixed-size
 /// shards, shard i draws from ParallelExecutor::shard_rng(master_seed, i),
@@ -75,7 +87,8 @@ McErrorEstimate mc_error_probability(const GeArConfig& cfg, std::uint64_t trials
 McErrorEstimate mc_error_probability(
     const GeArConfig& cfg, std::uint64_t trials, std::uint64_t master_seed,
     stats::ParallelExecutor& exec,
-    std::uint64_t shard_size = stats::ParallelExecutor::kDefaultShardSize);
+    std::uint64_t shard_size = stats::ParallelExecutor::kDefaultShardSize,
+    McKernel kernel = McKernel::kBitsliced);
 
 /// Exhaustive P(error) over all 2^(2N) operand pairs. Requires N <= 12.
 double exhaustive_error_probability(const GeArConfig& cfg);
@@ -102,28 +115,31 @@ double exhaustive_med(const GeArConfig& cfg);
 /// Monte-Carlo signed error distribution (approx - exact) under uniform
 /// operands. Keys are signed error values.
 stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
-                                             std::uint64_t trials, stats::Rng& rng);
+                                             std::uint64_t trials, stats::Rng& rng,
+                                             McKernel kernel = McKernel::kBitsliced);
 
 /// Parallel variant; same shard/merge contract as the parallel
 /// mc_error_probability.
 stats::SparseHistogram mc_error_distribution(
     const GeArConfig& cfg, std::uint64_t trials, std::uint64_t master_seed,
     stats::ParallelExecutor& exec,
-    std::uint64_t shard_size = stats::ParallelExecutor::kDefaultShardSize);
+    std::uint64_t shard_size = stats::ParallelExecutor::kDefaultShardSize,
+    McKernel kernel = McKernel::kBitsliced);
 
 /// Probability that exactly `c` sub-adders flag an error simultaneously,
 /// estimated by Monte Carlo; index c of the returned vector (size k).
 /// Used by the correction-cycle model.
-std::vector<double> mc_detect_count_distribution(const GeArConfig& cfg,
-                                                 std::uint64_t trials,
-                                                 stats::Rng& rng);
+std::vector<double> mc_detect_count_distribution(
+    const GeArConfig& cfg, std::uint64_t trials, stats::Rng& rng,
+    McKernel kernel = McKernel::kBitsliced);
 
 /// Parallel variant; same shard/merge contract as the parallel
 /// mc_error_probability.
 std::vector<double> mc_detect_count_distribution(
     const GeArConfig& cfg, std::uint64_t trials, std::uint64_t master_seed,
     stats::ParallelExecutor& exec,
-    std::uint64_t shard_size = stats::ParallelExecutor::kDefaultShardSize);
+    std::uint64_t shard_size = stats::ParallelExecutor::kDefaultShardSize,
+    McKernel kernel = McKernel::kBitsliced);
 
 /// Element-wise pooling of per-shard detect-count tallies. `into` adopts
 /// `from`'s size when empty.

@@ -2,22 +2,28 @@
 
 #include <cassert>
 
+#include "core/width.h"
+
 namespace gear::core {
 
 std::int64_t to_signed(std::uint64_t v, int bits) {
-  assert(bits >= 1 && bits <= 63);
-  const std::uint64_t mask = (1ULL << bits) - 1;
+  assert(bits >= 1 && bits <= 64);
+  const std::uint64_t mask = width_mask(bits);
   v &= mask;
   const std::uint64_t sign = 1ULL << (bits - 1);
   if (v & sign) {
-    return static_cast<std::int64_t>(v) - static_cast<std::int64_t>(1ULL << bits);
+    // Sign-extend by filling the bits above `bits`; for bits == 64 the
+    // fill is empty and the cast alone is the two's-complement value.
+    // Equivalent to v - 2^bits for every narrower width, without the
+    // 1 << 64 shift that form would need at the top width.
+    return static_cast<std::int64_t>(v | ~mask);
   }
   return static_cast<std::int64_t>(v);
 }
 
 std::uint64_t from_signed(std::int64_t v, int bits) {
-  assert(bits >= 1 && bits <= 63);
-  return static_cast<std::uint64_t>(v) & ((1ULL << bits) - 1);
+  assert(bits >= 1 && bits <= 64);
+  return static_cast<std::uint64_t>(v) & width_mask(bits);
 }
 
 SignedAddResult signed_add(const GeArAdder& adder, std::int64_t a, std::int64_t b) {

@@ -13,10 +13,11 @@
 
 namespace gear::core {
 
-/// Interprets the low `bits` of `v` as two's complement.
+/// Interprets the low `bits` of `v` as two's complement (1 <= bits <= 64;
+/// the full-width case is the plain uint64 -> int64 bit cast).
 std::int64_t to_signed(std::uint64_t v, int bits);
 
-/// Encodes `v` as `bits`-wide two's complement (truncating).
+/// Encodes `v` as `bits`-wide two's complement (truncating; bits <= 64).
 std::uint64_t from_signed(std::int64_t v, int bits);
 
 struct SignedAddResult {

@@ -1,0 +1,27 @@
+// Shift-safe bit-width helpers.
+//
+// `(1ULL << n) - 1` is undefined behaviour for n == 64 and a silent wrong
+// answer pattern for n == 32 when written against an int — both of which
+// show up naturally here since operand widths run all the way to 64
+// (BitVec words, bitsliced lane words) and 63 (GeArAdder operands). Every
+// width-mask computation in the library funnels through these helpers so
+// the edge cases are handled once and pinned by tests (N = 0/32/63/64).
+#pragma once
+
+#include <cstdint>
+
+namespace gear::core {
+
+/// Mask with the low `n` bits set; n must be in [0, 64].
+constexpr std::uint64_t width_mask(int n) {
+  return n <= 0 ? 0ULL : n >= 64 ? ~0ULL : (std::uint64_t{1} << n) - 1;
+}
+
+/// 2^n as a double, exact for every n (no shift, no overflow).
+constexpr double width_pow2(int n) {
+  double v = 1.0;
+  for (int i = 0; i < n; ++i) v *= 2.0;
+  return v;
+}
+
+}  // namespace gear::core

@@ -1,0 +1,170 @@
+#include "netlist/bitsliced_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gear::netlist {
+
+namespace {
+
+/// Lane-parallel gate evaluation: the bitwise form of eval_gate, one bit
+/// per lane. `i0..i2` are the packed input-net words (unused ones 0).
+inline std::uint64_t eval_gate_word(GateKind kind, std::uint64_t i0,
+                                    std::uint64_t i1, std::uint64_t i2) {
+  switch (kind) {
+    case GateKind::kConst0: return 0;
+    case GateKind::kConst1: return ~std::uint64_t{0};
+    case GateKind::kBuf: return i0;
+    case GateKind::kNot: return ~i0;
+    case GateKind::kAnd2: return i0 & i1;
+    case GateKind::kOr2: return i0 | i1;
+    case GateKind::kXor2: return i0 ^ i1;
+    case GateKind::kNand2: return ~(i0 & i1);
+    case GateKind::kNor2: return ~(i0 | i1);
+    case GateKind::kXnor2: return ~(i0 ^ i1);
+    case GateKind::kMux2: return (i0 & i2) | (~i0 & i1);
+    case GateKind::kFaSum: return i0 ^ i1 ^ i2;
+    case GateKind::kFaCarry: return (i0 & i1) | (i2 & (i0 ^ i1));
+  }
+  return 0;
+}
+
+}  // namespace
+
+BitslicedNetSim::BitslicedNetSim(const Netlist& nl) : nl_(nl) {
+  const std::size_t nets = nl.net_count();
+  inputs_.assign(nets, 0);
+  good_.assign(nets, 0);
+  faulty_vals_.assign(nets, 0);
+  invert_.assign(nets, 0);
+  stuck0_.assign(nets, 0);
+  stuck1_.assign(nets, 0);
+  gates_.reserve(nl.gate_count());
+  for (const Gate& g : nl.gates()) {
+    FlatGate f;
+    f.kind = g.kind;
+    for (int i = 0; i < 3; ++i) {
+      f.in[i] = i < static_cast<int>(g.inputs.size())
+                    ? g.inputs[static_cast<std::size_t>(i)]
+                    : NetId{0};
+    }
+    f.out = g.output;
+    gates_.push_back(f);
+  }
+}
+
+void BitslicedNetSim::clear() {
+  std::fill(inputs_.begin(), inputs_.end(), std::uint64_t{0});
+  for (NetId n : touched_) {
+    invert_[n] = 0;
+    stuck0_[n] = 0;
+    stuck1_[n] = 0;
+  }
+  touched_.clear();
+}
+
+void BitslicedNetSim::load_lane(int lane, const PortVector& inputs) {
+  assert(lane >= 0 && lane < kLanes);
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  for (const auto& port : nl_.inputs()) {
+    const auto it = inputs.find(port.name);
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      const bool v = it != inputs.end() &&
+                     static_cast<int>(i) < it->second.width() &&
+                     it->second.bit(static_cast<int>(i));
+      std::uint64_t& w = inputs_[port.nets[i]];
+      w = v ? (w | bit) : (w & ~bit);
+    }
+  }
+}
+
+void BitslicedNetSim::set_fault(int lane, const FaultSpec& fault) {
+  assert(lane >= 0 && lane < kLanes);
+  assert(fault.net < nl_.net_count());
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  if (invert_[fault.net] == 0 && stuck0_[fault.net] == 0 &&
+      stuck1_[fault.net] == 0) {
+    touched_.push_back(fault.net);
+  }
+  switch (fault.kind) {
+    case FaultKind::kStuckAt0: stuck0_[fault.net] |= bit; break;
+    case FaultKind::kStuckAt1: stuck1_[fault.net] |= bit; break;
+    case FaultKind::kTransient: invert_[fault.net] |= bit; break;
+  }
+}
+
+void BitslicedNetSim::apply_fault_masks(std::vector<std::uint64_t>& v,
+                                        NetId n) const {
+  // Each lane carries at most one fault, so the three masks are disjoint
+  // per bit and the order below matches eval_all: stuck-at overrides,
+  // transient inverts the settled value.
+  v[n] = ((v[n] | stuck1_[n]) & ~stuck0_[n]) ^ invert_[n];
+}
+
+void BitslicedNetSim::forward(std::vector<std::uint64_t>& v,
+                              bool faulty) const {
+  std::copy(inputs_.begin(), inputs_.end(), v.begin());
+  if (faulty) {
+    // Faults on primary-input nets apply before any gate reads them,
+    // mirroring eval_all's pre-pass.
+    for (NetId n : touched_) {
+      if (nl_.driver(n) < 0) apply_fault_masks(v, n);
+    }
+    for (const FlatGate& g : gates_) {
+      const std::uint64_t w =
+          eval_gate_word(g.kind, v[g.in[0]], v[g.in[1]], v[g.in[2]]);
+      v[g.out] = ((w | stuck1_[g.out]) & ~stuck0_[g.out]) ^ invert_[g.out];
+    }
+  } else {
+    for (const FlatGate& g : gates_) {
+      v[g.out] = eval_gate_word(g.kind, v[g.in[0]], v[g.in[1]], v[g.in[2]]);
+    }
+  }
+}
+
+void BitslicedNetSim::run(bool faulty) {
+  forward(faulty ? faulty_vals_ : good_, faulty);
+}
+
+std::uint64_t BitslicedNetSim::port_diff_lanes(const Port& port) const {
+  std::uint64_t diff = 0;
+  for (NetId n : port.nets) diff |= good_[n] ^ faulty_vals_[n];
+  return diff;
+}
+
+std::uint64_t BitslicedNetSim::lane_u64(const std::vector<std::uint64_t>& v,
+                                        const Port& port, int lane) {
+  // BitVec::to_u64 semantics: the low 64 bits of the port value.
+  const int width = std::min<int>(64, static_cast<int>(port.nets.size()));
+  std::uint64_t out = 0;
+  for (int i = 0; i < width; ++i) {
+    out |= ((v[port.nets[static_cast<std::size_t>(i)]] >> lane) & 1ULL)
+           << i;
+  }
+  return out;
+}
+
+std::uint64_t BitslicedNetSim::good_lane_u64(const Port& port,
+                                             int lane) const {
+  return lane_u64(good_, port, lane);
+}
+
+std::uint64_t BitslicedNetSim::faulty_lane_u64(const Port& port,
+                                               int lane) const {
+  return lane_u64(faulty_vals_, port, lane);
+}
+
+std::map<std::string, core::BitVec> BitslicedNetSim::good_outputs(
+    int lane) const {
+  std::map<std::string, core::BitVec> out;
+  for (const auto& port : nl_.outputs()) {
+    core::BitVec v(static_cast<int>(port.nets.size()));
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      v.set_bit(static_cast<int>(i), (good_[port.nets[i]] >> lane) & 1ULL);
+    }
+    out[port.name] = v;
+  }
+  return out;
+}
+
+}  // namespace gear::netlist

@@ -1,0 +1,86 @@
+// Bitsliced (64-lane) gate-level functional simulation.
+//
+// One 64-bit word per net: bit l is lane l's value, so each gate evaluates
+// 64 independent input vectors with a handful of bitwise ops. Semantics
+// per lane are exactly Netlist::simulate / simulate_with_fault (the
+// single topological forward pass; faults applied at the driven net),
+// differentially fuzz-tested in test_bitsliced.cc. The fault-campaign
+// runner uses this to evaluate 64 (fault, vector) injections per pass —
+// each lane may carry its *own* fault site, since a fault is just a
+// per-net lane mask applied when that net's value is produced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/fault.h"
+#include "netlist/netlist.h"
+
+namespace gear::netlist {
+
+class BitslicedNetSim {
+ public:
+  static constexpr int kLanes = 64;
+
+  explicit BitslicedNetSim(const Netlist& nl);
+
+  const Netlist& netlist() const { return nl_; }
+
+  /// Zeroes all input lanes and removes all faults.
+  void clear();
+
+  /// Loads lane `l` of every input port from `inputs` (missing ports and
+  /// bits beyond a value's width read 0, as in Netlist::simulate).
+  void load_lane(int lane, const PortVector& inputs);
+
+  /// Arms `fault` on lane `lane` for the next faulty run; lanes may carry
+  /// distinct faults. At most one fault per lane (campaign model).
+  void set_fault(int lane, const FaultSpec& fault);
+
+  /// Topological forward pass over all gates. `faulty` applies the armed
+  /// per-lane fault masks at each net's driver (primary inputs before any
+  /// gate reads them); the result lands in the corresponding value buffer
+  /// so one load can serve a good and a faulty pass back to back.
+  void run(bool faulty);
+
+  /// Packed value of net `n` after run(faulty=false) / run(faulty=true).
+  std::uint64_t good_word(NetId n) const { return good_[n]; }
+  std::uint64_t faulty_word(NetId n) const { return faulty_vals_[n]; }
+
+  /// Lanes (bit mask) where `port`'s value differs between the good and
+  /// faulty runs.
+  std::uint64_t port_diff_lanes(const Port& port) const;
+
+  /// Lane `l` of `port` from the good/faulty run, as a low-64-bit value
+  /// (BitVec::to_u64 semantics: bits beyond 64 truncated).
+  std::uint64_t good_lane_u64(const Port& port, int lane) const;
+  std::uint64_t faulty_lane_u64(const Port& port, int lane) const;
+
+  /// Lane `l` of every output port from the good run, as BitVecs — the
+  /// exact shape Netlist::simulate returns (for differential tests).
+  std::map<std::string, core::BitVec> good_outputs(int lane) const;
+
+ private:
+  /// Flattened gate for the hot loop (no per-gate vector indirection).
+  struct FlatGate {
+    GateKind kind;
+    NetId in[3];
+    NetId out;
+  };
+
+  void apply_fault_masks(std::vector<std::uint64_t>& v, NetId n) const;
+  void forward(std::vector<std::uint64_t>& v, bool faulty) const;
+  static std::uint64_t lane_u64(const std::vector<std::uint64_t>& v,
+                                const Port& port, int lane);
+
+  const Netlist& nl_;
+  std::vector<FlatGate> gates_;
+  std::vector<std::uint64_t> inputs_;       // input-net lane words
+  std::vector<std::uint64_t> good_;         // per-net values, good pass
+  std::vector<std::uint64_t> faulty_vals_;  // per-net values, faulty pass
+  // Per-net fault lane masks (dense; reset via touched_ between blocks).
+  std::vector<std::uint64_t> invert_, stuck0_, stuck1_;
+  std::vector<NetId> touched_;
+};
+
+}  // namespace gear::netlist

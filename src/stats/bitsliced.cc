@@ -1,0 +1,467 @@
+#include "stats/bitsliced.h"
+
+#include <cassert>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define GEAR_BITSLICED_X86_DISPATCH 1
+#endif
+
+namespace gear::stats {
+
+namespace {
+
+// Recursive block transpose via delta swaps. At step j, rows k with
+// (k & j) == 0 pair with rows k | j; mask selects columns c with
+// (c & j) == 0, and the swap exchanges element (k, c + j) with
+// (k | j, c) — exactly the off-diagonal block exchange of the recursive
+// transpose under the LSB-first column convention. The row loop is
+// blocked (pairs form contiguous runs of length j) so the hot path is
+// branch-free.
+void transpose64_scalar(std::uint64_t* m) {
+  static constexpr std::uint64_t kMasks[6] = {
+      0x00000000FFFFFFFFULL, 0x0000FFFF0000FFFFULL, 0x00FF00FF00FF00FFULL,
+      0x0F0F0F0F0F0F0F0FULL, 0x3333333333333333ULL, 0x5555555555555555ULL,
+  };
+  int j = 32;
+  for (int level = 0; level < 6; ++level, j >>= 1) {
+    const std::uint64_t mask = kMasks[level];
+    for (int base = 0; base < 64; base += 2 * j) {
+      std::uint64_t* lo = m + base;
+      std::uint64_t* hi = lo + j;
+      for (int i = 0; i < j; ++i) {
+        const std::uint64_t t = ((lo[i] >> j) ^ hi[i]) & mask;
+        lo[i] ^= t << j;
+        hi[i] ^= t;
+      }
+    }
+  }
+}
+
+#ifdef GEAR_BITSLICED_X86_DISPATCH
+
+// gcc-12's avx512fintrin.h trips -W(maybe-)uninitialized on its own
+// _mm512_undefined_epi32-based shuffle implementations when inlined here;
+// the values are intentionally undefined inputs, not bugs in this file.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// Same delta-swap network, four rows per ymm register. Levels j >= 4 pair
+// whole registers; j = 2 pairs 64-bit lanes (0,2)/(1,3) and j = 1 pairs
+// adjacent lanes, both handled with in-register permutes + a lane blend.
+// Runtime-dispatched (target attribute, no -mavx2 baseline) so the binary
+// stays portable to pre-AVX2 hosts.
+__attribute__((target("avx2"))) void transpose64_avx2(std::uint64_t* m) {
+  __m256i v[16];
+  for (int i = 0; i < 16; ++i)
+    v[i] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + 4 * i));
+
+  static constexpr std::uint64_t kMasks[4] = {
+      0x00000000FFFFFFFFULL, 0x0000FFFF0000FFFFULL, 0x00FF00FF00FF00FFULL,
+      0x0F0F0F0F0F0F0F0FULL};
+  int j = 32;
+  for (int level = 0; level < 4; ++level, j >>= 1) {
+    const __m256i mask =
+        _mm256_set1_epi64x(static_cast<long long>(kMasks[level]));
+    const int stride = j / 4;  // register distance of a row pair
+    for (int i = 0; i < 16; ++i) {
+      if (i & stride) continue;
+      const __m256i lo = v[i];
+      const __m256i hi = v[i | stride];
+      const __m256i t = _mm256_and_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(lo, j), hi), mask);
+      v[i] = _mm256_xor_si256(lo, _mm256_slli_epi64(t, j));
+      v[i | stride] = _mm256_xor_si256(hi, t);
+    }
+  }
+  {
+    const __m256i mask = _mm256_set1_epi64x(0x3333333333333333LL);
+    for (int i = 0; i < 16; ++i) {
+      const __m256i a = v[i];
+      // Row pairs (0,2) and (1,3): partner = 128-bit halves swapped.
+      const __m256i sw = _mm256_permute4x64_epi64(a, _MM_SHUFFLE(1, 0, 3, 2));
+      __m256i t = _mm256_and_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(a, 2), sw), mask);
+      t = _mm256_permute4x64_epi64(t, _MM_SHUFFLE(1, 0, 1, 0));
+      v[i] = _mm256_xor_si256(
+          a, _mm256_blend_epi32(_mm256_slli_epi64(t, 2), t, 0b11110000));
+    }
+  }
+  {
+    const __m256i mask = _mm256_set1_epi64x(0x5555555555555555LL);
+    for (int i = 0; i < 16; ++i) {
+      const __m256i a = v[i];
+      // Adjacent-row pairs: partner = 64-bit lanes swapped pairwise.
+      const __m256i sw = _mm256_shuffle_epi32(a, _MM_SHUFFLE(1, 0, 3, 2));
+      __m256i t = _mm256_and_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(a, 1), sw), mask);
+      t = _mm256_shuffle_epi32(t, _MM_SHUFFLE(1, 0, 1, 0));
+      v[i] = _mm256_xor_si256(
+          a, _mm256_blend_epi32(_mm256_slli_epi64(t, 1), t, 0b11001100));
+    }
+  }
+  for (int i = 0; i < 16; ++i)
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(m + 4 * i), v[i]);
+}
+
+// Eight rows per zmm register. Levels j = 32, 16, 8 pair registers;
+// j = 4 / 2 / 1 pair 256-bit halves, 128-bit blocks and adjacent 64-bit
+// lanes inside one register (shuffle + masked blend), mirroring the AVX2
+// tail levels one octave up.
+__attribute__((target("avx512f"))) void transpose64_avx512(std::uint64_t* m) {
+  __m512i v[8];
+  for (int i = 0; i < 8; ++i) v[i] = _mm512_loadu_si512(m + 8 * i);
+
+  static constexpr std::uint64_t kMasks[3] = {
+      0x00000000FFFFFFFFULL, 0x0000FFFF0000FFFFULL, 0x00FF00FF00FF00FFULL};
+  int j = 32;
+  for (int level = 0; level < 3; ++level, j >>= 1) {
+    const __m512i mask =
+        _mm512_set1_epi64(static_cast<long long>(kMasks[level]));
+    const int stride = j / 8;
+    for (int i = 0; i < 8; ++i) {
+      if (i & stride) continue;
+      const __m512i lo = v[i];
+      const __m512i hi = v[i | stride];
+      const __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(lo, static_cast<unsigned>(j)), hi),
+          mask);
+      v[i] = _mm512_xor_si512(
+          lo, _mm512_slli_epi64(t, static_cast<unsigned>(j)));
+      v[i | stride] = _mm512_xor_si512(hi, t);
+    }
+  }
+  {
+    const __m512i mask = _mm512_set1_epi64(0x0F0F0F0F0F0F0F0FLL);
+    for (int i = 0; i < 8; ++i) {
+      const __m512i a = v[i];
+      // Row pairs at distance 4: partner = 256-bit halves swapped.
+      const __m512i sw = _mm512_shuffle_i64x2(a, a, _MM_SHUFFLE(1, 0, 3, 2));
+      __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(a, 4), sw), mask);
+      t = _mm512_shuffle_i64x2(t, t, _MM_SHUFFLE(1, 0, 1, 0));
+      v[i] = _mm512_xor_si512(
+          a, _mm512_mask_blend_epi64(0xF0, _mm512_slli_epi64(t, 4), t));
+    }
+  }
+  {
+    const __m512i mask = _mm512_set1_epi64(0x3333333333333333LL);
+    for (int i = 0; i < 8; ++i) {
+      const __m512i a = v[i];
+      // Row pairs at distance 2: partner = adjacent 128-bit blocks swapped.
+      const __m512i sw = _mm512_shuffle_i64x2(a, a, _MM_SHUFFLE(2, 3, 0, 1));
+      __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(a, 2), sw), mask);
+      t = _mm512_shuffle_i64x2(t, t, _MM_SHUFFLE(2, 2, 0, 0));
+      v[i] = _mm512_xor_si512(
+          a, _mm512_mask_blend_epi64(0xCC, _mm512_slli_epi64(t, 2), t));
+    }
+  }
+  {
+    const __m512i mask = _mm512_set1_epi64(0x5555555555555555LL);
+    for (int i = 0; i < 8; ++i) {
+      const __m512i a = v[i];
+      // Adjacent-row pairs: partner = 64-bit lanes swapped pairwise.
+      const __m512i sw = _mm512_shuffle_epi32(
+          a, static_cast<_MM_PERM_ENUM>(_MM_SHUFFLE(1, 0, 3, 2)));
+      __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(a, 1), sw), mask);
+      t = _mm512_shuffle_epi32(
+          t, static_cast<_MM_PERM_ENUM>(_MM_SHUFFLE(1, 0, 1, 0)));
+      v[i] = _mm512_xor_si512(
+          a, _mm512_mask_blend_epi64(0xAA, _mm512_slli_epi64(t, 1), t));
+    }
+  }
+  for (int i = 0; i < 8; ++i) _mm512_storeu_si512(m + 8 * i, v[i]);
+}
+
+// Interleaved transpose of two independent 64x64 matrices (the width > 32
+// pack_gp case). v[0..7] holds m1, v[8..15] holds m2; the stride bits of
+// every delta-swap level stay within one half, so the same loops drive
+// both matrices and the two dependency chains overlap instead of
+// serialising.
+__attribute__((target("avx512f"))) void transpose64_avx512_pair(
+    std::uint64_t* m1, std::uint64_t* m2) {
+  __m512i v[16];
+  for (int i = 0; i < 8; ++i) v[i] = _mm512_loadu_si512(m1 + 8 * i);
+  for (int i = 0; i < 8; ++i) v[8 + i] = _mm512_loadu_si512(m2 + 8 * i);
+
+  static constexpr std::uint64_t kMasks[3] = {
+      0x00000000FFFFFFFFULL, 0x0000FFFF0000FFFFULL, 0x00FF00FF00FF00FFULL};
+  int j = 32;
+  for (int level = 0; level < 3; ++level, j >>= 1) {
+    const __m512i mask =
+        _mm512_set1_epi64(static_cast<long long>(kMasks[level]));
+    const int stride = j / 8;
+    for (int i = 0; i < 16; ++i) {
+      if (i & stride) continue;
+      const __m512i lo = v[i];
+      const __m512i hi = v[i | stride];
+      const __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(lo, static_cast<unsigned>(j)), hi),
+          mask);
+      v[i] = _mm512_xor_si512(
+          lo, _mm512_slli_epi64(t, static_cast<unsigned>(j)));
+      v[i | stride] = _mm512_xor_si512(hi, t);
+    }
+  }
+  {
+    const __m512i mask = _mm512_set1_epi64(0x0F0F0F0F0F0F0F0FLL);
+    for (int i = 0; i < 16; ++i) {
+      const __m512i a = v[i];
+      const __m512i sw = _mm512_shuffle_i64x2(a, a, _MM_SHUFFLE(1, 0, 3, 2));
+      __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(a, 4), sw), mask);
+      t = _mm512_shuffle_i64x2(t, t, _MM_SHUFFLE(1, 0, 1, 0));
+      v[i] = _mm512_xor_si512(
+          a, _mm512_mask_blend_epi64(0xF0, _mm512_slli_epi64(t, 4), t));
+    }
+  }
+  {
+    const __m512i mask = _mm512_set1_epi64(0x3333333333333333LL);
+    for (int i = 0; i < 16; ++i) {
+      const __m512i a = v[i];
+      const __m512i sw = _mm512_shuffle_i64x2(a, a, _MM_SHUFFLE(2, 3, 0, 1));
+      __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(a, 2), sw), mask);
+      t = _mm512_shuffle_i64x2(t, t, _MM_SHUFFLE(2, 2, 0, 0));
+      v[i] = _mm512_xor_si512(
+          a, _mm512_mask_blend_epi64(0xCC, _mm512_slli_epi64(t, 2), t));
+    }
+  }
+  {
+    const __m512i mask = _mm512_set1_epi64(0x5555555555555555LL);
+    for (int i = 0; i < 16; ++i) {
+      const __m512i a = v[i];
+      const __m512i sw = _mm512_shuffle_epi32(
+          a, static_cast<_MM_PERM_ENUM>(_MM_SHUFFLE(1, 0, 3, 2)));
+      __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(a, 1), sw), mask);
+      t = _mm512_shuffle_epi32(
+          t, static_cast<_MM_PERM_ENUM>(_MM_SHUFFLE(1, 0, 1, 0)));
+      v[i] = _mm512_xor_si512(
+          a, _mm512_mask_blend_epi64(0xAA, _mm512_slli_epi64(t, 1), t));
+    }
+  }
+  for (int i = 0; i < 8; ++i) _mm512_storeu_si512(m1 + 8 * i, v[i]);
+  for (int i = 0; i < 8; ++i) _mm512_storeu_si512(m2 + 8 * i, v[8 + i]);
+}
+
+#endif  // GEAR_BITSLICED_X86_DISPATCH
+
+// ---------------------------------------------------------------------------
+// pack_gp row preparation + dispatch
+// ---------------------------------------------------------------------------
+
+const std::uint64_t* pack_gp_scalar(const std::uint64_t* a,
+                                    const std::uint64_t* b, int count,
+                                    int width, std::uint64_t* rows_g,
+                                    std::uint64_t* rows_p) {
+  const std::uint64_t vmask = core::width_mask(width);
+  if (width <= 32) {
+    for (int l = 0; l < count; ++l) {
+      const std::uint64_t av = a[l] & vmask;
+      const std::uint64_t bv = b[l] & vmask;
+      rows_g[l] = (av & bv) | ((av ^ bv) << 32);
+    }
+    std::memset(rows_g + count, 0,
+                static_cast<std::size_t>(64 - count) * sizeof(std::uint64_t));
+    transpose64_scalar(rows_g);
+    return rows_g + 32;
+  }
+  for (int l = 0; l < count; ++l) {
+    const std::uint64_t av = a[l] & vmask;
+    const std::uint64_t bv = b[l] & vmask;
+    rows_g[l] = av & bv;
+    rows_p[l] = av ^ bv;
+  }
+  std::memset(rows_g + count, 0,
+              static_cast<std::size_t>(64 - count) * sizeof(std::uint64_t));
+  std::memset(rows_p + count, 0,
+              static_cast<std::size_t>(64 - count) * sizeof(std::uint64_t));
+  transpose64_scalar(rows_g);
+  transpose64_scalar(rows_p);
+  return rows_p;
+}
+
+#ifdef GEAR_BITSLICED_X86_DISPATCH
+
+__attribute__((target("avx2"))) const std::uint64_t* pack_gp_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, int count, int width,
+    std::uint64_t* rows_g, std::uint64_t* rows_p) {
+  const std::uint64_t vmask = core::width_mask(width);
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(vmask));
+  int l = 0;
+  if (width <= 32) {
+    for (; l + 4 <= count; l += 4) {
+      const __m256i av = _mm256_and_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + l)), vm);
+      const __m256i bv = _mm256_and_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + l)), vm);
+      const __m256i r = _mm256_or_si256(
+          _mm256_and_si256(av, bv),
+          _mm256_slli_epi64(_mm256_xor_si256(av, bv), 32));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(rows_g + l), r);
+    }
+    for (; l < count; ++l) {
+      const std::uint64_t av = a[l] & vmask;
+      const std::uint64_t bv = b[l] & vmask;
+      rows_g[l] = (av & bv) | ((av ^ bv) << 32);
+    }
+    std::memset(rows_g + count, 0,
+                static_cast<std::size_t>(64 - count) * sizeof(std::uint64_t));
+    transpose64_avx2(rows_g);
+    return rows_g + 32;
+  }
+  for (; l + 4 <= count; l += 4) {
+    const __m256i av = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + l)), vm);
+    const __m256i bv = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + l)), vm);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(rows_g + l),
+                        _mm256_and_si256(av, bv));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(rows_p + l),
+                        _mm256_xor_si256(av, bv));
+  }
+  for (; l < count; ++l) {
+    const std::uint64_t av = a[l] & vmask;
+    const std::uint64_t bv = b[l] & vmask;
+    rows_g[l] = av & bv;
+    rows_p[l] = av ^ bv;
+  }
+  std::memset(rows_g + count, 0,
+              static_cast<std::size_t>(64 - count) * sizeof(std::uint64_t));
+  std::memset(rows_p + count, 0,
+              static_cast<std::size_t>(64 - count) * sizeof(std::uint64_t));
+  transpose64_avx2(rows_g);
+  transpose64_avx2(rows_p);
+  return rows_p;
+}
+
+__attribute__((target("avx512f"))) const std::uint64_t* pack_gp_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, int count, int width,
+    std::uint64_t* rows_g, std::uint64_t* rows_p) {
+  const std::uint64_t vmask = core::width_mask(width);
+  const __m512i vm = _mm512_set1_epi64(static_cast<long long>(vmask));
+  int l = 0;
+  if (width <= 32) {
+    for (; l + 8 <= count; l += 8) {
+      const __m512i av = _mm512_and_si512(_mm512_loadu_si512(a + l), vm);
+      const __m512i bv = _mm512_and_si512(_mm512_loadu_si512(b + l), vm);
+      const __m512i r = _mm512_or_si512(
+          _mm512_and_si512(av, bv),
+          _mm512_slli_epi64(_mm512_xor_si512(av, bv), 32));
+      _mm512_storeu_si512(rows_g + l, r);
+    }
+    for (; l < count; ++l) {
+      const std::uint64_t av = a[l] & vmask;
+      const std::uint64_t bv = b[l] & vmask;
+      rows_g[l] = (av & bv) | ((av ^ bv) << 32);
+    }
+    std::memset(rows_g + count, 0,
+                static_cast<std::size_t>(64 - count) * sizeof(std::uint64_t));
+    transpose64_avx512(rows_g);
+    return rows_g + 32;
+  }
+  for (; l + 8 <= count; l += 8) {
+    const __m512i av = _mm512_and_si512(_mm512_loadu_si512(a + l), vm);
+    const __m512i bv = _mm512_and_si512(_mm512_loadu_si512(b + l), vm);
+    _mm512_storeu_si512(rows_g + l, _mm512_and_si512(av, bv));
+    _mm512_storeu_si512(rows_p + l, _mm512_xor_si512(av, bv));
+  }
+  for (; l < count; ++l) {
+    const std::uint64_t av = a[l] & vmask;
+    const std::uint64_t bv = b[l] & vmask;
+    rows_g[l] = av & bv;
+    rows_p[l] = av ^ bv;
+  }
+  std::memset(rows_g + count, 0,
+              static_cast<std::size_t>(64 - count) * sizeof(std::uint64_t));
+  std::memset(rows_p + count, 0,
+              static_cast<std::size_t>(64 - count) * sizeof(std::uint64_t));
+  transpose64_avx512_pair(rows_g, rows_p);
+  return rows_p;
+}
+
+using TransposeFn = void (*)(std::uint64_t*);
+using PackGpFn = const std::uint64_t* (*)(const std::uint64_t*,
+                                          const std::uint64_t*, int, int,
+                                          std::uint64_t*, std::uint64_t*);
+
+TransposeFn pick_transpose() {
+  if (__builtin_cpu_supports("avx512f")) return transpose64_avx512;
+  if (__builtin_cpu_supports("avx2")) return transpose64_avx2;
+  return transpose64_scalar;
+}
+
+PackGpFn pick_pack_gp() {
+  if (__builtin_cpu_supports("avx512f")) return pack_gp_avx512;
+  if (__builtin_cpu_supports("avx2")) return pack_gp_avx2;
+  return pack_gp_scalar;
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // GEAR_BITSLICED_X86_DISPATCH
+
+}  // namespace
+
+void transpose64(std::uint64_t m[64]) {
+#ifdef GEAR_BITSLICED_X86_DISPATCH
+  static const TransposeFn impl = pick_transpose();
+  impl(m);
+#else
+  transpose64_scalar(m);
+#endif
+}
+
+const std::uint64_t* pack_gp(const std::uint64_t* a, const std::uint64_t* b,
+                             int count, int width, std::uint64_t rows_g[64],
+                             std::uint64_t rows_p[64]) {
+  assert(count >= 0 && count <= kBitslicedLanes);
+  assert(width >= 1 && width <= 64);
+#ifdef GEAR_BITSLICED_X86_DISPATCH
+  static const PackGpFn impl = pick_pack_gp();
+  return impl(a, b, count, width, rows_g, rows_p);
+#else
+  return pack_gp_scalar(a, b, count, width, rows_g, rows_p);
+#endif
+}
+
+BitslicedLanes BitslicedLanes::pack(const std::uint64_t* values, int count,
+                                    int width) {
+  assert(count >= 0 && count <= kBitslicedLanes);
+  assert(width >= 0 && width <= 64);
+  std::uint64_t rows[64];
+  const std::uint64_t vmask = core::width_mask(width);
+  for (int l = 0; l < count; ++l) rows[l] = values[l] & vmask;
+  std::memset(rows + count, 0,
+              static_cast<std::size_t>(64 - count) * sizeof(std::uint64_t));
+  transpose64(rows);
+  BitslicedLanes out(width);
+  std::memcpy(out.planes_, rows, static_cast<std::size_t>(width) * sizeof(std::uint64_t));
+  return out;
+}
+
+void BitslicedLanes::unpack(const std::uint64_t* planes, int width,
+                            std::uint64_t* out, int count) {
+  assert(count >= 0 && count <= kBitslicedLanes);
+  assert(width >= 0 && width <= 64);
+  std::uint64_t rows[64];
+  std::memcpy(rows, planes, static_cast<std::size_t>(width) * sizeof(std::uint64_t));
+  std::memset(rows + width, 0,
+              static_cast<std::size_t>(64 - width) * sizeof(std::uint64_t));
+  transpose64(rows);
+  std::memcpy(out, rows, static_cast<std::size_t>(count) * sizeof(std::uint64_t));
+}
+
+std::uint64_t BitslicedLanes::lane(int l) const {
+  assert(l >= 0 && l < kBitslicedLanes);
+  std::uint64_t v = 0;
+  for (int p = 0; p < width_; ++p) v |= ((planes_[p] >> l) & 1ULL) << p;
+  return v;
+}
+
+}  // namespace gear::stats

@@ -1,0 +1,84 @@
+// Bitsliced 64-lane batch evaluation substrate.
+//
+// Block-based adder error statistics are word-level boolean functions, so
+// 64 independent Monte-Carlo trials can be evaluated per machine word:
+// trial vectors are transposed ("bitsliced") so that plane p holds bit p
+// of all 64 lanes, lane l in bit l. Gates and carry recurrences then run
+// as plain bitwise ops over whole lane words. This file provides the lane
+// layout plus fast pack/unpack (a 64x64 bit-matrix transpose); the actual
+// kernels live next to the models they accelerate
+// (core/bitsliced_adder.h, netlist/bitsliced_sim.h).
+//
+// Determinism: a bitsliced consumer packs *exactly* the vectors the
+// scalar path would draw, in draw order — lane l of a block is trial
+// (block_base + l) — so per-shard tallies, and therefore the §5a
+// shard/merge contract, are bit-identical to the scalar engine. See
+// DESIGN.md, "Bitsliced lane layout".
+#pragma once
+
+#include <cstdint>
+
+#include "core/width.h"
+
+namespace gear::stats {
+
+/// Number of lanes in one bitsliced block — one trial per bit of a word.
+inline constexpr int kBitslicedLanes = 64;
+
+/// Mask with one bit set per live lane when a block holds `count` < 64
+/// trials (tail block of a shard whose size is not a multiple of 64).
+constexpr std::uint64_t lane_mask(int count) {
+  return core::width_mask(count);
+}
+
+/// In-place 64x64 bit-matrix transpose: element (r, c) — bit c of m[r] —
+/// moves to (c, r). Involution, ~6*32 delta-swaps total (≈3 word ops per
+/// row), the cost that keeps packing from eating the 64x kernel speedup.
+/// Runtime-dispatches to an AVX-512/AVX2 kernel on x86-64 hosts that
+/// support one (identical results, ~4x faster).
+void transpose64(std::uint64_t m[64]);
+
+/// Fused generate/propagate packing for word-level adder kernels: computes
+/// g = a&b and p = a^b (operands masked to `width` bits) for `count` <= 64
+/// lane pairs and transposes both into bit planes. Bitwise ops commute
+/// with the lane transpose, so g/p are formed on the untransposed rows;
+/// for width <= 32 both plane sets share one transpose (g in columns
+/// 0..31, p in columns 32..63 of `rows_g`), halving the dominant cost of
+/// a batch. g planes are always rows_g[0..width); the returned pointer is
+/// the base of the p planes (rows_g + 32 or rows_p). Lanes >= count and
+/// planes >= width read 0.
+const std::uint64_t* pack_gp(const std::uint64_t* a, const std::uint64_t* b,
+                             int count, int width, std::uint64_t rows_g[64],
+                             std::uint64_t rows_p[64]);
+
+/// 64 lanes of packed bit-planes: plane(p) holds bit p of every lane.
+class BitslicedLanes {
+ public:
+  /// Packs `count` <= 64 values of `width` <= 64 bits into planes; lanes
+  /// >= count and planes >= width read 0. values[i] lands in lane i, so
+  /// draw order is preserved.
+  static BitslicedLanes pack(const std::uint64_t* values, int count, int width);
+
+  /// Unpacks `count` lanes of `width` planes back into scalar values
+  /// (lane i -> out[i]); the inverse of pack.
+  static void unpack(const std::uint64_t* planes, int width,
+                     std::uint64_t* out, int count);
+
+  explicit BitslicedLanes(int width = 0) : width_(width) {
+    for (int p = 0; p < width_; ++p) planes_[p] = 0;
+  }
+
+  int width() const { return width_; }
+  std::uint64_t plane(int p) const { return planes_[p]; }
+  std::uint64_t* data() { return planes_; }
+  const std::uint64_t* data() const { return planes_; }
+
+  /// Value of lane l (bit-gather across planes; prefer unpack for bulk).
+  std::uint64_t lane(int l) const;
+
+ private:
+  int width_ = 0;
+  std::uint64_t planes_[kBitslicedLanes];
+};
+
+}  // namespace gear::stats

@@ -1,0 +1,46 @@
+// Benchmark utility helpers: JSON string escaping for the BENCH_*.json
+// artifacts (satellite of the PR-3 numeric-edge sweep).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace gear::benchutil {
+namespace {
+
+TEST(JsonEscape, PassThroughPlainText) {
+  EXPECT_EQ(json_escape("GeAr(16,4,4)"), "GeAr(16,4,4)");
+  EXPECT_EQ(json_escape(""), "");
+  // UTF-8 multibyte sequences pass through untouched.
+  EXPECT_EQ(json_escape("µ-arch"), "µ-arch");
+}
+
+TEST(JsonEscape, EscapesMandatoryCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape("\r\t\b\f"), "\\r\\t\\b\\f");
+}
+
+TEST(JsonEscape, ControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(json_escape(std::string("a\x00z", 3)), "a\\u0000z");
+}
+
+TEST(JsonEscape, RoundTripsThroughNaiveParser) {
+  // A quote-and-backslash-laden label embedded in a document must keep the
+  // document well-formed: unescaped quotes would terminate the string.
+  const std::string label = "cfg \"q\" \\ tail";
+  const std::string doc = "{\"name\":\"" + json_escape(label) + "\"}";
+  // The only unescaped quotes are the four structural ones.
+  int structural = 0;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    if (doc[i] == '"' && (i == 0 || doc[i - 1] != '\\')) ++structural;
+  }
+  EXPECT_EQ(structural, 4);
+}
+
+}  // namespace
+}  // namespace gear::benchutil

@@ -2,6 +2,8 @@
 // streams, consistency with the analytic error model.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "adders/exact.h"
 #include "adders/gear_adapter.h"
 #include "adders/loa.h"
@@ -97,6 +99,53 @@ TEST(Metrics, SamplesRecorded) {
   const adders::RcaAdder rca(8);
   auto src = stats::make_uniform(8, 8);
   EXPECT_EQ(evaluate(rca, *src, 1234).samples, 1234u);
+}
+
+TEST(MetricsConventions, ZeroSamplesYieldAllZeroMetrics) {
+  // Empty-stream convention (metrics.h): all-zero fields, maa_acceptance
+  // sized to the thresholds, and no 0/0 NaN anywhere.
+  const adders::GearAdapter gear(core::GeArConfig::must(16, 4, 4));
+  auto src = stats::make_uniform(16, 9);
+  const ErrorMetrics m = evaluate(gear, *src, 0, {90.0, 99.0});
+  EXPECT_EQ(m.samples, 0u);
+  EXPECT_DOUBLE_EQ(m.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.med, 0.0);
+  EXPECT_DOUBLE_EQ(m.ned, 0.0);
+  EXPECT_DOUBLE_EQ(m.ned_range, 0.0);
+  EXPECT_DOUBLE_EQ(m.max_ed, 0.0);
+  ASSERT_EQ(m.maa_acceptance.size(), 2u);
+  for (const double a : m.maa_acceptance) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(MetricsConventions, ErrorFreeStreamHasZeroNedNotNan) {
+  // max_ed == 0 makes NED's defining ratio 0/0; the convention is 0.
+  const adders::RcaAdder rca(16);
+  auto src = stats::make_uniform(16, 10);
+  const ErrorMetrics m = evaluate(rca, *src, 5000);
+  EXPECT_DOUBLE_EQ(m.max_ed, 0.0);
+  EXPECT_DOUBLE_EQ(m.ned, 0.0);
+  EXPECT_FALSE(std::isnan(m.ned));
+  EXPECT_FALSE(std::isnan(m.ned_range));
+}
+
+TEST(MetricsConventions, AllRejectedMaaIsExactlyZero) {
+  // A threshold no addition can meet (> 100% amplitude accuracy) tallies
+  // exactly 0.0 acceptance, never NaN.
+  const adders::GearAdapter gear(core::GeArConfig::must(16, 4, 4));
+  auto src = stats::make_uniform(16, 11);
+  const ErrorMetrics m = evaluate(gear, *src, 2000, {101.0});
+  ASSERT_EQ(m.maa_acceptance.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.maa_acceptance[0], 0.0);
+  EXPECT_FALSE(std::isnan(m.maa_acceptance[0]));
+}
+
+TEST(MetricsConventions, NedRangeUsesShiftSafeDenominator) {
+  // ned_range = MED / (2^N - 1) computed via width_mask — identical to the
+  // pow() form at every adder width.
+  const adders::GearAdapter gear(core::GeArConfig::must(16, 4, 4));
+  auto src = stats::make_uniform(16, 12);
+  const ErrorMetrics m = evaluate(gear, *src, 20000);
+  EXPECT_DOUBLE_EQ(m.ned_range, m.med / (std::pow(2.0, 16) - 1.0));
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
 // Signed (two's complement) arithmetic helpers.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "core/signed_ops.h"
+#include "core/width.h"
 #include "stats/rng.h"
 
 namespace gear::core {
@@ -72,6 +75,31 @@ TEST(SignedOps, DetectionFlagSurfacesInSignedView) {
   const std::int64_t b = to_signed((0b0101ULL << 4) | 0b1000ULL, 12);
   const SignedAddResult r = signed_add(adder, a, b);
   EXPECT_TRUE(r.error_detected);
+}
+
+TEST(SignedOps, FullWidthRoundtrips) {
+  // bits == 64: to_signed is the plain two's-complement bit cast, with no
+  // 1 << 64 shift anywhere (PR-3 numeric-edge sweep).
+  EXPECT_EQ(to_signed(~0ULL, 64), -1);
+  EXPECT_EQ(to_signed(0x8000000000000000ULL, 64), INT64_MIN);
+  EXPECT_EQ(to_signed(0x7FFFFFFFFFFFFFFFULL, 64), INT64_MAX);
+  EXPECT_EQ(from_signed(-1, 64), ~0ULL);
+  EXPECT_EQ(from_signed(INT64_MIN, 64), 0x8000000000000000ULL);
+  for (const std::int64_t v : {std::int64_t{0}, std::int64_t{-1},
+                               std::int64_t{42}, INT64_MIN, INT64_MAX}) {
+    EXPECT_EQ(to_signed(from_signed(v, 64), 64), v) << v;
+  }
+  // bits == 63: the widest width the adders themselves use.
+  EXPECT_EQ(to_signed(width_mask(63), 63), -1);
+  EXPECT_EQ(to_signed(1ULL << 62, 63), -(std::int64_t{1} << 62));
+  for (const std::int64_t v :
+       {std::int64_t{-5}, (std::int64_t{1} << 62) - 1,
+        -(std::int64_t{1} << 62)}) {
+    EXPECT_EQ(to_signed(from_signed(v, 63), 63), v) << v;
+  }
+  // Truncating encode ignores bits above the width.
+  EXPECT_EQ(from_signed(-1, 63), width_mask(63));
+
 }
 
 }  // namespace
