@@ -9,15 +9,16 @@
 #include "analysis/design_space.h"
 #include "analysis/table.h"
 #include "core/coverage.h"
+#include "stats/parallel.h"
 
 namespace {
 
-void print_panel(int n, int r, char panel) {
+void print_panel(gear::analysis::SweepContext ctx, int n, int r, char panel) {
   using gear::core::AdderFamily;
   std::printf("Fig.1(%c): design space for N=%d, R=%d (P = 1..%d)\n", panel, n,
               r, n - r);
 
-  const auto comparison = gear::analysis::coverage_comparison(n, r);
+  const auto comparison = gear::analysis::coverage_comparison(n, r, ctx);
   std::vector<std::string> headers{"family"};
   for (int p = 1; p <= n - r; ++p) headers.push_back(std::to_string(p));
   headers.push_back("#configs");
@@ -41,8 +42,10 @@ void print_panel(int n, int r, char panel) {
 
 int main() {
   std::printf("== Fig. 1: accuracy-configurability design space ==\n\n");
-  print_panel(16, 2, 'a');
-  print_panel(16, 4, 'b');
+  gear::stats::ParallelExecutor exec(0);
+  const gear::analysis::SweepContext ctx{&exec, nullptr};
+  print_panel(ctx, 16, 2, 'a');
+  print_panel(ctx, 16, 4, 'b');
   std::printf(
       "Paper shape check: ETAII/ACA-II reach exactly one P (P=R); GDA only\n"
       "multiples of R; ACA-I none at R>1; GeAr reaches every P.\n");

@@ -6,14 +6,15 @@
 
 #include "analysis/design_space.h"
 #include "analysis/table.h"
+#include "stats/parallel.h"
 
 namespace {
 
-void print_panel(int n, int r, char panel) {
+void print_panel(gear::analysis::SweepContext ctx, int n, int r, char panel) {
   std::printf("Fig.7(%c): N=%d, R=%d\n", panel, n, r);
   gear::analysis::Table table(
       {"P", "L", "k", "Perr", "accuracy%", "GDA?", "ETAII/ACA-II?"});
-  for (const auto& pt : gear::analysis::accuracy_sweep(n, r)) {
+  for (const auto& pt : gear::analysis::accuracy_sweep(n, r, ctx)) {
     table.add_row({std::to_string(pt.cfg.p()), std::to_string(pt.cfg.l()),
                    std::to_string(pt.cfg.k()),
                    gear::analysis::fmt_pct(pt.error_probability, 4),
@@ -29,10 +30,12 @@ void print_panel(int n, int r, char panel) {
 
 int main() {
   std::printf("== Fig. 7: accuracy vs prediction bits (GeAr vs GDA points) ==\n\n");
-  print_panel(16, 2, 'a');
-  print_panel(16, 3, 'b');
-  print_panel(16, 4, 'c');
-  print_panel(16, 8, 'd');
+  gear::stats::ParallelExecutor exec(0);
+  const gear::analysis::SweepContext ctx{&exec, nullptr};
+  print_panel(ctx, 16, 2, 'a');
+  print_panel(ctx, 16, 3, 'b');
+  print_panel(ctx, 16, 4, 'c');
+  print_panel(ctx, 16, 8, 'd');
   std::printf(
       "Paper shape checks: (R=2,P=2) ~51%% accuracy, (R=2,P=6) ~97%%,\n"
       "(R=4,P=4) ~94%% < (R=2,P=6) at equal sub-adder length L=8; GDA\n"

@@ -15,6 +15,7 @@
 
 #include "adders/gda.h"
 #include "adders/gear_adapter.h"
+#include "analysis/dse_cache.h"
 #include "core/config.h"
 #include "netlist/circuits.h"
 #include "netlist/transform.h"
@@ -57,21 +58,29 @@ int main() {
   };
   std::vector<Entry> entries;
   double max_val = 0.0;
+  // Both families synthesize through the DSE cache: GDA via keyed_synth
+  // (full synthesis, memoized), GeAr via the Tier-B fast path — each
+  // bit-identical to the direct synthesize() calls it replaces.
+  gear::analysis::DseCache cache;
   for (const auto& cfg : configs) {
     const auto [r, p] = cfg;
     const gear::adders::GdaAdder gda(8, r, p);
+    char gda_key[48];
+    std::snprintf(gda_key, sizeof gda_key, "gda:8:%d:%d:cfg0", r, p);
     const double gda_dxn =
-        gear::synth::synthesize(gear::netlist::specialize(
-                                    gear::netlist::build_gda(8, r, p),
-                                    {{"cfg", 0}}))
+        cache
+            .keyed_synth(gda_key,
+                         [&] {
+                           return gear::netlist::specialize(
+                               gear::netlist::build_gda(8, r, p), {{"cfg", 0}});
+                         })
             .delay_ns *
         1e-9 * exhaustive_ned(gda);
     const auto gcfg = *gear::core::GeArConfig::make_relaxed(8, r, p);
     const gear::adders::GearAdapter gear_adder(gcfg);
     const double gear_dxn =
-        gear::synth::sum_path_delay(gear::synth::synthesize(
-            gear::netlist::build_gear(gcfg, {.with_detection = false}))) *
-        1e-9 * exhaustive_ned(gear_adder);
+        cache.gear_synth(gcfg, false).sum_delay_ns * 1e-9 *
+        exhaustive_ned(gear_adder);
     entries.push_back({cfg, gda_dxn, gear_dxn});
     max_val = std::max({max_val, gda_dxn, gear_dxn});
   }

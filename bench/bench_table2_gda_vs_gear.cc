@@ -10,6 +10,7 @@
 #include "adders/gda.h"
 #include "bench_util.h"
 #include "adders/gear_adapter.h"
+#include "analysis/dse_cache.h"
 #include "analysis/table.h"
 #include "core/config.h"
 #include "netlist/circuits.h"
@@ -51,22 +52,34 @@ int main() {
                                "GDA DxNED", "GeAr delay[ns]", "GeAr area",
                                "GeAr NED", "GeAr DxNED"});
   int gear_wins_dxned = 0;
+  // Synthesis through the DSE cache: GDA via keyed_synth (full synthesis,
+  // memoized per key), GeAr via the Tier-B fast path — both bit-identical
+  // to the direct synthesize() calls they replace.
+  gear::analysis::DseCache cache;
   for (const auto& [r, p] : configs) {
     const gear::adders::GdaAdder gda(8, r, p);
     // Area from the full configurable circuit; delay with case analysis
     // (config muxes steered, unused ripple path off the critical path).
-    const auto gda_full = gear::netlist::build_gda(8, r, p);
-    const auto gda_rep = gear::synth::synthesize(gda_full);
-    const double gda_delay = gear::synth::synthesize(
-        gear::netlist::specialize(gda_full, {{"cfg", 0}})).delay_ns;
+    char key_full[48], key_cfg0[48];
+    std::snprintf(key_full, sizeof key_full, "gda:8:%d:%d:full", r, p);
+    std::snprintf(key_cfg0, sizeof key_cfg0, "gda:8:%d:%d:cfg0", r, p);
+    const auto gda_rep = cache.keyed_synth(
+        key_full, [&] { return gear::netlist::build_gda(8, r, p); });
+    const double gda_delay =
+        cache
+            .keyed_synth(key_cfg0,
+                         [&] {
+                           return gear::netlist::specialize(
+                               gear::netlist::build_gda(8, r, p), {{"cfg", 0}});
+                         })
+            .delay_ns;
     const double gda_ned = exhaustive_ned(gda);
 
     const auto cfg = *gear::core::GeArConfig::make_relaxed(8, r, p);
     const gear::adders::GearAdapter gear_adder(cfg);
-    const auto gear_rep = gear::synth::synthesize(
-        gear::netlist::build_gear(cfg, {.with_detection = false}));
+    const auto gear_rep = cache.gear_synth(cfg, false);
     const double gear_ned = exhaustive_ned(gear_adder);
-    const double gear_delay = gear::synth::sum_path_delay(gear_rep);
+    const double gear_delay = gear_rep.sum_delay_ns;
 
     if (gear_delay * gear_ned <= gda_delay * gda_ned) ++gear_wins_dxned;
 

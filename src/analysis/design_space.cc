@@ -1,31 +1,69 @@
 #include "analysis/design_space.h"
 
+#include <iterator>
+#include <optional>
+
 #include "core/error_model.h"
 
 namespace gear::analysis {
 
-std::vector<AccuracyPoint> accuracy_sweep(int n, int r) {
+namespace {
+
+AccuracyPoint accuracy_point(const core::GeArConfig& cfg) {
+  AccuracyPoint pt{cfg, 0.0, 0.0, false, false};
+  pt.error_probability = core::paper_error_probability(cfg);
+  pt.accuracy_percent = (1.0 - pt.error_probability) * 100.0;
+  pt.gda_reachable = core::family_supports(core::AdderFamily::kGda, cfg);
+  pt.etaii_reachable = core::family_supports(core::AdderFamily::kEtaII, cfg);
+  return pt;
+}
+
+constexpr core::AdderFamily kCoverageFamilies[] = {
+    core::AdderFamily::kAcaI,      core::AdderFamily::kEtaII,
+    core::AdderFamily::kAcaII,     core::AdderFamily::kGda,
+    core::AdderFamily::kGearStrict, core::AdderFamily::kGearRelaxed};
+
+}  // namespace
+
+std::vector<AccuracyPoint> accuracy_sweep(int n, int r,
+                                          const SweepContext& ctx) {
+  const auto cfgs = core::GeArConfig::enumerate_relaxed_r(n, r);
   std::vector<AccuracyPoint> out;
-  for (const auto& cfg : core::GeArConfig::enumerate_relaxed_r(n, r)) {
-    AccuracyPoint pt{cfg, 0.0, 0.0, false, false};
-    pt.error_probability = core::paper_error_probability(cfg);
-    pt.accuracy_percent = (1.0 - pt.error_probability) * 100.0;
-    pt.gda_reachable = core::family_supports(core::AdderFamily::kGda, cfg);
-    pt.etaii_reachable = core::family_supports(core::AdderFamily::kEtaII, cfg);
-    out.push_back(std::move(pt));
+  out.reserve(cfgs.size());
+  if (ctx.executor != nullptr && cfgs.size() > 1) {
+    // optional<> only because AccuracyPoint is not default-constructible.
+    auto pts = ctx.executor->map<std::optional<AccuracyPoint>>(
+        cfgs.size(), [&](std::size_t i) { return accuracy_point(cfgs[i]); });
+    for (auto& pt : pts) out.push_back(std::move(*pt));
+    return out;
+  }
+  for (const auto& cfg : cfgs) out.push_back(accuracy_point(cfg));
+  return out;
+}
+
+std::vector<AccuracyPoint> accuracy_sweep(int n, int r) {
+  return accuracy_sweep(n, r, SweepContext{});
+}
+
+std::vector<FamilyCoverage> coverage_comparison(int n, int r,
+                                                const SweepContext& ctx) {
+  constexpr std::size_t kFamilies = std::size(kCoverageFamilies);
+  if (ctx.executor != nullptr) {
+    return ctx.executor->map<FamilyCoverage>(kFamilies, [&](std::size_t i) {
+      return FamilyCoverage{kCoverageFamilies[i],
+                            core::reachable_p_values(kCoverageFamilies[i], n, r)};
+    });
+  }
+  std::vector<FamilyCoverage> out;
+  out.reserve(kFamilies);
+  for (core::AdderFamily family : kCoverageFamilies) {
+    out.push_back({family, core::reachable_p_values(family, n, r)});
   }
   return out;
 }
 
 std::vector<FamilyCoverage> coverage_comparison(int n, int r) {
-  using core::AdderFamily;
-  std::vector<FamilyCoverage> out;
-  for (AdderFamily family :
-       {AdderFamily::kAcaI, AdderFamily::kEtaII, AdderFamily::kAcaII,
-        AdderFamily::kGda, AdderFamily::kGearStrict, AdderFamily::kGearRelaxed}) {
-    out.push_back({family, core::reachable_p_values(family, n, r)});
-  }
-  return out;
+  return coverage_comparison(n, r, SweepContext{});
 }
 
 }  // namespace gear::analysis

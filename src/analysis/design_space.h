@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dse_cache.h"
 #include "core/config.h"
 #include "core/coverage.h"
 
@@ -22,8 +23,13 @@ struct AccuracyPoint {
   bool etaii_reachable = false;
 };
 
-/// Accuracy of every (relaxed) P in [1, n-r] at fixed (n, r).
+/// Accuracy of every (relaxed) P in [1, n-r] at fixed (n, r). The
+/// SweepContext overload evaluates the points on the executor (the cache
+/// is unused — this sweep never synthesizes); output is bit-identical to
+/// the serial form for any thread count.
 std::vector<AccuracyPoint> accuracy_sweep(int n, int r);
+std::vector<AccuracyPoint> accuracy_sweep(int n, int r,
+                                          const SweepContext& ctx);
 
 /// One family's row of the Fig. 1 comparison at fixed (n, r).
 struct FamilyCoverage {
@@ -31,7 +37,10 @@ struct FamilyCoverage {
   std::vector<int> p_values;
 };
 
-/// Coverage of all families at fixed (n, r).
+/// Coverage of all families at fixed (n, r). The SweepContext overload
+/// scans the families concurrently; output order is fixed.
 std::vector<FamilyCoverage> coverage_comparison(int n, int r);
+std::vector<FamilyCoverage> coverage_comparison(int n, int r,
+                                                const SweepContext& ctx);
 
 }  // namespace gear::analysis

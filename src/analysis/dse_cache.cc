@@ -1,0 +1,349 @@
+#include "analysis/dse_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "netlist/circuits.h"
+#include "stats/rng.h"
+
+namespace gear::analysis {
+
+namespace {
+
+/// Exact textual form of a double (hex float round-trips bit-for-bit and
+/// is compact enough for map keys).
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Canonical geometry string "n<N>:<lo>.<hi>.<lo>.<hi>:...": equal
+/// layouts share one entry no matter how the config was constructed.
+/// snprintf into a stack buffer — this runs once per lookup, so it must
+/// stay cheap (a warm sweep is nothing but key builds and map finds).
+std::string layout_key(const core::GeArConfig& cfg) {
+  std::string out;
+  out.reserve(8 + cfg.layout().size() * 16);
+  char buf[72];
+  out.append(buf, static_cast<std::size_t>(
+                      std::snprintf(buf, sizeof buf, "n%d", cfg.n())));
+  for (const auto& s : cfg.layout()) {
+    out.append(buf, static_cast<std::size_t>(
+                        std::snprintf(buf, sizeof buf, ":%d.%d.%d.%d",
+                                      s.win_lo, s.win_hi, s.res_lo, s.res_hi)));
+  }
+  return out;
+}
+
+/// Tier B applies only to plain carry-chain netlists: no detection logic
+/// and strictly increasing window starts (equal starts let the builder's
+/// hash-consing share chain prefixes, breaking the one-FA-per-window-bit
+/// area identity).
+bool fast_path_eligible(const core::GeArConfig& cfg, bool with_detection) {
+  if (with_detection) return false;
+  for (int j = 1; j < cfg.k(); ++j) {
+    if (cfg.sub(j).win_lo <= cfg.sub(j - 1).win_lo) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string DseCache::make_model_key() const {
+  std::string out = ":m";
+  for (double v : {model_.t_lut, model_.t_net, model_.t_carry, model_.t_entry,
+                   model_.t_exit, model_.t_fanout, model_.t_fanout_cap}) {
+    out += ",";
+    out += hex_double(v);
+  }
+  return out;
+}
+
+std::string DseCache::config_key(const core::GeArConfig& cfg,
+                                 bool with_detection) const {
+  std::string out = "gear:";
+  out += layout_key(cfg);
+  out += with_detection ? ":det1" : ":det0";
+  out += model_key_;
+  return out;
+}
+
+CachedSynth DseCache::synthesize_uncached(const core::GeArConfig& cfg,
+                                          bool with_detection) {
+  const auto rep = synth::synthesize(
+      netlist::build_gear(cfg, {.with_detection = with_detection}), model_);
+  CachedSynth out;
+  out.area_luts = rep.area_luts;
+  out.carry_elements = rep.carry_elements;
+  out.lut_count = rep.lut_count;
+  out.lut_levels = rep.lut_levels;
+  out.delay_ns = rep.delay_ns;
+  out.sum_delay_ns = synth::sum_path_delay(rep);
+  return out;
+}
+
+CachedSynth DseCache::fast_path(const core::GeArConfig& cfg) {
+  // A no-detection GeAr netlist with strictly increasing window starts is
+  // a disjoint union of carry-macro chains: one FaCarry per window bit
+  // (result bits add an FaSum sharing the same (a, b, cin) triple, so the
+  // FA-element count is exactly the window length), zero LUTs, and the
+  // "sum" port reads the top of each chain through one t_exit. The chain
+  // arrival recurrence below replays analyze_timing's float operations
+  // term for term — operand arrivals are 0, the only inputs are the
+  // per-bit fan-out penalties — so every returned double is bit-identical
+  // to full synthesis (pinned by test_dse_cache.cc).
+  const int n = cfg.n();
+  std::vector<int> fan(static_cast<std::size_t>(n), 0);
+  for (const auto& s : cfg.layout()) {
+    for (int q = s.win_lo; q <= s.win_hi; ++q) {
+      // Prediction bits feed one FaCarry; result bits feed FaSum+FaCarry.
+      fan[static_cast<std::size_t>(q)] += q < s.res_lo ? 1 : 2;
+    }
+  }
+
+  CachedSynth out;
+  double worst_chain = 0.0;
+  std::vector<int> part_key;
+  for (const auto& s : cfg.layout()) {
+    out.carry_elements += s.window_len();
+
+    // Tier-B part key: the chain delay is a pure function of the
+    // prediction/result split and the per-bit *integer* fan counts (the
+    // penalty is a deterministic function of the count), so identical
+    // sub-adders across different configs share one entry with no
+    // floating-point text in the key.
+    part_key.clear();
+    part_key.push_back(s.prediction_len());
+    part_key.push_back(s.result_len());
+    for (int q = s.win_lo; q <= s.win_hi; ++q) {
+      part_key.push_back(fan[static_cast<std::size_t>(q)]);
+    }
+
+    double chain = 0.0;
+    bool cached = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = part_cache_.find(part_key);
+      if (it != part_cache_.end()) {
+        chain = it->second;
+        cached = true;
+      }
+    }
+    if (!cached) {
+      double cin = 0.0;  // const0 enters the chain at fabric arrival 0
+      for (int q = s.win_lo; q <= s.win_hi; ++q) {
+        const double pen =
+            std::min(model_.t_fanout *
+                         std::max(0, fan[static_cast<std::size_t>(q)] - 1),
+                     model_.t_fanout_cap);
+        const double ab = 0.0 + pen;  // fabric_arrival(input) + penalty
+        chain = std::max(ab + model_.t_entry, cin + model_.t_carry);
+        cin = chain;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      part_cache_.emplace(part_key, chain);
+    }
+    worst_chain = std::max(worst_chain, chain);
+  }
+
+  out.area_luts = out.carry_elements;  // zero LUTs: area is the FA count
+  out.lut_count = 0;
+  out.lut_levels = 0;
+  // Arrival is monotone along a chain, so the port max is the max of the
+  // chain tops; adding the shared t_exit afterwards is bit-identical to
+  // maxing the per-net exit-adjusted arrivals (fl(+) is monotone).
+  out.sum_delay_ns = worst_chain + model_.t_exit;
+  out.delay_ns = out.sum_delay_ns;  // "sum" is the only output port
+  return out;
+}
+
+CachedSynth DseCache::gear_synth(const core::GeArConfig& cfg,
+                                 bool with_detection) {
+  const std::string key = config_key(cfg, with_detection);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = synth_cache_.find(key);
+    if (it != synth_cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  CachedSynth value;
+  if (fast_path_eligible(cfg, with_detection)) {
+    value = fast_path(cfg);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++fast_path_evals_;
+    synth_cache_.emplace(key, value);
+  } else {
+    value = synthesize_uncached(cfg, with_detection);
+    std::lock_guard<std::mutex> lock(mu_);
+    synth_cache_.emplace(key, value);
+  }
+  return value;
+}
+
+CachedError DseCache::gear_error(const core::GeArConfig& cfg) {
+  const std::string key = layout_key(cfg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = error_cache_.find(key);
+    if (it != error_cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  CachedError value;
+  value.paper_error = core::paper_error_probability(cfg);
+  value.exact = core::exact_error_metrics(cfg);
+  std::lock_guard<std::mutex> lock(mu_);
+  error_cache_.emplace(key, value);
+  return value;
+}
+
+CachedSynth DseCache::keyed_synth(
+    const std::string& key, const std::function<netlist::Netlist()>& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = synth_cache_.find(key);
+    if (it != synth_cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  const auto rep = synth::synthesize(build(), model_);
+  CachedSynth value;
+  value.area_luts = rep.area_luts;
+  value.carry_elements = rep.carry_elements;
+  value.lut_count = rep.lut_count;
+  value.lut_levels = rep.lut_levels;
+  value.delay_ns = rep.delay_ns;
+  value.sum_delay_ns = synth::sum_path_delay(rep);
+  std::lock_guard<std::mutex> lock(mu_);
+  synth_cache_.emplace(key, value);
+  return value;
+}
+
+synth::PowerReport DseCache::gear_power(const core::GeArConfig& cfg,
+                                        bool with_detection,
+                                        std::uint64_t vectors,
+                                        std::uint64_t seed) {
+  std::ostringstream os;
+  os << config_key(cfg, with_detection) << ":pw" << vectors << ":" << seed;
+  const std::string key = os.str();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = power_cache_.find(key);
+    if (it != power_cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  stats::Rng rng = stats::Rng::substream(seed, "dse-power:" + key);
+  const auto report = synth::estimate_power(
+      netlist::build_gear(cfg, {.with_detection = with_detection}), vectors,
+      rng);
+  std::lock_guard<std::mutex> lock(mu_);
+  power_cache_.emplace(key, report);
+  return report;
+}
+
+std::uint64_t DseCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t DseCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t DseCache::fast_path_evals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fast_path_evals_;
+}
+
+std::size_t DseCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return synth_cache_.size();
+}
+
+bool DseCache::save_json(const std::string& path) const {
+  // One entry per line, so load_json can parse line-by-line: synth
+  // entries carry fields {a,c,l,v,d,s}, error entries {p,ep,med,...};
+  // the field names disambiguate on load. %.17g round-trips doubles
+  // bit-exactly.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"format\": \"gear-dse-cache-v1\",\n  \"entries\": {\n";
+  bool first = true;
+  for (const auto& [key, v] : synth_cache_) {
+    char nums[192];
+    std::snprintf(nums, sizeof nums,
+                  "{\"a\": %d, \"c\": %d, \"l\": %d, \"v\": %d, "
+                  "\"d\": %.17g, \"s\": %.17g}",
+                  v.area_luts, v.carry_elements, v.lut_count, v.lut_levels,
+                  v.delay_ns, v.sum_delay_ns);
+    out << (first ? "" : ",\n") << "    \"" << key << "\": " << nums;
+    first = false;
+  }
+  for (const auto& [key, v] : error_cache_) {
+    char nums[256];
+    std::snprintf(nums, sizeof nums,
+                  "{\"p\": %.17g, \"ep\": %.17g, \"med\": %.17g, "
+                  "\"mx\": %.17g, \"nd\": %.17g, \"nr\": %.17g, "
+                  "\"am\": %.17g}",
+                  v.paper_error, v.exact.error_probability, v.exact.med,
+                  v.exact.max_ed, v.exact.ned, v.exact.ned_range,
+                  v.exact.acc_amp_mean);
+    out << (first ? "" : ",\n") << "    \"err|" << key << "\": " << nums;
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  return out.good();
+}
+
+bool DseCache::load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t k0 = line.find('"');
+    if (k0 == std::string::npos) continue;
+    const std::size_t k1 = line.find('"', k0 + 1);
+    if (k1 == std::string::npos) continue;
+    const std::string key = line.substr(k0 + 1, k1 - k0 - 1);
+    const char* rest = line.c_str() + k1 + 1;
+    CachedSynth v;
+    if (std::sscanf(rest,
+                    ": {\"a\": %d, \"c\": %d, \"l\": %d, \"v\": %d, "
+                    "\"d\": %lg, \"s\": %lg}",
+                    &v.area_luts, &v.carry_elements, &v.lut_count,
+                    &v.lut_levels, &v.delay_ns, &v.sum_delay_ns) == 6) {
+      synth_cache_[key] = v;
+      continue;
+    }
+    CachedError e;
+    if (key.rfind("err|", 0) == 0 &&
+        std::sscanf(rest,
+                    ": {\"p\": %lg, \"ep\": %lg, \"med\": %lg, \"mx\": %lg, "
+                    "\"nd\": %lg, \"nr\": %lg, \"am\": %lg}",
+                    &e.paper_error, &e.exact.error_probability, &e.exact.med,
+                    &e.exact.max_ed, &e.exact.ned, &e.exact.ned_range,
+                    &e.exact.acc_amp_mean) == 7) {
+      error_cache_[key.substr(4)] = e;
+    }
+  }
+  return true;
+}
+
+}  // namespace gear::analysis

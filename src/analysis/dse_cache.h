@@ -1,0 +1,157 @@
+// Memoized synthesis for design-space exploration.
+//
+// A full rank_configs sweep at N=32 synthesizes hundreds of candidate
+// netlists whose results never change between runs — and whose sub-adder
+// chains repeat across candidates. DseCache collapses that cost with two
+// tiers, both returning values bit-identical to calling synth::synthesize
+// directly (pinned by test_dse_cache.cc):
+//
+//  * Tier A — a canonical-config-keyed memo of full synthesis results
+//    (area/LUT/carry counts, critical and sum-port STA delays, optional
+//    power). Keys canonicalize through the sub-adder *layout*, so two
+//    parameterizations producing the same geometry share one entry. The
+//    Tier-A map can be persisted to JSON (doubles serialized losslessly)
+//    so repeated bench runs start warm.
+//  * Tier B — a sub-adder-level part cache for plain (no-detection) GeAr
+//    layouts with strictly increasing window starts. Such netlists are
+//    pure carry-macro chains: zero LUTs, one FA element per window bit,
+//    and a per-chain arrival recurrence that replays analyze_timing's
+//    float operations term for term (see DESIGN.md §5e for the
+//    bit-identity argument). Each chain is keyed by its (prediction
+//    length, result length, per-bit fan-out penalty profile), so
+//    identical sub-adders across different configs are "synthesized"
+//    once and shared.
+//
+// Thread safety: all lookups are mutex-guarded; concurrent misses on the
+// same key compute the same deterministic value, so the last insert wins
+// harmlessly. The cache is therefore safe to share across a
+// stats::ParallelExecutor sweep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/error_model.h"
+#include "netlist/netlist.h"
+#include "stats/parallel.h"
+#include "synth/power.h"
+#include "synth/report.h"
+
+namespace gear::analysis {
+
+class DseCache;
+
+/// Optional acceleration context threaded through the sweep drivers
+/// (rank_configs, accuracy_sweep, coverage_comparison, ...). Both members
+/// may be null: a null executor runs the sweep serially on the calling
+/// thread, a null cache synthesizes every candidate directly. Results are
+/// bit-identical in all four combinations — candidates are evaluated
+/// index-ordered and merged deterministically, and the cache returns the
+/// same bits as direct synthesis (see DseCache).
+struct SweepContext {
+  stats::ParallelExecutor* executor = nullptr;
+  DseCache* cache = nullptr;
+};
+
+/// The synthesis scalars a sweep consumes; every field is bit-identical
+/// to the corresponding SynthReport field for the same netlist + model.
+struct CachedSynth {
+  int area_luts = 0;
+  int carry_elements = 0;
+  int lut_count = 0;
+  int lut_levels = 0;
+  double delay_ns = 0.0;      ///< critical path over all output ports
+  double sum_delay_ns = 0.0;  ///< "sum" port arrival (== sum_path_delay)
+
+  bool operator==(const CachedSynth&) const = default;
+};
+
+/// The error-model scalars a sweep consumes, memoized together because
+/// they share one pass over the layout.
+struct CachedError {
+  double paper_error = 0.0;  ///< core::paper_error_probability
+  core::ExactErrorMetrics exact;
+
+  bool operator==(const CachedError&) const = default;
+};
+
+class DseCache {
+ public:
+  DseCache() = default;
+  explicit DseCache(synth::DelayModel model) : model_(model) {}
+
+  const synth::DelayModel& model() const { return model_; }
+
+  /// Synthesis scalars for a GeAr configuration, memoized. Bit-identical
+  /// to synth::synthesize(netlist::build_gear(cfg, {.with_detection =
+  /// with_detection}), model()).
+  CachedSynth gear_synth(const core::GeArConfig& cfg, bool with_detection);
+
+  /// Error-model scalars for a GeAr configuration, memoized by layout.
+  /// Bit-identical to calling core::paper_error_probability and
+  /// core::exact_error_metrics directly (the miss path *is* those calls).
+  CachedError gear_error(const core::GeArConfig& cfg);
+
+  /// Generic memo for non-GeAr circuits (GDA, RCA baselines, ...): the
+  /// caller provides a canonical key and a netlist builder invoked only
+  /// on a miss.
+  CachedSynth keyed_synth(const std::string& key,
+                          const std::function<netlist::Netlist()>& build);
+
+  /// Memoized switching-activity estimate for a GeAr configuration
+  /// (deterministic: the RNG is the substream "dse-power:<key>" of
+  /// `seed`, so hit and miss return identical values).
+  synth::PowerReport gear_power(const core::GeArConfig& cfg,
+                                bool with_detection, std::uint64_t vectors,
+                                std::uint64_t seed);
+
+  /// Canonical Tier-A key: layout-derived, so equal geometries share an
+  /// entry regardless of how the config was constructed.
+  std::string config_key(const core::GeArConfig& cfg,
+                         bool with_detection) const;
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  /// Tier-B fast-path evaluations (subset of misses: Tier-A misses that
+  /// were served analytically instead of via full synthesis).
+  std::uint64_t fast_path_evals() const;
+  std::size_t size() const;
+
+  /// Persists / restores the Tier-A synthesis and error maps as JSON.
+  /// Doubles are serialized with %.17g, which round-trips bit-exactly,
+  /// so a warm cache returns the same bits as a cold one. load_json
+  /// merges into the current maps (existing keys are overwritten) and
+  /// returns false on I/O failure, leaving parsed-so-far entries in
+  /// place.
+  bool save_json(const std::string& path) const;
+  bool load_json(const std::string& path);
+
+ private:
+  CachedSynth synthesize_uncached(const core::GeArConfig& cfg,
+                                  bool with_detection);
+  CachedSynth fast_path(const core::GeArConfig& cfg);
+  /// Hex-float rendering of the delay-model constants, shared by every
+  /// Tier-A key; built once at construction.
+  std::string make_model_key() const;
+
+  synth::DelayModel model_ = synth::DelayModel::virtex6();
+  std::string model_key_ = make_model_key();
+  mutable std::mutex mu_;
+  std::map<std::string, CachedSynth> synth_cache_;
+  std::map<std::string, CachedError> error_cache_;
+  /// Tier B: chain arrival keyed by (pred_len, result_len, per-bit
+  /// fan-count profile) — the penalty per bit is a pure function of the
+  /// integer fan count, so integer keys are exact and cheap.
+  std::map<std::vector<int>, double> part_cache_;
+  std::map<std::string, synth::PowerReport> power_cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t fast_path_evals_ = 0;
+};
+
+}  // namespace gear::analysis

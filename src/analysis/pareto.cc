@@ -1,5 +1,9 @@
 #include "analysis/pareto.h"
 
+#include <algorithm>
+#include <map>
+#include <tuple>
+
 namespace gear::analysis {
 
 bool dominates(const DesignCandidate& a, const DesignCandidate& b) {
@@ -10,14 +14,69 @@ bool dominates(const DesignCandidate& a, const DesignCandidate& b) {
   return no_worse && better;
 }
 
+namespace {
+
+using Triple = std::tuple<double, double, double>;  // (delay, area, error)
+
+/// Staircase of 2D (area, error) minima: keys strictly increase, mapped
+/// errors strictly decrease. Inserting keeps only entries that are 2D
+/// non-dominated (weak dominance prunes).
+void stair_insert(std::map<double, double>& stair, double area, double error) {
+  auto it = stair.lower_bound(area);
+  if (it != stair.begin() && std::prev(it)->second <= error) return;
+  if (it != stair.end() && it->first == area) {
+    if (it->second <= error) return;
+    it->second = error;
+  } else {
+    it = stair.emplace_hint(it, area, error);
+  }
+  for (auto nxt = std::next(it); nxt != stair.end() && nxt->second >= error;) {
+    nxt = stair.erase(nxt);
+  }
+}
+
+/// True iff some staircase entry weakly dominates (area, error) in 2D.
+bool stair_covers(const std::map<double, double>& stair, double area,
+                  double error) {
+  auto it = stair.upper_bound(area);
+  return it != stair.begin() && std::prev(it)->second <= error;
+}
+
+}  // namespace
+
 std::vector<DesignCandidate> pareto_front(std::vector<DesignCandidate> points) {
+  // Dominance is a relation on value triples — duplicates of a
+  // non-dominated triple never dominate each other, so all of them stay
+  // in the front. Decide each *distinct* triple once, then filter the
+  // input by verdict, preserving input order.
+  //
+  // Sweep distinct triples in lexicographic (delay, area, error) order:
+  // any dominator of T is componentwise <= T and distinct, hence strictly
+  // lex-before T, so at the moment T is visited the staircase holds the
+  // (area, error) minima of exactly the candidate dominators (all with
+  // delay <= T's). T is dominated iff some processed triple has
+  // area <= T.area and error <= T.error. O(n log n) total.
+  std::vector<Triple> distinct;
+  distinct.reserve(points.size());
+  for (const auto& p : points) {
+    distinct.emplace_back(p.delay_ns, p.area_luts, p.error);
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+
+  std::map<Triple, bool> non_dominated;
+  std::map<double, double> stair;
+  for (const Triple& t : distinct) {
+    const auto [delay, area, error] = t;
+    non_dominated.emplace(t, !stair_covers(stair, area, error));
+    stair_insert(stair, area, error);
+  }
+
   std::vector<DesignCandidate> front;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    bool dominated = false;
-    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
-      if (i != j && dominates(points[j], points[i])) dominated = true;
+  for (auto& p : points) {
+    if (non_dominated.at({p.delay_ns, p.area_luts, p.error})) {
+      front.push_back(std::move(p));
     }
-    if (!dominated) front.push_back(points[i]);
   }
   return front;
 }

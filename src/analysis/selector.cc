@@ -20,11 +20,10 @@ double score_of(Objective objective, double delay, int area) {
   return delay;
 }
 
-}  // namespace
-
-std::vector<SelectedConfig> rank_configs(const SelectionRequest& request) {
-  // Candidate set: strict enumeration plus (optionally) the relaxed
-  // sweeps; de-duplicate by (R, P).
+/// Candidate set: strict enumeration plus (optionally) the relaxed
+/// sweeps; de-duplicated by (R, P), which also makes the ranking
+/// comparator below a strict total order.
+std::vector<core::GeArConfig> candidate_set(const SelectionRequest& request) {
   std::vector<core::GeArConfig> candidates;
   std::set<std::pair<int, int>> seen;
   auto consider = [&](const core::GeArConfig& cfg) {
@@ -38,34 +37,95 @@ std::vector<SelectedConfig> rank_configs(const SelectionRequest& request) {
       }
     }
   }
+  return candidates;
+}
 
-  std::vector<SelectedConfig> out;
-  for (const auto& cfg : candidates) {
-    const double perr = core::paper_error_probability(cfg);
-    if (perr > request.max_error_probability) continue;
-    const auto rep = synth::synthesize(netlist::build_gear(
-        cfg, {.with_detection = request.with_detection}));
+/// Evaluates one candidate: error-model filter, synthesis (through the
+/// cache when provided — bit-identical either way), exact PMF metrics.
+std::optional<SelectedConfig> evaluate(const SelectionRequest& request,
+                                       const core::GeArConfig& cfg,
+                                       DseCache* cache) {
+  if (cache != nullptr) {
+    const CachedError err = cache->gear_error(cfg);
+    if (err.paper_error > request.max_error_probability) return std::nullopt;
     SelectedConfig sel(cfg);
-    sel.error_probability = perr;
-    sel.delay_ns = request.with_detection ? rep.delay_ns
-                                          : synth::sum_path_delay(rep);
+    sel.error_probability = err.paper_error;
+    const CachedSynth rep = cache->gear_synth(cfg, request.with_detection);
+    sel.delay_ns = request.with_detection ? rep.delay_ns : rep.sum_delay_ns;
     sel.area_luts = rep.area_luts;
     sel.score = score_of(request.objective, sel.delay_ns, sel.area_luts);
-    out.push_back(std::move(sel));
+    sel.exact_med = err.exact.med;
+    sel.exact_ned = err.exact.ned;
+    sel.exact_ned_range = err.exact.ned_range;
+    return sel;
   }
+  const double perr = core::paper_error_probability(cfg);
+  if (perr > request.max_error_probability) return std::nullopt;
+  SelectedConfig sel(cfg);
+  sel.error_probability = perr;
+  const auto rep = synth::synthesize(netlist::build_gear(
+      cfg, {.with_detection = request.with_detection}));
+  sel.delay_ns = request.with_detection ? rep.delay_ns
+                                        : synth::sum_path_delay(rep);
+  sel.area_luts = rep.area_luts;
+  sel.score = score_of(request.objective, sel.delay_ns, sel.area_luts);
+  const auto exact = core::exact_error_metrics(cfg);
+  sel.exact_med = exact.med;
+  sel.exact_ned = exact.ned;
+  sel.exact_ned_range = exact.ned_range;
+  return sel;
+}
+
+}  // namespace
+
+std::vector<SelectedConfig> rank_configs(const SelectionRequest& request,
+                                         const SweepContext& ctx) {
+  const auto candidates = candidate_set(request);
+
+  // Evaluate per candidate (index-ordered) so the merged list is the same
+  // whether the map runs inline or on the executor.
+  std::vector<std::optional<SelectedConfig>> evals;
+  if (ctx.executor != nullptr && candidates.size() > 1) {
+    evals = ctx.executor->map<std::optional<SelectedConfig>>(
+        candidates.size(),
+        [&](std::size_t i) { return evaluate(request, candidates[i], ctx.cache); });
+  } else {
+    evals.reserve(candidates.size());
+    for (const auto& cfg : candidates) {
+      evals.push_back(evaluate(request, cfg, ctx.cache));
+    }
+  }
+
+  std::vector<SelectedConfig> out;
+  for (auto& e : evals) {
+    if (e.has_value()) out.push_back(std::move(*e));
+  }
+  // Strict total order: candidates are unique by (R, P), so the final
+  // (r desc, p asc) tiers leave no equivalent pairs and the sort result
+  // is independent of the evaluation interleaving.
   std::sort(out.begin(), out.end(),
             [](const SelectedConfig& a, const SelectedConfig& b) {
               if (a.score != b.score) return a.score < b.score;
               if (a.area_luts != b.area_luts) return a.area_luts < b.area_luts;
-              return a.cfg.r() > b.cfg.r();
+              if (a.cfg.r() != b.cfg.r()) return a.cfg.r() > b.cfg.r();
+              return a.cfg.p() < b.cfg.p();
             });
   return out;
 }
 
-std::optional<SelectedConfig> select_config(const SelectionRequest& request) {
-  auto ranked = rank_configs(request);
+std::vector<SelectedConfig> rank_configs(const SelectionRequest& request) {
+  return rank_configs(request, SweepContext{});
+}
+
+std::optional<SelectedConfig> select_config(const SelectionRequest& request,
+                                            const SweepContext& ctx) {
+  auto ranked = rank_configs(request, ctx);
   if (ranked.empty()) return std::nullopt;
   return ranked.front();
+}
+
+std::optional<SelectedConfig> select_config(const SelectionRequest& request) {
+  return select_config(request, SweepContext{});
 }
 
 }  // namespace gear::analysis

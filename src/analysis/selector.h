@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/dse_cache.h"
 #include "core/config.h"
 #include "synth/timing.h"
 
@@ -43,15 +44,29 @@ struct SelectedConfig {
   double delay_ns = 0.0;
   int area_luts = 0;
   double score = 0.0;
+  /// Exact error magnitudes from the closed-form PMF metrics
+  /// (core::exact_error_metrics) — no sampling involved.
+  double exact_med = 0.0;
+  double exact_ned = 0.0;        ///< MED / max error distance
+  double exact_ned_range = 0.0;  ///< MED / (2^N - 1)
 };
 
 /// Best configuration meeting the requirement, or nullopt when only the
 /// exact adder qualifies and `n` has no approximate config under the
-/// bound. Deterministic: ties break toward smaller area, then larger R.
+/// bound. Deterministic: the ranking comparator is a strict total order
+/// (score, then area, then larger R, then smaller P; candidates are
+/// unique by (R, P)), so the result is identical for every SweepContext —
+/// serial or parallel, cached or not.
 std::optional<SelectedConfig> select_config(const SelectionRequest& request);
+std::optional<SelectedConfig> select_config(const SelectionRequest& request,
+                                            const SweepContext& ctx);
 
 /// All qualifying configurations, sorted by score (best first) — the full
-/// short-list a designer would review.
+/// short-list a designer would review. The SweepContext overload
+/// evaluates candidates on the executor and synthesizes through the
+/// cache; the result is bit-identical to the serial uncached sweep.
 std::vector<SelectedConfig> rank_configs(const SelectionRequest& request);
+std::vector<SelectedConfig> rank_configs(const SelectionRequest& request,
+                                         const SweepContext& ctx);
 
 }  // namespace gear::analysis

@@ -1,9 +1,11 @@
 #include "core/error_model.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 #include <vector>
 
@@ -138,91 +140,246 @@ double paper_error_probability_subsets(const GeArConfig& cfg) {
   return result;
 }
 
+namespace {
+
+/// Prediction window of sub-adder j >= 1: its error event E_j is "all of
+/// [lo, resolve) propagates AND the true carry into `lo` is 1", checked
+/// when the scan reaches bit `resolve` (= res_lo(j)).
+struct PredictionWindow {
+  int lo = 0;
+  int resolve = 0;
+};
+
+std::vector<PredictionWindow> prediction_windows(const GeArConfig& cfg) {
+  std::vector<PredictionWindow> wins;
+  for (int j = 1; j < cfg.k(); ++j) {
+    wins.push_back({cfg.sub(j).win_lo, cfg.sub(j).res_lo});
+  }
+  // The config geometry guarantees lo non-decreasing and resolve strictly
+  // increasing — the FIFO discipline both DPs below rely on.
+  return wins;
+}
+
+}  // namespace
+
 double exact_error_probability(const GeArConfig& cfg) {
   const int k = cfg.k();
   if (k <= 1) return 0.0;
+  const auto wins = prediction_windows(cfg);
 
-  // Prediction windows, in increasing order of both win_lo and res_lo.
-  struct Win {
-    int lo, resolve;  // alive over [lo, resolve-1], checked at `resolve`
-  };
-  std::vector<Win> wins;
-  int max_open = 0;
-  for (int j = 1; j < k; ++j) {
-    wins.push_back({cfg.sub(j).win_lo, cfg.sub(j).res_lo});
-  }
-  {
-    // Peak number of simultaneously open windows bounds the state space.
-    for (std::size_t i = 0; i < wins.size(); ++i) {
-      int open = 0;
-      for (const auto& w : wins)
-        if (w.lo <= wins[i].lo && wins[i].lo < w.resolve) ++open;
-      max_open = std::max(max_open, open);
-    }
-    if (max_open > 24) {
-      throw std::invalid_argument("exact_error_probability: too many overlapping windows");
-    }
-  }
-
-  // State: (aliveMask over open windows in FIFO order) * 2 + carry.
-  // dp holds the probability mass of every non-erroneous trajectory.
-  std::vector<double> dp(2, 0.0);
-  dp[0] = 1.0;  // carry-in 0, no open windows
-  int open_count = 0;
-  std::size_t next_open = 0;   // next window to open
-  std::size_t next_close = 0;  // next window to resolve
+  // Collapsed-state DP (DESIGN.md §5e). A window is alive at its
+  // resolution iff every bit since it opened propagated AND the carry at
+  // its opening was 1. Any non-propagate bit kills every open window at
+  // once and freezes the carry until the next non-propagate, so the full
+  // per-window alive mask collapses to two integers:
+  //   c — the running carry,
+  //   f — how many of the open windows opened after the last
+  //       non-propagate bit (those are exactly the ones alive when c==1,
+  //       and they are always the f newest).
+  // The window resolving at bit t is the oldest open one (FIFO), so it is
+  // alive iff c == 1 and f == open_count. dp[f][c] holds the mass of the
+  // error-free trajectories; alive-at-resolution mass is drained into
+  // `err` and the survivors continue. O(N * k) total.
+  std::vector<std::array<double, 2>> dp(wins.size() + 1, {0.0, 0.0});
+  dp[0][0] = 1.0;  // carry 0, no fresh windows
+  std::size_t next_open = 0, next_close = 0;
+  int oc = 0;  // currently open windows
+  double err = 0.0;
 
   const int last_pos = wins.back().resolve;
   for (int t = 0; t <= last_pos; ++t) {
-    // Resolve windows whose prediction span ended at t-1: survivors are
-    // those whose alive flag (FIFO bit 0) is clear.
     while (next_close < wins.size() && wins[next_close].resolve == t) {
-      std::vector<double> nxt(dp.size() / 2, 0.0);
-      for (std::size_t st = 0; st < dp.size(); ++st) {
-        if (dp[st] == 0.0) continue;
-        const std::size_t mask = st >> 1;
-        const std::size_t carry = st & 1;
-        if (mask & 1) continue;  // alive at resolution => output error
-        nxt[((mask >> 1) << 1) | carry] += dp[st];
-      }
-      dp = std::move(nxt);
-      --open_count;
+      const auto foc = static_cast<std::size_t>(oc);
+      err += dp[foc][1];  // alive at resolution => output error
+      dp[foc][1] = 0.0;
+      // The closing window leaves the fresh set of the c==0 survivors.
+      dp[foc - 1][0] += dp[foc][0];
+      dp[foc][0] = 0.0;
+      --oc;
       ++next_close;
     }
     if (t == last_pos) break;
 
-    // Open windows starting at t: alive iff the carry into t is 1.
     while (next_open < wins.size() && wins[next_open].lo == t) {
-      std::vector<double> nxt(dp.size() * 2, 0.0);
-      for (std::size_t st = 0; st < dp.size(); ++st) {
-        if (dp[st] == 0.0) continue;
-        const std::size_t mask = st >> 1;
-        const std::size_t carry = st & 1;
-        const std::size_t nmask = mask | (carry << open_count);
-        nxt[(nmask << 1) | carry] += dp[st];
+      for (int f = oc; f >= 0; --f) {
+        dp[static_cast<std::size_t>(f) + 1] = dp[static_cast<std::size_t>(f)];
       }
-      dp = std::move(nxt);
-      ++open_count;
+      dp[0] = {0.0, 0.0};
+      ++oc;
       ++next_open;
     }
 
-    // Consume bit t: propagate keeps carry and alive flags; generate/kill
-    // set the carry and clear every open window's alive flag.
-    std::vector<double> nxt(dp.size(), 0.0);
-    for (std::size_t st = 0; st < dp.size(); ++st) {
-      if (dp[st] == 0.0) continue;
-      const std::size_t mask = st >> 1;
-      const std::size_t carry = st & 1;
-      nxt[(mask << 1) | carry] += dp[st] * kPropProb;  // propagate
-      nxt[1] += dp[st] * kGenProb;                     // generate -> carry 1
-      nxt[0] += dp[st] * kGenProb;                     // kill -> carry 0
+    // Consume bit t: propagate keeps (c, f); generate/kill set the carry
+    // and empty the fresh set.
+    double to_gen = 0.0, to_kill = 0.0;
+    for (int f = 0; f <= oc; ++f) {
+      for (int c = 0; c < 2; ++c) {
+        const double w = dp[static_cast<std::size_t>(f)][static_cast<std::size_t>(c)];
+        if (w == 0.0) continue;
+        to_gen += w * kGenProb;
+        to_kill += w * kGenProb;
+        dp[static_cast<std::size_t>(f)][static_cast<std::size_t>(c)] = w * kPropProb;
+      }
     }
-    dp = std::move(nxt);
+    dp[0][1] += to_gen;
+    dp[0][0] += to_kill;
+  }
+  return err;
+}
+
+stats::Pmf exact_error_distribution(const GeArConfig& cfg) {
+  const int k = cfg.k();
+  stats::Pmf pmf;
+  if (k <= 1) {
+    pmf.add(0, 1.0);
+    return pmf;
+  }
+  if (cfg.n() > 62) {
+    throw std::invalid_argument("exact_error_distribution: N > 62");
+  }
+  const auto wins = prediction_windows(cfg);
+
+  // Wu-style magnitude DP (DESIGN.md §5e). The total error telescopes to
+  //   approx - exact = -sum_j 2^res_lo(j) * [G_j],
+  // with the run-start event G_j = E_j and not F_{j-1}, where F_{j-1}
+  // extends sub-adder j-1's propagate run through its whole result region
+  // (F_{j-1} implies the carry sub-adder j misses was already missed —
+  // and accounted — by sub-adder j-1). To read F_{j-1} at res_lo(j),
+  // window j-1 is kept open through [win_lo(j-1), res_lo(j)); the same
+  // collapsed (c, f) state then classifies the resolution of window j:
+  //   f == open_count     and c==1:  E_j and F_{j-1}  -> no new magnitude
+  //   f == open_count - 1 and c==1:  G_j fires        -> magnitude += 2^res_lo(j)
+  //   otherwise                      E_j fails        -> no error here
+  // (for j == 1 there is no F_0 — carry into bit 0 is 0 — so G_1 fires at
+  // f == open_count). Each (c, f) state carries a map from accumulated
+  // magnitude to probability; the final PMF keys are -magnitude.
+  using MagMap = std::map<std::uint64_t, double>;
+  const std::size_t nw = wins.size();
+  // State index: f * 2 + c, f in [0, nw].
+  std::vector<MagMap> dp(2 * (nw + 1));
+  dp[0][0] = 1.0;
+
+  auto merge_into = [](MagMap& into, MagMap& from) {
+    for (const auto& [mag, w] : from) into[mag] += w;
+    from.clear();
+  };
+
+  std::size_t next_open = 0, next_close = 0;
+  int oc = 0;
+  const int last_pos = wins.back().resolve;
+  for (int t = 0; t <= last_pos; ++t) {
+    while (next_close < nw && wins[next_close].resolve == t) {
+      const std::size_t j = next_close;  // 0-based: sub-adder j+1 resolves
+      const std::size_t fire_f =
+          j == 0 ? static_cast<std::size_t>(oc) : static_cast<std::size_t>(oc) - 1;
+      MagMap& firing = dp[fire_f * 2 + 1];
+      if (!firing.empty()) {
+        const std::uint64_t weight = std::uint64_t{1}
+                                     << static_cast<unsigned>(wins[j].resolve);
+        MagMap shifted;
+        for (const auto& [mag, w] : firing) shifted[mag + weight] = w;
+        firing = std::move(shifted);
+      }
+      if (j >= 1) {
+        // Window j-1's extended span ends here; fold its fresh-set slot.
+        const auto foc = static_cast<std::size_t>(oc);
+        merge_into(dp[(foc - 1) * 2 + 0], dp[foc * 2 + 0]);
+        merge_into(dp[(foc - 1) * 2 + 1], dp[foc * 2 + 1]);
+        --oc;
+      }
+      ++next_close;
+    }
+    if (t == last_pos) break;
+
+    while (next_open < nw && wins[next_open].lo == t) {
+      for (int f = oc; f >= 0; --f) {
+        const auto fs = static_cast<std::size_t>(f);
+        dp[(fs + 1) * 2 + 0] = std::move(dp[fs * 2 + 0]);
+        dp[(fs + 1) * 2 + 1] = std::move(dp[fs * 2 + 1]);
+        dp[fs * 2 + 0].clear();
+        dp[fs * 2 + 1].clear();
+      }
+      ++oc;
+      ++next_open;
+    }
+
+    MagMap gen_acc, kill_acc;
+    for (int f = 0; f <= oc; ++f) {
+      for (int c = 0; c < 2; ++c) {
+        for (auto& [mag, w] : dp[static_cast<std::size_t>(f) * 2 +
+                                 static_cast<std::size_t>(c)]) {
+          gen_acc[mag] += w * kGenProb;
+          kill_acc[mag] += w * kGenProb;
+          w *= kPropProb;
+        }
+      }
+    }
+    for (const auto& [mag, w] : gen_acc) dp[1][mag] += w;    // (c=1, f=0)
+    for (const auto& [mag, w] : kill_acc) dp[0][mag] += w;   // (c=0, f=0)
   }
 
-  double survive = 0.0;
-  for (double w : dp) survive += w;
-  return 1.0 - survive;
+  for (const auto& state : dp) {
+    for (const auto& [mag, w] : state) {
+      pmf.add(-static_cast<std::int64_t>(mag), w);
+    }
+  }
+  return pmf;
+}
+
+ExactErrorMetrics exact_error_metrics(const GeArConfig& cfg) {
+  ExactErrorMetrics m;
+  const int k = cfg.k();
+  const int n = cfg.n();
+  const double range = std::pow(2.0, n) - 1.0;
+  m.acc_amp_mean = 1.0;
+  if (k <= 1) return m;
+
+  m.error_probability = exact_error_probability(cfg);
+
+  // MED: G_j decomposes into disjoint atoms by the position g of the
+  // responsible generate — g in [win_lo(j-1), win_lo(j)) (j==1: from 0)
+  // with every bit in (g, res_lo(j)) propagating — so
+  //   P(G_j) = sum_g kGenProb * kPropProb^(res_lo(j) - 1 - g)
+  // and MED = sum_j 2^res_lo(j) * P(G_j) by linearity (errors never
+  // cancel: every contribution has the same sign).
+  for (int j = 1; j < k; ++j) {
+    const int lo = j == 1 ? 0 : cfg.sub(j - 1).win_lo;
+    const int hi = cfg.sub(j).win_lo;  // exclusive
+    const int res = cfg.sub(j).res_lo;
+    double pg = 0.0;
+    for (int g = lo; g < hi; ++g) {
+      pg += kGenProb * std::pow(kPropProb, res - 1 - g);
+    }
+    m.med += std::pow(2.0, res) * pg;
+  }
+
+  // Max error distance: the heaviest simultaneously-achievable set of
+  // G_j events. G_j is achievable at all only when its generate region
+  // [win_lo(j-1), win_lo(j)) is non-empty (deep-overlap custom layouts
+  // can collapse it, making P(G_j) = 0); G_i and G_j (i < j) can then
+  // co-fire iff sub-adder j's generate can sit above i's propagate span:
+  // win_lo(j) > res_lo(i). Monotone window geometry makes the pairwise
+  // condition on consecutive picks sufficient, so a max-weight chain DP
+  // over j suffices.
+  std::vector<double> best(static_cast<std::size_t>(k), 0.0);
+  for (int j = 1; j < k; ++j) {
+    const int region_lo = j == 1 ? 0 : cfg.sub(j - 1).win_lo;
+    if (cfg.sub(j).win_lo <= region_lo) continue;  // P(G_j) == 0
+    double prev = 0.0;
+    for (int i = 1; i < j; ++i) {
+      if (cfg.sub(j).win_lo > cfg.sub(i).res_lo) {
+        prev = std::max(prev, best[static_cast<std::size_t>(i)]);
+      }
+    }
+    best[static_cast<std::size_t>(j)] =
+        prev + std::pow(2.0, cfg.sub(j).res_lo);
+    m.max_ed = std::max(m.max_ed, best[static_cast<std::size_t>(j)]);
+  }
+
+  m.ned = m.max_ed > 0.0 ? m.med / m.max_ed : 0.0;
+  m.ned_range = m.med / range;
+  m.acc_amp_mean = 1.0 - m.ned_range;
+  return m;
 }
 
 namespace {

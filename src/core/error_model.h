@@ -13,9 +13,13 @@
 //  * exact_error_probability — exact probability of the true error event
 //    ("prediction window all-propagate AND true carry into the window"),
 //    which unlike the paper's model allows the carry to originate
-//    arbitrarily far below. Computed by a DP over bit positions with
-//    2^ceil(P/R) propagation states. This is the ground truth the paper's
-//    model approximates.
+//    arbitrarily far below. Computed by a collapsed-state DP over bit
+//    positions with O(k) states per position (DESIGN.md §5e), so
+//    arbitrarily deep window overlap is fine. This is the ground truth
+//    the paper's model approximates.
+//  * exact_error_distribution / exact_error_metrics — the full exact
+//    error PMF (Wu-style DP over sub-adder error events) and the closed
+//    -form exact ER/MED/NED family derived from it, with no sampling.
 //  * mc_error_probability / exhaustive_error_probability — simulation
 //    referees (the paper's Table III "by simulation" column uses 10000
 //    uniform patterns).
@@ -28,6 +32,7 @@
 #include "stats/bootstrap.h"
 #include "stats/histogram.h"
 #include "stats/parallel.h"
+#include "stats/pmf.h"
 #include "stats/rng.h"
 
 namespace gear::core {
@@ -59,9 +64,41 @@ double paper_error_probability(const GeArConfig& cfg);
 /// enumeration (O(2^(k-1))); used to validate the DP. Requires k <= 21.
 double paper_error_probability_subsets(const GeArConfig& cfg);
 
-/// Exact P(output != exact sum) under uniform operands, via a carry /
-/// window-propagation DP. O(N * 2^ceil(P/R)).
+/// Exact P(output != exact sum) under uniform operands, via the collapsed
+/// (carry, fresh-window-count) DP — O(N * k) time for any layout,
+/// including deep-overlap custom configurations.
 double exact_error_probability(const GeArConfig& cfg);
+
+/// Exact signed error distribution (approx - exact) under uniform
+/// operands, with the same key convention as mc_error_distribution:
+/// key 0 is an exact result, negative keys are error magnitudes (a GeAr
+/// approximation never overshoots). Computed by the Wu-style DP over the
+/// per-sub-adder run-start events G_j (DESIGN.md §5e); every mass is an
+/// exact dyadic rational, so for N <= 10 the masses equal the exhaustive
+/// 2^(2N) enumeration frequencies bit-for-bit. Requires N <= 62 (error
+/// magnitudes are tracked in 64-bit integers). O(N * k * |support|).
+stats::Pmf exact_error_distribution(const GeArConfig& cfg);
+
+/// Closed-form exact error metrics under uniform operands — the scalar
+/// summaries of exact_error_distribution, computable in O(N * k) without
+/// materializing the PMF support (the G_j events decompose MED into a
+/// disjoint per-generate-position sum, and max ED is a max-weight
+/// feasible-subset DP). See DESIGN.md §5e.
+struct ExactErrorMetrics {
+  double error_probability = 0.0;  ///< == exact_error_probability(cfg)
+  double med = 0.0;                ///< E[exact - approx] (errors are one-sided)
+  double max_ed = 0.0;             ///< worst-case error distance over all inputs
+  double ned = 0.0;                ///< med / max_ed (Liang-style NED)
+  double ned_range = 0.0;          ///< med / (2^N - 1) (range-normalised NED)
+  /// Mean-normalised amplitude accuracy 1 - med / (2^N - 1). Note: the
+  /// Kahng ACC_amp averages |error| / exact per input, which needs the
+  /// joint (error, exact-sum) distribution; this variant normalises by
+  /// the full result range instead and is exact for that definition.
+  double acc_amp_mean = 0.0;
+
+  bool operator==(const ExactErrorMetrics&) const = default;
+};
+ExactErrorMetrics exact_error_metrics(const GeArConfig& cfg);
 
 /// Monte-Carlo estimate with a Wilson confidence interval.
 struct McErrorEstimate {

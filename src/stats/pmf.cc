@@ -1,0 +1,56 @@
+#include "stats/pmf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gear::stats {
+
+void Pmf::add(std::int64_t key, double mass) {
+  masses_[key] += mass;
+  total_ += mass;
+}
+
+void Pmf::merge(const Pmf& other) {
+  for (const auto& [key, mass] : other.masses_) add(key, mass);
+}
+
+double Pmf::mass(std::int64_t key) const {
+  const auto it = masses_.find(key);
+  return it == masses_.end() ? 0.0 : it->second;
+}
+
+double Pmf::mean() const {
+  double acc = 0.0;
+  for (const auto& [key, mass] : masses_) acc += static_cast<double>(key) * mass;
+  return acc;
+}
+
+double Pmf::mean_abs() const {
+  double acc = 0.0;
+  for (const auto& [key, mass] : masses_) {
+    acc += std::abs(static_cast<double>(key)) * mass;
+  }
+  return acc;
+}
+
+std::int64_t Pmf::min_key() const {
+  if (masses_.empty()) throw std::logic_error("Pmf::min_key: empty");
+  return masses_.begin()->first;
+}
+
+std::int64_t Pmf::max_key() const {
+  if (masses_.empty()) throw std::logic_error("Pmf::max_key: empty");
+  return masses_.rbegin()->first;
+}
+
+Pmf Pmf::from_histogram(const SparseHistogram& hist) {
+  Pmf pmf;
+  if (hist.total() == 0) return pmf;
+  const double inv = 1.0 / static_cast<double>(hist.total());
+  for (const auto& [key, count] : hist.entries()) {
+    pmf.add(key, static_cast<double>(count) * inv);
+  }
+  return pmf;
+}
+
+}  // namespace gear::stats

@@ -1,0 +1,51 @@
+// Exact probability mass functions over sparse integer keys.
+//
+// Pmf is the probability-valued twin of SparseHistogram: the same sparse
+// signed-integer key domain (error distances of an N-bit adder concentrate
+// on a handful of dyadic magnitudes), but with double masses instead of
+// sample counts, so analytic engines (core::exact_error_distribution) can
+// return distributions with no sampling noise. The accessor surface
+// mirrors SparseHistogram (entries / mean / mean_abs / min_key / max_key /
+// fraction_zero) so downstream metric code treats the two uniformly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "stats/histogram.h"
+
+namespace gear::stats {
+
+/// Exact probability masses over sparse integer keys.
+class Pmf {
+ public:
+  void add(std::int64_t key, double mass);
+
+  /// Key-wise addition of another Pmf's masses (e.g. mixture components
+  /// with pre-scaled weights). Merge order never matters.
+  void merge(const Pmf& other);
+
+  /// Sum of all masses. 1.0 (up to rounding) for a full distribution.
+  double total_mass() const { return total_; }
+  double mass(std::int64_t key) const;
+  std::size_t distinct() const { return masses_.size(); }
+  const std::map<std::int64_t, double>& entries() const { return masses_; }
+
+  double mean() const;
+  /// Mean of |key| — the Mean Error Distance when keys are signed errors.
+  double mean_abs() const;
+  std::int64_t min_key() const;
+  std::int64_t max_key() const;
+  /// Mass at key == 0 (i.e. probability of an exact result).
+  double fraction_zero() const { return mass(0); }
+
+  /// The empirical Pmf of a histogram: count / total per key. Lets
+  /// analytic and Monte-Carlo distributions share comparison code.
+  static Pmf from_histogram(const SparseHistogram& hist);
+
+ private:
+  std::map<std::int64_t, double> masses_;
+  double total_ = 0.0;
+};
+
+}  // namespace gear::stats

@@ -1,0 +1,209 @@
+// DseCache tests: fast-path and cache-hit bit-identity against direct
+// synthesis, JSON persistence round-trips, and determinism of the
+// parallel cached sweep across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/dse_cache.h"
+#include "analysis/selector.h"
+#include "core/config.h"
+#include "netlist/circuits.h"
+#include "stats/parallel.h"
+#include "synth/report.h"
+
+namespace gear::analysis {
+namespace {
+
+CachedSynth direct_synth(const core::GeArConfig& cfg, bool with_detection) {
+  const auto rep = synth::synthesize(
+      netlist::build_gear(cfg, {.with_detection = with_detection}));
+  CachedSynth out;
+  out.area_luts = rep.area_luts;
+  out.carry_elements = rep.carry_elements;
+  out.lut_count = rep.lut_count;
+  out.lut_levels = rep.lut_levels;
+  out.delay_ns = rep.delay_ns;
+  out.sum_delay_ns = synth::sum_path_delay(rep);
+  return out;
+}
+
+std::vector<core::GeArConfig> probe_configs() {
+  std::vector<core::GeArConfig> cfgs = core::GeArConfig::enumerate(16);
+  for (int r = 1; r < 16; ++r) {
+    for (const auto& cfg : core::GeArConfig::enumerate_relaxed_r(16, r)) {
+      if (!cfg.is_exact()) cfgs.push_back(cfg);
+    }
+  }
+  // Strictly increasing window starts: fast-path eligible.
+  cfgs.push_back(*core::GeArConfig::make_custom(16, 4, {{4, 2}, {4, 3}, {4, 4}}));
+  // Equal window starts: hash-consed chain prefixes, full synthesis.
+  cfgs.push_back(
+      *core::GeArConfig::make_custom(12, 2, {{1, 2}, {1, 3}, {2, 2}, {6, 3}}));
+  return cfgs;
+}
+
+TEST(DseCache, BitIdenticalToDirectSynthesis) {
+  // Every CachedSynth field — including both STA doubles — must equal
+  // direct synthesis exactly, whether served by the Tier-B fast path
+  // (no detection) or by full synthesis (detection, overlap customs).
+  DseCache cache;
+  for (const auto& cfg : probe_configs()) {
+    for (bool det : {false, true}) {
+      const CachedSynth got = cache.gear_synth(cfg, det);
+      const CachedSynth want = direct_synth(cfg, det);
+      EXPECT_EQ(got, want) << cfg.name() << " det=" << det;
+    }
+  }
+  EXPECT_GT(cache.fast_path_evals(), 0u);
+}
+
+TEST(DseCache, HitReturnsIdenticalBits) {
+  DseCache cache;
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  const auto miss = cache.gear_synth(cfg, false);
+  EXPECT_EQ(cache.misses(), 1u);
+  const auto hit = cache.gear_synth(cfg, false);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(miss, hit);
+
+  // Detection variants key separately.
+  const auto det = cache.gear_synth(cfg, true);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_NE(det, miss);
+}
+
+TEST(DseCache, LayoutCanonicalKeySharesEntries) {
+  // A strict (16,2,2) and the relaxed (16,2,2) have identical layouts;
+  // the second lookup must hit.
+  DseCache cache;
+  const auto strict = core::GeArConfig::must(16, 2, 2);
+  const auto relaxed = core::GeArConfig::make_relaxed(16, 2, 2);
+  ASSERT_TRUE(relaxed);
+  ASSERT_EQ(strict.layout(), relaxed->layout());
+  const auto a = cache.gear_synth(strict, false);
+  const auto b = cache.gear_synth(*relaxed, false);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DseCache, JsonRoundTripIsBitExact) {
+  DseCache cache;
+  std::vector<CachedSynth> originals;
+  const auto cfgs = probe_configs();
+  for (const auto& cfg : cfgs) {
+    originals.push_back(cache.gear_synth(cfg, false));
+  }
+  const std::string path = ::testing::TempDir() + "dse_cache_roundtrip.json";
+  ASSERT_TRUE(cache.save_json(path));
+
+  DseCache warm;
+  ASSERT_TRUE(warm.load_json(path));
+  EXPECT_EQ(warm.size(), cache.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const auto got = warm.gear_synth(cfgs[i], false);
+    EXPECT_EQ(got, originals[i]) << cfgs[i].name();
+  }
+  // Every lookup above must have been served from the loaded map.
+  EXPECT_EQ(warm.misses(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DseCache, LoadJsonFailsOnMissingFile) {
+  DseCache cache;
+  EXPECT_FALSE(cache.load_json(::testing::TempDir() + "does_not_exist.json"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DseCache, KeyedSynthMemoizesBaselines) {
+  DseCache cache;
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    return netlist::build_gear(core::GeArConfig::must(16, 4, 4),
+                               {.with_detection = true});
+  };
+  const auto a = cache.keyed_synth("gda:16:4:4", build);
+  const auto b = cache.keyed_synth("gda:16:4:4", build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DseCache, GearPowerIdenticalOnHitAndAcrossInstances) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  DseCache cache;
+  const auto miss = cache.gear_power(cfg, false, 256, 42);
+  const auto hit = cache.gear_power(cfg, false, 256, 42);
+  EXPECT_EQ(miss.toggles_per_op, hit.toggles_per_op);
+  EXPECT_EQ(miss.energy_per_op, hit.energy_per_op);
+  EXPECT_EQ(miss.mean_activity, hit.mean_activity);
+
+  // A fresh cache recomputes from the same substream: identical bits.
+  DseCache other;
+  const auto recomputed = other.gear_power(cfg, false, 256, 42);
+  EXPECT_EQ(miss.toggles_per_op, recomputed.toggles_per_op);
+  EXPECT_EQ(miss.energy_per_op, recomputed.energy_per_op);
+}
+
+void expect_same_ranking(const std::vector<SelectedConfig>& a,
+                         const std::vector<SelectedConfig>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cfg.r(), b[i].cfg.r()) << "index " << i;
+    EXPECT_EQ(a[i].cfg.p(), b[i].cfg.p()) << "index " << i;
+    EXPECT_EQ(a[i].error_probability, b[i].error_probability);
+    EXPECT_EQ(a[i].delay_ns, b[i].delay_ns);
+    EXPECT_EQ(a[i].area_luts, b[i].area_luts);
+    EXPECT_EQ(a[i].score, b[i].score);
+    EXPECT_EQ(a[i].exact_med, b[i].exact_med);
+    EXPECT_EQ(a[i].exact_ned, b[i].exact_ned);
+    EXPECT_EQ(a[i].exact_ned_range, b[i].exact_ned_range);
+  }
+}
+
+TEST(DseCache, RankConfigsDeterministicAcrossThreadCountsAndCaching) {
+  SelectionRequest req;
+  req.n = 16;
+  req.max_error_probability = 0.2;
+  const auto serial = rank_configs(req);
+  ASSERT_FALSE(serial.empty());
+
+  for (int threads : {1, 2, 8}) {
+    stats::ParallelExecutor exec(threads);
+    DseCache cache;
+    SweepContext ctx{&exec, &cache};
+    const auto cold = rank_configs(req, ctx);
+    expect_same_ranking(serial, cold);
+    // Warm pass: everything hits, same bits.
+    const auto warm = rank_configs(req, ctx);
+    expect_same_ranking(serial, warm);
+
+    // Executor without cache and cache without executor.
+    const auto exec_only = rank_configs(req, SweepContext{&exec, nullptr});
+    expect_same_ranking(serial, exec_only);
+    const auto cache_only = rank_configs(req, SweepContext{nullptr, &cache});
+    expect_same_ranking(serial, cache_only);
+  }
+}
+
+TEST(DseCache, SelectConfigMatchesSerialUnderContext) {
+  SelectionRequest req;
+  req.n = 16;
+  req.max_error_probability = 0.05;
+  req.objective = Objective::kDelayArea;
+  const auto serial = select_config(req);
+  ASSERT_TRUE(serial);
+  stats::ParallelExecutor exec(4);
+  DseCache cache;
+  const auto ctx = select_config(req, SweepContext{&exec, &cache});
+  ASSERT_TRUE(ctx);
+  EXPECT_EQ(serial->cfg.r(), ctx->cfg.r());
+  EXPECT_EQ(serial->cfg.p(), ctx->cfg.p());
+  EXPECT_EQ(serial->delay_ns, ctx->delay_ns);
+  EXPECT_EQ(serial->score, ctx->score);
+}
+
+}  // namespace
+}  // namespace gear::analysis
