@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "analysis/table.h"
 #include "analysis/timing_model.h"
 #include "core/correction.h"
@@ -73,7 +74,8 @@ void add_row(gear::analysis::Table& table, const SweepRow& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   using gear::core::GeArConfig;
   const GeArConfig cfg = GeArConfig::must(16, 2, 2);
   const int k = cfg.k();

@@ -7,6 +7,7 @@
 // P-sweep.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "analysis/table.h"
 #include "core/config.h"
 #include "core/error_model.h"
@@ -28,7 +29,8 @@ gear::synth::PowerReport power_of(const gear::netlist::Netlist& nl) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   using gear::core::GeArConfig;
   std::printf("== Ablation: switching energy per addition (N=16) ==\n\n");
 

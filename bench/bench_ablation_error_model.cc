@@ -8,12 +8,14 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "analysis/table.h"
 #include "core/config.h"
 #include "core/error_model.h"
 #include "stats/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   using gear::core::GeArConfig;
   constexpr int kN = 16;
 

@@ -413,6 +413,9 @@ BENCHMARK(BM_ParallelStreamEngine)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  // Strips --metrics_out/--trace_out before google-benchmark sees them
+  // (ReportUnrecognizedArguments would reject unknown flags).
+  gear::benchutil::ObsExport obs_export(argc, argv);
   run_bitsliced_sweep();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -107,7 +107,8 @@ bool same_output(const SweepOutput& a, const SweepOutput& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   std::printf("== DSE throughput: cached parallel sweep vs serial uncached ==\n\n");
 
   gear::analysis::SelectionRequest req;

@@ -7,12 +7,14 @@
 // difference visible.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "adders/registry.h"
 #include "analysis/metrics.h"
 #include "analysis/table.h"
 #include "stats/distributions.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   std::printf("== Extension: GeAr (carry-cut) vs cell-based (low-part) ==\n\n");
   gear::analysis::Table table({"adder", "error rate", "MED", "max ED", "NED",
                                "ACCamp", "MAA95"});

@@ -6,6 +6,7 @@
 // switching energy of deep carry logic goes.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "analysis/table.h"
 #include "core/config.h"
 #include "netlist/circuits.h"
@@ -31,7 +32,8 @@ void row(gear::analysis::Table& table, const char* label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   using gear::core::GeArConfig;
   std::printf(
       "== Extension: event-driven timing, N=16, %llu random transitions ==\n"

@@ -6,6 +6,7 @@
 // for magnitude-sensitive applications.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "analysis/table.h"
 #include "core/config.h"
 #include "core/error_model.h"
@@ -49,7 +50,8 @@ void row(gear::analysis::Table& table, const char* label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   using gear::core::GeArConfig;
   std::printf(
       "== Extension: heterogeneous GeAr layouts, N=16, equal window-bit "

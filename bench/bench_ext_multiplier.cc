@@ -5,12 +5,14 @@
 // motivates).
 #include <cstdio>
 
+#include "bench_util.h"
 #include "adders/multiplier.h"
 #include "analysis/table.h"
 #include "core/error_model.h"
 #include "stats/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   std::printf("== Extension: 8x8 multiplier on GeAr(16,4,P) accumulation ==\n\n");
   gear::analysis::Table table({"P", "adder Perr", "product error rate",
                                "mean |rel err|", "max |rel err|"});

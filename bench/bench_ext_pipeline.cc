@@ -5,13 +5,15 @@
 // best / average / worst formulas.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "analysis/table.h"
 #include "analysis/timing_model.h"
 #include "apps/stream_engine.h"
 #include "core/error_model.h"
 #include "stats/distributions.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   using gear::core::GeArConfig;
   constexpr std::uint64_t kOps = 1920ULL * 1080ULL / 16;
 

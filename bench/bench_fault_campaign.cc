@@ -52,6 +52,7 @@ void append_counts_json(std::ostringstream& os, const OutcomeCounts& c) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   using gear::core::GeArConfig;
 
   FaultCampaignOptions opt;

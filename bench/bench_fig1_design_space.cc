@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "analysis/design_space.h"
 #include "analysis/table.h"
 #include "core/coverage.h"
@@ -40,7 +41,8 @@ void print_panel(gear::analysis::SweepContext ctx, int n, int r, char panel) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   std::printf("== Fig. 1: accuracy-configurability design space ==\n\n");
   gear::stats::ParallelExecutor exec(0);
   const gear::analysis::SweepContext ctx{&exec, nullptr};

@@ -4,6 +4,7 @@
 // model (Eqs. 5-7).
 #include <cstdio>
 
+#include "bench_util.h"
 #include "analysis/design_space.h"
 #include "analysis/table.h"
 #include "stats/parallel.h"
@@ -28,7 +29,8 @@ void print_panel(gear::analysis::SweepContext ctx, int n, int r, char panel) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   std::printf("== Fig. 7: accuracy vs prediction bits (GeAr vs GDA points) ==\n\n");
   gear::stats::ParallelExecutor exec(0);
   const gear::analysis::SweepContext ctx{&exec, nullptr};

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "adders/gda.h"
 #include "adders/gear_adapter.h"
 #include "analysis/dse_cache.h"
@@ -44,7 +45,8 @@ void bar(const char* who, double value, double scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   std::printf("== Fig. 8: Delay x NED, GeAr vs GDA, 8-bit [R,P] configs ==\n");
   std::printf(
       "   (NED = exhaustive MED / max observed ED, the Liang-style\n"

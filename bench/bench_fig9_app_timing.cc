@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "analysis/table.h"
 #include "analysis/timing_model.h"
 #include "core/config.h"
@@ -83,7 +84,8 @@ void run_app(const char* panel, const char* app, int n, int l,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   std::printf("== Fig. 9: application timing comparison (full-HD frame) ==\n\n");
   run_app("a", "Image Integral", 20, 10, 1);
   run_app("b", "Sum of Absolute Differences", 16, 8, 1);

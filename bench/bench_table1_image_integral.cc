@@ -50,7 +50,8 @@ std::pair<double, int> delay_area(const Candidate& cand) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   using gear::core::GeArConfig;
   constexpr int kN = 16;
 

@@ -4,103 +4,17 @@
 //
 // NED here follows the paper's uniform-operand evaluation; we compute it
 // exhaustively over all 2^16 operand pairs (no sampling noise at 8 bits).
+// The table itself comes from bench/paper_tables.cc, shared with the
+// golden-snapshot test that pins this binary's output.
 #include <cstdio>
-#include <vector>
 
-#include "adders/gda.h"
 #include "bench_util.h"
-#include "adders/gear_adapter.h"
-#include "analysis/dse_cache.h"
-#include "analysis/table.h"
-#include "core/config.h"
-#include "netlist/circuits.h"
-#include "netlist/transform.h"
-#include "synth/report.h"
+#include "paper_tables.h"
 
-namespace {
-
-struct Row {
-  std::string label;
-  double delay_ns = 0.0;
-  int area = 0;
-  double ned = 0.0;
-};
-
-/// Exhaustive MED/NED over all 8-bit operand pairs.
-double exhaustive_ned(const gear::adders::ApproxAdder& adder) {
-  double med = 0.0, max_ed = 0.0;
-  for (std::uint64_t a = 0; a < 256; ++a) {
-    for (std::uint64_t b = 0; b < 256; ++b) {
-      const double ed = static_cast<double>((a + b) - adder.add(a, b));
-      med += ed;
-      if (ed > max_ed) max_ed = ed;
-    }
-  }
-  med /= 65536.0;
-  return max_ed > 0 ? med / max_ed : 0.0;
-}
-
-}  // namespace
-
-int main() {
-  const std::vector<std::pair<int, int>> configs = {
-      {1, 1}, {1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6}, {2, 2}, {2, 4}};
-
-  std::printf("== Table II: GDA vs GeAr, 8-bit adder ==\n\n");
-
-  gear::analysis::Table table({"config", "GDA delay[ns]", "GDA area", "GDA NED",
-                               "GDA DxNED", "GeAr delay[ns]", "GeAr area",
-                               "GeAr NED", "GeAr DxNED"});
-  int gear_wins_dxned = 0;
-  // Synthesis through the DSE cache: GDA via keyed_synth (full synthesis,
-  // memoized per key), GeAr via the Tier-B fast path — both bit-identical
-  // to the direct synthesize() calls they replace.
-  gear::analysis::DseCache cache;
-  for (const auto& [r, p] : configs) {
-    const gear::adders::GdaAdder gda(8, r, p);
-    // Area from the full configurable circuit; delay with case analysis
-    // (config muxes steered, unused ripple path off the critical path).
-    char key_full[48], key_cfg0[48];
-    std::snprintf(key_full, sizeof key_full, "gda:8:%d:%d:full", r, p);
-    std::snprintf(key_cfg0, sizeof key_cfg0, "gda:8:%d:%d:cfg0", r, p);
-    const auto gda_rep = cache.keyed_synth(
-        key_full, [&] { return gear::netlist::build_gda(8, r, p); });
-    const double gda_delay =
-        cache
-            .keyed_synth(key_cfg0,
-                         [&] {
-                           return gear::netlist::specialize(
-                               gear::netlist::build_gda(8, r, p), {{"cfg", 0}});
-                         })
-            .delay_ns;
-    const double gda_ned = exhaustive_ned(gda);
-
-    const auto cfg = *gear::core::GeArConfig::make_relaxed(8, r, p);
-    const gear::adders::GearAdapter gear_adder(cfg);
-    const auto gear_rep = cache.gear_synth(cfg, false);
-    const double gear_ned = exhaustive_ned(gear_adder);
-    const double gear_delay = gear_rep.sum_delay_ns;
-
-    if (gear_delay * gear_ned <= gda_delay * gda_ned) ++gear_wins_dxned;
-
-    char label[32];
-    std::snprintf(label, sizeof label, "(%d,%d)", r, p);
-    table.add_row({label,
-                   gear::analysis::fmt_fixed(gda_delay, 3),
-                   std::to_string(gda_rep.area_luts),
-                   gear::analysis::fmt_fixed(gda_ned, 4),
-                   gear::analysis::fmt_sci(gda_delay * 1e-9 * gda_ned, 4),
-                   gear::analysis::fmt_fixed(gear_delay, 3),
-                   std::to_string(gear_rep.area_luts),
-                   gear::analysis::fmt_fixed(gear_ned, 4),
-                   gear::analysis::fmt_sci(gear_delay * 1e-9 * gear_ned, 4)});
-  }
-  std::fputs(table.to_ascii().c_str(), stdout);
-  gear::benchutil::maybe_write_csv("table2_gda_vs_gear", table);
-  std::printf(
-      "\nPaper shape checks: NED columns identical (same arithmetic);\n"
-      "GeAr never slower or bigger than GDA at equal (R,P); GeAr wins\n"
-      "Delay x NED on %d/%zu configs (paper: all).\n",
-      gear_wins_dxned, configs.size());
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
+  const gear::benchtables::PaperTable t = gear::benchtables::table2_gda_vs_gear();
+  std::fputs(gear::benchtables::render(t).c_str(), stdout);
+  gear::benchutil::maybe_write_csv(t.csv_name, t.table);
   return 0;
 }

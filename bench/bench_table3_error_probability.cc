@@ -3,69 +3,21 @@
 // configurations (12,4,4), (16,4,8), (32,8,8), (48,8,16).
 //
 // Extended with this repo's additional referees: the exact DP probability
-// and a 10^6-sample Monte-Carlo run with a 95% Wilson interval.
+// and a 10^6-sample Monte-Carlo run with a 95% Wilson interval. The table
+// itself comes from bench/paper_tables.cc, shared with the golden-snapshot
+// test that pins this binary's output.
 #include <cstdio>
 
-#include "analysis/table.h"
 #include "bench_util.h"
-#include "core/config.h"
-#include "core/error_model.h"
+#include "paper_tables.h"
 #include "stats/parallel.h"
-#include "stats/pmf.h"
-#include "stats/rng.h"
 
-int main() {
-  using gear::core::GeArConfig;
-  struct Row {
-    int n, r, p;
-    double paper_formula_pct;  // paper column 2
-    double paper_sim_pct;      // paper column 3
-  };
-  const Row rows[] = {
-      {12, 4, 4, 2.9297, 2.9480},
-      {16, 4, 8, 0.1831, 0.1830},
-      {32, 8, 8, 0.3891, 0.3830},
-      {48, 8, 16, 0.0023, 0.003},
-  };
-
-  std::printf("== Table III: probability of error, formula vs simulation ==\n\n");
-  gear::analysis::Table table({"(N,R,P,k)", "paper formula", "ours formula",
-                               "exact DP", "exact MED", "sim 10000 (paper)",
-                               "sim 10000 (ours)", "MC 1e6 [95% CI]"});
-  // The 1e6 referee runs on the deterministic parallel driver (sharded
-  // substreams merged in index order — bit-identical for any thread
-  // count); the 10k run keeps the paper's single-stream protocol.
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   gear::stats::ParallelExecutor exec(0);
-  for (const Row& row : rows) {
-    const GeArConfig cfg = GeArConfig::must(row.n, row.r, row.p);
-    const double formula = gear::core::paper_error_probability(cfg);
-    const double exact = gear::core::exact_error_probability(cfg);
-    const auto metrics = gear::core::exact_error_metrics(cfg);
-    gear::stats::Rng rng10k = gear::stats::Rng::substream(
-        gear::stats::Rng::kDefaultSeed, "table3-sim10k");
-    const auto sim10k = gear::core::mc_error_probability(cfg, 10000, rng10k);
-    const auto sim1m = gear::core::mc_error_probability(
-        cfg, 1000000, gear::stats::Rng::kDefaultSeed, exec);
-
-    char id[40], ci[64];
-    std::snprintf(id, sizeof id, "(%d,%d,%d,%d)", row.n, row.r, row.p, cfg.k());
-    std::snprintf(ci, sizeof ci, "%.4f%% [%.4f, %.4f]", sim1m.p * 100,
-                  sim1m.ci.lo * 100, sim1m.ci.hi * 100);
-    table.add_row({id,
-                   gear::analysis::fmt_pct(row.paper_formula_pct / 100, 4),
-                   gear::analysis::fmt_pct(formula, 4),
-                   gear::analysis::fmt_pct(exact, 4),
-                   gear::analysis::fmt_sci(metrics.med, 3),
-                   gear::analysis::fmt_pct(row.paper_sim_pct / 100, 4),
-                   gear::analysis::fmt_pct(sim10k.p, 4), ci});
-  }
-  std::fputs(table.to_ascii().c_str(), stdout);
-  gear::benchutil::maybe_write_csv("table3_error_probability", table);
-  std::printf(
-      "\nNotes: the paper's (48,8,16) row prints k=5; Eq. 1 gives k=4 and\n"
-      "reproduces the printed probability exactly (see DESIGN.md). The\n"
-      "formula lands inside the Monte-Carlo CI on every row. \"exact MED\"\n"
-      "is the closed-form mean error distance from the exact PMF engine\n"
-      "(DESIGN.md section 5e) — no sampling.\n");
+  const gear::benchtables::PaperTable t =
+      gear::benchtables::table3_error_probability(exec);
+  std::fputs(gear::benchtables::render(t).c_str(), stdout);
+  gear::benchutil::maybe_write_csv(t.csv_name, t.table);
   return 0;
 }

@@ -31,7 +31,8 @@ struct Candidate {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
   using gear::core::GeArConfig;
   constexpr int kN = 20;
 

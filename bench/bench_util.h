@@ -8,8 +8,61 @@
 #include <string_view>
 
 #include "analysis/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gear::benchutil {
+
+/// Gives every bench binary the --metrics_out=<file>.json and
+/// --trace_out=<file>.json flags: construct one first thing in main()
+/// (it strips the flags from argc/argv so later consumers such as
+/// google-benchmark never see them) and on destruction it snapshots
+/// obs::global() / obs::TraceRecorder::global() to the requested paths.
+class ObsExport {
+ public:
+  ObsExport(int& argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      constexpr std::string_view kMetrics = "--metrics_out=";
+      constexpr std::string_view kTrace = "--trace_out=";
+      if (arg.rfind(kMetrics, 0) == 0) {
+        metrics_path_ = std::string(arg.substr(kMetrics.size()));
+      } else if (arg.rfind(kTrace, 0) == 0) {
+        trace_path_ = std::string(arg.substr(kTrace.size()));
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+  }
+
+  ~ObsExport() {
+    if (!metrics_path_.empty()) {
+      if (obs::global().save_json(metrics_path_)) {
+        std::printf("(metrics written to %s)\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    if (!trace_path_.empty()) {
+      if (obs::TraceRecorder::global().save(trace_path_)) {
+        std::printf("(trace written to %s)\n", trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "warning: cannot write %s\n", trace_path_.c_str());
+      }
+    }
+  }
+
+  ObsExport(const ObsExport&) = delete;
+  ObsExport& operator=(const ObsExport&) = delete;
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
 
 /// Escapes `s` for embedding inside a JSON string literal: quote,
 /// backslash and control characters (RFC 8259's mandatory set) are

@@ -1,0 +1,157 @@
+#include "paper_tables.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "adders/gda.h"
+#include "adders/gear_adapter.h"
+#include "analysis/dse_cache.h"
+#include "core/config.h"
+#include "core/error_model.h"
+#include "netlist/circuits.h"
+#include "netlist/transform.h"
+#include "stats/parallel.h"
+#include "stats/rng.h"
+#include "synth/report.h"
+
+namespace gear::benchtables {
+namespace {
+
+/// Exhaustive MED/NED over all 8-bit operand pairs.
+double exhaustive_ned(const adders::ApproxAdder& adder) {
+  double med = 0.0, max_ed = 0.0;
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      const double ed = static_cast<double>((a + b) - adder.add(a, b));
+      med += ed;
+      if (ed > max_ed) max_ed = ed;
+    }
+  }
+  med /= 65536.0;
+  return max_ed > 0 ? med / max_ed : 0.0;
+}
+
+}  // namespace
+
+PaperTable table2_gda_vs_gear() {
+  const std::vector<std::pair<int, int>> configs = {
+      {1, 1}, {1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6}, {2, 2}, {2, 4}};
+
+  analysis::Table table({"config", "GDA delay[ns]", "GDA area", "GDA NED",
+                         "GDA DxNED", "GeAr delay[ns]", "GeAr area",
+                         "GeAr NED", "GeAr DxNED"});
+  int gear_wins_dxned = 0;
+  // Synthesis through the DSE cache: GDA via keyed_synth (full synthesis,
+  // memoized per key), GeAr via the Tier-B fast path — both bit-identical
+  // to the direct synthesize() calls they replace.
+  analysis::DseCache cache;
+  for (const auto& [r, p] : configs) {
+    const adders::GdaAdder gda(8, r, p);
+    // Area from the full configurable circuit; delay with case analysis
+    // (config muxes steered, unused ripple path off the critical path).
+    char key_full[48], key_cfg0[48];
+    std::snprintf(key_full, sizeof key_full, "gda:8:%d:%d:full", r, p);
+    std::snprintf(key_cfg0, sizeof key_cfg0, "gda:8:%d:%d:cfg0", r, p);
+    const auto gda_rep =
+        cache.keyed_synth(key_full, [&] { return netlist::build_gda(8, r, p); });
+    const double gda_delay =
+        cache
+            .keyed_synth(key_cfg0,
+                         [&] {
+                           return netlist::specialize(
+                               netlist::build_gda(8, r, p), {{"cfg", 0}});
+                         })
+            .delay_ns;
+    const double gda_ned = exhaustive_ned(gda);
+
+    const auto cfg = *core::GeArConfig::make_relaxed(8, r, p);
+    const adders::GearAdapter gear_adder(cfg);
+    const auto gear_rep = cache.gear_synth(cfg, false);
+    const double gear_ned = exhaustive_ned(gear_adder);
+    const double gear_delay = gear_rep.sum_delay_ns;
+
+    if (gear_delay * gear_ned <= gda_delay * gda_ned) ++gear_wins_dxned;
+
+    char label[32];
+    std::snprintf(label, sizeof label, "(%d,%d)", r, p);
+    table.add_row({label,
+                   analysis::fmt_fixed(gda_delay, 3),
+                   std::to_string(gda_rep.area_luts),
+                   analysis::fmt_fixed(gda_ned, 4),
+                   analysis::fmt_sci(gda_delay * 1e-9 * gda_ned, 4),
+                   analysis::fmt_fixed(gear_delay, 3),
+                   std::to_string(gear_rep.area_luts),
+                   analysis::fmt_fixed(gear_ned, 4),
+                   analysis::fmt_sci(gear_delay * 1e-9 * gear_ned, 4)});
+  }
+
+  char notes[256];
+  std::snprintf(notes, sizeof notes,
+                "Paper shape checks: NED columns identical (same arithmetic);\n"
+                "GeAr never slower or bigger than GDA at equal (R,P); GeAr "
+                "wins\nDelay x NED on %d/%zu configs (paper: all).\n",
+                gear_wins_dxned, configs.size());
+  return {"== Table II: GDA vs GeAr, 8-bit adder ==", std::move(table), notes,
+          "table2_gda_vs_gear"};
+}
+
+PaperTable table3_error_probability(stats::ParallelExecutor& exec) {
+  struct Row {
+    int n, r, p;
+    double paper_formula_pct;  // paper column 2
+    double paper_sim_pct;      // paper column 3
+  };
+  const Row rows[] = {
+      {12, 4, 4, 2.9297, 2.9480},
+      {16, 4, 8, 0.1831, 0.1830},
+      {32, 8, 8, 0.3891, 0.3830},
+      {48, 8, 16, 0.0023, 0.003},
+  };
+
+  analysis::Table table({"(N,R,P,k)", "paper formula", "ours formula",
+                         "exact DP", "exact MED", "sim 10000 (paper)",
+                         "sim 10000 (ours)", "MC 1e6 [95% CI]"});
+  // The 1e6 referee runs on the deterministic parallel driver (sharded
+  // substreams merged in index order — bit-identical for any thread
+  // count); the 10k run keeps the paper's single-stream protocol.
+  for (const Row& row : rows) {
+    const core::GeArConfig cfg = core::GeArConfig::must(row.n, row.r, row.p);
+    const double formula = core::paper_error_probability(cfg);
+    const double exact = core::exact_error_probability(cfg);
+    const auto metrics = core::exact_error_metrics(cfg);
+    stats::Rng rng10k =
+        stats::Rng::substream(stats::Rng::kDefaultSeed, "table3-sim10k");
+    const auto sim10k = core::mc_error_probability(cfg, 10000, rng10k);
+    const auto sim1m =
+        core::mc_error_probability(cfg, 1000000, stats::Rng::kDefaultSeed, exec);
+
+    char id[40], ci[64];
+    std::snprintf(id, sizeof id, "(%d,%d,%d,%d)", row.n, row.r, row.p, cfg.k());
+    std::snprintf(ci, sizeof ci, "%.4f%% [%.4f, %.4f]", sim1m.p * 100,
+                  sim1m.ci.lo * 100, sim1m.ci.hi * 100);
+    table.add_row({id,
+                   analysis::fmt_pct(row.paper_formula_pct / 100, 4),
+                   analysis::fmt_pct(formula, 4),
+                   analysis::fmt_pct(exact, 4),
+                   analysis::fmt_sci(metrics.med, 3),
+                   analysis::fmt_pct(row.paper_sim_pct / 100, 4),
+                   analysis::fmt_pct(sim10k.p, 4), ci});
+  }
+
+  return {"== Table III: probability of error, formula vs simulation ==",
+          std::move(table),
+          "Notes: the paper's (48,8,16) row prints k=5; Eq. 1 gives k=4 and\n"
+          "reproduces the printed probability exactly (see DESIGN.md). The\n"
+          "formula lands inside the Monte-Carlo CI on every row. \"exact "
+          "MED\"\nis the closed-form mean error distance from the exact PMF "
+          "engine\n(DESIGN.md section 5e) — no sampling.\n",
+          "table3_error_probability"};
+}
+
+std::string render(const PaperTable& t) {
+  return t.title + "\n\n" + t.table.to_ascii() + "\n" + t.notes;
+}
+
+}  // namespace gear::benchtables

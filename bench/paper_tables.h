@@ -1,0 +1,43 @@
+// Deterministic paper-table generators shared by the bench binaries and
+// the golden-snapshot tests (tests/test_golden_tables.cc).
+//
+// Every quantity in these tables is a pure function of the configuration
+// set and fixed seeds — synthesis is analytic, the NED columns are
+// exhaustive, and the Monte-Carlo referee runs on the sharded
+// deterministic driver (§5a) — so the rendered text is byte-identical
+// run-to-run and across thread counts, and can be pinned as a golden
+// file.
+#pragma once
+
+#include <string>
+
+#include "analysis/table.h"
+
+namespace gear::stats {
+class ParallelExecutor;
+}
+
+namespace gear::benchtables {
+
+/// One rendered paper table: title banner, the rows, and the trailing
+/// shape-check / notes paragraph (already fully formatted).
+struct PaperTable {
+  std::string title;      ///< e.g. "== Table II: ... =="
+  analysis::Table table;
+  std::string notes;      ///< trailing paragraph incl. final newline
+  std::string csv_name;   ///< maybe_write_csv() basename
+};
+
+/// Table II — GDA vs GeAr for an 8-bit adder: path delay, area,
+/// exhaustive NED and Delay x NED across the paper's (R, P) set.
+PaperTable table2_gda_vs_gear();
+
+/// Table III — probability of error: paper formula vs exact DP vs
+/// simulation. The 1e6-trial referee runs on `exec`; the result is
+/// bit-identical for any executor width.
+PaperTable table3_error_probability(stats::ParallelExecutor& exec);
+
+/// The exact stdout text of the corresponding bench binary.
+std::string render(const PaperTable& t);
+
+}  // namespace gear::benchtables

@@ -7,7 +7,12 @@
 #include <vector>
 
 #include "netlist/circuits.h"
+#include "obs/metrics.h"
 #include "stats/rng.h"
+
+// Which sweep thread wins the race to populate an entry depends on the
+// schedule, so every cache tally below goes to the wall-clock (runtime)
+// channel, never the deterministic one.
 
 namespace gear::analysis {
 
@@ -169,13 +174,16 @@ CachedSynth DseCache::gear_synth(const core::GeArConfig& cfg,
     const auto it = synth_cache_.find(key);
     if (it != synth_cache_.end()) {
       ++hits_;
+      GEAR_OBS_RUNTIME_COUNT("dse/synth_hit", 1);
       return it->second;
     }
     ++misses_;
   }
+  GEAR_OBS_RUNTIME_COUNT("dse/synth_miss", 1);
   CachedSynth value;
   if (fast_path_eligible(cfg, with_detection)) {
     value = fast_path(cfg);
+    GEAR_OBS_RUNTIME_COUNT("dse/synth_fast_path", 1);
     std::lock_guard<std::mutex> lock(mu_);
     ++fast_path_evals_;
     synth_cache_.emplace(key, value);
@@ -184,6 +192,7 @@ CachedSynth DseCache::gear_synth(const core::GeArConfig& cfg,
     std::lock_guard<std::mutex> lock(mu_);
     synth_cache_.emplace(key, value);
   }
+  GEAR_OBS_RUNTIME_COUNT("dse/synth_insert", 1);
   return value;
 }
 
@@ -194,13 +203,16 @@ CachedError DseCache::gear_error(const core::GeArConfig& cfg) {
     const auto it = error_cache_.find(key);
     if (it != error_cache_.end()) {
       ++hits_;
+      GEAR_OBS_RUNTIME_COUNT("dse/error_hit", 1);
       return it->second;
     }
     ++misses_;
   }
+  GEAR_OBS_RUNTIME_COUNT("dse/error_miss", 1);
   CachedError value;
   value.paper_error = core::paper_error_probability(cfg);
   value.exact = core::exact_error_metrics(cfg);
+  GEAR_OBS_RUNTIME_COUNT("dse/error_insert", 1);
   std::lock_guard<std::mutex> lock(mu_);
   error_cache_.emplace(key, value);
   return value;
@@ -213,10 +225,12 @@ CachedSynth DseCache::keyed_synth(
     const auto it = synth_cache_.find(key);
     if (it != synth_cache_.end()) {
       ++hits_;
+      GEAR_OBS_RUNTIME_COUNT("dse/keyed_hit", 1);
       return it->second;
     }
     ++misses_;
   }
+  GEAR_OBS_RUNTIME_COUNT("dse/keyed_miss", 1);
   const auto rep = synth::synthesize(build(), model_);
   CachedSynth value;
   value.area_luts = rep.area_luts;
@@ -225,6 +239,7 @@ CachedSynth DseCache::keyed_synth(
   value.lut_levels = rep.lut_levels;
   value.delay_ns = rep.delay_ns;
   value.sum_delay_ns = synth::sum_path_delay(rep);
+  GEAR_OBS_RUNTIME_COUNT("dse/keyed_insert", 1);
   std::lock_guard<std::mutex> lock(mu_);
   synth_cache_.emplace(key, value);
   return value;
@@ -242,10 +257,12 @@ synth::PowerReport DseCache::gear_power(const core::GeArConfig& cfg,
     const auto it = power_cache_.find(key);
     if (it != power_cache_.end()) {
       ++hits_;
+      GEAR_OBS_RUNTIME_COUNT("dse/power_hit", 1);
       return it->second;
     }
     ++misses_;
   }
+  GEAR_OBS_RUNTIME_COUNT("dse/power_miss", 1);
   stats::Rng rng = stats::Rng::substream(seed, "dse-power:" + key);
   const auto report = synth::estimate_power(
       netlist::build_gear(cfg, {.with_detection = with_detection}), vectors,

@@ -5,6 +5,8 @@
 
 #include "core/error_model.h"
 #include "netlist/circuits.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/report.h"
 
 namespace gear::analysis {
@@ -80,6 +82,7 @@ std::optional<SelectedConfig> evaluate(const SelectionRequest& request,
 
 std::vector<SelectedConfig> rank_configs(const SelectionRequest& request,
                                          const SweepContext& ctx) {
+  GEAR_OBS_SPAN("selector/rank_configs", "dse");
   const auto candidates = candidate_set(request);
 
   // Evaluate per candidate (index-ordered) so the merged list is the same
@@ -100,6 +103,12 @@ std::vector<SelectedConfig> rank_configs(const SelectionRequest& request,
   for (auto& e : evals) {
     if (e.has_value()) out.push_back(std::move(*e));
   }
+  // Candidate/filter tallies depend only on the request, never on the
+  // executor interleaving — deterministic channel (test-pinned {1,2,8}).
+  GEAR_OBS_COUNT("selector/rank_calls", 1);
+  GEAR_OBS_COUNT("selector/candidates", candidates.size());
+  GEAR_OBS_COUNT("selector/accepted", out.size());
+  GEAR_OBS_COUNT("selector/rejected", candidates.size() - out.size());
   // Strict total order: candidates are unique by (R, P), so the final
   // (r desc, p asc) tiers leave no equivalent pairs and the sort result
   // is independent of the evaluation interleaving.

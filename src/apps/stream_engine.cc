@@ -5,9 +5,34 @@
 
 #include "core/error_model.h"
 #include "core/width.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/bitsliced.h"
 
 namespace gear::apps {
+
+namespace {
+
+// First-class detect/correct/fallback telemetry. Recorded once per run()
+// from the merged StreamStats, which is bit-identical across thread
+// counts (§5a), so these counters sit in the deterministic channel.
+void record_stream_obs(const StreamStats& s) {
+  // Host-CPU-pure and idempotent, so re-setting it every run keeps the
+  // label present after registry clears without touching the hot loops.
+  GEAR_OBS_LABEL("bitsliced/dispatch", stats::bitsliced_dispatch_name());
+  GEAR_OBS_COUNT("stream/runs", 1);
+  GEAR_OBS_COUNT("stream/operations", s.operations);
+  GEAR_OBS_COUNT("stream/cycles", s.cycles);
+  GEAR_OBS_COUNT("stream/stall_cycles", s.stall_cycles);
+  GEAR_OBS_COUNT("stream/corrected_ops", s.corrected_ops);
+  GEAR_OBS_COUNT("stream/wrong_results", s.wrong_results);
+  GEAR_OBS_COUNT("stream/fallback_events", s.fallback_events);
+  GEAR_OBS_COUNT("stream/safe_mode_ops", s.safe_mode_ops);
+  GEAR_OBS_COUNT("stream/flagged_ops", s.flagged_ops);
+  GEAR_OBS_COUNT("stream/flagged_wrong_results", s.flagged_wrong_results);
+}
+
+}  // namespace
 
 StreamAdderEngine::StreamAdderEngine(core::GeArConfig cfg,
                                      std::uint64_t correction_mask)
@@ -122,6 +147,7 @@ void StreamAdderEngine::feed_block(StreamStats& stats,
 
 StreamStats StreamAdderEngine::run(stats::OperandSource& source,
                                    std::uint64_t ops) const {
+  GEAR_OBS_SPAN("stream/run_source", "stream");
   StreamStats stats;
   if (can_batch()) {
     std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
@@ -137,6 +163,7 @@ StreamStats StreamAdderEngine::run(stats::OperandSource& source,
       }
       feed_block(stats, batch, a, b, count);
     }
+    record_stream_obs(stats);
     return stats;
   }
   auto watchdog = make_watchdog();
@@ -144,10 +171,12 @@ StreamStats StreamAdderEngine::run(stats::OperandSource& source,
     const auto [a, b] = source.next();
     feed(stats, watchdog ? &*watchdog : nullptr, a, b);
   }
+  record_stream_obs(stats);
   return stats;
 }
 
 StreamStats StreamAdderEngine::run(const std::vector<stats::OperandPair>& operands) const {
+  GEAR_OBS_SPAN("stream/run_operands", "stream");
   StreamStats stats;
   if (can_batch()) {
     std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
@@ -163,12 +192,14 @@ StreamStats StreamAdderEngine::run(const std::vector<stats::OperandPair>& operan
       }
       feed_block(stats, batch, a, b, count);
     }
+    record_stream_obs(stats);
     return stats;
   }
   auto watchdog = make_watchdog();
   for (const auto& [a, b] : operands) {
     feed(stats, watchdog ? &*watchdog : nullptr, a, b);
   }
+  record_stream_obs(stats);
   return stats;
 }
 
@@ -176,6 +207,7 @@ StreamStats StreamAdderEngine::run(const SourceFactory& make_source,
                                    std::uint64_t ops, std::uint64_t master_seed,
                                    stats::ParallelExecutor& exec,
                                    std::uint64_t shard_size) const {
+  GEAR_OBS_SPAN("stream/run_parallel", "stream");
   const auto shards = stats::ParallelExecutor::make_shards(ops, shard_size);
   auto partials = exec.map<StreamStats>(shards.size(), [&](std::size_t i) {
     auto source = make_source(
@@ -206,7 +238,11 @@ StreamStats StreamAdderEngine::run(const SourceFactory& make_source,
     return stats;
   });
   StreamStats total;
-  for (const auto& partial : partials) total.merge(partial);
+  {
+    GEAR_OBS_SPAN("stream/merge", "stream");
+    for (const auto& partial : partials) total.merge(partial);
+  }
+  record_stream_obs(total);
   return total;
 }
 

@@ -1,0 +1,646 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gear::obs {
+
+namespace {
+
+/// %.17g round-trips every finite double bit-exactly.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the snapshot format written by to_json(). The
+// grammar is tiny (objects, arrays of numbers, strings, numbers), so a
+// hand-rolled recursive-descent parser keeps the layer dependency-free.
+// ---------------------------------------------------------------------------
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\' && i < s.size()) {
+        const char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (i + 4 > s.size()) {
+              ok = false;
+              return out;
+            }
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = s[i++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else { ok = false; return out; }
+            }
+            // The writer only emits \u00XX for control bytes.
+            out += static_cast<char>(code & 0xFF);
+            break;
+          }
+          default: ok = false; return out;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (!consume('"')) ok = false;
+    return out;
+  }
+
+  double parse_double() {
+    skip_ws();
+    const char* begin = s.data() + i;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) {
+      ok = false;
+      return 0.0;
+    }
+    i += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  std::uint64_t parse_u64() {
+    skip_ws();
+    const char* begin = s.data() + i;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(begin, &end, 10);
+    if (end == begin) {
+      ok = false;
+      return 0;
+    }
+    i += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  /// Iterates "key": <value> pairs of an object, calling fn(key) with the
+  /// cursor positioned on the value.
+  template <typename Fn>
+  void parse_object(Fn&& fn) {
+    if (!consume('{')) return;
+    if (peek('}')) {
+      consume('}');
+      return;
+    }
+    for (;;) {
+      const std::string key = parse_string();
+      if (!ok || !consume(':')) return;
+      fn(key);
+      if (!ok) return;
+      if (peek(',')) {
+        consume(',');
+        continue;
+      }
+      consume('}');
+      return;
+    }
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Runtime switch
+// ---------------------------------------------------------------------------
+
+namespace {
+/// -1 = follow the environment, 0/1 = forced by tests.
+std::atomic<int> g_runtime_override{-1};
+
+bool env_enabled() {
+  static const bool v = [] {
+    const char* e = std::getenv("GEAR_OBS");
+    return !(e != nullptr && std::string_view(e) == "off");
+  }();
+  return v;
+}
+}  // namespace
+
+bool runtime_enabled() {
+  const int forced = g_runtime_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return env_enabled();
+}
+
+void set_runtime_enabled_for_testing(std::optional<bool> forced) {
+  g_runtime_override.store(forced ? (*forced ? 1 : 0) : -1,
+                           std::memory_order_relaxed);
+}
+
+std::uint64_t monotonic_now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           origin)
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// FixedHistogram / TimingStat
+// ---------------------------------------------------------------------------
+
+void FixedHistogram::record(double value) {
+  if (counts.size() != static_cast<std::size_t>(spec.buckets)) {
+    counts.assign(static_cast<std::size_t>(spec.buckets), 0);
+  }
+  if (value < spec.lo) {
+    ++underflow;
+    return;
+  }
+  if (value >= spec.hi) {
+    ++overflow;
+    return;
+  }
+  const double scaled = (value - spec.lo) / (spec.hi - spec.lo) *
+                        static_cast<double>(spec.buckets);
+  auto bin = static_cast<std::size_t>(scaled);
+  if (bin >= counts.size()) bin = counts.size() - 1;  // hi-adjacent rounding
+  ++counts[bin];
+}
+
+void FixedHistogram::merge(const FixedHistogram& other) {
+  if (!(spec == other.spec)) {
+    throw std::invalid_argument("FixedHistogram::merge: spec mismatch");
+  }
+  if (counts.size() != static_cast<std::size_t>(spec.buckets)) {
+    counts.assign(static_cast<std::size_t>(spec.buckets), 0);
+  }
+  for (std::size_t i = 0; i < other.counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  underflow += other.underflow;
+  overflow += other.overflow;
+}
+
+std::uint64_t FixedHistogram::samples() const {
+  std::uint64_t total = underflow + overflow;
+  for (const std::uint64_t c : counts) total += c;
+  return total;
+}
+
+void TimingStat::record_ns(double ns) {
+  if (count == 0 || ns < min_ns) min_ns = ns;
+  if (count == 0 || ns > max_ns) max_ns = ns;
+  ++count;
+  total_ns += ns;
+}
+
+void TimingStat::merge(const TimingStat& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min_ns < min_ns) min_ns = other.min_ns;
+  if (count == 0 || other.max_ns > max_ns) max_ns = other.max_ns;
+  count += other.count;
+  total_ns += other.total_ns;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry(const MetricsRegistry& other) {
+  *this = other;
+}
+
+MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other) {
+  if (this == &other) return *this;
+  // Two-registry lock ordering is unnecessary: registries are merged /
+  // copied from quiescent shard-local instances. Lock both defensively
+  // with std::scoped_lock's deadlock avoidance anyway.
+  std::scoped_lock lk(mu_, other.mu_);
+  counters_.clear();
+  for (const auto& [name, cell] : other.counters_) {
+    counters_[name].value_.store(cell.value(), std::memory_order_relaxed);
+  }
+  runtime_.clear();
+  for (const auto& [name, cell] : other.runtime_) {
+    runtime_[name].value_.store(cell.value(), std::memory_order_relaxed);
+  }
+  gauges_ = other.gauges_;
+  labels_ = other.labels_;
+  histograms_ = other.histograms_;
+  timings_ = other.timings_;
+  return *this;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  counter_handle(name).add(delta);
+}
+
+Counter& MetricsRegistry::counter_handle(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_[std::string(name)];
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  gauges_[std::string(name)] = value;
+}
+
+void MetricsRegistry::set_label(std::string_view name, std::string_view value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  labels_[std::string(name)] = std::string(value);
+}
+
+void MetricsRegistry::record(std::string_view name, const HistogramSpec& spec,
+                             double value) {
+  if (spec.buckets <= 0 || !(spec.lo < spec.hi)) {
+    throw std::invalid_argument("MetricsRegistry::record: bad HistogramSpec");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    FixedHistogram h;
+    h.spec = spec;
+    h.counts.assign(static_cast<std::size_t>(spec.buckets), 0);
+    it = histograms_.emplace(std::string(name), std::move(h)).first;
+  } else if (!(it->second.spec == spec)) {
+    throw std::invalid_argument(
+        "MetricsRegistry::record: spec mismatch for histogram '" +
+        std::string(name) + "'");
+  }
+  it->second.record(value);
+}
+
+void MetricsRegistry::add_runtime(std::string_view name, std::uint64_t delta) {
+  runtime_handle(name).add(delta);
+}
+
+Counter& MetricsRegistry::runtime_handle(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = runtime_.find(name);
+  if (it != runtime_.end()) return it->second;
+  return runtime_[std::string(name)];
+}
+
+void MetricsRegistry::record_timing_ns(std::string_view name, double ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  timings_[std::string(name)].record_ns(ns);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::optional<double> MetricsRegistry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> MetricsRegistry::label(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = labels_.find(name);
+  if (it == labels_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<FixedHistogram> MetricsRegistry::histogram(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t MetricsRegistry::runtime(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = runtime_.find(name);
+  return it == runtime_.end() ? 0 : it->second.value();
+}
+
+std::optional<TimingStat> MetricsRegistry::timing(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = timings_.find(name);
+  if (it == timings_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_values_(
+    const std::map<std::string, Counter, std::less<>>& m) const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, cell] : m) out[name] = cell.value();
+  return out;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  if (this == &other) return;
+  std::scoped_lock lk(mu_, other.mu_);
+  for (const auto& [name, cell] : other.counters_) {
+    counters_[name].value_.fetch_add(cell.value(), std::memory_order_relaxed);
+  }
+  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+  for (const auto& [name, value] : other.labels_) labels_[name] = value;
+  for (const auto& [name, hist] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_[name] = hist;
+    } else {
+      it->second.merge(hist);
+    }
+  }
+  for (const auto& [name, cell] : other.runtime_) {
+    runtime_[name].value_.fetch_add(cell.value(), std::memory_order_relaxed);
+  }
+  for (const auto& [name, stat] : other.timings_) {
+    timings_[name].merge(stat);
+  }
+}
+
+bool MetricsRegistry::deterministic_equal(const MetricsRegistry& other) const {
+  if (this == &other) return true;
+  std::scoped_lock lk(mu_, other.mu_);
+  return counter_values_(counters_) == other.counter_values_(other.counters_) &&
+         gauges_ == other.gauges_ && labels_ == other.labels_ &&
+         histograms_ == other.histograms_;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Counter cells must stay address-stable for outstanding handles; zero
+  // them instead of erasing the nodes.
+  for (auto& [name, cell] : counters_) {
+    cell.value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : runtime_) {
+    cell.value_.store(0, std::memory_order_relaxed);
+  }
+  gauges_.clear();
+  labels_.clear();
+  histograms_.clear();
+  timings_.clear();
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, cell] : counters_) {
+    if (cell.value() != 0) return false;
+  }
+  for (const auto& [name, cell] : runtime_) {
+    if (cell.value() != 0) return false;
+  }
+  return gauges_.empty() && labels_.empty() && histograms_.empty() &&
+         timings_.empty();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  os << "{\"deterministic\":{";
+  os << "\"counters\":{";
+  for (const auto& [name, cell] : counters_) {
+    sep();
+    os << "\"" << json_escape(name) << "\":" << cell.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    sep();
+    os << "\"" << json_escape(name) << "\":" << fmt_double(value);
+  }
+  os << "},\"labels\":{";
+  first = true;
+  for (const auto& [name, value] : labels_) {
+    sep();
+    os << "\"" << json_escape(name) << "\":\"" << json_escape(value) << "\"";
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    sep();
+    os << "\"" << json_escape(name) << "\":{\"lo\":" << fmt_double(h.spec.lo)
+       << ",\"hi\":" << fmt_double(h.spec.hi) << ",\"buckets\":" << h.spec.buckets
+       << ",\"underflow\":" << h.underflow << ",\"overflow\":" << h.overflow
+       << ",\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) os << ",";
+      os << h.counts[i];
+    }
+    os << "]}";
+  }
+  os << "}},\"wallclock\":{\"runtime\":{";
+  first = true;
+  for (const auto& [name, cell] : runtime_) {
+    sep();
+    os << "\"" << json_escape(name) << "\":" << cell.value();
+  }
+  os << "},\"timings_ns\":{";
+  first = true;
+  for (const auto& [name, t] : timings_) {
+    sep();
+    os << "\"" << json_escape(name) << "\":{\"count\":" << t.count
+       << ",\"total\":" << fmt_double(t.total_ns)
+       << ",\"min\":" << fmt_double(t.min_ns)
+       << ",\"max\":" << fmt_double(t.max_ns) << "}";
+  }
+  os << "}}}";
+  return os.str();
+}
+
+std::optional<MetricsRegistry> MetricsRegistry::from_json(
+    std::string_view json) {
+  MetricsRegistry reg;
+  Parser p{json};
+
+  const auto parse_counter_map = [&](auto&& sink) {
+    p.parse_object([&](const std::string& key) { sink(key, p.parse_u64()); });
+  };
+
+  p.parse_object([&](const std::string& section) {
+    if (section == "deterministic") {
+      p.parse_object([&](const std::string& kind) {
+        if (kind == "counters") {
+          parse_counter_map(
+              [&](const std::string& k, std::uint64_t v) { reg.add(k, v); });
+        } else if (kind == "gauges") {
+          p.parse_object([&](const std::string& k) {
+            reg.set_gauge(k, p.parse_double());
+          });
+        } else if (kind == "labels") {
+          p.parse_object([&](const std::string& k) {
+            reg.set_label(k, p.parse_string());
+          });
+        } else if (kind == "histograms") {
+          p.parse_object([&](const std::string& k) {
+            FixedHistogram h;
+            p.parse_object([&](const std::string& field) {
+              if (field == "lo") h.spec.lo = p.parse_double();
+              else if (field == "hi") h.spec.hi = p.parse_double();
+              else if (field == "buckets") h.spec.buckets = static_cast<int>(p.parse_u64());
+              else if (field == "underflow") h.underflow = p.parse_u64();
+              else if (field == "overflow") h.overflow = p.parse_u64();
+              else if (field == "counts") {
+                if (!p.consume('[')) return;
+                if (p.peek(']')) {
+                  p.consume(']');
+                  return;
+                }
+                for (;;) {
+                  h.counts.push_back(p.parse_u64());
+                  if (p.peek(',')) {
+                    p.consume(',');
+                    continue;
+                  }
+                  p.consume(']');
+                  return;
+                }
+              } else {
+                p.ok = false;
+              }
+            });
+            if (p.ok) {
+              std::lock_guard<std::mutex> lk(reg.mu_);
+              reg.histograms_[k] = std::move(h);
+            }
+          });
+        } else {
+          p.ok = false;
+        }
+      });
+    } else if (section == "wallclock") {
+      p.parse_object([&](const std::string& kind) {
+        if (kind == "runtime") {
+          parse_counter_map([&](const std::string& k, std::uint64_t v) {
+            reg.add_runtime(k, v);
+          });
+        } else if (kind == "timings_ns") {
+          p.parse_object([&](const std::string& k) {
+            TimingStat t;
+            p.parse_object([&](const std::string& field) {
+              if (field == "count") t.count = p.parse_u64();
+              else if (field == "total") t.total_ns = p.parse_double();
+              else if (field == "min") t.min_ns = p.parse_double();
+              else if (field == "max") t.max_ns = p.parse_double();
+              else p.ok = false;
+            });
+            if (p.ok) {
+              std::lock_guard<std::mutex> lk(reg.mu_);
+              reg.timings_[k] = t;
+            }
+          });
+        } else {
+          p.ok = false;
+        }
+      });
+    } else {
+      p.ok = false;
+    }
+  });
+
+  p.skip_ws();
+  if (!p.ok || p.i != json.size()) return std::nullopt;
+  return reg;
+}
+
+bool MetricsRegistry::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+MetricsRegistry& global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // leaked: no shutdown order issues
+  return *reg;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer
+// ---------------------------------------------------------------------------
+
+ScopedTimer::ScopedTimer(MetricsRegistry& registry, std::string name)
+    : registry_(enabled() ? &registry : nullptr), name_(std::move(name)) {
+  if (registry_ != nullptr) start_ns_ = monotonic_now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ == nullptr) return;
+  registry_->record_timing_ns(
+      name_, static_cast<double>(monotonic_now_ns() - start_ns_));
+}
+
+}  // namespace gear::obs

@@ -1,0 +1,243 @@
+// Deterministic observability layer: metrics registry.
+//
+// Every engine in this repository runs under the shard/merge determinism
+// contract (DESIGN.md §5a): results are bit-identical for any executor
+// thread count. The observability layer extends that contract to
+// telemetry by splitting metrics into two channels:
+//
+//  * deterministic — counters, gauges, labels and fixed-bucket
+//    histograms. Values are pure functions of the workload (never of the
+//    thread count, pool interleaving or wall clock). Per-shard registry
+//    instances merge in canonical shard index order, and every
+//    deterministic quantity is additive or idempotent, so the merged
+//    registry is bit-identical across thread counts {1, 2, 8, ...} —
+//    pinned by test_obs.cc.
+//  * wall-clock — runtime counters (scheduling-dependent integers such as
+//    cache hit/miss tallies under a parallel sweep) and timing statistics
+//    from RAII scoped timers. Explicitly excluded from
+//    deterministic_equal() and from any bit-identity check.
+//
+// Both channels export through one flat JSON snapshot (to_json /
+// from_json round-trip bit-exactly; doubles use %.17g) and hot spans
+// additionally export as Chrome trace_event files (obs/trace.h).
+//
+// Instrumentation compiles to no-ops when the GEAR_OBS CMake option is
+// OFF (GEAR_OBS_ENABLED=0): the GEAR_OBS_* macros expand to nothing, so
+// hot loops reference no registry symbols at all. At runtime the
+// environment variable GEAR_OBS=off disables recording without a
+// rebuild (see DESIGN.md §5f).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef GEAR_OBS_ENABLED
+#define GEAR_OBS_ENABLED 1
+#endif
+
+namespace gear::obs {
+
+/// True when the instrumentation macros were compiled in.
+inline constexpr bool kCompiledIn = GEAR_OBS_ENABLED != 0;
+
+/// Runtime switch: GEAR_OBS=off in the environment disables recording.
+/// Tests may override with set_runtime_enabled_for_testing().
+bool runtime_enabled();
+void set_runtime_enabled_for_testing(std::optional<bool> forced);
+
+/// The single gate every instrumentation point checks.
+inline bool enabled() { return kCompiledIn && runtime_enabled(); }
+
+/// Fixed-bucket histogram geometry: `buckets` equal-width bins over
+/// [lo, hi); out-of-range samples land in underflow/overflow. The spec is
+/// part of the metric identity — recording the same name with a different
+/// spec throws.
+struct HistogramSpec {
+  double lo = 0.0;
+  double hi = 1.0;
+  int buckets = 16;
+
+  bool operator==(const HistogramSpec&) const = default;
+};
+
+struct FixedHistogram {
+  HistogramSpec spec;
+  std::vector<std::uint64_t> counts;  ///< spec.buckets entries
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+
+  void record(double value);
+  void merge(const FixedHistogram& other);  ///< specs must match
+  std::uint64_t samples() const;
+
+  bool operator==(const FixedHistogram&) const = default;
+};
+
+/// Wall-clock timing pool (count/total/min/max in nanoseconds). Lives in
+/// the non-deterministic channel only.
+struct TimingStat {
+  std::uint64_t count = 0;
+  double total_ns = 0.0;
+  double min_ns = 0.0;
+  double max_ns = 0.0;
+
+  void record_ns(double ns);
+  void merge(const TimingStat& other);
+};
+
+/// Stable, lock-free increment cell handed out by counter_handle() /
+/// runtime_handle() so hot loops pay one relaxed atomic add per event
+/// instead of a mutex + map lookup.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Thread-safe metrics registry. Use value instances per shard and merge
+/// in shard index order (the canonical §5a order), or the process-wide
+/// global() instance for engine-level totals and bench snapshots.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry& other);
+  MetricsRegistry& operator=(const MetricsRegistry& other);
+
+  // --- deterministic channel ---------------------------------------------
+  void add(std::string_view name, std::uint64_t delta = 1);
+  Counter& counter_handle(std::string_view name);
+  void set_gauge(std::string_view name, double value);
+  void set_label(std::string_view name, std::string_view value);
+  /// Records `value` into the fixed-bucket histogram `name`, creating it
+  /// with `spec` on first use. Throws std::invalid_argument when the name
+  /// exists with a different spec.
+  void record(std::string_view name, const HistogramSpec& spec, double value);
+
+  // --- wall-clock channel ------------------------------------------------
+  void add_runtime(std::string_view name, std::uint64_t delta = 1);
+  Counter& runtime_handle(std::string_view name);
+  void record_timing_ns(std::string_view name, double ns);
+
+  // --- reads -------------------------------------------------------------
+  std::uint64_t counter(std::string_view name) const;  ///< 0 when absent
+  std::optional<double> gauge(std::string_view name) const;
+  std::optional<std::string> label(std::string_view name) const;
+  std::optional<FixedHistogram> histogram(std::string_view name) const;
+  std::uint64_t runtime(std::string_view name) const;  ///< 0 when absent
+  std::optional<TimingStat> timing(std::string_view name) const;
+
+  /// Pools `other` into this registry: counters/histograms/runtime/
+  /// timings add, gauges and labels take `other`'s value when present
+  /// (last shard wins — deterministic because merge order is the
+  /// canonical shard index order).
+  void merge(const MetricsRegistry& other);
+
+  /// Bit-identity over the deterministic channel only: counters, gauges,
+  /// labels and histograms. Runtime counters and timings never
+  /// participate (they are scheduling/wall-clock artifacts).
+  bool deterministic_equal(const MetricsRegistry& other) const;
+
+  void clear();
+  bool empty() const;  ///< no metric of any kind recorded
+
+  /// Flat JSON snapshot of both channels; keys sorted (map order), every
+  /// double rendered with %.17g so from_json(to_json()) is bit-exact.
+  std::string to_json() const;
+  static std::optional<MetricsRegistry> from_json(std::string_view json);
+  bool save_json(const std::string& path) const;
+
+ private:
+  // Deterministic snapshot of the counters for equality/merge/JSON.
+  std::map<std::string, std::uint64_t> counter_values_(
+      const std::map<std::string, Counter, std::less<>>& m) const;
+
+  mutable std::mutex mu_;
+  // Node-based maps: Counter cells must stay address-stable for handles.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::string, std::less<>> labels_;
+  std::map<std::string, FixedHistogram, std::less<>> histograms_;
+  std::map<std::string, Counter, std::less<>> runtime_;
+  std::map<std::string, TimingStat, std::less<>> timings_;
+};
+
+/// Process-wide registry: engines record totals here, benches snapshot it
+/// via --metrics_out. Reset with clear() between test runs.
+MetricsRegistry& global();
+
+/// RAII wall-clock timer: records a TimingStat (non-deterministic
+/// channel) into `registry` on destruction. For spans that should also
+/// land in the Chrome trace, prefer the GEAR_OBS_SPAN macro (obs/trace.h)
+/// which feeds both exporters.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry& registry, std::string name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;  ///< null when disabled at construction
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Monotonic nanoseconds since process start (steady clock); shared by
+/// timers and trace spans so both exporters agree on timestamps.
+std::uint64_t monotonic_now_ns();
+
+}  // namespace gear::obs
+
+// --- instrumentation macros (compile to nothing when GEAR_OBS=OFF) --------
+#if GEAR_OBS_ENABLED
+
+/// Deterministic counter increment via a stable handle: one relaxed
+/// atomic add per event on the hot path. `name` is resolved once per
+/// call site (function-local static), so it must be a constant — never
+/// an expression that varies between invocations.
+#define GEAR_OBS_COUNT(name, delta)                               \
+  do {                                                            \
+    if (::gear::obs::enabled()) {                                 \
+      static ::gear::obs::Counter& gear_obs_counter_cell =        \
+          ::gear::obs::global().counter_handle(name);             \
+      gear_obs_counter_cell.add(delta);                           \
+    }                                                             \
+  } while (0)
+
+/// Wall-clock-channel counter increment (scheduling-dependent tallies).
+#define GEAR_OBS_RUNTIME_COUNT(name, delta)                       \
+  do {                                                            \
+    if (::gear::obs::enabled()) {                                 \
+      static ::gear::obs::Counter& gear_obs_runtime_cell =        \
+          ::gear::obs::global().runtime_handle(name);             \
+      gear_obs_runtime_cell.add(delta);                           \
+    }                                                             \
+  } while (0)
+
+#define GEAR_OBS_LABEL(name, value)                               \
+  do {                                                            \
+    if (::gear::obs::enabled()) {                                 \
+      ::gear::obs::global().set_label(name, value);               \
+    }                                                             \
+  } while (0)
+
+#else  // !GEAR_OBS_ENABLED
+
+#define GEAR_OBS_COUNT(name, delta) ((void)0)
+#define GEAR_OBS_RUNTIME_COUNT(name, delta) ((void)0)
+#define GEAR_OBS_LABEL(name, value) ((void)0)
+
+#endif  // GEAR_OBS_ENABLED

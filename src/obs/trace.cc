@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+namespace gear::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  events_.reserve(capacity < 1024 ? capacity : 1024);
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    char ts[40];
+    char dur[40];
+    std::snprintf(ts, sizeof ts, "%.3f",
+                  static_cast<double>(e.start_ns) / 1000.0);
+    std::snprintf(dur, sizeof dur, "%.3f",
+                  static_cast<double>(e.duration_ns) / 1000.0);
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.category) << "\",\"ph\":\"X\",\"ts\":" << ts
+       << ",\"dur\":" << dur << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool TraceRecorder::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* rec = new TraceRecorder();  // leaked: no shutdown order issues
+  return *rec;
+}
+
+std::uint64_t trace_thread_ordinal() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+TraceScope::TraceScope(std::string name, std::string category)
+    : active_(enabled()), name_(std::move(name)),
+      category_(std::move(category)) {
+  if (active_) start_ns_ = monotonic_now_ns();
+}
+
+TraceScope::~TraceScope() {
+  if (!active_) return;
+  const std::uint64_t end_ns = monotonic_now_ns();
+  TraceRecorder::global().record(TraceEvent{
+      .name = name_,
+      .category = category_,
+      .start_ns = start_ns_,
+      .duration_ns = end_ns - start_ns_,
+      .tid = trace_thread_ordinal(),
+  });
+  global().record_timing_ns("span/" + name_,
+                            static_cast<double>(end_ns - start_ns_));
+}
+
+}  // namespace gear::obs

@@ -1,0 +1,92 @@
+// Chrome trace_event exporter for hot-path spans.
+//
+// Spans recorded here land in two places: a complete-event ("ph":"X")
+// entry in the global TraceRecorder (exported as a Chrome trace JSON file
+// loadable in Perfetto / chrome://tracing) and a TimingStat in the
+// metrics registry's wall-clock channel. Both are wall-clock artifacts —
+// neither participates in any bit-identity check (DESIGN.md §5f).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gear::obs {
+
+/// One complete span in the Chrome trace_event format.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint64_t tid = 0;  ///< stable per-thread ordinal, not an OS id
+};
+
+/// Bounded in-memory span buffer. Thread-safe; spans beyond the capacity
+/// are dropped (and counted) so a long-running campaign cannot grow the
+/// trace without bound.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  void record(TraceEvent event);
+  std::vector<TraceEvent> events() const;
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Chrome trace JSON: {"traceEvents":[{"name":...,"ph":"X","ts":us,
+  /// "dur":us,"pid":1,"tid":...,"cat":...}, ...]}. Timestamps convert
+  /// ns -> us as doubles (trace viewers expect microseconds).
+  std::string to_chrome_json() const;
+  bool save(const std::string& path) const;
+
+  static TraceRecorder& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Stable small ordinal for the calling thread (0 = first thread to ask).
+std::uint64_t trace_thread_ordinal();
+
+/// RAII span: on destruction records a TraceEvent into
+/// TraceRecorder::global() and a TimingStat (wall-clock channel) named
+/// "span/<name>" into MetricsRegistry's global() instance.
+class TraceScope {
+ public:
+  TraceScope(std::string name, std::string category);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool active_;
+  std::string name_;
+  std::string category_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace gear::obs
+
+#if GEAR_OBS_ENABLED
+
+#define GEAR_OBS_CONCAT_INNER_(a, b) a##b
+#define GEAR_OBS_CONCAT_(a, b) GEAR_OBS_CONCAT_INNER_(a, b)
+
+/// Wall-clock span covering the enclosing scope.
+#define GEAR_OBS_SPAN(name, category)                             \
+  ::gear::obs::TraceScope GEAR_OBS_CONCAT_(gear_obs_span_,        \
+                                           __LINE__){(name), (category)}
+
+#else  // !GEAR_OBS_ENABLED
+
+#define GEAR_OBS_SPAN(name, category) ((void)0)
+
+#endif  // GEAR_OBS_ENABLED

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #include <immintrin.h>
 #define GEAR_BITSLICED_X86_DISPATCH 1
@@ -408,6 +410,14 @@ PackGpFn pick_pack_gp() {
 
 }  // namespace
 
+const char* bitsliced_dispatch_name() {
+#ifdef GEAR_BITSLICED_X86_DISPATCH
+  if (__builtin_cpu_supports("avx512f")) return "avx512";
+  if (__builtin_cpu_supports("avx2")) return "avx2";
+#endif
+  return "scalar";
+}
+
 void transpose64(std::uint64_t m[64]) {
 #ifdef GEAR_BITSLICED_X86_DISPATCH
   static const TransposeFn impl = pick_transpose();
@@ -422,6 +432,12 @@ const std::uint64_t* pack_gp(const std::uint64_t* a, const std::uint64_t* b,
                              std::uint64_t rows_p[64]) {
   assert(count >= 0 && count <= kBitslicedLanes);
   assert(width >= 1 && width <= 64);
+  // Block/lane totals are fixed by the shard geometry (§5a), never by the
+  // schedule — deterministic channel. The dispatch label is recorded at
+  // run level (record_stream_obs) where one mutexed set per run is free;
+  // the per-block path here stays at two relaxed atomic adds.
+  GEAR_OBS_COUNT("bitsliced/pack_gp_calls", 1);
+  GEAR_OBS_COUNT("bitsliced/lanes_packed", static_cast<std::uint64_t>(count));
 #ifdef GEAR_BITSLICED_X86_DISPATCH
   static const PackGpFn impl = pick_pack_gp();
   return impl(a, b, count, width, rows_g, rows_p);

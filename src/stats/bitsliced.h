@@ -38,6 +38,11 @@ constexpr std::uint64_t lane_mask(int count) {
 /// support one (identical results, ~4x faster).
 void transpose64(std::uint64_t m[64]);
 
+/// Which transpose/pack kernel the runtime dispatch picks on this host:
+/// "avx512", "avx2" or "scalar". Also exported as the observability
+/// label "bitsliced/dispatch".
+const char* bitsliced_dispatch_name();
+
 /// Fused generate/propagate packing for word-level adder kernels: computes
 /// g = a&b and p = a^b (operands masked to `width` bits) for `count` <= 64
 /// lane pairs and transposes both into bit planes. Bitwise ops commute

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gear::stats {
 
 // One for_each invocation. Heap-allocated and shared with the workers so
@@ -54,11 +57,19 @@ Rng ParallelExecutor::shard_rng(std::uint64_t master_seed,
   return Rng::substream(master_seed, "shard:" + std::to_string(shard_index));
 }
 
-void ParallelExecutor::run_job(Job& job) {
+void ParallelExecutor::run_job(Job& job, bool caller) {
+  // Which thread claims which index is scheduling-dependent, so the
+  // claim tallies live in the wall-clock channel only.
   for (;;) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.n) return;
+    if (caller) {
+      GEAR_OBS_RUNTIME_COUNT("parallel/claims_caller", 1);
+    } else {
+      GEAR_OBS_RUNTIME_COUNT("parallel/claims_worker", 1);
+    }
     try {
+      GEAR_OBS_SPAN("parallel/shard_work", "parallel");
       (*job.fn)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lk(job.error_mu);
@@ -80,7 +91,7 @@ void ParallelExecutor::worker_loop() {
       job = job_;
     }
     if (!job) continue;
-    run_job(*job);
+    run_job(*job, /*caller=*/false);
     if (job->completed.load(std::memory_order_acquire) >= job->n) {
       // Possibly the last finisher: wake the caller. The lock pairs with
       // the caller's predicate check so the notify cannot be lost.
@@ -93,11 +104,16 @@ void ParallelExecutor::worker_loop() {
 void ParallelExecutor::for_each(std::size_t n,
                                 const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Job geometry is a pure function of the workload (never of the thread
+  // count), so these two counters sit in the deterministic channel.
+  GEAR_OBS_COUNT("parallel/for_each_calls", 1);
+  GEAR_OBS_COUNT("parallel/indices", n);
+  GEAR_OBS_SPAN("parallel/for_each", "parallel");
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->n = n;
   if (workers_.empty()) {
-    run_job(*job);
+    run_job(*job, /*caller=*/true);
   } else {
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -105,7 +121,7 @@ void ParallelExecutor::for_each(std::size_t n,
       ++epoch_;
     }
     work_cv_.notify_all();
-    run_job(*job);  // the calling thread works too
+    run_job(*job, /*caller=*/true);  // the calling thread works too
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [&] {
       return job->completed.load(std::memory_order_acquire) >= job->n;

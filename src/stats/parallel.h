@@ -81,7 +81,7 @@ class ParallelExecutor {
  private:
   struct Job;
   void worker_loop();
-  static void run_job(Job& job);
+  static void run_job(Job& job, bool caller);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

@@ -1,0 +1,20 @@
+// Custom gtest main: recognizes --update_goldens, which rewrites the
+// checked-in golden snapshots (tests/goldens/) from the current output
+// instead of comparing against them. Usage:
+//
+//   ./gear_tests --gtest_filter='GoldenTables.*' --update_goldens
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "test_util.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update_goldens") == 0) {
+      gear::testutil::update_goldens_flag() = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,298 @@
+// Adapter-parameterized adder properties: every way this repository
+// evaluates a GeAr addition — the scalar model (strict, relaxed and
+// custom layouts), the all-enabled Corrector, the bitsliced 64-lane
+// kernel, the BitVec-backed wide adder and the signed two's-complement
+// view — must satisfy the same algebra: commutativity, exact-mode
+// identity with a + b, closure under the width mask, and
+// detect => correction-restores-exactness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adder.h"
+#include "core/bitsliced_adder.h"
+#include "core/bitvec.h"
+#include "core/config.h"
+#include "core/correction.h"
+#include "core/signed_ops.h"
+#include "core/wide_adder.h"
+#include "stats/distributions.h"
+#include "test_util.h"
+
+namespace gear::core {
+namespace {
+
+/// One uniform view over an approximate-adder implementation. All
+/// functions take raw N-bit patterns (high operand bits must be ignored
+/// by every implementation) and return the adapter's result pattern.
+struct Adapter {
+  std::string name;
+  int n = 0;
+  std::uint64_t result_mask = 0;  ///< all bits the adapter may set
+  bool exact_mode = false;        ///< guarantees approx == a + b
+  std::function<std::uint64_t(std::uint64_t, std::uint64_t)> approx;
+  std::function<std::uint64_t(std::uint64_t, std::uint64_t)> exact;
+  /// First-pass detection; null when the adapter exposes none.
+  std::function<bool(std::uint64_t, std::uint64_t)> detect;
+  /// Fully-corrected result; null when no correction path exists (wide).
+  std::function<std::uint64_t(std::uint64_t, std::uint64_t)> corrected;
+};
+
+std::uint64_t sum_mask(int n) { return (n + 1 < 64) ? (2ULL << n) - 1 : ~0ULL; }
+
+Adapter make_scalar(const std::string& name, const GeArConfig& cfg) {
+  auto adder = std::make_shared<GeArAdder>(cfg);
+  auto corr = std::make_shared<Corrector>(cfg, Corrector::all_enabled());
+  Adapter a;
+  a.name = name;
+  a.n = cfg.n();
+  a.result_mask = sum_mask(cfg.n());
+  a.exact_mode = cfg.is_exact();
+  a.approx = [adder](std::uint64_t x, std::uint64_t y) {
+    return adder->add_value(x, y);
+  };
+  a.exact = [adder](std::uint64_t x, std::uint64_t y) {
+    return adder->exact(x, y);
+  };
+  a.detect = [adder](std::uint64_t x, std::uint64_t y) {
+    return adder->add(x, y).error_detected();
+  };
+  a.corrected = [corr](std::uint64_t x, std::uint64_t y) {
+    return corr->add(x, y).sum;
+  };
+  return a;
+}
+
+Adapter make_corrected(const std::string& name, const GeArConfig& cfg) {
+  auto corr = std::make_shared<Corrector>(cfg, Corrector::all_enabled());
+  auto adder = std::make_shared<GeArAdder>(cfg);
+  Adapter a;
+  a.name = name;
+  a.n = cfg.n();
+  a.result_mask = sum_mask(cfg.n());
+  // All-enabled correction restores exactness for every operand pair
+  // (pinned elsewhere); as an adapter it is an exact-mode adder.
+  a.exact_mode = true;
+  a.approx = [corr](std::uint64_t x, std::uint64_t y) {
+    return corr->add(x, y).sum;
+  };
+  a.exact = [adder](std::uint64_t x, std::uint64_t y) {
+    return adder->exact(x, y);
+  };
+  a.detect = [corr](std::uint64_t x, std::uint64_t y) {
+    return corr->add(x, y).detect_mask != 0;
+  };
+  a.corrected = a.approx;
+  return a;
+}
+
+Adapter make_bitsliced(const std::string& name, const GeArConfig& cfg) {
+  auto adder = std::make_shared<BitslicedGearAdder>(cfg);
+  auto eval_one = [adder](std::uint64_t x, std::uint64_t y,
+                          std::uint64_t correction_mask) {
+    BitslicedBatch batch;
+    adder->eval(&x, &y, 1, 0, correction_mask, batch);
+    return batch;
+  };
+  auto unpack = [adder](const std::vector<std::uint64_t>& planes) {
+    std::uint64_t out = 0;
+    adder->unpack_sums(planes, &out, 1);
+    return out;
+  };
+  Adapter a;
+  a.name = name;
+  a.n = cfg.n();
+  a.result_mask = sum_mask(cfg.n());
+  a.exact_mode = cfg.is_exact();
+  a.approx = [eval_one, unpack](std::uint64_t x, std::uint64_t y) {
+    return unpack(eval_one(x, y, 0).approx);
+  };
+  a.exact = [eval_one, unpack](std::uint64_t x, std::uint64_t y) {
+    return unpack(eval_one(x, y, 0).exact);
+  };
+  a.detect = [eval_one](std::uint64_t x, std::uint64_t y) {
+    return (eval_one(x, y, 0).any_detect & 1) != 0;
+  };
+  a.corrected = [eval_one, unpack](std::uint64_t x, std::uint64_t y) {
+    return unpack(eval_one(x, y, ~0ULL).approx);
+  };
+  return a;
+}
+
+Adapter make_wide(const std::string& name, int n, int r, int p) {
+  auto layout = WideGeArLayout::make(n, r, p);
+  auto adder = std::make_shared<WideGeArAdder>(*layout);
+  Adapter a;
+  a.name = name;
+  a.n = n;
+  a.result_mask = sum_mask(n);
+  a.approx = [adder, n](std::uint64_t x, std::uint64_t y) {
+    return adder->add(BitVec(n, x), BitVec(n, y)).sum.to_u64();
+  };
+  a.exact = [adder, n](std::uint64_t x, std::uint64_t y) {
+    return adder->exact(BitVec(n, x), BitVec(n, y)).to_u64();
+  };
+  a.detect = [adder, n](std::uint64_t x, std::uint64_t y) {
+    return adder->add(BitVec(n, x), BitVec(n, y)).error_detected();
+  };
+  // No BitVec correction path exists; the property test skips it.
+  a.corrected = nullptr;
+  return a;
+}
+
+Adapter make_signed(const std::string& name, const GeArConfig& cfg) {
+  auto adder = std::make_shared<GeArAdder>(cfg);
+  auto corr = std::make_shared<Corrector>(cfg, Corrector::all_enabled());
+  const int n = cfg.n();
+  const std::uint64_t mask = (n < 64) ? (1ULL << n) - 1 : ~0ULL;
+  Adapter a;
+  a.name = name;
+  a.n = n;
+  // The signed view decodes the N-bit result; no carry-out bit.
+  a.result_mask = mask;
+  a.exact_mode = cfg.is_exact();
+  a.approx = [adder, n](std::uint64_t x, std::uint64_t y) {
+    const SignedAddResult r =
+        signed_add(*adder, to_signed(x, n), to_signed(y, n));
+    return from_signed(r.value, n);
+  };
+  a.exact = [mask](std::uint64_t x, std::uint64_t y) {
+    return ((x & mask) + (y & mask)) & mask;  // wrap-around semantics
+  };
+  a.detect = [adder, n](std::uint64_t x, std::uint64_t y) {
+    return signed_add(*adder, to_signed(x, n), to_signed(y, n)).error_detected;
+  };
+  a.corrected = [corr, mask](std::uint64_t x, std::uint64_t y) {
+    return corr->add(x & mask, y & mask).sum & mask;
+  };
+  return a;
+}
+
+GeArConfig exact_config(int n) {
+  for (const auto& c : GeArConfig::enumerate(n, /*include_exact=*/true)) {
+    if (c.is_exact()) return c;
+  }
+  return GeArConfig::must(n, n / 2, n / 2);  // unreachable
+}
+
+std::vector<Adapter> all_adapters() {
+  const auto strict16 = GeArConfig::must(16, 4, 4);
+  const auto strict32 = GeArConfig::must(32, 8, 8);
+  const auto relaxed63 = *GeArConfig::make_relaxed(63, 8, 8);
+  const auto custom16 =
+      *GeArConfig::make_custom(16, 4, {{4, 2}, {4, 4}, {4, 6}});
+  const auto overlap12 =
+      *GeArConfig::make_custom(12, 2, {{1, 2}, {1, 3}, {2, 2}, {6, 3}});
+  return {
+      make_scalar("scalar_strict16", strict16),
+      make_scalar("scalar_strict32", strict32),
+      make_scalar("scalar_relaxed63", relaxed63),
+      make_scalar("scalar_custom16", custom16),
+      make_scalar("scalar_overlap12", overlap12),
+      make_scalar("scalar_exact16", exact_config(16)),
+      make_corrected("corrected_strict16", strict16),
+      make_corrected("corrected_custom16", custom16),
+      make_bitsliced("bitsliced_strict16", strict16),
+      make_bitsliced("bitsliced_relaxed63", relaxed63),
+      make_bitsliced("bitsliced_overlap12", overlap12),
+      make_wide("wide48", 48, 8, 8),
+      make_wide("wide63", 63, 4, 4),
+      make_signed("signed16", strict16),
+      make_signed("signed_custom16", custom16),
+  };
+}
+
+/// Random pairs plus the corner patterns every width must survive.
+std::vector<stats::OperandPair> operands_for(int n) {
+  auto ops = testutil::draw_operands(n, 300, testutil::kSeed);
+  const std::uint64_t mask = (n < 64) ? (1ULL << n) - 1 : ~0ULL;
+  const std::uint64_t alt = 0x5555555555555555ULL & mask;
+  ops.push_back({0, 0});
+  ops.push_back({mask, mask});
+  ops.push_back({mask, 1});
+  ops.push_back({alt, ~alt & mask});
+  ops.push_back({alt, alt});
+  return ops;
+}
+
+class AdapterProperties : public ::testing::TestWithParam<Adapter> {};
+
+TEST_P(AdapterProperties, Commutative) {
+  const Adapter& a = GetParam();
+  for (const auto& [x, y] : operands_for(a.n)) {
+    ASSERT_EQ(a.approx(x, y), a.approx(y, x)) << a.name;
+    if (a.detect) {
+      ASSERT_EQ(a.detect(x, y), a.detect(y, x)) << a.name;
+    }
+  }
+}
+
+TEST_P(AdapterProperties, ExactModeIsIdentityWithPlus) {
+  const Adapter& a = GetParam();
+  bool approximated = false;
+  for (const auto& [x, y] : operands_for(a.n)) {
+    const std::uint64_t want = a.exact(x, y);
+    const std::uint64_t got = a.approx(x, y);
+    if (a.exact_mode) {
+      ASSERT_EQ(got, want) << a.name;
+    } else if (got != want) {
+      approximated = true;
+    }
+  }
+  // The non-exact adapters must actually approximate somewhere on this
+  // operand set — otherwise the property above tests nothing.
+  if (!a.exact_mode && a.n <= 16) {
+    EXPECT_TRUE(approximated) << a.name;
+  }
+}
+
+TEST_P(AdapterProperties, ClosedUnderWidthMask) {
+  const Adapter& a = GetParam();
+  const std::uint64_t op_mask = (a.n < 64) ? (1ULL << a.n) - 1 : ~0ULL;
+  for (const auto& [x, y] : operands_for(a.n)) {
+    const std::uint64_t sum = a.approx(x, y);
+    ASSERT_EQ(sum & ~a.result_mask, 0u) << a.name;
+    // High garbage bits of the operands never leak into the result.
+    if (a.n < 64) {
+      const std::uint64_t junk = ~op_mask;
+      ASSERT_EQ(a.approx(x | junk, y), sum) << a.name;
+      ASSERT_EQ(a.approx(x, y | junk), sum) << a.name;
+    }
+  }
+}
+
+TEST_P(AdapterProperties, DetectImpliesCorrectionRestoresExactness) {
+  const Adapter& a = GetParam();
+  if (!a.detect || !a.corrected) {
+    GTEST_SKIP() << a.name << " has no detect+correction pair";
+  }
+  int detected = 0;
+  for (const auto& [x, y] : operands_for(a.n)) {
+    const std::uint64_t want = a.exact(x, y);
+    if (a.detect(x, y)) {
+      ++detected;
+      ASSERT_EQ(a.corrected(x, y), want) << a.name;
+    } else {
+      // No detect fired: correction must leave the result untouched, and
+      // by detection soundness the untouched result is already exact.
+      ASSERT_EQ(a.corrected(x, y), a.approx(x, y)) << a.name;
+      ASSERT_EQ(a.approx(x, y), want) << a.name;
+    }
+  }
+  if (!a.exact_mode && a.n <= 16) {
+    EXPECT_GT(detected, 0) << a.name << ": no detect ever fired";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Adapters, AdapterProperties,
+                         ::testing::ValuesIn(all_adapters()),
+                         [](const ::testing::TestParamInfo<Adapter>& param) {
+                           return param.param.name;
+                         });
+
+}  // namespace
+}  // namespace gear::core

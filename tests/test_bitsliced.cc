@@ -31,6 +31,7 @@
 #include "stats/distributions.h"
 #include "stats/parallel.h"
 #include "stats/rng.h"
+#include "test_util.h"
 
 namespace gear {
 namespace {
@@ -39,6 +40,8 @@ using core::BitslicedBatch;
 using core::BitslicedGearAdder;
 using core::GeArConfig;
 using core::width_mask;
+using testutil::for_each_thread_count;
+using testutil::fuzz_configs;
 
 std::uint64_t bit(const std::vector<std::uint64_t>& planes, int p, int lane) {
   return (planes[static_cast<std::size_t>(p)] >> lane) & 1ULL;
@@ -141,17 +144,6 @@ TEST(PackGp, MatchesPackOfScalarGp) {
 // --------------------------------------------------------------------------
 // BitslicedGearAdder vs GeArAdder / Corrector (>= 1e5 vectors per config)
 // --------------------------------------------------------------------------
-
-std::vector<GeArConfig> fuzz_configs() {
-  return {
-      GeArConfig::must(8, 2, 2),
-      GeArConfig::must(16, 4, 4),
-      GeArConfig::must(32, 8, 8),
-      GeArConfig::must(48, 8, 16),
-      *GeArConfig::make_relaxed(63, 8, 8),
-      *GeArConfig::make_custom(16, 4, {{4, 2}, {4, 4}, {4, 6}}),
-  };
-}
 
 TEST(BitslicedGearAdder, DifferentialFuzzVsScalar) {
   constexpr int kBlocks = 1565;  // 1565 * 64 = 100160 >= 1e5 vectors/config
@@ -417,8 +409,7 @@ TEST(McKernels, ParallelDriversBitIdenticalAcrossThreads) {
   const std::uint64_t trials = 10000, seed = 99, shard = 1000;
   std::optional<core::McErrorEstimate> ref;
   std::optional<std::map<std::int64_t, std::uint64_t>> ref_hist;
-  for (int threads : {1, 2, 8}) {
-    stats::ParallelExecutor exec(threads);
+  for_each_thread_count([&](stats::ParallelExecutor& exec, int threads) {
     for (auto kernel : {core::McKernel::kScalar, core::McKernel::kBitsliced}) {
       const auto est =
           core::mc_error_probability(cfg, trials, seed, exec, shard, kernel);
@@ -430,7 +421,7 @@ TEST(McKernels, ParallelDriversBitIdenticalAcrossThreads) {
       if (!ref_hist) ref_hist = hist.entries();
       EXPECT_EQ(hist.entries(), *ref_hist) << threads;
     }
-  }
+  });
 }
 
 // --------------------------------------------------------------------------
@@ -476,15 +467,14 @@ TEST(StreamEngineBitsliced, ParallelRunBitIdenticalAcrossThreads) {
     return std::make_unique<stats::UniformSource>(16, rng);
   };
   std::optional<apps::StreamStats> ref;
-  for (int threads : {1, 2, 8}) {
-    stats::ParallelExecutor exec(threads);
+  for_each_thread_count([&](stats::ParallelExecutor& exec, int threads) {
     const auto st = engine.run(factory, 20000, 77, exec, 1000);
     if (!ref) ref = st;
     EXPECT_EQ(st.cycles, ref->cycles) << threads;
     EXPECT_EQ(st.stall_cycles, ref->stall_cycles) << threads;
     EXPECT_EQ(st.corrected_ops, ref->corrected_ops) << threads;
     EXPECT_EQ(st.wrong_results, ref->wrong_results) << threads;
-  }
+  });
 }
 
 // --------------------------------------------------------------------------

@@ -13,9 +13,13 @@
 #include "netlist/circuits.h"
 #include "stats/parallel.h"
 #include "synth/report.h"
+#include "test_util.h"
 
 namespace gear::analysis {
 namespace {
+
+using testutil::for_each_thread_count;
+using testutil::probe_configs;
 
 CachedSynth direct_synth(const core::GeArConfig& cfg, bool with_detection) {
   const auto rep = synth::synthesize(
@@ -28,21 +32,6 @@ CachedSynth direct_synth(const core::GeArConfig& cfg, bool with_detection) {
   out.delay_ns = rep.delay_ns;
   out.sum_delay_ns = synth::sum_path_delay(rep);
   return out;
-}
-
-std::vector<core::GeArConfig> probe_configs() {
-  std::vector<core::GeArConfig> cfgs = core::GeArConfig::enumerate(16);
-  for (int r = 1; r < 16; ++r) {
-    for (const auto& cfg : core::GeArConfig::enumerate_relaxed_r(16, r)) {
-      if (!cfg.is_exact()) cfgs.push_back(cfg);
-    }
-  }
-  // Strictly increasing window starts: fast-path eligible.
-  cfgs.push_back(*core::GeArConfig::make_custom(16, 4, {{4, 2}, {4, 3}, {4, 4}}));
-  // Equal window starts: hash-consed chain prefixes, full synthesis.
-  cfgs.push_back(
-      *core::GeArConfig::make_custom(12, 2, {{1, 2}, {1, 3}, {2, 2}, {6, 3}}));
-  return cfgs;
 }
 
 TEST(DseCache, BitIdenticalToDirectSynthesis) {
@@ -170,8 +159,7 @@ TEST(DseCache, RankConfigsDeterministicAcrossThreadCountsAndCaching) {
   const auto serial = rank_configs(req);
   ASSERT_FALSE(serial.empty());
 
-  for (int threads : {1, 2, 8}) {
-    stats::ParallelExecutor exec(threads);
+  for_each_thread_count([&](stats::ParallelExecutor& exec, int) {
     DseCache cache;
     SweepContext ctx{&exec, &cache};
     const auto cold = rank_configs(req, ctx);
@@ -185,7 +173,7 @@ TEST(DseCache, RankConfigsDeterministicAcrossThreadCountsAndCaching) {
     expect_same_ranking(serial, exec_only);
     const auto cache_only = rank_configs(req, SweepContext{nullptr, &cache});
     expect_same_ranking(serial, cache_only);
-  }
+  });
 }
 
 TEST(DseCache, SelectConfigMatchesSerialUnderContext) {

@@ -13,37 +13,16 @@
 #include "stats/parallel.h"
 #include "stats/pmf.h"
 #include "stats/rng.h"
+#include "test_util.h"
 
 namespace gear::core {
 namespace {
 
-/// Exhaustive signed-error PMF over all 2^(2N) operand pairs (N <= 10 in
-/// these tests). Every mass is count / 4^N, an exact dyadic rational.
-std::map<std::int64_t, double> exhaustive_pmf(const GeArConfig& cfg) {
-  const GeArAdder adder(cfg);
-  const std::uint64_t lim = 1ULL << cfg.n();
-  std::map<std::int64_t, std::uint64_t> counts;
-  for (std::uint64_t a = 0; a < lim; ++a) {
-    for (std::uint64_t b = 0; b < lim; ++b) {
-      const std::int64_t err =
-          static_cast<std::int64_t>(adder.add_value(a, b)) -
-          static_cast<std::int64_t>(adder.exact(a, b));
-      ++counts[err];
-    }
-  }
-  const double total = static_cast<double>(lim) * static_cast<double>(lim);
-  std::map<std::int64_t, double> pmf;
-  for (const auto& [key, count] : counts) {
-    pmf[key] = static_cast<double>(count) / total;
-  }
-  return pmf;
-}
-
-/// The DP's masses are the same dyadic rationals the enumeration counts,
-/// so the comparison is ==, not NEAR.
+/// The DP's masses are the same dyadic rationals the exhaustive
+/// enumeration counts, so the comparison is ==, not NEAR.
 void expect_pmf_matches_exhaustive(const GeArConfig& cfg) {
   const stats::Pmf pmf = exact_error_distribution(cfg);
-  const auto truth = exhaustive_pmf(cfg);
+  const auto truth = testutil::exhaustive_error_pmf(cfg);
   ASSERT_EQ(pmf.entries().size(), truth.size()) << cfg.name();
   for (const auto& [key, mass] : truth) {
     EXPECT_EQ(pmf.mass(key), mass) << cfg.name() << " key " << key;

@@ -1,0 +1,73 @@
+// Golden-snapshot tests for the paper-table bench output. The tables are
+// fully deterministic (exhaustive NED, analytic synthesis, fixed-seed MC
+// on the §5a sharded driver), so the exact stdout text of
+// bench_table2_gda_vs_gear and bench_table3_error_probability is pinned
+// byte-for-byte against checked-in goldens.
+//
+// After an intentional change to the tables, refresh with:
+//   ./gear_tests --gtest_filter='GoldenTables.*' --update_goldens
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench/paper_tables.h"
+#include "stats/parallel.h"
+#include "test_util.h"
+
+#ifndef GEAR_GOLDEN_DIR
+#error "GEAR_GOLDEN_DIR must point at tests/goldens"
+#endif
+
+namespace gear {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(GEAR_GOLDEN_DIR) + "/" + name;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void expect_matches_golden(const std::string& name, const std::string& got) {
+  const std::string path = golden_path(name);
+  if (testutil::update_goldens_flag()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << got;
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    std::printf("[  UPDATED ] %s (%zu bytes)\n", path.c_str(), got.size());
+    return;
+  }
+  const auto want = read_file(path);
+  ASSERT_TRUE(want) << "missing golden " << path
+                    << " — run with --update_goldens to create it";
+  EXPECT_EQ(got, *want)
+      << "output of " << name << " diverged from its golden snapshot; if "
+      << "the change is intentional, rerun with --update_goldens";
+}
+
+TEST(GoldenTables, Table2GdaVsGear) {
+  const auto t = benchtables::table2_gda_vs_gear();
+  EXPECT_EQ(t.table.rows(), 8u);
+  expect_matches_golden("table2_gda_vs_gear.txt", benchtables::render(t));
+}
+
+TEST(GoldenTables, Table3ErrorProbability) {
+  // Any executor width renders the same bytes (§5a); CI's physical core
+  // count keeps the 4x1e6-trial referee quick.
+  stats::ParallelExecutor exec(2);
+  const auto t = benchtables::table3_error_probability(exec);
+  EXPECT_EQ(t.table.rows(), 4u);
+  expect_matches_golden("table3_error_probability.txt", benchtables::render(t));
+}
+
+}  // namespace
+}  // namespace gear

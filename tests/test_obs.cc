@@ -1,0 +1,339 @@
+// Observability-layer tests: deterministic-channel bit-identity across
+// thread counts (registry merge and the instrumented engines), JSON
+// round-trips, wall-clock-channel exclusion from equality, and the
+// GEAR_OBS off switches (compile-time and runtime).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/dse_cache.h"
+#include "analysis/selector.h"
+#include "analysis/vulnerability.h"
+#include "apps/stream_engine.h"
+#include "core/config.h"
+#include "netlist/circuits.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stats/distributions.h"
+#include "stats/parallel.h"
+#include "test_util.h"
+
+namespace gear {
+namespace {
+
+using testutil::for_each_thread_count;
+using testutil::kSeed;
+using testutil::kShard;
+
+/// Forces recording on for the test body and restores the environment
+/// default afterwards, so suites pass under GEAR_OBS=off too.
+class ObsEnabledScope {
+ public:
+  ObsEnabledScope() { obs::set_runtime_enabled_for_testing(true); }
+  ~ObsEnabledScope() { obs::set_runtime_enabled_for_testing(std::nullopt); }
+};
+
+/// A deterministic per-shard workload: every quantity recorded is a pure
+/// function of the shard index.
+void record_shard(obs::MetricsRegistry& reg, std::size_t shard) {
+  reg.add("work/items", 10 + shard);
+  reg.add("work/shards", 1);
+  reg.set_gauge("work/last_ratio", 1.0 / static_cast<double>(shard + 1));
+  reg.set_label("work/phase", shard % 2 ? "odd" : "even");
+  const obs::HistogramSpec spec{0.0, 1.0, 8};
+  for (std::size_t i = 0; i < 5; ++i) {
+    reg.record("work/ratio", spec,
+               static_cast<double>(shard * 5 + i) / 100.0);
+  }
+  // Wall-clock channel: deliberately shard-dependent noise.
+  reg.add_runtime("work/steals", shard * 3 + 1);
+  reg.record_timing_ns("work/span", static_cast<double>(shard) * 7.5);
+}
+
+TEST(Obs, ShardMergeBitIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kShards = 23;
+
+  // Canonical reference: sequential shard loop, merge in index order.
+  obs::MetricsRegistry ref;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    obs::MetricsRegistry shard;
+    record_shard(shard, s);
+    ref.merge(shard);
+  }
+
+  for_each_thread_count([&](stats::ParallelExecutor& exec, int threads) {
+    std::vector<obs::MetricsRegistry> shards(kShards);
+    exec.for_each(kShards,
+                  [&](std::size_t s) { record_shard(shards[s], s); });
+    obs::MetricsRegistry total;
+    for (const auto& shard : shards) total.merge(shard);
+
+    EXPECT_TRUE(total.deterministic_equal(ref)) << "threads=" << threads;
+    // Spot-check the pooled values themselves.
+    EXPECT_EQ(total.counter("work/shards"), kShards);
+    EXPECT_EQ(total.counter("work/items"),
+              10 * kShards + kShards * (kShards - 1) / 2);
+    EXPECT_EQ(total.label("work/phase"), "even");  // last shard is 22
+    const auto hist = total.histogram("work/ratio");
+    ASSERT_TRUE(hist);
+    EXPECT_EQ(hist->samples(), 5 * kShards);
+    // The wall-clock channel pooled too (it is just not part of equality).
+    EXPECT_EQ(total.runtime("work/steals"),
+              3 * kShards * (kShards - 1) / 2 + kShards);
+    const auto timing = total.timing("work/span");
+    ASSERT_TRUE(timing);
+    EXPECT_EQ(timing->count, kShards);
+  });
+}
+
+TEST(Obs, DeterministicEqualIgnoresWallClockChannel) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.add("ops", 7);
+  b.add("ops", 7);
+  a.set_gauge("ratio", 0.25);
+  b.set_gauge("ratio", 0.25);
+
+  // Divergent runtime counters and timings: still deterministically equal.
+  a.add_runtime("cache/hits", 100);
+  b.add_runtime("cache/hits", 3);
+  b.add_runtime("cache/misses", 9);
+  a.record_timing_ns("span", 123.0);
+  EXPECT_TRUE(a.deterministic_equal(b));
+  EXPECT_TRUE(b.deterministic_equal(a));
+
+  // Any deterministic divergence breaks equality.
+  b.add("ops", 1);
+  EXPECT_FALSE(a.deterministic_equal(b));
+  b.add("ops", 0);  // creating a key alone does not restore equality
+  EXPECT_FALSE(a.deterministic_equal(b));
+
+  obs::MetricsRegistry c = a;
+  EXPECT_TRUE(c.deterministic_equal(a));
+  c.set_label("mode", "fast");
+  EXPECT_FALSE(c.deterministic_equal(a));
+}
+
+TEST(Obs, JsonRoundTripIsBitExact) {
+  obs::MetricsRegistry reg;
+  reg.add("ops", 41);
+  reg.add("empty_after_clear", 0);
+  reg.set_gauge("pi_ish", 3.141592653589793);
+  reg.set_gauge("tiny", 4.9406564584124654e-324);  // denormal min
+  reg.set_label("dispatch", "avx2");
+  reg.set_label("needs \"escaping\"\n", "tab\there");
+  const obs::HistogramSpec spec{-2.0, 2.0, 4};
+  for (double v : {-3.0, -1.5, 0.0, 0.1, 1.99, 2.0, 7.0}) {
+    reg.record("err", spec, v);
+  }
+  reg.add_runtime("hits", 12);
+  reg.record_timing_ns("span", 1234.5);
+  reg.record_timing_ns("span", 2.25);
+
+  const std::string json = reg.to_json();
+  const auto parsed = obs::MetricsRegistry::from_json(json);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->deterministic_equal(reg));
+  // Bit-exact both channels: the re-serialization is byte-identical.
+  EXPECT_EQ(parsed->to_json(), json);
+
+  EXPECT_EQ(parsed->counter("ops"), 41u);
+  EXPECT_EQ(parsed->gauge("tiny"), 4.9406564584124654e-324);
+  EXPECT_EQ(parsed->label("needs \"escaping\"\n"), "tab\there");
+  const auto hist = parsed->histogram("err");
+  ASSERT_TRUE(hist);
+  EXPECT_EQ(hist->underflow, 1u);
+  EXPECT_EQ(hist->overflow, 2u);
+  EXPECT_EQ(hist->samples(), 7u);
+  EXPECT_EQ(parsed->runtime("hits"), 12u);
+  const auto timing = parsed->timing("span");
+  ASSERT_TRUE(timing);
+  EXPECT_EQ(timing->count, 2u);
+  EXPECT_EQ(timing->min_ns, 2.25);
+
+  EXPECT_FALSE(obs::MetricsRegistry::from_json("not json"));
+  EXPECT_FALSE(obs::MetricsRegistry::from_json(json + "trailing"));
+}
+
+TEST(Obs, HistogramSpecIsPartOfTheIdentity) {
+  obs::MetricsRegistry reg;
+  reg.record("h", {0.0, 1.0, 4}, 0.5);
+  EXPECT_THROW(reg.record("h", {0.0, 2.0, 4}, 0.5), std::invalid_argument);
+  EXPECT_THROW(reg.record("bad", {1.0, 0.0, 4}, 0.5), std::invalid_argument);
+  EXPECT_THROW(reg.record("bad", {0.0, 1.0, 0}, 0.5), std::invalid_argument);
+
+  obs::MetricsRegistry other;
+  other.record("h", {0.0, 2.0, 4}, 0.5);
+  EXPECT_THROW(reg.merge(other), std::invalid_argument);
+}
+
+TEST(Obs, CounterHandlesSurviveClear) {
+  obs::MetricsRegistry reg;
+  obs::Counter& cell = reg.counter_handle("persistent");
+  cell.add(5);
+  EXPECT_EQ(reg.counter("persistent"), 5u);
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+  // The cell is still the live storage for the (zeroed) counter.
+  cell.add(2);
+  EXPECT_EQ(reg.counter("persistent"), 2u);
+  EXPECT_EQ(&cell, &reg.counter_handle("persistent"));
+}
+
+TEST(Obs, RuntimeSwitchGatesTheMacros) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "instrumentation compiled out";
+  }
+  obs::MetricsRegistry& g = obs::global();
+  g.clear();
+  obs::set_runtime_enabled_for_testing(false);
+  EXPECT_FALSE(obs::enabled());
+  GEAR_OBS_COUNT("test_obs/gated", 3);
+  GEAR_OBS_RUNTIME_COUNT("test_obs/gated_rt", 3);
+  GEAR_OBS_LABEL("test_obs/gated_label", "x");
+  EXPECT_EQ(g.counter("test_obs/gated"), 0u);
+  EXPECT_EQ(g.runtime("test_obs/gated_rt"), 0u);
+  EXPECT_FALSE(g.label("test_obs/gated_label"));
+
+  obs::set_runtime_enabled_for_testing(true);
+  EXPECT_TRUE(obs::enabled());
+  GEAR_OBS_COUNT("test_obs/gated", 3);
+  GEAR_OBS_RUNTIME_COUNT("test_obs/gated_rt", 3);
+  GEAR_OBS_LABEL("test_obs/gated_label", "x");
+  EXPECT_EQ(g.counter("test_obs/gated"), 3u);
+  EXPECT_EQ(g.runtime("test_obs/gated_rt"), 3u);
+  EXPECT_EQ(g.label("test_obs/gated_label"), "x");
+  obs::set_runtime_enabled_for_testing(std::nullopt);
+  g.clear();
+}
+
+TEST(Obs, CompiledOutMacrosRecordNothing) {
+  if (obs::kCompiledIn) {
+    GTEST_SKIP() << "only meaningful in a GEAR_OBS=OFF build";
+  }
+  // In the OFF build the macros expand to ((void)0): no registry symbols
+  // are referenced from instrumented call sites at all, so the global
+  // registry must stay empty no matter what runs.
+  obs::MetricsRegistry& g = obs::global();
+  g.clear();
+  GEAR_OBS_COUNT("test_obs/off", 1);
+  GEAR_OBS_RUNTIME_COUNT("test_obs/off_rt", 1);
+  GEAR_OBS_LABEL("test_obs/off_label", "x");
+  GEAR_OBS_SPAN("test_obs/off_span", "test");
+  EXPECT_TRUE(g.empty());
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(Obs, ScopedTimerLandsInWallClockChannelOnly) {
+  ObsEnabledScope on;
+  obs::MetricsRegistry reg;
+  {
+    obs::ScopedTimer t(reg, "scoped");
+    obs::ScopedTimer t2(reg, "scoped");
+  }
+  if (!obs::kCompiledIn) {
+    // ScopedTimer honors the same master gate as the macros: in a
+    // GEAR_OBS=OFF build it records nothing even with runtime forced on.
+    EXPECT_TRUE(reg.empty());
+    return;
+  }
+  const auto timing = reg.timing("scoped");
+  ASSERT_TRUE(timing);
+  EXPECT_EQ(timing->count, 2u);
+  EXPECT_GE(timing->max_ns, timing->min_ns);
+  EXPECT_TRUE(reg.deterministic_equal(obs::MetricsRegistry{}));
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(Obs, TraceRecorderExportsChromeFormat) {
+  ObsEnabledScope on;
+  obs::TraceRecorder rec(4);
+  rec.record({"alpha", "cat", 1000, 2500, 0});
+  rec.record({"needs \"quote\"", "cat", 4000, 1, 1});
+  const std::string json = rec.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // ns -> us with three decimals: 1000 ns = 1.000 us, dur 2.500 us.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quote\\\""), std::string::npos);
+
+  // Capacity bound: drops are counted, never reallocated into the hot path.
+  for (int i = 0; i < 10; ++i) rec.record({"spill", "cat", 0, 1, 0});
+  EXPECT_EQ(rec.events().size(), 4u);
+  EXPECT_EQ(rec.dropped(), 8u);
+  rec.clear();
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+// --- acceptance pin: engine counters across thread counts -----------------
+//
+// The ISSUE.md criterion: metrics counters emitted by StreamAdderEngine,
+// run_fault_campaign and rank_configs are bit-identical across executor
+// thread counts {1, 2, 8}. Each workload runs once per thread count
+// against a cleared global registry; the deterministic channels of the
+// snapshots must match bit-for-bit (the wall-clock channel is free to
+// differ and does).
+
+obs::MetricsRegistry run_instrumented_workloads(stats::ParallelExecutor& exec) {
+  obs::global().clear();
+
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  const apps::StreamAdderEngine engine(cfg, core::Corrector::all_enabled());
+  engine.run(
+      [](stats::Rng rng) {
+        return std::make_unique<stats::UniformSource>(16, std::move(rng));
+      },
+      3 * kShard + 17, kSeed, exec, kShard);
+
+  analysis::FaultCampaignOptions opt;
+  opt.samples = 2048;
+  opt.shard_size = 512;
+  analysis::run_fault_campaign(
+      netlist::build_gear(core::GeArConfig::must(12, 4, 4)), opt, exec);
+
+  analysis::SelectionRequest req;
+  req.n = 16;
+  req.max_error_probability = 0.2;
+  analysis::DseCache cache;
+  analysis::rank_configs(req, analysis::SweepContext{&exec, &cache});
+
+  obs::MetricsRegistry snapshot = obs::global();
+  obs::global().clear();
+  return snapshot;
+}
+
+TEST(Obs, EngineCountersBitIdenticalAcrossThreadCounts) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "instrumentation compiled out";
+  }
+  ObsEnabledScope on;
+  std::optional<obs::MetricsRegistry> ref;
+  for_each_thread_count([&](stats::ParallelExecutor& exec, int threads) {
+    const obs::MetricsRegistry snap = run_instrumented_workloads(exec);
+
+    // The engines really did record into every instrumented subsystem.
+    EXPECT_EQ(snap.counter("stream/runs"), 1u);
+    EXPECT_EQ(snap.counter("stream/operations"), 3 * kShard + 17);
+    EXPECT_EQ(snap.counter("campaign/injections"), 2048u);
+    EXPECT_EQ(snap.counter("selector/rank_calls"), 1u);
+    EXPECT_GT(snap.counter("parallel/for_each_calls"), 0u);
+    EXPECT_GT(snap.counter("bitsliced/lanes_packed"), 0u);
+    ASSERT_TRUE(snap.label("bitsliced/dispatch"));
+
+    if (!ref) {
+      ref = snap;
+      return;
+    }
+    EXPECT_TRUE(snap.deterministic_equal(*ref)) << "threads=" << threads;
+  });
+}
+
+}  // namespace
+}  // namespace gear

@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -18,12 +21,14 @@
 #include "stats/histogram.h"
 #include "stats/parallel.h"
 #include "stats/rng.h"
+#include "test_util.h"
 
 namespace gear {
 namespace {
 
-constexpr std::uint64_t kSeed = 2026;
-constexpr std::uint64_t kShard = 4096;  // small so even tests span many shards
+using testutil::for_each_thread_count;
+using testutil::kSeed;
+using testutil::kShard;
 
 TEST(ParallelExecutor, ForEachCoversEachIndexExactlyOnce) {
   stats::ParallelExecutor exec(4);
@@ -77,17 +82,19 @@ TEST(ParallelExecutor, McErrorProbabilityBitIdenticalAcrossThreadCounts) {
   const auto cfg = core::GeArConfig::must(16, 4, 4);
   constexpr std::uint64_t kTrials = 50000;
 
-  stats::ParallelExecutor e1(1), e2(2), e8(8);
-  const auto r1 = core::mc_error_probability(cfg, kTrials, kSeed, e1, kShard);
-  const auto r2 = core::mc_error_probability(cfg, kTrials, kSeed, e2, kShard);
-  const auto r8 = core::mc_error_probability(cfg, kTrials, kSeed, e8, kShard);
-
-  EXPECT_EQ(r1.errors, r2.errors);
-  EXPECT_EQ(r1.errors, r8.errors);
-  EXPECT_EQ(r1.trials, r8.trials);
-  EXPECT_EQ(r1.p, r8.p);  // exact fp equality: same counts, same division
-  EXPECT_EQ(r1.ci.lo, r8.ci.lo);
-  EXPECT_EQ(r1.ci.hi, r8.ci.hi);
+  std::optional<core::McErrorEstimate> ref;
+  for_each_thread_count([&](stats::ParallelExecutor& exec, int threads) {
+    const auto r = core::mc_error_probability(cfg, kTrials, kSeed, exec, kShard);
+    if (!ref) {
+      ref = r;
+      return;
+    }
+    EXPECT_EQ(r.errors, ref->errors) << threads;
+    EXPECT_EQ(r.trials, ref->trials) << threads;
+    EXPECT_EQ(r.p, ref->p) << threads;  // exact fp equality: same counts
+    EXPECT_EQ(r.ci.lo, ref->ci.lo) << threads;
+    EXPECT_EQ(r.ci.hi, ref->ci.hi) << threads;
+  });
 }
 
 TEST(ParallelExecutor, McErrorProbabilityMatchesCanonicalShardOrder) {
@@ -127,25 +134,27 @@ TEST(ParallelExecutor, McErrorProbabilityParallelWithinCiOfExact) {
 
 TEST(ParallelExecutor, McDistributionBitIdenticalAcrossThreadCounts) {
   const auto cfg = core::GeArConfig::must(16, 2, 2);
-  stats::ParallelExecutor e1(1), e2(2), e8(8);
-  const auto h1 = core::mc_error_distribution(cfg, 40000, kSeed, e1, kShard);
-  const auto h2 = core::mc_error_distribution(cfg, 40000, kSeed, e2, kShard);
-  const auto h8 = core::mc_error_distribution(cfg, 40000, kSeed, e8, kShard);
-  EXPECT_EQ(h1.entries(), h2.entries());
-  EXPECT_EQ(h1.entries(), h8.entries());
-  EXPECT_EQ(h1.total(), 40000u);
+  std::optional<std::map<std::int64_t, std::uint64_t>> ref;
+  for_each_thread_count([&](stats::ParallelExecutor& exec, int threads) {
+    const auto h = core::mc_error_distribution(cfg, 40000, kSeed, exec, kShard);
+    EXPECT_EQ(h.total(), 40000u) << threads;
+    if (!ref) ref = h.entries();
+    EXPECT_EQ(h.entries(), *ref) << threads;
+  });
 }
 
 TEST(ParallelExecutor, McDetectCountsBitIdenticalAcrossThreadCounts) {
   const auto cfg = core::GeArConfig::must(16, 2, 2);
-  stats::ParallelExecutor e1(1), e2(2), e8(8);
-  const auto p1 = core::mc_detect_count_distribution(cfg, 40000, kSeed, e1, kShard);
-  const auto p2 = core::mc_detect_count_distribution(cfg, 40000, kSeed, e2, kShard);
-  const auto p8 = core::mc_detect_count_distribution(cfg, 40000, kSeed, e8, kShard);
-  EXPECT_EQ(p1, p2);  // element-wise exact: same integer counts divided once
-  EXPECT_EQ(p1, p8);
+  std::optional<std::vector<double>> ref;
+  for_each_thread_count([&](stats::ParallelExecutor& exec, int threads) {
+    const auto p = core::mc_detect_count_distribution(cfg, 40000, kSeed, exec,
+                                                      kShard);
+    // Element-wise exact: same integer counts divided once.
+    if (!ref) ref = p;
+    EXPECT_EQ(p, *ref) << threads;
+  });
   double total = 0.0;
-  for (double p : p1) total += p;
+  for (double p : *ref) total += p;
   EXPECT_NEAR(total, 1.0, 1e-9);
 }
 
@@ -156,20 +165,22 @@ TEST(ParallelExecutor, StreamRunBitIdenticalAcrossThreadCounts) {
     return std::make_unique<stats::UniformSource>(16, rng);
   };
   constexpr std::uint64_t kOps = 60000;
-  stats::ParallelExecutor e1(1), e2(2), e8(8);
-  const auto s1 = engine.run(factory, kOps, kSeed, e1, kShard);
-  const auto s2 = engine.run(factory, kOps, kSeed, e2, kShard);
-  const auto s8 = engine.run(factory, kOps, kSeed, e8, kShard);
-
-  EXPECT_EQ(s1.operations, kOps);
-  EXPECT_EQ(s1.cycles, s2.cycles);
-  EXPECT_EQ(s1.cycles, s8.cycles);
-  EXPECT_EQ(s1.stall_cycles, s8.stall_cycles);
-  EXPECT_EQ(s1.corrected_ops, s8.corrected_ops);
-  EXPECT_EQ(s1.wrong_results, s8.wrong_results);
+  std::optional<apps::StreamStats> ref;
+  for_each_thread_count([&](stats::ParallelExecutor& exec, int threads) {
+    const auto s = engine.run(factory, kOps, kSeed, exec, kShard);
+    EXPECT_EQ(s.operations, kOps) << threads;
+    if (!ref) {
+      ref = s;
+      return;
+    }
+    EXPECT_EQ(s.cycles, ref->cycles) << threads;
+    EXPECT_EQ(s.stall_cycles, ref->stall_cycles) << threads;
+    EXPECT_EQ(s.corrected_ops, ref->corrected_ops) << threads;
+    EXPECT_EQ(s.wrong_results, ref->wrong_results) << threads;
+  });
   // Full correction: the parallel path must preserve exactness too.
-  EXPECT_EQ(s8.wrong_results, 0u);
-  EXPECT_EQ(s8.cycles, s8.operations + s8.stall_cycles);
+  EXPECT_EQ(ref->wrong_results, 0u);
+  EXPECT_EQ(ref->cycles, ref->operations + ref->stall_cycles);
 }
 
 TEST(ParallelExecutor, StreamRunMatchesCanonicalShardOrder) {

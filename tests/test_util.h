@@ -1,0 +1,115 @@
+// Shared test fixtures: the thread-count sweep of the §5a determinism
+// contract, the canonical fuzz/probe configuration sets, operand
+// generators and the exhaustive error-PMF referee. Every suite that
+// sweeps thread counts or fuzzes configurations pulls these from here so
+// "bit-identical across {1, 2, 8}" means the same thing everywhere.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/adder.h"
+#include "core/config.h"
+#include "stats/distributions.h"
+#include "stats/parallel.h"
+#include "stats/rng.h"
+
+namespace gear::testutil {
+
+/// Set by gear_test_main.cc when the binary runs with --update_goldens:
+/// golden-snapshot tests rewrite tests/goldens/ instead of comparing.
+inline bool& update_goldens_flag() {
+  static bool flag = false;
+  return flag;
+}
+
+/// Master seed / shard size used by the determinism sweeps. The shard is
+/// deliberately small so even quick tests span many shards.
+inline constexpr std::uint64_t kSeed = 2026;
+inline constexpr std::uint64_t kShard = 4096;
+
+/// The pinned thread counts of the §5a contract: inline (1), the
+/// physical-core count of CI (2), and oversubscribed (8).
+inline constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// Runs `fn(exec, threads)` once per pinned thread count with a fresh
+/// executor each time.
+template <typename Fn>
+void for_each_thread_count(Fn&& fn) {
+  for (const int threads : kThreadCounts) {
+    stats::ParallelExecutor exec(threads);
+    fn(exec, threads);
+  }
+}
+
+/// Configuration set for differential fuzz: strict ladders at widths
+/// 8..48, a 63-bit relaxed layout (numeric-edge widths) and an
+/// overlapping custom.
+inline std::vector<core::GeArConfig> fuzz_configs() {
+  return {
+      core::GeArConfig::must(8, 2, 2),
+      core::GeArConfig::must(16, 4, 4),
+      core::GeArConfig::must(32, 8, 8),
+      core::GeArConfig::must(48, 8, 16),
+      *core::GeArConfig::make_relaxed(63, 8, 8),
+      *core::GeArConfig::make_custom(16, 4, {{4, 2}, {4, 4}, {4, 6}}),
+  };
+}
+
+/// Probe set for cache/selector sweeps: the full strict enumeration at
+/// width `n`, every non-exact relaxed layout, one fast-path-eligible
+/// custom and one deep-overlap custom that forces full synthesis.
+inline std::vector<core::GeArConfig> probe_configs(int n = 16) {
+  std::vector<core::GeArConfig> cfgs = core::GeArConfig::enumerate(n);
+  for (int r = 1; r < n; ++r) {
+    for (const auto& cfg : core::GeArConfig::enumerate_relaxed_r(n, r)) {
+      if (!cfg.is_exact()) cfgs.push_back(cfg);
+    }
+  }
+  // Strictly increasing window starts: fast-path eligible.
+  cfgs.push_back(*core::GeArConfig::make_custom(16, 4, {{4, 2}, {4, 3}, {4, 4}}));
+  // Equal window starts: hash-consed chain prefixes, full synthesis.
+  cfgs.push_back(
+      *core::GeArConfig::make_custom(12, 2, {{1, 2}, {1, 3}, {2, 2}, {6, 3}}));
+  return cfgs;
+}
+
+/// `count` uniform operand pairs of `width` bits from a fixed seed.
+inline std::vector<stats::OperandPair> draw_operands(int width,
+                                                     std::size_t count,
+                                                     std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<stats::OperandPair> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({rng.bits(width), rng.bits(width)});
+  }
+  return out;
+}
+
+/// Exhaustive signed-error PMF over all 2^(2N) operand pairs (N <= 10 in
+/// practice). Every mass is count / 4^N, an exact dyadic rational, so
+/// comparisons against it can be ==, not NEAR.
+inline std::map<std::int64_t, double> exhaustive_error_pmf(
+    const core::GeArConfig& cfg) {
+  const core::GeArAdder adder(cfg);
+  const std::uint64_t lim = 1ULL << cfg.n();
+  std::map<std::int64_t, std::uint64_t> counts;
+  for (std::uint64_t a = 0; a < lim; ++a) {
+    for (std::uint64_t b = 0; b < lim; ++b) {
+      const std::int64_t err =
+          static_cast<std::int64_t>(adder.add_value(a, b)) -
+          static_cast<std::int64_t>(adder.exact(a, b));
+      ++counts[err];
+    }
+  }
+  const double total = static_cast<double>(lim) * static_cast<double>(lim);
+  std::map<std::int64_t, double> pmf;
+  for (const auto& [key, count] : counts) {
+    pmf[key] = static_cast<double>(count) / total;
+  }
+  return pmf;
+}
+
+}  // namespace gear::testutil
