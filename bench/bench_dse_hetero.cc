@@ -1,0 +1,235 @@
+// Million-config heterogeneous DSE: budgeted exploration of the
+// per-segment (R_j, P_j) layout space at N=32.
+//
+// The paper's enumerable uniform space at N=32 is a few hundred configs;
+// heterogeneous per-block layouts (Farahmand et al.) blow it up to ~1e14.
+// explore_hetero never materializes the space — a ranking DP decodes any
+// index on demand — so this bench stride-samples a 2^20-layout budget
+// (>= 1e6 configs ranked) and checks, not assumes, the §5a determinism
+// contract:
+//
+//  * serial uncached — the referee: null executor, null cache.
+//  * serial cached — same fold through a DseCache.
+//  * parallel uncached, threads in {1, 2, 8}.
+//  * parallel cached (8 threads), cold.
+//  * warm from sharded disk — a fresh cache rebuilt via save_shards /
+//    load_shards, then the same parallel run.
+//
+// Every variant must produce a bit-identical HeteroExploreResult
+// (front, counters, everything). A second, exhaustively enumerable
+// subspace (<= 1e4 configs) referees the branch-and-bound pruner: with
+// pruning on, the kept frontier must equal the prune=false run's, with
+// and without detection logic. Exit status is non-zero on any mismatch.
+// Emits BENCH_dse_hetero.json. `--smoke` shrinks the budget to 2^14 for
+// CI.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "analysis/design_space.h"
+#include "analysis/dse_cache.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "stats/parallel.h"
+
+namespace {
+
+using gear::analysis::DseCache;
+using gear::analysis::HeteroExploreOptions;
+using gear::analysis::HeteroExploreResult;
+using gear::analysis::HeteroSpace;
+using gear::analysis::HeteroSpaceSpec;
+using gear::analysis::SweepContext;
+using gear::analysis::explore_hetero;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::printf("== Heterogeneous DSE at scale: budgeted million-config sweep ==\n\n");
+
+  // --- the big space: N=32, per-segment R,P in [1,8] ---
+  HeteroSpaceSpec spec;
+  spec.n = 32;
+  spec.min_l0 = 1;
+  spec.max_l0 = 31;
+  spec.min_r = 1;
+  spec.max_r = 8;
+  spec.min_p = 1;
+  spec.max_p = 8;
+  spec.max_l = 12;
+  spec.max_k = 8;
+  const HeteroSpace space(spec);
+
+  HeteroExploreOptions opts;
+  opts.budget = smoke ? (1ULL << 14) : (1ULL << 20);
+  opts.with_detection = false;
+  opts.max_error_probability = 1.0;  // rank everything sampled
+  opts.prune = true;
+  const bool budget_ok = space.size() >= opts.budget;
+
+  // --- serial uncached: the referee every variant must match ---
+  HeteroExploreResult serial;
+  double t0 = now_ms();
+  serial = explore_hetero(space, opts);
+  const double serial_ms = now_ms() - t0;
+
+  // --- serial cached ---
+  DseCache serial_cache;
+  SweepContext serial_ctx{nullptr, &serial_cache};
+  const HeteroExploreResult serial_cached = explore_hetero(space, opts, serial_ctx);
+
+  // --- parallel uncached, threads in {1, 2, 8} ---
+  bool identical = serial_cached == serial;
+  double par8_uncached_ms = 0.0;
+  for (const int threads : {1, 2, 8}) {
+    gear::stats::ParallelExecutor exec(threads);
+    SweepContext ctx{&exec, nullptr};
+    t0 = now_ms();
+    const HeteroExploreResult got = explore_hetero(space, opts, ctx);
+    const double ms = now_ms() - t0;
+    if (threads == 8) par8_uncached_ms = ms;
+    identical = identical && got == serial;
+  }
+
+  // --- parallel cached (8 threads), cold ---
+  gear::stats::ParallelExecutor exec8(8);
+  DseCache cache;
+  SweepContext cached_ctx{&exec8, &cache};
+  t0 = now_ms();
+  const HeteroExploreResult par_cached = explore_hetero(space, opts, cached_ctx);
+  const double par_cached_ms = now_ms() - t0;
+  identical = identical && par_cached == serial;
+
+  // --- warm from sharded disk ---
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string shard_dir =
+      (tmp ? std::string(tmp) : std::string("/tmp")) + "/gear_hetero_shards";
+  const bool saved = cache.save_shards(shard_dir, 8);
+  DseCache disk_cache;
+  const bool loaded = saved && disk_cache.load_shards(shard_dir);
+  SweepContext disk_ctx{&exec8, &disk_cache};
+  const HeteroExploreResult from_disk = explore_hetero(space, opts, disk_ctx);
+  identical = identical && from_disk == serial;
+
+  const double configs_per_sec =
+      static_cast<double>(serial.evaluated) / (par_cached_ms / 1000.0);
+
+  gear::analysis::Table table({"variant", "time (ms)", "front", "pruned",
+                               "synthesized"});
+  const auto add_row = [&](const char* name, double ms,
+                           const HeteroExploreResult& r) {
+    char ms_s[32];
+    std::snprintf(ms_s, sizeof ms_s, "%.1f", ms);
+    table.add_row({name, ms_s, std::to_string(r.front.size()),
+                   std::to_string(r.pruned), std::to_string(r.synthesized)});
+  };
+  add_row("serial uncached (referee)", serial_ms, serial);
+  add_row("parallel x8 uncached", par8_uncached_ms, serial);
+  add_row("parallel x8 cached, cold", par_cached_ms, par_cached);
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nspace: %llu hetero layouts (N=%d, R,P<=%d, L<=%d, k<=%d); budget %llu"
+      "%s\nevaluated %llu, filtered %llu, pruned %llu, synthesized %llu, "
+      "front %zu\nthroughput %.0f configs/s (parallel cached); cache %zu "
+      "entries\nbit-identical across serial/parallel x cached/uncached x "
+      "threads {1,2,8}: %s\nsharded persistence (8 shards): %s\n\n",
+      static_cast<unsigned long long>(space.size()), spec.n, spec.max_r,
+      spec.max_l, spec.max_k, static_cast<unsigned long long>(opts.budget),
+      smoke ? " (smoke)" : "",
+      static_cast<unsigned long long>(serial.evaluated),
+      static_cast<unsigned long long>(serial.filtered),
+      static_cast<unsigned long long>(serial.pruned),
+      static_cast<unsigned long long>(serial.synthesized), serial.front.size(),
+      configs_per_sec, cache.size(), identical ? "yes" : "NO (BUG)",
+      saved && loaded ? "ok" : "FAILED");
+
+  // --- branch-and-bound referee: exhaustive <= 1e4-config subspace ---
+  std::printf("== Branch-and-bound referee (exhaustive subspace) ==\n\n");
+  HeteroSpaceSpec small;
+  small.n = 16;
+  small.min_l0 = 2;
+  small.max_l0 = 10;
+  small.min_r = 2;
+  small.max_r = 6;
+  small.min_p = 2;
+  small.max_p = 6;
+  small.max_l = 9;
+  small.max_k = 4;
+  const HeteroSpace small_space(small);
+  const bool small_ok = small_space.size() <= 10000;
+
+  bool referee_ok = small_ok;
+  std::uint64_t referee_pruned = 0;
+  for (const bool det : {false, true}) {
+    HeteroExploreOptions pruned_opts;
+    pruned_opts.budget = 0;  // exhaustive
+    pruned_opts.with_detection = det;
+    pruned_opts.max_error_probability = 0.5;
+    pruned_opts.prune = true;
+    HeteroExploreOptions ref_opts = pruned_opts;
+    ref_opts.prune = false;
+
+    gear::analysis::DseCache small_cache;
+    SweepContext small_ctx{&exec8, &small_cache};
+    const HeteroExploreResult with_bnb =
+        explore_hetero(small_space, pruned_opts, small_ctx);
+    const HeteroExploreResult referee =
+        explore_hetero(small_space, ref_opts, small_ctx);
+    const bool front_match = with_bnb.front == referee.front;
+    referee_ok = referee_ok && front_match;
+    if (!det) referee_pruned = with_bnb.pruned;
+    std::printf(
+        "det=%d: %llu configs, front %zu, pruned %llu (referee pruned 0, "
+        "synthesized %llu vs %llu) -> fronts %s\n",
+        det ? 1 : 0, static_cast<unsigned long long>(with_bnb.evaluated),
+        with_bnb.front.size(),
+        static_cast<unsigned long long>(with_bnb.pruned),
+        static_cast<unsigned long long>(with_bnb.synthesized),
+        static_cast<unsigned long long>(referee.synthesized),
+        front_match ? "match" : "MISMATCH (BUG)");
+  }
+  std::printf("subspace size %llu (<= 10000: %s)\n\n",
+              static_cast<unsigned long long>(small_space.size()),
+              small_ok ? "yes" : "NO (BUG)");
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"dse_hetero\",\n"
+       << "  \"n\": " << spec.n << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"space_size\": " << space.size() << ",\n"
+       << "  \"budget\": " << opts.budget << ",\n"
+       << "  \"evaluated\": " << serial.evaluated << ",\n"
+       << "  \"filtered\": " << serial.filtered << ",\n"
+       << "  \"pruned\": " << serial.pruned << ",\n"
+       << "  \"synthesized\": " << serial.synthesized << ",\n"
+       << "  \"front\": " << serial.front.size() << ",\n"
+       << "  \"serial_uncached_ms\": " << serial_ms << ",\n"
+       << "  \"parallel8_uncached_ms\": " << par8_uncached_ms << ",\n"
+       << "  \"parallel8_cached_ms\": " << par_cached_ms << ",\n"
+       << "  \"configs_per_sec\": " << configs_per_sec << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"shard_persistence_ok\": "
+       << (saved && loaded ? "true" : "false") << ",\n"
+       << "  \"referee\": {\"subspace_size\": " << small_space.size()
+       << ", \"pruned\": " << referee_pruned
+       << ", \"fronts_match\": " << (referee_ok ? "true" : "false") << "}\n"
+       << "}\n";
+  gear::benchutil::write_bench_json("dse_hetero", json.str());
+
+  return identical && budget_ok && referee_ok && saved && loaded ? 0 : 1;
+}

@@ -1,9 +1,18 @@
 #include "analysis/design_space.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <iterator>
+#include <limits>
 #include <optional>
+#include <string>
 
 #include "core/error_model.h"
+#include "netlist/circuits.h"
+#include "obs/metrics.h"
+#include "synth/report.h"
 
 namespace gear::analysis {
 
@@ -64,6 +73,325 @@ std::vector<FamilyCoverage> coverage_comparison(int n, int r,
 
 std::vector<FamilyCoverage> coverage_comparison(int n, int r) {
   return coverage_comparison(n, r, SweepContext{});
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous segment-tiling space
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kSat = std::numeric_limits<std::uint64_t>::max();
+
+/// Saturating add: once a subtree count reaches UINT64_MAX it stays
+/// there. Decoding stays correct because saturation is monotone — a
+/// saturated count can never be exceeded by a representable index, so
+/// the decoder always descends into it rather than skipping past it.
+inline std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > kSat - b ? kSat : a + b;
+}
+
+}  // namespace
+
+HeteroSpace::HeteroSpace(const HeteroSpaceSpec& spec) : spec_(spec) {
+  // Normalize the bounds once so the DP loops below need no clamping.
+  spec_.min_l0 = std::max(1, spec_.min_l0);
+  spec_.max_l0 = std::min(spec_.max_l0, spec_.n - 1);
+  spec_.min_r = std::max(1, spec_.min_r);
+  spec_.min_p = std::max(1, spec_.min_p);
+  spec_.max_l = std::min(spec_.max_l, spec_.n);
+  if (spec_.n < 2 || spec_.n > 63 || spec_.max_k < 2 ||
+      spec_.min_l0 > spec_.max_l0) {
+    return;  // empty space: size() == 0, counts_ empty
+  }
+  const int n = spec_.n;
+  max_segs_ = std::min(spec_.max_k - 1, n);
+
+  // Bottom-up fill in res_lo-descending order: count(res_lo, pw, used)
+  // only reads rows with larger res_lo (every segment consumes >= 1
+  // result bit). State res_lo == n is the completed-tiling base case.
+  counts_.assign(static_cast<std::size_t>(n + 1) * static_cast<std::size_t>(n) *
+                     static_cast<std::size_t>(max_segs_ + 1),
+                 0);
+  const auto at = [&](int res_lo, int pw, int used) -> std::uint64_t& {
+    return counts_[(static_cast<std::size_t>(res_lo) *
+                        static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(pw)) *
+                       static_cast<std::size_t>(max_segs_ + 1) +
+                   static_cast<std::size_t>(used)];
+  };
+  for (int pw = 0; pw < n; ++pw) {
+    for (int used = 0; used <= max_segs_; ++used) at(n, pw, used) = 1;
+  }
+  for (int res_lo = n - 1; res_lo >= 1; --res_lo) {
+    for (int pw = 0; pw < n; ++pw) {
+      for (int used = max_segs_ - 1; used >= 0; --used) {
+        std::uint64_t total = 0;
+        const int r_hi = std::min(spec_.max_r, n - res_lo);
+        for (int r = spec_.min_r; r <= r_hi; ++r) {
+          const int p_hi =
+              std::min({spec_.max_p, spec_.max_l - r, res_lo - pw});
+          for (int p = spec_.min_p; p <= p_hi; ++p) {
+            total = sat_add(total, at(res_lo + r, res_lo - p, used + 1));
+          }
+        }
+        at(res_lo, pw, used) = total;
+      }
+      // used == max_segs_ rows stay 0 for res_lo < n: no segments left.
+    }
+  }
+  for (int l0 = spec_.min_l0; l0 <= spec_.max_l0; ++l0) {
+    size_ = sat_add(size_, count_from(l0, 0, 0));
+  }
+}
+
+std::uint64_t HeteroSpace::count_from(int res_lo, int prev_win_lo,
+                                      int segs_used) const {
+  if (counts_.empty()) return 0;
+  const int n = spec_.n;
+  if (res_lo == n) return 1;
+  if (segs_used >= max_segs_) return 0;
+  return counts_[(static_cast<std::size_t>(res_lo) *
+                      static_cast<std::size_t>(n) +
+                  static_cast<std::size_t>(prev_win_lo)) *
+                     static_cast<std::size_t>(max_segs_ + 1) +
+                 static_cast<std::size_t>(segs_used)];
+}
+
+core::GeArConfig HeteroSpace::decode(std::uint64_t index) const {
+  if (index >= size_) {
+    std::fprintf(stderr,
+                 "HeteroSpace::decode(%llu): index out of range (size %llu)\n",
+                 static_cast<unsigned long long>(index),
+                 static_cast<unsigned long long>(size_));
+    std::abort();
+  }
+  // Peel l0 first, then one (r, p) pair per segment, always in the
+  // ranking order (l0 asc; r asc, p asc): skip a subtree iff the index
+  // lies past all of its layouts.
+  int l0 = spec_.min_l0;
+  for (; l0 < spec_.max_l0; ++l0) {
+    const std::uint64_t c = count_from(l0, 0, 0);
+    if (index < c) break;
+    index -= c;
+  }
+  std::vector<core::GeArConfig::Segment> segments;
+  int res_lo = l0;
+  int prev_win_lo = 0;
+  int used = 0;
+  while (res_lo < spec_.n) {
+    bool chosen = false;
+    const int r_hi = std::min(spec_.max_r, spec_.n - res_lo);
+    for (int r = spec_.min_r; r <= r_hi && !chosen; ++r) {
+      const int p_hi =
+          std::min({spec_.max_p, spec_.max_l - r, res_lo - prev_win_lo});
+      for (int p = spec_.min_p; p <= p_hi; ++p) {
+        const std::uint64_t c = count_from(res_lo + r, res_lo - p, used + 1);
+        if (index < c) {
+          segments.push_back({r, p});
+          prev_win_lo = res_lo - p;
+          res_lo += r;
+          ++used;
+          chosen = true;
+          break;
+        }
+        index -= c;
+      }
+    }
+    if (!chosen) {
+      std::fprintf(stderr, "HeteroSpace::decode: ranking walk exhausted\n");
+      std::abort();  // unreachable: index < subtree count by construction
+    }
+  }
+  return core::GeArConfig::must_custom(spec_.n, l0, segments);
+}
+
+std::optional<std::uint64_t> HeteroSpace::encode(
+    const core::GeArConfig& cfg) const {
+  const auto& layout = cfg.layout();
+  if (cfg.n() != spec_.n || layout.size() < 2 ||
+      static_cast<int>(layout.size()) > spec_.max_k) {
+    return std::nullopt;
+  }
+  const int l0 = layout[0].res_hi + 1;
+  if (l0 < spec_.min_l0 || l0 > spec_.max_l0) return std::nullopt;
+
+  std::uint64_t index = 0;
+  for (int prior = spec_.min_l0; prior < l0; ++prior) {
+    index = sat_add(index, count_from(prior, 0, 0));
+  }
+  int res_lo = l0;
+  int prev_win_lo = 0;
+  int used = 0;
+  for (std::size_t j = 1; j < layout.size(); ++j) {
+    const int r = layout[j].result_len();
+    const int p = layout[j].prediction_len();
+    const int r_hi = std::min(spec_.max_r, spec_.n - res_lo);
+    const int p_cap =
+        std::min({spec_.max_p, spec_.max_l - r, res_lo - prev_win_lo});
+    if (r < spec_.min_r || r > r_hi || p < spec_.min_p || p > p_cap) {
+      return std::nullopt;  // layout outside this spec's bounds
+    }
+    // All (r', p') pairs ranked before (r, p) at this state.
+    for (int rp = spec_.min_r; rp < r; ++rp) {
+      const int php =
+          std::min({spec_.max_p, spec_.max_l - rp, res_lo - prev_win_lo});
+      for (int pp = spec_.min_p; pp <= php; ++pp) {
+        index = sat_add(index, count_from(res_lo + rp, res_lo - pp, used + 1));
+      }
+    }
+    for (int pp = spec_.min_p; pp < p; ++pp) {
+      index = sat_add(index, count_from(res_lo + r, res_lo - pp, used + 1));
+    }
+    prev_win_lo = res_lo - p;
+    res_lo += r;
+    ++used;
+  }
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted exploration: parallel cheap phase + sequential streaming fold
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Phase-A output for one sampled layout: its exact error figure plus
+/// the Tier-B synthesis figures — exact when `exact_synth` (eligible
+/// no-detection closed form), otherwise a componentwise lower bound.
+struct CheapEval {
+  double error = 0.0;
+  double delay = 0.0;
+  int area = 0;
+  bool exact_synth = false;
+};
+
+CheapEval cheap_eval(const core::GeArConfig& cfg, bool with_detection,
+                     const synth::DelayModel& model) {
+  CheapEval out;
+  out.error = core::paper_error_probability(cfg);
+  if (tier_b_eligible(cfg, with_detection)) {
+    const CachedSynth exact = tier_b_closed_form(cfg, model);
+    out.delay = exact.sum_delay_ns;  // == delay_ns: "sum" is the only port
+    out.area = exact.area_luts;
+    out.exact_synth = true;
+  } else {
+    const SynthBound bound = tier_b_lower_bound(cfg, with_detection, model);
+    out.delay = bound.delay_ns;
+    out.area = bound.area_luts;
+  }
+  return out;
+}
+
+}  // namespace
+
+HeteroExploreResult explore_hetero(const HeteroSpace& space,
+                                   const HeteroExploreOptions& opts,
+                                   const SweepContext& ctx) {
+  const synth::DelayModel model =
+      ctx.cache != nullptr ? ctx.cache->model() : synth::DelayModel::virtex6();
+
+  HeteroExploreResult result;
+  result.space_size = space.size();
+  const std::uint64_t count =
+      opts.budget == 0 ? space.size() : std::min(opts.budget, space.size());
+  if (count == 0) return result;
+  // Stride sampling: a pure function of (size, budget); index 0 is
+  // always sampled so the smallest layouts stay in every sweep.
+  const std::uint64_t stride = space.size() / count;
+
+  // Phase A — cheap evaluations, sharded by index range (§5a): each
+  // entry is a pure function of its index, so any interleaving fills
+  // the same vector.
+  std::vector<CheapEval> evals(static_cast<std::size_t>(count));
+  const auto shards = stats::ParallelExecutor::make_shards(
+      count, std::max<std::uint64_t>(1, opts.shard_size));
+  const auto run_shard = [&](std::size_t s) {
+    for (std::uint64_t i = shards[s].begin; i < shards[s].end; ++i) {
+      evals[static_cast<std::size_t>(i)] =
+          cheap_eval(space.decode(i * stride), opts.with_detection, model);
+    }
+  };
+  if (ctx.executor != nullptr && shards.size() > 1) {
+    ctx.executor->for_each(shards.size(), run_shard);
+  } else {
+    for (std::size_t s = 0; s < shards.size(); ++s) run_shard(s);
+  }
+
+  // Phase B — sequential fold in ascending index order: filter, prune
+  // against the streaming front's current members, fully evaluate the
+  // survivors (through the cache when provided — bit-identical either
+  // way), insert. Sequentiality is what makes the prune decisions (and
+  // therefore every counter) independent of the executor.
+  StreamingParetoFront front;
+  std::vector<HeteroCandidate> inserted;  // arrival-ordered mirror
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const CheapEval& e = evals[static_cast<std::size_t>(i)];
+    ++result.evaluated;
+    if (e.error > opts.max_error_probability) {
+      ++result.filtered;
+      continue;
+    }
+    if (opts.prune && !e.exact_synth &&
+        front.strictly_dominated(e.delay, static_cast<double>(e.area),
+                                 e.error)) {
+      ++result.pruned;
+      continue;
+    }
+    const std::uint64_t index = i * stride;
+    double delay = e.delay;
+    int area = e.area;
+    if (!e.exact_synth) {
+      const core::GeArConfig cfg = space.decode(index);
+      CachedSynth rep;
+      if (ctx.cache != nullptr) {
+        rep = ctx.cache->gear_synth(cfg, opts.with_detection);
+      } else {
+        const auto full = synth::synthesize(
+            netlist::build_gear(cfg, {.with_detection = opts.with_detection}),
+            model);
+        rep.area_luts = full.area_luts;
+        rep.carry_elements = full.carry_elements;
+        rep.lut_count = full.lut_count;
+        rep.lut_levels = full.lut_levels;
+        rep.delay_ns = full.delay_ns;
+        rep.sum_delay_ns = synth::sum_path_delay(full);
+      }
+      ++result.synthesized;
+      delay = opts.with_detection ? rep.delay_ns : rep.sum_delay_ns;
+      area = rep.area_luts;
+    }
+    if (front.insert({std::to_string(index), delay,
+                      static_cast<double>(area), e.error})) {
+      inserted.push_back({index, delay, area, e.error});
+    }
+  }
+
+  // Mirror the front's survivors back to indexed candidates: the front
+  // keeps arrival order, so one linear merge over the arrival-ordered
+  // mirror recovers each member's index without re-parsing labels.
+  const auto& members = front.points();
+  std::size_t cursor = 0;
+  result.front.reserve(members.size());
+  for (const auto& m : members) {
+    while (cursor < inserted.size() &&
+           std::to_string(inserted[cursor].index) != m.label) {
+      ++cursor;
+    }
+    result.front.push_back(inserted[cursor]);
+    ++cursor;
+  }
+  // Exploration tallies are pure functions of (space, options) — the
+  // §5a deterministic channel, never the wall-clock one.
+  GEAR_OBS_COUNT("design_space/explored", result.evaluated);
+  GEAR_OBS_COUNT("design_space/pruned", result.pruned);
+  GEAR_OBS_COUNT("design_space/synthesized", result.synthesized);
+  return result;
+}
+
+HeteroExploreResult explore_hetero(const HeteroSpace& space,
+                                   const HeteroExploreOptions& opts) {
+  return explore_hetero(space, opts, SweepContext{});
 }
 
 }  // namespace gear::analysis

@@ -1,14 +1,26 @@
-// Design-space exploration (paper Fig. 1 and Fig. 7).
+// Design-space exploration (paper Fig. 1 and Fig. 7), plus the
+// heterogeneous per-segment space that dwarfs them.
 //
 // Fig. 1: how many (R, P) points each adder family can reach at fixed N
 // and R. Fig. 7: the probabilistic accuracy of every GeAr point in a P
 // sweep, with the GDA-reachable subset marked.
+//
+// HeteroSpace / explore_hetero: the paper's enumerable (N, R, P) space at
+// N=32 is 767 configs, but per-block (R_j, P_j) layouts (Farahmand et
+// al.) blow that up to millions. The enumerator never materializes the
+// space: it counts layouts with a ranking DP and decodes any index on
+// demand (index -> layout is a bijection), so a budgeted sweep can
+// stream GeArConfig::make_custom layouts shard by shard under the §5a
+// determinism contract. See DESIGN.md §5g.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/dse_cache.h"
+#include "analysis/pareto.h"
 #include "core/config.h"
 #include "core/coverage.h"
 
@@ -42,5 +54,126 @@ struct FamilyCoverage {
 std::vector<FamilyCoverage> coverage_comparison(int n, int r);
 std::vector<FamilyCoverage> coverage_comparison(int n, int r,
                                                 const SweepContext& ctx);
+
+/// Bounds of a heterogeneous segment-tiling space: every layout is a
+/// sub-adder 0 of length l0 in [min_l0, max_l0] followed by segments
+/// (R_j, P_j) tiling [l0, N), each with R_j in [min_r, max_r], P_j in
+/// [min_p, max_p], window length R_j + P_j <= max_l, at most max_k
+/// sub-adders total (including sub-adder 0), and the window-order
+/// invariant P_{j+1} <= P_j + R_{j+1} that make_custom enforces. The
+/// degenerate exact adder (no segments) is excluded: l0 < N always.
+struct HeteroSpaceSpec {
+  int n = 16;
+  int min_l0 = 1;
+  int max_l0 = 63;  ///< clamped to n - 1
+  int min_r = 1;
+  int max_r = 63;
+  int min_p = 1;
+  int max_p = 63;
+  int max_l = 63;   ///< max window length R_j + P_j
+  int max_k = 63;   ///< max sub-adder count, including sub-adder 0
+};
+
+/// The enumerable heterogeneous space under a spec: a counting DP over
+/// (res_lo, prev_win_lo, segments used) ranks layouts in a fixed
+/// lexicographic order — l0 ascending, then per segment R ascending, P
+/// ascending — so index -> layout decoding is a bijection on
+/// [0, size()). Counts saturate at UINT64_MAX for astronomically large
+/// specs; decode() stays correct for every representable index because a
+/// saturated subtree count can never be exceeded by a uint64 index.
+class HeteroSpace {
+ public:
+  explicit HeteroSpace(const HeteroSpaceSpec& spec);
+
+  const HeteroSpaceSpec& spec() const { return spec_; }
+
+  /// Number of layouts in the space (saturating at UINT64_MAX).
+  std::uint64_t size() const { return size_; }
+
+  /// Decodes index -> layout (aborts on index >= size(), and routes
+  /// through GeArConfig::must_custom, whose message names any violated
+  /// constraint — decoded layouts are valid by construction). Uniform
+  /// geometries canonicalize: the returned config may be strict/relaxed.
+  core::GeArConfig decode(std::uint64_t index) const;
+
+  /// Inverse of decode: the index of a config's layout, or nullopt when
+  /// the layout lies outside the spec's bounds. Works on any GeArConfig
+  /// (strict, relaxed or custom) since it reads only the layout.
+  std::optional<std::uint64_t> encode(const core::GeArConfig& cfg) const;
+
+ private:
+  /// Saturating count of layout completions from state (res_lo,
+  /// prev_win_lo, segs_used), read from the precomputed table. The table
+  /// is filled bottom-up at construction (res_lo descending), so decode
+  /// and encode are const, allocation-free per call and safe to run
+  /// concurrently from Phase-A shards.
+  std::uint64_t count_from(int res_lo, int prev_win_lo, int segs_used) const;
+
+  HeteroSpaceSpec spec_;
+  int max_segs_ = 0;  ///< max segment count (max_k - 1, clamped)
+  std::uint64_t size_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Tuning of a budgeted heterogeneous exploration.
+struct HeteroExploreOptions {
+  /// Layouts to evaluate. 0 or >= size(): the whole space. Otherwise the
+  /// space is stride-sampled: index_i = i * floor(size / budget), a pure
+  /// function of (size, budget) — never of threads or caching.
+  std::uint64_t budget = 0;
+  bool with_detection = false;
+  /// Candidates with paper error probability above this are dropped
+  /// before ranking (same meaning as SelectionRequest's bound).
+  double max_error_probability = 1.0;
+  /// Branch-and-bound: skip full synthesis of candidates whose Tier-B
+  /// lower bound is already strictly dominated by the streaming front.
+  /// Sound (the true point is dominated too, see DESIGN.md §5g), so the
+  /// front is identical with pruning on or off — only `pruned` and the
+  /// synthesis count change.
+  bool prune = true;
+  /// Phase-A shard size (see §5a): cheap evaluations are sharded by
+  /// index range; the shard geometry is a pure function of
+  /// (count, shard_size).
+  std::uint64_t shard_size = 4096;
+};
+
+/// One ranked candidate of the exploration. `index` keys back into the
+/// space (label = decimal index); the triple is the Pareto coordinate.
+struct HeteroCandidate {
+  std::uint64_t index = 0;
+  double delay_ns = 0.0;
+  int area_luts = 0;
+  double error = 0.0;  ///< paper error probability (exact DP for customs)
+
+  bool operator==(const HeteroCandidate&) const = default;
+};
+
+struct HeteroExploreResult {
+  std::uint64_t space_size = 0;  ///< HeteroSpace::size()
+  std::uint64_t evaluated = 0;   ///< layouts decoded + cheap-evaluated
+  std::uint64_t filtered = 0;    ///< dropped by max_error_probability
+  std::uint64_t pruned = 0;      ///< bound-dominated, full eval skipped
+  std::uint64_t synthesized = 0; ///< full synthesize() calls (non-Tier-B)
+  /// Streaming Pareto front over (delay, area, error), in candidate
+  /// index order (= arrival order of the sequential fold).
+  std::vector<HeteroCandidate> front;
+
+  bool operator==(const HeteroExploreResult&) const = default;
+};
+
+/// Budgeted exploration of a heterogeneous space: decodes each sampled
+/// index, computes its exact error figure and Tier-B bound in parallel
+/// shards (Phase A, pure per-index functions), then folds candidates in
+/// ascending index order into a StreamingParetoFront with
+/// branch-and-bound pruning (Phase B, sequential). Full synthesis runs
+/// only for frontier-surviving candidates the closed form cannot serve,
+/// through ctx.cache when provided. The result is bit-identical for any
+/// executor thread count and for all serial/parallel x cached/uncached
+/// combinations (pinned by test_design_space.cc and bench_dse_hetero).
+HeteroExploreResult explore_hetero(const HeteroSpace& space,
+                                   const HeteroExploreOptions& opts,
+                                   const SweepContext& ctx);
+HeteroExploreResult explore_hetero(const HeteroSpace& space,
+                                   const HeteroExploreOptions& opts);
 
 }  // namespace gear::analysis

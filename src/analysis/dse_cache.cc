@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -26,11 +27,46 @@ std::string hex_double(double v) {
   return buf;
 }
 
-/// Canonical geometry string "n<N>:<lo>.<hi>.<lo>.<hi>:...": equal
-/// layouts share one entry no matter how the config was constructed.
-/// snprintf into a stack buffer — this runs once per lookup, so it must
-/// stay cheap (a warm sweep is nothing but key builds and map finds).
-std::string layout_key(const core::GeArConfig& cfg) {
+/// Per-bit fan-out counts of the plain (no-detection) GeAr netlist:
+/// prediction bits feed one FaCarry, result bits feed FaSum + FaCarry.
+std::vector<int> no_detection_fan(const core::GeArConfig& cfg) {
+  std::vector<int> fan(static_cast<std::size_t>(cfg.n()), 0);
+  for (const auto& s : cfg.layout()) {
+    for (int q = s.win_lo; q <= s.win_hi; ++q) {
+      fan[static_cast<std::size_t>(q)] += q < s.res_lo ? 1 : 2;
+    }
+  }
+  return fan;
+}
+
+/// Carry-chain arrival recurrence over one window, replaying
+/// analyze_timing's float operations term for term: operand arrivals are
+/// 0, the only inputs are the per-bit fan-out penalties (pen(q) is a
+/// pure function of the integer fan count at q). With `fan` from
+/// no_detection_fan this is bit-identical to full synthesis of the
+/// eligible netlist; with all-zero penalties it is a monotone lower
+/// bound on any arrival of the same chain under larger penalties.
+double chain_arrival(const core::SubAdderLayout& s, const std::vector<int>& fan,
+                     const synth::DelayModel& model) {
+  double chain = 0.0;
+  double cin = 0.0;  // const0 enters the chain at fabric arrival 0
+  for (int q = s.win_lo; q <= s.win_hi; ++q) {
+    const double pen =
+        std::min(model.t_fanout *
+                     std::max(0, fan[static_cast<std::size_t>(q)] - 1),
+                 model.t_fanout_cap);
+    const double ab = 0.0 + pen;  // fabric_arrival(input) + penalty
+    chain = std::max(ab + model.t_entry, cin + model.t_carry);
+    cin = chain;
+  }
+  return chain;
+}
+
+}  // namespace
+
+std::string layout_canonical_key(const core::GeArConfig& cfg) {
+  // snprintf into a stack buffer — this runs once per lookup, so it must
+  // stay cheap (a warm sweep is nothing but key builds and map finds).
   std::string out;
   out.reserve(8 + cfg.layout().size() * 16);
   char buf[72];
@@ -44,11 +80,7 @@ std::string layout_key(const core::GeArConfig& cfg) {
   return out;
 }
 
-/// Tier B applies only to plain carry-chain netlists: no detection logic
-/// and strictly increasing window starts (equal starts let the builder's
-/// hash-consing share chain prefixes, breaking the one-FA-per-window-bit
-/// area identity).
-bool fast_path_eligible(const core::GeArConfig& cfg, bool with_detection) {
+bool tier_b_eligible(const core::GeArConfig& cfg, bool with_detection) {
   if (with_detection) return false;
   for (int j = 1; j < cfg.k(); ++j) {
     if (cfg.sub(j).win_lo <= cfg.sub(j - 1).win_lo) return false;
@@ -56,7 +88,71 @@ bool fast_path_eligible(const core::GeArConfig& cfg, bool with_detection) {
   return true;
 }
 
-}  // namespace
+CachedSynth tier_b_closed_form(const core::GeArConfig& cfg,
+                               const synth::DelayModel& model) {
+  // An eligible netlist is a disjoint union of carry-macro chains: one
+  // FaCarry per window bit (result bits add an FaSum sharing the same
+  // (a, b, cin) triple, so the FA-element count is exactly the window
+  // length), zero LUTs, and the "sum" port reads the top of each chain
+  // through one t_exit. Arrival is monotone along a chain, so the port
+  // max is the max of the chain tops; adding the shared t_exit
+  // afterwards is bit-identical to maxing the per-net exit-adjusted
+  // arrivals (fl(+) is monotone).
+  const std::vector<int> fan = no_detection_fan(cfg);
+  CachedSynth out;
+  double worst_chain = 0.0;
+  for (const auto& s : cfg.layout()) {
+    out.carry_elements += s.window_len();
+    worst_chain = std::max(worst_chain, chain_arrival(s, fan, model));
+  }
+  out.area_luts = out.carry_elements;  // zero LUTs: area is the FA count
+  out.lut_count = 0;
+  out.lut_levels = 0;
+  out.sum_delay_ns = worst_chain + model.t_exit;
+  out.delay_ns = out.sum_delay_ns;  // "sum" is the only output port
+  return out;
+}
+
+SynthBound tier_b_lower_bound(const core::GeArConfig& cfg, bool with_detection,
+                              const synth::DelayModel& model) {
+  // Soundness (DESIGN.md §5g). Detection only ever *adds* LUTs on top of
+  // the carry chains and raises fan-out on nets the chains already read,
+  // and both the penalty function and the arrival recurrence are
+  // monotone in float arithmetic — so the no-detection plain-chain
+  // figures never exceed the with-detection ones. For eligible layouts
+  // the closed form is therefore simultaneously exact (det=false) and a
+  // valid lower bound (det=true).
+  if (tier_b_eligible(cfg, /*with_detection=*/false)) {
+    const CachedSynth exact = tier_b_closed_form(cfg, model);
+    return {exact.area_luts, exact.delay_ns};
+  }
+  // Ineligible (equal window starts): chains sharing a start hash-cons a
+  // common prefix, so per-group the distinct FA positions are exactly
+  // the union [win_lo, max win_hi] — the group's span. Chains with
+  // different win_lo never share gates (their carry lineages differ from
+  // the first element), so summing group spans counts every FA once and
+  // none twice. Delay: the penalty-free recurrence on each window is a
+  // monotone lower bound on its true arrival (penalties >= 0), and the
+  // true critical path maxes over at least these chain tops + t_exit.
+  SynthBound bound;
+  const std::vector<int> zero_fan(static_cast<std::size_t>(cfg.n()), 0);
+  double worst_chain = 0.0;
+  int group_lo = -1, group_hi = -1;
+  for (const auto& s : cfg.layout()) {
+    if (s.win_lo != group_lo) {
+      if (group_lo >= 0) bound.area_luts += group_hi - group_lo + 1;
+      group_lo = s.win_lo;
+      group_hi = s.win_hi;
+    } else {
+      group_hi = std::max(group_hi, s.win_hi);
+    }
+    worst_chain = std::max(worst_chain, chain_arrival(s, zero_fan, model));
+  }
+  if (group_lo >= 0) bound.area_luts += group_hi - group_lo + 1;
+  bound.delay_ns = worst_chain + model.t_exit;
+  (void)with_detection;  // the bound above is valid for both
+  return bound;
+}
 
 std::string DseCache::make_model_key() const {
   std::string out = ":m";
@@ -71,7 +167,7 @@ std::string DseCache::make_model_key() const {
 std::string DseCache::config_key(const core::GeArConfig& cfg,
                                  bool with_detection) const {
   std::string out = "gear:";
-  out += layout_key(cfg);
+  out += layout_canonical_key(cfg);
   out += with_detection ? ":det1" : ":det0";
   out += model_key_;
   return out;
@@ -92,23 +188,12 @@ CachedSynth DseCache::synthesize_uncached(const core::GeArConfig& cfg,
 }
 
 CachedSynth DseCache::fast_path(const core::GeArConfig& cfg) {
-  // A no-detection GeAr netlist with strictly increasing window starts is
-  // a disjoint union of carry-macro chains: one FaCarry per window bit
-  // (result bits add an FaSum sharing the same (a, b, cin) triple, so the
-  // FA-element count is exactly the window length), zero LUTs, and the
-  // "sum" port reads the top of each chain through one t_exit. The chain
-  // arrival recurrence below replays analyze_timing's float operations
-  // term for term — operand arrivals are 0, the only inputs are the
-  // per-bit fan-out penalties — so every returned double is bit-identical
-  // to full synthesis (pinned by test_dse_cache.cc).
-  const int n = cfg.n();
-  std::vector<int> fan(static_cast<std::size_t>(n), 0);
-  for (const auto& s : cfg.layout()) {
-    for (int q = s.win_lo; q <= s.win_hi; ++q) {
-      // Prediction bits feed one FaCarry; result bits feed FaSum+FaCarry.
-      fan[static_cast<std::size_t>(q)] += q < s.res_lo ? 1 : 2;
-    }
-  }
+  // The memoized form of tier_b_closed_form: identical float operations
+  // (chain_arrival is shared), with each window's arrival additionally
+  // stored in the Tier-B part cache so identical sub-adders across
+  // different configs are "synthesized" once. Every returned double is
+  // bit-identical to full synthesis (pinned by test_dse_cache.cc).
+  const std::vector<int> fan = no_detection_fan(cfg);
 
   CachedSynth out;
   double worst_chain = 0.0;
@@ -139,16 +224,7 @@ CachedSynth DseCache::fast_path(const core::GeArConfig& cfg) {
       }
     }
     if (!cached) {
-      double cin = 0.0;  // const0 enters the chain at fabric arrival 0
-      for (int q = s.win_lo; q <= s.win_hi; ++q) {
-        const double pen =
-            std::min(model_.t_fanout *
-                         std::max(0, fan[static_cast<std::size_t>(q)] - 1),
-                     model_.t_fanout_cap);
-        const double ab = 0.0 + pen;  // fabric_arrival(input) + penalty
-        chain = std::max(ab + model_.t_entry, cin + model_.t_carry);
-        cin = chain;
-      }
+      chain = chain_arrival(s, fan, model_);
       std::lock_guard<std::mutex> lock(mu_);
       part_cache_.emplace(part_key, chain);
     }
@@ -181,7 +257,7 @@ CachedSynth DseCache::gear_synth(const core::GeArConfig& cfg,
   }
   GEAR_OBS_RUNTIME_COUNT("dse/synth_miss", 1);
   CachedSynth value;
-  if (fast_path_eligible(cfg, with_detection)) {
+  if (tier_b_eligible(cfg, with_detection)) {
     value = fast_path(cfg);
     GEAR_OBS_RUNTIME_COUNT("dse/synth_fast_path", 1);
     std::lock_guard<std::mutex> lock(mu_);
@@ -197,7 +273,7 @@ CachedSynth DseCache::gear_synth(const core::GeArConfig& cfg,
 }
 
 CachedError DseCache::gear_error(const core::GeArConfig& cfg) {
-  const std::string key = layout_key(cfg);
+  const std::string key = layout_canonical_key(cfg);
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = error_cache_.find(key);
@@ -292,6 +368,75 @@ std::size_t DseCache::size() const {
   return synth_cache_.size();
 }
 
+namespace {
+
+/// Formats one synth-map entry as a save_json/save_shards line body.
+std::string format_synth_entry(const std::string& key, const CachedSynth& v) {
+  char nums[192];
+  std::snprintf(nums, sizeof nums,
+                "{\"a\": %d, \"c\": %d, \"l\": %d, \"v\": %d, "
+                "\"d\": %.17g, \"s\": %.17g}",
+                v.area_luts, v.carry_elements, v.lut_count, v.lut_levels,
+                v.delay_ns, v.sum_delay_ns);
+  return "    \"" + key + "\": " + nums;
+}
+
+/// Formats one error-map entry; the "err|" key prefix disambiguates it
+/// from synth entries on load.
+std::string format_error_entry(const std::string& key, const CachedError& v) {
+  char nums[256];
+  std::snprintf(nums, sizeof nums,
+                "{\"p\": %.17g, \"ep\": %.17g, \"med\": %.17g, "
+                "\"mx\": %.17g, \"nd\": %.17g, \"nr\": %.17g, "
+                "\"am\": %.17g}",
+                v.paper_error, v.exact.error_probability, v.exact.med,
+                v.exact.max_ed, v.exact.ned, v.exact.ned_range,
+                v.exact.acc_amp_mean);
+  return "    \"err|" + key + "\": " + nums;
+}
+
+/// FNV-1a (64-bit) of the entry key: the shard router. Any fixed hash
+/// works — it only needs to be stable across runs and platforms so a
+/// saved shard set reloads onto the same layout.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void DseCache::parse_line_locked(const std::string& line) {
+  const std::size_t k0 = line.find('"');
+  if (k0 == std::string::npos) return;
+  const std::size_t k1 = line.find('"', k0 + 1);
+  if (k1 == std::string::npos) return;
+  const std::string key = line.substr(k0 + 1, k1 - k0 - 1);
+  const char* rest = line.c_str() + k1 + 1;
+  CachedSynth v;
+  if (std::sscanf(rest,
+                  ": {\"a\": %d, \"c\": %d, \"l\": %d, \"v\": %d, "
+                  "\"d\": %lg, \"s\": %lg}",
+                  &v.area_luts, &v.carry_elements, &v.lut_count,
+                  &v.lut_levels, &v.delay_ns, &v.sum_delay_ns) == 6) {
+    synth_cache_[key] = v;
+    return;
+  }
+  CachedError e;
+  if (key.rfind("err|", 0) == 0 &&
+      std::sscanf(rest,
+                  ": {\"p\": %lg, \"ep\": %lg, \"med\": %lg, \"mx\": %lg, "
+                  "\"nd\": %lg, \"nr\": %lg, \"am\": %lg}",
+                  &e.paper_error, &e.exact.error_probability, &e.exact.med,
+                  &e.exact.max_ed, &e.exact.ned, &e.exact.ned_range,
+                  &e.exact.acc_amp_mean) == 7) {
+    error_cache_[key.substr(4)] = e;
+  }
+}
+
 bool DseCache::save_json(const std::string& path) const {
   // One entry per line, so load_json can parse line-by-line: synth
   // entries carry fields {a,c,l,v,d,s}, error entries {p,ep,med,...};
@@ -303,25 +448,11 @@ bool DseCache::save_json(const std::string& path) const {
   out << "{\n  \"format\": \"gear-dse-cache-v1\",\n  \"entries\": {\n";
   bool first = true;
   for (const auto& [key, v] : synth_cache_) {
-    char nums[192];
-    std::snprintf(nums, sizeof nums,
-                  "{\"a\": %d, \"c\": %d, \"l\": %d, \"v\": %d, "
-                  "\"d\": %.17g, \"s\": %.17g}",
-                  v.area_luts, v.carry_elements, v.lut_count, v.lut_levels,
-                  v.delay_ns, v.sum_delay_ns);
-    out << (first ? "" : ",\n") << "    \"" << key << "\": " << nums;
+    out << (first ? "" : ",\n") << format_synth_entry(key, v);
     first = false;
   }
   for (const auto& [key, v] : error_cache_) {
-    char nums[256];
-    std::snprintf(nums, sizeof nums,
-                  "{\"p\": %.17g, \"ep\": %.17g, \"med\": %.17g, "
-                  "\"mx\": %.17g, \"nd\": %.17g, \"nr\": %.17g, "
-                  "\"am\": %.17g}",
-                  v.paper_error, v.exact.error_probability, v.exact.med,
-                  v.exact.max_ed, v.exact.ned, v.exact.ned_range,
-                  v.exact.acc_amp_mean);
-    out << (first ? "" : ",\n") << "    \"err|" << key << "\": " << nums;
+    out << (first ? "" : ",\n") << format_error_entry(key, v);
     first = false;
   }
   out << "\n  }\n}\n";
@@ -333,32 +464,71 @@ bool DseCache::load_json(const std::string& path) {
   if (!in) return false;
   std::lock_guard<std::mutex> lock(mu_);
   std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t k0 = line.find('"');
-    if (k0 == std::string::npos) continue;
-    const std::size_t k1 = line.find('"', k0 + 1);
-    if (k1 == std::string::npos) continue;
-    const std::string key = line.substr(k0 + 1, k1 - k0 - 1);
-    const char* rest = line.c_str() + k1 + 1;
-    CachedSynth v;
-    if (std::sscanf(rest,
-                    ": {\"a\": %d, \"c\": %d, \"l\": %d, \"v\": %d, "
-                    "\"d\": %lg, \"s\": %lg}",
-                    &v.area_luts, &v.carry_elements, &v.lut_count,
-                    &v.lut_levels, &v.delay_ns, &v.sum_delay_ns) == 6) {
-      synth_cache_[key] = v;
-      continue;
+  while (std::getline(in, line)) parse_line_locked(line);
+  return true;
+}
+
+bool DseCache::save_shards(const std::string& dir, int shard_count) const {
+  if (shard_count < 1) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+
+  // Bucket the entry lines first (maps iterate in sorted key order, so
+  // each shard's line sequence is deterministic), then write each shard
+  // file in the save_json envelope — an individual shard is itself a
+  // valid load_json document.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<std::string>> buckets(
+      static_cast<std::size_t>(shard_count));
+  for (const auto& [key, v] : synth_cache_) {
+    buckets[fnv1a(key) % static_cast<std::uint64_t>(shard_count)].push_back(
+        format_synth_entry(key, v));
+  }
+  for (const auto& [key, v] : error_cache_) {
+    buckets[fnv1a("err|" + key) % static_cast<std::uint64_t>(shard_count)]
+        .push_back(format_error_entry(key, v));
+  }
+
+  for (int i = 0; i < shard_count; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof name, "shard-%05d-of-%05d.json", i,
+                  shard_count);
+    std::ofstream out(std::filesystem::path(dir) / name);
+    if (!out) return false;
+    out << "{\n  \"format\": \"gear-dse-cache-v1\",\n  \"entries\": {\n";
+    bool first = true;
+    for (const auto& line : buckets[static_cast<std::size_t>(i)]) {
+      out << (first ? "" : ",\n") << line;
+      first = false;
     }
-    CachedError e;
-    if (key.rfind("err|", 0) == 0 &&
-        std::sscanf(rest,
-                    ": {\"p\": %lg, \"ep\": %lg, \"med\": %lg, \"mx\": %lg, "
-                    "\"nd\": %lg, \"nr\": %lg, \"am\": %lg}",
-                    &e.paper_error, &e.exact.error_probability, &e.exact.med,
-                    &e.exact.max_ed, &e.exact.ned, &e.exact.ned_range,
-                    &e.exact.acc_amp_mean) == 7) {
-      error_cache_[key.substr(4)] = e;
+    out << "\n  }\n}\n";
+    if (!out.good()) return false;
+  }
+  return true;
+}
+
+bool DseCache::load_shards(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return false;
+  std::vector<std::filesystem::path> shards;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard-", 0) == 0 &&
+        name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0) {
+      shards.push_back(entry.path());
     }
+  }
+  if (shards.empty()) return false;
+  std::sort(shards.begin(), shards.end());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& path : shards) {
+    std::ifstream in(path);
+    if (!in) continue;  // unreadable shard: recover with the rest
+    std::string line;
+    while (std::getline(in, line)) parse_line_locked(line);
   }
   return true;
 }

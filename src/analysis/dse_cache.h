@@ -80,6 +80,38 @@ struct CachedError {
   bool operator==(const CachedError&) const = default;
 };
 
+/// Canonical geometry string "n<N>:<lo>.<hi>.<lo>.<hi>:...": equal
+/// layouts share one key no matter how the config was constructed. This
+/// is the key the cache shards hash and what test code uses to assert
+/// canonical-identity of custom/uniform twins.
+std::string layout_canonical_key(const core::GeArConfig& cfg);
+
+/// True iff the Tier-B closed form below reproduces full synthesis bit
+/// for bit: no detection logic and strictly increasing window starts
+/// (equal starts let the netlist builder's hash-consing share chain
+/// prefixes, breaking the one-FA-per-window-bit area identity).
+bool tier_b_eligible(const core::GeArConfig& cfg, bool with_detection);
+
+/// Tier-B closed form: synthesis scalars of the plain carry-chain
+/// netlist, computed analytically. Bit-identical to synth::synthesize
+/// when tier_b_eligible() holds (pinned by test_dse_cache.cc); undefined
+/// meaning otherwise.
+CachedSynth tier_b_closed_form(const core::GeArConfig& cfg,
+                               const synth::DelayModel& model);
+
+/// Componentwise lower bound on the synthesis result of *any* GeAr
+/// layout, with or without detection — the branch-and-bound relaxation
+/// used by explore_hetero. `area_luts` never exceeds the true LUT+FA
+/// area and `delay_ns` never exceeds the true critical path (see
+/// DESIGN.md §5g for the soundness argument). For eligible no-detection
+/// layouts the bound *is* the exact closed form.
+struct SynthBound {
+  int area_luts = 0;
+  double delay_ns = 0.0;
+};
+SynthBound tier_b_lower_bound(const core::GeArConfig& cfg, bool with_detection,
+                              const synth::DelayModel& model);
+
 class DseCache {
  public:
   DseCache() = default;
@@ -131,10 +163,29 @@ class DseCache {
   bool save_json(const std::string& path) const;
   bool load_json(const std::string& path);
 
+  /// Sharded persistence for caches too large for one JSON blob: writes
+  /// `shard_count` files "shard-<i>-of-<count>.json" under `dir`
+  /// (created if absent), each in the save_json line format, with every
+  /// entry routed to FNV-1a(key) % shard_count. Deterministic: the same
+  /// cache contents produce byte-identical shard files. Returns false if
+  /// any shard fails to write.
+  bool save_shards(const std::string& dir, int shard_count = 16) const;
+
+  /// Merges every "shard-*.json" under `dir` into the current maps, in
+  /// lexicographic filename order. A missing, truncated or corrupt shard
+  /// is skipped line by line — the tolerant parser keeps every entry it
+  /// can read — so partial saves degrade to a smaller warm set, never to
+  /// failure (pinned by DseCache.ShardedLoadSurvivesCorruptShard).
+  /// Returns false only when `dir` cannot be read or holds no shards.
+  bool load_shards(const std::string& dir);
+
  private:
   CachedSynth synthesize_uncached(const core::GeArConfig& cfg,
                                   bool with_detection);
   CachedSynth fast_path(const core::GeArConfig& cfg);
+  /// Parses one save_json/save_shards line into the maps (caller holds
+  /// mu_); unparseable lines are ignored.
+  void parse_line_locked(const std::string& line);
   /// Hex-float rendering of the delay-model constants, shared by every
   /// Tier-A key; built once at construction.
   std::string make_model_key() const;

@@ -1,8 +1,6 @@
 #include "analysis/pareto.h"
 
-#include <algorithm>
-#include <map>
-#include <tuple>
+#include <utility>
 
 namespace gear::analysis {
 
@@ -16,69 +14,58 @@ bool dominates(const DesignCandidate& a, const DesignCandidate& b) {
 
 namespace {
 
-using Triple = std::tuple<double, double, double>;  // (delay, area, error)
-
-/// Staircase of 2D (area, error) minima: keys strictly increase, mapped
-/// errors strictly decrease. Inserting keeps only entries that are 2D
-/// non-dominated (weak dominance prunes).
-void stair_insert(std::map<double, double>& stair, double area, double error) {
-  auto it = stair.lower_bound(area);
-  if (it != stair.begin() && std::prev(it)->second <= error) return;
-  if (it != stair.end() && it->first == area) {
-    if (it->second <= error) return;
-    it->second = error;
-  } else {
-    it = stair.emplace_hint(it, area, error);
-  }
-  for (auto nxt = std::next(it); nxt != stair.end() && nxt->second >= error;) {
-    nxt = stair.erase(nxt);
-  }
-}
-
-/// True iff some staircase entry weakly dominates (area, error) in 2D.
-bool stair_covers(const std::map<double, double>& stair, double area,
-                  double error) {
-  auto it = stair.upper_bound(area);
-  return it != stair.begin() && std::prev(it)->second <= error;
+/// Strict dominance on raw triples, shared by the query and insert paths
+/// so both compare with the exact same float operations.
+inline bool strictly_dominates(const DesignCandidate& a, double delay_ns,
+                               double area_luts, double error) {
+  return a.delay_ns <= delay_ns && a.area_luts <= area_luts &&
+         a.error <= error &&
+         (a.delay_ns < delay_ns || a.area_luts < area_luts || a.error < error);
 }
 
 }  // namespace
 
+bool StreamingParetoFront::strictly_dominated(double delay_ns,
+                                              double area_luts,
+                                              double error) const {
+  for (const DesignCandidate& m : points_) {
+    if (strictly_dominates(m, delay_ns, area_luts, error)) return true;
+  }
+  return false;
+}
+
+bool StreamingParetoFront::insert(DesignCandidate candidate) {
+  // Invariant: points_ holds exactly the inserted points not strictly
+  // dominated by any inserted point, in arrival order. Rejection is
+  // final: the dominator can only ever be evicted by a point that
+  // transitively dominates the rejected one too.
+  if (strictly_dominated(candidate.delay_ns, candidate.area_luts,
+                         candidate.error)) {
+    return false;
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!strictly_dominates(candidate, points_[i].delay_ns,
+                            points_[i].area_luts, points_[i].error)) {
+      if (kept != i) points_[kept] = std::move(points_[i]);
+      ++kept;
+    }
+  }
+  points_.resize(kept);
+  points_.push_back(std::move(candidate));
+  return true;
+}
+
 std::vector<DesignCandidate> pareto_front(std::vector<DesignCandidate> points) {
   // Dominance is a relation on value triples — duplicates of a
   // non-dominated triple never dominate each other, so all of them stay
-  // in the front. Decide each *distinct* triple once, then filter the
-  // input by verdict, preserving input order.
-  //
-  // Sweep distinct triples in lexicographic (delay, area, error) order:
-  // any dominator of T is componentwise <= T and distinct, hence strictly
-  // lex-before T, so at the moment T is visited the staircase holds the
-  // (area, error) minima of exactly the candidate dominators (all with
-  // delay <= T's). T is dominated iff some processed triple has
-  // area <= T.area and error <= T.error. O(n log n) total.
-  std::vector<Triple> distinct;
-  distinct.reserve(points.size());
-  for (const auto& p : points) {
-    distinct.emplace_back(p.delay_ns, p.area_luts, p.error);
-  }
-  std::sort(distinct.begin(), distinct.end());
-  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
-
-  std::map<Triple, bool> non_dominated;
-  std::map<double, double> stair;
-  for (const Triple& t : distinct) {
-    const auto [delay, area, error] = t;
-    non_dominated.emplace(t, !stair_covers(stair, area, error));
-    stair_insert(stair, area, error);
-  }
-
-  std::vector<DesignCandidate> front;
-  for (auto& p : points) {
-    if (non_dominated.at({p.delay_ns, p.area_luts, p.error})) {
-      front.push_back(std::move(p));
-    }
-  }
-  return front;
+  // in the front. The streaming front's final membership is "not
+  // strictly dominated by any input point", the historical quadratic
+  // definition; feeding in input order makes the arrival order the input
+  // order.
+  StreamingParetoFront front;
+  for (auto& p : points) front.insert(std::move(p));
+  return front.release();
 }
 
 }  // namespace gear::analysis

@@ -3,8 +3,26 @@
 // Points are compared on (delay, area, error): all three minimised. Used
 // by the design-space example and the ablation benches to show which GeAr
 // configurations dominate the baselines.
+//
+// Two forms share one semantics:
+//
+//  * StreamingParetoFront — incremental: insert candidates as they
+//    complete; the front always holds exactly the points not strictly
+//    dominated by any point inserted so far, in arrival order. A point
+//    once evicted (or rejected) can never re-enter: its dominator may
+//    itself be evicted later, but only by a transitively stronger point
+//    (strict dominance is transitive), so the verdict is final. This is
+//    what makes the branch-and-bound pruner in explore_hetero sound: a
+//    candidate whose *lower bound* is strictly dominated by a current
+//    member can be dropped without ever computing its true value.
+//  * pareto_front — batch wrapper over the streaming front; identical to
+//    the historical quadratic definition ("a point survives iff no other
+//    point dominates it"), including duplicate/tie semantics: duplicates
+//    of a non-dominated triple never dominate each other, so every copy
+//    stays, in input order (pinned by test_pareto.cc).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -19,6 +37,35 @@ struct DesignCandidate {
 
 /// True iff `a` dominates `b` (no worse on all axes, better on one).
 bool dominates(const DesignCandidate& a, const DesignCandidate& b);
+
+/// Incremental Pareto front over (delay, area, error), all minimised.
+class StreamingParetoFront {
+ public:
+  /// True iff some current member strictly dominates (delay, area,
+  /// error). Such a point would be rejected by insert(); a branch-and-
+  /// bound caller may also use this on a componentwise *lower bound* to
+  /// discard the candidate outright (the true point is only worse).
+  bool strictly_dominated(double delay_ns, double area_luts,
+                          double error) const;
+
+  /// Inserts a completed candidate: rejected (returns false) iff a
+  /// current member strictly dominates it; otherwise evicts every member
+  /// it strictly dominates and appends, returning true. Ties and
+  /// duplicates are never rejected or evicted — only strict dominance
+  /// removes points, matching the batch semantics.
+  bool insert(DesignCandidate candidate);
+
+  /// Current front, in arrival (insertion) order.
+  const std::vector<DesignCandidate>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Moves the front out, leaving the object empty.
+  std::vector<DesignCandidate> release() { return std::move(points_); }
+
+ private:
+  std::vector<DesignCandidate> points_;
+};
 
 /// Non-dominated subset, in the input order.
 std::vector<DesignCandidate> pareto_front(std::vector<DesignCandidate> points);

@@ -74,26 +74,111 @@ GeArConfig::GeArConfig(int n, std::vector<SubAdderLayout> layout)
   if (layout_.size() == 1) r_ = layout_[0].result_len();
 }
 
-std::optional<GeArConfig> GeArConfig::make_custom(
+std::string GeArConfig::custom_invalid_reason(
     int n, int l0, const std::vector<Segment>& segments) {
-  if (n < 2 || n > 63 || l0 < 1) return std::nullopt;
-  std::vector<SubAdderLayout> layout;
-  layout.push_back({0, l0 - 1, 0, l0 - 1});
+  char buf[192];
+  if (n < 2 || n > 63) {  // models use u64 with carry-out at bit n
+    std::snprintf(buf, sizeof buf, "N=%d out of range: need 2 <= N <= 63", n);
+    return buf;
+  }
+  if (l0 < 1) {
+    std::snprintf(buf, sizeof buf, "l0=%d invalid: need l0 >= 1", l0);
+    return buf;
+  }
+  if (l0 > n) {
+    std::snprintf(buf, sizeof buf, "l0=%d exceeds N=%d", l0, n);
+    return buf;
+  }
   int res_lo = l0;
   int prev_win_lo = 0;
-  for (const Segment& seg : segments) {
-    if (seg.result_len < 1 || seg.pred_len < 1) return std::nullopt;
+  for (std::size_t j = 0; j < segments.size(); ++j) {
+    const Segment& seg = segments[j];
+    if (seg.result_len < 1) {
+      std::snprintf(buf, sizeof buf,
+                    "segment %zu: zero-length result (R=%d, need R >= 1)", j,
+                    seg.result_len);
+      return buf;
+    }
+    if (seg.pred_len < 1) {
+      std::snprintf(buf, sizeof buf,
+                    "segment %zu: zero-length prediction (P=%d, need P >= 1)",
+                    j, seg.pred_len);
+      return buf;
+    }
     const int res_hi = res_lo + seg.result_len - 1;
     const int win_lo = res_lo - seg.pred_len;
-    if (res_hi > n - 1) return std::nullopt;
-    if (win_lo < 0) return std::nullopt;
-    if (win_lo < prev_win_lo) return std::nullopt;  // window-order invariant
-    layout.push_back({win_lo, res_hi, res_lo, res_hi});
+    if (res_hi > n - 1) {
+      std::snprintf(buf, sizeof buf,
+                    "segment %zu: result bits [%d, %d] overrun the MSB of an "
+                    "N=%d adder (tiling must end at bit %d)",
+                    j, res_lo, res_hi, n, n - 1);
+      return buf;
+    }
+    if (win_lo < 0) {
+      std::snprintf(buf, sizeof buf,
+                    "segment %zu: prediction P=%d reaches below bit 0 "
+                    "(window start %d)",
+                    j, seg.pred_len, win_lo);
+      return buf;
+    }
+    if (win_lo < prev_win_lo) {
+      std::snprintf(buf, sizeof buf,
+                    "segment %zu: window start %d below predecessor's %d — "
+                    "violates the non-decreasing window-order invariant "
+                    "(pred_{j+1} <= pred_j + r_{j+1})",
+                    j, win_lo, prev_win_lo);
+      return buf;
+    }
     res_lo = res_hi + 1;
     prev_win_lo = win_lo;
   }
-  if (res_lo != n) return std::nullopt;  // segments must tile [l0, N)
+  if (res_lo != n) {
+    std::snprintf(buf, sizeof buf,
+                  "segments tile [%d, %d) but must tile [%d, %d) exactly "
+                  "(gap of %d result bit%s)",
+                  l0, res_lo, l0, n, n - res_lo, n - res_lo == 1 ? "" : "s");
+    return buf;
+  }
+  return "";
+}
+
+std::optional<GeArConfig> GeArConfig::make_custom(
+    int n, int l0, const std::vector<Segment>& segments) {
+  if (!custom_invalid_reason(n, l0, segments).empty()) return std::nullopt;
+  std::vector<SubAdderLayout> layout;
+  layout.push_back({0, l0 - 1, 0, l0 - 1});
+  int res_lo = l0;
+  for (const Segment& seg : segments) {
+    const int res_hi = res_lo + seg.result_len - 1;
+    layout.push_back({res_lo - seg.pred_len, res_hi, res_lo, res_hi});
+    res_lo = res_hi + 1;
+  }
+  // Canonicalize uniform geometries: every relaxed layout has a shared
+  // prediction length P across segments and sub-adder 0 of length R + P,
+  // so the only uniform candidate is (R, P) = (l0 - P_0, P_0). If its
+  // layout matches bit for bit, return the uniform config itself — the
+  // custom was just a different spelling of it.
+  if (layout.size() > 1) {
+    const int p = layout[1].prediction_len();
+    const int r = l0 - p;
+    if (r >= 1) {
+      const auto uniform = make_relaxed(n, r, p);
+      if (uniform && uniform->layout_ == layout) return uniform;
+    }
+  }
   return GeArConfig(n, std::move(layout));
+}
+
+GeArConfig GeArConfig::must_custom(int n, int l0,
+                                   const std::vector<Segment>& segments) {
+  auto cfg = make_custom(n, l0, segments);
+  if (!cfg) {
+    std::fprintf(stderr, "GeArConfig::must_custom(N=%d,l0=%d,k=%zu): %s\n", n,
+                 l0, segments.size() + 1,
+                 custom_invalid_reason(n, l0, segments).c_str());
+    std::abort();
+  }
+  return *cfg;
 }
 
 void GeArConfig::build_layout() {

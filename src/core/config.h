@@ -79,8 +79,30 @@ class GeArConfig {
   /// r_{j+1}), which every model in this library relies on. Per-segment
   /// prediction lengths let a designer buy extra accuracy exactly where
   /// the error weight is (the MSB side) — see bench_ext_hetero.
+  ///
+  /// Canonicalization: when the segment list reproduces a uniform
+  /// (relaxed or strict) geometry bit for bit, the returned config *is*
+  /// that uniform config — is_custom() is false, name() reads
+  /// "GeAr(N,R,P)" and every layout-keyed consumer (DseCache Tier A,
+  /// Pareto candidates) shares one entry with the uniform twin.
   static std::optional<GeArConfig> make_custom(int n, int l0,
                                                const std::vector<Segment>& segments);
+
+  /// Builds a heterogeneous configuration or aborts — the custom
+  /// counterpart of must(). The abort message names the violated
+  /// constraint (see custom_invalid_reason). Used by the heterogeneous
+  /// design-space enumerator, whose decoded layouts are valid by
+  /// construction.
+  static GeArConfig must_custom(int n, int l0,
+                                const std::vector<Segment>& segments);
+
+  /// Human-readable reason make_custom(n, l0, segments) would fail, or ""
+  /// when the segments form a valid heterogeneous configuration: names
+  /// the violated constraint (zero-length segment, window underflow,
+  /// window-order monotonicity, tiling gap/overrun) and the offending
+  /// segment index. Diagnostics parity with invalid_reason().
+  static std::string custom_invalid_reason(int n, int l0,
+                                           const std::vector<Segment>& segments);
 
   int n() const { return n_; }
   /// Nominal R / P / L. For custom (heterogeneous) configurations these
@@ -105,9 +127,14 @@ class GeArConfig {
   /// "GeAr(R,P)" / "GeAr(N,R,P)" style label used in tables.
   std::string name() const;
 
+  /// Equality canonicalizes through the sub-adder layout: two configs
+  /// are equal iff they describe the same geometry, regardless of how
+  /// they were constructed (strict, relaxed or custom). The layout fully
+  /// determines the adder's behaviour, synthesis result and error model,
+  /// so a geometrically identical custom must not double-enter any
+  /// layout-keyed structure (DseCache Tier A, Pareto fronts).
   bool operator==(const GeArConfig& o) const {
-    return n_ == o.n_ && r_ == o.r_ && p_ == o.p_ && strict_ == o.strict_ &&
-           custom_ == o.custom_ && (!custom_ || layout_ == o.layout_);
+    return n_ == o.n_ && layout_ == o.layout_;
   }
 
   /// All strict configurations for an N-bit adder (every valid R, P),

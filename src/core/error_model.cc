@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/bitsliced_adder.h"
+#include "obs/metrics.h"
 #include "stats/bitsliced.h"
 
 namespace gear::core {
@@ -83,7 +84,15 @@ double paper_error_probability(const GeArConfig& cfg) {
   // The inclusion-exclusion DP below assumes the uniform-R event
   // geometry; for heterogeneous layouts use the exact carry DP, which is
   // provably equal on the uniform space (see PaperIeEqualsExactDp tests).
-  if (cfg.is_custom()) return exact_error_probability(cfg);
+  // Which path ran is observable (deterministic channel: a pure function
+  // of the configs evaluated) so sweeps can audit that uniform-segment
+  // customs canonicalize onto the IE path and non-uniform ones take the
+  // DP — pinned by Hetero.ExactDpPathTakenForNonUniformOnly.
+  if (cfg.is_custom()) {
+    GEAR_OBS_COUNT("error_model/paper_exact_dp", 1);
+    return exact_error_probability(cfg);
+  }
+  GEAR_OBS_COUNT("error_model/paper_ie", 1);
 
   // Inclusion-exclusion over subsets S of sub-adders {1..k-1}:
   //   P(union) = 1 - sum_S prod_{j in S} (-f_j(S))

@@ -178,5 +178,86 @@ TEST(GeArConfig, InvalidReasonNamesViolatedConstraint) {
   }
 }
 
+TEST(GeArConfig, CustomInvalidReasonNamesViolatedConstraint) {
+  using Segment = GeArConfig::Segment;
+  // The valid case is the empty string.
+  EXPECT_EQ(GeArConfig::custom_invalid_reason(16, 4, {{4, 2}, {4, 4}, {4, 6}}),
+            "");
+  // Each violated constraint is named, with the offending segment index.
+  EXPECT_NE(GeArConfig::custom_invalid_reason(1, 1, {}).find("N=1"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::custom_invalid_reason(64, 4, {}).find("N=64"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::custom_invalid_reason(16, 0, {}).find("l0=0"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::custom_invalid_reason(16, 17, {}).find("exceeds"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::custom_invalid_reason(16, 4, {{0, 2}})
+                .find("zero-length result"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::custom_invalid_reason(16, 4, {{4, 0}})
+                .find("zero-length prediction"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::custom_invalid_reason(16, 4, {{4, 2}, {4, 4}, {8, 6}})
+                .find("overrun the MSB"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::custom_invalid_reason(16, 4, {{4, 8}})
+                .find("below bit 0"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::custom_invalid_reason(16, 4, {{4, 2}, {4, 7}, {4, 6}})
+                .find("window-order"),
+            std::string::npos);
+  EXPECT_NE(GeArConfig::custom_invalid_reason(16, 4, {{4, 2}, {4, 4}})
+                .find("tile"),
+            std::string::npos);
+  // make_custom() agrees with custom_invalid_reason() on every verdict of
+  // a small grid (including the empty-segment exact degenerate).
+  for (int l0 = 0; l0 <= 12; ++l0) {
+    for (int r = 0; r <= 4; ++r) {
+      for (int p = 0; p <= 6; ++p) {
+        std::vector<Segment> segs;
+        int res = l0;
+        while (res < 12 && r >= 1) {
+          segs.push_back({r, p});
+          res += r;
+        }
+        EXPECT_EQ(GeArConfig::make_custom(12, l0, segs).has_value(),
+                  GeArConfig::custom_invalid_reason(12, l0, segs).empty())
+            << "l0=" << l0 << " r=" << r << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(GeArConfig, UniformCustomCanonicalizesToUniformConfig) {
+  // A custom spelling of a uniform geometry returns the uniform config
+  // itself: equality is layout-based, and is_custom() reports the
+  // canonical family, not the spelling.
+  const auto strict_twin = GeArConfig::make_custom(16, 8, {{4, 4}, {4, 4}});
+  ASSERT_TRUE(strict_twin);
+  EXPECT_FALSE(strict_twin->is_custom());
+  EXPECT_TRUE(strict_twin->is_strict());
+  EXPECT_EQ(*strict_twin, GeArConfig::must(16, 4, 4));
+  EXPECT_EQ(strict_twin->name(), "GeAr(N=16,R=4,P=4)");
+
+  // Clamped-top uniform geometries canonicalize to the relaxed config.
+  const auto relaxed_twin = GeArConfig::make_custom(16, 10, {{6, 2}});
+  const auto relaxed = GeArConfig::make_relaxed(16, 8, 2);
+  ASSERT_TRUE(relaxed_twin && relaxed);
+  EXPECT_FALSE(relaxed_twin->is_custom());
+  EXPECT_EQ(*relaxed_twin, *relaxed);
+
+  // Genuinely heterogeneous layouts stay custom.
+  const auto hetero = GeArConfig::make_custom(16, 4, {{4, 1}, {4, 2}, {4, 5}});
+  ASSERT_TRUE(hetero);
+  EXPECT_TRUE(hetero->is_custom());
+
+  // The empty-segment spelling of the exact adder stays a k=1 custom
+  // (no uniform (R, P) with R >= 1 spells it).
+  const auto exact = GeArConfig::make_custom(12, 12, {});
+  ASSERT_TRUE(exact);
+  EXPECT_TRUE(exact->is_exact());
+}
+
 }  // namespace
 }  // namespace gear::core

@@ -1,0 +1,301 @@
+// HeteroSpace / explore_hetero: the ranking-DP enumerator of the
+// heterogeneous per-segment layout space and its budgeted streaming
+// explorer (DESIGN.md §5g).
+//
+// The load-bearing claims pinned here:
+//  * index -> layout is a bijection: the decode order equals a
+//    brute-force lexicographic enumeration, encode inverts decode, and
+//    every decoded layout is valid, tiles [0, N) and respects the spec's
+//    k/L bounds (and survives a make_custom round trip).
+//  * explore_hetero is bit-identical across thread counts {1, 2, 8} and
+//    all serial/parallel x cached/uncached combinations.
+//  * the branch-and-bound pruner keeps exactly the frontier the
+//    unpruned referee keeps, while actually pruning.
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/design_space.h"
+#include "analysis/dse_cache.h"
+#include "core/config.h"
+#include "test_util.h"
+
+namespace {
+
+using gear::analysis::DseCache;
+using gear::analysis::HeteroExploreOptions;
+using gear::analysis::HeteroExploreResult;
+using gear::analysis::HeteroSpace;
+using gear::analysis::HeteroSpaceSpec;
+using gear::analysis::SweepContext;
+using gear::analysis::explore_hetero;
+using gear::core::GeArConfig;
+
+/// A small, fully enumerable spec (a few thousand layouts).
+HeteroSpaceSpec small_spec() {
+  HeteroSpaceSpec spec;
+  spec.n = 12;
+  spec.min_l0 = 1;
+  spec.max_l0 = 11;
+  spec.min_r = 1;
+  spec.max_r = 4;
+  spec.min_p = 1;
+  spec.max_p = 4;
+  spec.max_l = 6;
+  spec.max_k = 4;
+  return spec;
+}
+
+/// The bench's big spec: ~2.4e11 layouts, far beyond materialization.
+HeteroSpaceSpec big_spec() {
+  HeteroSpaceSpec spec;
+  spec.n = 32;
+  spec.min_l0 = 1;
+  spec.max_l0 = 31;
+  spec.min_r = 1;
+  spec.max_r = 8;
+  spec.min_p = 1;
+  spec.max_p = 8;
+  spec.max_l = 12;
+  spec.max_k = 8;
+  return spec;
+}
+
+/// Brute-force reference enumeration in the documented ranking order:
+/// l0 ascending, then per segment R ascending, P ascending. Mirrors the
+/// spec constraints directly — independently of the counting DP.
+void enumerate_rec(const HeteroSpaceSpec& spec, int l0, int res_lo,
+                   int prev_win_lo,
+                   std::vector<GeArConfig::Segment>& prefix,
+                   std::vector<std::pair<int, std::vector<GeArConfig::Segment>>>&
+                       out) {
+  if (res_lo == spec.n) {
+    out.emplace_back(l0, prefix);
+    return;
+  }
+  if (static_cast<int>(prefix.size()) >= spec.max_k - 1) return;
+  for (int r = spec.min_r; r <= std::min(spec.max_r, spec.n - res_lo); ++r) {
+    const int p_hi = std::min({spec.max_p, spec.max_l - r, res_lo - prev_win_lo});
+    for (int p = spec.min_p; p <= p_hi; ++p) {
+      prefix.push_back({r, p});
+      enumerate_rec(spec, l0, res_lo + r, res_lo - p, prefix, out);
+      prefix.pop_back();
+    }
+  }
+}
+
+std::vector<std::pair<int, std::vector<GeArConfig::Segment>>> enumerate_all(
+    const HeteroSpaceSpec& spec) {
+  std::vector<std::pair<int, std::vector<GeArConfig::Segment>>> out;
+  std::vector<GeArConfig::Segment> prefix;
+  for (int l0 = std::max(1, spec.min_l0);
+       l0 <= std::min(spec.max_l0, spec.n - 1); ++l0) {
+    enumerate_rec(spec, l0, l0, 0, prefix, out);
+  }
+  return out;
+}
+
+TEST(HeteroSpace, DecodeMatchesBruteForceEnumeration) {
+  const HeteroSpaceSpec spec = small_spec();
+  const HeteroSpace space(spec);
+  const auto reference = enumerate_all(spec);
+  ASSERT_EQ(space.size(), reference.size());
+  for (std::uint64_t i = 0; i < space.size(); ++i) {
+    const GeArConfig got = space.decode(i);
+    const auto& [l0, segs] = reference[static_cast<std::size_t>(i)];
+    // Compare through make_custom so uniform geometries canonicalize the
+    // same way on both sides (operator== compares layouts).
+    const auto want = GeArConfig::make_custom(spec.n, l0, segs);
+    ASSERT_TRUE(want.has_value());
+    EXPECT_EQ(got, *want) << "index " << i;
+  }
+}
+
+TEST(HeteroSpace, EncodeInvertsDecodeExhaustively) {
+  const HeteroSpace space(small_spec());
+  ASSERT_GT(space.size(), 0u);
+  for (std::uint64_t i = 0; i < space.size(); ++i) {
+    const auto back = space.encode(space.decode(i));
+    ASSERT_TRUE(back.has_value()) << "index " << i;
+    EXPECT_EQ(*back, i);
+  }
+}
+
+TEST(HeteroSpace, DecodedLayoutsAreValidTilingsWithinBounds) {
+  const HeteroSpaceSpec spec = small_spec();
+  const HeteroSpace space(spec);
+  for (std::uint64_t i = 0; i < space.size(); ++i) {
+    const GeArConfig cfg = space.decode(i);
+    const auto& layout = cfg.layout();
+    ASSERT_GE(layout.size(), 2u);
+    ASSERT_LE(static_cast<int>(layout.size()), spec.max_k);
+    // Result regions tile [0, n) contiguously.
+    EXPECT_EQ(layout[0].res_lo, 0);
+    EXPECT_EQ(layout.back().res_hi, spec.n - 1);
+    const int l0 = layout[0].res_hi + 1;
+    EXPECT_GE(l0, spec.min_l0);
+    EXPECT_LE(l0, spec.max_l0);
+    for (std::size_t j = 1; j < layout.size(); ++j) {
+      EXPECT_EQ(layout[j].res_lo, layout[j - 1].res_hi + 1);
+      const int r = layout[j].result_len();
+      const int p = layout[j].prediction_len();
+      EXPECT_GE(r, spec.min_r);
+      EXPECT_LE(r, spec.max_r);
+      EXPECT_GE(p, spec.min_p);
+      EXPECT_LE(p, spec.max_p);
+      EXPECT_LE(r + p, spec.max_l);
+    }
+    // And the layout survives a make_custom round trip bit for bit.
+    std::vector<GeArConfig::Segment> segs;
+    for (std::size_t j = 1; j < layout.size(); ++j) {
+      segs.push_back({layout[j].result_len(), layout[j].prediction_len()});
+    }
+    const auto rebuilt = GeArConfig::make_custom(spec.n, l0, segs);
+    ASSERT_TRUE(rebuilt.has_value()) << "index " << i;
+    EXPECT_EQ(*rebuilt, cfg);
+  }
+}
+
+TEST(HeteroSpace, EncodeRejectsLayoutsOutsideTheSpec) {
+  const HeteroSpace space(small_spec());
+  // Wrong width.
+  EXPECT_FALSE(space.encode(GeArConfig::must(16, 4, 4)).has_value());
+  // R above max_r (spec caps at 4).
+  EXPECT_FALSE(
+      space.encode(*GeArConfig::make_custom(12, 7, {{5, 2}})).has_value());
+  // Window length above max_l (spec caps at 6).
+  EXPECT_FALSE(
+      space.encode(*GeArConfig::make_custom(12, 8, {{4, 4}})).has_value());
+  // Too many sub-adders (max_k = 4).
+  EXPECT_FALSE(
+      space
+          .encode(*GeArConfig::make_custom(12, 4, {{2, 1}, {2, 1}, {2, 2}, {2, 2}}))
+          .has_value());
+  // The exact adder (no segments) is excluded from the space.
+  EXPECT_FALSE(space.encode(*GeArConfig::make_custom(12, 12, {})).has_value());
+}
+
+TEST(HeteroSpace, SampledBijectionOnAstronomicalSpace) {
+  const HeteroSpace space(big_spec());
+  ASSERT_GT(space.size(), 1ULL << 30);  // far beyond materialization
+  // Stride-sample the full index range, plus both endpoints.
+  const std::uint64_t stride = space.size() / 997;  // prime sample count
+  for (std::uint64_t i = 0; i < space.size(); i += stride) {
+    const auto back = space.encode(space.decode(i));
+    ASSERT_TRUE(back.has_value()) << "index " << i;
+    ASSERT_EQ(*back, i);
+  }
+  const auto last = space.encode(space.decode(space.size() - 1));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(*last, space.size() - 1);
+}
+
+TEST(HeteroSpace, DegenerateSpecsAreEmpty) {
+  HeteroSpaceSpec spec = small_spec();
+  spec.max_k = 1;  // no segments allowed, and the exact adder is excluded
+  EXPECT_EQ(HeteroSpace(spec).size(), 0u);
+  spec = small_spec();
+  spec.min_l0 = 8;
+  spec.max_l0 = 4;
+  EXPECT_EQ(HeteroSpace(spec).size(), 0u);
+  spec = small_spec();
+  spec.n = 1;
+  EXPECT_EQ(HeteroSpace(spec).size(), 0u);
+}
+
+TEST(ExploreHetero, BitIdenticalAcrossThreadsAndCaching) {
+  const HeteroSpace space(small_spec());
+  HeteroExploreOptions opts;
+  opts.budget = 1500;
+  opts.max_error_probability = 0.6;
+  opts.shard_size = 128;  // span many shards even at this budget
+
+  const HeteroExploreResult referee = explore_hetero(space, opts);
+  EXPECT_EQ(referee.evaluated, opts.budget);
+  ASSERT_FALSE(referee.front.empty());
+
+  // Serial cached.
+  DseCache serial_cache;
+  EXPECT_EQ(explore_hetero(space, opts, SweepContext{nullptr, &serial_cache}),
+            referee);
+
+  // Parallel x {1, 2, 8}, uncached and cached (cold + warm).
+  gear::testutil::for_each_thread_count([&](auto& exec, int threads) {
+    SCOPED_TRACE(threads);
+    EXPECT_EQ(explore_hetero(space, opts, SweepContext{&exec, nullptr}),
+              referee);
+    DseCache cache;
+    SweepContext ctx{&exec, &cache};
+    EXPECT_EQ(explore_hetero(space, opts, ctx), referee);  // cold
+    EXPECT_EQ(explore_hetero(space, opts, ctx), referee);  // warm
+  });
+}
+
+TEST(ExploreHetero, PrunedFrontMatchesUnprunedReferee) {
+  const HeteroSpace space(small_spec());
+  for (const bool det : {false, true}) {
+    SCOPED_TRACE(det);
+    HeteroExploreOptions opts;
+    opts.budget = 0;  // exhaustive
+    opts.with_detection = det;
+    opts.max_error_probability = 0.5;
+    opts.prune = true;
+    HeteroExploreOptions ref_opts = opts;
+    ref_opts.prune = false;
+
+    DseCache cache;
+    gear::stats::ParallelExecutor exec(8);
+    SweepContext ctx{&exec, &cache};
+    const HeteroExploreResult pruned = explore_hetero(space, opts, ctx);
+    const HeteroExploreResult referee = explore_hetero(space, ref_opts, ctx);
+
+    // The front is identical; only the work accounting may differ.
+    EXPECT_EQ(pruned.front, referee.front);
+    EXPECT_EQ(pruned.evaluated, referee.evaluated);
+    EXPECT_EQ(pruned.filtered, referee.filtered);
+    EXPECT_EQ(referee.pruned, 0u);
+    EXPECT_LE(pruned.synthesized, referee.synthesized);
+    if (!det) {
+      // The no-detection bound is tight enough to actually prune here.
+      EXPECT_GT(pruned.pruned, 0u);
+    }
+  }
+}
+
+TEST(ExploreHetero, BudgetStrideSamplesTheSpace) {
+  const HeteroSpace space(small_spec());
+  ASSERT_GT(space.size(), 64u);
+  HeteroExploreOptions opts;
+  opts.budget = 64;
+  const HeteroExploreResult got = explore_hetero(space, opts);
+  EXPECT_EQ(got.space_size, space.size());
+  EXPECT_EQ(got.evaluated, 64u);
+  const std::uint64_t stride = space.size() / 64;
+  for (const auto& c : got.front) {
+    EXPECT_EQ(c.index % stride, 0u);
+    EXPECT_LT(c.index, space.size());
+  }
+  // budget 0 and budget >= size both mean the whole space.
+  HeteroExploreOptions all;
+  all.max_error_probability = 0.25;
+  const HeteroExploreResult full = explore_hetero(space, all);
+  EXPECT_EQ(full.evaluated, space.size());
+  all.budget = space.size() + 1000;
+  EXPECT_EQ(explore_hetero(space, all), full);
+}
+
+TEST(ExploreHetero, ErrorBoundFiltersBeforeRanking) {
+  const HeteroSpace space(small_spec());
+  HeteroExploreOptions opts;
+  opts.budget = 500;
+  opts.max_error_probability = 0.05;
+  const HeteroExploreResult got = explore_hetero(space, opts);
+  EXPECT_GT(got.filtered, 0u);
+  for (const auto& c : got.front) {
+    EXPECT_LE(c.error, opts.max_error_probability);
+  }
+}
+
+}  // namespace

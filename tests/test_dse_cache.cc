@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,80 @@ TEST(DseCache, LoadJsonFailsOnMissingFile) {
   DseCache cache;
   EXPECT_FALSE(cache.load_json(::testing::TempDir() + "does_not_exist.json"));
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DseCache, ShardedRoundTripBitExact) {
+  // save_shards / load_shards must be as lossless as the single-file
+  // JSON path: every synthesis and error entry comes back bit for bit,
+  // and the rebuilt cache serves everything without a single miss.
+  DseCache cache;
+  std::vector<CachedSynth> synths;
+  std::vector<CachedError> errors;
+  const auto cfgs = probe_configs();
+  for (const auto& cfg : cfgs) {
+    synths.push_back(cache.gear_synth(cfg, false));
+    errors.push_back(cache.gear_error(cfg));
+  }
+  const std::string dir = ::testing::TempDir() + "dse_shards_roundtrip";
+  ASSERT_TRUE(cache.save_shards(dir, 8));
+
+  DseCache warm;
+  ASSERT_TRUE(warm.load_shards(dir));
+  EXPECT_EQ(warm.size(), cache.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(warm.gear_synth(cfgs[i], false), synths[i]) << cfgs[i].name();
+    EXPECT_EQ(warm.gear_error(cfgs[i]), errors[i]) << cfgs[i].name();
+  }
+  EXPECT_EQ(warm.misses(), 0u);
+}
+
+TEST(DseCache, ShardedLoadSurvivesCorruptShard) {
+  DseCache cache;
+  const auto cfgs = probe_configs();
+  for (const auto& cfg : cfgs) {
+    cache.gear_synth(cfg, false);
+    cache.gear_error(cfg);
+  }
+  const std::string dir = ::testing::TempDir() + "dse_shards_corrupt";
+  ASSERT_TRUE(cache.save_shards(dir, 8));
+  // Clobber one shard with garbage; the rest must still load, and the
+  // loader must report overall success (a partial warm set, not a
+  // failure).
+  {
+    std::ofstream out(dir + "/shard-00003-of-00008.json");
+    ASSERT_TRUE(out.is_open());
+    out << "{\"v\": 1, garbage\nnot json at all\n";
+  }
+  DseCache warm;
+  EXPECT_TRUE(warm.load_shards(dir));
+  EXPECT_LT(warm.size(), cache.size());  // the corrupt shard's entries died
+  EXPECT_GT(warm.size(), 0u);            // ... but only those
+  // Every entry that did load is bit-identical: re-querying each config
+  // either hits the warm map (same bits) or recomputes the same value.
+  for (const auto& cfg : cfgs) {
+    EXPECT_EQ(warm.gear_synth(cfg, false), cache.gear_synth(cfg, false))
+        << cfg.name();
+  }
+  // An unreadable directory (or one with no shards) is a failure.
+  DseCache empty;
+  EXPECT_FALSE(empty.load_shards(dir + "_does_not_exist"));
+}
+
+TEST(DseCache, CustomUniformTwinSharesOneCacheEntry) {
+  // A uniform-segment custom spelling canonicalizes onto its strict twin
+  // (layout-level keying), so the two share a single Tier-A entry: same
+  // config_key, and the second lookup is a pure hit.
+  DseCache cache;
+  const auto strict = core::GeArConfig::must(16, 4, 4);
+  const auto twin = core::GeArConfig::make_custom(16, 8, {{4, 4}, {4, 4}});
+  ASSERT_TRUE(twin);
+  EXPECT_EQ(cache.config_key(strict, true), cache.config_key(*twin, true));
+  EXPECT_EQ(layout_canonical_key(strict), layout_canonical_key(*twin));
+  const auto a = cache.gear_synth(strict, true);
+  const auto b = cache.gear_synth(*twin, true);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(a, b);
 }
 
 TEST(DseCache, KeyedSynthMemoizesBaselines) {

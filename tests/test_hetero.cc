@@ -7,6 +7,7 @@
 #include "core/coverage.h"
 #include "core/error_model.h"
 #include "netlist/circuits.h"
+#include "obs/metrics.h"
 #include "stats/rng.h"
 
 namespace gear::core {
@@ -142,6 +143,55 @@ TEST(Hetero, EqualityDistinguishesLayouts) {
   ASSERT_TRUE(a && b && c);
   EXPECT_TRUE(*a == *c);
   EXPECT_FALSE(*a == *b);
+}
+
+TEST(Hetero, UniformCustomBitIdenticalToStrictTwin) {
+  // A uniform-segment custom spelling of GeAr(16,4,4) canonicalizes onto
+  // the strict config itself, so every error figure — the paper
+  // probability and the full exact PMF — is the same object's, bit for
+  // bit, and the config compares equal to its twin.
+  const auto twin = GeArConfig::make_custom(16, 8, {{4, 4}, {4, 4}});
+  ASSERT_TRUE(twin);
+  const GeArConfig strict = GeArConfig::must(16, 4, 4);
+  EXPECT_FALSE(twin->is_custom());
+  EXPECT_EQ(*twin, strict);
+  EXPECT_EQ(paper_error_probability(*twin), paper_error_probability(strict));
+  EXPECT_EQ(exact_error_distribution(*twin).entries(),
+            exact_error_distribution(strict).entries());
+
+  // Same for a clamped-top relaxed twin.
+  const auto rel_twin = GeArConfig::make_custom(16, 10, {{6, 2}});
+  const auto relaxed = GeArConfig::make_relaxed(16, 8, 2);
+  ASSERT_TRUE(rel_twin && relaxed);
+  EXPECT_FALSE(rel_twin->is_custom());
+  EXPECT_EQ(*rel_twin, *relaxed);
+  EXPECT_EQ(paper_error_probability(*rel_twin),
+            paper_error_probability(*relaxed));
+  EXPECT_EQ(exact_error_distribution(*rel_twin).entries(),
+            exact_error_distribution(*relaxed).entries());
+}
+
+TEST(Hetero, ExactDpPathTakenForNonUniformOnly) {
+  // paper_error_probability routes genuinely heterogeneous layouts to the
+  // exact carry DP and everything uniform (including canonicalized custom
+  // spellings) to the paper's inclusion-exclusion — audited through the
+  // deterministic obs channel.
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs macros compiled out";
+  obs::set_runtime_enabled_for_testing(true);
+  const auto dp_before = obs::global().counter("error_model/paper_exact_dp");
+  const auto ie_before = obs::global().counter("error_model/paper_ie");
+
+  paper_error_probability(msb_protected_16());  // non-uniform: exact DP
+  EXPECT_EQ(obs::global().counter("error_model/paper_exact_dp"),
+            dp_before + 1);
+  EXPECT_EQ(obs::global().counter("error_model/paper_ie"), ie_before);
+
+  // Uniform spelling: canonicalized to strict, takes the IE path.
+  paper_error_probability(*GeArConfig::make_custom(16, 8, {{4, 4}, {4, 4}}));
+  EXPECT_EQ(obs::global().counter("error_model/paper_exact_dp"),
+            dp_before + 1);
+  EXPECT_EQ(obs::global().counter("error_model/paper_ie"), ie_before + 1);
+  obs::set_runtime_enabled_for_testing(std::nullopt);
 }
 
 }  // namespace
