@@ -77,7 +77,7 @@ void add_row(gear::analysis::Table& table, const SweepRow& row) {
 int main(int argc, char** argv) {
   gear::benchutil::ObsExport obs_export(argc, argv);
   using gear::core::GeArConfig;
-  const GeArConfig cfg = GeArConfig::must(16, 2, 2);
+  const GeArConfig cfg = gear::benchutil::require_config(16, 2, 2);
   const int k = cfg.k();
 
   std::printf("== Ablation: configurable error correction, %s (k=%d) ==\n\n",

@@ -48,11 +48,11 @@ int main(int argc, char** argv) {
                                                {{"cfg", 0}})});
   entries.push_back(
       {"GeAr(4,4)",
-       gear::netlist::build_gear(GeArConfig::must(16, 4, 4),
+       gear::netlist::build_gear(gear::benchutil::require_config(16, 4, 4),
                                  {.with_detection = false})});
   entries.push_back(
       {"GeAr(4,4)+det",
-       gear::netlist::build_gear(GeArConfig::must(16, 4, 4))});
+       gear::netlist::build_gear(gear::benchutil::require_config(16, 4, 4))});
 
   gear::analysis::Table table({"adder", "toggles/op", "energy/op",
                                "delay[ns]", "energy x delay"});

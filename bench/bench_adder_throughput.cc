@@ -221,9 +221,9 @@ std::vector<SweepRow> sweep_config(const gear::core::GeArConfig& cfg) {
 
 void run_bitsliced_sweep() {
   const std::vector<gear::core::GeArConfig> configs = {
-      gear::core::GeArConfig::must(16, 4, 4),
-      gear::core::GeArConfig::must(32, 8, 8),
-      gear::core::GeArConfig::must(48, 8, 16),
+      gear::benchutil::require_config(16, 4, 4),
+      gear::benchutil::require_config(32, 8, 8),
+      gear::benchutil::require_config(48, 8, 16),
   };
 
   std::printf("== Scalar vs bitsliced (64-lane) kernel throughput ==\n\n");
@@ -301,7 +301,7 @@ void BM_AdderModel(benchmark::State& state, const std::string& spec) {
 }
 
 void BM_GearCoreAddValue(benchmark::State& state) {
-  const gear::core::GeArAdder adder(gear::core::GeArConfig::must(16, 4, 4));
+  const gear::core::GeArAdder adder(gear::benchutil::require_config(16, 4, 4));
   gear::stats::Rng rng(1234);
   std::vector<std::pair<std::uint64_t, std::uint64_t>> ops(4096);
   for (auto& [a, b] : ops) {
@@ -318,7 +318,7 @@ void BM_GearCoreAddValue(benchmark::State& state) {
 }
 
 void BM_GearBitslicedEval(benchmark::State& state) {
-  const auto cfg = gear::core::GeArConfig::must(16, 4, 4);
+  const auto cfg = gear::benchutil::require_config(16, 4, 4);
   const gear::core::BitslicedGearAdder adder(cfg);
   gear::stats::Rng rng(1234);
   std::vector<std::uint64_t> a(4096), b(4096);
@@ -341,7 +341,7 @@ void BM_GearBitslicedEval(benchmark::State& state) {
 }
 
 void BM_GearCorrection(benchmark::State& state) {
-  const gear::core::Corrector corr(gear::core::GeArConfig::must(16, 4, 4),
+  const gear::core::Corrector corr(gear::benchutil::require_config(16, 4, 4),
                                    gear::core::Corrector::all_enabled());
   gear::stats::Rng rng(1234);
   std::vector<std::pair<std::uint64_t, std::uint64_t>> ops(4096);
@@ -361,7 +361,7 @@ void BM_GearCorrection(benchmark::State& state) {
 void BM_ParallelMcErrorProbability(benchmark::State& state) {
   const auto threads = static_cast<int>(state.range(0));
   gear::stats::ParallelExecutor exec(threads);
-  const auto cfg = gear::core::GeArConfig::must(32, 4, 4);
+  const auto cfg = gear::benchutil::require_config(32, 4, 4);
   constexpr std::uint64_t kTrials = 1 << 21;
   for (auto _ : state) {
     const auto est = gear::core::mc_error_probability(cfg, kTrials, /*seed=*/99, exec);
@@ -375,18 +375,18 @@ void BM_ParallelMcErrorProbability(benchmark::State& state) {
 void BM_ParallelStreamEngine(benchmark::State& state) {
   const auto threads = static_cast<int>(state.range(0));
   gear::stats::ParallelExecutor exec(threads);
-  const gear::apps::StreamAdderEngine engine(gear::core::GeArConfig::must(16, 2, 2),
+  const gear::apps::StreamAdderEngine engine(gear::benchutil::require_config(16, 2, 2),
                                              gear::core::Corrector::all_enabled());
   const auto factory = [](gear::stats::Rng rng) {
     return std::make_unique<gear::stats::UniformSource>(16, rng);
   };
-  constexpr std::uint64_t kOps = 1 << 20;
+  constexpr std::uint64_t kStreamOps = 1 << 20;
   for (auto _ : state) {
-    const auto stats = engine.run(factory, kOps, /*seed=*/99, exec);
+    const auto stats = engine.run(factory, kStreamOps, /*seed=*/99, exec);
     benchmark::DoNotOptimize(stats.cycles);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(kOps));
+                          static_cast<std::int64_t>(kStreamOps));
   state.counters["threads"] = threads;
 }
 

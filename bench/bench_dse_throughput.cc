@@ -186,7 +186,7 @@ int main(int argc, char** argv) {
   bool first_pmf = true;
   const int pmf_cfgs[][3] = {{12, 4, 4}, {16, 4, 8}, {32, 8, 8}, {48, 8, 16}};
   for (const auto& c : pmf_cfgs) {
-    const GeArConfig cfg = GeArConfig::must(c[0], c[1], c[2]);
+    const GeArConfig cfg = gear::benchutil::require_config(c[0], c[1], c[2]);
     const double t0 = now_ms();
     const gear::stats::Pmf pmf = gear::core::exact_error_distribution(cfg);
     const double pmf_us = (now_ms() - t0) * 1000.0;

@@ -50,10 +50,10 @@ int main(int argc, char** argv) {
   row(table, "GDA(4,4)",
       gear::netlist::specialize(gear::netlist::build_gda(16, 4, 4), {{"cfg", 0}}));
   row(table, "GeAr(4,4)",
-      gear::netlist::build_gear(GeArConfig::must(16, 4, 4),
+      gear::netlist::build_gear(gear::benchutil::require_config(16, 4, 4),
                                 {.with_detection = false}));
   row(table, "GeAr(4,8)",
-      gear::netlist::build_gear(GeArConfig::must(16, 4, 8),
+      gear::netlist::build_gear(gear::benchutil::require_config(16, 4, 8),
                                 {.with_detection = false}));
   std::fputs(table.to_ascii().c_str(), stdout);
   std::printf(

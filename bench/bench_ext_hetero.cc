@@ -22,16 +22,6 @@ int window_bits(const gear::core::GeArConfig& cfg) {
   return bits;
 }
 
-gear::core::GeArConfig must_custom(
-    int n, int l0, const std::vector<gear::core::GeArConfig::Segment>& segs) {
-  auto cfg = gear::core::GeArConfig::make_custom(n, l0, segs);
-  if (!cfg) {
-    std::fprintf(stderr, "invalid custom layout\n");
-    std::abort();
-  }
-  return *cfg;
-}
-
 void row(gear::analysis::Table& table, const char* label,
          const gear::core::GeArConfig& cfg) {
   const auto rep = gear::synth::synthesize(
@@ -60,13 +50,13 @@ int main(int argc, char** argv) {
                                "delay[ns]", "area[LUT]", "Perr",
                                "MED (analytic)", "MED (MC)"});
 
-  row(table, "uniform GeAr(4,4)", GeArConfig::must(16, 4, 4));
+  row(table, "uniform GeAr(4,4)", gear::benchutil::require_config(16, 4, 4));
   row(table, "MSB-shifted (p=1,2,5)",
-      must_custom(16, 4, {{4, 1}, {4, 2}, {4, 5}}));
+      gear::benchutil::require_custom(16, 4, {{4, 1}, {4, 2}, {4, 5}}));
   row(table, "LSB-shifted (p=4,3,1)",
-      must_custom(16, 4, {{4, 4}, {4, 3}, {4, 1}}));
+      gear::benchutil::require_custom(16, 4, {{4, 4}, {4, 3}, {4, 1}}));
   row(table, "top-heavy (p=2,1,5)",
-      must_custom(16, 4, {{4, 2}, {4, 1}, {4, 5}}));
+      gear::benchutil::require_custom(16, 4, {{4, 2}, {4, 1}, {4, 5}}));
 
   std::fputs(table.to_ascii().c_str(), stdout);
   std::printf(

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
                                "best model", "average model", "worst model",
                                "inside bracket?"});
   for (auto [r, p] : {std::pair{1, 9}, {2, 8}, {5, 5}}) {
-    const auto cfg = GeArConfig::must(20, r, p);
+    const auto cfg = gear::benchutil::require_config(20, r, p);
     gear::apps::StreamAdderEngine engine(cfg,
                                          gear::core::Corrector::all_enabled());
     auto src = gear::stats::make_uniform(

@@ -1,0 +1,344 @@
+// Service soak / replay benchmark: drives a multi-tenant ApproxService
+// through four legs and emits BENCH_service.json.
+//
+//  1. determinism — one client per tenant replays the identical workload
+//     against worker counts {1, 2, 8} and a serial (manual-pump) referee;
+//     every admitted response must be bit-identical (§5h contract).
+//  2. throughput  — sustained ops/s under healthy load.
+//  3. overload    — offered load >= 2x capacity against small queue caps
+//     plus tight deadlines: the service must shed (reject-with-reason) and
+//     expire rather than queue without bound; admitted-request p99 stays
+//     bounded and is reported per tenant.
+//  4. chaos       — a stuck-at-1 detect fault is injected mid-run into a
+//     watchdog-guarded tenant, then cleared and the watchdog re-armed;
+//     fallback must be visible (fallback_events / safe_mode_ops) with
+//     zero silent corruption.
+//
+// Exit status is non-zero on any silent corruption, determinism mismatch
+// or accounting (conservation) violation — CI runs this directly as the
+// service soak smoke.
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/watchdog.h"
+#include "obs/metrics.h"
+#include "serve/replay.h"
+#include "serve/service.h"
+
+namespace {
+
+using gear::serve::ApproxService;
+using gear::serve::ReplayOptions;
+using gear::serve::ReplayReport;
+using gear::serve::Response;
+using gear::serve::ServiceOptions;
+using gear::serve::ServiceStats;
+using gear::serve::TenantId;
+using gear::serve::TenantSpec;
+
+struct Cli {
+  std::uint64_t requests = 96;  ///< per client, per leg
+  std::uint64_t ops = 512;      ///< per request
+  std::size_t overload_clients = 4;
+  std::uint64_t seed = gear::stats::Rng::kDefaultSeed;
+};
+
+/// Registers the benchmark's three tenants on `service`:
+/// 0 "imaging"  GeAr(16,4,4), full correction;
+/// 1 "sad"      GeAr(16,2,4), full correction;
+/// 2 "guarded"  GeAr(16,4,4) + watchdog (kExactAdd) + error budget.
+std::vector<TenantId> add_tenants(ApproxService& service) {
+  std::vector<TenantId> out;
+  std::string error;
+  auto imaging = service.add_tenant("imaging", 16, 4, 4, &error);
+  auto sad = service.add_tenant("sad", 16, 2, 4, &error);
+  if (!imaging || !sad) {
+    std::fprintf(stderr, "tenant registration failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  auto cfg = gear::core::GeArConfig::make(16, 4, 4);
+  TenantSpec guarded(*cfg);
+  gear::core::DegradationPolicy policy;
+  policy.window = 256;
+  policy.spike_factor = 4.0;
+  policy.safe_mode = gear::core::SafeMode::kExactAdd;
+  policy.cooldown_windows = 4;
+  guarded.degradation = policy;
+  guarded.error_budget_window = 4096;
+  guarded.error_budget_wrong = 64;
+  auto g = service.add_tenant("guarded", std::move(guarded), &error);
+  if (!g) {
+    std::fprintf(stderr, "tenant registration failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  out = {*imaging, *sad, *g};
+  return out;
+}
+
+bool check(bool ok, const char* what, int& failures) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--requests=", 11) == 0) {
+      cli.requests = std::strtoull(a + 11, nullptr, 10);
+    } else if (std::strncmp(a, "--ops=", 6) == 0) {
+      cli.ops = std::strtoull(a + 6, nullptr, 10);
+    } else if (std::strncmp(a, "--overload_clients=", 19) == 0) {
+      cli.overload_clients = std::strtoull(a + 19, nullptr, 10);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      cli.seed = std::strtoull(a + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--requests=N] [--ops=N] "
+                   "[--overload_clients=N] [--seed=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  std::string json = "{\n";
+
+  // ---- leg 1: determinism across worker counts -------------------------
+  {
+    ReplayOptions opt;
+    opt.requests_per_client = std::max<std::uint64_t>(8, cli.requests / 4);
+    opt.ops_per_request = cli.ops;
+    opt.clients_per_tenant = 1;  // submission order == admission order
+    opt.window = 8;
+    opt.seed = cli.seed;
+
+    std::vector<std::vector<std::vector<Response>>> runs;
+    const int worker_counts[] = {0, 1, 2, 8};  // 0 = serial referee
+    for (const int workers : worker_counts) {
+      ServiceOptions so;
+      so.workers = workers;
+      ApproxService service(so);
+      const std::vector<TenantId> tenants = add_tenants(service);
+      std::vector<std::vector<Response>> collected;
+      if (workers == 0) {
+        // Serial referee: a manual-pump service consumed by one dedicated
+        // pumper thread — every request of every tenant executes on a
+        // single thread, the strictest baseline for the §5h comparison.
+        std::atomic<bool> done{false};
+        std::thread pumper([&service, &done] {
+          while (!done.load(std::memory_order_relaxed)) {
+            if (service.pump_all() == 0) std::this_thread::yield();
+          }
+          service.pump_all();
+        });
+        ReplayReport report = replay(service, tenants, opt, &collected);
+        done.store(true, std::memory_order_relaxed);
+        pumper.join();
+        check(report.silent_corruptions == 0, "referee silent corruption",
+              failures);
+      } else {
+        ReplayReport report = replay(service, tenants, opt, &collected);
+        check(report.silent_corruptions == 0, "determinism-leg corruption",
+              failures);
+      }
+      check(service.stats().conservation_ok(), "determinism-leg conservation",
+            failures);
+      runs.push_back(std::move(collected));
+    }
+    bool identical = true;
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+      if (runs[r].size() != runs[0].size()) identical = false;
+      for (std::size_t t = 0; identical && t < runs[0].size(); ++t) {
+        if (runs[r][t].size() != runs[0][t].size()) {
+          identical = false;
+          break;
+        }
+        for (std::size_t i = 0; i < runs[0][t].size(); ++i) {
+          if (!deterministic_equal(runs[r][t][i], runs[0][t][i])) {
+            identical = false;
+            break;
+          }
+        }
+      }
+    }
+    check(identical, "responses bit-identical across workers {1,2,8} vs serial",
+          failures);
+    json += "  \"determinism\": {\"worker_counts\": [0, 1, 2, 8], "
+            "\"bit_identical\": " +
+            std::string(identical ? "true" : "false") + "},\n";
+  }
+
+  // ---- leg 2: sustained throughput -------------------------------------
+  {
+    ServiceOptions so;
+    so.workers = 2;
+    ApproxService service(so);
+    const std::vector<TenantId> tenants = add_tenants(service);
+    ReplayOptions opt;
+    opt.requests_per_client = cli.requests;
+    opt.ops_per_request = cli.ops;
+    opt.clients_per_tenant = 1;
+    opt.window = 16;
+    opt.seed = cli.seed;
+    const std::uint64_t t0 = gear::obs::monotonic_now_ns();
+    const ReplayReport report = replay(service, tenants, opt);
+    const std::uint64_t elapsed = gear::obs::monotonic_now_ns() - t0;
+    check(report.silent_corruptions == 0, "throughput-leg corruption",
+          failures);
+    check(service.stats().conservation_ok(), "throughput-leg conservation",
+          failures);
+    const double secs = static_cast<double>(elapsed) * 1e-9;
+    const double ops_per_sec =
+        secs > 0.0 ? static_cast<double>(report.operations) / secs : 0.0;
+    std::printf("throughput: %.3g ops/s (%" PRIu64 " ops, %.3f s)\n",
+                ops_per_sec, report.operations, secs);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"throughput\": {\"ops\": %" PRIu64
+                  ", \"seconds\": %.6f, \"ops_per_sec\": %.1f},\n",
+                  report.operations, secs, ops_per_sec);
+    json += buf;
+  }
+
+  // ---- leg 3: overload (>= 2x saturation) ------------------------------
+  {
+    ServiceOptions so;
+    so.workers = 2;
+    so.queue_cap = 24;  // small on purpose: force load shedding
+    ApproxService service(so);
+    const std::vector<TenantId> tenants = add_tenants(service);
+    ReplayOptions opt;
+    opt.requests_per_client = cli.requests;
+    opt.ops_per_request = cli.ops;
+    opt.clients_per_tenant = cli.overload_clients;  // >= 2x the workers
+    opt.window = 16;
+    opt.max_retries = 2;
+    opt.deadline_ns = 50'000'000;  // 50 ms: slow queues expire, not hang
+    opt.seed = cli.seed + 1;
+    const ReplayReport report = replay(service, tenants, opt);
+    const ServiceStats stats = service.stats();
+    check(report.silent_corruptions == 0, "overload-leg corruption", failures);
+    check(stats.conservation_ok(), "overload-leg conservation", failures);
+    check(stats.rejected > 0, "overload must shed (rejected == 0)", failures);
+    const double attempts = static_cast<double>(report.attempts);
+    const double shed_rate =
+        attempts > 0.0 ? static_cast<double>(stats.rejected) / attempts : 0.0;
+    const double expire_rate =
+        attempts > 0.0 ? static_cast<double>(stats.expired) / attempts : 0.0;
+    json += "  \"overload\": {\n";
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"attempts\": %" PRIu64 ", \"admitted\": %" PRIu64
+                  ", \"shed\": %" PRIu64 ", \"expired\": %" PRIu64
+                  ", \"retried\": %" PRIu64
+                  ", \"shed_rate\": %.4f, \"expire_rate\": %.4f,\n",
+                  report.attempts, stats.admitted, stats.rejected,
+                  stats.expired, report.retried, shed_rate, expire_rate);
+    json += buf;
+    json += "    \"tenants\": {";
+    for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
+      const auto& t = stats.tenants[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\"%s\": {\"p50_ns\": %.0f, \"p99_ns\": %.0f, "
+                    "\"completed\": %" PRIu64 "}",
+                    i == 0 ? "" : ", ",
+                    gear::benchutil::json_escape(t.name).c_str(),
+                    t.latency_ns.quantile(0.5), t.latency_ns.quantile(0.99),
+                    t.completed_ok + t.completed_degraded);
+      json += buf;
+    }
+    json += "}\n  },\n";
+    std::printf("overload: shed_rate=%.2f expire_rate=%.2f retried=%" PRIu64
+                "\n",
+                shed_rate, expire_rate, report.retried);
+  }
+
+  // ---- leg 4: chaos (mid-stream detect fault + recovery) ---------------
+  {
+    ServiceOptions so;
+    so.workers = 2;
+    ApproxService service(so);
+    const std::vector<TenantId> tenants = add_tenants(service);
+    const TenantId guarded = tenants[2];
+    ReplayOptions opt;
+    opt.requests_per_client = std::max<std::uint64_t>(8, cli.requests / 2);
+    opt.ops_per_request = cli.ops;
+    opt.clients_per_tenant = 1;
+    opt.window = 8;
+    opt.seed = cli.seed + 2;
+
+    ReplayReport healthy = replay(service, tenants, opt);
+    // Stuck-at-1 detect flag on sub-adder 1: the detect rate spikes far
+    // over the analytic rate and the watchdog must trip to exact adds.
+    service.inject_detect_fault(guarded, {1, true});
+    opt.seed = cli.seed + 3;
+    ReplayReport faulty = replay(service, tenants, opt);
+    service.clear_detect_fault(guarded);
+    service.reset_watchdog(guarded);
+    opt.seed = cli.seed + 4;
+    ReplayReport recovered = replay(service, tenants, opt);
+
+    const ServiceStats stats = service.stats();
+    check(healthy.silent_corruptions == 0, "chaos-leg corruption (healthy)",
+          failures);
+    check(faulty.silent_corruptions == 0, "chaos-leg corruption (faulty)",
+          failures);
+    check(recovered.silent_corruptions == 0,
+          "chaos-leg corruption (recovered)", failures);
+    check(stats.conservation_ok(), "chaos-leg conservation", failures);
+    check(faulty.fallback_events > 0, "fault must trip the watchdog",
+          failures);
+    check(faulty.safe_mode_ops + faulty.budget_forced_exact_ops > 0,
+          "fault must degrade service visibly", failures);
+    check(recovered.fallback_events == 0,
+          "no watchdog trips after fault cleared + reset", failures);
+    // Under the fault, degradation shows up through two visible paths:
+    // watchdog safe-mode ops and error-budget forced-exact ops (the
+    // budget usually exhausts first — spurious corrections are wrong
+    // results). Both count as non-silent fallback service.
+    const double faulty_ops = static_cast<double>(faulty.operations);
+    const std::uint64_t degraded_ops =
+        faulty.safe_mode_ops + faulty.budget_forced_exact_ops;
+    const double fallback_rate =
+        faulty_ops > 0.0 ? static_cast<double>(degraded_ops) / faulty_ops
+                         : 0.0;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"chaos\": {\"fallback_events\": %" PRIu64
+                  ", \"safe_mode_ops\": %" PRIu64
+                  ", \"budget_forced_exact_ops\": %" PRIu64
+                  ", \"fallback_rate\": %.4f, \"recovered_degraded_ops\": "
+                  "%" PRIu64 ", \"silent_corruptions\": %" PRIu64 "},\n",
+                  faulty.fallback_events, faulty.safe_mode_ops,
+                  faulty.budget_forced_exact_ops, fallback_rate,
+                  recovered.safe_mode_ops + recovered.budget_forced_exact_ops,
+                  healthy.silent_corruptions + faulty.silent_corruptions +
+                      recovered.silent_corruptions);
+    json += buf;
+    std::printf("chaos: fallback_events=%" PRIu64 " fallback_rate=%.2f\n",
+                faulty.fallback_events, fallback_rate);
+  }
+
+  json += "  \"failures\": " + std::to_string(failures) + "\n}\n";
+  gear::benchutil::write_bench_json("service", json);
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_service: %d invariant failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("bench_service: all invariants held\n");
+  return 0;
+}

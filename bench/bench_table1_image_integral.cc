@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
        }},
       {"GeAr(4,4)", "gear:16:4:4",
        [] {
-         return gear::netlist::build_gear(GeArConfig::must(kN, 4, 4),
+         return gear::netlist::build_gear(gear::benchutil::require_config(kN, 4, 4),
                                           {.with_detection = false});
        }},
       {"GeAr(4,6)", "gear:16:4:6",
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
        }},
       {"GeAr(4,8)", "gear:16:4:8",
        [] {
-         return gear::netlist::build_gear(GeArConfig::must(kN, 4, 8),
+         return gear::netlist::build_gear(gear::benchutil::require_config(kN, 4, 8),
                                           {.with_detection = false});
        }},
   };

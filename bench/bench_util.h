@@ -6,12 +6,47 @@
 #include <fstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analysis/table.h"
+#include "core/config.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace gear::benchutil {
+
+/// Validates a benchmark's (N, R, P) literal through GeArConfig::make()
+/// and exits naming the violated constraint on failure, so a typo'd sweep
+/// entry or CLI override points at itself instead of abort()ing without
+/// context mid-run.
+inline core::GeArConfig require_config(int n, int r, int p) {
+  auto cfg = core::GeArConfig::make(n, r, p);
+  if (!cfg) {
+    std::fprintf(stderr,
+                 "error: invalid GeAr(N=%d, R=%d, P=%d): %s\n"
+                 "       fix the config literal or sweep entry and rerun.\n",
+                 n, r, p, core::GeArConfig::invalid_reason(n, r, p).c_str());
+    std::exit(2);
+  }
+  return *cfg;
+}
+
+/// Heterogeneous-layout counterpart of require_config(): validates via
+/// make_custom() and exits with custom_invalid_reason() on failure.
+inline core::GeArConfig require_custom(
+    int n, int l0, const std::vector<core::GeArConfig::Segment>& segments) {
+  auto cfg = core::GeArConfig::make_custom(n, l0, segments);
+  if (!cfg) {
+    std::fprintf(
+        stderr,
+        "error: invalid custom GeAr layout (N=%d, L0=%d, %zu segments): %s\n"
+        "       fix the segment list and rerun.\n",
+        n, l0, segments.size(),
+        core::GeArConfig::custom_invalid_reason(n, l0, segments).c_str());
+    std::exit(2);
+  }
+  return *cfg;
+}
 
 /// Gives every bench binary the --metrics_out=<file>.json and
 /// --trace_out=<file>.json flags: construct one first thing in main()

@@ -117,7 +117,17 @@ PaperTable table3_error_probability(stats::ParallelExecutor& exec) {
   // substreams merged in index order — bit-identical for any thread
   // count); the 10k run keeps the paper's single-stream protocol.
   for (const Row& row : rows) {
-    const core::GeArConfig cfg = core::GeArConfig::must(row.n, row.r, row.p);
+    // A bad row should name itself and be skipped, not abort() the whole
+    // table — this also runs inside the golden tests.
+    const auto made = core::GeArConfig::make(row.n, row.r, row.p);
+    if (!made) {
+      std::fprintf(
+          stderr, "table3: skipping invalid GeAr(%d,%d,%d): %s\n", row.n,
+          row.r, row.p,
+          core::GeArConfig::invalid_reason(row.n, row.r, row.p).c_str());
+      continue;
+    }
+    const core::GeArConfig cfg = *made;
     const double formula = core::paper_error_probability(cfg);
     const double exact = core::exact_error_probability(cfg);
     const auto metrics = core::exact_error_metrics(cfg);

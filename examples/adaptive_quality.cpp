@@ -15,7 +15,13 @@
 int main() {
   using namespace gear;
 
-  const core::GeArConfig cfg = core::GeArConfig::must(16, 2, 2);  // k=7
+  const auto made = core::GeArConfig::make(16, 2, 2);  // k=7
+  if (!made) {
+    std::fprintf(stderr, "invalid GeAr(16,2,2): %s\n",
+                 core::GeArConfig::invalid_reason(16, 2, 2).c_str());
+    return 1;
+  }
+  const core::GeArConfig cfg = *made;
   core::AdaptivePolicy policy;
   policy.target_error_rate = 0.02;
   policy.window = 512;

@@ -18,7 +18,15 @@ int main() {
   // 1. A GeAr configuration is (N, R, P): 16-bit operands, two 8-bit
   //    sub-adders, each contributing R=4 result bits with P=4 carry-
   //    prediction bits (paper Fig. 3 scaled to 16 bits).
-  const core::GeArConfig cfg = core::GeArConfig::must(16, 4, 4);
+  //    make() returns std::nullopt for invalid parameters;
+  //    invalid_reason() says which constraint was violated.
+  const auto made = core::GeArConfig::make(16, 4, 4);
+  if (!made) {
+    std::fprintf(stderr, "invalid GeAr(16,4,4): %s\n",
+                 core::GeArConfig::invalid_reason(16, 4, 4).c_str());
+    return 1;
+  }
+  const core::GeArConfig cfg = *made;
   std::printf("%s: k=%d sub-adders of length L=%d, carry chains <= %d bits\n",
               cfg.name().c_str(), cfg.k(), cfg.l(), cfg.max_carry_chain());
 

@@ -48,6 +48,9 @@ StreamAdderEngine::StreamAdderEngine(core::GeArConfig cfg,
       expected_detect_rate_(core::paper_error_probability(corrector_.config())) {}
 
 void StreamStats::merge(const StreamStats& other) {
+  // Window entries of `other` follow this stream's ops in the canonical
+  // order, so their op indices shift by the op count accumulated so far.
+  const std::uint64_t base_ops = operations;
   operations += other.operations;
   cycles += other.cycles;
   stall_cycles += other.stall_cycles;
@@ -57,6 +60,12 @@ void StreamStats::merge(const StreamStats& other) {
   safe_mode_ops += other.safe_mode_ops;
   flagged_ops += other.flagged_ops;
   flagged_wrong_results += other.flagged_wrong_results;
+  degraded_windows.reserve(degraded_windows.size() +
+                           other.degraded_windows.size());
+  for (WindowDegradation w : other.degraded_windows) {
+    w.start_op += base_ops;
+    degraded_windows.push_back(w);
+  }
 }
 
 std::optional<core::Watchdog> StreamAdderEngine::make_watchdog() const {
@@ -64,18 +73,40 @@ std::optional<core::Watchdog> StreamAdderEngine::make_watchdog() const {
   return core::Watchdog(expected_detect_rate_, *degradation_);
 }
 
+namespace {
+
+// Attributes a degradation event (a fallback trip and/or one safe-mode
+// op) to the watchdog window containing the op just accounted. Ops are
+// fed in order, so only the last entry can match.
+void note_degraded_window(StreamStats& stats, std::uint32_t window,
+                          std::uint64_t fallback, std::uint64_t safe_op) {
+  const std::uint64_t op = stats.operations - 1;
+  const std::uint64_t start = op - op % window;
+  if (stats.degraded_windows.empty() ||
+      stats.degraded_windows.back().start_op != start) {
+    stats.degraded_windows.push_back({start, 0, 0});
+  }
+  stats.degraded_windows.back().fallback_events += fallback;
+  stats.degraded_windows.back().safe_mode_ops += safe_op;
+}
+
+}  // namespace
+
 void StreamAdderEngine::feed(StreamStats& stats, core::Watchdog* watchdog,
-                             std::uint64_t a, std::uint64_t b) const {
+                             std::uint64_t a, std::uint64_t b,
+                             std::uint64_t* sum_out) const {
   if (watchdog && watchdog->in_safe_mode()) {
     ++stats.operations;
     ++stats.safe_mode_ops;
+    note_degraded_window(stats, watchdog->policy().window, 0, 1);
     switch (watchdog->mode()) {
       case core::SafeMode::kExactAdd: {
         // Bypass the (possibly compromised) detect/correct path: full
         // worst-case-latency exact add. Note the injected fault cannot
         // corrupt this path.
         const std::uint64_t m = core::width_mask(corrector_.config().n());
-        (void)((a & m) + (b & m));
+        const std::uint64_t sum = (a & m) + (b & m);
+        if (sum_out != nullptr) *sum_out = sum;
         const auto cycles =
             static_cast<std::uint64_t>(corrector_.worst_case_cycles());
         stats.cycles += cycles;
@@ -86,6 +117,7 @@ void StreamAdderEngine::feed(StreamStats& stats, core::Watchdog* watchdog,
         // Keep the configured correction mask but stop reacting to the
         // watchdog (it has latched); accounting as normal.
         const core::CorrectionResult res = corrector_.add(a, b, fault_);
+        if (sum_out != nullptr) *sum_out = res.sum;
         stats.cycles += static_cast<std::uint64_t>(res.cycles);
         stats.stall_cycles += static_cast<std::uint64_t>(res.cycles - 1);
         if (!res.corrected.empty()) ++stats.corrected_ops;
@@ -96,6 +128,7 @@ void StreamAdderEngine::feed(StreamStats& stats, core::Watchdog* watchdog,
         // 1-cycle approximate adds, every result flagged so residual
         // errors are visible downstream instead of silent.
         const core::CorrectionResult res = corrector_.add(a, b, fault_, 0);
+        if (sum_out != nullptr) *sum_out = res.sum;
         stats.cycles += static_cast<std::uint64_t>(res.cycles);
         ++stats.flagged_ops;
         if (!res.exact) {
@@ -111,6 +144,7 @@ void StreamAdderEngine::feed(StreamStats& stats, core::Watchdog* watchdog,
 
   const int budget = degradation_ ? degradation_->per_op_correction_budget : -1;
   const core::CorrectionResult res = corrector_.add(a, b, fault_, budget);
+  if (sum_out != nullptr) *sum_out = res.sum;
   ++stats.operations;
   stats.cycles += static_cast<std::uint64_t>(res.cycles);
   stats.stall_cycles += static_cast<std::uint64_t>(res.cycles - 1);
@@ -119,15 +153,18 @@ void StreamAdderEngine::feed(StreamStats& stats, core::Watchdog* watchdog,
   if (watchdog && watchdog->observe(res.detect_mask != 0,
                                     static_cast<std::uint64_t>(res.cycles - 1))) {
     ++stats.fallback_events;
+    note_degraded_window(stats, watchdog->policy().window, 1, 0);
   }
 }
 
 void StreamAdderEngine::feed_block(StreamStats& stats,
                                    core::BitslicedBatch& batch,
                                    const std::uint64_t* a,
-                                   const std::uint64_t* b, int count) const {
+                                   const std::uint64_t* b, int count,
+                                   std::uint64_t* sums_out) const {
   bitsliced_.eval(a, b, count, /*carry_in_lanes=*/0,
                   corrector_.enabled_mask(), batch);
+  if (sums_out != nullptr) bitsliced_.unpack_sums(batch.approx, sums_out, count);
   // Per-op accounting, summed over lanes: cycles = 1 + corrections per op,
   // every correction is a stall cycle, corrected_ops counts ops with any
   // correction, wrong_results counts residual post-correction errors —
@@ -150,16 +187,17 @@ StreamStats StreamAdderEngine::run(stats::OperandSource& source,
   GEAR_OBS_SPAN("stream/run_source", "stream");
   StreamStats stats;
   if (can_batch()) {
+    stats::OperandPair buf[stats::kBitslicedLanes];
     std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
     core::BitslicedBatch batch;
     for (std::uint64_t base = 0; base < ops;
          base += stats::kBitslicedLanes) {
       const int count = static_cast<int>(
           std::min<std::uint64_t>(stats::kBitslicedLanes, ops - base));
+      source.fill(buf, static_cast<std::size_t>(count));
       for (int l = 0; l < count; ++l) {
-        const auto [x, y] = source.next();
-        a[l] = x;
-        b[l] = y;
+        a[l] = buf[l].a;
+        b[l] = buf[l].b;
       }
       feed_block(stats, batch, a, b, count);
     }
@@ -203,6 +241,40 @@ StreamStats StreamAdderEngine::run(const std::vector<stats::OperandPair>& operan
   return stats;
 }
 
+StreamStats StreamAdderEngine::run_with_sums(const stats::OperandPair* operands,
+                                             std::size_t count,
+                                             std::uint64_t* sums_out,
+                                             core::Watchdog* watchdog) const {
+  StreamStats stats;
+  if (watchdog == nullptr && can_batch()) {
+    std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
+    core::BitslicedBatch batch;
+    for (std::size_t base = 0; base < count; base += stats::kBitslicedLanes) {
+      const int n = static_cast<int>(std::min<std::size_t>(
+          stats::kBitslicedLanes, count - base));
+      for (int l = 0; l < n; ++l) {
+        a[l] = operands[base + static_cast<std::size_t>(l)].a;
+        b[l] = operands[base + static_cast<std::size_t>(l)].b;
+      }
+      feed_block(stats, batch, a, b, n,
+                 sums_out == nullptr ? nullptr : sums_out + base);
+    }
+    return stats;
+  }
+  // An externally persisted watchdog (service tenants) takes precedence;
+  // otherwise fall back to the per-call watchdog run() would create.
+  std::optional<core::Watchdog> local;
+  if (watchdog == nullptr) {
+    local = make_watchdog();
+    if (local) watchdog = &*local;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    feed(stats, watchdog, operands[i].a, operands[i].b,
+         sums_out == nullptr ? nullptr : sums_out + i);
+  }
+  return stats;
+}
+
 StreamStats StreamAdderEngine::run(const SourceFactory& make_source,
                                    std::uint64_t ops, std::uint64_t master_seed,
                                    stats::ParallelExecutor& exec,
@@ -214,16 +286,17 @@ StreamStats StreamAdderEngine::run(const SourceFactory& make_source,
         stats::ParallelExecutor::shard_rng(master_seed, shards[i].index));
     if (can_batch()) {
       StreamStats stats;
+      stats::OperandPair buf[stats::kBitslicedLanes];
       std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
       core::BitslicedBatch batch;
       for (std::uint64_t base = 0; base < shards[i].size();
            base += stats::kBitslicedLanes) {
         const int count = static_cast<int>(std::min<std::uint64_t>(
             stats::kBitslicedLanes, shards[i].size() - base));
+        source->fill(buf, static_cast<std::size_t>(count));
         for (int l = 0; l < count; ++l) {
-          const auto [x, y] = source->next();
-          a[l] = x;
-          b[l] = y;
+          a[l] = buf[l].a;
+          b[l] = buf[l].b;
         }
         feed_block(stats, batch, a, b, count);
       }

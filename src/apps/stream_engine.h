@@ -36,9 +36,28 @@ struct StreamStats {
   std::uint64_t flagged_ops = 0;      ///< safe-mode ops flagged approximate
   std::uint64_t flagged_wrong_results = 0;  ///< wrong but flagged (not silent)
 
+  /// One watchdog window that saw degradation. fallback_events /
+  /// safe_mode_ops are merged per shard into the totals above, which says
+  /// *how much* degradation a run suffered but not *when*; these entries
+  /// say when. `start_op` is the op index of the window's first op within
+  /// the merged stream (per-shard windows are offset by the shard's base
+  /// op count during merge, so a window never spans shards — windows are
+  /// a per-watchdog notion and watchdogs are per-shard, §5a). Only
+  /// windows with at least one fallback or safe-mode op are recorded, so
+  /// the vector stays small on healthy streams.
+  struct WindowDegradation {
+    std::uint64_t start_op = 0;
+    std::uint64_t fallback_events = 0;
+    std::uint64_t safe_mode_ops = 0;
+
+    bool operator==(const WindowDegradation&) const = default;
+  };
+  std::vector<WindowDegradation> degraded_windows;
+
   /// Pools another shard's counters into this one (parallel merge). All
-  /// fields are additive, so merging shards in index order reproduces the
-  /// sequential canonical run exactly.
+  /// fields are additive (degraded_windows concatenates with op-index
+  /// offsets), so merging shards in index order reproduces the sequential
+  /// canonical run exactly.
   void merge(const StreamStats& other);
 
   double cycles_per_op() const {
@@ -93,6 +112,29 @@ class StreamAdderEngine {
   /// Feeds an explicit operand list (e.g. a traced kernel).
   StreamStats run(const std::vector<stats::OperandPair>& operands) const;
 
+  /// Serving-layer entry point: runs `count` operand pairs and writes each
+  /// op's final (post-correction / safe-mode) sum — N+1 bits including the
+  /// carry-out — into sums_out[0..count). Accounting is identical to
+  /// run(operands).
+  ///
+  /// `watchdog` lets a caller persist degradation state *across* calls
+  /// (the multi-tenant service feeds one long-lived watchdog per tenant,
+  /// whereas run() creates a fresh per-run watchdog): when non-null the
+  /// scalar feed path is used with exactly that watchdog; when null the
+  /// call behaves like run() (bitsliced fast path when possible, fresh
+  /// internal watchdog otherwise). Because every lane/op is independent,
+  /// splitting a stream across successive calls at any boundaries yields
+  /// bit-identical sums and additive stats — the property the service's
+  /// deadline-sliced execution relies on.
+  StreamStats run_with_sums(const stats::OperandPair* operands,
+                            std::size_t count, std::uint64_t* sums_out,
+                            core::Watchdog* watchdog = nullptr) const;
+
+  /// Fresh watchdog configured from this engine's degradation policy
+  /// (std::nullopt without one) — public so callers that persist watchdog
+  /// state across run_with_sums calls can mint one per tenant/stream.
+  std::optional<core::Watchdog> make_watchdog() const;
+
   /// Deterministic parallel run: `ops` is split into fixed-size shards;
   /// shard i streams from make_source(ParallelExecutor::shard_rng(
   /// master_seed, i)) and the per-shard stats merge in shard index order,
@@ -107,18 +149,18 @@ class StreamAdderEngine {
   bool degradation_enabled() const { return degradation_.has_value(); }
 
  private:
-  /// Per-run watchdog state; created fresh for every run (and every
-  /// shard) when a degradation policy is configured.
-  std::optional<core::Watchdog> make_watchdog() const;
+  /// Accounts one op; writes its final sum to *sum_out when non-null.
   void feed(StreamStats& stats, core::Watchdog* watchdog, std::uint64_t a,
-            std::uint64_t b) const;
+            std::uint64_t b, std::uint64_t* sum_out = nullptr) const;
   /// True when runs may use the bitsliced batch path (no per-op watchdog
   /// or injected detect fault to thread through).
   bool can_batch() const { return !degradation_ && !fault_.active(); }
   /// Accounts one 64-lane batch of ops; `batch` is caller-owned scratch.
+  /// When `sums_out` is non-null the per-lane post-correction sums are
+  /// unpacked into sums_out[0..count).
   void feed_block(StreamStats& stats, core::BitslicedBatch& batch,
-                  const std::uint64_t* a, const std::uint64_t* b,
-                  int count) const;
+                  const std::uint64_t* a, const std::uint64_t* b, int count,
+                  std::uint64_t* sums_out = nullptr) const;
 
   core::Corrector corrector_;
   core::BitslicedGearAdder bitsliced_;

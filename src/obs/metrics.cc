@@ -252,6 +252,26 @@ std::uint64_t FixedHistogram::samples() const {
   return total;
 }
 
+double FixedHistogram::quantile(double q) const {
+  const std::uint64_t total = samples();
+  if (total == 0) return spec.lo;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  double cum = static_cast<double>(underflow);
+  if (target <= cum && underflow > 0) return spec.lo;
+  const double width = (spec.hi - spec.lo) / static_cast<double>(spec.buckets);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double c = static_cast<double>(counts[i]);
+    if (c > 0.0 && target <= cum + c) {
+      const double frac = (target - cum) / c;
+      return spec.lo + width * (static_cast<double>(i) + frac);
+    }
+    cum += c;
+  }
+  return spec.hi;  // quantile lands in the overflow mass
+}
+
 void TimingStat::record_ns(double ns) {
   if (count == 0 || ns < min_ns) min_ns = ns;
   if (count == 0 || ns > max_ns) max_ns = ns;
@@ -293,6 +313,7 @@ MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other) {
   labels_ = other.labels_;
   histograms_ = other.histograms_;
   timings_ = other.timings_;
+  runtime_histograms_ = other.runtime_histograms_;
   return *this;
 }
 
@@ -317,24 +338,42 @@ void MetricsRegistry::set_label(std::string_view name, std::string_view value) {
   labels_[std::string(name)] = std::string(value);
 }
 
-void MetricsRegistry::record(std::string_view name, const HistogramSpec& spec,
-                             double value) {
+namespace {
+
+/// Shared body of record() / record_runtime(): find-or-create under the
+/// caller-held lock, enforcing the spec-identity rule.
+void record_into(std::map<std::string, FixedHistogram, std::less<>>& map,
+                 std::string_view name, const HistogramSpec& spec,
+                 double value) {
   if (spec.buckets <= 0 || !(spec.lo < spec.hi)) {
     throw std::invalid_argument("MetricsRegistry::record: bad HistogramSpec");
   }
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
+  auto it = map.find(name);
+  if (it == map.end()) {
     FixedHistogram h;
     h.spec = spec;
     h.counts.assign(static_cast<std::size_t>(spec.buckets), 0);
-    it = histograms_.emplace(std::string(name), std::move(h)).first;
+    it = map.emplace(std::string(name), std::move(h)).first;
   } else if (!(it->second.spec == spec)) {
     throw std::invalid_argument(
         "MetricsRegistry::record: spec mismatch for histogram '" +
         std::string(name) + "'");
   }
   it->second.record(value);
+}
+
+}  // namespace
+
+void MetricsRegistry::record(std::string_view name, const HistogramSpec& spec,
+                             double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  record_into(histograms_, name, spec, value);
+}
+
+void MetricsRegistry::record_runtime(std::string_view name,
+                                     const HistogramSpec& spec, double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  record_into(runtime_histograms_, name, spec, value);
 }
 
 void MetricsRegistry::add_runtime(std::string_view name, std::uint64_t delta) {
@@ -394,6 +433,14 @@ std::optional<TimingStat> MetricsRegistry::timing(std::string_view name) const {
   return it->second;
 }
 
+std::optional<FixedHistogram> MetricsRegistry::runtime_histogram(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = runtime_histograms_.find(name);
+  if (it == runtime_histograms_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::map<std::string, std::uint64_t> MetricsRegistry::counter_values_(
     const std::map<std::string, Counter, std::less<>>& m) const {
   std::map<std::string, std::uint64_t> out;
@@ -423,6 +470,14 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, stat] : other.timings_) {
     timings_[name].merge(stat);
   }
+  for (const auto& [name, hist] : other.runtime_histograms_) {
+    auto it = runtime_histograms_.find(name);
+    if (it == runtime_histograms_.end()) {
+      runtime_histograms_[name] = hist;
+    } else {
+      it->second.merge(hist);
+    }
+  }
 }
 
 bool MetricsRegistry::deterministic_equal(const MetricsRegistry& other) const {
@@ -447,6 +502,7 @@ void MetricsRegistry::clear() {
   labels_.clear();
   histograms_.clear();
   timings_.clear();
+  runtime_histograms_.clear();
 }
 
 bool MetricsRegistry::empty() const {
@@ -458,7 +514,7 @@ bool MetricsRegistry::empty() const {
     if (cell.value() != 0) return false;
   }
   return gauges_.empty() && labels_.empty() && histograms_.empty() &&
-         timings_.empty();
+         timings_.empty() && runtime_histograms_.empty();
 }
 
 std::string MetricsRegistry::to_json() const {
@@ -488,20 +544,26 @@ std::string MetricsRegistry::to_json() const {
     sep();
     os << "\"" << json_escape(name) << "\":\"" << json_escape(value) << "\"";
   }
+  const auto emit_histograms =
+      [&](const std::map<std::string, FixedHistogram, std::less<>>& map) {
+        first = true;
+        for (const auto& [name, h] : map) {
+          sep();
+          os << "\"" << json_escape(name)
+             << "\":{\"lo\":" << fmt_double(h.spec.lo)
+             << ",\"hi\":" << fmt_double(h.spec.hi)
+             << ",\"buckets\":" << h.spec.buckets
+             << ",\"underflow\":" << h.underflow
+             << ",\"overflow\":" << h.overflow << ",\"counts\":[";
+          for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (i != 0) os << ",";
+            os << h.counts[i];
+          }
+          os << "]}";
+        }
+      };
   os << "},\"histograms\":{";
-  first = true;
-  for (const auto& [name, h] : histograms_) {
-    sep();
-    os << "\"" << json_escape(name) << "\":{\"lo\":" << fmt_double(h.spec.lo)
-       << ",\"hi\":" << fmt_double(h.spec.hi) << ",\"buckets\":" << h.spec.buckets
-       << ",\"underflow\":" << h.underflow << ",\"overflow\":" << h.overflow
-       << ",\"counts\":[";
-    for (std::size_t i = 0; i < h.counts.size(); ++i) {
-      if (i != 0) os << ",";
-      os << h.counts[i];
-    }
-    os << "]}";
-  }
+  emit_histograms(histograms_);
   os << "}},\"wallclock\":{\"runtime\":{";
   first = true;
   for (const auto& [name, cell] : runtime_) {
@@ -517,6 +579,8 @@ std::string MetricsRegistry::to_json() const {
        << ",\"min\":" << fmt_double(t.min_ns)
        << ",\"max\":" << fmt_double(t.max_ns) << "}";
   }
+  os << "},\"histograms\":{";
+  emit_histograms(runtime_histograms_);
   os << "}}}";
   return os.str();
 }
@@ -529,6 +593,42 @@ std::optional<MetricsRegistry> MetricsRegistry::from_json(
   const auto parse_counter_map = [&](auto&& sink) {
     p.parse_object([&](const std::string& key) { sink(key, p.parse_u64()); });
   };
+
+  const auto parse_histogram_map =
+      [&](std::map<std::string, FixedHistogram, std::less<>>& target) {
+        p.parse_object([&](const std::string& k) {
+          FixedHistogram h;
+          p.parse_object([&](const std::string& field) {
+            if (field == "lo") h.spec.lo = p.parse_double();
+            else if (field == "hi") h.spec.hi = p.parse_double();
+            else if (field == "buckets") h.spec.buckets = static_cast<int>(p.parse_u64());
+            else if (field == "underflow") h.underflow = p.parse_u64();
+            else if (field == "overflow") h.overflow = p.parse_u64();
+            else if (field == "counts") {
+              if (!p.consume('[')) return;
+              if (p.peek(']')) {
+                p.consume(']');
+                return;
+              }
+              for (;;) {
+                h.counts.push_back(p.parse_u64());
+                if (p.peek(',')) {
+                  p.consume(',');
+                  continue;
+                }
+                p.consume(']');
+                return;
+              }
+            } else {
+              p.ok = false;
+            }
+          });
+          if (p.ok) {
+            std::lock_guard<std::mutex> lk(reg.mu_);
+            target[k] = std::move(h);
+          }
+        });
+      };
 
   p.parse_object([&](const std::string& section) {
     if (section == "deterministic") {
@@ -545,38 +645,7 @@ std::optional<MetricsRegistry> MetricsRegistry::from_json(
             reg.set_label(k, p.parse_string());
           });
         } else if (kind == "histograms") {
-          p.parse_object([&](const std::string& k) {
-            FixedHistogram h;
-            p.parse_object([&](const std::string& field) {
-              if (field == "lo") h.spec.lo = p.parse_double();
-              else if (field == "hi") h.spec.hi = p.parse_double();
-              else if (field == "buckets") h.spec.buckets = static_cast<int>(p.parse_u64());
-              else if (field == "underflow") h.underflow = p.parse_u64();
-              else if (field == "overflow") h.overflow = p.parse_u64();
-              else if (field == "counts") {
-                if (!p.consume('[')) return;
-                if (p.peek(']')) {
-                  p.consume(']');
-                  return;
-                }
-                for (;;) {
-                  h.counts.push_back(p.parse_u64());
-                  if (p.peek(',')) {
-                    p.consume(',');
-                    continue;
-                  }
-                  p.consume(']');
-                  return;
-                }
-              } else {
-                p.ok = false;
-              }
-            });
-            if (p.ok) {
-              std::lock_guard<std::mutex> lk(reg.mu_);
-              reg.histograms_[k] = std::move(h);
-            }
-          });
+          parse_histogram_map(reg.histograms_);
         } else {
           p.ok = false;
         }
@@ -602,6 +671,8 @@ std::optional<MetricsRegistry> MetricsRegistry::from_json(
               reg.timings_[k] = t;
             }
           });
+        } else if (kind == "histograms") {
+          parse_histogram_map(reg.runtime_histograms_);
         } else {
           p.ok = false;
         }

@@ -13,9 +13,10 @@
 //    registry is bit-identical across thread counts {1, 2, 8, ...} —
 //    pinned by test_obs.cc.
 //  * wall-clock — runtime counters (scheduling-dependent integers such as
-//    cache hit/miss tallies under a parallel sweep) and timing statistics
-//    from RAII scoped timers. Explicitly excluded from
-//    deterministic_equal() and from any bit-identity check.
+//    cache hit/miss tallies under a parallel sweep), timing statistics
+//    from RAII scoped timers, and wall-clock histograms (per-tenant
+//    request-latency distributions with p50/p99 readouts). Explicitly
+//    excluded from deterministic_equal() and from any bit-identity check.
 //
 // Both channels export through one flat JSON snapshot (to_json /
 // from_json round-trip bit-exactly; doubles use %.17g) and hot spans
@@ -76,6 +77,12 @@ struct FixedHistogram {
   void merge(const FixedHistogram& other);  ///< specs must match
   std::uint64_t samples() const;
 
+  /// Inverse-CDF estimate at `q` in [0, 1] (e.g. 0.5 → p50, 0.99 → p99):
+  /// linear interpolation inside the containing bucket; underflow mass
+  /// sits at spec.lo and overflow mass at spec.hi (a quantile landing in
+  /// the overflow only says "at least hi"). Returns spec.lo when empty.
+  double quantile(double q) const;
+
   bool operator==(const FixedHistogram&) const = default;
 };
 
@@ -129,6 +136,13 @@ class MetricsRegistry {
   void add_runtime(std::string_view name, std::uint64_t delta = 1);
   Counter& runtime_handle(std::string_view name);
   void record_timing_ns(std::string_view name, double ns);
+  /// Records `value` into the wall-clock-channel fixed-bucket histogram
+  /// `name` (per-tenant latency distributions and other timing-shaped
+  /// samples), creating it with `spec` on first use. Same spec-identity
+  /// rule as the deterministic record(); like every wall-clock metric it
+  /// never participates in deterministic_equal().
+  void record_runtime(std::string_view name, const HistogramSpec& spec,
+                      double value);
 
   // --- reads -------------------------------------------------------------
   std::uint64_t counter(std::string_view name) const;  ///< 0 when absent
@@ -137,6 +151,7 @@ class MetricsRegistry {
   std::optional<FixedHistogram> histogram(std::string_view name) const;
   std::uint64_t runtime(std::string_view name) const;  ///< 0 when absent
   std::optional<TimingStat> timing(std::string_view name) const;
+  std::optional<FixedHistogram> runtime_histogram(std::string_view name) const;
 
   /// Pools `other` into this registry: counters/histograms/runtime/
   /// timings add, gauges and labels take `other`'s value when present
@@ -171,6 +186,7 @@ class MetricsRegistry {
   std::map<std::string, FixedHistogram, std::less<>> histograms_;
   std::map<std::string, Counter, std::less<>> runtime_;
   std::map<std::string, TimingStat, std::less<>> timings_;
+  std::map<std::string, FixedHistogram, std::less<>> runtime_histograms_;
 };
 
 /// Process-wide registry: engines record totals here, benches snapshot it

@@ -1,0 +1,196 @@
+#include "serve/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "stats/rng.h"
+
+namespace gear::serve {
+
+namespace {
+
+struct InFlight {
+  std::future<Response> future;
+  std::vector<stats::OperandPair> operands;  // kept for retry + verification
+  int attempt = 1;
+};
+
+bool retryable(RejectReason reason) {
+  return reason == RejectReason::kQueueFull ||
+         reason == RejectReason::kTenantQueueFull;
+}
+
+std::uint64_t backoff_delay_ns(const ReplayOptions& opt, int attempt,
+                               stats::Rng& rng) {
+  double delay = static_cast<double>(opt.backoff_ns);
+  for (int i = 1; i < attempt; ++i) delay *= opt.backoff_mult;
+  delay = std::min(delay, static_cast<double>(opt.backoff_cap_ns));
+  const double jitter = 1.0 + opt.jitter * (2.0 * rng.uniform01() - 1.0);
+  delay *= std::max(0.0, jitter);
+  return static_cast<std::uint64_t>(delay);
+}
+
+/// One client thread: submits requests_per_client logical requests with a
+/// bounded in-flight window, retries retryable sheds with backoff+jitter,
+/// verifies completed sums against the exact adder.
+ReplayReport run_client(ApproxService& service, TenantId tenant, int n_bits,
+                        std::size_t tenant_idx, std::size_t client_idx,
+                        const ReplayOptions& opt,
+                        std::vector<Response>* collect) {
+  ReplayReport report;
+  stats::Rng rng = stats::Rng::substream(
+      opt.seed, "client:" + std::to_string(tenant_idx) + ":" +
+                    std::to_string(client_idx));
+  const std::uint64_t operand_mask =
+      n_bits >= 64 ? ~0ULL : ((1ULL << n_bits) - 1);
+  const std::size_t window = std::max<std::size_t>(1, opt.window);
+
+  std::deque<InFlight> inflight;
+  std::uint64_t started = 0;
+
+  auto submit_one = [&](std::vector<stats::OperandPair> operands,
+                        int attempt) {
+    Request req;
+    req.tenant = tenant;
+    req.operands = operands;  // service consumes its copy; ours is kept
+    if (opt.deadline_ns != 0) {
+      req.deadline_ns = obs::monotonic_now_ns() + opt.deadline_ns;
+    }
+    ++report.attempts;
+    InFlight f;
+    f.future = service.submit(std::move(req));
+    f.operands = std::move(operands);
+    f.attempt = attempt;
+    inflight.push_back(std::move(f));
+  };
+
+  auto finalize = [&](const InFlight& f, Response&& resp) {
+    switch (resp.status) {
+      case RequestStatus::kOk: ++report.ok; break;
+      case RequestStatus::kDegraded: ++report.degraded; break;
+      case RequestStatus::kExpired: ++report.expired; break;
+      case RequestStatus::kRejected: ++report.rejected_final; break;
+    }
+    report.operations += resp.operations;
+    report.reported_wrong += resp.wrong_results;
+    report.flagged_wrong += resp.flagged_wrong_results;
+    report.safe_mode_ops += resp.safe_mode_ops;
+    report.fallback_events += resp.fallback_events;
+    report.budget_forced_exact_ops += resp.budget_forced_exact_ops;
+    if (opt.verify && !resp.sums.empty()) {
+      std::uint64_t mismatches = 0;
+      for (std::size_t i = 0; i < f.operands.size(); ++i) {
+        const std::uint64_t exact = (f.operands[i].a & operand_mask) +
+                                    (f.operands[i].b & operand_mask);
+        if (resp.sums[i] != exact) ++mismatches;
+      }
+      report.verified_mismatches += mismatches;
+      // Anything wrong beyond what the response *said* was wrong is
+      // silent corruption — the invariant the chaos soak pins at zero.
+      // (wrong_results already includes the flagged wrongs.)
+      if (mismatches > resp.wrong_results) {
+        report.silent_corruptions += mismatches - resp.wrong_results;
+      }
+    }
+    if (collect != nullptr) {
+      resp.queue_ns = 0;
+      resp.service_ns = 0;
+      collect->push_back(std::move(resp));
+    }
+  };
+
+  auto drain_front = [&] {
+    InFlight f = std::move(inflight.front());
+    inflight.pop_front();
+    Response resp = f.future.get();
+    if (resp.status == RequestStatus::kRejected &&
+        retryable(resp.reject_reason) && f.attempt <= opt.max_retries) {
+      ++report.retried;
+      const std::uint64_t delay = backoff_delay_ns(opt, f.attempt, rng);
+      if (delay != 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+      }
+      submit_one(std::move(f.operands), f.attempt + 1);
+      return;
+    }
+    finalize(f, std::move(resp));
+  };
+
+  while (started < opt.requests_per_client || !inflight.empty()) {
+    if (started < opt.requests_per_client && inflight.size() < window) {
+      std::vector<stats::OperandPair> operands(opt.ops_per_request);
+      for (stats::OperandPair& p : operands) {
+        p.a = rng.bits(n_bits);
+        p.b = rng.bits(n_bits);
+      }
+      ++started;
+      ++report.requests;
+      submit_one(std::move(operands), 1);
+    } else {
+      drain_front();
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+void ReplayReport::merge(const ReplayReport& other) {
+  requests += other.requests;
+  attempts += other.attempts;
+  ok += other.ok;
+  degraded += other.degraded;
+  expired += other.expired;
+  rejected_final += other.rejected_final;
+  retried += other.retried;
+  operations += other.operations;
+  reported_wrong += other.reported_wrong;
+  flagged_wrong += other.flagged_wrong;
+  safe_mode_ops += other.safe_mode_ops;
+  fallback_events += other.fallback_events;
+  budget_forced_exact_ops += other.budget_forced_exact_ops;
+  verified_mismatches += other.verified_mismatches;
+  silent_corruptions += other.silent_corruptions;
+}
+
+ReplayReport replay(ApproxService& service, const std::vector<TenantId>& tenants,
+                    const ReplayOptions& options,
+                    std::vector<std::vector<Response>>* collected) {
+  if (collected != nullptr) {
+    collected->assign(tenants.size(), {});
+  }
+  const std::size_t clients = std::max<std::size_t>(1, options.clients_per_tenant);
+  std::vector<ReplayReport> reports(tenants.size() * clients);
+  std::vector<std::thread> threads;
+  threads.reserve(reports.size());
+  for (std::size_t ti = 0; ti < tenants.size(); ++ti) {
+    const TenantId tenant = tenants[ti];
+    const core::GeArConfig* cfg = service.tenant_config(tenant);
+    const int n_bits = cfg != nullptr ? cfg->n() : 64;
+    for (std::size_t c = 0; c < clients; ++c) {
+      // Only client 0's responses are collected: with one writer per slot
+      // and submission order == completion-processing order, the slot is
+      // the tenant's canonical response sequence.
+      std::vector<Response>* slot =
+          (collected != nullptr && c == 0) ? &(*collected)[ti] : nullptr;
+      ReplayReport* out = &reports[ti * clients + c];
+      threads.emplace_back([&service, tenant, n_bits, ti, c, &options, slot,
+                            out] {
+        *out = run_client(service, tenant, n_bits, ti, c, options, slot);
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  ReplayReport total;
+  for (const ReplayReport& r : reports) total.merge(r);
+  if (obs::enabled() && total.retried != 0) {
+    obs::global().add_runtime("serve/retried", total.retried);
+  }
+  return total;
+}
+
+}  // namespace gear::serve

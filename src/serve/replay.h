@@ -1,0 +1,87 @@
+// Replay client for ApproxService: deterministic workload generation,
+// bounded retry with exponential backoff + jitter, and end-to-end result
+// verification (the silent-corruption check of DESIGN.md §5h).
+//
+// Each simulated client owns an RNG sub-stream ("client:<tenant>:<idx>")
+// so the operand sequence it submits is a pure function of (seed, tenant,
+// client index) — the same workload can be replayed against a service at
+// any worker count and, with one client per tenant, the per-tenant
+// admitted sequence is identical, which is what the determinism tests
+// compare. Shed requests (queue-full rejections) are retried up to
+// `max_retries` times with capped exponential backoff and multiplicative
+// jitter; everything else resolves the request.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/service.h"
+
+namespace gear::serve {
+
+struct ReplayOptions {
+  /// Requests each client submits (successfully or not).
+  std::uint64_t requests_per_client = 64;
+  /// Concurrent client threads per tenant. Use 1 when the per-tenant
+  /// submission order must equal the admission order (determinism runs).
+  std::size_t clients_per_tenant = 1;
+  std::uint64_t ops_per_request = 256;
+  /// In-flight window per client: submits run ahead of completions up to
+  /// this depth, so the service actually sees a backlog.
+  std::size_t window = 8;
+  /// Relative deadline applied to every request (0 = none).
+  std::uint64_t deadline_ns = 0;
+  /// Retry budget per request for retryable sheds (kQueueFull /
+  /// kTenantQueueFull); attempts = 1 + max_retries.
+  int max_retries = 3;
+  std::uint64_t backoff_ns = 200'000;  ///< first retry delay
+  double backoff_mult = 2.0;
+  std::uint64_t backoff_cap_ns = 20'000'000;
+  /// Backoff is scaled by a uniform factor in [1 - jitter, 1 + jitter).
+  double jitter = 0.5;
+  std::uint64_t seed = stats::Rng::kDefaultSeed;
+  /// Recompute every returned sum exactly and count mismatches beyond
+  /// what the response itself reported as wrong — the silent-corruption
+  /// detector. Costs one exact add per op.
+  bool verify = true;
+};
+
+/// Aggregated client-side view of one replay run. The service's own
+/// ServiceStats is the authoritative server-side ledger; this report adds
+/// what only a client can see: retries, end-to-end verification, and the
+/// final outcome of each logical request.
+struct ReplayReport {
+  std::uint64_t requests = 0;        ///< logical requests attempted
+  std::uint64_t attempts = 0;        ///< submissions incl. retries
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t rejected_final = 0;  ///< gave up (retries exhausted or
+                                     ///< non-retryable rejection)
+  std::uint64_t retried = 0;         ///< resubmissions performed
+  std::uint64_t operations = 0;      ///< ops in completed responses
+  std::uint64_t reported_wrong = 0;  ///< wrong_results the service reported
+  std::uint64_t flagged_wrong = 0;
+  std::uint64_t safe_mode_ops = 0;
+  std::uint64_t fallback_events = 0;
+  std::uint64_t budget_forced_exact_ops = 0;
+  /// Returned sums that differ from the exact sum *beyond* the response's
+  /// own wrong_results count. Zero is the §5h no-silent-corruption
+  /// invariant; anything else is a service bug.
+  std::uint64_t verified_mismatches = 0;
+  std::uint64_t silent_corruptions = 0;
+
+  void merge(const ReplayReport& other);
+};
+
+/// Runs clients_per_tenant threads against every tenant in `tenants` and
+/// blocks until all logical requests resolved. When `collected` is
+/// non-null it receives, per entry i of `tenants`, client 0's completed
+/// responses in submission order with wall-clock fields zeroed — directly
+/// comparable across runs/worker counts under the §5h contract.
+ReplayReport replay(ApproxService& service, const std::vector<TenantId>& tenants,
+                    const ReplayOptions& options,
+                    std::vector<std::vector<Response>>* collected = nullptr);
+
+}  // namespace gear::serve

@@ -1,0 +1,29 @@
+#include "serve/request.h"
+
+namespace gear::serve {
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kUnknownTenant: return "unknown-tenant";
+    case RejectReason::kEmptyRequest: return "empty-request";
+    case RejectReason::kOversizedRequest: return "oversized-request";
+    case RejectReason::kQueueFull: return "queue-full";
+    case RejectReason::kTenantQueueFull: return "tenant-queue-full";
+    case RejectReason::kDeadlineUnmeetable: return "deadline-unmeetable";
+    case RejectReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* request_status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kDegraded: return "degraded";
+    case RequestStatus::kExpired: return "expired";
+    case RequestStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace gear::serve

@@ -1,0 +1,96 @@
+// Request/response vocabulary of the always-on approximation service.
+//
+// A request is a batch job — one tenant's list of operand pairs (e.g. the
+// adds of one image-kernel tile) — and every request gets exactly one
+// response. The service never drops work silently: a request that cannot
+// be admitted is *rejected with a reason*, an admitted request whose
+// deadline passes is *expired* (counted, promise fulfilled), and a request
+// served under degradation says so. See DESIGN.md §5h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/distributions.h"
+
+namespace gear::serve {
+
+/// Dense tenant handle returned by ApproxService::add_tenant.
+using TenantId = int;
+
+/// Why admission control refused a request. kNone means "not rejected".
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kUnknownTenant,    ///< tenant id was never registered
+  kEmptyRequest,     ///< no operands
+  kOversizedRequest, ///< operands exceed ServiceOptions::max_request_ops
+  kQueueFull,        ///< global admitted-backlog bound hit (overload shed)
+  kTenantQueueFull,  ///< this tenant's backlog bound hit (isolation shed)
+  kDeadlineUnmeetable, ///< deadline already expired at submission
+  kShutdown,         ///< service is stopping
+};
+inline constexpr int kNumRejectReasons = 8;
+const char* reject_reason_name(RejectReason reason);
+
+enum class RequestStatus : std::uint8_t {
+  kOk,        ///< served in normal mode
+  kDegraded,  ///< served, but some ops ran in a safe/forced-exact mode
+  kExpired,   ///< admitted, but the deadline passed before completion
+  kRejected,  ///< refused at admission; see reject_reason
+};
+const char* request_status_name(RequestStatus status);
+
+struct Request {
+  TenantId tenant = -1;
+  std::vector<stats::OperandPair> operands;
+  /// Absolute deadline on the obs::monotonic_now_ns() clock; 0 = none.
+  /// Expired work is cancelled at the next execution-slice boundary.
+  std::uint64_t deadline_ns = 0;
+};
+
+/// The per-request result. Everything except the two *_ns fields is a
+/// pure function of the tenant's admitted request sequence (§5h
+/// determinism contract); queue_ns/service_ns are wall-clock artifacts.
+struct Response {
+  RequestStatus status = RequestStatus::kRejected;
+  RejectReason reject_reason = RejectReason::kNone;
+
+  /// Per-op final sums (N+1 bits including carry-out), in operand order.
+  /// Empty for kExpired/kRejected — cancelled work returns no partials.
+  std::vector<std::uint64_t> sums;
+
+  // Per-request accounting, mirroring apps::StreamStats semantics.
+  std::uint64_t operations = 0;
+  std::uint64_t corrected_ops = 0;
+  std::uint64_t wrong_results = 0;  ///< residual errors, always reported
+  std::uint64_t flagged_ops = 0;
+  std::uint64_t flagged_wrong_results = 0;
+  std::uint64_t safe_mode_ops = 0;    ///< ops served under a watchdog safe mode
+  std::uint64_t fallback_events = 0;  ///< watchdog trips during this request
+  std::uint64_t budget_forced_exact_ops = 0;  ///< ops forced exact by the
+                                              ///< tenant's error budget
+
+  bool degraded() const {
+    return safe_mode_ops != 0 || flagged_ops != 0 ||
+           budget_forced_exact_ops != 0;
+  }
+
+  // Wall-clock channel (never part of any determinism comparison).
+  std::uint64_t queue_ns = 0;    ///< admission -> execution start
+  std::uint64_t service_ns = 0;  ///< execution start -> completion
+};
+
+/// §5h bit-identity: every Response field except the wall-clock ones.
+inline bool deterministic_equal(const Response& x, const Response& y) {
+  return x.status == y.status && x.reject_reason == y.reject_reason &&
+         x.sums == y.sums && x.operations == y.operations &&
+         x.corrected_ops == y.corrected_ops &&
+         x.wrong_results == y.wrong_results &&
+         x.flagged_ops == y.flagged_ops &&
+         x.flagged_wrong_results == y.flagged_wrong_results &&
+         x.safe_mode_ops == y.safe_mode_ops &&
+         x.fallback_events == y.fallback_events &&
+         x.budget_forced_exact_ops == y.budget_forced_exact_ops;
+}
+
+}  // namespace gear::serve

@@ -1,0 +1,467 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace gear::serve {
+
+namespace {
+
+/// Wall-clock runtime counter with a dynamic (per-reason / per-tenant)
+/// name — off the hot path, so the handle-cache macro is not needed.
+void runtime_count(const std::string& name, std::uint64_t delta) {
+  if (obs::enabled()) obs::global().add_runtime(name, delta);
+}
+
+}  // namespace
+
+bool ServiceStats::conservation_ok() const {
+  std::uint64_t sub = rejected_unknown_tenant;
+  std::uint64_t adm = 0;
+  std::uint64_t rej = rejected_unknown_tenant;
+  for (const TenantStats& t : tenants) {
+    if (!t.conservation_ok()) return false;
+    sub += t.submitted;
+    adm += t.admitted;
+    rej += t.rejected;
+  }
+  return sub == submitted && adm == admitted && rej == rejected &&
+         submitted == admitted + rejected &&
+         admitted == completed_ok + completed_degraded + expired + aborted +
+                         queued;
+}
+
+ApproxService::Tenant::Tenant(std::string tenant_name, TenantSpec tenant_spec)
+    : name(std::move(tenant_name)),
+      spec(std::move(tenant_spec)),
+      engine(spec.degradation
+                 ? apps::StreamAdderEngine(spec.config, spec.correction_mask,
+                                           *spec.degradation)
+                 : apps::StreamAdderEngine(spec.config, spec.correction_mask)),
+      watchdog(engine.make_watchdog()) {
+  stats.name = name;
+  stats.latency_ns.spec = spec.latency_spec;
+  stats.latency_ns.counts.assign(
+      static_cast<std::size_t>(spec.latency_spec.buckets), 0);
+}
+
+ApproxService::ApproxService(ServiceOptions options) : options_(options) {
+  if (options_.slice_ops == 0) options_.slice_ops = 1;
+  if (options_.max_drain == 0) options_.max_drain = 1;
+  const int workers = std::max(0, options_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ApproxService::~ApproxService() { stop(/*drain=*/true); }
+
+std::optional<TenantId> ApproxService::add_tenant(std::string name,
+                                                  TenantSpec spec,
+                                                  std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    if (error) *error = "tenant '" + name + "': service is stopping";
+    return std::nullopt;
+  }
+  for (const auto& t : tenants_) {
+    if (t->name == name) {
+      if (error) *error = "tenant '" + name + "': name already registered";
+      return std::nullopt;
+    }
+  }
+  tenants_.push_back(std::make_unique<Tenant>(std::move(name), std::move(spec)));
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+std::optional<TenantId> ApproxService::add_tenant(std::string name, int n,
+                                                  int r, int p,
+                                                  std::string* error) {
+  auto cfg = core::GeArConfig::make(n, r, p);
+  if (!cfg) {
+    if (error) {
+      *error = "tenant '" + name + "': invalid GeAr(N=" + std::to_string(n) +
+               ", R=" + std::to_string(r) + ", P=" + std::to_string(p) +
+               "): " + core::GeArConfig::invalid_reason(n, r, p);
+    }
+    return std::nullopt;
+  }
+  return add_tenant(std::move(name), TenantSpec(*std::move(cfg)), error);
+}
+
+void ApproxService::reject_locked(Tenant* tenant, TenantId /*id*/,
+                                  std::promise<Response> promise,
+                                  RejectReason reason) {
+  if (tenant != nullptr) {
+    ++tenant->stats.submitted;
+    ++tenant->stats.rejected;
+    ++tenant->stats.rejected_by_reason[static_cast<int>(reason)];
+  } else {
+    ++no_tenant_rejected_;
+  }
+  Response resp;
+  resp.status = RequestStatus::kRejected;
+  resp.reject_reason = reason;
+  promise.set_value(std::move(resp));
+  runtime_count(std::string("serve/shed/") + reject_reason_name(reason), 1);
+}
+
+std::future<Response> ApproxService::submit(Request request) {
+  std::promise<Response> promise;
+  std::future<Response> fut = promise.get_future();
+  const std::uint64_t now = obs::monotonic_now_ns();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  Tenant* tenant = nullptr;
+  if (request.tenant >= 0 &&
+      static_cast<std::size_t>(request.tenant) < tenants_.size()) {
+    tenant = tenants_[static_cast<std::size_t>(request.tenant)].get();
+  }
+  RejectReason reason = RejectReason::kNone;
+  if (tenant == nullptr) {
+    reason = RejectReason::kUnknownTenant;
+  } else if (stopping_) {
+    reason = RejectReason::kShutdown;
+  } else if (request.operands.empty()) {
+    reason = RejectReason::kEmptyRequest;
+  } else if (request.operands.size() > options_.max_request_ops) {
+    reason = RejectReason::kOversizedRequest;
+  } else if (request.deadline_ns != 0 && now >= request.deadline_ns) {
+    reason = RejectReason::kDeadlineUnmeetable;
+  } else if (global_depth_ >= options_.queue_cap) {
+    reason = RejectReason::kQueueFull;
+  } else if (tenant->queue.size() >= tenant->spec.queue_cap) {
+    reason = RejectReason::kTenantQueueFull;
+  }
+  if (reason != RejectReason::kNone) {
+    reject_locked(tenant, request.tenant, std::move(promise), reason);
+    return fut;
+  }
+  ++tenant->stats.submitted;
+  ++tenant->stats.admitted;
+  tenant->queue.push_back(PendingRequest{std::move(request), std::move(promise),
+                                         now});
+  ++global_depth_;
+  lock.unlock();
+  work_cv_.notify_one();
+  runtime_count("serve/admitted", 1);
+  return fut;
+}
+
+Response ApproxService::execute(Tenant& tenant, Request& request,
+                                std::uint64_t admit_ns) {
+  Response resp;
+  const std::uint64_t start = obs::monotonic_now_ns();
+  resp.queue_ns = start > admit_ns ? start - admit_ns : 0;
+
+  const std::size_t total = request.operands.size();
+  const std::uint64_t deadline = request.deadline_ns;
+  const int n_bits = tenant.spec.config.n();
+  const std::uint64_t operand_mask =
+      n_bits >= 64 ? ~0ULL : ((1ULL << n_bits) - 1);
+  const bool budget_on = tenant.spec.error_budget_window != 0;
+  core::Watchdog* wd = tenant.watchdog ? &*tenant.watchdog : nullptr;
+
+  resp.sums.resize(total);
+  std::size_t done = 0;
+  bool expired = deadline != 0 && start >= deadline;
+  while (!expired && done < total) {
+    const std::size_t count =
+        std::min<std::size_t>(options_.slice_ops, total - done);
+    const stats::OperandPair* ops = request.operands.data() + done;
+    if (budget_on && tenant.budget_exhausted) {
+      // Budget blown: serve the rest of the window with exact adds. The
+      // degradation is visible (budget_forced_exact_ops), never silent.
+      for (std::size_t i = 0; i < count; ++i) {
+        resp.sums[done + i] =
+            (ops[i].a & operand_mask) + (ops[i].b & operand_mask);
+      }
+      resp.operations += count;
+      resp.budget_forced_exact_ops += count;
+      tenant.window_ops += count;
+    } else {
+      const apps::StreamStats s = tenant.engine.run_with_sums(
+          ops, count, resp.sums.data() + done, wd);
+      resp.operations += s.operations;
+      resp.corrected_ops += s.corrected_ops;
+      resp.wrong_results += s.wrong_results;
+      resp.flagged_ops += s.flagged_ops;
+      resp.flagged_wrong_results += s.flagged_wrong_results;
+      resp.safe_mode_ops += s.safe_mode_ops;
+      resp.fallback_events += s.fallback_events;
+      if (budget_on) {
+        tenant.window_ops += s.operations;
+        tenant.window_wrong += s.wrong_results;
+        if (tenant.window_wrong > tenant.spec.error_budget_wrong) {
+          tenant.budget_exhausted = true;
+        }
+      }
+    }
+    if (budget_on && tenant.window_ops >= tenant.spec.error_budget_window) {
+      tenant.window_ops = 0;
+      tenant.window_wrong = 0;
+      tenant.budget_exhausted = false;
+    }
+    done += count;
+    if (deadline != 0 && done < total &&
+        obs::monotonic_now_ns() >= deadline) {
+      expired = true;
+    }
+  }
+
+  if (expired) {
+    // Cancelled: no partial results leave the service. The op counters
+    // keep what was executed before cancellation — that work did feed the
+    // tenant's watchdog / error budget and is reported, not hidden.
+    resp.sums.clear();
+    resp.status = RequestStatus::kExpired;
+  } else {
+    resp.status = resp.degraded() ? RequestStatus::kDegraded
+                                  : RequestStatus::kOk;
+  }
+  resp.service_ns = obs::monotonic_now_ns() - start;
+  return resp;
+}
+
+ApproxService::Tenant* ApproxService::next_ready_locked(bool advance) {
+  const std::size_t n = tenants_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (rr_ + i) % n;
+    Tenant* t = tenants_[idx].get();
+    if (!t->busy && !t->queue.empty()) {
+      if (advance) rr_ = (idx + 1) % n;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t ApproxService::visit_one(std::unique_lock<std::mutex>& lock) {
+  Tenant* t = next_ready_locked(/*advance=*/true);
+  if (t == nullptr) return 0;
+
+  // Stage the tenant's pending chaos ops; they apply at this visit's
+  // request boundary (never mid-request, never from a foreign thread).
+  std::optional<core::Corrector::DetectFault> fault =
+      std::exchange(t->staged_fault, std::nullopt);
+  const bool wd_reset = std::exchange(t->staged_watchdog_reset, false);
+
+  std::vector<PendingRequest> batch;
+  const std::size_t take = std::min(options_.max_drain, t->queue.size());
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(t->queue.front()));
+    t->queue.pop_front();
+  }
+  t->busy = true;
+  t->inflight = batch.size();
+  lock.unlock();
+
+  // From here until busy clears, this thread is the tenant's only
+  // executor: engine, watchdog and budget state need no lock.
+  if (fault) {
+    if (fault->active()) {
+      t->engine.inject_detect_fault(*fault);
+    } else {
+      t->engine.clear_detect_fault();
+    }
+  }
+  if (wd_reset && t->watchdog) t->watchdog->reset();
+
+  std::vector<Response> responses;
+  responses.reserve(batch.size());
+  for (PendingRequest& pr : batch) {
+    responses.push_back(execute(*t, pr.request, pr.admit_ns));
+  }
+
+  lock.lock();
+  std::uint64_t expired_count = 0;
+  std::uint64_t degraded_count = 0;
+  for (const Response& r : responses) {
+    TenantStats& s = t->stats;
+    switch (r.status) {
+      case RequestStatus::kOk: ++s.completed_ok; break;
+      case RequestStatus::kDegraded:
+        ++s.completed_degraded;
+        ++degraded_count;
+        break;
+      case RequestStatus::kExpired:
+        ++s.expired;
+        ++expired_count;
+        break;
+      case RequestStatus::kRejected: break;  // unreachable here
+    }
+    s.operations += r.operations;
+    s.corrected_ops += r.corrected_ops;
+    s.wrong_results += r.wrong_results;
+    s.flagged_ops += r.flagged_ops;
+    s.flagged_wrong_results += r.flagged_wrong_results;
+    s.safe_mode_ops += r.safe_mode_ops;
+    s.fallback_events += r.fallback_events;
+    s.budget_forced_exact_ops += r.budget_forced_exact_ops;
+    s.latency_ns.record(static_cast<double>(r.queue_ns + r.service_ns));
+  }
+  t->stats.in_safe_mode = t->watchdog && t->watchdog->in_safe_mode();
+  t->inflight = 0;
+  t->busy = false;
+  global_depth_ -= batch.size();
+  const std::string tenant_name = t->name;
+  const obs::HistogramSpec latency_spec = t->spec.latency_spec;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  runtime_count("serve/completed", batch.size());
+  if (expired_count != 0) runtime_count("serve/expired", expired_count);
+  if (degraded_count != 0) runtime_count("serve/degraded", degraded_count);
+  if (obs::enabled()) {
+    for (const Response& r : responses) {
+      obs::global().record_runtime(
+          "serve/latency_ns/" + tenant_name, latency_spec,
+          static_cast<double>(r.queue_ns + r.service_ns));
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(responses[i]));
+  }
+  lock.lock();
+  return batch.size();
+}
+
+void ApproxService::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return next_ready_locked() != nullptr ||
+             (stopping_ && global_depth_ == 0);
+    });
+    if (next_ready_locked() == nullptr) {
+      if (stopping_ && global_depth_ == 0) return;
+      continue;
+    }
+    visit_one(lock);
+  }
+}
+
+void ApproxService::stop(bool drain) {
+  std::vector<std::promise<Response>> flushed;
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (!drain) {
+      for (auto& t : tenants_) {
+        while (!t->queue.empty()) {
+          PendingRequest pr = std::move(t->queue.front());
+          t->queue.pop_front();
+          --global_depth_;
+          ++t->stats.aborted;
+          flushed.push_back(std::move(pr.promise));
+        }
+      }
+    }
+    to_join.swap(workers_);
+  }
+  work_cv_.notify_all();
+  for (std::promise<Response>& p : flushed) {
+    Response resp;
+    resp.status = RequestStatus::kRejected;
+    resp.reject_reason = RejectReason::kShutdown;
+    p.set_value(std::move(resp));
+    runtime_count("serve/aborted", 1);
+  }
+  // Manual-pump services have no workers to drain the backlog; a draining
+  // stop serves it inline so every admitted future still resolves.
+  if (drain && options_.workers <= 0) pump_all();
+  for (std::thread& w : to_join) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::size_t ApproxService::pump_once() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return visit_one(lock);
+}
+
+std::size_t ApproxService::pump_all() {
+  std::size_t total = 0;
+  for (;;) {
+    const std::size_t n = pump_once();
+    if (n == 0) return total;
+    total += n;
+  }
+}
+
+ServiceStats ApproxService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats out;
+  out.rejected_unknown_tenant = no_tenant_rejected_;
+  out.submitted = no_tenant_rejected_;
+  out.rejected = no_tenant_rejected_;
+  out.tenants.reserve(tenants_.size());
+  for (const auto& t : tenants_) {
+    TenantStats s = t->stats;
+    s.queued = t->queue.size() + t->inflight;
+    out.submitted += s.submitted;
+    out.admitted += s.admitted;
+    out.rejected += s.rejected;
+    out.completed_ok += s.completed_ok;
+    out.completed_degraded += s.completed_degraded;
+    out.expired += s.expired;
+    out.aborted += s.aborted;
+    out.queued += s.queued;
+    out.operations += s.operations;
+    out.wrong_results += s.wrong_results;
+    out.tenants.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t ApproxService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return global_depth_;
+}
+
+const core::GeArConfig* ApproxService::tenant_config(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= tenants_.size()) {
+    return nullptr;
+  }
+  // Stable: tenants_ holds unique_ptrs and specs are immutable once added.
+  return &tenants_[static_cast<std::size_t>(tenant)]->spec.config;
+}
+
+bool ApproxService::inject_detect_fault(
+    TenantId tenant, const core::Corrector::DetectFault& fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= tenants_.size()) {
+    return false;
+  }
+  tenants_[static_cast<std::size_t>(tenant)]->staged_fault = fault;
+  return true;
+}
+
+bool ApproxService::clear_detect_fault(TenantId tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= tenants_.size()) {
+    return false;
+  }
+  // An inactive staged fault means "clear at the next visit".
+  tenants_[static_cast<std::size_t>(tenant)]->staged_fault =
+      core::Corrector::DetectFault{};
+  return true;
+}
+
+bool ApproxService::reset_watchdog(TenantId tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= tenants_.size()) {
+    return false;
+  }
+  Tenant* t = tenants_[static_cast<std::size_t>(tenant)].get();
+  if (!t->watchdog) return false;
+  t->staged_watchdog_reset = true;
+  return true;
+}
+
+}  // namespace gear::serve

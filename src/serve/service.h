@@ -1,0 +1,246 @@
+// Always-on multi-tenant approximation service.
+//
+// ApproxService wraps per-tenant StreamAdderEngine instances behind an
+// in-process MPSC request queue: any number of client threads submit()
+// batch jobs, a fixed worker pool drains them through the bitsliced
+// 64-lane path. Robustness is the spine (DESIGN.md §5h):
+//
+//  * Admission control — a request is either admitted or rejected with a
+//    reason (global/tenant backlog bounds, unknown tenant, oversized
+//    payload, expired-at-submit deadline, shutdown). Never a silent drop.
+//  * Tenant isolation — per-tenant FIFO queues with per-tenant depth
+//    bounds, round-robin service, and at most one worker per tenant at a
+//    time: one tenant flooding the service sheds *its own* requests and
+//    cannot starve or reorder another tenant's stream. Serialized
+//    per-tenant execution is also what keeps watchdog and error-budget
+//    state a pure function of the tenant's admitted sequence.
+//  * Deadlines — per-request absolute deadlines, checked at dequeue and
+//    between fixed-size execution slices; expired work is cancelled and
+//    answered kExpired (no partial results, no silent loss).
+//  * Graceful degradation — each tenant may carry a core::Watchdog
+//    (DegradationPolicy) persisted across requests, plus an error budget
+//    (max residual wrong results per window of ops) that forces exact
+//    adds for the rest of the window when exhausted. Degraded responses
+//    say so; a chaos API injects detection faults to exercise the path.
+//
+// Determinism contract (§5h): for the set of *admitted* requests, every
+// Response field except queue_ns/service_ns is bit-identical to a serial
+// per-tenant replay of the same request sequences at any worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/stream_engine.h"
+#include "core/config.h"
+#include "core/correction.h"
+#include "core/watchdog.h"
+#include "obs/metrics.h"
+#include "serve/request.h"
+
+namespace gear::serve {
+
+/// Per-tenant configuration. A tenant's accuracy contract is its GeAr
+/// configuration + correction mask; its robustness contract is the
+/// degradation policy, error budget and backlog bound.
+struct TenantSpec {
+  explicit TenantSpec(core::GeArConfig cfg) : config(std::move(cfg)) {}
+
+  core::GeArConfig config;
+  std::uint64_t correction_mask = core::Corrector::all_enabled();
+  /// Watchdog policy persisted across this tenant's requests; requests of
+  /// a tenant with a policy run on the scalar per-op path (the watchdog
+  /// observes every op), others take the bitsliced 64-lane path.
+  std::optional<core::DegradationPolicy> degradation;
+  /// Max queued (admitted, unserved) requests before kTenantQueueFull.
+  std::size_t queue_cap = 256;
+  /// Error budget: at most `error_budget_wrong` residual wrong results
+  /// per `error_budget_window` ops; once exceeded, the remainder of the
+  /// window is served with forced-exact adds (visible via
+  /// Response::budget_forced_exact_ops). window == 0 disables.
+  std::uint64_t error_budget_window = 0;
+  std::uint64_t error_budget_wrong = 0;
+  /// Bucket geometry of the per-tenant wall-clock latency histogram.
+  obs::HistogramSpec latency_spec{0.0, 1e8, 64};
+};
+
+struct ServiceOptions {
+  /// Worker threads; 0 = manual-pump mode (tests drive pump_once()).
+  int workers = 2;
+  /// Global admitted-backlog bound (requests) before kQueueFull.
+  std::size_t queue_cap = 1024;
+  /// Requests with more operands are rejected kOversizedRequest.
+  std::uint64_t max_request_ops = 1ULL << 20;
+  /// Ops per execution slice: the deadline-cancellation granularity. A
+  /// multiple of 64 keeps bitsliced lane grouping independent of slicing.
+  std::uint64_t slice_ops = 4096;
+  /// Max requests drained per tenant visit (round-robin quantum).
+  std::size_t max_drain = 8;
+};
+
+/// Point-in-time per-tenant accounting. Counter fields are exact — every
+/// submitted request is in exactly one terminal bucket or still queued —
+/// which is what the no-silent-drop tests assert; the latency histogram
+/// is a wall-clock artifact.
+struct TenantStats {
+  std::string name;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t rejected_by_reason[kNumRejectReasons] = {};
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_degraded = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t aborted = 0;  ///< admitted, then rejected by non-drain stop()
+  std::uint64_t queued = 0;   ///< backlog (incl. in-flight) at snapshot time
+  std::uint64_t operations = 0;
+  std::uint64_t corrected_ops = 0;
+  std::uint64_t wrong_results = 0;
+  std::uint64_t flagged_ops = 0;
+  std::uint64_t flagged_wrong_results = 0;
+  std::uint64_t safe_mode_ops = 0;
+  std::uint64_t fallback_events = 0;
+  std::uint64_t budget_forced_exact_ops = 0;
+  bool in_safe_mode = false;
+  obs::FixedHistogram latency_ns;  ///< admission -> completion
+
+  /// Every request accounted exactly once.
+  bool conservation_ok() const {
+    return submitted == admitted + rejected &&
+           admitted == completed_ok + completed_degraded + expired + aborted +
+                           queued;
+  }
+};
+
+struct ServiceStats {
+  std::vector<TenantStats> tenants;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t completed_degraded = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t operations = 0;
+  std::uint64_t wrong_results = 0;
+  /// Submissions naming a tenant id that was never registered; counted in
+  /// submitted/rejected but attributable to no tenant bucket.
+  std::uint64_t rejected_unknown_tenant = 0;
+
+  bool conservation_ok() const;
+};
+
+class ApproxService {
+ public:
+  explicit ApproxService(ServiceOptions options = {});
+  ~ApproxService();  ///< stop(/*drain=*/true)
+
+  ApproxService(const ApproxService&) = delete;
+  ApproxService& operator=(const ApproxService&) = delete;
+
+  /// Registers a tenant. Returns its id, or std::nullopt with *error set
+  /// to an actionable message (duplicate name, service stopping) — a bad
+  /// tenant is a rejected registration, never an abort.
+  std::optional<TenantId> add_tenant(std::string name, TenantSpec spec,
+                                     std::string* error = nullptr);
+
+  /// Convenience overload validating a uniform (n, r, p) configuration
+  /// via GeArConfig::make(); on failure *error carries
+  /// GeArConfig::invalid_reason(n, r, p).
+  std::optional<TenantId> add_tenant(std::string name, int n, int r, int p,
+                                     std::string* error = nullptr);
+
+  /// Submits one request. Always returns a future that will be
+  /// fulfilled: immediately with kRejected (+ reason) when admission
+  /// refuses it, otherwise when a worker completes, expires or (on
+  /// non-drain shutdown) rejects it.
+  std::future<Response> submit(Request request);
+
+  /// Stops the service: drain=true serves the admitted backlog first,
+  /// drain=false rejects it with kShutdown. Idempotent. New submissions
+  /// are rejected kShutdown either way.
+  void stop(bool drain = true);
+
+  /// Manual pump for workers == 0 services: performs one tenant visit
+  /// (up to max_drain requests); returns the number of requests
+  /// completed, 0 when the queue is empty. pump_all() drains everything.
+  std::size_t pump_once();
+  std::size_t pump_all();
+
+  ServiceStats stats() const;
+  std::size_t queue_depth() const;
+  const core::GeArConfig* tenant_config(TenantId tenant) const;
+
+  // --- chaos / recovery API (applied at the tenant's next visit) ---------
+  /// Injects a detection-network fault into the tenant's engine — the
+  /// functional-model equivalent of a netlist FaultSpec on a detect cone
+  /// (§5c). Returns false for an unknown tenant.
+  bool inject_detect_fault(TenantId tenant,
+                           const core::Corrector::DetectFault& fault);
+  bool clear_detect_fault(TenantId tenant);
+  /// Re-arms a tripped tenant watchdog (operator-driven recovery; with
+  /// cooldown_windows > 0 the watchdog also re-arms by itself).
+  bool reset_watchdog(TenantId tenant);
+
+ private:
+  struct PendingRequest {
+    Request request;
+    std::promise<Response> promise;
+    std::uint64_t admit_ns = 0;
+  };
+
+  struct Tenant {
+    explicit Tenant(std::string tenant_name, TenantSpec tenant_spec);
+
+    std::string name;
+    TenantSpec spec;
+    apps::StreamAdderEngine engine;
+    /// Persistent across requests; only the tenant's single active
+    /// worker touches it (busy handoff through mu_ orders the accesses).
+    std::optional<core::Watchdog> watchdog;
+    std::deque<PendingRequest> queue;  // guarded by mu_
+    bool busy = false;                 // guarded by mu_
+    std::size_t inflight = 0;          // popped, not yet completed (mu_)
+    // Error-budget window state (active worker only).
+    std::uint64_t window_ops = 0;
+    std::uint64_t window_wrong = 0;
+    bool budget_exhausted = false;
+    // Chaos ops staged under mu_, applied by the next active worker.
+    std::optional<core::Corrector::DetectFault> staged_fault;  // guarded by mu_
+    bool staged_watchdog_reset = false;                        // guarded by mu_
+    TenantStats stats;  // guarded by mu_
+  };
+
+  /// Rejects under the caller-held lock: counts + fulfills the promise.
+  void reject_locked(Tenant* tenant, TenantId id, std::promise<Response> promise,
+                     RejectReason reason);
+  /// Picks the next ready tenant (round-robin) or nullptr; caller holds
+  /// mu_. `advance` moves the round-robin cursor past the pick.
+  Tenant* next_ready_locked(bool advance = false);
+  /// One tenant visit: drain up to max_drain requests and serve them.
+  /// Returns the number of requests completed (0 = nothing ready).
+  std::size_t visit_one(std::unique_lock<std::mutex>& lock);
+  Response execute(Tenant& tenant, Request& request, std::uint64_t admit_ns);
+  void worker_loop();
+
+  ServiceOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;  // stable pointers
+  std::size_t global_depth_ = 0;
+  std::size_t rr_ = 0;  ///< round-robin cursor
+  std::uint64_t no_tenant_rejected_ = 0;  ///< unknown-tenant submissions
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gear::serve

@@ -28,6 +28,14 @@ class OperandSource {
   virtual OperandPair next() = 0;
   virtual int width() const = 0;
   virtual std::string name() const = 0;
+
+  /// Draws `n` pairs into out[0..n), bit-identical to n successive next()
+  /// calls. Batch consumers (bitsliced 64-lane packing, service request
+  /// builders) use this instead of a virtual call per op; sources with a
+  /// cheap inner loop override it.
+  virtual void fill(OperandPair* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next();
+  }
 };
 
 /// Independent uniform operands over [0, 2^N) — the paper's Table III setup.
@@ -35,6 +43,12 @@ class UniformSource final : public OperandSource {
  public:
   UniformSource(int width, Rng rng) : width_(width), rng_(rng) {}
   OperandPair next() override { return {rng_.bits(width_), rng_.bits(width_)}; }
+  void fill(OperandPair* out, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i].a = rng_.bits(width_);
+      out[i].b = rng_.bits(width_);
+    }
+  }
   int width() const override { return width_; }
   std::string name() const override { return "uniform"; }
 

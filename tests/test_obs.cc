@@ -335,5 +335,70 @@ TEST(Obs, EngineCountersBitIdenticalAcrossThreadCounts) {
   });
 }
 
+TEST(Obs, RuntimeHistogramRecordsAndReads) {
+  obs::MetricsRegistry reg;
+  const obs::HistogramSpec spec{0.0, 100.0, 10};
+  for (int i = 0; i < 100; ++i) {
+    reg.record_runtime("serve/latency", spec, static_cast<double>(i));
+  }
+  reg.record_runtime("serve/latency", spec, -5.0);    // underflow
+  reg.record_runtime("serve/latency", spec, 1000.0);  // overflow
+  const auto hist = reg.runtime_histogram("serve/latency");
+  ASSERT_TRUE(hist.has_value());
+  EXPECT_EQ(hist->samples(), 102u);
+  EXPECT_EQ(hist->underflow, 1u);
+  EXPECT_EQ(hist->overflow, 1u);
+  EXPECT_FALSE(reg.histogram("serve/latency").has_value());  // wrong channel
+  // Same-name/different-spec is a caught misuse, as on the deterministic
+  // channel.
+  EXPECT_THROW(reg.record_runtime("serve/latency", {0.0, 1.0, 4}, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Obs, HistogramQuantilesInterpolate) {
+  obs::FixedHistogram hist;
+  hist.spec = {0.0, 100.0, 10};
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);  // empty => lo
+  for (int i = 0; i < 100; ++i) hist.record(static_cast<double>(i));
+  // Uniform mass: quantiles track the value axis within one bucket width.
+  EXPECT_NEAR(hist.quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(hist.quantile(0.99), 99.0, 10.0);
+  EXPECT_GE(hist.quantile(0.99), hist.quantile(0.5));
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 0.0);
+  // Overflow mass reads as "at least hi".
+  for (int i = 0; i < 1000; ++i) hist.record(500.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.99), 100.0);
+}
+
+TEST(Obs, RuntimeHistogramsRoundTripJsonAndMerge) {
+  obs::MetricsRegistry a;
+  const obs::HistogramSpec spec{0.0, 10.0, 5};
+  a.record_runtime("lat/a", spec, 1.0);
+  a.record_runtime("lat/a", spec, 9.0);
+  a.record("det", spec, 2.0);  // deterministic channel alongside
+
+  const auto parsed = obs::MetricsRegistry::from_json(a.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_json(), a.to_json());
+  const auto round = parsed->runtime_histogram("lat/a");
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(*round, *a.runtime_histogram("lat/a"));
+
+  obs::MetricsRegistry b;
+  b.record_runtime("lat/a", spec, 5.0);
+  b.merge(a);
+  EXPECT_EQ(b.runtime_histogram("lat/a")->samples(), 3u);
+}
+
+TEST(Obs, RuntimeHistogramsExcludedFromDeterministicEquality) {
+  obs::MetricsRegistry a, b;
+  a.add("ops", 3);
+  b.add("ops", 3);
+  a.record_runtime("lat", {0.0, 1.0, 4}, 0.25);  // only a has wall-clock data
+  EXPECT_TRUE(a.deterministic_equal(b));
+  b.record("h", {0.0, 1.0, 4}, 0.5);  // deterministic histogram does count
+  EXPECT_FALSE(a.deterministic_equal(b));
+}
+
 }  // namespace
 }  // namespace gear

@@ -253,8 +253,8 @@ TEST(ParallelMerge, DenseHistogramMergeMatchesSequentialFill) {
 }
 
 TEST(ParallelMerge, StreamStatsMergeIsFieldwiseAdditive) {
-  apps::StreamStats a{10, 15, 5, 3, 1};
-  const apps::StreamStats b{20, 22, 2, 4, 0};
+  apps::StreamStats a{10, 15, 5, 3, 1, 0, 0, 0, 0, {}};
+  const apps::StreamStats b{20, 22, 2, 4, 0, 0, 0, 0, 0, {}};
   a.merge(b);
   EXPECT_EQ(a.operations, 30u);
   EXPECT_EQ(a.cycles, 37u);

@@ -1,0 +1,425 @@
+// ApproxService: admission control, tenant isolation, deadlines, error
+// budgets, watchdog persistence, shutdown semantics, worker-count
+// determinism, and the chaos soak (DESIGN.md §5h).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/watchdog.h"
+#include "obs/metrics.h"
+#include "serve/replay.h"
+#include "serve/service.h"
+#include "stats/rng.h"
+
+namespace gear::serve {
+namespace {
+
+ServiceOptions manual_options() {
+  ServiceOptions options;
+  options.workers = 0;  // tests pump explicitly — fully deterministic
+  return options;
+}
+
+Request make_request(TenantId tenant, std::size_t ops, std::uint64_t seed,
+                     int n_bits = 16) {
+  Request request;
+  request.tenant = tenant;
+  stats::Rng rng(seed);
+  request.operands.resize(ops);
+  for (stats::OperandPair& p : request.operands) {
+    p.a = rng.bits(n_bits);
+    p.b = rng.bits(n_bits);
+  }
+  return request;
+}
+
+std::uint64_t exact_sum(const stats::OperandPair& p, int n_bits) {
+  const std::uint64_t mask =
+      n_bits >= 64 ? ~0ULL : ((1ULL << n_bits) - 1);
+  return (p.a & mask) + (p.b & mask);
+}
+
+TEST(Serve, AddTenantValidatesConfig) {
+  ApproxService service(manual_options());
+  std::string error;
+  // (16-5) % 3 != 0: not a strict GeAr geometry.
+  EXPECT_FALSE(service.add_tenant("bad", 16, 3, 2, &error).has_value());
+  EXPECT_NE(error.find("GeAr(N=16, R=3, P=2)"), std::string::npos) << error;
+  EXPECT_NE(error.find(core::GeArConfig::invalid_reason(16, 3, 2)),
+            std::string::npos)
+      << error;
+
+  ASSERT_TRUE(service.add_tenant("good", 16, 4, 4).has_value());
+  error.clear();
+  EXPECT_FALSE(service.add_tenant("good", 16, 4, 4, &error).has_value());
+  EXPECT_NE(error.find("already registered"), std::string::npos) << error;
+}
+
+TEST(Serve, RejectsWithActionableReasons) {
+  ServiceOptions options = manual_options();
+  options.queue_cap = 2;
+  options.max_request_ops = 64;
+  ApproxService service(options);
+  TenantSpec spec(*core::GeArConfig::make(16, 4, 4));
+  spec.queue_cap = 1;
+  const TenantId tenant = *service.add_tenant("t", std::move(spec));
+
+  auto expect_reject = [&](Request request, RejectReason reason) {
+    Response resp = service.submit(std::move(request)).get();
+    EXPECT_EQ(resp.status, RequestStatus::kRejected);
+    EXPECT_EQ(resp.reject_reason, reason)
+        << "want " << reject_reason_name(reason) << " got "
+        << reject_reason_name(resp.reject_reason);
+  };
+
+  expect_reject(make_request(42, 8, 1), RejectReason::kUnknownTenant);
+  expect_reject(make_request(tenant, 0, 1), RejectReason::kEmptyRequest);
+  expect_reject(make_request(tenant, 65, 1), RejectReason::kOversizedRequest);
+  {
+    Request request = make_request(tenant, 8, 1);
+    request.deadline_ns = 1;  // long past: the process started ns ago
+    expect_reject(std::move(request), RejectReason::kDeadlineUnmeetable);
+  }
+  // Tenant backlog bound (1) trips before the global bound (2).
+  auto ok = service.submit(make_request(tenant, 8, 2));
+  expect_reject(make_request(tenant, 8, 3), RejectReason::kTenantQueueFull);
+
+  const ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_TRUE(stats.conservation_ok());
+  EXPECT_EQ(stats.rejected_unknown_tenant, 1u);
+  const TenantStats& t = stats.tenants[0];
+  EXPECT_EQ(t.admitted, 1u);
+  EXPECT_EQ(t.rejected, 4u);
+  EXPECT_EQ(t.rejected_by_reason[static_cast<int>(RejectReason::kEmptyRequest)],
+            1u);
+  EXPECT_EQ(
+      t.rejected_by_reason[static_cast<int>(RejectReason::kTenantQueueFull)],
+      1u);
+
+  service.pump_all();
+  EXPECT_EQ(ok.get().status, RequestStatus::kOk);
+}
+
+TEST(Serve, GlobalQueueCapSheds) {
+  ServiceOptions options = manual_options();
+  options.queue_cap = 2;
+  ApproxService service(options);
+  const TenantId a = *service.add_tenant("a", 16, 4, 4);
+  const TenantId b = *service.add_tenant("b", 16, 4, 4);
+  auto f1 = service.submit(make_request(a, 8, 1));
+  auto f2 = service.submit(make_request(b, 8, 2));
+  Response shed = service.submit(make_request(a, 8, 3)).get();
+  EXPECT_EQ(shed.reject_reason, RejectReason::kQueueFull);
+  service.pump_all();
+  EXPECT_EQ(f1.get().status, RequestStatus::kOk);
+  EXPECT_EQ(f2.get().status, RequestStatus::kOk);
+  EXPECT_TRUE(service.stats().conservation_ok());
+}
+
+TEST(Serve, ServesExactSumsWithFullCorrection) {
+  ApproxService service(manual_options());
+  const TenantId tenant = *service.add_tenant("t", 16, 4, 4);
+  Request request = make_request(tenant, 200, 7);
+  const std::vector<stats::OperandPair> operands = request.operands;
+  auto fut = service.submit(std::move(request));
+  EXPECT_EQ(service.pump_all(), 1u);
+  const Response resp = fut.get();
+  EXPECT_EQ(resp.status, RequestStatus::kOk);
+  EXPECT_EQ(resp.operations, 200u);
+  EXPECT_EQ(resp.wrong_results, 0u);  // full correction mask => exact
+  ASSERT_EQ(resp.sums.size(), operands.size());
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    EXPECT_EQ(resp.sums[i], exact_sum(operands[i], 16)) << "op " << i;
+  }
+}
+
+TEST(Serve, ReportedWrongResultsCoverActualMismatches) {
+  // Correction disabled: approximate sums with honest wrong_results.
+  ApproxService service(manual_options());
+  TenantSpec spec(*core::GeArConfig::make(16, 4, 4));
+  spec.correction_mask = 0;
+  const TenantId tenant = *service.add_tenant("approx", std::move(spec));
+  Request request = make_request(tenant, 512, 11);
+  const std::vector<stats::OperandPair> operands = request.operands;
+  auto fut = service.submit(std::move(request));
+  service.pump_all();
+  const Response resp = fut.get();
+  EXPECT_EQ(resp.status, RequestStatus::kOk);
+  std::uint64_t mismatches = 0;
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    if (resp.sums[i] != exact_sum(operands[i], 16)) ++mismatches;
+  }
+  EXPECT_GT(mismatches, 0u);  // GeAr(16,4,4) uncorrected does err
+  // The §5h no-silent-corruption invariant: everything wrong is reported.
+  EXPECT_EQ(mismatches, resp.wrong_results);
+}
+
+TEST(Serve, DeadlineExpiresQueuedRequest) {
+  ServiceOptions options = manual_options();
+  ApproxService service(options);
+  const TenantId tenant = *service.add_tenant("t", 16, 4, 4);
+  Request request = make_request(tenant, 64, 3);
+  request.deadline_ns = obs::monotonic_now_ns() + 2'000'000;  // 2 ms
+  auto fut = service.submit(std::move(request));  // admitted: future deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service.pump_all();  // deadline passed while queued
+  const Response resp = fut.get();
+  EXPECT_EQ(resp.status, RequestStatus::kExpired);
+  EXPECT_TRUE(resp.sums.empty());  // cancelled work returns no partials
+  EXPECT_EQ(resp.operations, 0u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_TRUE(stats.conservation_ok());
+}
+
+TEST(Serve, ErrorBudgetForcesExactServing) {
+  ServiceOptions options = manual_options();
+  options.slice_ops = 64;
+  ApproxService service(options);
+  TenantSpec spec(*core::GeArConfig::make(16, 4, 4));
+  spec.correction_mask = 0;        // approximate => wrong results accrue
+  spec.error_budget_window = 1 << 20;  // never rolls within this test
+  spec.error_budget_wrong = 0;     // any wrong result exhausts the budget
+  const TenantId tenant = *service.add_tenant("budgeted", std::move(spec));
+
+  Request first = make_request(tenant, 256, 21);
+  const std::vector<stats::OperandPair> first_ops = first.operands;
+  auto f1 = service.submit(std::move(first));
+  service.pump_all();
+  const Response r1 = f1.get();
+  // The first slice that errs exhausts the budget; later slices of the
+  // same request are already forced exact.
+  EXPECT_GT(r1.wrong_results, 0u);
+  EXPECT_GT(r1.budget_forced_exact_ops, 0u);
+  EXPECT_EQ(r1.status, RequestStatus::kDegraded);
+
+  Request second = make_request(tenant, 128, 22);
+  const std::vector<stats::OperandPair> second_ops = second.operands;
+  auto f2 = service.submit(std::move(second));
+  service.pump_all();
+  const Response r2 = f2.get();
+  // Budget state persists across requests: fully exact now, and visibly so.
+  EXPECT_EQ(r2.budget_forced_exact_ops, 128u);
+  EXPECT_EQ(r2.wrong_results, 0u);
+  EXPECT_EQ(r2.status, RequestStatus::kDegraded);
+  for (std::size_t i = 0; i < second_ops.size(); ++i) {
+    EXPECT_EQ(r2.sums[i], exact_sum(second_ops[i], 16)) << "op " << i;
+  }
+}
+
+TEST(Serve, WatchdogPersistsAcrossRequestsAndRecovers) {
+  ApproxService service(manual_options());
+  TenantSpec spec(*core::GeArConfig::make(16, 4, 4));
+  core::DegradationPolicy policy;
+  policy.window = 64;
+  policy.spike_factor = 4.0;
+  policy.safe_mode = core::SafeMode::kExactAdd;
+  policy.cooldown_windows = 0;  // latch until reset
+  spec.degradation = policy;
+  const TenantId tenant = *service.add_tenant("guarded", std::move(spec));
+
+  // Stuck-at-1 detect flag: the detect rate pins at 1.0 >> 4x expected.
+  ASSERT_TRUE(service.inject_detect_fault(tenant, {1, true}));
+  auto f1 = service.submit(make_request(tenant, 64, 31));
+  service.pump_all();
+  const Response r1 = f1.get();
+  EXPECT_EQ(r1.fallback_events, 1u);  // tripped at the window boundary
+
+  // The watchdog is per-tenant state, not per-request: the next request
+  // starts (and stays) in safe mode.
+  auto f2 = service.submit(make_request(tenant, 64, 32));
+  service.pump_all();
+  const Response r2 = f2.get();
+  EXPECT_EQ(r2.safe_mode_ops, 64u);
+  EXPECT_EQ(r2.status, RequestStatus::kDegraded);
+  EXPECT_EQ(r2.wrong_results, 0u);  // kExactAdd safe mode is exact
+  EXPECT_TRUE(service.stats().tenants[0].in_safe_mode);
+
+  // Operator recovery: clear the fault and re-arm.
+  ASSERT_TRUE(service.clear_detect_fault(tenant));
+  ASSERT_TRUE(service.reset_watchdog(tenant));
+  auto f3 = service.submit(make_request(tenant, 64, 33));
+  service.pump_all();
+  const Response r3 = f3.get();
+  EXPECT_EQ(r3.safe_mode_ops, 0u);
+  EXPECT_EQ(r3.fallback_events, 0u);
+  EXPECT_EQ(r3.status, RequestStatus::kOk);
+  EXPECT_FALSE(service.stats().tenants[0].in_safe_mode);
+}
+
+TEST(Serve, NonDrainStopRejectsBacklogVisibly) {
+  ApproxService service(manual_options());
+  const TenantId tenant = *service.add_tenant("t", 16, 4, 4);
+  auto f1 = service.submit(make_request(tenant, 8, 1));
+  auto f2 = service.submit(make_request(tenant, 8, 2));
+  service.stop(/*drain=*/false);
+  for (auto* f : {&f1, &f2}) {
+    const Response resp = f->get();
+    EXPECT_EQ(resp.status, RequestStatus::kRejected);
+    EXPECT_EQ(resp.reject_reason, RejectReason::kShutdown);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.aborted, 2u);
+  EXPECT_TRUE(stats.conservation_ok());
+  // Post-stop submissions are shed, not dropped.
+  const Response late = service.submit(make_request(tenant, 8, 3)).get();
+  EXPECT_EQ(late.reject_reason, RejectReason::kShutdown);
+}
+
+TEST(Serve, DrainStopServesManualBacklog) {
+  ApproxService service(manual_options());
+  const TenantId tenant = *service.add_tenant("t", 16, 4, 4);
+  auto fut = service.submit(make_request(tenant, 16, 5));
+  service.stop(/*drain=*/true);  // no workers: stop itself pumps
+  EXPECT_EQ(fut.get().status, RequestStatus::kOk);
+}
+
+TEST(Serve, RecordsPerTenantLatencyHistograms) {
+  ApproxService service(manual_options());
+  TenantSpec spec(*core::GeArConfig::make(16, 4, 4));
+  spec.latency_spec = obs::HistogramSpec{0.0, 1e9, 32};
+  const TenantId tenant =
+      *service.add_tenant("latency-tenant-serve-test", std::move(spec));
+  auto fut = service.submit(make_request(tenant, 32, 9));
+  service.pump_all();
+  fut.get();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.tenants[0].latency_ns.samples(), 1u);
+  EXPECT_GE(stats.tenants[0].latency_ns.quantile(0.99),
+            stats.tenants[0].latency_ns.quantile(0.5));
+  if (obs::enabled()) {
+    const auto hist = obs::global().runtime_histogram(
+        "serve/latency_ns/latency-tenant-serve-test");
+    ASSERT_TRUE(hist.has_value());
+    EXPECT_EQ(hist->samples(), 1u);
+  }
+}
+
+// §5h determinism: identical per-tenant workloads replayed against worker
+// counts {1, 2, 8} produce bit-identical response sequences.
+TEST(Serve, DeterministicAcrossWorkerCounts) {
+  ReplayOptions opt;
+  opt.requests_per_client = 12;
+  opt.ops_per_request = 128;
+  opt.clients_per_tenant = 1;
+  opt.window = 6;
+  opt.seed = 1234;
+
+  std::vector<std::vector<std::vector<Response>>> runs;
+  for (const int workers : {1, 2, 8}) {
+    ServiceOptions options;
+    options.workers = workers;
+    options.slice_ops = 64;
+    ApproxService service(options);
+    std::vector<TenantId> tenants;
+    tenants.push_back(*service.add_tenant("plain", 16, 4, 4));
+    TenantSpec guarded(*core::GeArConfig::make(16, 2, 4));
+    core::DegradationPolicy policy;
+    policy.window = 128;
+    policy.spike_factor = 6.0;
+    guarded.degradation = policy;
+    guarded.error_budget_window = 1024;
+    guarded.error_budget_wrong = 8;
+    tenants.push_back(*service.add_tenant("guarded", std::move(guarded)));
+
+    std::vector<std::vector<Response>> collected;
+    const ReplayReport report = replay(service, tenants, opt, &collected);
+    EXPECT_EQ(report.silent_corruptions, 0u) << "workers=" << workers;
+    EXPECT_EQ(report.ok + report.degraded,
+              opt.requests_per_client * tenants.size());
+    EXPECT_TRUE(service.stats().conservation_ok());
+    runs.push_back(std::move(collected));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t t = 0; t < runs[0].size(); ++t) {
+      ASSERT_EQ(runs[r][t].size(), runs[0][t].size()) << "tenant " << t;
+      for (std::size_t i = 0; i < runs[0][t].size(); ++i) {
+        EXPECT_TRUE(deterministic_equal(runs[r][t][i], runs[0][t][i]))
+            << "run " << r << " tenant " << t << " request " << i;
+      }
+    }
+  }
+}
+
+// Chaos soak: transient detect faults + watchdog-tripping spikes injected
+// mid-stream into a *running* service. Invariants: zero silent
+// corruption, every request resolves exactly once (conservation), visible
+// bounded fallback while faulty, full recovery after the burst.
+TEST(Serve, ChaosSoakSurvivesMidStreamFaultBursts) {
+  ServiceOptions options;
+  options.workers = 4;
+  options.slice_ops = 128;
+  ApproxService service(options);
+  std::vector<TenantId> tenants;
+  tenants.push_back(*service.add_tenant("steady", 16, 4, 4));
+  TenantSpec guarded(*core::GeArConfig::make(16, 4, 4));
+  core::DegradationPolicy policy;
+  policy.window = 128;
+  policy.spike_factor = 4.0;
+  policy.safe_mode = core::SafeMode::kExactAdd;
+  policy.cooldown_windows = 2;  // self re-arm: chaos keeps re-tripping it
+  guarded.degradation = policy;
+  guarded.error_budget_window = 2048;
+  guarded.error_budget_wrong = 32;
+  const TenantId guarded_id =
+      *service.add_tenant("guarded", std::move(guarded));
+  tenants.push_back(guarded_id);
+
+  ReplayOptions opt;
+  opt.requests_per_client = 60;
+  opt.ops_per_request = 128;
+  opt.clients_per_tenant = 2;
+  opt.window = 8;
+  opt.seed = 77;
+
+  ReplayReport report;
+  std::atomic<bool> done{false};
+  std::thread clients([&service, &tenants, &opt, &report, &done] {
+    report = replay(service, tenants, opt);
+    done.store(true);
+  });
+  // Fault bursts against the live service: inject, hold, clear, re-arm.
+  int bursts = 0;
+  while (!done.load() && bursts < 8) {
+    service.inject_detect_fault(guarded_id, {1, true});
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    service.clear_detect_fault(guarded_id);
+    service.reset_watchdog(guarded_id);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++bursts;
+  }
+  clients.join();
+
+  EXPECT_EQ(report.silent_corruptions, 0u);
+  EXPECT_EQ(report.ok + report.degraded + report.expired +
+                report.rejected_final,
+            report.requests);
+  const ServiceStats mid = service.stats();
+  EXPECT_TRUE(mid.conservation_ok());
+  // Fallback, if any, is bounded: never more trips than watchdog windows.
+  const std::uint64_t guarded_ops = mid.tenants[1].operations;
+  EXPECT_LE(mid.tenants[1].fallback_events, guarded_ops / policy.window + 1);
+
+  // Recovery after the last burst: a clean replay sees a healthy service.
+  service.clear_detect_fault(guarded_id);
+  service.reset_watchdog(guarded_id);
+  ReplayOptions after = opt;
+  after.requests_per_client = 8;
+  after.clients_per_tenant = 1;
+  after.seed = 78;
+  const ReplayReport recovered = replay(service, tenants, after);
+  EXPECT_EQ(recovered.silent_corruptions, 0u);
+  EXPECT_EQ(recovered.fallback_events, 0u);
+  EXPECT_EQ(recovered.ok + recovered.degraded, after.requests_per_client * 2);
+  EXPECT_TRUE(service.stats().conservation_ok());
+}
+
+}  // namespace
+}  // namespace gear::serve

@@ -3,6 +3,10 @@
 // value computed from the detect-count distribution.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "analysis/timing_model.h"
 #include "apps/stream_engine.h"
 #include "core/error_model.h"
@@ -86,6 +90,155 @@ TEST(StreamEngine, SecondsScaleWithPeriod) {
   const StreamStats s = engine.run(*src, 1000);
   EXPECT_DOUBLE_EQ(s.seconds(2.0), 2.0 * s.seconds(1.0));
   EXPECT_NEAR(s.seconds(1.0), 1000 * 1e-9, 1e-12);
+}
+
+TEST(StreamEngine, RunWithSumsMatchesRunAndExactReference) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  StreamAdderEngine engine(cfg, core::Corrector::all_enabled());
+  std::vector<stats::OperandPair> ops;
+  stats::Rng rng(41);
+  for (int i = 0; i < 1000; ++i) ops.push_back({rng.bits(16), rng.bits(16)});
+
+  std::vector<std::uint64_t> sums(ops.size());
+  const StreamStats s1 = engine.run_with_sums(ops.data(), ops.size(), sums.data());
+  const StreamStats s2 = engine.run(ops);
+  EXPECT_EQ(s1.operations, s2.operations);
+  EXPECT_EQ(s1.cycles, s2.cycles);
+  EXPECT_EQ(s1.wrong_results, 0u);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(sums[i], (ops[i].a & 0xFFFFu) + (ops[i].b & 0xFFFFu))
+        << "op " << i;
+  }
+}
+
+TEST(StreamEngine, RunWithSumsBitslicedMatchesScalar) {
+  // Same partial-correction stream through the bitsliced fast path and
+  // through the scalar path (forced by a never-tripping watchdog): sums
+  // and counters must be bit-identical.
+  const auto cfg = core::GeArConfig::must(16, 2, 2);
+  StreamAdderEngine batched(cfg, 0b10ULL);
+  core::DegradationPolicy inert;  // spike/floor disabled, infinite budget
+  inert.spike_factor = 0.0;
+  StreamAdderEngine scalar(cfg, 0b10ULL, inert);
+  std::vector<stats::OperandPair> ops;
+  stats::Rng rng(43);
+  for (int i = 0; i < 777; ++i) ops.push_back({rng.bits(16), rng.bits(16)});
+
+  std::vector<std::uint64_t> fast(ops.size()), slow(ops.size());
+  const StreamStats sf = batched.run_with_sums(ops.data(), ops.size(), fast.data());
+  auto wd = scalar.make_watchdog();
+  ASSERT_TRUE(wd.has_value());
+  const StreamStats ss =
+      scalar.run_with_sums(ops.data(), ops.size(), slow.data(), &*wd);
+  EXPECT_EQ(fast, slow);
+  EXPECT_EQ(sf.wrong_results, ss.wrong_results);
+  EXPECT_EQ(sf.corrected_ops, ss.corrected_ops);
+  EXPECT_EQ(sf.cycles, ss.cycles);
+  EXPECT_GT(sf.wrong_results, 0u);  // partial mask: stream really errs
+}
+
+TEST(StreamEngine, ExternalWatchdogPersistsAcrossCalls) {
+  // Split serving: one watchdog threaded through consecutive calls must
+  // behave exactly like a single continuous run.
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  core::DegradationPolicy policy;
+  policy.window = 64;
+  policy.spike_factor = 4.0;
+  policy.safe_mode = core::SafeMode::kExactAdd;
+  StreamAdderEngine engine(cfg, core::Corrector::all_enabled(), policy);
+  engine.inject_detect_fault({1, true});  // trips at every window boundary
+  std::vector<stats::OperandPair> ops;
+  stats::Rng rng(47);
+  for (int i = 0; i < 256; ++i) ops.push_back({rng.bits(16), rng.bits(16)});
+
+  std::vector<std::uint64_t> whole(ops.size()), split(ops.size());
+  auto wd1 = engine.make_watchdog();
+  const StreamStats one =
+      engine.run_with_sums(ops.data(), ops.size(), whole.data(), &*wd1);
+
+  auto wd2 = engine.make_watchdog();
+  StreamStats merged;
+  for (std::size_t base = 0; base < ops.size(); base += 100) {
+    const std::size_t count = std::min<std::size_t>(100, ops.size() - base);
+    merged.merge(engine.run_with_sums(ops.data() + base, count,
+                                      split.data() + base, &*wd2));
+  }
+  EXPECT_EQ(whole, split);
+  EXPECT_GT(one.fallback_events, 0u);
+  EXPECT_GT(one.safe_mode_ops, 0u);
+  EXPECT_EQ(one.fallback_events, merged.fallback_events);
+  EXPECT_EQ(one.safe_mode_ops, merged.safe_mode_ops);
+}
+
+TEST(StreamEngine, DegradedWindowsSayWhenDegradationHappened) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  core::DegradationPolicy policy;
+  policy.window = 64;
+  policy.spike_factor = 4.0;
+  policy.safe_mode = core::SafeMode::kExactAdd;
+  policy.cooldown_windows = 0;  // latch
+
+  {
+    // Healthy stream: totals clean, and no degraded windows recorded.
+    StreamAdderEngine engine(cfg, core::Corrector::all_enabled(), policy);
+    auto src = stats::make_uniform(16, 51);
+    const StreamStats s = engine.run(*src, 4096);
+    EXPECT_EQ(s.fallback_events, 0u);
+    EXPECT_TRUE(s.degraded_windows.empty());
+  }
+
+  // Faulty stream: the fallback accounting gap this pins — the totals say
+  // *how much* degradation, degraded_windows must say *when*.
+  StreamAdderEngine engine(cfg, core::Corrector::all_enabled(), policy);
+  engine.inject_detect_fault({1, true});
+  auto src = stats::make_uniform(16, 52);
+  const StreamStats s = engine.run(*src, 1024);
+  ASSERT_FALSE(s.degraded_windows.empty());
+  std::uint64_t fallbacks = 0, safe_ops = 0;
+  std::uint64_t prev_start = 0;
+  bool first = true;
+  for (const auto& w : s.degraded_windows) {
+    EXPECT_EQ(w.start_op % policy.window, 0u);  // aligned to window grid
+    EXPECT_TRUE(first || w.start_op > prev_start);  // strictly monotone
+    EXPECT_GT(w.fallback_events + w.safe_mode_ops, 0u);  // no empty entries
+    first = false;
+    prev_start = w.start_op;
+    fallbacks += w.fallback_events;
+    safe_ops += w.safe_mode_ops;
+  }
+  // Per-window entries tile the run totals exactly.
+  EXPECT_EQ(fallbacks, s.fallback_events);
+  EXPECT_EQ(safe_ops, s.safe_mode_ops);
+  // Trip at the first window boundary, safe mode latched ever after.
+  EXPECT_EQ(s.degraded_windows.front().start_op, 0u);
+  EXPECT_EQ(s.fallback_events, 1u);
+  EXPECT_EQ(s.safe_mode_ops, 1024u - policy.window);
+}
+
+TEST(StreamEngine, MergeOffsetsDegradedWindowsByBaseOps) {
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  core::DegradationPolicy policy;
+  policy.window = 64;
+  policy.spike_factor = 4.0;
+  policy.safe_mode = core::SafeMode::kExactAdd;
+  StreamAdderEngine engine(cfg, core::Corrector::all_enabled(), policy);
+  engine.inject_detect_fault({1, true});
+  auto src = stats::make_uniform(16, 53);
+  StreamStats a = engine.run(*src, 256);
+  const StreamStats b = engine.run(*src, 256);
+  ASSERT_FALSE(a.degraded_windows.empty());
+  ASSERT_FALSE(b.degraded_windows.empty());
+
+  const std::uint64_t base = a.operations;
+  const std::size_t a_entries = a.degraded_windows.size();
+  a.merge(b);
+  ASSERT_EQ(a.degraded_windows.size(), a_entries + b.degraded_windows.size());
+  for (std::size_t i = 0; i < b.degraded_windows.size(); ++i) {
+    const auto& merged = a.degraded_windows[a_entries + i];
+    EXPECT_EQ(merged.start_op, b.degraded_windows[i].start_op + base);
+    EXPECT_EQ(merged.fallback_events, b.degraded_windows[i].fallback_events);
+    EXPECT_EQ(merged.safe_mode_ops, b.degraded_windows[i].safe_mode_ops);
+  }
 }
 
 }  // namespace
