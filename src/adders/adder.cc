@@ -1,5 +1,7 @@
 #include "adders/adder.h"
 
+#include "core/width.h"
+
 namespace gear::adders {
 
 std::uint64_t ApproxAdder::exact(std::uint64_t a, std::uint64_t b) const {
@@ -8,8 +10,7 @@ std::uint64_t ApproxAdder::exact(std::uint64_t a, std::uint64_t b) const {
 }
 
 std::uint64_t ApproxAdder::operand_mask() const {
-  const int n = width();
-  return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+  return core::width_mask(width());
 }
 
 }  // namespace gear::adders

@@ -1,14 +1,14 @@
 #include "adders/eta.h"
 
+#include "core/width.h"
+
 #include <cassert>
 #include <sstream>
 
 namespace gear::adders {
 
 namespace {
-inline std::uint64_t low_mask(int bits) {
-  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
-}
+inline std::uint64_t low_mask(int bits) { return core::width_mask(bits); }
 }  // namespace
 
 EtaiAdder::EtaiAdder(int n, int accurate_bits) : n_(n), accurate_(accurate_bits) {

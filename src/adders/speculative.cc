@@ -1,5 +1,7 @@
 #include "adders/speculative.h"
 
+#include "core/width.h"
+
 #include <algorithm>
 #include <cassert>
 #include <sstream>
@@ -7,9 +9,7 @@
 namespace gear::adders {
 
 namespace {
-inline std::uint64_t low_mask(int bits) {
-  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
-}
+inline std::uint64_t low_mask(int bits) { return core::width_mask(bits); }
 }  // namespace
 
 Aca1Adder::Aca1Adder(int n, int l) : n_(n), l_(l) {

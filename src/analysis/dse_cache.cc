@@ -294,6 +294,34 @@ CachedError DseCache::gear_error(const core::GeArConfig& cfg) {
   return value;
 }
 
+CachedError DseCache::gear_error(const core::GeArConfig& cfg,
+                                 const stats::OperandModel* model) {
+  if (model == nullptr || model->is_uniform()) return gear_error(cfg);
+  std::string key = layout_canonical_key(cfg);
+  char fp[24];
+  std::snprintf(fp, sizeof fp, ":d%016llx",
+                static_cast<unsigned long long>(model->fingerprint()));
+  key += fp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = error_cache_.find(key);
+    if (it != error_cache_.end()) {
+      ++hits_;
+      GEAR_OBS_RUNTIME_COUNT("dse/error_hit", 1);
+      return it->second;
+    }
+    ++misses_;
+  }
+  GEAR_OBS_RUNTIME_COUNT("dse/error_miss", 1);
+  CachedError value;
+  value.exact = core::exact_error_metrics(cfg, *model);
+  value.paper_error = value.exact.error_probability;
+  GEAR_OBS_RUNTIME_COUNT("dse/error_insert", 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  error_cache_.emplace(key, value);
+  return value;
+}
+
 CachedSynth DseCache::keyed_synth(
     const std::string& key, const std::function<netlist::Netlist()>& build) {
   {

@@ -38,6 +38,7 @@
 #include "core/config.h"
 #include "core/error_model.h"
 #include "netlist/netlist.h"
+#include "stats/operand_model.h"
 #include "stats/parallel.h"
 #include "synth/power.h"
 #include "synth/report.h"
@@ -56,6 +57,14 @@ class DseCache;
 struct SweepContext {
   stats::ParallelExecutor* executor = nullptr;
   DseCache* cache = nullptr;
+  /// Operand-distribution model conditioning the error figures the sweep
+  /// ranks on (DESIGN.md §5i). Null — or a uniform model, which the
+  /// drivers canonicalize to null — keeps the uniform closed forms and is
+  /// bit-identical to the pre-model behaviour; a trace-conditioned model
+  /// makes rank_configs/select_config filter and tie-break on
+  /// workload-aware analytic figures, still with no Monte Carlo in the
+  /// loop.
+  const stats::OperandModel* model = nullptr;
 };
 
 /// The synthesis scalars a sweep consumes; every field is bit-identical
@@ -72,9 +81,12 @@ struct CachedSynth {
 };
 
 /// The error-model scalars a sweep consumes, memoized together because
-/// they share one pass over the layout.
+/// they share one pass over the layout. For uniform entries paper_error
+/// is core::paper_error_probability; for model-conditioned entries (the
+/// gear_error overload taking an OperandModel) it holds the conditioned
+/// exact error probability — the figure the sweep filters on either way.
 struct CachedError {
-  double paper_error = 0.0;  ///< core::paper_error_probability
+  double paper_error = 0.0;
   core::ExactErrorMetrics exact;
 
   bool operator==(const CachedError&) const = default;
@@ -128,6 +140,17 @@ class DseCache {
   /// Bit-identical to calling core::paper_error_probability and
   /// core::exact_error_metrics directly (the miss path *is* those calls).
   CachedError gear_error(const core::GeArConfig& cfg);
+
+  /// Model-conditioned error scalars, memoized by layout *and*
+  /// distribution: the key is the layout key plus ":d<fingerprint>"
+  /// (stats::OperandModel::fingerprint, hex), so uniform entries stay
+  /// shared across workloads while distinct trace-conditioned entries
+  /// never collide. A null or uniform model delegates to gear_error(cfg)
+  /// above (same entries, bit-identical values); otherwise the miss path
+  /// is core::exact_error_metrics(cfg, *model) with paper_error set to
+  /// the conditioned error probability.
+  CachedError gear_error(const core::GeArConfig& cfg,
+                         const stats::OperandModel* model);
 
   /// Generic memo for non-GeAr circuits (GDA, RCA baselines, ...): the
   /// caller provides a canonical key and a netlist builder invoked only

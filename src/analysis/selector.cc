@@ -44,11 +44,17 @@ std::vector<core::GeArConfig> candidate_set(const SelectionRequest& request) {
 
 /// Evaluates one candidate: error-model filter, synthesis (through the
 /// cache when provided — bit-identical either way), exact PMF metrics.
+/// A non-null `model` is non-uniform (rank_configs canonicalizes uniform
+/// models away): the filter then applies to the conditioned exact error
+/// probability and the exact_* figures are workload-aware, with the
+/// uniform references kept alongside.
 std::optional<SelectedConfig> evaluate(const SelectionRequest& request,
                                        const core::GeArConfig& cfg,
-                                       DseCache* cache) {
+                                       DseCache* cache,
+                                       const stats::OperandModel* model) {
   if (cache != nullptr) {
-    const CachedError err = cache->gear_error(cfg);
+    const CachedError err =
+        model != nullptr ? cache->gear_error(cfg, model) : cache->gear_error(cfg);
     if (err.paper_error > request.max_error_probability) return std::nullopt;
     SelectedConfig sel(cfg);
     sel.error_probability = err.paper_error;
@@ -59,9 +65,20 @@ std::optional<SelectedConfig> evaluate(const SelectionRequest& request,
     sel.exact_med = err.exact.med;
     sel.exact_ned = err.exact.ned;
     sel.exact_ned_range = err.exact.ned_range;
+    if (model != nullptr) {
+      const CachedError uni = cache->gear_error(cfg);
+      sel.uniform_error_probability = uni.paper_error;
+      sel.uniform_med = uni.exact.med;
+      sel.workload_aware = true;
+    } else {
+      sel.uniform_error_probability = sel.error_probability;
+      sel.uniform_med = sel.exact_med;
+    }
     return sel;
   }
-  const double perr = core::paper_error_probability(cfg);
+  const double perr = model != nullptr
+                          ? core::exact_error_metrics(cfg, *model).error_probability
+                          : core::paper_error_probability(cfg);
   if (perr > request.max_error_probability) return std::nullopt;
   SelectedConfig sel(cfg);
   sel.error_probability = perr;
@@ -71,31 +88,75 @@ std::optional<SelectedConfig> evaluate(const SelectionRequest& request,
                                         : synth::sum_path_delay(rep);
   sel.area_luts = rep.area_luts;
   sel.score = score_of(request.objective, sel.delay_ns, sel.area_luts);
-  const auto exact = core::exact_error_metrics(cfg);
+  const auto exact = model != nullptr ? core::exact_error_metrics(cfg, *model)
+                                      : core::exact_error_metrics(cfg);
   sel.exact_med = exact.med;
   sel.exact_ned = exact.ned;
   sel.exact_ned_range = exact.ned_range;
+  if (model != nullptr) {
+    sel.uniform_error_probability = core::paper_error_probability(cfg);
+    sel.uniform_med = core::exact_error_metrics(cfg).med;
+    sel.workload_aware = true;
+  } else {
+    sel.uniform_error_probability = sel.error_probability;
+    sel.uniform_med = sel.exact_med;
+  }
   return sel;
 }
 
+/// First comparator tier on which `a` beats `b` — the figure that decides
+/// their relative rank. Tiers mirror the sort in rank_configs exactly;
+/// the MED tiers exist only on workload-aware sweeps.
+TieBreak deciding_tier(const SelectedConfig& a, const SelectedConfig& b,
+                       bool workload_aware) {
+  if (a.score != b.score) return TieBreak::kScore;
+  if (a.area_luts != b.area_luts) return TieBreak::kArea;
+  if (workload_aware) {
+    if (a.exact_med != b.exact_med) return TieBreak::kWorkloadMed;
+    if (a.uniform_med != b.uniform_med) return TieBreak::kUniformMed;
+  }
+  if (a.cfg.r() != b.cfg.r()) return TieBreak::kWiderR;
+  return TieBreak::kNarrowerP;
+}
+
 }  // namespace
+
+const char* tie_break_name(TieBreak t) {
+  switch (t) {
+    case TieBreak::kNone: return "none";
+    case TieBreak::kScore: return "score";
+    case TieBreak::kArea: return "area";
+    case TieBreak::kWorkloadMed: return "workload-med";
+    case TieBreak::kUniformMed: return "uniform-med";
+    case TieBreak::kWiderR: return "wider-r";
+    case TieBreak::kNarrowerP: return "narrower-p";
+  }
+  return "none";
+}
 
 std::vector<SelectedConfig> rank_configs(const SelectionRequest& request,
                                          const SweepContext& ctx) {
   GEAR_OBS_SPAN("selector/rank_configs", "dse");
   const auto candidates = candidate_set(request);
 
+  // A uniform model is the closed form the plain sweep already uses —
+  // canonicalize it to null so the uniform path stays bit-identical to
+  // the pre-model selector (including the paper_error filter figure).
+  const stats::OperandModel* model =
+      ctx.model != nullptr && !ctx.model->is_uniform() ? ctx.model : nullptr;
+
   // Evaluate per candidate (index-ordered) so the merged list is the same
   // whether the map runs inline or on the executor.
   std::vector<std::optional<SelectedConfig>> evals;
   if (ctx.executor != nullptr && candidates.size() > 1) {
     evals = ctx.executor->map<std::optional<SelectedConfig>>(
-        candidates.size(),
-        [&](std::size_t i) { return evaluate(request, candidates[i], ctx.cache); });
+        candidates.size(), [&](std::size_t i) {
+          return evaluate(request, candidates[i], ctx.cache, model);
+        });
   } else {
     evals.reserve(candidates.size());
     for (const auto& cfg : candidates) {
-      evals.push_back(evaluate(request, cfg, ctx.cache));
+      evals.push_back(evaluate(request, cfg, ctx.cache, model));
     }
   }
 
@@ -111,14 +172,31 @@ std::vector<SelectedConfig> rank_configs(const SelectionRequest& request,
   GEAR_OBS_COUNT("selector/rejected", candidates.size() - out.size());
   // Strict total order: candidates are unique by (R, P), so the final
   // (r desc, p asc) tiers leave no equivalent pairs and the sort result
-  // is independent of the evaluation interleaving.
+  // is independent of the evaluation interleaving. Workload-aware sweeps
+  // insert the conditioned and uniform MED tiers between area and the
+  // geometric tiers — equal workload MEDs (a conditioned PMF can
+  // degenerate, e.g. an all-zeros trace never errs) still rank on the
+  // uniform figure before falling back to geometry.
+  const bool aware = model != nullptr;
   std::sort(out.begin(), out.end(),
-            [](const SelectedConfig& a, const SelectedConfig& b) {
+            [aware](const SelectedConfig& a, const SelectedConfig& b) {
               if (a.score != b.score) return a.score < b.score;
               if (a.area_luts != b.area_luts) return a.area_luts < b.area_luts;
+              if (aware) {
+                if (a.exact_med != b.exact_med) return a.exact_med < b.exact_med;
+                if (a.uniform_med != b.uniform_med) {
+                  return a.uniform_med < b.uniform_med;
+                }
+              }
               if (a.cfg.r() != b.cfg.r()) return a.cfg.r() > b.cfg.r();
               return a.cfg.p() < b.cfg.p();
             });
+  // Name the figure that separated each entry from its successor; the
+  // last entry has nothing below it.
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    out[i].decided_by = deciding_tier(out[i], out[i + 1], aware);
+  }
+  if (!out.empty()) out.back().decided_by = TieBreak::kNone;
   return out;
 }
 

@@ -36,6 +36,21 @@ struct SelectionRequest {
   bool with_detection = false;
 };
 
+/// The ranking tier that separated a result from its successor in rank
+/// order — the "deciding figure" a designer reading the short-list needs
+/// named explicitly (a workload-aware sweep can rank two configs on
+/// figures the uniform table would call ties, and vice versa).
+enum class TieBreak : std::uint8_t {
+  kNone,         ///< last (or only) entry — nothing below it to separate
+  kScore,        ///< objective score differed
+  kArea,         ///< equal score, smaller area won
+  kWorkloadMed,  ///< model-conditioned exact MED (workload-aware sweeps only)
+  kUniformMed,   ///< uniform exact MED (workload-aware sweeps only)
+  kWiderR,       ///< all figures equal, larger R won
+  kNarrowerP,    ///< final tier: smaller P won
+};
+const char* tie_break_name(TieBreak t);
+
 struct SelectedConfig {
   explicit SelectedConfig(core::GeArConfig c) : cfg(std::move(c)) {}
 
@@ -45,18 +60,36 @@ struct SelectedConfig {
   int area_luts = 0;
   double score = 0.0;
   /// Exact error magnitudes from the closed-form PMF metrics
-  /// (core::exact_error_metrics) — no sampling involved.
+  /// (core::exact_error_metrics) — no sampling involved. Conditioned on
+  /// the SweepContext model when one is present (workload_aware below),
+  /// uniform otherwise.
   double exact_med = 0.0;
   double exact_ned = 0.0;        ///< MED / max error distance
   double exact_ned_range = 0.0;  ///< MED / (2^N - 1)
+  /// Uniform-operand reference figures. Equal to error_probability /
+  /// exact_med on uniform sweeps; on workload-aware sweeps they keep the
+  /// distribution-free values so the divergence the model corrects stays
+  /// visible per candidate.
+  double uniform_error_probability = 0.0;
+  double uniform_med = 0.0;
+  /// True iff the figures above were conditioned on a (non-uniform)
+  /// SweepContext model.
+  bool workload_aware = false;
+  /// Which tier separated this entry from the next one in rank order
+  /// (kNone for the last entry).
+  TieBreak decided_by = TieBreak::kNone;
 };
 
 /// Best configuration meeting the requirement, or nullopt when only the
 /// exact adder qualifies and `n` has no approximate config under the
 /// bound. Deterministic: the ranking comparator is a strict total order
-/// (score, then area, then larger R, then smaller P; candidates are
-/// unique by (R, P)), so the result is identical for every SweepContext —
-/// serial or parallel, cached or not.
+/// (score, then area, then — on workload-aware sweeps — conditioned MED
+/// and uniform MED, then larger R, then smaller P; candidates are unique
+/// by (R, P)), so the result is identical for every SweepContext —
+/// serial or parallel, cached or not. With ctx.model set to a
+/// non-uniform OperandModel the filter bound applies to the conditioned
+/// exact error probability and the ranking figures are workload-aware;
+/// a null or uniform model reproduces the uniform sweep bit for bit.
 std::optional<SelectedConfig> select_config(const SelectionRequest& request);
 std::optional<SelectedConfig> select_config(const SelectionRequest& request,
                                             const SweepContext& ctx);

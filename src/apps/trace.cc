@@ -1,3 +1,46 @@
 #include "apps/trace.h"
 
-// Header-only; this TU anchors the library target.
+#include <stdexcept>
+#include <string>
+
+#include "adders/registry.h"
+#include "apps/generate.h"
+#include "apps/integral.h"
+#include "apps/lpf.h"
+#include "apps/sad.h"
+#include "apps/sobel.h"
+#include "stats/rng.h"
+
+namespace gear::apps {
+
+stats::TraceSource capture_kernel_trace(const std::string& kernel, int width,
+                                        int img_w, int img_h,
+                                        std::uint64_t seed) {
+  stats::Rng img_rng = stats::Rng::substream(seed, "trace-img:" + kernel);
+  const Image img = smoothed_noise_image(img_w, img_h, img_rng, 2);
+
+  const adders::AdderPtr exact =
+      adders::make_adder("rca:" + std::to_string(width));
+  TracingAdder traced(*exact);
+
+  if (kernel == "integral") {
+    (void)row_integral(img, traced);
+  } else if (kernel == "sad") {
+    stats::Rng shift_rng = stats::Rng::substream(seed, "trace-shift:" + kernel);
+    const Image cand = shifted_image(img, 2, 1, 2, shift_rng);
+    const int bx = img_w / 4, by = img_h / 4;
+    (void)sad_search(img, cand, bx, by, /*bw=*/16, /*bh=*/16, /*range=*/3,
+                     traced);
+  } else if (kernel == "lpf") {
+    (void)lpf3x3(img, traced);
+  } else if (kernel == "sobel") {
+    (void)sobel(img, traced);
+  } else {
+    throw std::invalid_argument("capture_kernel_trace: unknown kernel '" +
+                                kernel + "'");
+  }
+
+  return traced.take_source(kernel + "-" + std::to_string(width));
+}
+
+}  // namespace gear::apps

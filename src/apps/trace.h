@@ -7,6 +7,7 @@
 // operand stream is produced).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "adders/adder.h"
@@ -39,5 +40,18 @@ class TracingAdder final : public adders::ApproxAdder {
   const adders::ApproxAdder& inner_;
   mutable std::vector<stats::OperandPair> trace_;
 };
+
+/// Captures the operand stream of one app kernel run through a traced
+/// exact (ripple-carry) adder of `width` bits over deterministic
+/// smoothed-noise content: the standard way every bench/test obtains a
+/// real workload trace for the distribution-aware error engines.
+/// Kernels: "integral" (row prefix sums), "sad" (full-search motion
+/// estimation), "lpf" (3x3 low-pass), "sobel" (gradient magnitude;
+/// width >= 12). The same (kernel, width, img_w, img_h, seed) always
+/// yields the same trace. Throws std::invalid_argument on an unknown
+/// kernel name.
+stats::TraceSource capture_kernel_trace(const std::string& kernel, int width,
+                                        int img_w, int img_h,
+                                        std::uint64_t seed);
 
 }  // namespace gear::apps

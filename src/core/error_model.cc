@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/bitsliced_adder.h"
+#include "core/width.h"
 #include "obs/metrics.h"
 #include "stats/bitsliced.h"
 
@@ -236,32 +237,45 @@ double exact_error_probability(const GeArConfig& cfg) {
   return err;
 }
 
-stats::Pmf exact_error_distribution(const GeArConfig& cfg) {
-  const int k = cfg.k();
-  stats::Pmf pmf;
-  if (k <= 1) {
-    pmf.add(0, 1.0);
-    return pmf;
-  }
-  if (cfg.n() > 62) {
-    throw std::invalid_argument("exact_error_distribution: N > 62");
-  }
-  const auto wins = prediction_windows(cfg);
+namespace {
 
-  // Wu-style magnitude DP (DESIGN.md §5e). The total error telescopes to
-  //   approx - exact = -sum_j 2^res_lo(j) * [G_j],
-  // with the run-start event G_j = E_j and not F_{j-1}, where F_{j-1}
-  // extends sub-adder j-1's propagate run through its whole result region
-  // (F_{j-1} implies the carry sub-adder j misses was already missed —
-  // and accounted — by sub-adder j-1). To read F_{j-1} at res_lo(j),
-  // window j-1 is kept open through [win_lo(j-1), res_lo(j)); the same
-  // collapsed (c, f) state then classifies the resolution of window j:
-  //   f == open_count     and c==1:  E_j and F_{j-1}  -> no new magnitude
-  //   f == open_count - 1 and c==1:  G_j fires        -> magnitude += 2^res_lo(j)
-  //   otherwise                      E_j fails        -> no error here
-  // (for j == 1 there is no F_0 — carry into bit 0 is 0 — so G_1 fires at
-  // f == open_count). Each (c, f) state carries a map from accumulated
-  // magnitude to probability; the final PMF keys are -magnitude.
+/// Per-bit-position event probabilities driving the magnitude DP: the
+/// chance that one bit of the operand pair generates (a&b), propagates
+/// (a^b), or kills a carry. The uniform closed form is {1/4, 1/2, 1/4};
+/// a stats::OperandModel supplies per-position values.
+struct BitProbs {
+  double gen = 0.0;
+  double prop = 0.0;
+  double kill = 0.0;
+};
+
+/// Wu-style magnitude DP (DESIGN.md §5e), templated over the per-bit
+/// probability provider `bit_probs(t) -> BitProbs` so the uniform closed
+/// form and model-conditioned marginals share one implementation. With
+/// the uniform provider the arithmetic below performs exactly the
+/// operation sequence of the pre-generalization uniform code (two
+/// products and two accumulations per live magnitude, in the same
+/// order), so the uniform path is bit-identical to the seed — pinned by
+/// ErrorModelTrace.UniformModelBitIdentical.
+///
+/// The total error telescopes to
+///   approx - exact = -sum_j 2^res_lo(j) * [G_j],
+/// with the run-start event G_j = E_j and not F_{j-1}, where F_{j-1}
+/// extends sub-adder j-1's propagate run through its whole result region
+/// (F_{j-1} implies the carry sub-adder j misses was already missed —
+/// and accounted — by sub-adder j-1). To read F_{j-1} at res_lo(j),
+/// window j-1 is kept open through [win_lo(j-1), res_lo(j)); the same
+/// collapsed (c, f) state then classifies the resolution of window j:
+///   f == open_count     and c==1:  E_j and F_{j-1}  -> no new magnitude
+///   f == open_count - 1 and c==1:  G_j fires        -> magnitude += 2^res_lo(j)
+///   otherwise                      E_j fails        -> no error here
+/// (for j == 1 there is no F_0 — carry into bit 0 is 0 — so G_1 fires at
+/// f == open_count). Each (c, f) state carries a map from accumulated
+/// magnitude to probability; the final PMF keys are -magnitude.
+template <typename ProbsFn>
+stats::Pmf magnitude_dp(const GeArConfig& cfg, ProbsFn&& bit_probs) {
+  const auto wins = prediction_windows(cfg);
+  stats::Pmf pmf;
   using MagMap = std::map<std::uint64_t, double>;
   const std::size_t nw = wins.size();
   // State index: f * 2 + c, f in [0, nw].
@@ -312,14 +326,15 @@ stats::Pmf exact_error_distribution(const GeArConfig& cfg) {
       ++next_open;
     }
 
+    const BitProbs bp = bit_probs(t);
     MagMap gen_acc, kill_acc;
     for (int f = 0; f <= oc; ++f) {
       for (int c = 0; c < 2; ++c) {
         for (auto& [mag, w] : dp[static_cast<std::size_t>(f) * 2 +
                                  static_cast<std::size_t>(c)]) {
-          gen_acc[mag] += w * kGenProb;
-          kill_acc[mag] += w * kGenProb;
-          w *= kPropProb;
+          gen_acc[mag] += w * bp.gen;
+          kill_acc[mag] += w * bp.kill;
+          w *= bp.prop;
         }
       }
     }
@@ -333,6 +348,22 @@ stats::Pmf exact_error_distribution(const GeArConfig& cfg) {
     }
   }
   return pmf;
+}
+
+}  // namespace
+
+stats::Pmf exact_error_distribution(const GeArConfig& cfg) {
+  const int k = cfg.k();
+  if (k <= 1) {
+    stats::Pmf pmf;
+    pmf.add(0, 1.0);
+    return pmf;
+  }
+  if (cfg.n() > 62) {
+    throw std::invalid_argument("exact_error_distribution: N > 62");
+  }
+  return magnitude_dp(
+      cfg, [](int) { return BitProbs{kGenProb, kPropProb, kGenProb}; });
 }
 
 ExactErrorMetrics exact_error_metrics(const GeArConfig& cfg) {
@@ -385,6 +416,93 @@ ExactErrorMetrics exact_error_metrics(const GeArConfig& cfg) {
     m.max_ed = std::max(m.max_ed, best[static_cast<std::size_t>(j)]);
   }
 
+  m.ned = m.max_ed > 0.0 ? m.med / m.max_ed : 0.0;
+  m.ned_range = m.med / range;
+  m.acc_amp_mean = 1.0 - m.ned_range;
+  return m;
+}
+
+std::uint64_t telescoped_error_magnitude(const GeArConfig& cfg,
+                                         std::uint64_t gen,
+                                         std::uint64_t prop) {
+  if (cfg.n() > 62) {
+    throw std::invalid_argument("telescoped_error_magnitude: N > 62");
+  }
+  std::uint64_t mag = 0;
+  for (int j = 1; j < cfg.k(); ++j) {
+    const int res = cfg.sub(j).res_lo;
+    // h = highest non-propagating bit below res_lo(j); the run (h, res)
+    // propagates by construction, so the carry reaching res_lo(j) (if
+    // any) originates exactly at h.
+    const std::uint64_t below = ~prop & width_mask(res);
+    if (below == 0) continue;  // all-propagate run from bit 0: carry-in is 0
+    const int h = 63 - std::countl_zero(below);
+    const int region_lo = j == 1 ? 0 : cfg.sub(j - 1).win_lo;
+    // G_j: h generates (kill ends the run with no carry), sits below j's
+    // prediction window (inside it would break E_j), and at or above the
+    // previous window's opening (below it, F_{j-1} holds and the miss was
+    // already charged to sub-adder j-1).
+    if (h >= region_lo && h < cfg.sub(j).win_lo && ((gen >> h) & 1ULL)) {
+      mag += std::uint64_t{1} << static_cast<unsigned>(res);
+    }
+  }
+  return mag;
+}
+
+stats::Pmf exact_error_distribution(const GeArConfig& cfg,
+                                    const stats::OperandModel& model) {
+  if (model.width() > cfg.n()) {
+    throw std::invalid_argument(
+        "exact_error_distribution: model wider than the adder");
+  }
+  if (model.is_uniform()) return exact_error_distribution(cfg);
+  if (cfg.n() > 62) {
+    throw std::invalid_argument("exact_error_distribution: N > 62");
+  }
+
+  if (model.kind() == stats::OperandModel::Kind::kEmpirical) {
+    // Exact evaluation over the (gen, prop) classes: integer counts per
+    // magnitude first, then one count * (1/samples) product per key in
+    // ascending-key order — the same arithmetic and order as
+    // stats::Pmf::from_histogram over the equivalent replay histogram,
+    // so the result matches enumeration over the empirical trace
+    // distribution bit-for-bit.
+    std::map<std::uint64_t, std::uint64_t> counts;
+    for (const stats::GpClass& c : model.classes()) {
+      counts[telescoped_error_magnitude(cfg, c.gen, c.prop)] += c.count;
+    }
+    stats::Pmf pmf;
+    const double inv = 1.0 / static_cast<double>(model.samples());
+    for (auto it = counts.rbegin(); it != counts.rend(); ++it) {
+      pmf.add(-static_cast<std::int64_t>(it->first),
+              static_cast<double>(it->second) * inv);
+    }
+    return pmf;
+  }
+
+  if (cfg.k() <= 1) {
+    stats::Pmf pmf;
+    pmf.add(0, 1.0);
+    return pmf;
+  }
+  return magnitude_dp(cfg, [&model](int t) {
+    return BitProbs{model.gen_prob(t), model.prop_prob(t),
+                    model.kill_prob(t)};
+  });
+}
+
+ExactErrorMetrics exact_error_metrics(const GeArConfig& cfg,
+                                      const stats::OperandModel& model) {
+  if (model.is_uniform()) return exact_error_metrics(cfg);
+  ExactErrorMetrics m;
+  const double range = std::pow(2.0, cfg.n()) - 1.0;
+  const stats::Pmf pmf = exact_error_distribution(cfg, model);
+  for (const auto& [key, mass] : pmf.entries()) {
+    if (key == 0 || mass <= 0.0) continue;
+    m.error_probability += mass;
+    m.max_ed = std::max(m.max_ed, -static_cast<double>(key));
+  }
+  m.med = pmf.mean_abs();
   m.ned = m.max_ed > 0.0 ? m.med / m.max_ed : 0.0;
   m.ned_range = m.med / range;
   m.acc_amp_mean = 1.0 - m.ned_range;
@@ -574,6 +692,61 @@ stats::SparseHistogram mc_distribution_chunk_bitsliced(
   return hist;
 }
 
+/// Deterministic replay of a span of recorded pairs: one histogram entry
+/// per pair, module key convention. The trace drivers and the
+/// source-driven MC scalar kernel are all this loop.
+stats::SparseHistogram pairs_distribution_chunk(
+    const GeArAdder& adder, const stats::OperandPair* pairs,
+    std::uint64_t count) {
+  stats::SparseHistogram hist;
+  for (std::uint64_t t = 0; t < count; ++t) {
+    const auto approx =
+        static_cast<std::int64_t>(adder.add_value(pairs[t].a, pairs[t].b));
+    const auto exact =
+        static_cast<std::int64_t>(adder.exact(pairs[t].a, pairs[t].b));
+    hist.add(approx - exact);
+  }
+  return hist;
+}
+
+/// Bitsliced twin of pairs_distribution_chunk; entry-identical tallies
+/// (same zero-lane batching as mc_distribution_chunk_bitsliced). Inputs
+/// are masked to n bits before packing, matching the scalar adder's
+/// internal masking.
+stats::SparseHistogram pairs_distribution_chunk_bitsliced(
+    const BitslicedGearAdder& adder, int n, const stats::OperandPair* pairs,
+    std::uint64_t count) {
+  stats::SparseHistogram hist;
+  const std::uint64_t mask = width_mask(n);
+  std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
+  std::uint64_t approx[stats::kBitslicedLanes], exact[stats::kBitslicedLanes];
+  BitslicedBatch batch;
+  for (std::uint64_t base = 0; base < count;
+       base += stats::kBitslicedLanes) {
+    const int lanes = static_cast<int>(std::min<std::uint64_t>(
+        stats::kBitslicedLanes, count - base));
+    for (int l = 0; l < lanes; ++l) {
+      a[l] = pairs[base + static_cast<std::uint64_t>(l)].a & mask;
+      b[l] = pairs[base + static_cast<std::uint64_t>(l)].b & mask;
+    }
+    adder.eval(a, b, lanes, /*carry_in_lanes=*/0, /*correction_mask=*/0, batch);
+    const int zeros =
+        std::popcount(~batch.error & stats::lane_mask(lanes));
+    if (zeros > 0) hist.add(0, static_cast<std::uint64_t>(zeros));
+    if (batch.error != 0) {
+      adder.unpack_sums(batch.approx, approx, lanes);
+      adder.unpack_sums(batch.exact, exact, lanes);
+      for (int l = 0; l < lanes; ++l) {
+        if ((batch.error >> l) & 1ULL) {
+          hist.add(static_cast<std::int64_t>(approx[l]) -
+                   static_cast<std::int64_t>(exact[l]));
+        }
+      }
+    }
+  }
+  return hist;
+}
+
 std::vector<std::uint64_t> mc_detect_chunk(const GeArAdder& adder, int n, int k,
                                            std::uint64_t trials, stats::Rng& rng) {
   std::vector<std::uint64_t> counts(static_cast<std::size_t>(k) + 1, 0);
@@ -666,6 +839,101 @@ stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
   }
   stats::SparseHistogram hist;
   for (const auto& partial : partials) hist.merge(partial);
+  return hist;
+}
+
+stats::SparseHistogram trace_error_distribution(const GeArConfig& cfg,
+                                                const stats::TraceSource& trace,
+                                                McKernel kernel) {
+  const auto& pairs = trace.pairs();
+  if (kernel == McKernel::kBitsliced) {
+    const BitslicedGearAdder adder(cfg);
+    return pairs_distribution_chunk_bitsliced(adder, cfg.n(), pairs.data(),
+                                              pairs.size());
+  }
+  const GeArAdder adder(cfg);
+  return pairs_distribution_chunk(adder, pairs.data(), pairs.size());
+}
+
+stats::SparseHistogram trace_error_distribution(const GeArConfig& cfg,
+                                                const stats::TraceSource& trace,
+                                                stats::ParallelExecutor& exec,
+                                                std::uint64_t shard_size,
+                                                McKernel kernel) {
+  const auto& pairs = trace.pairs();
+  const auto shards =
+      stats::ParallelExecutor::make_shards(pairs.size(), shard_size);
+  std::vector<stats::SparseHistogram> partials;
+  if (kernel == McKernel::kBitsliced) {
+    const BitslicedGearAdder adder(cfg);
+    partials =
+        exec.map<stats::SparseHistogram>(shards.size(), [&](std::size_t i) {
+          return pairs_distribution_chunk_bitsliced(
+              adder, cfg.n(), pairs.data() + shards[i].begin,
+              shards[i].size());
+        });
+  } else {
+    const GeArAdder adder(cfg);
+    partials =
+        exec.map<stats::SparseHistogram>(shards.size(), [&](std::size_t i) {
+          return pairs_distribution_chunk(adder, pairs.data() + shards[i].begin,
+                                          shards[i].size());
+        });
+  }
+  // Integer-count merge in ascending shard index: bit-identical to the
+  // sequential replay for every thread count.
+  stats::SparseHistogram hist;
+  for (const auto& partial : partials) hist.merge(partial);
+  return hist;
+}
+
+stats::SparseHistogram mc_error_distribution(const GeArConfig& cfg,
+                                             std::uint64_t trials,
+                                             stats::OperandSource& source,
+                                             McKernel kernel) {
+  stats::SparseHistogram hist;
+  const std::uint64_t mask = width_mask(cfg.n());
+  if (kernel == McKernel::kBitsliced) {
+    const BitslicedGearAdder adder(cfg);
+    stats::OperandPair buf[stats::kBitslicedLanes];
+    std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
+    std::uint64_t approx[stats::kBitslicedLanes],
+        exact[stats::kBitslicedLanes];
+    BitslicedBatch batch;
+    for (std::uint64_t base = 0; base < trials;
+         base += stats::kBitslicedLanes) {
+      const int lanes = static_cast<int>(std::min<std::uint64_t>(
+          stats::kBitslicedLanes, trials - base));
+      source.fill(buf, static_cast<std::size_t>(lanes));
+      for (int l = 0; l < lanes; ++l) {
+        a[l] = buf[l].a & mask;
+        b[l] = buf[l].b & mask;
+      }
+      adder.eval(a, b, lanes, /*carry_in_lanes=*/0, /*correction_mask=*/0,
+                 batch);
+      const int zeros =
+          std::popcount(~batch.error & stats::lane_mask(lanes));
+      if (zeros > 0) hist.add(0, static_cast<std::uint64_t>(zeros));
+      if (batch.error != 0) {
+        adder.unpack_sums(batch.approx, approx, lanes);
+        adder.unpack_sums(batch.exact, exact, lanes);
+        for (int l = 0; l < lanes; ++l) {
+          if ((batch.error >> l) & 1ULL) {
+            hist.add(static_cast<std::int64_t>(approx[l]) -
+                     static_cast<std::int64_t>(exact[l]));
+          }
+        }
+      }
+    }
+    return hist;
+  }
+  const GeArAdder adder(cfg);
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const stats::OperandPair p = source.next();
+    const auto approx = static_cast<std::int64_t>(adder.add_value(p.a, p.b));
+    const auto exact = static_cast<std::int64_t>(adder.exact(p.a, p.b));
+    hist.add(approx - exact);
+  }
   return hist;
 }
 

@@ -23,6 +23,30 @@
 //  * mc_error_probability / exhaustive_error_probability — simulation
 //    referees (the paper's Table III "by simulation" column uses 10000
 //    uniform patterns).
+//
+// Every estimator also has an input-distribution-aware form taking a
+// stats::OperandModel (exact_error_distribution(cfg, model) etc.), which
+// conditions the same exact machinery on a workload's operand
+// distribution instead of the uniform closed form — see the "Conditioned
+// engines" section below.
+//
+// ## Error-key convention
+//
+// Every signed error distribution in this module — analytic
+// (exact_error_distribution, both overloads), Monte-Carlo
+// (mc_error_distribution, all overloads), and deterministic trace replay
+// (trace_error_distribution) — keys its entries by the SAME convention:
+//
+//   key = int64(approximate sum) - int64(exact sum)
+//
+// so key 0 is an exact result and, because a GeAr approximation only ever
+// *misses* carries (it never invents one), every nonzero key is negative
+// with |key| the error distance. The analytic engines produce -magnitude
+// keys directly from the telescoped decomposition; the simulation paths
+// produce int64(approx) - int64(exact) per trial. The
+// ErrorModelTrace.KeyConventionDifferential test replays one trace
+// through both and asserts entry-identical histograms, pinning the
+// convention.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +54,9 @@
 #include "core/adder.h"
 #include "core/config.h"
 #include "stats/bootstrap.h"
+#include "stats/distributions.h"
 #include "stats/histogram.h"
+#include "stats/operand_model.h"
 #include "stats/parallel.h"
 #include "stats/pmf.h"
 #include "stats/rng.h"
@@ -99,6 +125,79 @@ struct ExactErrorMetrics {
   bool operator==(const ExactErrorMetrics&) const = default;
 };
 ExactErrorMetrics exact_error_metrics(const GeArConfig& cfg);
+
+// ## Conditioned engines (input-distribution-aware, DESIGN.md §5i)
+//
+// The overloads below condition the exact error machinery on a
+// stats::OperandModel instead of assuming uniform operands. A uniform
+// model delegates to the uniform functions above and is bit-identical to
+// them; a marginal model drives the generalized telescoped-error DP with
+// per-bit-position (gen, prop, kill) probabilities; an empirical model is
+// evaluated exactly over its (gen, prop) class list — exact for
+// arbitrarily correlated operands, because the error is a pure function
+// of the gen/prop masks (see telescoped_error_magnitude).
+
+/// The signed-error magnitude |approx - exact| of one operand pair as a
+/// pure function of its generate/propagate masks (gen = a & b,
+/// prop = a ^ b): the telescoped decomposition evaluated pointwise. For
+/// each sub-adder j >= 1 the run-start event G_j fires iff the highest
+/// non-propagating bit h below res_lo(j) lies in j's generate region
+/// [win_lo(j-1), win_lo(j)) (j == 1: [0, win_lo(1))) and generates, in
+/// which case 2^res_lo(j) is missed. This is the per-input ground truth
+/// behind both analytic engines; a differential test pins it against
+/// GeArAdder on exhaustive and random inputs. Requires N <= 62.
+std::uint64_t telescoped_error_magnitude(const GeArConfig& cfg,
+                                         std::uint64_t gen, std::uint64_t prop);
+
+/// Exact signed error distribution conditioned on `model` (same key
+/// convention as above). kUniform delegates to the uniform overload
+/// (bit-identical); kMarginal runs the generalized magnitude DP;
+/// kEmpirical enumerates the model's (gen, prop) classes through
+/// telescoped_error_magnitude and normalises counts exactly like
+/// stats::Pmf::from_histogram, so it equals the exhaustive enumeration
+/// over the empirical trace distribution bit-for-bit. Requires N <= 62
+/// and model.width() <= N (narrower models are zero-extended).
+stats::Pmf exact_error_distribution(const GeArConfig& cfg,
+                                    const stats::OperandModel& model);
+
+/// Exact error metrics conditioned on `model`. kUniform delegates to the
+/// uniform overload (bit-identical); otherwise the figures derive from
+/// exact_error_distribution(cfg, model): error_probability is the total
+/// nonzero mass, med the mean |key|, and max_ed the largest |key| with
+/// nonzero mass — i.e. the worst case *under the distribution*, which for
+/// an empirical model is the worst error the trace can actually hit.
+ExactErrorMetrics exact_error_metrics(const GeArConfig& cfg,
+                                      const stats::OperandModel& model);
+
+/// Deterministic error distribution of a full trace replay: every
+/// recorded pair once, in order, keyed by the module convention. No RNG
+/// is involved, and the parallel overload shards the trace by index range
+/// with partials merged in shard order, so the result is bit-identical
+/// for every executor thread count (§5a contract) — this is the
+/// "MC on the same trace" referee the conditioned analytic engines are
+/// verified against (they must agree exactly up to FP summation order).
+stats::SparseHistogram trace_error_distribution(
+    const GeArConfig& cfg, const stats::TraceSource& trace,
+    McKernel kernel = McKernel::kBitsliced);
+
+/// Parallel variant; same shard/merge determinism contract as the
+/// parallel mc_error_probability, but sharding trace indices (no RNG).
+stats::SparseHistogram trace_error_distribution(
+    const GeArConfig& cfg, const stats::TraceSource& trace,
+    stats::ParallelExecutor& exec,
+    std::uint64_t shard_size = stats::ParallelExecutor::kDefaultShardSize,
+    McKernel kernel = McKernel::kBitsliced);
+
+/// Monte-Carlo signed error distribution drawing operand pairs from an
+/// arbitrary OperandSource (same key convention). Both kernels consume
+/// the source in the same order (one next() per trial), so they are
+/// entry-identical; driving it with a TraceSource for exactly
+/// trace.size() trials replays the trace and equals
+/// trace_error_distribution bit-for-bit (pinned by the key-convention
+/// differential test).
+stats::SparseHistogram mc_error_distribution(
+    const GeArConfig& cfg, std::uint64_t trials, stats::OperandSource& source,
+    McKernel kernel = McKernel::kBitsliced);
 
 /// Monte-Carlo estimate with a Wilson confidence interval.
 struct McErrorEstimate {

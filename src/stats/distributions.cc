@@ -1,5 +1,7 @@
 #include "stats/distributions.h"
 
+#include "core/width.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -10,7 +12,7 @@ GaussianClampedSource::GaussianClampedSource(int width, double mean_frac,
                                              double stddev_frac, Rng rng)
     : width_(width), rng_(rng) {
   assert(width >= 1 && width <= 64);
-  max_ = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+  max_ = core::width_mask(width);
   const auto span = static_cast<double>(max_);
   mean_ = mean_frac * span;
   stddev_ = stddev_frac * span;
@@ -29,7 +31,7 @@ SmallValueSource::SmallValueSource(int width, double exponent, Rng rng)
     : width_(width), exponent_(exponent), rng_(rng) {
   assert(width >= 1 && width <= 64);
   assert(exponent >= 1.0);
-  max_ = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+  max_ = core::width_mask(width);
 }
 
 std::uint64_t SmallValueSource::draw() {

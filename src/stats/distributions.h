@@ -101,6 +101,10 @@ class TraceSource final : public OperandSource {
   int width() const override { return width_; }
   std::string name() const override { return label_; }
   std::size_t size() const { return trace_.size(); }
+  /// The recorded pairs, in capture order — deterministic replay drivers
+  /// (core::trace_error_distribution) shard over this directly instead of
+  /// consuming the cycling cursor.
+  const std::vector<OperandPair>& pairs() const { return trace_; }
 
  private:
   int width_;

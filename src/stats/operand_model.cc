@@ -1,0 +1,210 @@
+#include "stats/operand_model.h"
+
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/width.h"
+
+namespace gear::stats {
+
+namespace {
+
+constexpr double kUniformGen = 0.25;
+constexpr double kUniformProp = 0.5;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  fnv_u64(h, bits);
+}
+
+}  // namespace
+
+OperandModel OperandModel::uniform(int width) {
+  if (width < 1 || width > 64) {
+    throw std::invalid_argument("OperandModel::uniform: width out of [1, 64]");
+  }
+  OperandModel m;
+  m.kind_ = Kind::kUniform;
+  m.width_ = width;
+  m.label_ = "uniform";
+  m.compute_fingerprint();
+  return m;
+}
+
+OperandModel OperandModel::from_trace(int width,
+                                      const std::vector<OperandPair>& trace,
+                                      std::string label) {
+  if (width < 1 || width > 64) {
+    throw std::invalid_argument("OperandModel::from_trace: width out of [1, 64]");
+  }
+  if (trace.empty()) {
+    throw std::invalid_argument("OperandModel::from_trace: empty trace");
+  }
+  OperandModel m;
+  m.kind_ = Kind::kEmpirical;
+  m.width_ = width;
+  m.samples_ = trace.size();
+  m.label_ = std::move(label);
+
+  const std::uint64_t mask = core::width_mask(width);
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> counts;
+  for (const OperandPair& p : trace) {
+    const std::uint64_t a = p.a & mask;
+    const std::uint64_t b = p.b & mask;
+    ++counts[{a & b, a ^ b}];
+  }
+  m.classes_.reserve(counts.size());
+  for (const auto& [gp, count] : counts) {
+    m.classes_.push_back({gp.first, gp.second, count});
+  }
+
+  // Per-bit marginals from the class counts (exact: mass per class is
+  // count / samples, accumulated as integers first).
+  m.gen_p_.assign(static_cast<std::size_t>(width), 0.0);
+  m.prop_p_.assign(static_cast<std::size_t>(width), 0.0);
+  std::vector<std::uint64_t> gen_c(static_cast<std::size_t>(width), 0);
+  std::vector<std::uint64_t> prop_c(static_cast<std::size_t>(width), 0);
+  for (const GpClass& c : m.classes_) {
+    for (int t = 0; t < width; ++t) {
+      gen_c[static_cast<std::size_t>(t)] += ((c.gen >> t) & 1ULL) * c.count;
+      prop_c[static_cast<std::size_t>(t)] += ((c.prop >> t) & 1ULL) * c.count;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(m.samples_);
+  for (int t = 0; t < width; ++t) {
+    m.gen_p_[static_cast<std::size_t>(t)] =
+        static_cast<double>(gen_c[static_cast<std::size_t>(t)]) * inv;
+    m.prop_p_[static_cast<std::size_t>(t)] =
+        static_cast<double>(prop_c[static_cast<std::size_t>(t)]) * inv;
+  }
+  m.compute_fingerprint();
+  return m;
+}
+
+OperandModel OperandModel::from_source(OperandSource& source,
+                                       std::uint64_t samples) {
+  std::vector<OperandPair> pairs(samples);
+  source.fill(pairs.data(), pairs.size());
+  return from_trace(source.width(), pairs, source.name());
+}
+
+OperandModel OperandModel::marginal(int width, std::vector<double> gen_p,
+                                    std::vector<double> prop_p,
+                                    std::string label) {
+  if (width < 1 || width > 64) {
+    throw std::invalid_argument("OperandModel::marginal: width out of [1, 64]");
+  }
+  if (gen_p.size() != static_cast<std::size_t>(width) ||
+      prop_p.size() != static_cast<std::size_t>(width)) {
+    throw std::invalid_argument(
+        "OperandModel::marginal: probability vectors must have `width` entries");
+  }
+  for (int t = 0; t < width; ++t) {
+    const double g = gen_p[static_cast<std::size_t>(t)];
+    const double p = prop_p[static_cast<std::size_t>(t)];
+    if (g < 0.0 || p < 0.0 || g + p > 1.0) {
+      throw std::invalid_argument(
+          "OperandModel::marginal: need gen, prop >= 0 and gen + prop <= 1");
+    }
+  }
+  OperandModel m;
+  m.kind_ = Kind::kMarginal;
+  m.width_ = width;
+  m.gen_p_ = std::move(gen_p);
+  m.prop_p_ = std::move(prop_p);
+  m.label_ = std::move(label);
+  m.compute_fingerprint();
+  return m;
+}
+
+OperandModel OperandModel::marginal_model() const {
+  if (kind_ == Kind::kUniform) return *this;
+  OperandModel m;
+  m.kind_ = Kind::kMarginal;
+  m.width_ = width_;
+  m.gen_p_ = gen_p_;
+  m.prop_p_ = prop_p_;
+  m.label_ = label_ + "+marginal";
+  m.compute_fingerprint();
+  return m;
+}
+
+double OperandModel::gen_prob(int t) const {
+  if (t < 0 || t >= width_) return 0.0;
+  if (kind_ == Kind::kUniform) return kUniformGen;
+  return gen_p_[static_cast<std::size_t>(t)];
+}
+
+double OperandModel::prop_prob(int t) const {
+  if (t < 0 || t >= width_) return 0.0;
+  if (kind_ == Kind::kUniform) return kUniformProp;
+  return prop_p_[static_cast<std::size_t>(t)];
+}
+
+double OperandModel::kill_prob(int t) const {
+  if (t < 0 || t >= width_) return 1.0;
+  if (kind_ == Kind::kUniform) return kUniformGen;
+  return 1.0 - gen_prob(t) - prop_prob(t);
+}
+
+double OperandModel::window_event_prob(int gen_at, int lo, int hi) const {
+  if (lo < 0 || hi < lo || (gen_at >= 0 && gen_at >= lo)) {
+    throw std::invalid_argument("OperandModel::window_event_prob: bad window");
+  }
+  if (kind_ == Kind::kEmpirical) {
+    // Exact joint over the class list: [lo, hi) is a propagate run and
+    // gen_at generates. Positions >= width are zero in every class (kill),
+    // so a run reaching above the trace width has probability 0 — which
+    // the mask test below yields for free.
+    const std::uint64_t run =
+        core::width_mask(hi) & ~core::width_mask(lo);
+    std::uint64_t hits = 0;
+    for (const GpClass& c : classes_) {
+      if ((c.prop & run) != run) continue;
+      if (gen_at >= 0 && !((c.gen >> gen_at) & 1ULL)) continue;
+      hits += c.count;
+    }
+    return static_cast<double>(hits) * (1.0 / static_cast<double>(samples_));
+  }
+  double acc = gen_at >= 0 ? gen_prob(gen_at) : 1.0;
+  for (int t = lo; t < hi; ++t) acc *= prop_prob(t);
+  return acc;
+}
+
+void OperandModel::compute_fingerprint() {
+  std::uint64_t h = kFnvOffset;
+  fnv_u64(h, static_cast<std::uint64_t>(kind_));
+  fnv_u64(h, static_cast<std::uint64_t>(width_));
+  switch (kind_) {
+    case Kind::kUniform:
+      break;
+    case Kind::kMarginal:
+      for (double v : gen_p_) fnv_double(h, v);
+      for (double v : prop_p_) fnv_double(h, v);
+      break;
+    case Kind::kEmpirical:
+      fnv_u64(h, samples_);
+      for (const GpClass& c : classes_) {
+        fnv_u64(h, c.gen);
+        fnv_u64(h, c.prop);
+        fnv_u64(h, c.count);
+      }
+      break;
+  }
+  fingerprint_ = h;
+}
+
+}  // namespace gear::stats

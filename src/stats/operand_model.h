@@ -1,0 +1,139 @@
+// Operand-distribution models for the analytic error engines.
+//
+// The paper's error model (and core::exact_error_distribution) assumes
+// uniform i.i.d. operands, but real workloads — the integral/SAD/LPF/
+// Sobel traces the paper itself evaluates — are correlated and
+// non-uniform, so the uniform analytic figures diverge from Monte Carlo
+// on those traces. Wu et al. ("Error Statistics of Block-based
+// Approximate Adders") show exact error statistics are computable for
+// *arbitrary* input distributions from block-level joint probabilities.
+//
+// OperandModel is that distribution summary. The key observation making
+// it exact: a block-based approximate adder's error is a pure function of
+// the per-bit generate/propagate pattern (gen = a & b, prop = a ^ b) of
+// the operand pair — the operand values beyond that pattern never matter.
+// The joint distribution of (gen, prop) mask pairs is therefore a
+// sufficient statistic for the error PMF of every configuration at that
+// width, and it collapses hard on real traces (correlated app kernels
+// revisit a small set of patterns). An OperandModel extracted from a
+// trace stores exactly that joint distribution — the maximal form of Wu's
+// block-joint probabilities, valid for every window geometry at once —
+// plus the per-bit-position marginals, which alone give the cheaper
+// independent-bits approximation.
+//
+// Three kinds, from most to least informed:
+//  * kEmpirical — the full (gen, prop) class list; drives the exact
+//    trace-conditioned engines (core::exact_error_distribution(cfg, m)).
+//  * kMarginal — per-bit (gen, prop, kill) probabilities, independence
+//    assumed across positions; drives the generalized telescoped-error
+//    DP. An ablation point between uniform and empirical.
+//  * kUniform — the closed-form gen=1/4, prop=1/2 model; engines given a
+//    uniform model delegate to the seed uniform code paths and are
+//    bit-identical to them (pinned by ErrorModelTrace tests).
+//
+// fingerprint() is the distribution's identity for cache keying
+// (analysis::DseCache error tier): uniform models of one width share a
+// fingerprint so cached uniform entries stay shared, while distinct
+// traces get distinct fingerprints so conditioned entries never collide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/distributions.h"
+
+namespace gear::stats {
+
+/// One generate/propagate pattern class and its sample count. `gen` and
+/// `prop` are disjoint bit masks (gen = a & b, prop = a ^ b).
+struct GpClass {
+  std::uint64_t gen = 0;
+  std::uint64_t prop = 0;
+  std::uint64_t count = 0;
+
+  bool operator==(const GpClass&) const = default;
+};
+
+class OperandModel {
+ public:
+  enum class Kind : std::uint8_t { kUniform, kMarginal, kEmpirical };
+
+  /// The closed-form uniform i.i.d. model at `width` bits.
+  static OperandModel uniform(int width);
+
+  /// Exact empirical model of a captured operand trace: pairs are masked
+  /// to `width` bits and collapsed into (gen, prop) classes. The class
+  /// list is sorted by (gen, prop) with multiplicity in `count`, so two
+  /// traces that are permutations of each other produce identical models
+  /// and fingerprints. Requires a non-empty trace and width in [1, 64].
+  static OperandModel from_trace(int width, const std::vector<OperandPair>& trace,
+                                 std::string label = "trace");
+
+  /// Draws `samples` pairs from `source` and builds the empirical model.
+  /// For a TraceSource this replays the trace in order (cycling), so
+  /// `samples == source.size()` captures it exactly.
+  static OperandModel from_source(OperandSource& source, std::uint64_t samples);
+
+  /// Independent-bits model from explicit per-position probabilities.
+  /// `gen_p[t]` + `prop_p[t]` must not exceed 1 for any t.
+  static OperandModel marginal(int width, std::vector<double> gen_p,
+                               std::vector<double> prop_p,
+                               std::string label = "marginal");
+
+  /// This model with cross-position correlations dropped: a kMarginal
+  /// model over the same per-bit marginals (kUniform stays kUniform).
+  OperandModel marginal_model() const;
+
+  int width() const { return width_; }
+  Kind kind() const { return kind_; }
+  bool is_uniform() const { return kind_ == Kind::kUniform; }
+  const std::string& label() const { return label_; }
+  /// Trace pairs behind an empirical model (0 for uniform/marginal).
+  std::uint64_t samples() const { return samples_; }
+
+  /// Per-bit-position marginals: P(generate at t), P(propagate at t),
+  /// P(kill at t) = 1 - gen - prop. Positions at or above width() are
+  /// deterministically kill (operands are zero there), so a narrow-trace
+  /// model drives a wider adder correctly.
+  double gen_prob(int t) const;
+  double prop_prob(int t) const;
+  double kill_prob(int t) const;
+
+  /// Empirical (gen, prop) classes, sorted by (gen, prop); empty unless
+  /// kind() == kEmpirical.
+  const std::vector<GpClass>& classes() const { return classes_; }
+
+  /// Block-level joint probability of the error DPs' window event: every
+  /// bit of [lo, hi) propagates AND (when gen_at >= 0) bit `gen_at`
+  /// generates. Exact against the class list for kEmpirical, a product
+  /// of marginals for kMarginal, and the closed form for kUniform.
+  double window_event_prob(int gen_at, int lo, int hi) const;
+
+  /// FNV-1a identity of the distribution: a pure function of (kind,
+  /// width, payload). Every uniform model of one width shares one
+  /// fingerprint; empirical models of different traces collide only if
+  /// their class lists are identical (in which case they *are* the same
+  /// distribution). Used as the DseCache error-tier key component.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  bool operator==(const OperandModel& o) const {
+    return kind_ == o.kind_ && width_ == o.width_ && classes_ == o.classes_ &&
+           gen_p_ == o.gen_p_ && prop_p_ == o.prop_p_;
+  }
+
+ private:
+  OperandModel() = default;
+  void compute_fingerprint();
+
+  Kind kind_ = Kind::kUniform;
+  int width_ = 0;
+  std::uint64_t samples_ = 0;
+  std::vector<GpClass> classes_;  // kEmpirical only
+  std::vector<double> gen_p_;     // per-bit marginals (empty for kUniform)
+  std::vector<double> prop_p_;
+  std::uint64_t fingerprint_ = 0;
+  std::string label_;
+};
+
+}  // namespace gear::stats

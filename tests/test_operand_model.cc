@@ -1,0 +1,491 @@
+// Operand-distribution models and the conditioned error engines
+// (DESIGN.md §5i): OperandModel construction/fingerprinting, the
+// telescoped per-input magnitude, trace-conditioned analytic PMFs against
+// deterministic replay (bit-identical, §5a thread sweep), the error-key
+// convention differential, the width-64/63 shift-safety regressions and
+// the DseCache distribution-keyed error tier.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "adders/registry.h"
+#include "analysis/dse_cache.h"
+#include "analysis/selector.h"
+#include "apps/trace.h"
+#include "core/adder.h"
+#include "core/config.h"
+#include "core/error_model.h"
+#include "core/width.h"
+#include "stats/distributions.h"
+#include "stats/operand_model.h"
+#include "stats/parallel.h"
+#include "stats/pmf.h"
+#include "stats/rng.h"
+#include "test_util.h"
+
+namespace gear {
+namespace {
+
+using core::GeArConfig;
+using core::width_mask;
+using stats::OperandModel;
+using stats::OperandPair;
+using stats::TraceSource;
+
+// ---------------------------------------------------------------------------
+// OperandModel construction and accessors
+// ---------------------------------------------------------------------------
+
+TEST(OperandModel, UniformClosedForm) {
+  const OperandModel m = OperandModel::uniform(16);
+  EXPECT_EQ(m.kind(), OperandModel::Kind::kUniform);
+  EXPECT_TRUE(m.is_uniform());
+  EXPECT_EQ(m.width(), 16);
+  for (int t = 0; t < 16; ++t) {
+    EXPECT_EQ(m.gen_prob(t), 0.25) << t;
+    EXPECT_EQ(m.prop_prob(t), 0.5) << t;
+    EXPECT_EQ(m.kill_prob(t), 0.25) << t;
+  }
+  // Positions at or above the width are deterministically kill.
+  EXPECT_EQ(m.gen_prob(16), 0.0);
+  EXPECT_EQ(m.prop_prob(20), 0.0);
+  EXPECT_EQ(m.kill_prob(16), 1.0);
+  // The window event factorizes: all-propagate over [lo, hi) times the
+  // generate at gen_at.
+  EXPECT_EQ(m.window_event_prob(-1, 2, 5), 0.125);
+  EXPECT_EQ(m.window_event_prob(1, 2, 5), 0.25 * 0.125);
+}
+
+TEST(OperandModel, FromTraceCollapsesToSortedDisjointClasses) {
+  // Three distinct (gen, prop) patterns, one duplicated.
+  const std::vector<OperandPair> trace = {
+      {0b1010, 0b0110}, {0b0110, 0b1010},  // same gen/prop class (symmetric)
+      {0b1111, 0b1111},                    // gen = 1111, prop = 0
+      {0b0001, 0b0010},                    // gen = 0, prop = 0011
+  };
+  const OperandModel m = OperandModel::from_trace(4, trace, "t");
+  EXPECT_EQ(m.kind(), OperandModel::Kind::kEmpirical);
+  EXPECT_EQ(m.samples(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& c : m.classes()) {
+    EXPECT_EQ(c.gen & c.prop, 0u) << "gen/prop must be disjoint";
+    total += c.count;
+  }
+  EXPECT_EQ(total, 4u);
+  ASSERT_EQ(m.classes().size(), 3u);
+  // Sorted by (gen, prop).
+  for (std::size_t i = 1; i < m.classes().size(); ++i) {
+    const auto& a = m.classes()[i - 1];
+    const auto& b = m.classes()[i];
+    EXPECT_TRUE(a.gen < b.gen || (a.gen == b.gen && a.prop < b.prop));
+  }
+}
+
+TEST(OperandModel, PermutedTracesShareModelAndFingerprint) {
+  const auto pairs = testutil::draw_operands(12, 200, 77);
+  std::vector<OperandPair> reversed(pairs.rbegin(), pairs.rend());
+  const OperandModel a = OperandModel::from_trace(12, pairs, "fwd");
+  const OperandModel b = OperandModel::from_trace(12, reversed, "rev");
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(OperandModel, FingerprintSeparatesDistributions) {
+  const OperandModel u16 = OperandModel::uniform(16);
+  EXPECT_EQ(u16.fingerprint(), OperandModel::uniform(16).fingerprint());
+  EXPECT_NE(u16.fingerprint(), OperandModel::uniform(32).fingerprint());
+  const OperandModel t1 =
+      OperandModel::from_trace(16, testutil::draw_operands(16, 100, 1));
+  const OperandModel t2 =
+      OperandModel::from_trace(16, testutil::draw_operands(16, 100, 2));
+  EXPECT_NE(t1.fingerprint(), t2.fingerprint());
+  EXPECT_NE(t1.fingerprint(), u16.fingerprint());
+  EXPECT_NE(t1.fingerprint(), t1.marginal_model().fingerprint());
+}
+
+TEST(OperandModel, MarginalsMatchHandCounts) {
+  // gen at bit0 in 2 of 3 samples; prop at bit1 in 1 of 3.
+  const std::vector<OperandPair> trace = {
+      {0b01, 0b01}, {0b01, 0b01}, {0b10, 0b00}};
+  const OperandModel m = OperandModel::from_trace(2, trace);
+  EXPECT_EQ(m.gen_prob(0), 2.0 * (1.0 / 3));
+  EXPECT_EQ(m.prop_prob(0), 0.0);
+  EXPECT_EQ(m.gen_prob(1), 0.0);
+  EXPECT_EQ(m.prop_prob(1), 1.0 * (1.0 / 3));
+  const OperandModel marg = m.marginal_model();
+  EXPECT_EQ(marg.kind(), OperandModel::Kind::kMarginal);
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_EQ(marg.gen_prob(t), m.gen_prob(t)) << t;
+    EXPECT_EQ(marg.prop_prob(t), m.prop_prob(t)) << t;
+  }
+}
+
+TEST(OperandModel, WindowEventProbMatchesDirectCount) {
+  const auto pairs = testutil::draw_operands(10, 500, 9);
+  const OperandModel m = OperandModel::from_trace(10, pairs);
+  for (const auto& [gen_at, lo, hi] : std::vector<std::array<int, 3>>{
+           {-1, 0, 4}, {-1, 3, 7}, {1, 2, 6}, {0, 1, 10}}) {
+    std::uint64_t hits = 0;
+    for (const auto& p : pairs) {
+      const std::uint64_t gen = p.a & p.b, prop = p.a ^ p.b;
+      const std::uint64_t run = width_mask(hi) & ~width_mask(lo);
+      const bool all_prop = (prop & run) == run;
+      const bool gen_ok = gen_at < 0 || ((gen >> gen_at) & 1ULL) != 0;
+      if (all_prop && gen_ok) ++hits;
+    }
+    EXPECT_EQ(m.window_event_prob(gen_at, lo, hi),
+              static_cast<double>(hits) *
+                  (1.0 / static_cast<double>(pairs.size())))
+        << gen_at << " [" << lo << "," << hi << ")";
+  }
+}
+
+TEST(OperandModel, NarrowTraceZeroExtendsToWiderAdders) {
+  const auto pairs = testutil::draw_operands(8, 64, 5);
+  const OperandModel m = OperandModel::from_trace(8, pairs);
+  for (int t = 8; t < 70; t += 13) {
+    EXPECT_EQ(m.gen_prob(t), 0.0) << t;
+    EXPECT_EQ(m.prop_prob(t), 0.0) << t;
+    EXPECT_EQ(m.kill_prob(t), 1.0) << t;
+  }
+  // A 16-bit config conditioned on the 8-bit model is a valid exact PMF.
+  const auto cfg = GeArConfig::must(16, 4, 4);
+  const stats::Pmf pmf = core::exact_error_distribution(cfg, m);
+  EXPECT_NEAR(pmf.total_mass(), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Shift-safety regressions at the 32/63/64-bit numeric edges (satellite:
+// every former `(1 << N) - 1` masking site now funnels through
+// core::width_mask).
+// ---------------------------------------------------------------------------
+
+TEST(OperandModel, TracingAdderMasksAtEdgeWidths) {
+  for (int width : {32, 63}) {  // ApproxAdder widths run 1..63
+    const adders::AdderPtr exact =
+        adders::make_adder("rca:" + std::to_string(width));
+    apps::TracingAdder traced(*exact);
+    EXPECT_EQ(traced.operand_mask(), width_mask(width)) << width;
+    // Garbage bits above the operand width must not reach the trace.
+    const std::uint64_t junk = ~width_mask(width);
+    (void)traced.add(junk | 5u, junk | 9u);
+    ASSERT_EQ(traced.trace().size(), 1u);
+    EXPECT_EQ(traced.trace()[0].a, 5u) << width;
+    EXPECT_EQ(traced.trace()[0].b, 9u) << width;
+  }
+}
+
+TEST(OperandModel, SkewedSourcesStayInRangeAtEdgeWidths) {
+  for (int width : {32, 63, 64}) {
+    auto gauss = stats::make_gaussian(width, 3);
+    auto small = stats::make_small_value(width, 3);
+    for (int i = 0; i < 256; ++i) {
+      const auto g = gauss->next();
+      const auto s = small->next();
+      EXPECT_LE(g.a, width_mask(width)) << width;
+      EXPECT_LE(g.b, width_mask(width)) << width;
+      EXPECT_LE(s.a, width_mask(width)) << width;
+      EXPECT_LE(s.b, width_mask(width)) << width;
+    }
+  }
+}
+
+TEST(OperandModel, FromTraceMasksToModelWidth) {
+  const std::vector<OperandPair> trace = {{~0ULL, ~0ULL}};
+  const OperandModel m = OperandModel::from_trace(63, trace);
+  ASSERT_EQ(m.classes().size(), 1u);
+  EXPECT_EQ(m.classes()[0].gen, width_mask(63));
+  EXPECT_EQ(m.classes()[0].prop, 0u);
+  const OperandModel m64 = OperandModel::from_trace(64, trace);
+  EXPECT_EQ(m64.classes()[0].gen, ~0ULL);
+}
+
+// ---------------------------------------------------------------------------
+// Telescoped per-input magnitude vs the behavioural adder
+// ---------------------------------------------------------------------------
+
+TEST(ErrorModelTrace, TelescopedMagnitudeMatchesAdderExhaustive) {
+  for (int n : {6, 8}) {
+    for (const auto& cfg : GeArConfig::enumerate(n)) {
+      const core::GeArAdder adder(cfg);
+      const std::uint64_t lim = 1ULL << n;
+      for (std::uint64_t a = 0; a < lim; ++a) {
+        for (std::uint64_t b = 0; b < lim; ++b) {
+          const std::uint64_t truth = adder.exact(a, b) - adder.add_value(a, b);
+          EXPECT_EQ(core::telescoped_error_magnitude(cfg, a & b, a ^ b), truth)
+              << cfg.name() << " a=" << a << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(ErrorModelTrace, TelescopedMagnitudeMatchesAdderRandomWide) {
+  for (const auto& cfg : testutil::fuzz_configs()) {
+    if (cfg.n() > 62) continue;  // magnitude engine contract
+    const core::GeArAdder adder(cfg);
+    for (const auto& p : testutil::draw_operands(cfg.n(), 2000, 123)) {
+      const std::uint64_t truth =
+          adder.exact(p.a, p.b) - adder.add_value(p.a, p.b);
+      EXPECT_EQ(core::telescoped_error_magnitude(cfg, p.a & p.b, p.a ^ p.b),
+                truth)
+          << cfg.name();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform specialization: the model-taking overloads with a uniform model
+// are bit-identical to the seed uniform engines.
+// ---------------------------------------------------------------------------
+
+TEST(ErrorModelTrace, UniformModelBitIdentical) {
+  for (const auto& cfg : testutil::fuzz_configs()) {
+    if (cfg.n() > 62) continue;
+    const OperandModel u = OperandModel::uniform(cfg.n());
+    EXPECT_EQ(core::exact_error_distribution(cfg, u).entries(),
+              core::exact_error_distribution(cfg).entries())
+        << cfg.name();
+    EXPECT_TRUE(core::exact_error_metrics(cfg, u) ==
+                core::exact_error_metrics(cfg))
+        << cfg.name();
+  }
+}
+
+TEST(ErrorModelTrace, MarginalWithUniformProbsBitIdenticalToUniformDp) {
+  // A kMarginal model carrying the uniform per-bit probabilities drives
+  // the generalized DP through the exact same FP operation sequence as
+  // the seed uniform DP — entries must be identical, not just close.
+  for (const auto& cfg :
+       {GeArConfig::must(16, 4, 4), GeArConfig::must(12, 2, 2),
+        *GeArConfig::make_custom(16, 4, {{4, 2}, {4, 4}, {4, 6}})}) {
+    const OperandModel m = OperandModel::marginal(
+        cfg.n(), std::vector<double>(static_cast<std::size_t>(cfg.n()), 0.25),
+        std::vector<double>(static_cast<std::size_t>(cfg.n()), 0.5),
+        "uniform-as-marginal");
+    EXPECT_EQ(m.kind(), OperandModel::Kind::kMarginal);
+    EXPECT_EQ(core::exact_error_distribution(cfg, m).entries(),
+              core::exact_error_distribution(cfg).entries())
+        << cfg.name();
+  }
+}
+
+TEST(ErrorModelTrace, ExhaustiveTraceReproducesUniformPmf) {
+  // The empirical model of the *complete* 2^(2N) operand enumeration is
+  // the uniform distribution; the conditioned analytic PMF must equal
+  // the exhaustive-enumeration referee mass for mass (both are exact
+  // dyadic rationals).
+  for (int n : {4, 6, 8}) {
+    for (const auto& cfg : GeArConfig::enumerate(n)) {
+      std::vector<OperandPair> all;
+      const std::uint64_t lim = 1ULL << n;
+      all.reserve(lim * lim);
+      for (std::uint64_t a = 0; a < lim; ++a) {
+        for (std::uint64_t b = 0; b < lim; ++b) all.push_back({a, b});
+      }
+      const OperandModel m = OperandModel::from_trace(n, all, "exhaustive");
+      const stats::Pmf pmf = core::exact_error_distribution(cfg, m);
+      const auto truth = testutil::exhaustive_error_pmf(cfg);
+      ASSERT_EQ(pmf.entries().size(), truth.size()) << cfg.name();
+      for (const auto& [key, mass] : truth) {
+        EXPECT_EQ(pmf.mass(key), mass) << cfg.name() << " key " << key;
+      }
+    }
+  }
+}
+
+TEST(ErrorModelTrace, ConditionedPmfEqualsDirectEnumerationOverTrace) {
+  // Random (correlated-free) trace: the conditioned analytic PMF must be
+  // bit-identical to replaying the trace through the adder and
+  // normalising the histogram — same counts, same 1/samples factor.
+  for (int n : {8, 10}) {
+    const auto pairs =
+        testutil::draw_operands(n, 4096, static_cast<std::uint64_t>(31 + n));
+    const OperandModel m = OperandModel::from_trace(n, pairs);
+    for (const auto& cfg : GeArConfig::enumerate(n)) {
+      const TraceSource trace(n, pairs, "t");
+      const auto replay = core::trace_error_distribution(cfg, trace);
+      EXPECT_EQ(core::exact_error_distribution(cfg, m).entries(),
+                stats::Pmf::from_histogram(replay).entries())
+          << cfg.name();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Real kernel traces: conditioned analytic vs §5a-sharded replay at
+// N in {16, 32}, bit-identical across thread counts {1, 2, 8}.
+// ---------------------------------------------------------------------------
+
+TEST(ErrorModelTrace, KernelTraceConditionedMatchesShardedReplay) {
+  for (const char* kernel : {"sad", "sobel"}) {
+    for (int width : {16, 32}) {
+      const TraceSource trace =
+          apps::capture_kernel_trace(kernel, width, 48, 32, testutil::kSeed);
+      ASSERT_GT(trace.size(), 0u);
+      const OperandModel m =
+          OperandModel::from_trace(width, trace.pairs(), trace.name());
+      const GeArConfig cfg = GeArConfig::must(width, width / 4, width / 4);
+      const auto serial = core::trace_error_distribution(cfg, trace);
+      testutil::for_each_thread_count([&](stats::ParallelExecutor& exec, int) {
+        const auto sharded = core::trace_error_distribution(
+            cfg, trace, exec, testutil::kShard);
+        EXPECT_EQ(sharded.entries(), serial.entries()) << kernel << width;
+        EXPECT_EQ(sharded.total(), serial.total()) << kernel << width;
+      });
+      // Conditioned analytic == replay referee, entry for entry.
+      EXPECT_EQ(core::exact_error_distribution(cfg, m).entries(),
+                stats::Pmf::from_histogram(serial).entries())
+          << kernel << width;
+      // And the scalar metrics derive from that same PMF.
+      const auto metrics = core::exact_error_metrics(cfg, m);
+      const auto pmf = stats::Pmf::from_histogram(serial);
+      EXPECT_EQ(metrics.med, pmf.mean_abs()) << kernel << width;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error-key convention differential (satellite: one trace through the MC
+// driver and the deterministic replay driver must produce identical keys)
+// ---------------------------------------------------------------------------
+
+TEST(ErrorModelTrace, KeyConventionDifferential) {
+  const TraceSource trace =
+      apps::capture_kernel_trace("integral", 16, 48, 32, testutil::kSeed);
+  const GeArConfig cfg = GeArConfig::must(16, 4, 4);
+  const auto replay = core::trace_error_distribution(cfg, trace);
+  for (const auto kernel : {core::McKernel::kBitsliced, core::McKernel::kScalar}) {
+    TraceSource replayed = trace;  // fresh cycling cursor at position 0
+    const auto mc =
+        core::mc_error_distribution(cfg, trace.size(), replayed, kernel);
+    EXPECT_EQ(mc.entries(), replay.entries());
+    EXPECT_EQ(mc.total(), replay.total());
+  }
+  // The convention itself: key 0 is the exact bucket; every other key is
+  // negative (GeAr only ever misses carries) with |key| the distance.
+  for (const auto& [key, count] : replay.entries()) {
+    EXPECT_TRUE(key <= 0) << key;
+    EXPECT_GT(count, 0u);
+  }
+  EXPECT_TRUE(replay.entries().count(0));
+}
+
+TEST(ErrorModelTrace, ScalarAndBitslicedReplayAgree) {
+  const TraceSource trace =
+      apps::capture_kernel_trace("lpf", 16, 48, 32, testutil::kSeed);
+  for (const auto& cfg :
+       {GeArConfig::must(16, 2, 4), GeArConfig::must(16, 4, 8)}) {
+    const auto a =
+        core::trace_error_distribution(cfg, trace, core::McKernel::kBitsliced);
+    const auto b =
+        core::trace_error_distribution(cfg, trace, core::McKernel::kScalar);
+    EXPECT_EQ(a.entries(), b.entries()) << cfg.name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DseCache distribution-keyed error tier
+// ---------------------------------------------------------------------------
+
+TEST(ErrorModelTrace, CacheUniformModelSharesUniformEntries) {
+  analysis::DseCache cache;
+  const GeArConfig cfg = GeArConfig::must(16, 4, 4);
+  const OperandModel uniform = OperandModel::uniform(16);
+  const auto plain = cache.gear_error(cfg);
+  const std::size_t after_plain = cache.size();
+  const auto via_model = cache.gear_error(cfg, &uniform);
+  EXPECT_TRUE(via_model == plain);
+  EXPECT_EQ(cache.size(), after_plain)
+      << "uniform model must reuse the uniform entry, not add one";
+  const auto via_null = cache.gear_error(cfg, nullptr);
+  EXPECT_TRUE(via_null == plain);
+}
+
+TEST(ErrorModelTrace, CacheConditionedEntriesDoNotCollide) {
+  analysis::DseCache cache;
+  const GeArConfig cfg = GeArConfig::must(16, 4, 4);
+  const OperandModel t1 =
+      OperandModel::from_trace(16, testutil::draw_operands(16, 300, 1), "t1");
+  const OperandModel t2 = OperandModel::from_trace(
+      16, std::vector<OperandPair>(300, OperandPair{0, 0}), "zeros");
+  const auto uniform_entry = cache.gear_error(cfg);
+  const auto e1 = cache.gear_error(cfg, &t1);
+  const auto e2 = cache.gear_error(cfg, &t2);
+  // The all-zeros trace never errs; the random trace does. Neither may
+  // overwrite the other or the uniform entry.
+  EXPECT_EQ(e2.paper_error, 0.0);
+  EXPECT_GT(e1.paper_error, 0.0);
+  EXPECT_TRUE(cache.gear_error(cfg) == uniform_entry);
+  EXPECT_TRUE(cache.gear_error(cfg, &t1) == e1);
+  EXPECT_TRUE(cache.gear_error(cfg, &t2) == e2);
+  // Hit path returns the same bits as the uncached computation.
+  const auto direct = core::exact_error_metrics(cfg, t1);
+  EXPECT_TRUE(e1.exact == direct);
+  EXPECT_EQ(e1.paper_error, direct.error_probability);
+}
+
+/// Field-wise identity of two rankings (operator== is not defined on
+/// SelectedConfig; the comparison must include every figure a caller
+/// consumes).
+void expect_same_ranking(const std::vector<analysis::SelectedConfig>& a,
+                         const std::vector<analysis::SelectedConfig>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cfg.layout(), b[i].cfg.layout()) << i;
+    EXPECT_EQ(a[i].score, b[i].score) << i;
+    EXPECT_EQ(a[i].error_probability, b[i].error_probability) << i;
+    EXPECT_EQ(a[i].delay_ns, b[i].delay_ns) << i;
+    EXPECT_EQ(a[i].area_luts, b[i].area_luts) << i;
+    EXPECT_EQ(a[i].exact_med, b[i].exact_med) << i;
+    EXPECT_EQ(a[i].uniform_error_probability, b[i].uniform_error_probability)
+        << i;
+    EXPECT_EQ(a[i].uniform_med, b[i].uniform_med) << i;
+    EXPECT_EQ(a[i].workload_aware, b[i].workload_aware) << i;
+    EXPECT_EQ(a[i].decided_by, b[i].decided_by) << i;
+  }
+}
+
+TEST(ErrorModelTrace, RankConfigsModelCombosBitIdentical) {
+  const TraceSource trace =
+      apps::capture_kernel_trace("sad", 16, 48, 32, testutil::kSeed);
+  const OperandModel model =
+      OperandModel::from_trace(16, trace.pairs(), trace.name());
+  analysis::SelectionRequest req;
+  req.n = 16;
+  req.max_error_probability = 0.01;
+  req.objective = analysis::Objective::kDelay;
+
+  // Reference: serial, uncached.
+  analysis::SweepContext base;
+  base.model = &model;
+  const auto reference = analysis::rank_configs(req, base);
+  ASSERT_FALSE(reference.empty());
+  for (const auto& sel : reference) {
+    EXPECT_TRUE(sel.workload_aware);
+    EXPECT_LE(sel.error_probability, req.max_error_probability);
+  }
+
+  testutil::for_each_thread_count([&](stats::ParallelExecutor& exec, int) {
+    for (const bool cached : {false, true}) {
+      analysis::DseCache cache;
+      analysis::SweepContext ctx;
+      ctx.executor = &exec;
+      ctx.cache = cached ? &cache : nullptr;
+      ctx.model = &model;
+      expect_same_ranking(analysis::rank_configs(req, ctx), reference);
+      if (cached) {
+        // Warm pass: every hit must return the same bits.
+        expect_same_ranking(analysis::rank_configs(req, ctx), reference);
+        EXPECT_GT(cache.hits(), 0u);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace gear

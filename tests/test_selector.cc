@@ -1,9 +1,13 @@
 // Configuration-selector tests.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "analysis/selector.h"
 #include "core/error_model.h"
 #include "netlist/circuits.h"
+#include "stats/distributions.h"
+#include "stats/operand_model.h"
 #include "synth/report.h"
 
 namespace gear::analysis {
@@ -96,6 +100,111 @@ TEST(Selector, ImpossibleBoundYieldsNothing) {
   req.max_error_probability = -1.0;  // nothing is below a negative bound
   EXPECT_FALSE(select_config(req));
   EXPECT_TRUE(rank_configs(req).empty());
+}
+
+/// Recomputes the documented comparator tier separating `a` from `b` —
+/// the oracle decided_by is checked against.
+TieBreak expected_tier(const SelectedConfig& a, const SelectedConfig& b,
+                       bool aware) {
+  if (a.score != b.score) return TieBreak::kScore;
+  if (a.area_luts != b.area_luts) return TieBreak::kArea;
+  if (aware) {
+    if (a.exact_med != b.exact_med) return TieBreak::kWorkloadMed;
+    if (a.uniform_med != b.uniform_med) return TieBreak::kUniformMed;
+  }
+  if (a.cfg.r() != b.cfg.r()) return TieBreak::kWiderR;
+  return TieBreak::kNarrowerP;
+}
+
+TEST(Selector, UniformModelReproducesPlainSweepBitForBit) {
+  SelectionRequest req;
+  req.n = 16;
+  req.max_error_probability = 0.05;
+  const auto plain = rank_configs(req);
+  const stats::OperandModel uniform = stats::OperandModel::uniform(16);
+  SweepContext ctx;
+  ctx.model = &uniform;
+  const auto via_model = rank_configs(req, ctx);
+  ASSERT_EQ(plain.size(), via_model.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].cfg.layout(), via_model[i].cfg.layout()) << i;
+    EXPECT_EQ(plain[i].score, via_model[i].score) << i;
+    EXPECT_EQ(plain[i].error_probability, via_model[i].error_probability) << i;
+    EXPECT_EQ(plain[i].exact_med, via_model[i].exact_med) << i;
+    EXPECT_EQ(plain[i].decided_by, via_model[i].decided_by) << i;
+    EXPECT_FALSE(via_model[i].workload_aware) << i;
+    // On uniform sweeps the reference figures mirror the main figures.
+    EXPECT_EQ(plain[i].uniform_error_probability,
+              plain[i].error_probability) << i;
+    EXPECT_EQ(plain[i].uniform_med, plain[i].exact_med) << i;
+  }
+}
+
+TEST(Selector, DecidedByNamesTheSeparatingTier) {
+  const std::vector<stats::OperandPair> zeros(64, stats::OperandPair{0, 0});
+  const stats::OperandModel zero_model =
+      stats::OperandModel::from_trace(16, zeros, "zeros");
+  SelectionRequest req;
+  req.n = 16;
+  req.max_error_probability = 0.05;
+  for (const bool aware : {false, true}) {
+    SweepContext ctx;
+    if (aware) ctx.model = &zero_model;
+    const auto ranked = rank_configs(req, ctx);
+    ASSERT_FALSE(ranked.empty());
+    for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+      EXPECT_EQ(ranked[i].decided_by,
+                expected_tier(ranked[i], ranked[i + 1], aware))
+          << i << " aware=" << aware;
+      EXPECT_NE(ranked[i].decided_by, TieBreak::kNone) << i;
+      EXPECT_STRNE(tie_break_name(ranked[i].decided_by), "none");
+    }
+    EXPECT_EQ(ranked.back().decided_by, TieBreak::kNone);
+  }
+}
+
+TEST(Selector, ZeroTraceTiesResolveOnUniformMed) {
+  // An all-zeros trace never errs: every candidate's workload-aware
+  // error probability and MED are exactly zero, so the sweep's MED tier
+  // degenerates into a total tie. The order must stay total — equal
+  // (score, area, workload MED) pairs rank on the *uniform* MED, and the
+  // deciding figure is named on the entry.
+  const std::vector<stats::OperandPair> zeros(64, stats::OperandPair{0, 0});
+  const stats::OperandModel zero_model =
+      stats::OperandModel::from_trace(16, zeros, "zeros");
+  SelectionRequest req;
+  req.n = 16;
+  req.max_error_probability = 0.05;
+  req.objective = Objective::kArea;  // score == area maximises MED ties
+  SweepContext ctx;
+  ctx.model = &zero_model;
+  const auto ranked = rank_configs(req, ctx);
+  ASSERT_FALSE(ranked.empty());
+  bool saw_uniform_med_tie = false;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_TRUE(ranked[i].workload_aware) << i;
+    EXPECT_EQ(ranked[i].error_probability, 0.0) << i;
+    EXPECT_EQ(ranked[i].exact_med, 0.0) << i;
+    EXPECT_GT(ranked[i].uniform_med, 0.0) << i;
+    if (i + 1 < ranked.size() && ranked[i].decided_by == TieBreak::kUniformMed) {
+      saw_uniform_med_tie = true;
+      // The tie really was total through the earlier tiers, and the
+      // uniform figure really decided it.
+      EXPECT_EQ(ranked[i].score, ranked[i + 1].score);
+      EXPECT_EQ(ranked[i].area_luts, ranked[i + 1].area_luts);
+      EXPECT_EQ(ranked[i].exact_med, ranked[i + 1].exact_med);
+      EXPECT_LT(ranked[i].uniform_med, ranked[i + 1].uniform_med);
+    }
+  }
+  EXPECT_TRUE(saw_uniform_med_tie)
+      << "expected at least one adjacent pair separated only by uniform MED";
+  // Determinism: a rerun produces the identical order.
+  const auto again = rank_configs(req, ctx);
+  ASSERT_EQ(again.size(), ranked.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(again[i].cfg.layout(), ranked[i].cfg.layout()) << i;
+    EXPECT_EQ(again[i].decided_by, ranked[i].decided_by) << i;
+  }
 }
 
 }  // namespace
