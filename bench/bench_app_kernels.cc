@@ -1,0 +1,315 @@
+// End-to-end application-kernel benchmark and bit-identity referee for the
+// 64-lane batch pipelines (apps/batch_kernel, ROADMAP item 4).
+//
+// Two duties, both enforced with a non-zero exit on violation:
+//
+//  1. Bit-identity: for every (adder, image size, thread count) cell the
+//     batch kernels must reproduce the scalar kernels' outputs exactly —
+//     per pixel for integral/LPF/Sobel, per tile (displacement and SAD
+//     value) for the motion search. Thread counts {1, 2, 8} pin the
+//     batch-parallel executor's determinism.
+//  2. Throughput gate: at 256x256 the single-threaded batch path must be
+//     >= 4x faster than the scalar path on at least two of {integral,
+//     SAD, LPF, Sobel} (paper-level claim: application benefit, not
+//     per-add ns).
+//
+// --smoke shrinks the identity matrix and repetition count for CI; the
+// 256x256 speedup gate always runs. Emits BENCH_app_kernels.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adders/exact.h"
+#include "adders/gear_adapter.h"
+#include "apps/batch_kernel.h"
+#include "apps/generate.h"
+#include "apps/integral.h"
+#include "apps/lpf.h"
+#include "apps/sad.h"
+#include "apps/sobel.h"
+#include "bench_util.h"
+#include "core/config.h"
+#include "core/correction.h"
+#include "stats/parallel.h"
+#include "stats/rng.h"
+
+namespace {
+
+using gear::adders::ApproxAdder;
+using gear::apps::Image;
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct AdderCase {
+  std::string name;
+  std::unique_ptr<ApproxAdder> adder;
+};
+
+std::vector<AdderCase> make_adders(bool smoke) {
+  using gear::adders::GearAdapter;
+  using gear::adders::GearCorrectedAdapter;
+  using gear::adders::RcaAdder;
+  using gear::core::Corrector;
+  using gear::core::GeArConfig;
+
+  std::vector<AdderCase> out;
+  out.push_back({"GeAr(16,4,4)", std::make_unique<GearAdapter>(
+                                     gear::benchutil::require_config(16, 4, 4))});
+  out.push_back(
+      {"GeAr(16,4,4)+ecc",
+       std::make_unique<GearCorrectedAdapter>(
+           gear::benchutil::require_config(16, 4, 4), Corrector::all_enabled())});
+  if (!smoke) {
+    // Relaxed (non-divisible) geometry: clamped top sub-adder.
+    if (auto relaxed = GeArConfig::make_relaxed(20, 6, 4)) {
+      out.push_back({"GeAr-relaxed(20,6,4)",
+                     std::make_unique<GearAdapter>(*relaxed)});
+    }
+    // Heterogeneous layout: ascending prediction depth.
+    out.push_back(
+        {"GeAr-custom(16)",
+         std::make_unique<GearAdapter>(gear::benchutil::require_custom(
+             16, 4, {{4, 2}, {4, 4}, {4, 6}}))});
+    // Exact ripple-carry rides the scalar add_batch fallback: pins the
+    // default-implementation path of the batch kernels.
+    out.push_back({"RCA-16", std::make_unique<RcaAdder>(16)});
+  }
+  return out;
+}
+
+struct IdentityFailure {
+  std::string cell;
+  std::string detail;
+};
+
+/// Runs all four kernel identity checks for one (adder, size, pool) cell.
+void check_identity(const AdderCase& ac, int w, int h,
+                    gear::stats::ParallelExecutor* pool,
+                    const std::string& cell,
+                    std::vector<IdentityFailure>& failures) {
+  namespace apps = gear::apps;
+  gear::stats::Rng rng = gear::stats::Rng::substream(7001, "app-kernels-img");
+  const Image img = apps::smoothed_noise_image(w, h, rng, 2);
+
+  if (apps::row_integral(img, *ac.adder) !=
+      apps::row_integral_batch(img, *ac.adder, pool)) {
+    failures.push_back({cell, "row_integral mismatch"});
+  }
+  if (apps::lpf3x3(img, *ac.adder) != apps::lpf3x3_batch(img, *ac.adder, pool)) {
+    failures.push_back({cell, "lpf3x3 mismatch"});
+  }
+  if (apps::lpf_binomial(img, *ac.adder) !=
+      apps::lpf_binomial_batch(img, *ac.adder, pool)) {
+    failures.push_back({cell, "lpf_binomial mismatch"});
+  }
+  if (apps::sobel(img, *ac.adder) != apps::sobel_batch(img, *ac.adder, pool)) {
+    failures.push_back({cell, "sobel mismatch"});
+  }
+
+  // Motion search: every tile's winning displacement and SAD must match.
+  gear::stats::Rng shift_rng = gear::stats::Rng::substream(7001, "app-kernels-shift");
+  const Image cand = apps::shifted_image(img, 2, 1, 2, shift_rng);
+  const int bw = 16, bh = 16, range = 3;
+  for (int by = 0; by + bh <= h; by += bh) {
+    for (int bx = 0; bx + bw <= w; bx += bw) {
+      const apps::SadMatch s =
+          apps::sad_search(img, cand, bx, by, bw, bh, range, *ac.adder);
+      const apps::SadMatch b =
+          apps::sad_search_batch(img, cand, bx, by, bw, bh, range, *ac.adder);
+      if (s.dx != b.dx || s.dy != b.dy || s.sad != b.sad) {
+        std::ostringstream os;
+        os << "sad_search mismatch at tile (" << bx << "," << by
+           << "): scalar (" << s.dx << "," << s.dy << "," << s.sad
+           << ") batch (" << b.dx << "," << b.dy << "," << b.sad << ")";
+        failures.push_back({cell, os.str()});
+        return;  // one tile is enough to fail the cell
+      }
+    }
+  }
+}
+
+struct KernelTiming {
+  std::string kernel;
+  double scalar_ns = 0.0;
+  double batch_ns = 0.0;
+
+  double speedup() const { return batch_ns > 0.0 ? scalar_ns / batch_ns : 0.0; }
+};
+
+/// Best-of-`reps` wall time of fn().
+template <typename Fn>
+double time_best(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ns();
+    fn();
+    const double t = now_ns() - t0;
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+std::vector<KernelTiming> run_timings(const ApproxAdder& adder, int reps) {
+  namespace apps = gear::apps;
+  const int w = 256, h = 256;
+  gear::stats::Rng rng = gear::stats::Rng::substream(7001, "app-kernels-img");
+  const Image img = apps::smoothed_noise_image(w, h, rng, 2);
+  gear::stats::Rng shift_rng = gear::stats::Rng::substream(7001, "app-kernels-shift");
+  const Image cand = apps::shifted_image(img, 2, 1, 2, shift_rng);
+  const int bw = 16, bh = 16, range = 3;
+
+  std::vector<KernelTiming> out;
+  {
+    KernelTiming t{"integral", 0, 0};
+    t.scalar_ns = time_best(reps, [&] { (void)apps::row_integral(img, adder); });
+    t.batch_ns =
+        time_best(reps, [&] { (void)apps::row_integral_batch(img, adder); });
+    out.push_back(t);
+  }
+  {
+    // Full-frame tiled motion search (the Fig. 9b workload shape).
+    auto sweep = [&](auto&& search) {
+      std::uint64_t sink = 0;
+      for (int by = 0; by + bh <= h; by += bh) {
+        for (int bx = 0; bx + bw <= w; bx += bw) {
+          sink += search(bx, by).sad;
+        }
+      }
+      return sink;
+    };
+    KernelTiming t{"sad", 0, 0};
+    t.scalar_ns = time_best(reps, [&] {
+      (void)sweep([&](int bx, int by) {
+        return apps::sad_search(img, cand, bx, by, bw, bh, range, adder);
+      });
+    });
+    t.batch_ns = time_best(reps, [&] {
+      (void)sweep([&](int bx, int by) {
+        return apps::sad_search_batch(img, cand, bx, by, bw, bh, range, adder);
+      });
+    });
+    out.push_back(t);
+  }
+  {
+    KernelTiming t{"lpf", 0, 0};
+    t.scalar_ns = time_best(reps, [&] { (void)apps::lpf3x3(img, adder); });
+    t.batch_ns = time_best(reps, [&] { (void)apps::lpf3x3_batch(img, adder); });
+    out.push_back(t);
+  }
+  {
+    KernelTiming t{"sobel", 0, 0};
+    t.scalar_ns = time_best(reps, [&] { (void)apps::sobel(img, adder); });
+    t.batch_ns = time_best(reps, [&] { (void)apps::sobel_batch(img, adder); });
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::printf("# Batched application kernels: bit-identity + throughput gate\n");
+  std::printf("# mode: %s\n\n", smoke ? "smoke" : "full");
+
+  // ---- 1. Bit-identity matrix: adders x sizes x threads {1,2,8} ---------
+  const std::vector<AdderCase> adders = make_adders(smoke);
+  std::vector<std::pair<int, int>> sizes = {{63, 47}, {64, 64}};
+  if (!smoke) {
+    sizes.push_back({128, 96});
+    sizes.push_back({256, 256});
+  }
+  const int thread_counts[] = {1, 2, 8};
+
+  std::vector<IdentityFailure> failures;
+  std::size_t cells = 0;
+  for (const int threads : thread_counts) {
+    gear::stats::ParallelExecutor pool(threads);
+    for (const AdderCase& ac : adders) {
+      for (const auto& [w, h] : sizes) {
+        std::ostringstream cell;
+        cell << ac.name << " " << w << "x" << h << " t" << threads;
+        check_identity(ac, w, h, &pool, cell.str(), failures);
+        ++cells;
+      }
+    }
+  }
+  std::printf("identity: %zu cells (adders x sizes x threads), %zu failures\n",
+              cells, failures.size());
+  for (const IdentityFailure& f : failures) {
+    std::printf("  FAIL [%s] %s\n", f.cell.c_str(), f.detail.c_str());
+  }
+
+  // ---- 2. Throughput gate at 256x256, single thread ---------------------
+  const gear::adders::GearAdapter gate_adder(
+      gear::benchutil::require_config(16, 4, 4));
+  const int reps = smoke ? 2 : 5;
+  const std::vector<KernelTiming> timings = run_timings(gate_adder, reps);
+
+  std::printf("\nthroughput (GeAr(16,4,4), 256x256, 1 thread, best of %d):\n",
+              reps);
+  std::printf("  %-10s %12s %12s %9s\n", "kernel", "scalar_ms", "batch_ms",
+              "speedup");
+  int fast_kernels = 0;
+  for (const KernelTiming& t : timings) {
+    std::printf("  %-10s %12.2f %12.2f %8.2fx\n", t.kernel.c_str(),
+                t.scalar_ns / 1e6, t.batch_ns / 1e6, t.speedup());
+    if (t.speedup() >= 4.0) ++fast_kernels;
+  }
+  const bool speedup_ok = fast_kernels >= 2;
+  std::printf("  kernels >= 4x: %d/4 (gate: >= 2)\n", fast_kernels);
+
+  // ---- JSON artifact ----------------------------------------------------
+  std::ostringstream json;
+  json << "{\n  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  json << "  \"identity_cells\": " << cells << ",\n";
+  json << "  \"identity_failures\": " << failures.size() << ",\n";
+  json << "  \"kernels\": {\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const KernelTiming& t = timings[i];
+    json << "    \"" << gear::benchutil::json_escape(t.kernel)
+         << "\": {\"scalar_ns\": " << t.scalar_ns
+         << ", \"batch_ns\": " << t.batch_ns
+         << ", \"speedup\": " << t.speedup() << "}";
+    json << (i + 1 < timings.size() ? ",\n" : "\n");
+  }
+  json << "  },\n";
+  json << "  \"kernels_at_4x\": " << fast_kernels << ",\n";
+  json << "  \"speedup_gate_ok\": " << (speedup_ok ? "true" : "false") << ",\n";
+  json << "  \"identity_ok\": " << (failures.empty() ? "true" : "false")
+       << "\n}\n";
+  gear::benchutil::write_bench_json("app_kernels", json.str());
+
+  if (!failures.empty()) {
+    std::fprintf(stderr,
+                 "\nerror: batch kernels are NOT bit-identical to the scalar "
+                 "kernels (%zu cell failures above).\n",
+                 failures.size());
+    return 1;
+  }
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "\nerror: end-to-end speedup gate failed: %d/4 kernels at "
+                 ">= 4x (need >= 2).\n",
+                 fast_kernels);
+    return 1;
+  }
+  std::printf("\nOK: bit-identical across %zu cells, %d/4 kernels >= 4x.\n",
+              cells, fast_kernels);
+  return 0;
+}

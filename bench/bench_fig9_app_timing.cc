@@ -5,18 +5,26 @@
 // Per-pixel addition counts: Image Integral and SAD accumulate one
 // addition per pixel; the 3x3 LPF performs 8 additions per pixel (which is
 // why the paper's LPF panel sits an order of magnitude above the others).
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "adders/registry.h"
 #include "analysis/table.h"
 #include "analysis/timing_model.h"
+#include "apps/batch_kernel.h"
+#include "apps/generate.h"
+#include "apps/integral.h"
+#include "apps/lpf.h"
+#include "apps/sad.h"
 #include "core/config.h"
 #include "core/error_model.h"
 #include "netlist/circuits.h"
 #include "netlist/transform.h"
+#include "stats/rng.h"
 #include "synth/report.h"
 
 namespace {
@@ -82,6 +90,76 @@ void run_app(const char* panel, const char* app, int n, int l,
   std::printf("\n");
 }
 
+/// Measured companion to the analytic panels above: wall-clock scalar vs
+/// 64-lane batched kernels at each panel's bit width on a real (smaller)
+/// frame. The analytic model speaks about hardware cycle counts; this
+/// panel shows the same pipelines sped up in software by the bitsliced
+/// evaluation path (identity is gated separately in bench_app_kernels).
+void run_measured_panel() {
+  using namespace gear;
+  stats::Rng img_rng =
+      stats::Rng::substream(stats::Rng::kDefaultSeed, "fig9-measured-img");
+  const apps::Image img = apps::smoothed_noise_image(256, 144, img_rng, 2);
+  stats::Rng shift_rng =
+      stats::Rng::substream(stats::Rng::kDefaultSeed, "fig9-measured-shift");
+  const apps::Image cand = apps::shifted_image(img, 2, 1, 2, shift_rng);
+
+  const adders::AdderPtr integral_adder = adders::make_adder("gear:20:5:5");
+  const adders::AdderPtr sad_adder = adders::make_adder("gear:16:4:4");
+  const adders::AdderPtr lpf_adder = adders::make_adder("gear:12:4:4");
+
+  auto ms = [](auto fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+  auto sad_tiles = [&](auto&& search) {
+    std::uint64_t sink = 0;
+    for (int by = 0; by + 16 <= img.height(); by += 16) {
+      for (int bx = 0; bx + 16 <= img.width(); bx += 16) {
+        sink += search(bx, by).sad;
+      }
+    }
+    return sink;
+  };
+
+  std::printf("Fig.9(d): measured scalar vs 64-lane batched kernels "
+              "(%dx%d frame)\n", img.width(), img.height());
+  analysis::Table table({"app", "scalar[ms]", "batch[ms]", "speedup"});
+  std::vector<std::pair<std::string, std::pair<double, double>>> rows;
+  rows.emplace_back(
+      "Image Integral N=20",
+      std::make_pair(
+          ms([&] { (void)apps::row_integral(img, *integral_adder); }),
+          ms([&] { (void)apps::row_integral_batch(img, *integral_adder); })));
+  rows.emplace_back(
+      "SAD 16x16/±3 N=16",
+      std::make_pair(ms([&] {
+                       (void)sad_tiles([&](int bx, int by) {
+                         return apps::sad_search(img, cand, bx, by, 16, 16, 3,
+                                                 *sad_adder);
+                       });
+                     }),
+                     ms([&] {
+                       (void)sad_tiles([&](int bx, int by) {
+                         return apps::sad_search_batch(img, cand, bx, by, 16,
+                                                       16, 3, *sad_adder);
+                       });
+                     })));
+  rows.emplace_back(
+      "LPF 3x3 N=12",
+      std::make_pair(ms([&] { (void)apps::lpf3x3(img, *lpf_adder); }),
+                     ms([&] { (void)apps::lpf3x3_batch(img, *lpf_adder); })));
+  for (const auto& [app, t] : rows) {
+    table.add_row({app, analysis::fmt_fixed(t.first, 2),
+                   analysis::fmt_fixed(t.second, 2),
+                   analysis::fmt_fixed(t.first / t.second, 2) + "x"});
+  }
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,6 +168,7 @@ int main(int argc, char** argv) {
   run_app("a", "Image Integral", 20, 10, 1);
   run_app("b", "Sum of Absolute Differences", 16, 8, 1);
   run_app("c", "Low Pass Filter", 12, 8, 8);
+  run_measured_panel();
   std::printf(
       "Paper shape checks: GeAr at or below every other approximate adder\n"
       "per panel; GDA far above RCA; LPF panel ~8x the others (8 adds per\n"

@@ -1,5 +1,5 @@
 // Service soak / replay benchmark: drives a multi-tenant ApproxService
-// through four legs and emits BENCH_service.json.
+// through five legs and emits BENCH_service.json.
 //
 //  1. determinism — one client per tenant replays the identical workload
 //     against worker counts {1, 2, 8} and a serial (manual-pump) referee;
@@ -331,6 +331,97 @@ int main(int argc, char** argv) {
     json += buf;
     std::printf("chaos: fallback_events=%" PRIu64 " fallback_rate=%.2f\n",
                 faulty.fallback_events, fallback_rate);
+  }
+
+  // ---- leg 5: guarded tenants on the batched windowed path -------------
+  // Two single-tenant services replay the identical workload, one with the
+  // TenantSpec referee knob forcing the per-op scalar guarded path, one on
+  // the default 64-lane batched windowed path. The batch path must be
+  // bit-identical (same sums, same degradation accounting) and strictly
+  // faster.
+  {
+    auto run_guarded = [&](bool force_scalar,
+                           std::vector<std::vector<Response>>* collected,
+                           double* secs) {
+      ServiceOptions so;
+      so.workers = 2;
+      ApproxService service(so);
+      std::string error;
+      auto cfg = gear::core::GeArConfig::make(16, 4, 4);
+      TenantSpec spec(*cfg);
+      gear::core::DegradationPolicy policy;
+      policy.window = 256;
+      policy.spike_factor = 4.0;
+      policy.safe_mode = gear::core::SafeMode::kExactAdd;
+      policy.cooldown_windows = 4;
+      spec.degradation = policy;
+      spec.force_scalar_path = force_scalar;
+      auto id = service.add_tenant(
+          force_scalar ? "guarded-scalar" : "guarded-batch", std::move(spec),
+          &error);
+      if (!id) {
+        std::fprintf(stderr, "tenant registration failed: %s\n", error.c_str());
+        std::exit(1);
+      }
+      ReplayOptions opt;
+      opt.requests_per_client = cli.requests;
+      opt.ops_per_request = cli.ops;
+      opt.clients_per_tenant = 1;
+      opt.window = 16;
+      opt.seed = cli.seed + 5;
+      const std::uint64_t t0 = gear::obs::monotonic_now_ns();
+      const ReplayReport report = replay(service, {*id}, opt, collected);
+      *secs = static_cast<double>(gear::obs::monotonic_now_ns() - t0) * 1e-9;
+      check(report.silent_corruptions == 0, "guarded-leg corruption", failures);
+      check(service.stats().conservation_ok(), "guarded-leg conservation",
+            failures);
+      return report;
+    };
+    std::vector<std::vector<Response>> scalar_resp, batch_resp;
+    double scalar_secs = 0.0, batch_secs = 0.0;
+    const ReplayReport scalar_rep =
+        run_guarded(/*force_scalar=*/true, &scalar_resp, &scalar_secs);
+    const ReplayReport batch_rep =
+        run_guarded(/*force_scalar=*/false, &batch_resp, &batch_secs);
+
+    bool identical = scalar_resp.size() == batch_resp.size();
+    for (std::size_t t = 0; identical && t < scalar_resp.size(); ++t) {
+      if (scalar_resp[t].size() != batch_resp[t].size()) {
+        identical = false;
+        break;
+      }
+      for (std::size_t i = 0; i < scalar_resp[t].size(); ++i) {
+        if (!deterministic_equal(scalar_resp[t][i], batch_resp[t][i])) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    const double scalar_ops_s =
+        scalar_secs > 0.0
+            ? static_cast<double>(scalar_rep.operations) / scalar_secs
+            : 0.0;
+    const double batch_ops_s =
+        batch_secs > 0.0
+            ? static_cast<double>(batch_rep.operations) / batch_secs
+            : 0.0;
+    check(identical, "guarded batch path bit-identical to forced-scalar",
+          failures);
+    check(batch_ops_s > scalar_ops_s,
+          "guarded batch path must out-throughput forced-scalar", failures);
+    std::printf("guarded batch: %.3g ops/s vs scalar %.3g ops/s (%.2fx), %s\n",
+                batch_ops_s, scalar_ops_s,
+                scalar_ops_s > 0.0 ? batch_ops_s / scalar_ops_s : 0.0,
+                identical ? "bit-identical" : "MISMATCH");
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"guarded_batch\": {\"scalar_ops_per_sec\": %.1f, "
+                  "\"batch_ops_per_sec\": %.1f, \"speedup\": %.3f, "
+                  "\"bit_identical\": %s},\n",
+                  scalar_ops_s, batch_ops_s,
+                  scalar_ops_s > 0.0 ? batch_ops_s / scalar_ops_s : 0.0,
+                  identical ? "true" : "false");
+    json += buf;
   }
 
   json += "  \"failures\": " + std::to_string(failures) + "\n}\n";

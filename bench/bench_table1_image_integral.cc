@@ -8,6 +8,7 @@
 // trace of a synthetic full-HD-like image (the paper's images are
 // unpublished; see DESIGN.md section 2), delay/area come from LUT mapping
 // + static timing of the real gate-level circuits.
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "adders/registry.h"
 #include "analysis/metrics.h"
 #include "analysis/table.h"
+#include "apps/batch_kernel.h"
 #include "apps/generate.h"
 #include "apps/integral.h"
 #include "apps/trace.h"
@@ -131,6 +133,33 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.to_ascii().c_str(), stdout);
   gear::benchutil::maybe_write_csv("table1_image_integral", table);
+
+  // Batched row integral: the 64-row bitsliced kernel must reproduce the
+  // scalar accumulator chain bit-for-bit on the same image — it is the
+  // path the end-to-end pipelines actually run, so a divergence here
+  // invalidates every accuracy number above.
+  std::printf("\n== Batched row integral (64 rows/batch): identity + speedup ==\n");
+  bool identical = true;
+  for (const char* spec : {"rca:16", "gear:16:4:4", "gear+ecc:16:4:4"}) {
+    const gear::adders::AdderPtr adder = gear::adders::make_adder(spec);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto scalar_out = gear::apps::row_integral(img, *adder);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto batch_out = gear::apps::row_integral_batch(img, *adder);
+    const auto t2 = std::chrono::steady_clock::now();
+    const double s_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double b_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    const bool ok = scalar_out == batch_out;
+    identical = identical && ok;
+    std::printf("  %-18s scalar %7.2f ms   batch %7.2f ms   %5.2fx   %s\n",
+                adder->name().c_str(), s_ms, b_ms, s_ms / b_ms,
+                ok ? "bit-identical" : "MISMATCH");
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: batched row integral diverged from the scalar kernel\n");
+    return 1;
+  }
   std::printf(
       "\nPaper shape checks: GeAr(4,2) fastest; GeAr/ACA-II share the\n"
       "minimum area after RCA; GDA(4,8) and GeAr(4,8) are accuracy-\n"

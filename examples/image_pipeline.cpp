@@ -72,11 +72,11 @@ int main() {
   const apps::Image lpf_exact = apps::lpf3x3(frame, *exact12);
   const apps::Image lpf_approx = apps::lpf3x3(frame, *approx12);
   const apps::Image lpf_ecc = apps::lpf3x3(frame, *ecc12);
-  std::printf("  PSNR vs exact: GeAr(4,4) %.1f dB, GeAr+ecc %s\n",
-              apps::psnr(lpf_exact, lpf_approx),
+  const apps::ImageQuality lpf_q = apps::image_quality(lpf_exact, lpf_approx);
+  std::printf("  PSNR vs exact: GeAr(4,4) %.1f dB, GeAr+ecc %s\n", lpf_q.psnr,
               lpf_ecc == lpf_exact ? "bit-exact" : "NOT exact (bug!)");
   std::printf("  exact-pixel rate: GeAr(4,4) %.1f%%\n",
-              apps::exact_pixel_rate(lpf_exact, lpf_approx) * 100);
+              lpf_q.exact_rate * 100);
 
   std::printf(
       "\nTakeaway: plain GeAr keeps application quality high (the paper's\n"

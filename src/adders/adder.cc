@@ -4,6 +4,11 @@
 
 namespace gear::adders {
 
+void ApproxAdder::add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                            std::uint64_t* out, std::size_t count) const {
+  for (std::size_t i = 0; i < count; ++i) out[i] = add(a[i], b[i]);
+}
+
 std::uint64_t ApproxAdder::exact(std::uint64_t a, std::uint64_t b) const {
   const std::uint64_t m = operand_mask();
   return (a & m) + (b & m);

@@ -6,6 +6,7 @@
 // reference designs (RCA, CLA).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -27,6 +28,16 @@ class ApproxAdder {
 
   /// The (possibly approximate) sum; N+1 significant bits.
   virtual std::uint64_t add(std::uint64_t a, std::uint64_t b) const = 0;
+
+  /// Element-wise batch add: out[i] = add(a[i], b[i]) for i in [0, count),
+  /// bit-identical to count scalar add() calls. The default loops over
+  /// add(), so every adder family works with the batched application
+  /// kernels unchanged; families with a lane-parallel form (GeAr) override
+  /// it to run 64 lanes per pass. `out` may alias `a` and/or `b` at the
+  /// same offset (accumulator chains feed a batch's sums back as the next
+  /// batch's operand), but must not otherwise overlap them.
+  virtual void add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                         std::uint64_t* out, std::size_t count) const;
 
   /// True for designs that always return a+b.
   virtual bool is_exact() const { return false; }

@@ -1,10 +1,32 @@
 #include "adders/gear_adapter.h"
 
+#include <algorithm>
 #include <sstream>
 
-namespace gear::adders {
+#include "core/bitsliced_adder.h"
+#include "stats/bitsliced.h"
 
-GearAdapter::GearAdapter(core::GeArConfig cfg) : adder_(std::move(cfg)) {}
+namespace gear::adders {
+namespace {
+
+// Shared 64-lane blocking for both adapters, on the sums-only fused kernel.
+// Safe when out aliases a or b at the same offset because each block is
+// fully read (packed) before any of its outputs are written back.
+void bitsliced_add_batch(const core::BitslicedGearAdder& bitsliced,
+                         std::uint64_t correction_mask, const std::uint64_t* a,
+                         const std::uint64_t* b, std::uint64_t* out,
+                         std::size_t count) {
+  for (std::size_t base = 0; base < count; base += stats::kBitslicedLanes) {
+    const int cnt = static_cast<int>(
+        std::min<std::size_t>(stats::kBitslicedLanes, count - base));
+    bitsliced.add_batch(a + base, b + base, out + base, cnt, correction_mask);
+  }
+}
+
+}  // namespace
+
+GearAdapter::GearAdapter(core::GeArConfig cfg)
+    : adder_(cfg), bitsliced_(std::move(cfg)) {}
 
 std::string GearAdapter::name() const {
   std::ostringstream os;
@@ -16,8 +38,13 @@ std::uint64_t GearAdapter::add(std::uint64_t a, std::uint64_t b) const {
   return adder_.add_value(a, b);
 }
 
+void GearAdapter::add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                            std::uint64_t* out, std::size_t count) const {
+  bitsliced_add_batch(bitsliced_, /*correction_mask=*/0, a, b, out, count);
+}
+
 GearCorrectedAdapter::GearCorrectedAdapter(core::GeArConfig cfg, std::uint64_t mask)
-    : corrector_(std::move(cfg), mask) {}
+    : corrector_(cfg, mask), bitsliced_(std::move(cfg)) {}
 
 std::string GearCorrectedAdapter::name() const {
   std::ostringstream os;
@@ -28,6 +55,12 @@ std::string GearCorrectedAdapter::name() const {
 
 std::uint64_t GearCorrectedAdapter::add(std::uint64_t a, std::uint64_t b) const {
   return corrector_.add(a, b).sum;
+}
+
+void GearCorrectedAdapter::add_batch(const std::uint64_t* a,
+                                     const std::uint64_t* b, std::uint64_t* out,
+                                     std::size_t count) const {
+  bitsliced_add_batch(bitsliced_, corrector_.enabled_mask(), a, b, out, count);
 }
 
 bool GearCorrectedAdapter::is_exact() const {

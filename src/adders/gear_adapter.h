@@ -5,6 +5,7 @@
 
 #include "adders/adder.h"
 #include "core/adder.h"
+#include "core/bitsliced_adder.h"
 #include "core/correction.h"
 
 namespace gear::adders {
@@ -16,6 +17,9 @@ class GearAdapter final : public ApproxAdder {
   std::string name() const override;
   int width() const override { return adder_.config().n(); }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// 64-lane bitsliced batch (pinned bit-identical to scalar add()).
+  void add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out, std::size_t count) const override;
   int max_carry_chain() const override { return adder_.config().max_carry_chain(); }
   std::optional<core::GeArConfig> gear_equivalent() const override {
     return adder_.config();
@@ -24,6 +28,7 @@ class GearAdapter final : public ApproxAdder {
 
  private:
   core::GeArAdder adder_;
+  core::BitslicedGearAdder bitsliced_;
 };
 
 /// GeAr adder with the multi-cycle error correction applied for the
@@ -35,6 +40,10 @@ class GearCorrectedAdapter final : public ApproxAdder {
   std::string name() const override;
   int width() const override { return corrector_.config().n(); }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// 64-lane bitsliced batch with the adapter's correction mask applied
+  /// lane-parallel (pinned bit-identical to scalar Corrector::add()).
+  void add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out, std::size_t count) const override;
   bool is_exact() const override;
   int max_carry_chain() const override {
     return corrector_.config().max_carry_chain();
@@ -46,6 +55,7 @@ class GearCorrectedAdapter final : public ApproxAdder {
 
  private:
   core::Corrector corrector_;
+  core::BitslicedGearAdder bitsliced_;
 };
 
 }  // namespace gear::adders

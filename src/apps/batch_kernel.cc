@@ -1,0 +1,385 @@
+#include "apps/batch_kernel.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+
+#include "adders/exact.h"
+#include "core/width.h"
+#include "stats/bitsliced.h"
+
+namespace gear::apps {
+
+namespace {
+
+constexpr std::size_t kLanes = stats::kBitslicedLanes;
+
+/// Runs fn(batch_index) for every batch, on the pool when one is given.
+/// Batches own disjoint output ranges, so any interleaving is safe and
+/// the result is independent of the thread count.
+void run_batches(std::size_t n_batches, stats::ParallelExecutor* pool,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool && n_batches > 1) {
+    pool->for_each(n_batches, fn);
+  } else {
+    for (std::size_t i = 0; i < n_batches; ++i) fn(i);
+  }
+}
+
+/// Inline clamp-to-border index (the out-of-line Image::at_clamped costs a
+/// call per lane per tap, which dominates a 9-tap batch gather).
+inline int clampi(int v, int hi) { return v < 0 ? 0 : (v > hi ? hi : v); }
+
+/// Per-lane clamped neighbourhood offsets for one batch of raster pixels:
+/// row base indices for y-1 / y / y+1 and column indices for x-1 / x / x+1.
+/// Every 3x3 tap gather then reduces to px[row[l] + col[l]].
+struct LaneNeighborhood {
+  std::size_t rowm[kLanes], row0[kLanes], rowp[kLanes];
+  std::size_t colm[kLanes], col0[kLanes], colp[kLanes];
+
+  void compute(std::size_t base, std::size_t cnt, int w, int h) {
+    int x = static_cast<int>(base % static_cast<std::size_t>(w));
+    int y = static_cast<int>(base / static_cast<std::size_t>(w));
+    for (std::size_t l = 0; l < cnt; ++l) {
+      const std::size_t sw = static_cast<std::size_t>(w);
+      rowm[l] = static_cast<std::size_t>(clampi(y - 1, h - 1)) * sw;
+      row0[l] = static_cast<std::size_t>(y) * sw;
+      rowp[l] = static_cast<std::size_t>(clampi(y + 1, h - 1)) * sw;
+      colm[l] = static_cast<std::size_t>(clampi(x - 1, w - 1));
+      col0[l] = static_cast<std::size_t>(x);
+      colp[l] = static_cast<std::size_t>(clampi(x + 1, w - 1));
+      if (++x == w) {
+        x = 0;
+        ++y;
+      }
+    }
+  }
+
+  const std::size_t* row(int dy) const {
+    return dy < 0 ? rowm : (dy > 0 ? rowp : row0);
+  }
+  const std::size_t* col(int dx) const {
+    return dx < 0 ? colm : (dx > 0 ? colp : col0);
+  }
+};
+
+/// Inline two's-complement encode/decode (same values as the out-of-line
+/// core::from_signed / core::to_signed, which are too hot to call per lane
+/// in the sobel add-tree).
+inline std::uint64_t enc_signed(std::int64_t v, std::uint64_t mask) {
+  return static_cast<std::uint64_t>(v) & mask;
+}
+inline std::int64_t dec_signed(std::uint64_t v, std::uint64_t mask,
+                               std::uint64_t sign) {
+  return static_cast<std::int64_t>((v & sign) != 0 ? (v | ~mask) : v);
+}
+
+/// Lane-parallel form of sobel.cc's acc_add: encode both signed operand
+/// lanes two's-complement, one add_batch pass, decode. Scratch `ua`/`ub`
+/// are caller-provided so the per-tap gather loops stay allocation-free.
+void acc_add_batch(const adders::ApproxAdder& adder, const std::int64_t* a,
+                   const std::int64_t* b, std::int64_t* out, std::size_t cnt,
+                   std::uint64_t* ua, std::uint64_t* ub) {
+  const std::uint64_t mask = core::width_mask(adder.width());
+  const std::uint64_t sign = 1ULL << (adder.width() - 1);
+  for (std::size_t l = 0; l < cnt; ++l) {
+    ua[l] = enc_signed(a[l], mask);
+    ub[l] = enc_signed(b[l], mask);
+  }
+  adder.add_batch(ua, ub, ua, cnt);
+  for (std::size_t l = 0; l < cnt; ++l) out[l] = dec_signed(ua[l], mask, sign);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint64_t>> row_integral_batch(
+    const Image& img, const adders::ApproxAdder& adder,
+    stats::ParallelExecutor* pool) {
+  const std::uint64_t mask = adder.operand_mask();
+  const int w = img.width(), h = img.height();
+  std::vector<std::vector<std::uint64_t>> out(static_cast<std::size_t>(h));
+  for (auto& row : out) row.resize(static_cast<std::size_t>(w));
+  const std::uint16_t* px = img.data();
+
+  const std::size_t n_batches =
+      (static_cast<std::size_t>(h) + kLanes - 1) / kLanes;
+  run_batches(n_batches, pool, [&](std::size_t bi) {
+    const std::size_t y0 = bi * kLanes;
+    const std::size_t cnt =
+        std::min(kLanes, static_cast<std::size_t>(h) - y0);
+    // Hoisted per-lane source/output row pointers: the inner column loop
+    // must not re-chase the vector-of-vectors indirection per store.
+    const std::uint16_t* src[kLanes] = {nullptr};
+    std::uint64_t* dst[kLanes] = {nullptr};
+    for (std::size_t l = 0; l < cnt; ++l) {
+      src[l] = px + (y0 + l) * static_cast<std::size_t>(w);
+      dst[l] = out[y0 + l].data();
+    }
+    std::uint64_t acc[kLanes] = {0};
+    std::uint64_t pix[kLanes] = {0};
+    for (int x = 0; x < w; ++x) {
+      for (std::size_t l = 0; l < cnt; ++l) pix[l] = src[l][x];
+      adder.add_batch(acc, pix, acc, cnt);
+      for (std::size_t l = 0; l < cnt; ++l) {
+        acc[l] &= mask;
+        dst[l][x] = acc[l];
+      }
+    }
+  });
+  return out;
+}
+
+Image lpf3x3_batch(const Image& img, const adders::ApproxAdder& adder,
+                   stats::ParallelExecutor* pool) {
+  const std::uint64_t mask = adder.operand_mask();
+  const int w = img.width(), h = img.height();
+  Image out(w, h);
+  const std::uint16_t* px = img.data();
+  std::uint16_t* opx = out.data();
+  const std::size_t total = img.pixel_count();
+  const std::size_t n_batches = (total + kLanes - 1) / kLanes;
+  run_batches(n_batches, pool, [&](std::size_t bi) {
+    const std::size_t base = bi * kLanes;
+    const std::size_t cnt = std::min(kLanes, total - base);
+    LaneNeighborhood nb;
+    nb.compute(base, cnt, w, h);
+    std::uint64_t acc[kLanes] = {0};
+    std::uint64_t op[kLanes] = {0};
+    for (int dy = -1; dy <= 1; ++dy) {
+      const std::size_t* row = nb.row(dy);
+      for (int dx = -1; dx <= 1; ++dx) {
+        const std::size_t* col = nb.col(dx);
+        for (std::size_t l = 0; l < cnt; ++l) op[l] = px[row[l] + col[l]];
+        adder.add_batch(acc, op, acc, cnt);
+        for (std::size_t l = 0; l < cnt; ++l) acc[l] &= mask;
+      }
+    }
+    for (std::size_t l = 0; l < cnt; ++l) {
+      opx[base + l] = static_cast<std::uint16_t>(acc[l] / 9);
+    }
+  });
+  return out;
+}
+
+Image lpf_binomial_batch(const Image& img, const adders::ApproxAdder& adder,
+                         stats::ParallelExecutor* pool) {
+  const std::uint64_t mask = adder.operand_mask();
+  const int w = img.width(), h = img.height();
+  const std::size_t total = img.pixel_count();
+  const std::size_t n_batches = (total + kLanes - 1) / kLanes;
+
+  // One [1 2 1] pass: acc = ((prev + c) + c) + next, matching lpf.cc's
+  // operand order (the first add is add(prev, c), not add(acc, ...)).
+  auto pass = [&](const Image& src, Image& dst, bool horizontal) {
+    const std::uint16_t* spx = src.data();
+    std::uint16_t* dpx = dst.data();
+    run_batches(n_batches, pool, [&](std::size_t bi) {
+      const std::size_t base = bi * kLanes;
+      const std::size_t cnt = std::min(kLanes, total - base);
+      LaneNeighborhood nb;
+      nb.compute(base, cnt, w, h);
+      const std::size_t* prow = nb.row(horizontal ? 0 : -1);
+      const std::size_t* pcol = nb.col(horizontal ? -1 : 0);
+      const std::size_t* nrow = nb.row(horizontal ? 0 : 1);
+      const std::size_t* ncol = nb.col(horizontal ? 1 : 0);
+      std::uint64_t acc[kLanes] = {0}, c[kLanes] = {0}, side[kLanes] = {0};
+      for (std::size_t l = 0; l < cnt; ++l) {
+        c[l] = spx[nb.row0[l] + nb.col0[l]];
+        side[l] = spx[prow[l] + pcol[l]];
+      }
+      adder.add_batch(side, c, acc, cnt);
+      for (std::size_t l = 0; l < cnt; ++l) acc[l] &= mask;
+      adder.add_batch(acc, c, acc, cnt);
+      for (std::size_t l = 0; l < cnt; ++l) acc[l] &= mask;
+      for (std::size_t l = 0; l < cnt; ++l) side[l] = spx[nrow[l] + ncol[l]];
+      adder.add_batch(acc, side, acc, cnt);
+      for (std::size_t l = 0; l < cnt; ++l) {
+        dpx[base + l] = static_cast<std::uint16_t>((acc[l] & mask) / 4);
+      }
+    });
+  };
+
+  Image hpass(w, h);
+  pass(img, hpass, /*horizontal=*/true);
+  Image out(w, h);
+  pass(hpass, out, /*horizontal=*/false);
+  return out;
+}
+
+Image sobel_batch(const Image& img, const adders::ApproxAdder& adder,
+                  stats::ParallelExecutor* pool) {
+  const int w = img.width(), h = img.height();
+  Image out(w, h);
+  const std::uint16_t* px = img.data();
+  std::uint16_t* opx = out.data();
+  const std::size_t total = img.pixel_count();
+  const std::size_t n_batches = (total + kLanes - 1) / kLanes;
+  run_batches(n_batches, pool, [&](std::size_t bi) {
+    const std::size_t base = bi * kLanes;
+    const std::size_t cnt = std::min(kLanes, total - base);
+    LaneNeighborhood nb;
+    nb.compute(base, cnt, w, h);
+    std::uint64_t ua[kLanes] = {0}, ub[kLanes] = {0};
+    std::int64_t t0[kLanes] = {0}, t1[kLanes] = {0};
+    std::int64_t right[kLanes] = {0}, left[kLanes] = {0}, gx[kLanes] = {0};
+    std::int64_t bottom[kLanes] = {0}, top[kLanes] = {0}, gy[kLanes] = {0};
+
+    // Gathers pixel (x+dx, y+dy) for every lane's output coordinate.
+    auto gather = [&](int dx, int dy, std::int64_t* dst) {
+      const std::size_t* row = nb.row(dy);
+      const std::size_t* col = nb.col(dx);
+      for (std::size_t l = 0; l < cnt; ++l) {
+        dst[l] = static_cast<std::int64_t>(px[row[l] + col[l]]);
+      }
+    };
+    auto add = [&](const std::int64_t* a, const std::int64_t* b,
+                   std::int64_t* dst) {
+      acc_add_batch(adder, a, b, dst, cnt, ua, ub);
+    };
+
+    // Same 13-add schedule as sobel.cc, lane-parallel.
+    gather(1, -1, t0);
+    gather(1, 0, t1);
+    add(t0, t1, right);
+    add(right, t1, right);
+    gather(1, 1, t0);
+    add(right, t0, right);
+    gather(-1, -1, t0);
+    gather(-1, 0, t1);
+    add(t0, t1, left);
+    add(left, t1, left);
+    gather(-1, 1, t0);
+    add(left, t0, left);
+    for (std::size_t l = 0; l < cnt; ++l) left[l] = -left[l];
+    add(right, left, gx);
+
+    gather(-1, 1, t0);
+    gather(0, 1, t1);
+    add(t0, t1, bottom);
+    add(bottom, t1, bottom);
+    gather(1, 1, t0);
+    add(bottom, t0, bottom);
+    gather(-1, -1, t0);
+    gather(0, -1, t1);
+    add(t0, t1, top);
+    add(top, t1, top);
+    gather(1, -1, t0);
+    add(top, t0, top);
+    for (std::size_t l = 0; l < cnt; ++l) top[l] = -top[l];
+    add(bottom, top, gy);
+
+    for (std::size_t l = 0; l < cnt; ++l) {
+      t0[l] = std::abs(gx[l]);
+      t1[l] = std::abs(gy[l]);
+    }
+    add(t0, t1, t0);
+    for (std::size_t l = 0; l < cnt; ++l) {
+      opx[base + l] = static_cast<std::uint16_t>(
+          std::clamp<std::int64_t>(t0[l], 0, 65535));
+    }
+  });
+  return out;
+}
+
+SadMatch sad_search_batch(const Image& ref, const Image& cand, int bx, int by,
+                          int bw, int bh, int range,
+                          const adders::ApproxAdder& adder) {
+  const std::uint64_t mask = adder.operand_mask();
+  const int rw = ref.width(), rh = ref.height();
+  const int cw = cand.width(), ch = cand.height();
+  const std::uint16_t* rpx = ref.data();
+  const std::uint16_t* cpx = cand.data();
+  // Every lane of a batch reads the same candidate window shifted by its
+  // own displacement: when block + range is fully inside both images, the
+  // clamped access degenerates to a per-lane constant index offset.
+  const bool interior = bx - range >= 0 && by - range >= 0 &&
+                        bx + bw + range <= std::min(rw, cw) &&
+                        by + bh + range <= std::min(rh, ch);
+
+  // Candidate displacements in the scalar (dy, dx) raster order; lanes
+  // scan batches in that order, so the strictly-less winner merge below
+  // reproduces sad_search's first-wins tie rule exactly.
+  std::vector<std::pair<int, int>> disp;  // (dx, dy)
+  disp.reserve(static_cast<std::size_t>(2 * range + 1) *
+               static_cast<std::size_t>(2 * range + 1));
+  for (int dy = -range; dy <= range; ++dy) {
+    for (int dx = -range; dx <= range; ++dx) disp.emplace_back(dx, dy);
+  }
+
+  SadMatch best;
+  bool first = true;
+  std::uint64_t acc[kLanes] = {0}, diff[kLanes] = {0};
+  std::ptrdiff_t off[kLanes] = {0};
+  for (std::size_t base = 0; base < disp.size(); base += kLanes) {
+    const std::size_t cnt = std::min(kLanes, disp.size() - base);
+    std::fill(acc, acc + cnt, 0);
+    for (std::size_t l = 0; l < cnt; ++l) {
+      const auto& d = disp[base + l];
+      off[l] = static_cast<std::ptrdiff_t>(d.second) * cw + d.first;
+    }
+    for (int y = 0; y < bh; ++y) {
+      for (int x = 0; x < bw; ++x) {
+        if (interior) {
+          const std::ptrdiff_t idx =
+              static_cast<std::ptrdiff_t>(by + y) * cw + (bx + x);
+          const int rv =
+              rpx[static_cast<std::ptrdiff_t>(by + y) * rw + (bx + x)];
+          for (std::size_t l = 0; l < cnt; ++l) {
+            const int cv = cpx[idx + off[l]];
+            diff[l] = static_cast<std::uint64_t>(std::abs(rv - cv));
+          }
+        } else {
+          const int rv = rpx[static_cast<std::size_t>(clampi(by + y, rh - 1)) *
+                                 static_cast<std::size_t>(rw) +
+                             static_cast<std::size_t>(clampi(bx + x, rw - 1))];
+          for (std::size_t l = 0; l < cnt; ++l) {
+            const auto& d = disp[base + l];
+            const int cv =
+                cpx[static_cast<std::size_t>(clampi(by + y + d.second, ch - 1)) *
+                        static_cast<std::size_t>(cw) +
+                    static_cast<std::size_t>(clampi(bx + x + d.first, cw - 1))];
+            diff[l] = static_cast<std::uint64_t>(std::abs(rv - cv));
+          }
+        }
+        adder.add_batch(acc, diff, acc, cnt);
+        for (std::size_t l = 0; l < cnt; ++l) acc[l] &= mask;
+      }
+    }
+    for (std::size_t l = 0; l < cnt; ++l) {
+      if (first || acc[l] < best.sad) {
+        best = {disp[base + l].first, disp[base + l].second, acc[l]};
+        first = false;
+      }
+    }
+  }
+  return best;
+}
+
+double sad_match_rate_batch(const Image& ref, const Image& cand, int bw,
+                            int bh, int range,
+                            const adders::ApproxAdder& adder,
+                            stats::ParallelExecutor* pool) {
+  const adders::RcaAdder exact(adder.width());
+  std::vector<std::pair<int, int>> tiles;  // (bx, by)
+  for (int by = 0; by + bh <= ref.height(); by += bh) {
+    for (int bx = 0; bx + bw <= ref.width(); bx += bw) {
+      tiles.emplace_back(bx, by);
+    }
+  }
+  if (tiles.empty()) return 1.0;
+
+  std::vector<char> match(tiles.size(), 0);
+  run_batches(tiles.size(), pool, [&](std::size_t i) {
+    const auto [bx, by] = tiles[i];
+    const SadMatch approx =
+        sad_search_batch(ref, cand, bx, by, bw, bh, range, adder);
+    const SadMatch truth =
+        sad_search_batch(ref, cand, bx, by, bw, bh, range, exact);
+    match[i] = (approx.dx == truth.dx && approx.dy == truth.dy) ? 1 : 0;
+  });
+  std::size_t matched = 0;
+  for (const char m : match) matched += static_cast<std::size_t>(m);
+  return static_cast<double>(matched) / static_cast<double>(tiles.size());
+}
+
+}  // namespace gear::apps

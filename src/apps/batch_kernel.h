@@ -1,0 +1,67 @@
+// Lane-parallel (64-wide) application kernels (ROADMAP item 4).
+//
+// Each *_batch function computes exactly what its scalar counterpart in
+// integral/sad/lpf/sobel computes — same add sequence per output value,
+// routed through ApproxAdder::add_batch instead of per-pixel add() — so
+// outputs are pinned bit-identical for every adder family (GeAr adapters
+// run 64 bitsliced lanes per pass; everything else rides the scalar
+// add_batch fallback). Lane mappings (DESIGN.md §5j):
+//
+//   row_integral_batch   lane = image row; the per-row prefix-sum
+//                        accumulator chain feeds each batch's sums back
+//                        as the next column's operand.
+//   lpf*/sobel_batch     lane = output pixel, 64 consecutive raster-order
+//                        pixels per batch; the 3x3 add-tree replays the
+//                        scalar tap order lane-parallel.
+//   sad_search_batch     lane = candidate displacement, raster (dy, dx)
+//                        order; the winner merge scans lanes in batch
+//                        order with the scalar strictly-less first-wins
+//                        rule, so ties resolve identically.
+//
+// Tail batches (geometry not a multiple of 64) run with count < 64; the
+// bitsliced evaluator masks dead lanes, and gather/scatter loops only
+// touch live ones. The optional ParallelExecutor distributes whole
+// batches (disjoint outputs, no shared accumulator state), so results
+// are bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adders/adder.h"
+#include "apps/image.h"
+#include "apps/sad.h"
+#include "stats/parallel.h"
+
+namespace gear::apps {
+
+/// Batched row_integral: bit-identical to apps::row_integral.
+std::vector<std::vector<std::uint64_t>> row_integral_batch(
+    const Image& img, const adders::ApproxAdder& adder,
+    stats::ParallelExecutor* pool = nullptr);
+
+/// Batched 3x3 box low-pass: bit-identical to apps::lpf3x3.
+Image lpf3x3_batch(const Image& img, const adders::ApproxAdder& adder,
+                   stats::ParallelExecutor* pool = nullptr);
+
+/// Batched separable binomial low-pass: bit-identical to apps::lpf_binomial.
+Image lpf_binomial_batch(const Image& img, const adders::ApproxAdder& adder,
+                         stats::ParallelExecutor* pool = nullptr);
+
+/// Batched Sobel gradient magnitude: bit-identical to apps::sobel.
+Image sobel_batch(const Image& img, const adders::ApproxAdder& adder,
+                  stats::ParallelExecutor* pool = nullptr);
+
+/// Batched full-search motion estimation: bit-identical to apps::sad_search
+/// (including raster-order tie resolution).
+SadMatch sad_search_batch(const Image& ref, const Image& cand, int bx, int by,
+                          int bw, int bh, int range,
+                          const adders::ApproxAdder& adder);
+
+/// Batched sad_match_rate; tiles distribute over `pool`.
+double sad_match_rate_batch(const Image& ref, const Image& cand, int bw,
+                            int bh, int range,
+                            const adders::ApproxAdder& adder,
+                            stats::ParallelExecutor* pool = nullptr);
+
+}  // namespace gear::apps

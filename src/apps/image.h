@@ -28,6 +28,12 @@ class Image {
 
   const std::vector<std::uint16_t>& pixels() const { return px_; }
 
+  /// Raw row-major storage (index y * width + x). The batch kernels gather
+  /// and scatter through this to keep per-lane pixel access inline; the
+  /// scalar kernels keep using at()/set().
+  const std::uint16_t* data() const { return px_.data(); }
+  std::uint16_t* data() { return px_.data(); }
+
   bool operator==(const Image& o) const = default;
 
   /// Plain-text PGM (P2) serialization, for eyeballing example outputs.

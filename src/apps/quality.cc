@@ -6,41 +6,39 @@
 
 namespace gear::apps {
 
-double psnr(const Image& ref, const Image& test) {
+ImageQuality image_quality(const Image& ref, const Image& test) {
   assert(ref.width() == test.width() && ref.height() == test.height());
   double mse = 0.0;
-  const auto n = static_cast<double>(ref.pixel_count());
+  double abs_acc = 0.0;
+  std::size_t match = 0;
   for (int y = 0; y < ref.height(); ++y) {
     for (int x = 0; x < ref.width(); ++x) {
       const double d = static_cast<double>(ref.at(x, y)) - test.at(x, y);
       mse += d * d;
-    }
-  }
-  mse /= n;
-  if (mse == 0.0) return std::numeric_limits<double>::infinity();
-  return 10.0 * std::log10(255.0 * 255.0 / mse);
-}
-
-double mean_abs_pixel_error(const Image& ref, const Image& test) {
-  assert(ref.width() == test.width() && ref.height() == test.height());
-  double acc = 0.0;
-  for (int y = 0; y < ref.height(); ++y) {
-    for (int x = 0; x < ref.width(); ++x) {
-      acc += std::abs(static_cast<double>(ref.at(x, y)) - test.at(x, y));
-    }
-  }
-  return acc / static_cast<double>(ref.pixel_count());
-}
-
-double exact_pixel_rate(const Image& ref, const Image& test) {
-  assert(ref.width() == test.width() && ref.height() == test.height());
-  std::size_t match = 0;
-  for (int y = 0; y < ref.height(); ++y) {
-    for (int x = 0; x < ref.width(); ++x) {
+      abs_acc += std::abs(d);
       if (ref.at(x, y) == test.at(x, y)) ++match;
     }
   }
-  return static_cast<double>(match) / static_cast<double>(ref.pixel_count());
+  const auto n = static_cast<double>(ref.pixel_count());
+  mse /= n;
+  ImageQuality q;
+  q.psnr = mse == 0.0 ? std::numeric_limits<double>::infinity()
+                      : 10.0 * std::log10(255.0 * 255.0 / mse);
+  q.mean_abs_error = abs_acc / n;
+  q.exact_rate = static_cast<double>(match) / n;
+  return q;
+}
+
+double psnr(const Image& ref, const Image& test) {
+  return image_quality(ref, test).psnr;
+}
+
+double mean_abs_pixel_error(const Image& ref, const Image& test) {
+  return image_quality(ref, test).mean_abs_error;
+}
+
+double exact_pixel_rate(const Image& ref, const Image& test) {
+  return image_quality(ref, test).exact_rate;
 }
 
 }  // namespace gear::apps

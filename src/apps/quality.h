@@ -5,6 +5,24 @@
 
 namespace gear::apps {
 
+/// All three metrics from one traversal. The accumulation order per
+/// metric is the same y-then-x scan the individual functions always
+/// used, so every field is bit-identical to the standalone calls
+/// (pinned by the fused-quality regression test).
+struct ImageQuality {
+  /// Peak signal-to-noise ratio in dB against an 8-bit peak (255);
+  /// +infinity for identical images.
+  double psnr = 0.0;
+  /// Mean absolute pixel error.
+  double mean_abs_error = 0.0;
+  /// Fraction of pixels that match exactly.
+  double exact_rate = 1.0;
+};
+
+/// Computes PSNR, MAE and exact-match rate in a single pass over the
+/// image pair.
+ImageQuality image_quality(const Image& ref, const Image& test);
+
 /// Peak signal-to-noise ratio in dB against an 8-bit peak (255). Returns
 /// +infinity for identical images.
 double psnr(const Image& ref, const Image& test);

@@ -182,6 +182,87 @@ void StreamAdderEngine::feed_block(StreamStats& stats,
       static_cast<std::uint64_t>(std::popcount(batch.error));
 }
 
+void StreamAdderEngine::feed_guarded(StreamStats& stats,
+                                     core::Watchdog& watchdog,
+                                     const stats::OperandPair* operands,
+                                     std::size_t count,
+                                     std::uint64_t* sums_out) const {
+  std::uint64_t a[stats::kBitslicedLanes], b[stats::kBitslicedLanes];
+  int stall[stats::kBitslicedLanes];
+  core::BitslicedBatch batch;
+  std::size_t i = 0;
+  while (i < count) {
+    if (watchdog.in_safe_mode()) {
+      // Safe-mode ops change sums (e.g. kExactAdd) and tick the cooldown
+      // one op at a time, so they serve through the scalar feed until the
+      // watchdog re-arms.
+      feed(stats, &watchdog, operands[i].a, operands[i].b,
+           sums_out == nullptr ? nullptr : sums_out + i);
+      ++i;
+      continue;
+    }
+    const int n = static_cast<int>(
+        std::min<std::size_t>(stats::kBitslicedLanes, count - i));
+    for (int l = 0; l < n; ++l) {
+      a[l] = operands[i + static_cast<std::size_t>(l)].a;
+      b[l] = operands[i + static_cast<std::size_t>(l)].b;
+    }
+    bitsliced_.eval(a, b, n, /*carry_in_lanes=*/0, corrector_.enabled_mask(),
+                    batch);
+    if (sums_out != nullptr) {
+      bitsliced_.unpack_sums(batch.approx, sums_out + i, n);
+    }
+    // Per-lane corrections (= that op's stall cycles): lane l's bit count
+    // across the k corrected words.
+    for (int l = 0; l < n; ++l) stall[l] = 0;
+    std::uint64_t block_stalls = 0;
+    for (const std::uint64_t w : batch.corrected) {
+      for (std::uint64_t rest = w; rest != 0; rest &= rest - 1) {
+        ++stall[std::countr_zero(rest)];
+      }
+      block_stalls += static_cast<std::uint64_t>(std::popcount(w));
+    }
+    if (watchdog.can_absorb_block(static_cast<std::uint32_t>(n),
+                                  block_stalls)) {
+      // Decision-free block: fold the watchdog counters and the stats in
+      // bulk — exactly feed()'s accounting summed over the lanes.
+      watchdog.absorb_block(
+          static_cast<std::uint32_t>(n),
+          static_cast<std::uint64_t>(std::popcount(batch.any_detect)),
+          block_stalls);
+      stats.operations += static_cast<std::uint64_t>(n);
+      stats.cycles += static_cast<std::uint64_t>(n) + block_stalls;
+      stats.stall_cycles += block_stalls;
+      stats.corrected_ops +=
+          static_cast<std::uint64_t>(std::popcount(batch.any_corrected));
+      stats.wrong_results +=
+          static_cast<std::uint64_t>(std::popcount(batch.error));
+      i += static_cast<std::size_t>(n);
+      continue;
+    }
+    // The block might trip or close a window: replay the watchdog
+    // decisions per op from the lane data. A tripping op keeps its batch
+    // sum (observe fires after the op completes; safe mode starts at the
+    // next op), and the lanes after it are re-served through the
+    // safe-mode branch above, overwriting their unpacked sums.
+    int l = 0;
+    for (bool tripped = false; l < n && !tripped; ++l) {
+      ++stats.operations;
+      stats.cycles += 1 + static_cast<std::uint64_t>(stall[l]);
+      stats.stall_cycles += static_cast<std::uint64_t>(stall[l]);
+      if ((batch.any_corrected >> l) & 1) ++stats.corrected_ops;
+      if ((batch.error >> l) & 1) ++stats.wrong_results;
+      if (watchdog.observe(((batch.any_detect >> l) & 1) != 0,
+                           static_cast<std::uint64_t>(stall[l]))) {
+        ++stats.fallback_events;
+        note_degraded_window(stats, watchdog.policy().window, 1, 0);
+        tripped = true;
+      }
+    }
+    i += static_cast<std::size_t>(l);
+  }
+}
+
 StreamStats StreamAdderEngine::run(stats::OperandSource& source,
                                    std::uint64_t ops) const {
   GEAR_OBS_SPAN("stream/run_source", "stream");
@@ -205,6 +286,21 @@ StreamStats StreamAdderEngine::run(stats::OperandSource& source,
     return stats;
   }
   auto watchdog = make_watchdog();
+  if (watchdog && can_batch_guarded()) {
+    // Windowed guarded batch path (§5j): chunks of 64 draws feed the
+    // persistent watchdog, bit-identical to the per-op loop below
+    // (fill() is contractually identical to successive next() calls).
+    stats::OperandPair buf[stats::kBitslicedLanes];
+    for (std::uint64_t base = 0; base < ops;
+         base += stats::kBitslicedLanes) {
+      const auto count = static_cast<std::size_t>(
+          std::min<std::uint64_t>(stats::kBitslicedLanes, ops - base));
+      source.fill(buf, count);
+      feed_guarded(stats, *watchdog, buf, count, nullptr);
+    }
+    record_stream_obs(stats);
+    return stats;
+  }
   for (std::uint64_t i = 0; i < ops; ++i) {
     const auto [a, b] = source.next();
     feed(stats, watchdog ? &*watchdog : nullptr, a, b);
@@ -234,6 +330,11 @@ StreamStats StreamAdderEngine::run(const std::vector<stats::OperandPair>& operan
     return stats;
   }
   auto watchdog = make_watchdog();
+  if (watchdog && can_batch_guarded()) {
+    feed_guarded(stats, *watchdog, operands.data(), operands.size(), nullptr);
+    record_stream_obs(stats);
+    return stats;
+  }
   for (const auto& [a, b] : operands) {
     feed(stats, watchdog ? &*watchdog : nullptr, a, b);
   }
@@ -267,6 +368,10 @@ StreamStats StreamAdderEngine::run_with_sums(const stats::OperandPair* operands,
   if (watchdog == nullptr) {
     local = make_watchdog();
     if (local) watchdog = &*local;
+  }
+  if (watchdog != nullptr && can_batch_guarded()) {
+    feed_guarded(stats, *watchdog, operands, count, sums_out);
+    return stats;
   }
   for (std::size_t i = 0; i < count; ++i) {
     feed(stats, watchdog, operands[i].a, operands[i].b,
@@ -304,6 +409,17 @@ StreamStats StreamAdderEngine::run(const SourceFactory& make_source,
     }
     StreamStats stats;
     auto watchdog = make_watchdog();  // per-shard: determinism contract
+    if (watchdog && can_batch_guarded()) {
+      stats::OperandPair buf[stats::kBitslicedLanes];
+      for (std::uint64_t base = 0; base < shards[i].size();
+           base += stats::kBitslicedLanes) {
+        const auto count = static_cast<std::size_t>(std::min<std::uint64_t>(
+            stats::kBitslicedLanes, shards[i].size() - base));
+        source->fill(buf, count);
+        feed_guarded(stats, *watchdog, buf, count, nullptr);
+      }
+      return stats;
+    }
     for (std::uint64_t op = 0; op < shards[i].size(); ++op) {
       const auto [a, b] = source->next();
       feed(stats, watchdog ? &*watchdog : nullptr, a, b);

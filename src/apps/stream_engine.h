@@ -54,6 +54,10 @@ struct StreamStats {
   };
   std::vector<WindowDegradation> degraded_windows;
 
+  /// Whole-stats equality — the differential tests pin the batched
+  /// guarded path against the scalar one counter-for-counter.
+  bool operator==(const StreamStats&) const = default;
+
   /// Pools another shard's counters into this one (parallel merge). All
   /// fields are additive (degraded_windows concatenates with op-index
   /// offsets), so merging shards in index order reproduces the sequential
@@ -148,13 +152,40 @@ class StreamAdderEngine {
   const core::Corrector& corrector() const { return corrector_; }
   bool degradation_enabled() const { return degradation_.has_value(); }
 
+  /// Forces every run onto the scalar per-op path (disables both the
+  /// plain and the guarded bitsliced fast paths). Benchmark referee knob:
+  /// lets bench_service race the batched guarded path against the exact
+  /// same engine on the legacy path and assert bit-identical responses.
+  void force_scalar_path(bool force) { force_scalar_ = force; }
+  bool scalar_path_forced() const { return force_scalar_; }
+
  private:
   /// Accounts one op; writes its final sum to *sum_out when non-null.
   void feed(StreamStats& stats, core::Watchdog* watchdog, std::uint64_t a,
             std::uint64_t b, std::uint64_t* sum_out = nullptr) const;
   /// True when runs may use the bitsliced batch path (no per-op watchdog
   /// or injected detect fault to thread through).
-  bool can_batch() const { return !degradation_ && !fault_.active(); }
+  bool can_batch() const {
+    return !force_scalar_ && !degradation_ && !fault_.active();
+  }
+  /// True when watchdog-guarded runs may use the windowed batch path
+  /// (§5j): an injected detect fault needs the scalar fault plumbing, and
+  /// a binding per-op correction budget (< k-1, the most corrections one
+  /// op can need) changes sums in a way the single-pass bitsliced
+  /// correction cannot reproduce.
+  bool can_batch_guarded() const {
+    const int budget = degradation_ ? degradation_->per_op_correction_budget : -1;
+    return !force_scalar_ && !fault_.active() &&
+           (budget < 0 || budget >= corrector_.config().k() - 1);
+  }
+  /// Feeds `count` ops through the guarded windowed batch path: 64-lane
+  /// bitsliced evaluation, watchdog decisions absorbed a block at a time
+  /// when provably decision-free, replayed per-op from the lane data
+  /// otherwise; safe-mode ops serve through the scalar feed(). Pinned
+  /// bit-identical (sums and stats) to feeding each op through feed().
+  void feed_guarded(StreamStats& stats, core::Watchdog& watchdog,
+                    const stats::OperandPair* operands, std::size_t count,
+                    std::uint64_t* sums_out) const;
   /// Accounts one 64-lane batch of ops; `batch` is caller-owned scratch.
   /// When `sums_out` is non-null the per-lane post-correction sums are
   /// unpacked into sums_out[0..count).
@@ -167,6 +198,7 @@ class StreamAdderEngine {
   std::optional<core::DegradationPolicy> degradation_;
   double expected_detect_rate_ = 0.0;
   core::Corrector::DetectFault fault_;
+  bool force_scalar_ = false;
 };
 
 }  // namespace gear::apps

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "adders/registry.h"
+#include "apps/batch_kernel.h"
 #include "apps/generate.h"
 #include "apps/integral.h"
 #include "apps/lpf.h"
@@ -15,26 +16,44 @@ namespace gear::apps {
 
 stats::TraceSource capture_kernel_trace(const std::string& kernel, int width,
                                         int img_w, int img_h,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed, KernelPath path) {
   stats::Rng img_rng = stats::Rng::substream(seed, "trace-img:" + kernel);
   const Image img = smoothed_noise_image(img_w, img_h, img_rng, 2);
 
   const adders::AdderPtr exact =
       adders::make_adder("rca:" + std::to_string(width));
   TracingAdder traced(*exact);
+  const bool batch = path == KernelPath::kBatch;
 
   if (kernel == "integral") {
-    (void)row_integral(img, traced);
+    if (batch) {
+      (void)row_integral_batch(img, traced);
+    } else {
+      (void)row_integral(img, traced);
+    }
   } else if (kernel == "sad") {
     stats::Rng shift_rng = stats::Rng::substream(seed, "trace-shift:" + kernel);
     const Image cand = shifted_image(img, 2, 1, 2, shift_rng);
     const int bx = img_w / 4, by = img_h / 4;
-    (void)sad_search(img, cand, bx, by, /*bw=*/16, /*bh=*/16, /*range=*/3,
-                     traced);
+    if (batch) {
+      (void)sad_search_batch(img, cand, bx, by, /*bw=*/16, /*bh=*/16,
+                             /*range=*/3, traced);
+    } else {
+      (void)sad_search(img, cand, bx, by, /*bw=*/16, /*bh=*/16, /*range=*/3,
+                       traced);
+    }
   } else if (kernel == "lpf") {
-    (void)lpf3x3(img, traced);
+    if (batch) {
+      (void)lpf3x3_batch(img, traced);
+    } else {
+      (void)lpf3x3(img, traced);
+    }
   } else if (kernel == "sobel") {
-    (void)sobel(img, traced);
+    if (batch) {
+      (void)sobel_batch(img, traced);
+    } else {
+      (void)sobel(img, traced);
+    }
   } else {
     throw std::invalid_argument("capture_kernel_trace: unknown kernel '" +
                                 kernel + "'");

@@ -41,17 +41,26 @@ class TracingAdder final : public adders::ApproxAdder {
   mutable std::vector<stats::OperandPair> trace_;
 };
 
+/// Which kernel implementation produces the trace. kScalar replays the
+/// per-pixel loops (the historical default — existing traces are
+/// unchanged); kBatch runs the 64-lane batch kernels, whose per-op order
+/// interleaves lanes (the *set* of operand pairs matches the scalar run,
+/// the sequence does not — TracingAdder records through the scalar
+/// add_batch fallback either way).
+enum class KernelPath { kScalar, kBatch };
+
 /// Captures the operand stream of one app kernel run through a traced
 /// exact (ripple-carry) adder of `width` bits over deterministic
 /// smoothed-noise content: the standard way every bench/test obtains a
 /// real workload trace for the distribution-aware error engines.
 /// Kernels: "integral" (row prefix sums), "sad" (full-search motion
 /// estimation), "lpf" (3x3 low-pass), "sobel" (gradient magnitude;
-/// width >= 12). The same (kernel, width, img_w, img_h, seed) always
-/// yields the same trace. Throws std::invalid_argument on an unknown
-/// kernel name.
+/// width >= 12). The same (kernel, width, img_w, img_h, seed, path)
+/// always yields the same trace. Throws std::invalid_argument on an
+/// unknown kernel name.
 stats::TraceSource capture_kernel_trace(const std::string& kernel, int width,
                                         int img_w, int img_h,
-                                        std::uint64_t seed);
+                                        std::uint64_t seed,
+                                        KernelPath path = KernelPath::kScalar);
 
 }  // namespace gear::apps

@@ -152,6 +152,65 @@ void BitslicedGearAdder::eval(const std::uint64_t* a, const std::uint64_t* b,
   out.any_corrected = any_corr & live;
 }
 
+void BitslicedGearAdder::add_batch(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::uint64_t* out,
+                                   int count,
+                                   std::uint64_t correction_mask) const {
+  const int n = config_.n();
+  const auto& layout = config_.layout();
+  const int k = config_.k();
+
+  std::uint64_t grows[64], prows[64];
+  const std::uint64_t* g = grows;
+  const std::uint64_t* p = stats::pack_gp(a, b, count, n, grows, prows);
+
+  // Sum planes land straight in the row matrix the closing transpose turns
+  // back into lane values; planes above the carry-out must read 0.
+  std::uint64_t rows[64];
+  std::memset(rows + n + 1, 0,
+              static_cast<std::size_t>(63 - n) * sizeof(std::uint64_t));
+
+  // Same ascending single-pass correction as eval(): correcting window j
+  // only raises carry-outs, so one pass over the post-correction carry
+  // (cout_cur) reproduces the scalar Corrector cascade. First-pass detect
+  // words are not needed here — only the lanes that actually correct.
+  std::uint64_t cout_cur = 0;
+  std::uint64_t res_corr[64];
+  const std::uint64_t live = stats::lane_mask(count);
+  for (int j = 0; j < k; ++j) {
+    const auto& s = layout[static_cast<std::size_t>(j)];
+    const int plen = s.prediction_len();
+    const int rlen = s.result_len();
+    const std::uint64_t* gw = g + s.win_lo;
+    const std::uint64_t* pw = p + s.win_lo;
+
+    const std::uint64_t pred_cout = ripple_carry(gw, pw, plen, 0);
+    const std::uint64_t raw_cout =
+        ripple(g + s.res_lo, p + s.res_lo, rlen, pred_cout, rows + s.res_lo);
+
+    std::uint64_t cur_cout = raw_cout;
+    if (j >= 1 && ((correction_mask >> j) & 1ULL) != 0) {
+      std::uint64_t allp = live;
+      for (int i = 0; i < plen; ++i) allp &= pw[i];
+      const std::uint64_t corrected = allp & cout_cur;
+      if (corrected != 0) {
+        const std::uint64_t corr_cout =
+            ripple(g + s.res_lo, p + s.res_lo, rlen, ~0ULL, res_corr);
+        cur_cout = (raw_cout & ~corrected) | (corr_cout & corrected);
+        for (int i = 0; i < rlen; ++i) {
+          std::uint64_t& q = rows[s.res_lo + i];
+          q = (q & ~corrected) | (res_corr[i] & corrected);
+        }
+      }
+    }
+    if (j == k - 1) rows[n] = cur_cout;
+    cout_cur = cur_cout;
+  }
+
+  stats::transpose64(rows);
+  std::memcpy(out, rows, static_cast<std::size_t>(count) * sizeof(std::uint64_t));
+}
+
 void BitslicedGearAdder::unpack_sums(const std::vector<std::uint64_t>& planes,
                                      std::uint64_t* out, int count) const {
   assert(planes.size() == static_cast<std::size_t>(config_.n()) + 1);

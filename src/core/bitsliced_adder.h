@@ -65,6 +65,19 @@ class BitslicedGearAdder {
   void unpack_sums(const std::vector<std::uint64_t>& planes,
                    std::uint64_t* out, int count) const;
 
+  /// Sums-only fast path backing the adapters' add_batch: writes the
+  /// (n+1)-bit post-correction sums of `count` <= 64 pairs to out[0..count),
+  /// bit-identical lane-for-lane to eval(..., correction_mask, batch) +
+  /// unpack_sums(batch.approx) with zero carry-in, but skips every piece of
+  /// bookkeeping a plain add() would not do (no exact ripple, no
+  /// detect/corrected words, no error masks, no heap-backed batch): the
+  /// sum planes ripple directly into the row matrix the final transpose
+  /// unpacks. Safe when out aliases a and/or b (operands are fully packed
+  /// before out is written).
+  void add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out, int count,
+                 std::uint64_t correction_mask) const;
+
  private:
   GeArConfig config_;
 };

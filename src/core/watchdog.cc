@@ -58,6 +58,15 @@ bool Watchdog::observe(bool detected, std::uint64_t stall_cycles) {
   return trip;
 }
 
+void Watchdog::absorb_block(std::uint32_t ops, std::uint64_t detects,
+                            std::uint64_t stalls) {
+  assert(can_absorb_block(ops, stalls));
+  assert(detects <= ops);
+  window_ops_ += ops;
+  window_detects_ += detects;
+  window_stalls_ += stalls;
+}
+
 bool Watchdog::evaluate_window() {
   const double rate = static_cast<double>(window_detects_) /
                       static_cast<double>(window_ops_);

@@ -78,6 +78,29 @@ class Watchdog {
   /// this op trips the watchdog into safe mode.
   bool observe(bool detected, std::uint64_t stall_cycles);
 
+  /// True when `ops` further observations totalling `stalls` stall cycles
+  /// cannot trip the watchdog or close the window — i.e. feeding them
+  /// through observe() one by one is guaranteed to be pure counter
+  /// accumulation (stall trips are monotone in the running stall total and
+  /// spike/floor checks only run at window close, so a block that keeps
+  /// the window open and the stall total within budget is decision-free).
+  /// Lets the 64-lane batch path absorb whole blocks without replaying
+  /// per-op decisions (DESIGN.md §5j).
+  bool can_absorb_block(std::uint32_t ops, std::uint64_t stalls) const {
+    return !safe_ &&
+           static_cast<std::uint64_t>(window_ops_) + ops < policy_.window &&
+           // Subtraction form: stall_budget defaults to ~0, and
+           // window_stalls_ <= stall_budget whenever !safe_ (exceeding it
+           // trips immediately), so this never underflows.
+           stalls <= policy_.stall_budget - window_stalls_;
+  }
+
+  /// Folds a block previously cleared by can_absorb_block: equivalent to
+  /// `ops` observe() calls of which `detects` reported a detect and whose
+  /// stall cycles total `stalls` (all of them returning false).
+  void absorb_block(std::uint32_t ops, std::uint64_t detects,
+                    std::uint64_t stalls);
+
   bool in_safe_mode() const { return safe_; }
   SafeMode mode() const { return policy_.safe_mode; }
   std::uint64_t fallback_events() const { return fallbacks_; }

@@ -44,6 +44,7 @@ ApproxService::Tenant::Tenant(std::string tenant_name, TenantSpec tenant_spec)
   stats.latency_ns.spec = spec.latency_spec;
   stats.latency_ns.counts.assign(
       static_cast<std::size_t>(spec.latency_spec.buckets), 0);
+  engine.force_scalar_path(spec.force_scalar_path);
 }
 
 ApproxService::ApproxService(ServiceOptions options) : options_(options) {

@@ -56,10 +56,17 @@ struct TenantSpec {
 
   core::GeArConfig config;
   std::uint64_t correction_mask = core::Corrector::all_enabled();
-  /// Watchdog policy persisted across this tenant's requests; requests of
-  /// a tenant with a policy run on the scalar per-op path (the watchdog
-  /// observes every op), others take the bitsliced 64-lane path.
+  /// Watchdog policy persisted across this tenant's requests. Guarded
+  /// tenants ride the windowed bitsliced batch path (watchdog decisions
+  /// absorbed block-wise, bit-identical to per-op observation — DESIGN.md
+  /// §5j) unless an injected fault or a binding per-op correction budget
+  /// forces the scalar per-op path; unguarded tenants take the plain
+  /// 64-lane path.
   std::optional<core::DegradationPolicy> degradation;
+  /// Pins this tenant to the scalar per-op path (benchmark referee knob:
+  /// bench_service races batched guarded tenants against this and asserts
+  /// bit-identical responses).
+  bool force_scalar_path = false;
   /// Max queued (admitted, unserved) requests before kTenantQueueFull.
   std::size_t queue_cap = 256;
   /// Error budget: at most `error_budget_wrong` residual wrong results

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "adders/registry.h"
 #include "core/adder.h"
 #include "core/bitsliced_adder.h"
 #include "core/bitvec.h"
@@ -293,6 +294,61 @@ INSTANTIATE_TEST_SUITE_P(Adapters, AdapterProperties,
                          [](const ::testing::TestParamInfo<Adapter>& param) {
                            return param.param.name;
                          });
+
+/// add_batch contract, over every registry adder family: element-wise
+/// bit-identity with the scalar add() loop at lane-boundary counts, and
+/// safety under the documented aliasing (out == a, out == b, and both —
+/// the accumulator-chain pattern the batch kernels rely on). Covers both
+/// the GeAr adapters' bitsliced override and the ApproxAdder default
+/// scalar fallback everything else inherits.
+class AddBatchProperties : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AddBatchProperties, MatchesScalarAddAndToleratesAliasing) {
+  const adders::AdderPtr adder = adders::make_adder(GetParam());
+  const int n = adder->width();
+  stats::Rng rng(913);
+  for (const std::size_t count : {std::size_t{1}, std::size_t{63},
+                                  std::size_t{64}, std::size_t{65},
+                                  std::size_t{300}}) {
+    std::vector<std::uint64_t> a(count), b(count), want(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      a[i] = rng.bits(n);
+      b[i] = rng.bits(n);
+      want[i] = adder->add(a[i], b[i]);
+    }
+    std::vector<std::uint64_t> out(count, 0);
+    adder->add_batch(a.data(), b.data(), out.data(), count);
+    ASSERT_EQ(out, want) << GetParam() << " count=" << count;
+
+    std::vector<std::uint64_t> alias_a = a;
+    adder->add_batch(alias_a.data(), b.data(), alias_a.data(), count);
+    ASSERT_EQ(alias_a, want) << GetParam() << " out==a, count=" << count;
+
+    std::vector<std::uint64_t> alias_b = b;
+    adder->add_batch(a.data(), alias_b.data(), alias_b.data(), count);
+    ASSERT_EQ(alias_b, want) << GetParam() << " out==b, count=" << count;
+
+    std::vector<std::uint64_t> both = a;
+    for (std::size_t i = 0; i < count; ++i) {
+      want[i] = adder->add(both[i], both[i]);
+    }
+    adder->add_batch(both.data(), both.data(), both.data(), count);
+    ASSERT_EQ(both, want) << GetParam() << " out==a==b, count=" << count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AddBatchProperties,
+    ::testing::Values("rca:16", "gear:16:4:4", "gear:16:4:8",
+                      "gear+ecc:16:4:4", "gear:20:5:5", "gear+ecc:12:4:4",
+                      "aca1:16:4", "etaii:16:4", "aca2:16:8", "gda:16:4:4"),
+    [](const ::testing::TestParamInfo<std::string>& param) {
+      std::string name = param.param;
+      for (char& c : name) {
+        if (c == ':' || c == '+') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace gear::core

@@ -205,6 +205,45 @@ TEST(Quality, PsnrIdenticalIsInfinite) {
   EXPECT_DOUBLE_EQ(mean_abs_pixel_error(img, img), 0.0);
 }
 
+TEST(Quality, FusedImageQualityMatchesOriginalFormulas) {
+  // image_quality computes all three metrics in one traversal; this pins
+  // it against the original per-metric formulas, inlined here so a
+  // regression in the fused pass cannot hide behind the wrappers that now
+  // delegate to it.
+  stats::Rng rng(15);
+  const Image ref = smoothed_noise_image(33, 17, rng, 1);
+  const adders::GearAdapter gear(core::GeArConfig::must(12, 4, 4));
+  const Image test = lpf3x3(ref, gear);
+
+  double mse = 0.0, abs_acc = 0.0;
+  std::size_t exact_px = 0;
+  for (int y = 0; y < ref.height(); ++y) {
+    for (int x = 0; x < ref.width(); ++x) {
+      const double d = static_cast<double>(ref.at(x, y)) - test.at(x, y);
+      mse += d * d;
+      abs_acc += std::abs(d);
+      if (ref.at(x, y) == test.at(x, y)) ++exact_px;
+    }
+  }
+  const double n = static_cast<double>(ref.pixel_count());
+  mse /= n;
+  const double want_psnr = 10.0 * std::log10(255.0 * 255.0 / mse);
+
+  const ImageQuality q = image_quality(ref, test);
+  EXPECT_DOUBLE_EQ(q.psnr, want_psnr);
+  EXPECT_DOUBLE_EQ(q.mean_abs_error, abs_acc / n);
+  EXPECT_DOUBLE_EQ(q.exact_rate, static_cast<double>(exact_px) / n);
+  // The wrappers must agree exactly with the fused traversal.
+  EXPECT_DOUBLE_EQ(psnr(ref, test), q.psnr);
+  EXPECT_DOUBLE_EQ(mean_abs_pixel_error(ref, test), q.mean_abs_error);
+  EXPECT_DOUBLE_EQ(exact_pixel_rate(ref, test), q.exact_rate);
+  // Identical images: infinite PSNR through the fused path too.
+  const ImageQuality ident = image_quality(ref, ref);
+  EXPECT_TRUE(std::isinf(ident.psnr));
+  EXPECT_DOUBLE_EQ(ident.exact_rate, 1.0);
+  EXPECT_DOUBLE_EQ(ident.mean_abs_error, 0.0);
+}
+
 TEST(Quality, PsnrDropsWithError) {
   const Image a(8, 8, 100);
   Image b = a;

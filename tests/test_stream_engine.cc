@@ -137,6 +137,55 @@ TEST(StreamEngine, RunWithSumsBitslicedMatchesScalar) {
   EXPECT_GT(sf.wrong_results, 0u);  // partial mask: stream really errs
 }
 
+TEST(StreamEngine, GuardedBatchPathMatchesForcedScalarExactly) {
+  // The watchdog-guarded 64-lane batch path (feed_guarded) against the
+  // per-op scalar loop, selected by the force_scalar_path referee knob:
+  // sums, every counter and the degraded-window ledger must be identical
+  // on both a healthy stream and one whose injected fault trips the
+  // watchdog mid-run.
+  const auto cfg = core::GeArConfig::must(16, 4, 4);
+  core::DegradationPolicy policy;
+  policy.window = 64;
+  policy.spike_factor = 4.0;
+  policy.safe_mode = core::SafeMode::kExactAdd;
+  policy.cooldown_windows = 2;
+
+  for (const bool faulty : {false, true}) {
+    SCOPED_TRACE(faulty ? "faulty" : "healthy");
+    // An injected detect fault would force the scalar plumbing on both
+    // engines (can_batch_guarded excludes active faults), so the tripping
+    // leg squeezes the stall budget instead: zero budget means the first
+    // correction stalls past it and the watchdog trips mid-window.
+    core::DegradationPolicy leg_policy = policy;
+    if (faulty) leg_policy.stall_budget = 0;
+    StreamAdderEngine batch(cfg, core::Corrector::all_enabled(), leg_policy);
+    StreamAdderEngine scalar(cfg, core::Corrector::all_enabled(), leg_policy);
+    scalar.force_scalar_path(true);
+    ASSERT_TRUE(scalar.scalar_path_forced());
+
+    std::vector<stats::OperandPair> ops;
+    stats::Rng rng(faulty ? 61 : 60);
+    for (int i = 0; i < 1000; ++i) ops.push_back({rng.bits(16), rng.bits(16)});
+
+    std::vector<std::uint64_t> fast(ops.size()), slow(ops.size());
+    auto wd_fast = batch.make_watchdog();
+    auto wd_slow = scalar.make_watchdog();
+    ASSERT_TRUE(wd_fast.has_value() && wd_slow.has_value());
+    const StreamStats sf =
+        batch.run_with_sums(ops.data(), ops.size(), fast.data(), &*wd_fast);
+    const StreamStats ss =
+        scalar.run_with_sums(ops.data(), ops.size(), slow.data(), &*wd_slow);
+    EXPECT_EQ(fast, slow);
+    EXPECT_EQ(sf, ss);
+    EXPECT_EQ(wd_fast->in_safe_mode(), wd_slow->in_safe_mode());
+    if (faulty) {
+      EXPECT_GT(sf.fallback_events, 0u);  // the squeeze really tripped
+    } else {
+      EXPECT_EQ(sf.fallback_events, 0u);
+    }
+  }
+}
+
 TEST(StreamEngine, ExternalWatchdogPersistsAcrossCalls) {
   // Split serving: one watchdog threaded through consecutive calls must
   // behave exactly like a single continuous run.
