@@ -21,7 +21,12 @@ int main(int argc, char** argv) {
   for (const char* spec :
        {"gear:16:4:4", "gear:16:4:8", "cell:16:4:ama1", "cell:16:8:ama1",
         "cell:16:8:ama2", "cell:16:8:axa2", "cell:16:8:ama3", "cell:16:8:tga1",
-        "loa:16:8"}) {
+        "loa:16:8",
+        // Zoo families: OFLOCA tightens LOA's low part, LAXA swaps in the
+        // AXA3/TCAA/SESA1 cells, AxPPA truncates the prefix tree, CESA
+        // cuts carries like GeAr but per aligned block.
+        "ofloca:16:8:4", "laxa:16:8:1", "laxa:16:8:2", "laxa:16:8:3",
+        "axppa:16:12:2", "cesa:16:4:4", "cesa+r:16:4:4"}) {
     const gear::adders::AdderPtr adder = gear::adders::make_adder(spec);
     auto src = gear::stats::make_uniform(16, gear::stats::Rng::kDefaultSeed ^ 0x9);
     const auto m = gear::analysis::evaluate(*adder, *src, 200000);

@@ -1,0 +1,168 @@
+// Zoo gate: the five zoo adder families (OFLOCA, LAXA, SkAxPPA, CESA,
+// CESA+R) must (1) keep their bitsliced add_batch bit-identical to the
+// scalar add() on fixed-seed operand sets at widths 32 and 64, and
+// (2) earn their batch kernels — at width 32 at least two zoo families
+// must clear a 2x throughput speedup over the scalar loop. Violating
+// either gate exits non-zero, so CI fails on a silent kernel regression.
+//
+// Also prints the deterministic zoo census table (the golden-pinned one)
+// and emits BENCH_zoo.json for trajectory tracking.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adders/registry.h"
+#include "analysis/table.h"
+#include "bench_util.h"
+#include "paper_tables.h"
+#include "stats/rng.h"
+
+namespace {
+
+volatile std::uint64_t g_sink;  // defeats dead-code elimination
+
+/// Calibrated wall-clock ns per element: repeats `body` (covering
+/// `units_per_call` adds) until >= 50 ms elapsed.
+template <typename F>
+double ns_per_unit(F&& body, std::uint64_t units_per_call) {
+  using clock = std::chrono::steady_clock;
+  body();  // warm-up
+  std::uint64_t calls = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < calls; ++i) body();
+    const double ns =
+        std::chrono::duration<double, std::nano>(clock::now() - t0).count();
+    if (ns >= 5e7) {
+      return ns / (static_cast<double>(calls) *
+                   static_cast<double>(units_per_call));
+    }
+    calls *= 4;
+  }
+}
+
+struct FamilyResult {
+  std::string spec;
+  bool identity_ok = true;
+  double scalar_ns = 0.0;
+  double batch_ns = 0.0;
+
+  double speedup() const { return batch_ns > 0 ? scalar_ns / batch_ns : 0.0; }
+};
+
+constexpr std::size_t kOps = 1 << 12;
+
+/// Identity (both widths) + width-32 timing for one zoo family.
+FamilyResult run_family(const std::string& spec32,
+                        const std::string& spec64) {
+  FamilyResult res;
+  res.spec = spec32;
+  for (const std::string& spec : {spec32, spec64}) {
+    const gear::adders::AdderPtr adder = gear::adders::make_adder(spec);
+    const int n = adder->width();
+    gear::stats::Rng rng =
+        gear::stats::Rng::substream(1234, "bench-zoo:" + spec);
+    std::vector<std::uint64_t> a(kOps), b(kOps), out(kOps);
+    for (std::size_t i = 0; i < kOps; ++i) {
+      a[i] = rng.bits(n);
+      b[i] = rng.bits(n);
+    }
+    adder->add_batch(a.data(), b.data(), out.data(), kOps);
+    for (std::size_t i = 0; i < kOps; ++i) {
+      if (out[i] != adder->add(a[i], b[i])) {
+        std::fprintf(stderr,
+                     "IDENTITY VIOLATION: %s lane %zu: batch %llu != scalar "
+                     "%llu (a=%llu b=%llu)\n",
+                     spec.c_str(), i,
+                     static_cast<unsigned long long>(out[i]),
+                     static_cast<unsigned long long>(adder->add(a[i], b[i])),
+                     static_cast<unsigned long long>(a[i]),
+                     static_cast<unsigned long long>(b[i]));
+        res.identity_ok = false;
+      }
+    }
+    if (spec == spec32) {
+      res.scalar_ns = ns_per_unit(
+          [&] {
+            std::uint64_t acc = 0;
+            for (std::size_t i = 0; i < kOps; ++i) acc ^= adder->add(a[i], b[i]);
+            g_sink = acc;
+          },
+          kOps);
+      res.batch_ns = ns_per_unit(
+          [&] {
+            adder->add_batch(a.data(), b.data(), out.data(), kOps);
+            g_sink = out[0];
+          },
+          kOps);
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gear::benchutil::ObsExport obs_export(argc, argv);
+
+  // The golden-pinned census first: same bytes as the gear_tests golden.
+  const auto census = gear::benchtables::zoo_family_table();
+  std::fputs(gear::benchtables::render(census).c_str(), stdout);
+  std::printf("\n");
+  gear::benchutil::maybe_write_csv(census.csv_name, census.table);
+
+  // Width-32 gate geometry (width-64 rides along for identity only).
+  const std::pair<std::string, std::string> specs[] = {
+      {"ofloca:32:16:8", "ofloca:64:16:8"},
+      {"laxa:32:16:1", "laxa:64:16:1"},
+      {"axppa:32:24:2", "axppa:64:24:2"},
+      {"cesa:32:8:8", "cesa:64:8:8"},
+      {"cesa+r:32:8:8", "cesa+r:64:8:8"},
+  };
+
+  gear::analysis::Table table({"family", "spec", "identity", "scalar ns/add",
+                               "batch ns/add", "speedup"});
+  std::ostringstream json;
+  json << "{\"bench\":\"zoo\",\"width\":32,\"families\":[";
+
+  bool identity_ok = true;
+  int at_2x = 0;
+  bool first = true;
+  for (const auto& [spec32, spec64] : specs) {
+    const FamilyResult res = run_family(spec32, spec64);
+    identity_ok = identity_ok && res.identity_ok;
+    if (res.speedup() >= 2.0) ++at_2x;
+    const std::string prefix = spec32.substr(0, spec32.find(':'));
+    table.add_row({prefix, res.spec, res.identity_ok ? "ok" : "FAIL",
+                   gear::analysis::fmt_fixed(res.scalar_ns, 1),
+                   gear::analysis::fmt_fixed(res.batch_ns, 2),
+                   gear::analysis::fmt_fixed(res.speedup(), 1) + "x"});
+    if (!first) json << ",";
+    first = false;
+    json << "{\"spec\":\"" << gear::benchutil::json_escape(res.spec)
+         << "\",\"identity_ok\":" << (res.identity_ok ? "true" : "false")
+         << ",\"scalar_ns_per_add\":" << res.scalar_ns
+         << ",\"batch_ns_per_add\":" << res.batch_ns
+         << ",\"speedup\":" << res.speedup() << "}";
+  }
+  const bool gate_ok = identity_ok && at_2x >= 2;
+  json << "],\"families_at_2x\":" << at_2x
+       << ",\"identity_ok\":" << (identity_ok ? "true" : "false")
+       << ",\"gate_ok\":" << (gate_ok ? "true" : "false") << "}";
+
+  std::printf("== Zoo batch-kernel gate (width 32) ==\n\n");
+  std::fputs(table.to_ascii().c_str(), stdout);
+  std::printf(
+      "\nGate: identity (scalar == batch at widths 32 and 64) AND >= 2 "
+      "families\nat >= 2.0x batch speedup. identity=%s, families_at_2x=%d "
+      "-> %s\n",
+      identity_ok ? "ok" : "FAIL", at_2x, gate_ok ? "PASS" : "FAIL");
+
+  gear::benchutil::maybe_write_csv("zoo_gate", table);
+  gear::benchutil::write_bench_json("zoo", json.str());
+  return gate_ok ? 0 : 1;
+}

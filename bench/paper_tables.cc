@@ -7,6 +7,7 @@
 
 #include "adders/gda.h"
 #include "adders/gear_adapter.h"
+#include "adders/registry.h"
 #include "analysis/dse_cache.h"
 #include "core/config.h"
 #include "core/error_model.h"
@@ -158,6 +159,60 @@ PaperTable table3_error_probability(stats::ParallelExecutor& exec) {
           "MED\"\nis the closed-form mean error distance from the exact PMF "
           "engine\n(DESIGN.md section 5e) — no sampling.\n",
           "table3_error_probability"};
+}
+
+PaperTable zoo_family_table(bool legacy_only) {
+  // The five zoo additions; everything else is a pre-zoo ("legacy")
+  // family whose row bytes the golden suite pins across zoo growth.
+  const auto is_zoo = [](const std::string& prefix) {
+    return prefix == "ofloca" || prefix == "laxa" || prefix == "axppa" ||
+           prefix == "cesa" || prefix == "cesa+r";
+  };
+
+  analysis::Table table({"family", "canonical spec", "name", "N", "efw",
+                         "chain", "exact", "err rate", "mean rel ED"});
+  int rows = 0;
+  for (const auto& fam : adders::list_families()) {
+    if (legacy_only && is_zoo(fam.prefix)) continue;
+    const adders::AdderPtr adder = adders::make_adder(fam.canonical_spec);
+    const int n = adder->width();
+    // Fixed-seed operand stream keyed by the spec: deterministic and
+    // independent of row order.
+    stats::Rng rng =
+        stats::Rng::substream(stats::Rng::kDefaultSeed, "zoo:" + fam.canonical_spec);
+    constexpr int kPairs = 1 << 14;
+    std::int64_t errors = 0;
+    double sum_rel_ed = 0.0;
+    const double scale = static_cast<double>(1ULL << n);
+    for (int i = 0; i < kPairs; ++i) {
+      const std::uint64_t a = rng.bits(n), b = rng.bits(n);
+      const std::uint64_t got = adder->add(a, b);
+      const std::uint64_t exact = adder->exact(a, b);
+      if (got != exact) ++errors;
+      const double ed = got >= exact ? static_cast<double>(got - exact)
+                                     : -static_cast<double>(exact - got);
+      sum_rel_ed += (ed < 0 ? -ed : ed) / scale;
+    }
+    table.add_row({fam.prefix, fam.canonical_spec, adder->name(),
+                   std::to_string(n), std::to_string(adder->error_free_width()),
+                   std::to_string(adder->max_carry_chain()),
+                   adder->is_exact() ? "yes" : "no",
+                   analysis::fmt_pct(static_cast<double>(errors) / kPairs, 2),
+                   analysis::fmt_sci(sum_rel_ed / kPairs, 3)});
+    ++rows;
+  }
+
+  char notes[256];
+  std::snprintf(notes, sizeof notes,
+                "%d famil%s at canonical width; err rate / mean relative ED "
+                "over 2^14\nfixed-seed uniform pairs; efw = error-free width "
+                "(N+1 = exact),\nchain = longest carry chain in bits.\n",
+                rows, rows == 1 ? "y" : "ies");
+  return {legacy_only
+              ? std::string("== Adder zoo census (pre-zoo families) ==")
+              : std::string("== Adder zoo census =="),
+          std::move(table), notes,
+          legacy_only ? "zoo_families_legacy" : "zoo_families"};
 }
 
 std::string render(const PaperTable& t) {

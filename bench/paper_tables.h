@@ -37,6 +37,16 @@ PaperTable table2_gda_vs_gear();
 /// bit-identical for any executor width.
 PaperTable table3_error_probability(stats::ParallelExecutor& exec);
 
+/// Zoo census — one row per adders::list_families() entry at its
+/// canonical spec: structural metadata (error-free width, carry chain)
+/// plus fixed-seed error statistics. Fully deterministic, so the render
+/// is golden-pinned. With `legacy_only` the table holds only the twelve
+/// pre-zoo families; its bytes are then invariant under family additions
+/// (ASCII column padding never sees the new rows), which is what lets
+/// tests/test_golden_tables.cc pin the old rows byte-for-byte while the
+/// full table grows.
+PaperTable zoo_family_table(bool legacy_only = false);
+
 /// The exact stdout text of the corresponding bench binary.
 std::string render(const PaperTable& t);
 

@@ -23,10 +23,14 @@ class ApproxAdder {
   /// Display name used in benchmark tables, e.g. "ACA-II(L=8)".
   virtual std::string name() const = 0;
 
-  /// Operand width N in bits (1..63).
+  /// Operand width N in bits (1..63 for the GeAr-coverage families; the
+  /// zoo families of src/adders accept up to 64).
   virtual int width() const = 0;
 
-  /// The (possibly approximate) sum; N+1 significant bits.
+  /// The (possibly approximate) sum; N+1 significant bits. At N == 64 the
+  /// carry-out bit does not fit the word and is dropped (mod-2^64 sum,
+  /// matching exact()'s wrap-around), a convention only the zoo families
+  /// support and their oracle tests pin.
   virtual std::uint64_t add(std::uint64_t a, std::uint64_t b) const = 0;
 
   /// Element-wise batch add: out[i] = add(a[i], b[i]) for i in [0, count),
@@ -41,6 +45,28 @@ class ApproxAdder {
 
   /// True for designs that always return a+b.
   virtual bool is_exact() const { return false; }
+
+  /// Number of least-significant result bits guaranteed to equal the
+  /// exact sum's for *every* operand pair (of the N+1 result bits; N+1
+  /// for exact adders). A sound lower bound: families whose first
+  /// possible error position is structural (GeAr's first speculated
+  /// boundary, AxPPA's first truncated prefix carry, ...) report it
+  /// exactly; families that cannot be wrong below bit 0 anyway report 0.
+  /// The zoo oracle suite (test_zoo_oracle.cc) verifies soundness by full
+  /// enumeration at small widths, and tightness for families that claim a
+  /// positive width.
+  virtual int error_free_width() const { return 0; }
+
+  /// Registry family prefix ("gear", "loa", "cesa+r", ...), or "" for
+  /// adders that are not constructible through adders::make_adder (e.g. a
+  /// GearAdapter wrapping a custom heterogeneous layout).
+  virtual std::string family() const { return {}; }
+
+  /// Canonical registry spec string: make_adder(spec()) reconstructs a
+  /// functionally identical adder. "" when not registry-constructible.
+  /// Pinned round-trip (parse -> print -> parse) for every family by
+  /// test_zoo_oracle.cc's registry suite.
+  virtual std::string spec() const { return {}; }
 
   /// Longest carry-propagation chain in bits; drives the delay model and
   /// the paper's latency argument.

@@ -1,0 +1,99 @@
+#include "adders/axppa.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "adders/bitsliced_zoo.h"
+#include "core/width.h"
+#include "stats/bitsliced.h"
+
+namespace gear::adders {
+
+SklanskyAxPpaAdder::SklanskyAxPpaAdder(int n, int low, int levels)
+    : n_(n), low_(low), levels_(levels) {
+  if (n < 2 || n > 64) {
+    throw std::invalid_argument("axppa: operand width must satisfy 2 <= n <= 64 (got n=" +
+                                std::to_string(n) + ")");
+  }
+  if (levels < 0 || levels > 6) {
+    throw std::invalid_argument(
+        "axppa: truncated prefix levels must satisfy 0 <= levels <= 6 (got levels=" +
+        std::to_string(levels) + ")");
+  }
+  const int b = 1 << levels;
+  if (low < b + 2 || low > n) {
+    throw std::invalid_argument(
+        "axppa: approximate region must satisfy 2^levels + 2 <= low <= n so a "
+        "truncated carry exists below it (got low=" +
+        std::to_string(low) + ", block=" + std::to_string(b) +
+        ", n=" + std::to_string(n) + ")");
+  }
+}
+
+std::string SklanskyAxPpaAdder::name() const {
+  std::ostringstream os;
+  os << "SkAxPPA(low=" << low_ << ",lvl=" << levels_ << ")";
+  return os.str();
+}
+
+std::string SklanskyAxPpaAdder::spec() const {
+  return "axppa:" + std::to_string(n_) + ":" + std::to_string(low_) + ":" +
+         std::to_string(levels_);
+}
+
+int SklanskyAxPpaAdder::max_carry_chain() const {
+  int depth = 0;
+  while ((1 << depth) < n_) ++depth;
+  return depth;
+}
+
+std::uint64_t SklanskyAxPpaAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  const int blk = block();
+  // Upper bits (and the carry-out) see the full prefix: take them from
+  // the exact sum. At n=64 the wrap drops the carry-out, as specified.
+  const std::uint64_t exact_sum = a + b;
+  std::uint64_t res = exact_sum & ~core::width_mask(low_);
+  std::uint64_t c = 0;  // carry into bit i under the truncated prefix
+  for (int i = 0; i < low_; ++i) {
+    const std::uint64_t ai = (a >> i) & 1ULL;
+    const std::uint64_t bi = (b >> i) & 1ULL;
+    res |= ((ai ^ bi ^ c) & 1ULL) << i;
+    const std::uint64_t prev = (i % blk == 0) ? 0 : c;
+    c = (ai & bi) | ((ai ^ bi) & prev);
+  }
+  return res;
+}
+
+void SklanskyAxPpaAdder::add_batch(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::uint64_t* out,
+                                   std::size_t count) const {
+  const int blk = block();
+  bitslice::for_each_lane_block(
+      a, b, out, count,
+      [this, blk](const std::uint64_t* la, const std::uint64_t* lb,
+                  std::uint64_t* lout, int cnt) {
+        std::uint64_t rows_g[64], rows_p[64];
+        const std::uint64_t* g = rows_g;
+        const std::uint64_t* p =
+            stats::pack_gp(la, lb, cnt, n_, rows_g, rows_p);
+        std::uint64_t rows[64];
+        bitslice::clear_high_planes(rows, n_);
+        std::uint64_t c = 0;
+        for (int i = 0; i < low_; ++i) {
+          rows[i] = p[i] ^ c;
+          const std::uint64_t prev = (i % blk == 0) ? 0 : c;
+          c = g[i] | (p[i] & prev);
+        }
+        // The upper part's carry-in is the *exact* prefix over [0, low).
+        std::uint64_t ce = bitslice::ripple_carry(g, p, low_, 0);
+        ce = bitslice::ripple(g + low_, p + low_, n_ - low_, ce, rows + low_);
+        if (n_ < 64) rows[n_] = ce;
+        stats::transpose64(rows);
+        std::memcpy(lout, rows, static_cast<std::size_t>(cnt) * sizeof(std::uint64_t));
+      });
+}
+
+}  // namespace gear::adders

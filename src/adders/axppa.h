@@ -1,0 +1,54 @@
+// AxPPA — approximate parallel-prefix adder on a Sklansky tree truncated
+// to `levels` prefix levels in the lower part (AxPPA lineage; SNIPPETS.md
+// exemplar).
+//
+// A full Sklansky tree computes the carry into bit i from the complete
+// prefix [0, i-1]. Truncating after K levels leaves each prefix node
+// spanning only its aligned 2^K-bit block: the carry into bit i is the
+// generate of the window [floor((i-1)/B)*B, i-1] with B = 2^K — i.e.
+// carries are cut at every aligned block boundary, exactly one mux layer
+// shallower per dropped level. Bits at and above `low` keep the full
+// (exact) prefix. Equivalent scalar recurrence, used by both paths here:
+//
+//   c_0 = 0;  c_{i+1} = g_i | (p_i & prev),  prev = (i % B == 0) ? 0 : c_i
+//
+// (the block base's prefix restarts the chain). See DESIGN.md §5k for why
+// the induced error is a block-aligned missing-carry process, the same
+// shape stats::OperandModel conditions on for GeAr.
+#pragma once
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+class SklanskyAxPpaAdder final : public ApproxAdder {
+ public:
+  /// 2 <= n <= 64, 0 <= levels <= 6, block = 2^levels, and
+  /// block + 2 <= low <= n so the truncation is real: the first cut carry
+  /// (into bit block+1) must land below `low`. Throws
+  /// std::invalid_argument with an actionable message otherwise.
+  SklanskyAxPpaAdder(int n, int low, int levels);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// Genuine bitsliced 64-lane kernel (blocked plane recurrence below
+  /// `low`, exact ripple above); pinned bit-identical to scalar add().
+  void add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out, std::size_t count) const override;
+  /// Carries into bits <= block survive truncation (their windows are
+  /// complete); the first cut carry enters bit block+1. Tight.
+  int error_free_width() const override { return block() + 1; }
+  std::string family() const override { return "axppa"; }
+  std::string spec() const override;
+  /// Prefix-tree depth convention (like ClaAdder's per-block report):
+  /// the exact upper tree is ceil(log2 n) levels deep.
+  int max_carry_chain() const override;
+  int low() const { return low_; }
+  int levels() const { return levels_; }
+  int block() const { return 1 << levels_; }
+
+ private:
+  int n_, low_, levels_;
+};
+
+}  // namespace gear::adders

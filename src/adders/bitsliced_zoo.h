@@ -1,0 +1,65 @@
+// Shared plane-level helpers for the zoo families' bitsliced add_batch
+// overrides (OFLOCA / LAXA / SklanskyAxPPA / CESA — DESIGN.md §5k).
+//
+// Each family packs a 64-lane block of operand pairs into generate /
+// propagate bit planes (stats::pack_gp), runs its carry structure as
+// plain bitwise recurrences over whole lane words, and transposes the
+// sum planes back into lane values. Dead lanes (index >= the block's
+// count) may hold garbage inside the plane math — constant-one planes
+// and inverted propagates set their bits — but never escape: the closing
+// memcpy copies exactly `count` lane rows.
+//
+// Alias safety (out == a and/or out == b at the same offset) holds for
+// every kernel built on these helpers because a block's operands are
+// fully packed before any of its outputs are written back.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "stats/bitsliced.h"
+
+namespace gear::adders::bitslice {
+
+/// Rippled sum planes over [0, len): srows[i] = p[i] ^ c_i with
+/// c_0 = cin, c_{i+1} = g[i] | (p[i] & c_i); returns the carry-out plane.
+inline std::uint64_t ripple(const std::uint64_t* g, const std::uint64_t* p,
+                            int len, std::uint64_t cin, std::uint64_t* srows) {
+  std::uint64_t c = cin;
+  for (int i = 0; i < len; ++i) {
+    srows[i] = p[i] ^ c;
+    c = g[i] | (p[i] & c);
+  }
+  return c;
+}
+
+/// Carry-only ripple: the carry-out plane of `len` positions fed `cin`.
+inline std::uint64_t ripple_carry(const std::uint64_t* g,
+                                  const std::uint64_t* p, int len,
+                                  std::uint64_t cin) {
+  std::uint64_t c = cin;
+  for (int i = 0; i < len; ++i) c = g[i] | (p[i] & c);
+  return c;
+}
+
+/// Zeroes the planes above the top sum plane (plane n, or plane 63 at
+/// n == 64 where the carry-out is dropped) so every unpacked lane reads
+/// only its result bits.
+inline void clear_high_planes(std::uint64_t rows[64], int n) {
+  for (int pl = (n < 64 ? n + 1 : 64); pl < 64; ++pl) rows[pl] = 0;
+}
+
+/// Runs `kernel(a, b, out, count <= 64)` over successive 64-lane blocks.
+template <typename Kernel>
+void for_each_lane_block(const std::uint64_t* a, const std::uint64_t* b,
+                         std::uint64_t* out, std::size_t count,
+                         Kernel&& kernel) {
+  for (std::size_t base = 0; base < count; base += stats::kBitslicedLanes) {
+    const int cnt = static_cast<int>(
+        std::min<std::size_t>(stats::kBitslicedLanes, count - base));
+    kernel(a + base, b + base, out + base, cnt);
+  }
+}
+
+}  // namespace gear::adders::bitslice

@@ -11,6 +11,22 @@ FaOut exact_fa(bool a, bool b, bool cin) {
   return {(a != b) != cin, (a && b) || (cin && (a != b))};
 }
 
+// Lowercase registry token, matching make_adder's "cell:N:LOW:<cell>".
+const char* cell_spec_token(FaCell cell) {
+  switch (cell) {
+    case FaCell::kExact: return "exact";
+    case FaCell::kAma1: return "ama1";
+    case FaCell::kAma2: return "ama2";
+    case FaCell::kAma3: return "ama3";
+    case FaCell::kAxa2: return "axa2";
+    case FaCell::kTga1: return "tga1";
+    case FaCell::kAxa3: return "axa3";
+    case FaCell::kTcaa: return "tcaa";
+    case FaCell::kSesa1: return "sesa1";
+  }
+  return "?";
+}
+
 }  // namespace
 
 FaOut eval_cell(FaCell cell, bool a, bool b, bool cin) {
@@ -36,6 +52,19 @@ FaOut eval_cell(FaCell cell, bool a, bool b, bool cin) {
     case FaCell::kTga1:
       // Transmission-gate variant: exact sum, cout = a.
       return {exact.sum, a};
+    case FaCell::kAxa3:
+      // AXA2 refinement: sum = NAND(cin, a^b). Correct on every cin=1 row
+      // (exact sum there is ~(a^b)) and on the cin=0 propagate rows;
+      // wrong only on (0,0,0) and (1,1,0), both +1. Cout exact.
+      return {!(cin && (a != b)), exact.cout};
+    case FaCell::kTcaa:
+      // Truncated-carry cell: sum = a|b, cout = a&b — a half-adder with
+      // OR-ed sum; cin is ignored, so a chain of these never propagates.
+      return {a || b, a && b};
+    case FaCell::kSesa1:
+      // Exact sum for whatever cin arrives; the carry output merely
+      // forwards cin (generate/kill dropped), so the chain is a wire.
+      return {exact.sum, cin};
   }
   return exact;
 }
@@ -60,6 +89,9 @@ const char* cell_name(FaCell cell) {
     case FaCell::kAma3: return "AMA3";
     case FaCell::kAxa2: return "AXA2";
     case FaCell::kTga1: return "TGA1";
+    case FaCell::kAxa3: return "AXA3";
+    case FaCell::kTcaa: return "TCAA";
+    case FaCell::kSesa1: return "SESA1";
   }
   return "?";
 }
@@ -74,6 +106,22 @@ std::string CellBasedAdder::name() const {
   std::ostringstream os;
   os << cell_name(cell_) << "(low=" << approx_bits_ << ")";
   return os.str();
+}
+
+int CellBasedAdder::error_free_width() const {
+  if (cell_ == FaCell::kExact || approx_bits_ == 0) return n_ + 1;
+  // Bit 0 always sees cin=0, so it is guaranteed iff the cell's sum is
+  // right on all four cin=0 rows; bit 1 can then still see a wrong cout.
+  for (int i = 0; i < 4; ++i) {
+    const bool a = i & 1, b = i & 2;
+    if (eval_cell(cell_, a, b, false).sum != (a != b)) return 0;
+  }
+  return 1;
+}
+
+std::string CellBasedAdder::spec() const {
+  return "cell:" + std::to_string(n_) + ":" + std::to_string(approx_bits_) +
+         ":" + cell_spec_token(cell_);
 }
 
 std::uint64_t CellBasedAdder::add(std::uint64_t a, std::uint64_t b) const {

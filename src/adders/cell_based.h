@@ -27,6 +27,14 @@ enum class FaCell {
   kAma3,  ///< AMA1 sum simplification + cout = a (majority dropped)
   kAxa2,  ///< XOR/XNOR-based: sum = ~(a^b) (wrong when cin=0), cout exact
   kTga1,  ///< transmission-gate variant: cout = a, sum = exact-sum table
+  // XOR/XNOR-lineage cells backing the LAXA family (SNIPPETS.md approx
+  // library). Modeled truth tables, documented per cell in eval_cell():
+  kAxa3,   ///< sum = NAND(cin, a^b) — fixes AXA2's cin=0 propagate rows
+           ///< (2 wrong sums), cout exact
+  kTcaa,   ///< truncated-carry: sum = a|b, cout = a&b (cin ignored
+           ///< entirely — the carry chain is cut at every bit)
+  kSesa1,  ///< single-exact/single-approximate: sum exact, cout = cin
+           ///< (the carry chain degenerates to a wire)
 };
 
 struct FaOut {
@@ -51,6 +59,11 @@ class CellBasedAdder final : public ApproxAdder {
   std::string name() const override;
   int width() const override { return n_; }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// n+1 for an exact composition; else 1 when the cell's sum row is
+  /// correct on every cin=0 input (bit 0 always sees cin=0), else 0.
+  int error_free_width() const override;
+  std::string family() const override { return "cell"; }
+  std::string spec() const override;
   /// The carry still ripples through all N bits (cells approximate
   /// values, not timing).
   int max_carry_chain() const override { return n_; }

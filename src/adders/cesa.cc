@@ -1,0 +1,127 @@
+#include "adders/cesa.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "adders/bitsliced_zoo.h"
+#include "core/width.h"
+#include "stats/bitsliced.h"
+
+namespace gear::adders {
+
+CesaAdder::CesaAdder(int n, int b, int e, bool rectify)
+    : n_(n), block_(b), est_(e), rectify_(rectify) {
+  const char* fam = rectify ? "cesa+r" : "cesa";
+  if (n < 2 || n > 64) {
+    throw std::invalid_argument(std::string(fam) +
+                                ": operand width must satisfy 2 <= n <= 64 (got n=" +
+                                std::to_string(n) + ")");
+  }
+  if (b < 1 || b >= n) {
+    throw std::invalid_argument(std::string(fam) +
+                                ": block width must satisfy 1 <= b < n (got b=" +
+                                std::to_string(b) + ", n=" + std::to_string(n) + ")");
+  }
+  if (e < 1 || e > n) {
+    throw std::invalid_argument(std::string(fam) +
+                                ": estimate lookback must satisfy 1 <= e <= n (got e=" +
+                                std::to_string(e) + ", n=" + std::to_string(n) + ")");
+  }
+}
+
+std::string CesaAdder::name() const {
+  std::ostringstream os;
+  os << "CESA" << (rectify_ ? "+R" : "") << "(b=" << block_ << ",e=" << est_
+     << ")";
+  return os.str();
+}
+
+std::string CesaAdder::spec() const {
+  return std::string(rectify_ ? "cesa+r" : "cesa") + ":" + std::to_string(n_) +
+         ":" + std::to_string(block_) + ":" + std::to_string(est_);
+}
+
+int CesaAdder::error_free_width() const {
+  // Smallest block base k*b with an incomplete (possibly wrong) carry:
+  // plain needs k*b > e; rectification chains one stage-1 block, pushing
+  // the first vulnerable boundary one block further.
+  const int k = est_ / block_ + (rectify_ ? 2 : 1);
+  const long long first_err = static_cast<long long>(k) * block_;
+  return first_err >= n_ ? n_ + 1 : static_cast<int>(first_err);
+}
+
+int CesaAdder::max_carry_chain() const {
+  const int stage1 = std::min(n_, est_ + block_);
+  return rectify_ ? std::min(n_, est_ + 2 * block_) : stage1;
+}
+
+std::optional<core::GeArConfig> CesaAdder::gear_equivalent() const {
+  if (rectify_ || n_ > 63 || est_ % block_ != 0) return std::nullopt;
+  return core::GeArConfig::make_relaxed(n_, block_, est_);
+}
+
+std::uint64_t CesaAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  std::uint64_t out = 0;
+  std::uint64_t prev_cout = 0;  // stage-1 carry-out of the previous block
+  for (int lo = 0, k = 0; lo < n_; lo += block_, ++k) {
+    const int len = std::min(block_, n_ - lo);
+    const std::uint64_t bm = core::width_mask(len);
+    const std::uint64_t ak = (a >> lo) & bm;
+    const std::uint64_t bk = (b >> lo) & bm;
+    std::uint64_t est = 0;
+    if (k > 0) {
+      // Estimated carry-in: generate of the e-bit window below `lo`.
+      const int ws = std::max(0, lo - est_);
+      const std::uint64_t wm = core::width_mask(lo - ws);
+      est = (((a >> ws) & wm) + ((b >> ws) & wm)) >> (lo - ws);
+    }
+    const std::uint64_t s1 = ak + bk + est;
+    const std::uint64_t s = rectify_ ? ak + bk + prev_cout : s1;
+    prev_cout = s1 >> len;
+    out |= (s & bm) << lo;
+    if (lo + len >= n_ && n_ < 64) out |= (s >> len) << n_;
+  }
+  return out;
+}
+
+void CesaAdder::add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                          std::uint64_t* out, std::size_t count) const {
+  bitslice::for_each_lane_block(
+      a, b, out, count,
+      [this](const std::uint64_t* la, const std::uint64_t* lb,
+             std::uint64_t* lout, int cnt) {
+        std::uint64_t rows_g[64], rows_p[64];
+        const std::uint64_t* g = rows_g;
+        const std::uint64_t* p =
+            stats::pack_gp(la, lb, cnt, n_, rows_g, rows_p);
+        std::uint64_t rows[64];
+        bitslice::clear_high_planes(rows, n_);
+        std::uint64_t prev_cout = 0;
+        std::uint64_t top_cout = 0;
+        for (int lo = 0, k = 0; lo < n_; lo += block_, ++k) {
+          const int len = std::min(block_, n_ - lo);
+          std::uint64_t est = 0;
+          if (k > 0) {
+            const int ws = std::max(0, lo - est_);
+            est = bitslice::ripple_carry(g + ws, p + ws, lo - ws, 0);
+          }
+          if (rectify_) {
+            const std::uint64_t cin = prev_cout;
+            prev_cout = bitslice::ripple_carry(g + lo, p + lo, len, est);
+            top_cout = bitslice::ripple(g + lo, p + lo, len, cin, rows + lo);
+          } else {
+            top_cout = bitslice::ripple(g + lo, p + lo, len, est, rows + lo);
+            prev_cout = top_cout;
+          }
+        }
+        if (n_ < 64) rows[n_] = top_cout;
+        stats::transpose64(rows);
+        std::memcpy(lout, rows, static_cast<std::size_t>(cnt) * sizeof(std::uint64_t));
+      });
+}
+
+}  // namespace gear::adders

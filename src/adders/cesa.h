@@ -1,0 +1,61 @@
+// CESA — carry-estimating simultaneous adder (CEA lineage: all blocks add
+// in parallel, each with an estimated carry-in), with an optional
+// single-stage rectification pass ("cesa+r").
+//
+// The operands tile into aligned `b`-bit blocks. Stage 1 gives block k
+// (base bit k*b) the estimated carry
+//
+//   c_hat_k = carry-out of the exact sum of window [max(0, k*b - e), k*b)
+//             fed zero carry-in   (the window's generate),
+//
+// i.e. an e-bit lookback. Plain CESA returns the stage-1 sums; for
+// boundaries k*b <= e the window is complete, so those carries are exact.
+// When e is a multiple of b the block/window geometry coincides with a
+// relaxed GeAr(R=b, P=e) layout — gear_equivalent() reports exactly that
+// case, and the oracle suite verifies the claim differentially.
+//
+// Rectification (+r) re-adds each block with the *stage-1 carry-out of
+// block k-1* in place of c_hat_k: one extra block delay buys one extra
+// block of exact lookback (the carry now chains through block k-1's full
+// window). See DESIGN.md §5k for the induced error process.
+#pragma once
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+class CesaAdder final : public ApproxAdder {
+ public:
+  /// 2 <= n <= 64, 1 <= b < n, 1 <= e <= n. Throws std::invalid_argument
+  /// with an actionable message otherwise.
+  CesaAdder(int n, int b, int e, bool rectify);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// Genuine bitsliced 64-lane kernel (per-block window-generate planes +
+  /// block ripple); pinned bit-identical to scalar add().
+  void add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out, std::size_t count) const override;
+  /// First boundary whose estimate can be wrong: k*b > e (plain), one
+  /// block later under rectification. Tight.
+  int error_free_width() const override;
+  bool is_exact() const override { return error_free_width() > n_; }
+  std::string family() const override { return rectify_ ? "cesa+r" : "cesa"; }
+  std::string spec() const override;
+  /// Stage 1 ripples e window bits + b block bits; rectification replaces
+  /// the estimate with a chained block (e + 2b total).
+  int max_carry_chain() const override;
+  /// Plain CESA with e % b == 0 is block-for-block a relaxed GeAr(b, e)
+  /// (boundaries k*b <= e are exact in both). n <= 63 only — GeArConfig
+  /// does not model 64-bit operands.
+  std::optional<core::GeArConfig> gear_equivalent() const override;
+  int block() const { return block_; }
+  int est() const { return est_; }
+  bool rectify() const { return rectify_; }
+
+ private:
+  int n_, block_, est_;
+  bool rectify_;
+};
+
+}  // namespace gear::adders

@@ -24,6 +24,15 @@ class EtaiAdder final : public ApproxAdder {
   std::string name() const override;
   int width() const override { return n_; }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// The MSB->LSB saturation can force even bit 0 to a wrong value
+  /// (a0=b0=0 under a higher double-one), so no LSB is guaranteed.
+  int error_free_width() const override {
+    return accurate_ >= n_ ? n_ + 1 : 0;
+  }
+  std::string family() const override { return "etai"; }
+  std::string spec() const override {
+    return "etai:" + std::to_string(n_) + ":" + std::to_string(accurate_);
+  }
   int max_carry_chain() const override { return accurate_; }
   int accurate_bits() const { return accurate_; }
 
@@ -38,6 +47,15 @@ class EtaiiAdder final : public ApproxAdder {
   std::string name() const override;
   int width() const override { return n_; }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// Bits below the first estimated boundary (segment 2's base, fed by a
+  /// generator spanning only segment 1) are exact: 2*segment bits.
+  int error_free_width() const override {
+    return 2 * segment_ >= n_ ? n_ + 1 : 2 * segment_;
+  }
+  std::string family() const override { return "etaii"; }
+  std::string spec() const override {
+    return "etaii:" + std::to_string(n_) + ":" + std::to_string(segment_);
+  }
   int max_carry_chain() const override { return 2 * segment_; }
   std::optional<core::GeArConfig> gear_equivalent() const override;
   int segment() const { return segment_; }
@@ -54,6 +72,15 @@ class EtaiimAdder final : public ApproxAdder {
   std::string name() const override;
   int width() const override { return n_; }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// Conservative ETAII bound; MSB chaining only improves higher bits.
+  int error_free_width() const override {
+    return 2 * segment_ >= n_ ? n_ + 1 : 2 * segment_;
+  }
+  std::string family() const override { return "etaiim"; }
+  std::string spec() const override {
+    return "etaiim:" + std::to_string(n_) + ":" + std::to_string(segment_) +
+           ":" + std::to_string(msb_chained_);
+  }
   int max_carry_chain() const override;
   int segment() const { return segment_; }
   int msb_chained() const { return msb_chained_; }

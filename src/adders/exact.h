@@ -19,6 +19,9 @@ class RcaAdder final : public ApproxAdder {
   int width() const override { return n_; }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
   bool is_exact() const override { return true; }
+  int error_free_width() const override { return n_ + 1; }
+  std::string family() const override { return "rca"; }
+  std::string spec() const override { return "rca:" + std::to_string(n_); }
   int max_carry_chain() const override { return n_; }
 
  private:
@@ -34,6 +37,11 @@ class ClaAdder final : public ApproxAdder {
   int width() const override { return n_; }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
   bool is_exact() const override { return true; }
+  int error_free_width() const override { return n_ + 1; }
+  std::string family() const override { return "cla"; }
+  std::string spec() const override {
+    return "cla:" + std::to_string(n_) + ":" + std::to_string(block_);
+  }
   /// Lookahead shortens the effective chain to one block per level.
   int max_carry_chain() const override { return block_; }
   int block() const { return block_; }

@@ -30,6 +30,17 @@ class GdaAdder final : public ApproxAdder {
   std::string name() const override;
   int width() const override { return n_; }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// First predicted boundary sits at bit mb + mc (boundaries at or below
+  /// mc see complete generator windows). Sound lower bound — runtime
+  /// ripple_select degradation only makes further boundaries exact.
+  int error_free_width() const override {
+    return mb_ + mc_ >= n_ ? n_ + 1 : mb_ + mc_;
+  }
+  std::string family() const override { return "gda"; }
+  std::string spec() const override {
+    return "gda:" + std::to_string(n_) + ":" + std::to_string(mb_) + ":" +
+           std::to_string(mc_);
+  }
   /// Prediction depth in bits plus the block itself (prediction mode).
   int max_carry_chain() const override;
   std::optional<core::GeArConfig> gear_equivalent() const override;

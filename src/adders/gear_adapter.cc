@@ -43,6 +43,18 @@ void GearAdapter::add_batch(const std::uint64_t* a, const std::uint64_t* b,
   bitsliced_add_batch(bitsliced_, /*correction_mask=*/0, a, b, out, count);
 }
 
+int GearAdapter::error_free_width() const {
+  const auto& cfg = adder_.config();
+  return cfg.is_exact() ? cfg.n() + 1 : cfg.sub(1).res_lo;
+}
+
+std::string GearAdapter::spec() const {
+  const auto& cfg = adder_.config();
+  if (cfg.is_custom()) return {};
+  return "gear:" + std::to_string(cfg.n()) + ":" + std::to_string(cfg.r()) +
+         ":" + std::to_string(cfg.p());
+}
+
 GearCorrectedAdapter::GearCorrectedAdapter(core::GeArConfig cfg, std::uint64_t mask)
     : corrector_(cfg, mask), bitsliced_(std::move(cfg)) {}
 
@@ -70,6 +82,21 @@ bool GearCorrectedAdapter::is_exact() const {
     if (!((corrector_.enabled_mask() >> j) & 1ULL)) return false;
   }
   return true;
+}
+
+int GearCorrectedAdapter::error_free_width() const {
+  const auto& cfg = corrector_.config();
+  for (int j = 1; j < cfg.k(); ++j) {
+    if (!((corrector_.enabled_mask() >> j) & 1ULL)) return cfg.sub(j).res_lo;
+  }
+  return cfg.n() + 1;
+}
+
+std::string GearCorrectedAdapter::spec() const {
+  if (corrector_.config().is_custom() || !is_exact()) return {};
+  const auto& cfg = corrector_.config();
+  return "gear+ecc:" + std::to_string(cfg.n()) + ":" + std::to_string(cfg.r()) +
+         ":" + std::to_string(cfg.p());
 }
 
 }  // namespace gear::adders

@@ -20,6 +20,12 @@ class GearAdapter final : public ApproxAdder {
   /// 64-lane bitsliced batch (pinned bit-identical to scalar add()).
   void add_batch(const std::uint64_t* a, const std::uint64_t* b,
                  std::uint64_t* out, std::size_t count) const override;
+  /// Exact through sub-adder 0's span; the first speculated carry enters
+  /// at layout()[1].res_lo.
+  int error_free_width() const override;
+  std::string family() const override { return "gear"; }
+  /// "" for custom heterogeneous layouts (not registry-constructible).
+  std::string spec() const override;
   int max_carry_chain() const override { return adder_.config().max_carry_chain(); }
   std::optional<core::GeArConfig> gear_equivalent() const override {
     return adder_.config();
@@ -45,6 +51,12 @@ class GearCorrectedAdapter final : public ApproxAdder {
   void add_batch(const std::uint64_t* a, const std::uint64_t* b,
                  std::uint64_t* out, std::size_t count) const override;
   bool is_exact() const override;
+  /// First uncorrected speculated boundary (n+1 when all are corrected).
+  int error_free_width() const override;
+  std::string family() const override { return "gear+ecc"; }
+  /// Canonical only for the registry-constructible shape: uniform layout
+  /// with every sub-adder correction-enabled; "" otherwise.
+  std::string spec() const override;
   int max_carry_chain() const override {
     return corrector_.config().max_carry_chain();
   }

@@ -1,0 +1,112 @@
+#include "adders/laxa.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "adders/bitsliced_zoo.h"
+#include "stats/bitsliced.h"
+
+namespace gear::adders {
+
+LaxaAdder::LaxaAdder(int n, int low, int variant)
+    : n_(n), low_(low), variant_(variant) {
+  if (n < 2 || n > 64) {
+    throw std::invalid_argument("laxa: operand width must satisfy 2 <= n <= 64 (got n=" +
+                                std::to_string(n) + ")");
+  }
+  if (low < 1 || low > n) {
+    throw std::invalid_argument("laxa: lower part must satisfy 1 <= low <= n (got low=" +
+                                std::to_string(low) + ", n=" + std::to_string(n) + ")");
+  }
+  if (variant < 1 || variant > 3) {
+    throw std::invalid_argument(
+        "laxa: cell variant must be 1 (AXA3), 2 (TCAA) or 3 (SESA1), got " +
+        std::to_string(variant));
+  }
+}
+
+FaCell LaxaAdder::cell() const {
+  switch (variant_) {
+    case 1: return FaCell::kAxa3;
+    case 2: return FaCell::kTcaa;
+    default: return FaCell::kSesa1;
+  }
+}
+
+std::string LaxaAdder::name() const {
+  std::ostringstream os;
+  os << "LAXA-" << cell_name(cell()) << "(low=" << low_ << ")";
+  return os.str();
+}
+
+std::string LaxaAdder::spec() const {
+  return "laxa:" + std::to_string(n_) + ":" + std::to_string(low_) + ":" +
+         std::to_string(variant_);
+}
+
+int LaxaAdder::error_free_width() const {
+  return cell() == FaCell::kSesa1 ? 1 : 0;
+}
+
+int LaxaAdder::max_carry_chain() const {
+  return cell() == FaCell::kAxa3 ? n_ : n_ - low_;
+}
+
+std::uint64_t LaxaAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  const FaCell lower_cell = cell();
+  std::uint64_t sum = 0;
+  bool carry = false;
+  for (int i = 0; i < n_; ++i) {
+    const bool ai = (a >> i) & 1ULL;
+    const bool bi = (b >> i) & 1ULL;
+    const FaCell c = i < low_ ? lower_cell : FaCell::kExact;
+    const FaOut out = eval_cell(c, ai, bi, carry);
+    sum |= static_cast<std::uint64_t>(out.sum) << i;
+    carry = out.cout;
+  }
+  if (n_ < 64) sum |= static_cast<std::uint64_t>(carry) << n_;
+  return sum;
+}
+
+void LaxaAdder::add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                          std::uint64_t* out, std::size_t count) const {
+  const FaCell lower_cell = cell();
+  bitslice::for_each_lane_block(
+      a, b, out, count,
+      [this, lower_cell](const std::uint64_t* la, const std::uint64_t* lb,
+                         std::uint64_t* lout, int cnt) {
+        std::uint64_t rows_g[64], rows_p[64];
+        const std::uint64_t* g = rows_g;
+        const std::uint64_t* p =
+            stats::pack_gp(la, lb, cnt, n_, rows_g, rows_p);
+        std::uint64_t rows[64];
+        bitslice::clear_high_planes(rows, n_);
+        // Lower cells: the truth-table rows of eval_cell as plane ops.
+        std::uint64_t c = 0;
+        for (int i = 0; i < low_; ++i) {
+          switch (lower_cell) {
+            case FaCell::kAxa3:  // sum = NAND(cin, a^b), cout exact
+              rows[i] = ~(c & p[i]);
+              c = g[i] | (p[i] & c);
+              break;
+            case FaCell::kTcaa:  // sum = a|b, cout = a&b (cin ignored)
+              rows[i] = g[i] | p[i];
+              c = g[i];
+              break;
+            default:  // kSesa1: sum exact, cout = cin (chain is a wire)
+              rows[i] = p[i] ^ c;
+              break;
+          }
+        }
+        const std::uint64_t cout =
+            bitslice::ripple(g + low_, p + low_, n_ - low_, c, rows + low_);
+        if (n_ < 64) rows[n_] = cout;
+        stats::transpose64(rows);
+        std::memcpy(lout, rows, static_cast<std::size_t>(cnt) * sizeof(std::uint64_t));
+      });
+}
+
+}  // namespace gear::adders

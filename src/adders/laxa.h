@@ -1,0 +1,46 @@
+// LAXA — lower-part approximate-XOR adder: the low `low` bit positions use
+// one XOR/XNOR-lineage approximate full-adder cell (AXA3 / TCAA / SESA1,
+// see adders/cell_based.h), the upper positions are exact full adders, and
+// the carry recurrence of the chosen cell runs through the whole chain.
+//
+// This extends the cell framework with a family whose carry structure
+// differs per cell: AXA3 keeps the exact carry (sum-only errors), TCAA
+// cuts the chain at every approximate bit (cout = a&b, cin ignored) and
+// SESA1 turns it into a wire (cout = cin). That structural spread is what
+// makes LAXA a useful probe for the error model — see DESIGN.md §5k.
+#pragma once
+
+#include "adders/adder.h"
+#include "adders/cell_based.h"
+
+namespace gear::adders {
+
+class LaxaAdder final : public ApproxAdder {
+ public:
+  /// 2 <= n <= 64, 1 <= low <= n, variant in {1: AXA3, 2: TCAA, 3: SESA1}.
+  /// Throws std::invalid_argument with an actionable message otherwise.
+  LaxaAdder(int n, int low, int variant);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// Genuine bitsliced 64-lane kernel: the cell's sum/cout rows become
+  /// two-gate plane recurrences. Pinned bit-identical to scalar add().
+  void add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out, std::size_t count) const override;
+  /// AXA3/TCAA can be wrong at bit 0 (cin=0 sum rows); SESA1's sum row is
+  /// exact, so bit 0 is guaranteed (bit 1 then sees cout = cin = 0).
+  int error_free_width() const override;
+  std::string family() const override { return "laxa"; }
+  std::string spec() const override;
+  /// AXA3 keeps the exact cout (full ripple); TCAA/SESA1 kill or bypass
+  /// generation below `low`, so only the upper part propagates.
+  int max_carry_chain() const override;
+  int low() const { return low_; }
+  int variant() const { return variant_; }
+  FaCell cell() const;
+
+ private:
+  int n_, low_, variant_;
+};
+
+}  // namespace gear::adders

@@ -14,6 +14,12 @@ class LoaAdder final : public ApproxAdder {
   std::string name() const override;
   int width() const override { return n_; }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// Bit 0 is already a|b (wrong on a0=b0=1), so no LSB is guaranteed.
+  int error_free_width() const override { return 0; }
+  std::string family() const override { return "loa"; }
+  std::string spec() const override {
+    return "loa:" + std::to_string(n_) + ":" + std::to_string(lower_);
+  }
   int max_carry_chain() const override { return n_ - lower_; }
   int lower() const { return lower_; }
 

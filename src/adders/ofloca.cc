@@ -1,0 +1,76 @@
+#include "adders/ofloca.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "adders/bitsliced_zoo.h"
+#include "core/width.h"
+#include "stats/bitsliced.h"
+
+namespace gear::adders {
+
+OflocaAdder::OflocaAdder(int n, int low, int const_bits)
+    : n_(n), low_(low), const_bits_(const_bits) {
+  if (n < 2 || n > 64) {
+    throw std::invalid_argument("ofloca: operand width must satisfy 2 <= n <= 64 (got n=" +
+                                std::to_string(n) + ")");
+  }
+  if (low < 1 || low >= n) {
+    throw std::invalid_argument("ofloca: lower part must satisfy 1 <= low < n (got low=" +
+                                std::to_string(low) + ", n=" + std::to_string(n) + ")");
+  }
+  if (const_bits < 0 || const_bits > low) {
+    throw std::invalid_argument(
+        "ofloca: constant-one width must satisfy 0 <= const <= low (got const=" +
+        std::to_string(const_bits) + ", low=" + std::to_string(low) + ")");
+  }
+}
+
+std::string OflocaAdder::name() const {
+  std::ostringstream os;
+  os << "OFLOCA(low=" << low_ << ",const=" << const_bits_ << ")";
+  return os.str();
+}
+
+std::string OflocaAdder::spec() const {
+  return "ofloca:" + std::to_string(n_) + ":" + std::to_string(low_) + ":" +
+         std::to_string(const_bits_);
+}
+
+std::uint64_t OflocaAdder::add(std::uint64_t a, std::uint64_t b) const {
+  a &= operand_mask();
+  b &= operand_mask();
+  const std::uint64_t cmask = core::width_mask(const_bits_);
+  const std::uint64_t lmask = core::width_mask(low_);
+  const std::uint64_t lowbits = ((a | b) & lmask & ~cmask) | cmask;
+  // Exact upper sum with zero carry-in; at n=64 the shift back wraps the
+  // carry-out away, matching the interface's mod-2^64 convention.
+  const std::uint64_t up = (a >> low_) + (b >> low_);
+  return (up << low_) | lowbits;
+}
+
+void OflocaAdder::add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                            std::uint64_t* out, std::size_t count) const {
+  bitslice::for_each_lane_block(
+      a, b, out, count,
+      [this](const std::uint64_t* la, const std::uint64_t* lb,
+             std::uint64_t* lout, int cnt) {
+        std::uint64_t rows_g[64], rows_p[64];
+        const std::uint64_t* g = rows_g;
+        const std::uint64_t* p =
+            stats::pack_gp(la, lb, cnt, n_, rows_g, rows_p);
+        std::uint64_t rows[64];
+        bitslice::clear_high_planes(rows, n_);
+        for (int i = 0; i < const_bits_; ++i) rows[i] = ~0ULL;
+        // a|b == g|p (generate OR propagate).
+        for (int i = const_bits_; i < low_; ++i) rows[i] = g[i] | p[i];
+        const std::uint64_t cout =
+            bitslice::ripple(g + low_, p + low_, n_ - low_, 0, rows + low_);
+        if (n_ < 64) rows[n_] = cout;
+        stats::transpose64(rows);
+        std::memcpy(lout, rows, static_cast<std::size_t>(cnt) * sizeof(std::uint64_t));
+      });
+}
+
+}  // namespace gear::adders

@@ -1,0 +1,41 @@
+// OFLOCA — optimized lower-part constant-OR adder (the OLOCA lineage of
+// Dalloo et al.; SNIPPETS.md approximate-library exemplar).
+//
+// LOA's refinement: the lowest `const_bits` sum bits are hardwired to 1
+// (the constant that minimizes mean error of a dropped segment under
+// uniform inputs), bits [const_bits, low) are approximated by OR, and the
+// upper part [low, n) is added exactly with zero carry-in — unlike LOA,
+// no speculated cin, which is what removes the AND row from the critical
+// area. Modeled functionally; see DESIGN.md §5k for the error structure.
+#pragma once
+
+#include "adders/adder.h"
+
+namespace gear::adders {
+
+class OflocaAdder final : public ApproxAdder {
+ public:
+  /// 2 <= n <= 64, 1 <= low < n, 0 <= const_bits <= low. Throws
+  /// std::invalid_argument with an actionable message otherwise.
+  OflocaAdder(int n, int low, int const_bits);
+  std::string name() const override;
+  int width() const override { return n_; }
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// Genuine bitsliced 64-lane kernel (constant/OR planes + exact ripple
+  /// above `low`); pinned bit-identical to scalar add().
+  void add_batch(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out, std::size_t count) const override;
+  /// Bit 0 is constant 1 or a|b — wrong on a0=b0 inputs either way.
+  int error_free_width() const override { return 0; }
+  std::string family() const override { return "ofloca"; }
+  std::string spec() const override;
+  /// Only the exact upper part propagates carries.
+  int max_carry_chain() const override { return n_ - low_; }
+  int low() const { return low_; }
+  int const_bits() const { return const_bits_; }
+
+ private:
+  int n_, low_, const_bits_;
+};
+
+}  // namespace gear::adders

@@ -3,12 +3,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "adders/axppa.h"
+#include "adders/cell_based.h"
+#include "adders/cesa.h"
 #include "adders/eta.h"
 #include "adders/exact.h"
 #include "adders/gda.h"
 #include "adders/gear_adapter.h"
-#include "adders/cell_based.h"
+#include "adders/laxa.h"
 #include "adders/loa.h"
+#include "adders/ofloca.h"
 #include "adders/speculative.h"
 #include "core/config.h"
 
@@ -118,9 +122,34 @@ AdderPtr make_adder(const std::string& spec) {
       else if (which == "axa2") cell = FaCell::kAxa2;
       else if (which == "tga1") cell = FaCell::kTga1;
       else if (which == "exact") cell = FaCell::kExact;
+      else if (which == "axa3") cell = FaCell::kAxa3;
+      else if (which == "tcaa") cell = FaCell::kTcaa;
+      else if (which == "sesa1") cell = FaCell::kSesa1;
       else fail(spec, "unknown cell '" + which + "'");
       return std::make_unique<CellBasedAdder>(to_int(parts[1]), to_int(parts[2]),
                                               cell);
+    }
+    if (family == "ofloca") {
+      expect_args(spec, parts, 3, 3);
+      return std::make_unique<OflocaAdder>(to_int(parts[1]), to_int(parts[2]),
+                                           to_int(parts[3]));
+    }
+    if (family == "laxa") {
+      expect_args(spec, parts, 3, 3);
+      return std::make_unique<LaxaAdder>(to_int(parts[1]), to_int(parts[2]),
+                                         to_int(parts[3]));
+    }
+    if (family == "axppa") {
+      expect_args(spec, parts, 2, 3);
+      const int levels = parts.size() > 3 ? to_int(parts[3]) : 2;
+      return std::make_unique<SklanskyAxPpaAdder>(to_int(parts[1]),
+                                                  to_int(parts[2]), levels);
+    }
+    if (family == "cesa" || family == "cesa+r") {
+      expect_args(spec, parts, 3, 3);
+      return std::make_unique<CesaAdder>(to_int(parts[1]), to_int(parts[2]),
+                                         to_int(parts[3]),
+                                         /*rectify=*/family == "cesa+r");
     }
   } catch (const std::invalid_argument&) {
     throw;
@@ -131,8 +160,34 @@ AdderPtr make_adder(const std::string& spec) {
 }
 
 std::vector<std::string> known_families() {
-  return {"rca",    "cla",   "aca1", "aca2", "etai",     "etaii",
-          "etaiim", "gda",   "gear", "gear+ecc", "loa",  "cell"};
+  std::vector<std::string> names;
+  names.reserve(17);
+  for (const auto& fam : list_families()) names.push_back(fam.prefix);
+  return names;
+}
+
+std::vector<FamilyDesc> list_families() {
+  // Canonical specs are pinned by the zoo round-trip suite: each must
+  // parse, and the constructed adder's spec() must print it back.
+  return {
+      {"rca", "rca:16", "exact ripple-carry reference"},
+      {"cla", "cla:16:4", "exact carry-lookahead, 4-bit blocks"},
+      {"aca1", "aca1:16:4", "ACA-I speculative windows (Verma'08)"},
+      {"aca2", "aca2:16:8", "ACA-II overlapping sub-adders (Kahng'12)"},
+      {"etai", "etai:16:8", "ETAI saturating lower part (Zhu'09)"},
+      {"etaii", "etaii:16:4", "ETAII segmented carry generators"},
+      {"etaiim", "etaiim:16:4:2", "ETAIIM with chained MSB segments"},
+      {"gda", "gda:16:4:4", "gracefully-degrading adder (Ye'13)"},
+      {"gear", "gear:16:4:4", "GeAr approximate (Shafique'15)"},
+      {"gear+ecc", "gear+ecc:16:4:4", "GeAr with full error correction"},
+      {"loa", "loa:16:8", "lower-part OR adder (Gupta'13)"},
+      {"cell", "cell:16:8:ama1", "approximate full-adder cell composition"},
+      {"ofloca", "ofloca:16:8:4", "optimized lower-part constant-OR adder"},
+      {"laxa", "laxa:16:8:1", "lower-part approximate-XOR cells (AXA3)"},
+      {"axppa", "axppa:16:12:2", "Sklansky prefix truncated below bit LOW"},
+      {"cesa", "cesa:16:4:4", "carry-estimating simultaneous adder"},
+      {"cesa+r", "cesa+r:16:4:4", "CESA with one rectification stage"},
+  };
 }
 
 }  // namespace gear::adders

@@ -12,6 +12,15 @@
 //   "gear:N:R:P"       GeAr approximate
 //   "gear+ecc:N:R:P"   GeAr with full error correction
 //   "loa:N:LOW"        lower-part OR adder
+//   "cell:N:LOW:CELL"  approximate-FA cell adder (ama1..sesa1, exact)
+//   "ofloca:N:LOW:C"   optimized lower-part constant-OR (C constant bits)
+//   "laxa:N:LOW:V"     lower-part approximate-XOR cells, V in 1..3
+//                      (1=AXA3, 2=TCAA, 3=SESA1)
+//   "axppa:N:LOW[:K]"  Sklansky prefix truncated to K levels (default 2)
+//                      below bit LOW
+//   "cesa:N:B:E"       carry-estimating simultaneous adder (B-bit blocks,
+//                      E-bit lookback)
+//   "cesa+r:N:B:E"     CESA with one rectification stage
 #pragma once
 
 #include <string>
@@ -27,5 +36,19 @@ AdderPtr make_adder(const std::string& spec);
 
 /// All recognised family prefixes (for help text / enumeration tests).
 std::vector<std::string> known_families();
+
+/// One registry family, for enumeration-driven test suites and help text.
+struct FamilyDesc {
+  std::string prefix;          ///< spec prefix ("gear", "cesa+r", ...)
+  std::string canonical_spec;  ///< a known-valid spec of the family
+  std::string description;     ///< one-line summary
+};
+
+/// Descriptor per known family, in known_families() order. The canonical
+/// spec round-trips: make_adder(canonical_spec)->spec() == canonical_spec.
+/// The zoo oracle suite is parameterized over this list, so adding a
+/// family here (and to known_families()) without extending its reference
+/// model fails the build's test stage rather than silently going untested.
+std::vector<FamilyDesc> list_families();
 
 }  // namespace gear::adders

@@ -21,6 +21,12 @@ class Aca1Adder final : public ApproxAdder {
   std::string name() const override;
   int width() const override { return n_; }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// Result bits [0, l) come from full windows anchored at bit 0 — exact.
+  int error_free_width() const override { return l_ >= n_ ? n_ + 1 : l_; }
+  std::string family() const override { return "aca1"; }
+  std::string spec() const override {
+    return "aca1:" + std::to_string(n_) + ":" + std::to_string(l_);
+  }
   int max_carry_chain() const override { return l_; }
   std::optional<core::GeArConfig> gear_equivalent() const override;
   int l() const { return l_; }
@@ -38,6 +44,12 @@ class Aca2Adder final : public ApproxAdder {
   std::string name() const override;
   int width() const override { return n_; }
   std::uint64_t add(std::uint64_t a, std::uint64_t b) const override;
+  /// The first sub-adder contributes its full l bits exactly.
+  int error_free_width() const override { return l_ >= n_ ? n_ + 1 : l_; }
+  std::string family() const override { return "aca2"; }
+  std::string spec() const override {
+    return "aca2:" + std::to_string(n_) + ":" + std::to_string(l_);
+  }
   int max_carry_chain() const override { return l_; }
   std::optional<core::GeArConfig> gear_equivalent() const override;
   int l() const { return l_; }

@@ -30,7 +30,8 @@ AccuracyPoint accuracy_point(const core::GeArConfig& cfg) {
 constexpr core::AdderFamily kCoverageFamilies[] = {
     core::AdderFamily::kAcaI,      core::AdderFamily::kEtaII,
     core::AdderFamily::kAcaII,     core::AdderFamily::kGda,
-    core::AdderFamily::kGearStrict, core::AdderFamily::kGearRelaxed};
+    core::AdderFamily::kCesa,      core::AdderFamily::kGearStrict,
+    core::AdderFamily::kGearRelaxed};
 
 }  // namespace
 

@@ -8,6 +8,7 @@ std::string family_name(AdderFamily family) {
     case AdderFamily::kEtaII: return "ETAII";
     case AdderFamily::kAcaII: return "ACA-II";
     case AdderFamily::kGda: return "GDA";
+    case AdderFamily::kCesa: return "CESA";
     case AdderFamily::kGearStrict: return "GeAr (strict)";
     case AdderFamily::kGearRelaxed: return "GeAr";
   }
@@ -34,6 +35,13 @@ std::optional<GeArConfig> as_gda(int n, int mb, int mc) {
   return GeArConfig::make(n, mb, mc);
 }
 
+std::optional<GeArConfig> as_cesa(int n, int b, int e) {
+  // CESA's aligned blocks impose no Eq. 1 tiling: the top block may be
+  // short, which is exactly the relaxed MSB-clamped layout.
+  if (b < 1 || e < 1 || e % b != 0) return std::nullopt;
+  return GeArConfig::make_relaxed(n, b, e);
+}
+
 bool family_supports(AdderFamily family, const GeArConfig& cfg) {
   // Heterogeneous layouts are this library's extension; no family in the
   // paper's comparison (including uniform GeAr) reaches them.
@@ -46,6 +54,8 @@ bool family_supports(AdderFamily family, const GeArConfig& cfg) {
       return cfg.p() == cfg.r() && cfg.is_strict();
     case AdderFamily::kGda:
       return cfg.p() % cfg.r() == 0 && cfg.is_strict();
+    case AdderFamily::kCesa:
+      return cfg.p() % cfg.r() == 0;
     case AdderFamily::kGearStrict:
       return cfg.is_strict();
     case AdderFamily::kGearRelaxed:

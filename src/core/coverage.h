@@ -17,6 +17,9 @@ enum class AdderFamily {
   kEtaII,   ///< Zhu et al. — P = R only
   kAcaII,   ///< Kahng/Kang — P = R only
   kGda,     ///< Ye et al. — P must be a multiple of R (CLA tree granularity)
+  kCesa,    ///< carry-estimating simultaneous adder — P a multiple of R,
+            ///< but reaches relaxed (MSB-clamped) geometries too, a strict
+            ///< superset of GDA's span (see adders::CesaAdder)
   kGearStrict,   ///< GeAr restricted to paper Eq. 1 geometries
   kGearRelaxed,  ///< GeAr with MSB-clamped top sub-adder (full P sweep)
 };
@@ -37,6 +40,10 @@ std::optional<GeArConfig> as_aca2(int n, int l);
 /// GeAr configuration equivalent to a GDA with uniform sub-adder size M_B
 /// and carry-prediction length M_C (M_C must be a multiple of M_B).
 std::optional<GeArConfig> as_gda(int n, int mb, int mc);
+
+/// GeAr configuration equivalent to a plain CESA with block width `b` and
+/// estimate lookback `e` (`e` a multiple of `b`; relaxed geometries OK).
+std::optional<GeArConfig> as_cesa(int n, int b, int e);
 
 /// Whether a GeAr configuration is reachable by the given family.
 bool family_supports(AdderFamily family, const GeArConfig& cfg);

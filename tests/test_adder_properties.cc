@@ -337,11 +337,47 @@ TEST_P(AddBatchProperties, MatchesScalarAddAndToleratesAliasing) {
   }
 }
 
+TEST_P(AddBatchProperties, BitIdenticalAcrossThreadCounts) {
+  // §5a determinism: sharding one add_batch call across a pool of any
+  // width must reproduce the single-threaded result bit for bit. Shards
+  // are disjoint output ranges, so the kernel may run concurrently with
+  // itself — this leg is what the TSan CI job exercises for the zoo
+  // families' bitsliced overrides.
+  const adders::AdderPtr adder = adders::make_adder(GetParam());
+  const int n = adder->width();
+  constexpr std::size_t kCount = 333;  // straddles lane blocks per shard
+  stats::Rng rng(7321);
+  std::vector<std::uint64_t> a(kCount), b(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    a[i] = rng.bits(n);
+    b[i] = rng.bits(n);
+  }
+  std::vector<std::uint64_t> want(kCount, 0);
+  adder->add_batch(a.data(), b.data(), want.data(), kCount);
+  testutil::for_each_thread_count([&](stats::ParallelExecutor& exec,
+                                      int threads) {
+    const auto shards = stats::ParallelExecutor::make_shards(kCount, 64);
+    std::vector<std::uint64_t> out(kCount, 0);
+    exec.for_each(shards.size(), [&](std::size_t s) {
+      const auto& shard = shards[s];
+      adder->add_batch(a.data() + shard.begin, b.data() + shard.begin,
+                       out.data() + shard.begin, shard.size());
+    });
+    ASSERT_EQ(out, want) << GetParam() << " threads=" << threads;
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Registry, AddBatchProperties,
     ::testing::Values("rca:16", "gear:16:4:4", "gear:16:4:8",
                       "gear+ecc:16:4:4", "gear:20:5:5", "gear+ecc:12:4:4",
-                      "aca1:16:4", "etaii:16:4", "aca2:16:8", "gda:16:4:4"),
+                      "aca1:16:4", "etaii:16:4", "aca2:16:8", "gda:16:4:4",
+                      // Zoo families: every bitsliced override at a plain
+                      // width, the 63/64 boundary, and a short top block.
+                      "ofloca:16:8:4", "ofloca:64:8:3", "laxa:16:8:1",
+                      "laxa:32:12:2", "laxa:64:16:3", "axppa:16:12:2",
+                      "axppa:64:12:3", "cesa:16:4:4", "cesa:63:8:8",
+                      "cesa:64:7:9", "cesa+r:16:4:4", "cesa+r:64:8:8"),
     [](const ::testing::TestParamInfo<std::string>& param) {
       std::string name = param.param;
       for (char& c : name) {

@@ -46,7 +46,7 @@ TEST(DesignSpace, GdaReachableFlagsMatchCoverage) {
 
 TEST(DesignSpace, CoverageComparisonHasAllFamilies) {
   const auto cmp = coverage_comparison(16, 2);
-  ASSERT_EQ(cmp.size(), 6u);
+  ASSERT_EQ(cmp.size(), 7u);
   // GeAr relaxed covers a superset of every other family.
   const auto& gear = cmp.back().p_values;
   for (const auto& fam : cmp) {

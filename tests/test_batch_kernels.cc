@@ -47,6 +47,13 @@ std::vector<BatchKernelCase> adder_cases() {
   out.push_back({"gear_custom16",
                  std::make_shared<adders::GearAdapter>(*core::GeArConfig::make_custom(
                      16, 4, {{4, 2}, {4, 4}, {4, 6}}))});
+  // Zoo families: every bitsliced add_batch override must stay
+  // bit-identical to its scalar path through the image kernels too.
+  out.push_back({"ofloca16", adders::make_adder("ofloca:16:8:4")});
+  out.push_back({"laxa16", adders::make_adder("laxa:16:8:1")});
+  out.push_back({"axppa16", adders::make_adder("axppa:16:12:2")});
+  out.push_back({"cesa16", adders::make_adder("cesa:16:4:4")});
+  out.push_back({"cesa_r16", adders::make_adder("cesa+r:16:4:4")});
   return out;
 }
 

@@ -60,6 +60,22 @@ TEST(GoldenTables, Table2GdaVsGear) {
   expect_matches_golden("table2_gda_vs_gear.txt", benchtables::render(t));
 }
 
+TEST(GoldenTables, ZooFamilyCensus) {
+  const auto t = benchtables::zoo_family_table();
+  EXPECT_EQ(t.table.rows(), 17u);
+  expect_matches_golden("zoo_families.txt", benchtables::render(t));
+}
+
+TEST(GoldenTables, ZooCensusLegacyRowsPinned) {
+  // The twelve pre-zoo families render from a legacy-only table whose
+  // bytes cannot be perturbed by zoo additions (its column padding never
+  // sees the new rows): this golden asserts the zoo growth changed
+  // nothing about the established families' numbers.
+  const auto t = benchtables::zoo_family_table(/*legacy_only=*/true);
+  EXPECT_EQ(t.table.rows(), 12u);
+  expect_matches_golden("zoo_families_legacy.txt", benchtables::render(t));
+}
+
 TEST(GoldenTables, Table3ErrorProbability) {
   // Any executor width renders the same bytes (§5a); CI's physical core
   // count keeps the 4x1e6-trial referee quick.

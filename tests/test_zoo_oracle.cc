@@ -1,0 +1,596 @@
+// The approximate-adder zoo's cross-family differential battery.
+//
+// Every registry family is pinned against an *independently written*
+// reference model: full 2^(2N) enumeration at N <= 8, randomized
+// differential fuzz at N in {16, 32, 63} (plus 64 for the families that
+// support it). The same sweep verifies the error_free_width() contract —
+// soundness for every family (the claimed low bits never differ from the
+// exact sum), tightness for the four zoo families (some operand pair
+// breaks the very next bit) — and the registry metadata round-trip
+// (family() / spec() / list_families()). cases_for_width() must name
+// every known_families() prefix, so registering a family without a
+// reference model here fails the build's test stage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adders/cesa.h"
+#include "adders/gear_adapter.h"
+#include "adders/registry.h"
+#include "core/config.h"
+#include "core/coverage.h"
+#include "core/width.h"
+#include "stats/rng.h"
+#include "test_util.h"
+
+namespace gear::adders {
+namespace {
+
+using core::width_mask;
+
+std::uint64_t ref_exact(int n, std::uint64_t a, std::uint64_t b) {
+  return (a & width_mask(n)) + (b & width_mask(n));  // wraps at n == 64
+}
+
+/// Window sum of bits [lo, lo+len) of both operands, zero carry-in.
+std::uint64_t wsum(std::uint64_t a, std::uint64_t b, int lo, int len) {
+  return ((a >> lo) & width_mask(len)) + ((b >> lo) & width_mask(len));
+}
+
+using RefFn = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+
+// ---- independent reference models ----------------------------------------
+
+RefFn ref_rca(int n) {
+  return [n](std::uint64_t a, std::uint64_t b) { return ref_exact(n, a, b); };
+}
+
+RefFn ref_aca1(int n, int l) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      const int lo = std::max(0, i - l + 1);
+      sum |= ((wsum(a, b, lo, i - lo + 1) >> (i - lo)) & 1ULL) << i;
+    }
+    sum |= ((wsum(a, b, n - l, l) >> l) & 1ULL) << n;
+    return sum;
+  };
+}
+
+RefFn ref_aca2(int n, int l) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    const int r = l / 2;
+    if (l >= n) return ref_exact(n, a, b);
+    std::uint64_t sum = wsum(a, b, 0, l) & width_mask(l);
+    std::uint64_t carry = wsum(a, b, 0, l) >> l;
+    for (int res_lo = l; res_lo < n; res_lo += r) {
+      const int lo = res_lo - r;
+      const int wlen = std::min(l, n - lo);
+      const std::uint64_t w = wsum(a, b, lo, wlen);
+      sum |= ((w >> r) & width_mask(wlen - r)) << res_lo;
+      carry = w >> wlen;
+    }
+    return sum | (carry << n);
+  };
+}
+
+RefFn ref_etai(int n, int acc) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    const int inacc = n - acc;
+    std::uint64_t sum = wsum(a, b, inacc, acc) << inacc;
+    // Highest lower-part position where both bits are 1 saturates itself
+    // and everything below; bits above it XOR.
+    int sat = -1;
+    for (int i = inacc - 1; i >= 0; --i) {
+      if (((a >> i) & (b >> i)) & 1ULL) {
+        sat = i;
+        break;
+      }
+    }
+    for (int i = 0; i < inacc; ++i) {
+      sum |= (i <= sat ? 1ULL : ((a ^ b) >> i) & 1ULL) << i;
+    }
+    return sum;
+  };
+}
+
+RefFn ref_etaii(int n, int seg) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    std::uint64_t sum = 0, carry = 0;
+    for (int lo = 0; lo < n; lo += seg) {
+      const std::uint64_t cin =
+          lo == 0 ? 0 : wsum(a, b, lo - seg, seg) >> seg;
+      const std::uint64_t s = wsum(a, b, lo, seg) + cin;
+      sum |= (s & width_mask(seg)) << lo;
+      carry = s >> seg;
+    }
+    return sum | (carry << n);
+  };
+}
+
+RefFn ref_etaiim(int n, int seg, int chained) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    const int segments = n / seg;
+    std::uint64_t sum = 0, carry = 0;
+    for (int s = 0; s < segments; ++s) {
+      const int lo = s * seg;
+      std::uint64_t cin = 0;
+      if (s >= segments - chained) {
+        cin = wsum(a, b, 0, lo) >> lo;  // exact carry over all lower bits
+      } else if (s > 0) {
+        cin = wsum(a, b, lo - seg, seg) >> seg;
+      }
+      const std::uint64_t x = wsum(a, b, lo, seg) + cin;
+      sum |= (x & width_mask(seg)) << lo;
+      carry = x >> seg;
+    }
+    return sum | (carry << n);
+  };
+}
+
+RefFn ref_gda(int n, int mb, int mc) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    std::uint64_t sum = 0, carry = 0;
+    for (int lo = 0; lo < n; lo += mb) {
+      const int pred = std::min(mc, lo);
+      const std::uint64_t cin =
+          lo == 0 ? 0 : wsum(a, b, lo - pred, pred) >> pred;
+      const std::uint64_t s = wsum(a, b, lo, mb) + cin;
+      sum |= (s & width_mask(mb)) << lo;
+      carry = s >> mb;
+    }
+    return sum | (carry << n);
+  };
+}
+
+RefFn ref_gear_uniform(int n, int r, int p) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    const int l0 = r + p;
+    if (l0 >= n) return ref_exact(n, a, b);
+    std::uint64_t sum = wsum(a, b, 0, l0) & width_mask(l0);
+    for (int res_lo = l0; res_lo < n; res_lo += r) {
+      const int win_lo = res_lo - p;
+      const int hi = std::min(res_lo + r, n);  // exclusive result top
+      const std::uint64_t w = wsum(a, b, win_lo, hi - win_lo);
+      sum |= ((w >> (res_lo - win_lo)) & width_mask(hi - res_lo)) << res_lo;
+      if (hi == n) sum |= ((w >> (n - win_lo)) & 1ULL) << n;
+    }
+    return sum;
+  };
+}
+
+RefFn ref_loa(int n, int lower) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t low = (a | b) & width_mask(lower);
+    const std::uint64_t cin = (a >> (lower - 1)) & (b >> (lower - 1)) & 1ULL;
+    return ((wsum(a, b, lower, n - lower) + cin) << lower) | low;
+  };
+}
+
+/// Cell truth tables as 8-bit row masks, row index (cin<<2)|(b<<1)|a —
+/// hand-derived here, independent of eval_cell()'s switch.
+struct CellTT {
+  std::uint8_t sum;
+  std::uint8_t cout;
+};
+constexpr CellTT kExactTT{0x96, 0xE8};
+
+CellTT cell_tt(const std::string& cell) {
+  if (cell == "exact") return kExactTT;
+  if (cell == "ama1") return {0x17, 0xE8};   // sum = ~cout
+  if (cell == "ama2") return {0x66, 0xE8};   // sum = a^b
+  if (cell == "ama3") return {0x55, 0xAA};   // sum = ~a, cout = a
+  if (cell == "axa2") return {0x99, 0xE8};   // sum = ~(a^b)
+  if (cell == "tga1") return {0x96, 0xAA};   // cout = a
+  if (cell == "axa3") return {0x9F, 0xE8};   // sum = ~(cin & (a^b))
+  if (cell == "tcaa") return {0xEE, 0x88};   // sum = a|b, cout = a&b
+  if (cell == "sesa1") return {0x96, 0xF0};  // cout = cin
+  ADD_FAILURE() << "unknown cell " << cell;
+  return kExactTT;
+}
+
+RefFn ref_cells(int n, int low, CellTT lower_tt) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    std::uint64_t sum = 0, carry = 0;
+    for (int i = 0; i < n; ++i) {
+      const CellTT tt = i < low ? lower_tt : kExactTT;
+      const int row = static_cast<int>(((carry << 2) | (((b >> i) & 1ULL) << 1) |
+                                        ((a >> i) & 1ULL)));
+      sum |= static_cast<std::uint64_t>((tt.sum >> row) & 1) << i;
+      carry = (tt.cout >> row) & 1;
+    }
+    if (n < 64) sum |= carry << n;
+    return sum;
+  };
+}
+
+RefFn ref_ofloca(int n, int low, int cbits) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    std::uint64_t sum = width_mask(cbits);
+    sum |= (a | b) & width_mask(low) & ~width_mask(cbits);
+    sum |= wsum(a, b, low, n - low) << low;  // wraps the cout away at n=64
+    return sum;
+  };
+}
+
+RefFn ref_axppa(int n, int low, int levels) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    const int blk = 1 << levels;
+    // Carry into bit i is the generate of the aligned truncated-prefix
+    // window [floor((i-1)/blk)*blk, i) — computed directly from windows,
+    // not via the implementation's running recurrence.
+    std::uint64_t sum = ref_exact(n, a, b) & ~width_mask(low);
+    for (int i = 0; i < low; ++i) {
+      std::uint64_t c = 0;
+      if (i > 0) {
+        const int s = ((i - 1) / blk) * blk;
+        c = (wsum(a, b, s, i - s) >> (i - s)) & 1ULL;
+      }
+      sum |= (((a >> i) ^ (b >> i) ^ c) & 1ULL) << i;
+    }
+    return sum;
+  };
+}
+
+RefFn ref_cesa(int n, int blk, int est, bool rectify) {
+  return [=](std::uint64_t a, std::uint64_t b) {
+    std::uint64_t sum = 0;
+    std::uint64_t prev_s1_cout = 0;
+    for (int lo = 0; lo < n; lo += blk) {
+      const int len = std::min(blk, n - lo);
+      const int ws = std::max(0, lo - est);
+      const std::uint64_t est_cin =
+          lo == 0 ? 0 : wsum(a, b, ws, lo - ws) >> (lo - ws);
+      const std::uint64_t s1 = wsum(a, b, lo, len) + est_cin;
+      const std::uint64_t s =
+          rectify ? wsum(a, b, lo, len) + prev_s1_cout : s1;
+      prev_s1_cout = s1 >> len;
+      sum |= (s & width_mask(len)) << lo;
+      if (lo + len >= n && n < 64) sum |= (s >> len) << n;
+    }
+    return sum;
+  };
+}
+
+// ---- case table -----------------------------------------------------------
+
+struct ZooCase {
+  std::string spec;
+  RefFn ref;
+};
+
+std::string prefix_of(const std::string& spec) {
+  return spec.substr(0, spec.find(':'));
+}
+
+/// Reference-backed specs at operand width n. Covers every registry
+/// family for n <= 63 (modulo per-family divisibility, handled per
+/// width); only the zoo families reach n == 64.
+std::vector<ZooCase> cases_for_width(int n) {
+  std::vector<ZooCase> out;
+  const auto num = [](int v) { return std::to_string(v); };
+  if (n <= 63) {
+    // Smallest divisor >= 2 keeps every divisibility-constrained family
+    // constructible at all the sweep widths (including 63 = 3^2 * 7).
+    const int seg = n % 2 == 0 ? 2 : (n % 3 == 0 ? 3 : (n % 7 == 0 ? 7 : 1));
+    out.push_back({"rca:" + num(n), ref_rca(n)});
+    out.push_back({"cla:" + num(n) + ":4", ref_rca(n)});
+    out.push_back({"aca1:" + num(n) + ":" + num(std::min(4, n)),
+                   ref_aca1(n, std::min(4, n))});
+    if (seg > 1 && 2 * seg < n) {
+      // ACA-II: l even, n % (l/2) == 0, and 2r < n keeps it approximate.
+      out.push_back({"aca2:" + num(n) + ":" + num(2 * seg), ref_aca2(n, 2 * seg)});
+      out.push_back({"etaii:" + num(n) + ":" + num(seg), ref_etaii(n, seg)});
+      if (n >= 4 * seg) {
+        // A non-chained segment with an incomplete predictor window must
+        // exist (segment 1's window reaches bit 0, so it never errs):
+        // chained=1 leaves segments [2, n/seg - 1) genuinely speculative.
+        out.push_back({"etaiim:" + num(n) + ":" + num(seg) + ":1",
+                       ref_etaiim(n, seg, 1)});
+      }
+      // GDA: n % mb == 0, mc a multiple of mb, mc < n.
+      out.push_back({"gda:" + num(n) + ":" + num(seg) + ":" + num(2 * seg),
+                     ref_gda(n, seg, 2 * seg)});
+    }
+    out.push_back({"etai:" + num(n) + ":" + num(n / 2), ref_etai(n, n / 2)});
+    const int r = std::max(2, n / 4), p = std::max(2, n / 4);
+    if (r + p <= n) {
+      out.push_back({"gear:" + num(n) + ":" + num(r) + ":" + num(p),
+                     ref_gear_uniform(n, r, p)});
+      out.push_back({"gear+ecc:" + num(n) + ":" + num(r) + ":" + num(p),
+                     ref_rca(n)});  // all-enabled correction is exact
+    }
+    if (r + p + 1 <= n) {
+      // A deliberately relaxed geometry (boundaries don't tile N).
+      out.push_back({"gear:" + num(n) + ":" + num(r) + ":" + num(p + 1),
+                     ref_gear_uniform(n, r, p + 1)});
+    }
+    out.push_back({"loa:" + num(n) + ":" + num(n / 2), ref_loa(n, n / 2)});
+    for (const char* cell : {"ama1", "ama2", "ama3", "axa2", "tga1", "axa3",
+                             "tcaa", "sesa1", "exact"}) {
+      out.push_back({"cell:" + num(n) + ":" + num(n / 2) + ":" + cell,
+                     ref_cells(n, n / 2, cell_tt(cell))});
+    }
+  }
+  // Zoo families (n up to 64).
+  const int low = n / 2;
+  out.push_back({"ofloca:" + num(n) + ":" + num(low) + ":" + num(low / 2),
+                 ref_ofloca(n, low, low / 2)});
+  out.push_back({"ofloca:" + num(n) + ":" + num(low) + ":0",
+                 ref_ofloca(n, low, 0)});
+  out.push_back({"ofloca:" + num(n) + ":" + num(low) + ":" + num(low),
+                 ref_ofloca(n, low, low)});
+  for (int v : {1, 2, 3}) {
+    out.push_back({"laxa:" + num(n) + ":" + num(low) + ":" + num(v),
+                   ref_cells(n, low, cell_tt(v == 1   ? "axa3"
+                                             : v == 2 ? "tcaa"
+                                                      : "sesa1"))});
+  }
+  out.push_back({"laxa:" + num(n) + ":" + num(n) + ":1",
+                 ref_cells(n, n, cell_tt("axa3"))});
+  // AxPPA needs low >= 2^levels + 2 (a truncated carry below `low`).
+  const int low1 = std::max(low, 4);
+  out.push_back(
+      {"axppa:" + num(n) + ":" + num(low1) + ":1", ref_axppa(n, low1, 1)});
+  if (low >= 6) {
+    out.push_back(
+        {"axppa:" + num(n) + ":" + num(low) + ":2", ref_axppa(n, low, 2)});
+  }
+  for (int b : {2, 3}) {
+    if (b >= n || 2 * b > n) continue;
+    out.push_back({"cesa:" + num(n) + ":" + num(b) + ":" + num(2 * b),
+                   ref_cesa(n, b, 2 * b, false)});
+    out.push_back({"cesa+r:" + num(n) + ":" + num(b) + ":" + num(2 * b),
+                   ref_cesa(n, b, 2 * b, true)});
+  }
+  // Lookback not a block multiple: the non-GeAr-equivalent regime.
+  out.push_back({"cesa:" + num(n) + ":3:4", ref_cesa(n, 3, 4, false)});
+  out.push_back({"cesa+r:" + num(n) + ":3:4", ref_cesa(n, 3, 4, true)});
+  return out;
+}
+
+constexpr const char* kZooPrefixes[] = {"ofloca", "laxa", "axppa", "cesa",
+                                        "cesa+r"};
+
+bool is_zoo_family(const std::string& prefix) {
+  return std::find(std::begin(kZooPrefixes), std::end(kZooPrefixes), prefix) !=
+         std::end(kZooPrefixes);
+}
+
+/// Shared per-pair verdict: implementation vs reference, efw soundness,
+/// and whether the bit just past the claimed error-free width broke.
+struct SweepState {
+  bool tight_bit_seen = false;
+  bool approximated = false;
+};
+
+void check_pair(const ApproxAdder& adder, const RefFn& ref, std::uint64_t a,
+                std::uint64_t b, SweepState& st) {
+  const int n = adder.width();
+  const std::uint64_t got = adder.add(a, b);
+  const std::uint64_t want = ref(a, b);
+  ASSERT_EQ(got, want) << adder.name() << " a=" << a << " b=" << b;
+  const std::uint64_t exact = adder.exact(a, b);
+  const int efw = adder.error_free_width();
+  const std::uint64_t diff = got ^ exact;
+  ASSERT_EQ(diff & width_mask(std::min(efw, 64)), 0u)
+      << adder.name() << " claims error_free_width=" << efw << " but a=" << a
+      << " b=" << b << " differs from exact in the claimed bits";
+  if (adder.is_exact()) {
+    ASSERT_EQ(diff, 0u) << adder.name() << " claims exactness";
+  }
+  if (diff != 0) st.approximated = true;
+  if (efw <= n && ((diff >> efw) & 1ULL) != 0) st.tight_bit_seen = true;
+}
+
+class ZooOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooOracle, ExhaustiveAgainstReferenceModels) {
+  const int n = GetParam();
+  const std::uint64_t lim = 1ULL << n;
+  for (const auto& zc : cases_for_width(n)) {
+    SCOPED_TRACE(zc.spec);
+    const AdderPtr adder = make_adder(zc.spec);
+    ASSERT_EQ(adder->width(), n);
+    EXPECT_EQ(adder->family(), prefix_of(zc.spec));
+    SweepState st;
+    for (std::uint64_t a = 0; a < lim; ++a) {
+      for (std::uint64_t b = 0; b < lim; ++b) {
+        check_pair(*adder, zc.ref, a, b, st);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    // A family claiming errors past bit efw <= n must actually produce
+    // some (families that degenerate to exactness report efw == n+1).
+    if (!adder->is_exact() && adder->error_free_width() <= adder->width()) {
+      EXPECT_TRUE(st.approximated)
+          << zc.spec << ": claims approximation but never erred";
+    }
+    // Tightness is part of the zoo families' contract: the bit just past
+    // error_free_width() must actually break on some pair.
+    if (is_zoo_family(prefix_of(zc.spec)) &&
+        adder->error_free_width() <= adder->width()) {
+      EXPECT_TRUE(st.tight_bit_seen)
+          << zc.spec << ": error_free_width=" << adder->error_free_width()
+          << " is not tight";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, ZooOracle, ::testing::Values(4, 6, 8),
+                         ::testing::PrintToStringParamName());
+
+class ZooFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooFuzz, DifferentialAgainstReferenceModels) {
+  const int n = GetParam();
+  stats::Rng rng(testutil::kSeed + static_cast<std::uint64_t>(n));
+  for (const auto& zc : cases_for_width(n)) {
+    SCOPED_TRACE(zc.spec);
+    const AdderPtr adder = make_adder(zc.spec);
+    SweepState st;
+    for (int i = 0; i < 2000; ++i) {
+      check_pair(*adder, zc.ref, rng.bits(n), rng.bits(n), st);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    // Corner patterns: all ones (maximum carry pressure), alternating.
+    const std::uint64_t m = width_mask(n);
+    const std::uint64_t alt = 0x5555555555555555ULL & m;
+    const std::pair<std::uint64_t, std::uint64_t> corners[] = {
+        {m, m}, {m, 1}, {alt, ~alt & m}, {alt, alt}, {0, 0}};
+    for (const auto& [a, b] : corners) {
+      check_pair(*adder, zc.ref, a, b, st);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LargeWidths, ZooFuzz, ::testing::Values(16, 32, 63, 64),
+                         ::testing::PrintToStringParamName());
+
+TEST(ZooFamilies, EveryKnownFamilyHasAReferenceModel) {
+  // Drift guard: registering a family in list_families() without adding
+  // a reference-backed case above fails here, not silently.
+  std::set<std::string> covered;
+  for (const auto& zc : cases_for_width(8)) covered.insert(prefix_of(zc.spec));
+  std::set<std::string> known;
+  for (const auto& fam : known_families()) known.insert(fam);
+  EXPECT_EQ(covered, known);
+}
+
+TEST(ZooFamilies, ListAndKnownFamiliesAgree) {
+  const auto list = list_families();
+  const auto known = known_families();
+  ASSERT_EQ(list.size(), known.size());
+  std::set<std::string> unique;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ(list[i].prefix, known[i]);
+    EXPECT_FALSE(list[i].description.empty()) << list[i].prefix;
+    unique.insert(list[i].prefix);
+  }
+  EXPECT_EQ(unique.size(), list.size()) << "duplicate family prefix";
+}
+
+TEST(ZooRegistry, CanonicalSpecsRoundTrip) {
+  for (const auto& fam : list_families()) {
+    SCOPED_TRACE(fam.prefix);
+    const AdderPtr adder = make_adder(fam.canonical_spec);
+    EXPECT_EQ(adder->family(), fam.prefix);
+    EXPECT_EQ(adder->spec(), fam.canonical_spec);
+    // Parse -> print -> parse lands on a functionally identical adder.
+    const AdderPtr again = make_adder(adder->spec());
+    EXPECT_EQ(again->name(), adder->name());
+    EXPECT_EQ(again->width(), adder->width());
+    EXPECT_EQ(again->error_free_width(), adder->error_free_width());
+    EXPECT_EQ(again->max_carry_chain(), adder->max_carry_chain());
+    for (const auto& [a, b] :
+         testutil::draw_operands(adder->width(), 64, testutil::kSeed)) {
+      ASSERT_EQ(again->add(a, b), adder->add(a, b));
+    }
+  }
+}
+
+TEST(ZooRegistry, EveryCaseSpecRoundTrips) {
+  for (const int n : {8, 16, 63, 64}) {
+    for (const auto& zc : cases_for_width(n)) {
+      const AdderPtr adder = make_adder(zc.spec);
+      EXPECT_EQ(adder->spec(), zc.spec) << zc.spec;
+    }
+  }
+}
+
+void expect_spec_error(const std::string& spec, const std::string& needle) {
+  try {
+    make_adder(spec);
+    ADD_FAILURE() << spec << ": expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << spec << ": message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(ZooRegistry, MalformedSpecsNameTheViolatedConstraint) {
+  expect_spec_error("ofloca:65:8:4", "operand width");
+  expect_spec_error("ofloca:8:9:2", "lower part");
+  expect_spec_error("ofloca:8:4:5", "constant-one width");
+  expect_spec_error("ofloca:8:4", "wrong number of arguments");
+  expect_spec_error("laxa:8:0:1", "lower part");
+  expect_spec_error("laxa:8:4:7", "cell variant");
+  expect_spec_error("laxa:1:1:1", "operand width");
+  expect_spec_error("axppa:8:6:7", "levels");
+  expect_spec_error("axppa:8:3:2", "truncated carry exists below");
+  expect_spec_error("axppa:8", "wrong number of arguments");
+  expect_spec_error("cesa:8:8:2", "block width");
+  expect_spec_error("cesa:8:2:0", "estimate lookback");
+  expect_spec_error("cesa+r:8:0:2", "cesa+r: block width");
+  expect_spec_error("cesa+r:8:2:9", "estimate lookback");
+  expect_spec_error("cesa:8:2:2:9", "wrong number of arguments");
+  expect_spec_error("ofloca:8:4x:2", "bad integer");
+}
+
+TEST(ZooEquivalence, PlainCesaMatchesRelaxedGearWhenAligned) {
+  // CESA(n, b, e) with e % b == 0 is block-for-block a relaxed
+  // GeAr(R=b, P=e); gear_equivalent() reports exactly that case and this
+  // test holds it to it — exhaustively at n=8, by fuzz above.
+  int verified = 0;
+  const std::pair<int, int> geometries[] = {{2, 2}, {2, 4}, {3, 3}, {4, 4}};
+  for (const auto& [b, e] : geometries) {
+    const CesaAdder cesa(8, b, e, /*rectify=*/false);
+    const auto cfg = cesa.gear_equivalent();
+    ASSERT_TRUE(cfg.has_value()) << cesa.name();
+    const GearAdapter gear(*cfg);
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t o = 0; o < 256; ++o) {
+        ASSERT_EQ(cesa.add(a, o), gear.add(a, o))
+            << cesa.name() << " vs " << gear.name() << " a=" << a << " b=" << o;
+      }
+    }
+    ++verified;
+  }
+  EXPECT_EQ(verified, 4);
+  // Fuzz the claim at larger widths too.
+  stats::Rng rng(testutil::kSeed);
+  for (const int n : {16, 32, 63}) {
+    const CesaAdder cesa(n, 4, 8, /*rectify=*/false);
+    const auto cfg = cesa.gear_equivalent();
+    ASSERT_TRUE(cfg.has_value());
+    const GearAdapter gear(*cfg);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t a = rng.bits(n), o = rng.bits(n);
+      ASSERT_EQ(cesa.add(a, o), gear.add(a, o)) << n;
+    }
+  }
+  // Out of the aligned regime no equivalence is claimed.
+  EXPECT_FALSE(CesaAdder(8, 3, 4, false).gear_equivalent().has_value());
+  EXPECT_FALSE(CesaAdder(8, 2, 2, true).gear_equivalent().has_value());
+  EXPECT_FALSE(CesaAdder(64, 4, 8, false).gear_equivalent().has_value());
+}
+
+TEST(ZooEquivalence, CesaCoverageIsAStrictSupersetOfGda) {
+  // as_cesa reaches every GDA point plus the relaxed ones GDA cannot.
+  int extra = 0;
+  for (int r = 1; r <= 8; ++r) {
+    for (int p = 1; r + p <= 16; ++p) {
+      const auto cfg = core::GeArConfig::make_relaxed(16, r, p);
+      if (!cfg) continue;
+      const bool gda = core::family_supports(core::AdderFamily::kGda, *cfg);
+      const bool cesa = core::family_supports(core::AdderFamily::kCesa, *cfg);
+      EXPECT_LE(gda, cesa) << cfg->name();
+      if (cesa && !gda) ++extra;
+      if (cesa) {
+        const auto via = core::as_cesa(16, r, p);
+        ASSERT_TRUE(via.has_value()) << cfg->name();
+        EXPECT_EQ(*via, *cfg);
+      }
+    }
+  }
+  EXPECT_GT(extra, 0) << "CESA should reach relaxed points GDA cannot";
+}
+
+}  // namespace
+}  // namespace gear::adders
